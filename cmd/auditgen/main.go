@@ -1,0 +1,118 @@
+// Command auditgen synthesizes benchmark inputs: random well-founded
+// BPMN processes and valid (optionally perturbed) audit trails simulated
+// from their COWS semantics.
+//
+// Usage:
+//
+//	auditgen -tasks 20 -seed 1 -cases 10 -code GEN \
+//	         -proc-out proc.json -out trail.csv \
+//	         [-pools 2] [-violate wrong-role] [-actions 3]
+//
+// The generated process goes to -proc-out (BPMN JSON), the trail to
+// -out (CSV, or JSONL by extension). With -violate, one injection of the
+// given kind is applied per case where applicable.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/audit"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		tasks   = flag.Int("tasks", 15, "approximate task count")
+		pools   = flag.Int("pools", 1, "pool segments")
+		seed    = flag.Int64("seed", 1, "generation seed")
+		cases   = flag.Int("cases", 10, "process instances to simulate")
+		code    = flag.String("code", "GEN", "case code prefix")
+		actions = flag.Int("actions", 2, "max log entries per task execution")
+		procOut = flag.String("proc-out", "", "write the process as BPMN JSON")
+		out     = flag.String("out", "", "write the trail (.csv or .jsonl; default stdout CSV)")
+		violate = flag.String("violate", "", "inject a violation per case: skip-task, swap-adjacent, wrong-role, foreign-task, re-purpose, fake-failure")
+	)
+	flag.Parse()
+
+	if err := run(*tasks, *pools, *seed, *cases, *code, *actions, *procOut, *out, *violate); err != nil {
+		fmt.Fprintln(os.Stderr, "auditgen:", err)
+		os.Exit(2)
+	}
+}
+
+func run(tasks, pools int, seed int64, cases int, code string, actions int, procOut, out, violate string) error {
+	params := workload.DefaultProcParams("Generated", seed, tasks)
+	params.Pools = pools
+	proc, err := workload.Generate(params)
+	if err != nil {
+		return err
+	}
+	if procOut != "" {
+		f, err := os.Create(procOut)
+		if err != nil {
+			return err
+		}
+		if err := proc.EncodeJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+
+	reg := core.NewRegistry()
+	if _, err := reg.Register(proc, code); err != nil {
+		return err
+	}
+	tp := workload.DefaultTrailParams(seed+1, cases, code)
+	tp.ActionsPerTask = actions
+	trail, err := workload.NewSimulator(reg, tp).Generate()
+	if err != nil {
+		return err
+	}
+
+	if violate != "" {
+		kind, err := parseKind(violate)
+		if err != nil {
+			return err
+		}
+		inj := workload.NewInjector(seed + 2)
+		var entries []audit.Entry
+		for _, caseID := range trail.Cases() {
+			slice := trail.ByCase(caseID).Entries()
+			if mut, ok := inj.Inject(kind, slice); ok {
+				entries = append(entries, mut...)
+			} else {
+				entries = append(entries, slice...)
+			}
+		}
+		trail = audit.NewTrail(entries)
+	}
+
+	var w *os.File = os.Stdout
+	if out != "" {
+		w, err = os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer w.Close()
+	}
+	if strings.HasSuffix(out, ".jsonl") {
+		return audit.WriteJSONL(w, trail)
+	}
+	return audit.WriteCSV(w, trail)
+}
+
+func parseKind(s string) (workload.ViolationKind, error) {
+	for k := workload.ViolationKind(0); k < workload.NumViolationKinds; k++ {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown violation kind %q", s)
+}

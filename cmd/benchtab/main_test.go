@@ -1,0 +1,30 @@
+package main
+
+import "testing"
+
+// TestFigureExperimentsRun smoke-tests the figure reproductions (the
+// P-series is exercised by `go test -bench` at the repository root and
+// by running benchtab itself; re-running testing.Benchmark inside a test
+// would be slow for no added assurance).
+func TestFigureExperimentsRun(t *testing.T) {
+	for _, e := range []struct {
+		name string
+		fn   func() error
+	}{
+		{"F1", expF1},
+		{"F2", expF2},
+		{"F3", expF3},
+		{"F4", expF4},
+		{"F5", expF5},
+		{"F6", expF6},
+		{"F7to10", expF7to10},
+		{"P7", expP7},
+		{"P8", expP8},
+	} {
+		t.Run(e.name, func(t *testing.T) {
+			if err := e.fn(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,202 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/bpmn"
+	"repro/internal/policy"
+)
+
+func TestRunBuiltinHospital(t *testing.T) {
+	var b strings.Builder
+	bad, findings, err := run(&b, nil, "", "", "hospital", "", "", 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad != 5 || findings != 0 {
+		t.Fatalf("bad=%d findings=%d, want 5/0", bad, findings)
+	}
+	out := b.String()
+	for _, want := range []string{"HT-11", "INFRINGEMENT", "checked 8 case(s)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunObjectInvestigation(t *testing.T) {
+	var b strings.Builder
+	bad, _, err := run(&b, nil, "", "", "hospital", "[Jane]EPR", "", 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad != 1 {
+		t.Fatalf("bad=%d, want 1 (only HT-11 touches Jane)", bad)
+	}
+	if !strings.Contains(b.String(), "HT-1 ") || !strings.Contains(b.String(), "HT-11") {
+		t.Errorf("expected HT-1 and HT-11 in output:\n%s", b.String())
+	}
+}
+
+func TestRunSingleCase(t *testing.T) {
+	var b strings.Builder
+	bad, _, err := run(&b, nil, "", "", "hospital", "", "HT-1", 0, true)
+	if err != nil || bad != 0 {
+		t.Fatalf("bad=%d err=%v", bad, err)
+	}
+	if !strings.Contains(b.String(), "checked 1 case(s)") {
+		t.Errorf("output:\n%s", b.String())
+	}
+}
+
+func TestRunWithFiles(t *testing.T) {
+	dir := t.TempDir()
+
+	// A tiny process file.
+	proc := bpmn.NewBuilder("Flow").Pool("P").
+		Start("S", "P").Task("A", "P", "").Task("B", "P", "").End("E", "P").
+		Seq("S", "A", "B", "E").MustBuild()
+	procPath := filepath.Join(dir, "flow.json")
+	pf, err := os.Create(procPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := proc.EncodeJSON(pf); err != nil {
+		t.Fatal(err)
+	}
+	pf.Close()
+
+	// A trail with one good and one bad case.
+	mk := func(min int, task, caseID string) audit.Entry {
+		return audit.Entry{
+			User: "u", Role: "P", Action: "read",
+			Object: policy.MustParseObject("[S1]Doc"),
+			Task:   task, Case: caseID,
+			Time:   time.Date(2026, 5, 1, 9, 0, 0, 0, time.UTC).Add(time.Duration(min) * time.Minute),
+			Status: audit.Success,
+		}
+	}
+	trail := audit.NewTrail([]audit.Entry{
+		mk(0, "A", "FL-1"), mk(1, "B", "FL-1"),
+		mk(5, "B", "FL-2"),
+	})
+	trailPath := filepath.Join(dir, "trail.csv")
+	tf, err := os.Create(trailPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := audit.WriteCSV(tf, trail); err != nil {
+		t.Fatal(err)
+	}
+	tf.Close()
+
+	// A policy file.
+	polPath := filepath.Join(dir, "pol.txt")
+	polText := "role P\npermit P read [*]Doc for Flow\n"
+	if err := os.WriteFile(polPath, []byte(polText), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var b strings.Builder
+	bad, findings, err := run(&b, []string{procPath + ":FL"}, trailPath, polPath, "", "", "", 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad != 1 || findings != 0 {
+		t.Fatalf("bad=%d findings=%d, want 1/0\n%s", bad, findings, b.String())
+	}
+
+	// JSONL input too.
+	jsonlPath := filepath.Join(dir, "trail.jsonl")
+	jf, _ := os.Create(jsonlPath)
+	if err := audit.WriteJSONL(jf, trail); err != nil {
+		t.Fatal(err)
+	}
+	jf.Close()
+	bad, _, err = run(&b, []string{procPath + ":FL"}, jsonlPath, "", "", "", "", 0, false)
+	if err != nil || bad != 1 {
+		t.Fatalf("jsonl: bad=%d err=%v", bad, err)
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	var b strings.Builder
+	cases := []func() error{
+		func() error { _, _, err := run(&b, nil, "", "", "", "", "", 0, false); return err },
+		func() error { _, _, err := run(&b, nil, "", "", "nope", "", "", 0, false); return err },
+		func() error { _, _, err := run(&b, []string{"badspec"}, "x.csv", "", "", "", "", 0, false); return err },
+		func() error { _, _, err := run(&b, []string{"missing.json:XX"}, "x.csv", "", "", "", "", 0, false); return err },
+		func() error { _, _, err := run(&b, nil, "missing.csv", "", "hospital", "", "", 0, false); return err },
+		func() error { _, _, err := run(&b, nil, "", "", "hospital", "[bad", "", 0, false); return err },
+		func() error { _, _, err := run(&b, nil, "", "missing.txt", "hospital", "", "", 0, false); return err },
+	}
+	for i, f := range cases {
+		if err := f(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestRunWithBPMNXMLAndSkips(t *testing.T) {
+	dir := t.TempDir()
+	xmlSrc := `<?xml version="1.0"?>
+<definitions xmlns="http://www.omg.org/spec/BPMN/20100524/MODEL" id="d">
+  <process id="Intake">
+    <startEvent id="S"/>
+    <task id="T_a"/><task id="T_b"/><task id="T_c"/>
+    <endEvent id="E"/>
+    <sequenceFlow id="f1" sourceRef="S" targetRef="T_a"/>
+    <sequenceFlow id="f2" sourceRef="T_a" targetRef="T_b"/>
+    <sequenceFlow id="f3" sourceRef="T_b" targetRef="T_c"/>
+    <sequenceFlow id="f4" sourceRef="T_c" targetRef="E"/>
+  </process>
+</definitions>`
+	procPath := filepath.Join(dir, "intake.bpmn")
+	if err := os.WriteFile(procPath, []byte(xmlSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Trail with a gap: T_b was never logged.
+	mk := func(min int, task string) audit.Entry {
+		return audit.Entry{
+			User: "u", Role: "Intake", Action: "read",
+			Object: policy.MustParseObject("[S1]Doc"),
+			Task:   task, Case: "IN-1",
+			Time:   time.Date(2026, 5, 1, 9, 0, 0, 0, time.UTC).Add(time.Duration(min) * time.Minute),
+			Status: audit.Success,
+		}
+	}
+	trail := audit.NewTrail([]audit.Entry{mk(0, "T_a"), mk(1, "T_c")})
+	trailPath := filepath.Join(dir, "trail.csv")
+	tf, _ := os.Create(trailPath)
+	if err := audit.WriteCSV(tf, trail); err != nil {
+		t.Fatal(err)
+	}
+	tf.Close()
+
+	// Without skips: infringement.
+	var b strings.Builder
+	bad, _, err := run(&b, []string{procPath + ":IN"}, trailPath, "", "", "", "", 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad != 1 {
+		t.Fatalf("bad=%d, want 1\n%s", bad, b.String())
+	}
+	// With a skip budget: explained.
+	b.Reset()
+	bad, _, err = run(&b, []string{procPath + ":IN"}, trailPath, "", "", "", "", 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad != 0 {
+		t.Fatalf("bad=%d with skips, want 0\n%s", bad, b.String())
+	}
+	if !strings.Contains(b.String(), "hypothesized unlogged") || !strings.Contains(b.String(), "T_b") {
+		t.Errorf("missing skip explanation:\n%s", b.String())
+	}
+}

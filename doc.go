@@ -1,0 +1,12 @@
+// Package repro is a from-scratch Go reproduction of Petković, Prandi
+// and Zannone, "Purpose Control: Did You Process the Data for the
+// Intended Purpose?" (SDM@VLDB 2011): a purpose-control framework that
+// detects privacy infringements by replaying audit trails against the
+// COWS semantics of the organizational processes that operationalize
+// each purpose.
+//
+// The implementation lives under internal/ (see DESIGN.md for the
+// system inventory); runnable entry points are under cmd/ and examples/.
+// The benchmarks in bench_test.go regenerate the paper's experiments
+// (EXPERIMENTS.md).
+package repro

@@ -1,0 +1,97 @@
+// Consent and re-purposing: the clinical-trial side of the paper's
+// scenario. Shows the HIS answering the same query differently depending
+// on the claimed purpose (Figure 3's [X] consent statements, footnote
+// 3), the legitimate trial run under CT-1, and how claiming the wrong
+// purpose to widen the result set is caught a posteriori.
+//
+//	go run ./examples/clinicaltrial
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/hospital"
+	"repro/internal/policy"
+)
+
+func main() {
+	sc, err := hospital.NewScenario()
+	if err != nil {
+		log.Fatal(err)
+	}
+	pdp := sc.Framework.PDP
+
+	// The ward's patients.
+	patients := []policy.Object{
+		policy.MustParseObject("[Alice]EPR/Clinical"),
+		policy.MustParseObject("[Jane]EPR/Clinical"),
+		policy.MustParseObject("[David]EPR/Clinical"),
+	}
+
+	fmt.Println("== What the HIS returns per claimed purpose (footnote 3)")
+	trialQuery := policy.AccessRequest{
+		User: "Bob", Role: "Cardiologist", Action: "read", Task: "T92", Case: "CT-1",
+	}
+	visible := pdp.VisibleObjects(trialQuery, patients)
+	fmt.Printf("claimed purpose ClinicalTrial (consent-gated): %v\n", visible)
+
+	treatQuery := policy.AccessRequest{
+		User: "Bob", Role: "Cardiologist", Action: "read", Task: "T06", Case: "HT-50",
+	}
+	visible = pdp.VisibleObjects(treatQuery, patients)
+	fmt.Printf("claimed purpose HealthcareTreatment:          %v\n", visible)
+	fmt.Println("→ claiming treatment exposes Jane's EPR, which the trial may not see.")
+
+	// A fully honest trial: every access under CT-2 with consent.
+	fmt.Println("\n== An honest trial (CT-2) replays cleanly")
+	t0 := time.Date(2026, 7, 2, 9, 0, 0, 0, time.UTC)
+	mk := func(min int, action, object, task string) audit.Entry {
+		var obj policy.Object
+		if object != "" {
+			obj = policy.MustParseObject(object)
+		}
+		return audit.Entry{
+			User: "Bob", Role: "Cardiologist", Action: action, Object: obj,
+			Task: task, Case: "CT-2",
+			Time: t0.Add(time.Duration(min) * time.Minute), Status: audit.Success,
+		}
+	}
+	honest := audit.NewTrail([]audit.Entry{
+		mk(0, "write", "ClinicalTrial/Criteria", "T91"),
+		mk(1, "read", "[Alice]EPR/Clinical", "T92"),
+		mk(2, "read", "[David]EPR/Clinical", "T92"),
+		mk(3, "write", "ClinicalTrial/ListOfSelCand", "T92"),
+		mk(4, "write", "ClinicalTrial/ListOfEnrCand", "T93"),
+		mk(5, "write", "ClinicalTrial/Measurements", "T94"),
+		mk(6, "write", "ClinicalTrial/Results", "T95"),
+	})
+	res, err := sc.Framework.Audit(honest)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, rep := range res.CaseReports {
+		fmt.Println(rep)
+	}
+	fmt.Printf("policy findings: %d\n", len(res.PolicyFindings))
+
+	// The dishonest variant: reading Jane inside the trial case is
+	// caught PREVENTIVELY (no consent), and the paper's actual attack —
+	// reading her under a fake treatment case — is caught by
+	// Algorithm 1 (see the hospital example).
+	fmt.Println("\n== Reading Jane inside the trial case: preventive layer catches it")
+	dishonest := audit.NewTrail(append(honest.Entries(),
+		mk(30, "read", "[Jane]EPR/Clinical", "T94")))
+	res, err = sc.Framework.Audit(dishonest)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, f := range res.PolicyFindings {
+		fmt.Printf("policy finding: %s\n    %s\n", f.Entry, f.Reason)
+	}
+	for _, rep := range res.CaseReports {
+		fmt.Println(rep)
+	}
+}

@@ -1,0 +1,85 @@
+// Quickstart: define a small organizational process, bind it to a
+// purpose, log some actions, and ask the framework whether the data were
+// actually processed for the claimed purpose.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/bpmn"
+	"repro/internal/core"
+	"repro/internal/policy"
+)
+
+func main() {
+	// 1. The organizational process: how "order fulfillment" is
+	//    supposed to happen. Purposes ARE processes in this framework.
+	proc, err := bpmn.NewBuilder("OrderFulfillment").
+		Pool("Clerk").
+		Start("S", "Clerk").
+		Task("Validate", "Clerk", "validate the order").
+		Task("Charge", "Clerk", "charge the customer").
+		Task("Ship", "Clerk", "ship the goods").
+		End("E", "Clerk").
+		Seq("S", "Validate", "Charge", "Ship", "E").
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Register it under the case code "OF": case OF-1 claims the
+	//    OrderFulfillment purpose.
+	reg := core.NewRegistry()
+	if _, err := reg.Register(proc, "OF"); err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. A data protection policy for the preventive layer.
+	pol := policy.NewPolicy(nil)
+	if err := pol.Roles.Add("Clerk"); err != nil {
+		log.Fatal(err)
+	}
+	for _, action := range []string{"read", "write"} {
+		if err := pol.Permit("Clerk", action, "[*]Order", "OrderFulfillment"); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fw := core.NewFramework(reg, pol, policy.NewConsentRegistry())
+
+	// 4. Two logged cases: OF-1 follows the process; OF-2 charges the
+	//    customer without ever validating the order.
+	t0 := time.Date(2026, 7, 1, 9, 0, 0, 0, time.UTC)
+	entry := func(min int, task, caseID string) audit.Entry {
+		return audit.Entry{
+			User: "eve", Role: "Clerk", Action: "write",
+			Object: policy.MustParseObject("[Acme]Order/42"),
+			Task:   task, Case: caseID,
+			Time: t0.Add(time.Duration(min) * time.Minute), Status: audit.Success,
+		}
+	}
+	trail := audit.NewTrail([]audit.Entry{
+		entry(0, "Validate", "OF-1"),
+		entry(1, "Charge", "OF-1"),
+		entry(2, "Ship", "OF-1"),
+		entry(10, "Charge", "OF-2"), // no validation first!
+	})
+
+	// 5. Audit: Algorithm 1 per case, Definition 3 per entry.
+	res, err := fw.Audit(trail)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, rep := range res.CaseReports {
+		fmt.Println(rep)
+		if rep.Violation != nil {
+			fmt.Println("   ", rep.Violation)
+		}
+	}
+	fmt.Printf("%d infringement(s), %d policy finding(s)\n",
+		len(res.Infringements()), len(res.PolicyFindings))
+}

@@ -1,0 +1,111 @@
+// The closed loop: an organization running its processes through a
+// workflow engine (the transactional substrate of Section 3.5), which
+// offers worklists from the live COWS semantics, refuses off-process
+// work up front, and writes the audit database that purpose control
+// later replays. A trail produced by the engine is compliant by
+// construction; an entry smuggled into the database behind the engine's
+// back is caught by Algorithm 1.
+//
+//	go run ./examples/workflow
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/core"
+	"repro/internal/hospital"
+	"repro/internal/policy"
+	"repro/internal/wfm"
+)
+
+func main() {
+	sc, err := hospital.NewScenario()
+	if err != nil {
+		log.Fatal(err)
+	}
+	roles, err := hospital.Roles()
+	if err != nil {
+		log.Fatal(err)
+	}
+	clock := func() func() time.Time {
+		t := time.Date(2026, 7, 5, 9, 0, 0, 0, time.UTC)
+		return func() time.Time { t = t.Add(time.Minute); return t }
+	}()
+	eng := wfm.New(sc.Registry, roles, clock)
+
+	caseID, err := eng.Start(hospital.TreatmentCode)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("started case %s (%s)\n", caseID, hospital.TreatmentPurpose)
+
+	show := func() {
+		offers, err := eng.Worklist(caseID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  worklist:")
+		for _, o := range offers {
+			mark := ""
+			if o.Active {
+				mark = " (active)"
+			}
+			fmt.Printf(" %s/%s%s", o.Role, o.Task, mark)
+		}
+		fmt.Println()
+	}
+
+	jane := policy.MustParseObject("[Jane]EPR/Clinical")
+	do := func(user, role, task string) {
+		if err := eng.Execute(caseID, user, role, task, wfm.Action{Verb: "read", Object: jane}); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s (%s) executed %s\n", user, role, task)
+		show()
+	}
+
+	show()
+	do("John", "GP", "T01")
+
+	// The engine is the preventive twin of Algorithm 1: the HT-11
+	// attack cannot even start here.
+	err = eng.Execute(caseID, "Bob", "Cardiologist", "T06", wfm.Action{Verb: "read", Object: jane})
+	fmt.Printf("Bob tries T06 out of order -> refused: %v\n", err != nil)
+
+	do("John", "GP", "T05")
+	do("Bob", "Cardiologist", "T06")
+	do("Bob", "Cardiologist", "T07")
+	do("John", "GP", "T01")
+	do("John", "GP", "T02")
+	do("John", "GP", "T03")
+	do("John", "GP", "T04")
+
+	st, err := eng.CaseStatus(caseID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("case %s can complete: %v\n\n", caseID, st.CanComplete)
+
+	// The engine's own audit database replays cleanly...
+	checker := core.NewChecker(sc.Registry, roles)
+	trail := eng.AuditStore().Trail()
+	rep, err := checker.CheckCase(trail, caseID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("auditing the engine's own trail:", rep)
+
+	// ...but an entry smuggled in behind the engine's back does not.
+	smuggled := append(trail.Entries(), audit.Entry{
+		User: "Bob", Role: "Cardiologist", Action: "read", Object: jane,
+		Task: "T06", Case: caseID, Time: clock(), Status: audit.Success,
+	})
+	rep, err = checker.CheckCase(audit.NewTrail(smuggled), caseID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("auditing the tampered trail:  ", rep)
+}

@@ -1,0 +1,249 @@
+package audit
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/policy"
+)
+
+func mkEntry(user, role, action, object, task, caseID, ts string, st Status) Entry {
+	var o policy.Object
+	if object != "" && object != NAObject {
+		o = policy.MustParseObject(object)
+	}
+	t, err := ParsePaperTime(ts)
+	if err != nil {
+		panic(err)
+	}
+	return Entry{User: user, Role: role, Action: action, Object: o, Task: task, Case: caseID, Time: t, Status: st}
+}
+
+func sampleEntries() []Entry {
+	return []Entry{
+		mkEntry("John", "GP", "read", "[Jane]EPR/Clinical", "T01", "HT-1", "201003121210", Success),
+		mkEntry("John", "GP", "write", "[Jane]EPR/Clinical", "T02", "HT-1", "201003121212", Success),
+		mkEntry("John", "GP", "cancel", NAObject, "T02", "HT-1", "201003121216", Failure),
+		mkEntry("John", "GP", "read", "[David]EPR/Demographics", "T01", "HT-2", "201003121230", Success),
+		mkEntry("Bob", "Cardiologist", "read", "[Jane]EPR/Clinical", "T06", "HT-1", "201003141010", Success),
+		mkEntry("Bob", "Cardiologist", "write", "ClinicalTrial/Criteria", "T91", "CT-1", "201004151450", Success),
+	}
+}
+
+func TestTrailOrderingAndSlicing(t *testing.T) {
+	es := sampleEntries()
+	// Shuffle deterministically, NewTrail must restore order.
+	shuffled := []Entry{es[5], es[2], es[0], es[4], es[1], es[3]}
+	tr := NewTrail(shuffled)
+	if tr.Len() != len(es) {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for i := 1; i < tr.Len(); i++ {
+		if tr.At(i).Time.Before(tr.At(i - 1).Time) {
+			t.Fatalf("trail not sorted at %d", i)
+		}
+	}
+	ht1 := tr.ByCase("HT-1")
+	if ht1.Len() != 4 {
+		t.Fatalf("HT-1 slice has %d entries, want 4", ht1.Len())
+	}
+	if got := tr.Cases(); len(got) != 3 {
+		t.Fatalf("Cases = %v", got)
+	}
+	if got := tr.ByUser("Bob").Len(); got != 2 {
+		t.Fatalf("Bob entries = %d", got)
+	}
+
+	// TouchingObject: Jane's whole EPR was touched in HT-1 only.
+	cases := tr.TouchingObject(policy.MustParseObject("[Jane]EPR"))
+	if len(cases) != 1 || cases[0] != "HT-1" {
+		t.Fatalf("TouchingObject = %v", cases)
+	}
+
+	// Window slicing.
+	from, _ := ParsePaperTime("201003121212")
+	to, _ := ParsePaperTime("201003141010")
+	if got := tr.Window(from, to).Len(); got != 3 {
+		t.Fatalf("Window = %d entries, want 3", got)
+	}
+}
+
+func TestTrailAppendOrder(t *testing.T) {
+	tr := NewTrail(nil)
+	if err := tr.Append(mkEntry("u", "r", "read", "[S]O", "T", "C", "201001010000", Success)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Append(mkEntry("u", "r", "read", "[S]O", "T", "C", "200912310000", Success)); err == nil {
+		t.Fatalf("out-of-order append accepted")
+	}
+}
+
+func TestStoreIndexes(t *testing.T) {
+	s := NewStore()
+	if err := s.AppendAll(sampleEntries()); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 6 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if got := s.Case("HT-1").Len(); got != 4 {
+		t.Fatalf("Case(HT-1) = %d entries", got)
+	}
+	if got := s.Cases(); len(got) != 3 || got[0] != "CT-1" {
+		t.Fatalf("Cases = %v", got)
+	}
+	if got := s.User("John").Len(); got != 4 {
+		t.Fatalf("User(John) = %d entries", got)
+	}
+	cases := s.CasesTouching(policy.MustParseObject("[Jane]EPR"))
+	if len(cases) != 1 || cases[0] != "HT-1" {
+		t.Fatalf("CasesTouching = %v", cases)
+	}
+	// Subject-less resources are found by full scan.
+	cases = s.CasesTouching(policy.MustParseObject("ClinicalTrial"))
+	if len(cases) != 1 || cases[0] != "CT-1" {
+		t.Fatalf("CasesTouching(ClinicalTrial) = %v", cases)
+	}
+	if err := s.Append(mkEntry("u", "r", "read", "[S]O", "T", "C", "200001010000", Success)); err == nil {
+		t.Fatalf("out-of-order store append accepted")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr := NewTrail(sampleEntries())
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != tr.Len() {
+		t.Fatalf("round trip length %d != %d", got.Len(), tr.Len())
+	}
+	for i := 0; i < tr.Len(); i++ {
+		if got.At(i).String() != tr.At(i).String() {
+			t.Errorf("entry %d: %s != %s", i, got.At(i), tr.At(i))
+		}
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	cases := []string{
+		"",                        // no header
+		"a,b\n",                   // short header
+		"user,role,action,object,task,case,time,status\nJohn,GP,read,[Jane]EPR,T01,HT-1,notatime,success\n",
+		"user,role,action,object,task,case,time,status\nJohn,GP,read,[Jane]EPR,T01,HT-1,201001010101,maybe\n",
+		"user,role,action,object,task,case,time,status\nJohn,GP,read,[]bad,T01,HT-1,201001010101,success\n",
+	}
+	for _, src := range cases {
+		if _, err := ReadCSV(strings.NewReader(src)); err == nil {
+			t.Errorf("ReadCSV(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	tr := NewTrail(sampleEntries())
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != tr.Len() {
+		t.Fatalf("round trip length %d != %d", got.Len(), tr.Len())
+	}
+	for i := 0; i < tr.Len(); i++ {
+		a, b := got.At(i), tr.At(i)
+		if a.User != b.User || a.Object.String() != b.Object.String() || a.Status != b.Status || !a.Time.Equal(b.Time) {
+			t.Errorf("entry %d: %+v != %+v", i, a, b)
+		}
+	}
+}
+
+func TestSecureLogVerifies(t *testing.T) {
+	key := []byte("initial-secret")
+	l := NewSecureLog(key)
+	for _, e := range sampleEntries() {
+		l.Append(e)
+	}
+	if err := Verify(key, l.Entries(), l.Len()); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if l.Trail().Len() != 6 {
+		t.Fatalf("Trail length %d", l.Trail().Len())
+	}
+}
+
+func TestSecureLogDetectsTampering(t *testing.T) {
+	key := []byte("initial-secret")
+	fresh := func() []SealedEntry {
+		l := NewSecureLog(key)
+		for _, e := range sampleEntries() {
+			l.Append(e)
+		}
+		return l.Entries()
+	}
+
+	// In-place modification.
+	es := fresh()
+	es[2].Entry.User = "Mallory"
+	if err := Verify(key, es, len(es)); !errors.Is(err, ErrIntegrity) {
+		t.Errorf("modification: err = %v", err)
+	}
+
+	// Deletion in the middle.
+	es = fresh()
+	es = append(es[:3], es[4:]...)
+	if err := Verify(key, es, -1); !errors.Is(err, ErrIntegrity) {
+		t.Errorf("deletion: err = %v", err)
+	}
+
+	// Truncation (detected via expected length).
+	es = fresh()
+	if err := Verify(key, es[:4], len(fresh())); !errors.Is(err, ErrIntegrity) {
+		t.Errorf("truncation: err = %v", err)
+	}
+
+	// Reordering.
+	es = fresh()
+	es[1], es[2] = es[2], es[1]
+	if err := Verify(key, es, -1); !errors.Is(err, ErrIntegrity) {
+		t.Errorf("reordering: err = %v", err)
+	}
+
+	// Forged append with wrong key.
+	es = fresh()
+	forged := NewSecureLog([]byte("wrong-key"))
+	for _, se := range es {
+		forged.Append(se.Entry)
+	}
+	extra := forged.Append(mkEntry("Mallory", "GP", "read", "[Jane]EPR", "T01", "HT-1", "201101010101", Success))
+	if err := Verify(key, append(es, extra), -1); !errors.Is(err, ErrIntegrity) {
+		t.Errorf("forged append: err = %v", err)
+	}
+}
+
+func TestPaperTimeParsing(t *testing.T) {
+	ts, err := ParsePaperTime("201003121210")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := time.Date(2010, 3, 12, 12, 10, 0, 0, time.UTC)
+	if !ts.Equal(want) {
+		t.Fatalf("ParsePaperTime = %v, want %v", ts, want)
+	}
+	if _, err := ParsePaperTime("2010-03-12"); err == nil {
+		t.Fatalf("bad layout accepted")
+	}
+	if _, err := ParseStatus("unknown"); err == nil {
+		t.Fatalf("bad status accepted")
+	}
+}

@@ -1,0 +1,171 @@
+package audit
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/policy"
+)
+
+// CSV and JSONL codecs for trails. The CSV layout mirrors Figure 4's
+// columns:
+//
+//	user,role,action,object,task,case,time,status
+//
+// with time in the paper's 12-digit layout. "N/A" objects (the paper's
+// cancel action) are encoded literally and decode to an empty object.
+
+// csvHeader is the canonical column order.
+var csvHeader = []string{"user", "role", "action", "object", "task", "case", "time", "status"}
+
+// NAObject is the literal the paper uses for actions without a target
+// object.
+const NAObject = "N/A"
+
+// WriteCSV writes the trail with a header row.
+func WriteCSV(w io.Writer, t *Trail) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("audit: writing CSV header: %w", err)
+	}
+	for i := 0; i < t.Len(); i++ {
+		e := t.At(i)
+		obj := NAObject
+		if len(e.Object.Path) > 0 {
+			obj = e.Object.String()
+		}
+		rec := []string{
+			e.User, e.Role, e.Action, obj, e.Task, e.Case,
+			e.Time.Format(PaperTimeLayout), e.Status.String(),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("audit: writing CSV row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("audit: flushing CSV: %w", err)
+	}
+	return nil
+}
+
+// ReadCSV reads a trail written by WriteCSV (header required).
+func ReadCSV(r io.Reader) (*Trail, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("audit: reading CSV header: %w", err)
+	}
+	if len(header) != len(csvHeader) {
+		return nil, fmt.Errorf("audit: CSV header has %d columns, want %d", len(header), len(csvHeader))
+	}
+	var entries []Entry
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("audit: reading CSV line %d: %w", line, err)
+		}
+		e, err := entryFromRecord(rec)
+		if err != nil {
+			return nil, fmt.Errorf("audit: CSV line %d: %w", line, err)
+		}
+		entries = append(entries, e)
+	}
+	return NewTrail(entries), nil
+}
+
+func entryFromRecord(rec []string) (Entry, error) {
+	var e Entry
+	if len(rec) != len(csvHeader) {
+		return e, fmt.Errorf("have %d fields, want %d", len(rec), len(csvHeader))
+	}
+	e.User, e.Role, e.Action = rec[0], rec[1], rec[2]
+	if rec[3] != NAObject && rec[3] != "" {
+		o, err := policy.ParseObject(rec[3])
+		if err != nil {
+			return e, err
+		}
+		e.Object = o
+	}
+	e.Task, e.Case = rec[4], rec[5]
+	t, err := ParsePaperTime(rec[6])
+	if err != nil {
+		return e, err
+	}
+	e.Time = t
+	st, err := ParseStatus(rec[7])
+	if err != nil {
+		return e, err
+	}
+	e.Status = st
+	return e, nil
+}
+
+// jsonEntry is the JSONL wire form.
+type jsonEntry struct {
+	User   string    `json:"user"`
+	Role   string    `json:"role"`
+	Action string    `json:"action"`
+	Object string    `json:"object,omitempty"`
+	Task   string    `json:"task"`
+	Case   string    `json:"case"`
+	Time   time.Time `json:"time"`
+	Status string    `json:"status"`
+}
+
+// WriteJSONL writes one JSON object per line.
+func WriteJSONL(w io.Writer, t *Trail) error {
+	enc := json.NewEncoder(w)
+	for i := 0; i < t.Len(); i++ {
+		e := t.At(i)
+		je := jsonEntry{
+			User: e.User, Role: e.Role, Action: e.Action,
+			Task: e.Task, Case: e.Case, Time: e.Time, Status: e.Status.String(),
+		}
+		if len(e.Object.Path) > 0 {
+			je.Object = e.Object.String()
+		}
+		if err := enc.Encode(je); err != nil {
+			return fmt.Errorf("audit: writing JSONL entry %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ReadJSONL reads a trail written by WriteJSONL.
+func ReadJSONL(r io.Reader) (*Trail, error) {
+	dec := json.NewDecoder(r)
+	var entries []Entry
+	for i := 0; ; i++ {
+		var je jsonEntry
+		if err := dec.Decode(&je); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("audit: reading JSONL entry %d: %w", i, err)
+		}
+		e := Entry{
+			User: je.User, Role: je.Role, Action: je.Action,
+			Task: je.Task, Case: je.Case, Time: je.Time,
+		}
+		if je.Object != "" {
+			o, err := policy.ParseObject(je.Object)
+			if err != nil {
+				return nil, fmt.Errorf("audit: JSONL entry %d: %w", i, err)
+			}
+			e.Object = o
+		}
+		st, err := ParseStatus(je.Status)
+		if err != nil {
+			return nil, fmt.Errorf("audit: JSONL entry %d: %w", i, err)
+		}
+		e.Status = st
+		entries = append(entries, e)
+	}
+	return NewTrail(entries), nil
+}

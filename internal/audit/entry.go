@@ -1,0 +1,185 @@
+// Package audit implements the paper's audit trails (Section 3.4): log
+// entries capturing who performed which action on which object, within
+// which task and process instance, when, and whether the task step
+// succeeded (Definition 4); chronologically ordered trails
+// (Definition 5); an indexed store that answers the queries Algorithm 1
+// and the preventive layer need; and a hash-chained secure log standing
+// in for the integrity mechanisms the paper cites ([18,19]).
+package audit
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/policy"
+)
+
+// Status is the task status indicator of Definition 4.
+type Status int
+
+const (
+	// Success marks a completed action within a succeeding task step.
+	Success Status = iota
+	// Failure marks a failed task; per the paper, a failure completes
+	// the task and the process proceeds only through an error handler.
+	Failure
+)
+
+// String returns "success" or "failure".
+func (s Status) String() string {
+	if s == Failure {
+		return "failure"
+	}
+	return "success"
+}
+
+// ParseStatus reads "success" or "failure".
+func ParseStatus(s string) (Status, error) {
+	switch strings.ToLower(s) {
+	case "success":
+		return Success, nil
+	case "failure":
+		return Failure, nil
+	default:
+		return 0, fmt.Errorf("audit: unknown status %q", s)
+	}
+}
+
+// Entry is a log entry (Definition 4): (u, r, a, o, q, c, t, s).
+type Entry struct {
+	User   string
+	Role   string
+	Action string
+	Object policy.Object
+	Task   string
+	Case   string
+	Time   time.Time
+	Status Status
+}
+
+// String renders the entry as a Figure 4 row.
+func (e Entry) String() string {
+	return fmt.Sprintf("%s %s %s %s %s %s %s %s",
+		e.User, e.Role, e.Action, e.Object, e.Task, e.Case, e.Time.Format(PaperTimeLayout), e.Status)
+}
+
+// Before implements the Definition 5 order: strictly earlier timestamp.
+func (e Entry) Before(other Entry) bool { return e.Time.Before(other.Time) }
+
+// PaperTimeLayout is the paper's year-month-day-hour-minute timestamp
+// format (e.g. 201003121210).
+const PaperTimeLayout = "200601021504"
+
+// ParsePaperTime reads a Figure 4 timestamp.
+func ParsePaperTime(s string) (time.Time, error) {
+	t, err := time.Parse(PaperTimeLayout, s)
+	if err != nil {
+		return time.Time{}, fmt.Errorf("audit: bad timestamp %q: %w", s, err)
+	}
+	return t, nil
+}
+
+// Trail is a chronologically ordered sequence of entries
+// (Definition 5). Construct with NewTrail (which sorts) or maintain
+// order through Append.
+type Trail struct {
+	entries []Entry
+}
+
+// NewTrail builds a trail from entries, sorting them chronologically
+// (stable, so same-timestamp entries keep their given order — the paper
+// itself logs two same-minute entries in Figure 4).
+func NewTrail(entries []Entry) *Trail {
+	t := &Trail{entries: append([]Entry(nil), entries...)}
+	sort.SliceStable(t.entries, func(i, j int) bool {
+		return t.entries[i].Time.Before(t.entries[j].Time)
+	})
+	return t
+}
+
+// Append adds an entry, which must not be earlier than the last one.
+func (t *Trail) Append(e Entry) error {
+	if n := len(t.entries); n > 0 && e.Time.Before(t.entries[n-1].Time) {
+		return fmt.Errorf("audit: entry at %s is earlier than trail tail %s",
+			e.Time.Format(PaperTimeLayout), t.entries[n-1].Time.Format(PaperTimeLayout))
+	}
+	t.entries = append(t.entries, e)
+	return nil
+}
+
+// Len returns the number of entries.
+func (t *Trail) Len() int { return len(t.entries) }
+
+// At returns the i-th entry in chronological order.
+func (t *Trail) At(i int) Entry { return t.entries[i] }
+
+// Entries returns a copy of the entries in chronological order.
+func (t *Trail) Entries() []Entry { return append([]Entry(nil), t.entries...) }
+
+// Cases returns the distinct case identifiers in order of first
+// appearance.
+func (t *Trail) Cases() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, e := range t.entries {
+		if !seen[e.Case] {
+			seen[e.Case] = true
+			out = append(out, e.Case)
+		}
+	}
+	return out
+}
+
+// ByCase returns the sub-trail of one process instance, preserving
+// order. This is the slice Algorithm 1 replays: "for each case in which
+// the object under investigation was accessed, we determine if the
+// portion of the audit trail related to that case is a valid execution"
+// (Section 4).
+func (t *Trail) ByCase(caseID string) *Trail {
+	var out []Entry
+	for _, e := range t.entries {
+		if e.Case == caseID {
+			out = append(out, e)
+		}
+	}
+	return &Trail{entries: out}
+}
+
+// TouchingObject returns the case identifiers under which the given
+// object (or a sub-resource of it) was accessed — the starting point of
+// a per-object investigation.
+func (t *Trail) TouchingObject(o policy.Object) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, e := range t.entries {
+		if o.Covers(e.Object) && !seen[e.Case] {
+			seen[e.Case] = true
+			out = append(out, e.Case)
+		}
+	}
+	return out
+}
+
+// ByUser returns the sub-trail of one user's actions.
+func (t *Trail) ByUser(user string) *Trail {
+	var out []Entry
+	for _, e := range t.entries {
+		if e.User == user {
+			out = append(out, e)
+		}
+	}
+	return &Trail{entries: out}
+}
+
+// Window returns the sub-trail with from ≤ time < to.
+func (t *Trail) Window(from, to time.Time) *Trail {
+	var out []Entry
+	for _, e := range t.entries {
+		if !e.Time.Before(from) && e.Time.Before(to) {
+			out = append(out, e)
+		}
+	}
+	return &Trail{entries: out}
+}

@@ -1,0 +1,133 @@
+package audit
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/policy"
+)
+
+// TestTrailSortProperties: NewTrail is a chronological sort that (a) is
+// idempotent, (b) is permutation-invariant in its multiset of entries,
+// and (c) preserves the relative order of equal-timestamp entries
+// (stability — the paper's Figure 4 has same-minute rows whose order
+// matters).
+func TestTrailSortProperties(t *testing.T) {
+	gen := func(seed int64, n uint8) []Entry {
+		rng := rand.New(rand.NewSource(seed))
+		base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+		out := make([]Entry, int(n%20)+1)
+		for i := range out {
+			out[i] = Entry{
+				User: "u", Role: "r", Action: "read",
+				Object: policy.Object{Subject: "S", Path: []string{"O"}},
+				Task:   "T", Case: "C",
+				// Few distinct timestamps => plenty of ties.
+				Time: base.Add(time.Duration(rng.Intn(4)) * time.Minute),
+			}
+		}
+		return out
+	}
+
+	sortedProp := func(seed int64, n uint8) bool {
+		tr := NewTrail(gen(seed, n))
+		for i := 1; i < tr.Len(); i++ {
+			if tr.At(i).Time.Before(tr.At(i - 1).Time) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(sortedProp, nil); err != nil {
+		t.Errorf("sortedness: %v", err)
+	}
+
+	idempotent := func(seed int64, n uint8) bool {
+		tr := NewTrail(gen(seed, n))
+		re := NewTrail(tr.Entries())
+		if re.Len() != tr.Len() {
+			return false
+		}
+		for i := 0; i < tr.Len(); i++ {
+			if !re.At(i).Time.Equal(tr.At(i).Time) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(idempotent, nil); err != nil {
+		t.Errorf("idempotence: %v", err)
+	}
+}
+
+// TestTrailStability: same-timestamp entries keep their input order.
+func TestTrailStability(t *testing.T) {
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	mk := func(user string, min int) Entry {
+		return Entry{User: user, Time: base.Add(time.Duration(min) * time.Minute)}
+	}
+	tr := NewTrail([]Entry{mk("a", 1), mk("b", 0), mk("c", 1), mk("d", 1)})
+	got := ""
+	for i := 0; i < tr.Len(); i++ {
+		got += tr.At(i).User
+	}
+	if got != "bacd" {
+		t.Fatalf("stability broken: %q, want bacd", got)
+	}
+}
+
+// TestSecureLogDeterminism: the same entry sequence under the same key
+// seals identically (needed for replicated verification).
+func TestSecureLogDeterminism(t *testing.T) {
+	prop := func(users []string) bool {
+		if len(users) > 16 {
+			users = users[:16]
+		}
+		base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+		build := func() []SealedEntry {
+			l := NewSecureLog([]byte("k"))
+			for i, u := range users {
+				l.Append(Entry{User: u, Time: base.Add(time.Duration(i) * time.Second)})
+			}
+			return l.Entries()
+		}
+		a, b := build(), build()
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i].Chain != b[i].Chain || a[i].Seal != b[i].Seal {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Errorf("determinism: %v", err)
+	}
+}
+
+// TestCanonicalSerializationInjective: entries differing in any field
+// have different canonical serializations (no field-boundary confusion).
+func TestCanonicalSerializationInjective(t *testing.T) {
+	base := Entry{
+		User: "ab", Role: "c", Action: "read",
+		Object: policy.Object{Subject: "S", Path: []string{"O"}},
+		Task:   "T", Case: "C",
+		Time: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC),
+	}
+	// The classic splice attack: move a character across a field
+	// boundary.
+	spliced := base
+	spliced.User, spliced.Role = "a", "bc"
+	if string(canonical(base)) == string(canonical(spliced)) {
+		t.Fatalf("field boundaries not protected")
+	}
+	other := base
+	other.Status = Failure
+	if string(canonical(base)) == string(canonical(other)) {
+		t.Fatalf("status not covered")
+	}
+}

@@ -1,0 +1,141 @@
+package audit
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/policy"
+)
+
+// Store is the paper's single audit database: "logs are collected from
+// all applications in a single database with the structure given in
+// Def. 4" (Section 3.4). It keeps entries in arrival order per case and
+// maintains the indexes the investigation workflow needs (case, user,
+// object root). Safe for concurrent use.
+type Store struct {
+	mu      sync.RWMutex
+	all     []Entry
+	byCase  map[string][]int
+	byUser  map[string][]int
+	subject map[string][]int // index by data subject of the object
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{
+		byCase:  map[string][]int{},
+		byUser:  map[string][]int{},
+		subject: map[string][]int{},
+	}
+}
+
+// Append records an entry. Entries must arrive in non-decreasing time
+// order (the HIS writes them as actions happen).
+func (s *Store) Append(e Entry) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n := len(s.all); n > 0 && e.Time.Before(s.all[n-1].Time) {
+		return fmt.Errorf("audit: out-of-order entry at %s (store tail %s)",
+			e.Time.Format(PaperTimeLayout), s.all[n-1].Time.Format(PaperTimeLayout))
+	}
+	idx := len(s.all)
+	s.all = append(s.all, e)
+	s.byCase[e.Case] = append(s.byCase[e.Case], idx)
+	s.byUser[e.User] = append(s.byUser[e.User], idx)
+	if subj := e.Object.Subject; subj != "" {
+		s.subject[subj] = append(s.subject[subj], idx)
+	}
+	return nil
+}
+
+// AppendAll records a batch.
+func (s *Store) AppendAll(entries []Entry) error {
+	for _, e := range entries {
+		if err := s.Append(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Len returns the number of stored entries.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.all)
+}
+
+// Trail snapshots the full store as a Trail.
+func (s *Store) Trail() *Trail {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return &Trail{entries: append([]Entry(nil), s.all...)}
+}
+
+// Case returns the trail of one process instance.
+func (s *Store) Case(caseID string) *Trail {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	idxs := s.byCase[caseID]
+	out := make([]Entry, len(idxs))
+	for i, idx := range idxs {
+		out[i] = s.all[idx]
+	}
+	return &Trail{entries: out}
+}
+
+// Cases returns all case identifiers, sorted.
+func (s *Store) Cases() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.byCase))
+	for c := range s.byCase {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CasesTouching returns the cases in which the object (or any
+// sub-resource) was accessed — the per-object investigation entry point
+// of Section 4. It uses the subject index when the object names a
+// subject.
+func (s *Store) CasesTouching(o policy.Object) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	seen := map[string]bool{}
+	var out []string
+	scan := func(idxs []int) {
+		for _, idx := range idxs {
+			e := s.all[idx]
+			if o.Covers(e.Object) && !seen[e.Case] {
+				seen[e.Case] = true
+				out = append(out, e.Case)
+			}
+		}
+	}
+	if o.Subject != "" && o.Subject != policy.AnySubject && o.Subject != policy.ConsentSubject {
+		scan(s.subject[o.Subject])
+	} else {
+		idxs := make([]int, len(s.all))
+		for i := range s.all {
+			idxs[i] = i
+		}
+		scan(idxs)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// User returns the trail of one user.
+func (s *Store) User(user string) *Trail {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	idxs := s.byUser[user]
+	out := make([]Entry, len(idxs))
+	for i, idx := range idxs {
+		out[i] = s.all[idx]
+	}
+	return &Trail{entries: out}
+}

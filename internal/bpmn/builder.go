@@ -1,0 +1,191 @@
+package bpmn
+
+import (
+	"fmt"
+)
+
+// Builder constructs a Process incrementally. Methods record
+// declarations and defer all checking to Build, so construction code
+// reads like the diagram. The zero Builder is not usable; call
+// NewBuilder.
+type Builder struct {
+	name     string
+	pools    []string
+	poolSet  map[string]bool
+	elements []*Element
+	byID     map[string]*Element
+	flows    []Flow
+	orPairs  map[string]string
+	errs     []error
+}
+
+// NewBuilder starts a process definition with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		name:    name,
+		poolSet: map[string]bool{},
+		byID:    map[string]*Element{},
+		orPairs: map[string]string{},
+	}
+}
+
+func (b *Builder) fail(format string, args ...any) {
+	b.errs = append(b.errs, fmt.Errorf(format, args...))
+}
+
+// Pool declares a pool (role). Pools are implicit participants; they
+// must be declared before elements reference them.
+func (b *Builder) Pool(role string) *Builder {
+	if b.poolSet[role] {
+		b.fail("bpmn: duplicate pool %q", role)
+		return b
+	}
+	b.poolSet[role] = true
+	b.pools = append(b.pools, role)
+	return b
+}
+
+func (b *Builder) add(e *Element) *Builder {
+	if _, dup := b.byID[e.ID]; dup {
+		b.fail("bpmn: duplicate element id %q", e.ID)
+		return b
+	}
+	if !b.poolSet[e.Pool] {
+		b.fail("bpmn: element %q references undeclared pool %q", e.ID, e.Pool)
+		return b
+	}
+	b.byID[e.ID] = e
+	b.elements = append(b.elements, e)
+	return b
+}
+
+// Start declares a plain start event.
+func (b *Builder) Start(id, pool string) *Builder {
+	return b.add(&Element{ID: id, Kind: KindStart, Pool: pool})
+}
+
+// MessageStart declares a message start event.
+func (b *Builder) MessageStart(id, pool string) *Builder {
+	return b.add(&Element{ID: id, Kind: KindMessageStart, Pool: pool})
+}
+
+// End declares a plain end event.
+func (b *Builder) End(id, pool string) *Builder {
+	return b.add(&Element{ID: id, Kind: KindEnd, Pool: pool})
+}
+
+// MessageEnd declares a message end event.
+func (b *Builder) MessageEnd(id, pool string) *Builder {
+	return b.add(&Element{ID: id, Kind: KindMessageEnd, Pool: pool})
+}
+
+// Task declares a task; name is a human-readable description.
+func (b *Builder) Task(id, pool, name string) *Builder {
+	return b.add(&Element{ID: id, Kind: KindTask, Pool: pool, Name: name})
+}
+
+// FallibleTask declares a task with an error boundary event routed to
+// onError (an element of the same pool). Its failures appear as the
+// observable sys·Err label.
+func (b *Builder) FallibleTask(id, pool, name, onError string) *Builder {
+	return b.add(&Element{ID: id, Kind: KindTask, Pool: pool, Name: name, OnError: onError})
+}
+
+// XOR declares an exclusive gateway.
+func (b *Builder) XOR(id, pool string) *Builder {
+	return b.add(&Element{ID: id, Kind: KindGatewayXOR, Pool: pool})
+}
+
+// AND declares a parallel gateway.
+func (b *Builder) AND(id, pool string) *Builder {
+	return b.add(&Element{ID: id, Kind: KindGatewayAND, Pool: pool})
+}
+
+// OR declares an inclusive gateway.
+func (b *Builder) OR(id, pool string) *Builder {
+	return b.add(&Element{ID: id, Kind: KindGatewayOR, Pool: pool})
+}
+
+// PairOR pairs an inclusive split gateway with the inclusive join that
+// synchronizes its chosen branches.
+func (b *Builder) PairOR(split, join string) *Builder {
+	if _, dup := b.orPairs[split]; dup {
+		b.fail("bpmn: inclusive split %q paired twice", split)
+		return b
+	}
+	b.orPairs[split] = join
+	return b
+}
+
+// Seq declares a sequence flow from one element to the next, both in the
+// same pool. Variadic form chains several elements:
+// Seq("a","b","c") declares a→b and b→c.
+func (b *Builder) Seq(ids ...string) *Builder {
+	if len(ids) < 2 {
+		b.fail("bpmn: Seq needs at least two elements")
+		return b
+	}
+	for i := 0; i+1 < len(ids); i++ {
+		b.flows = append(b.flows, Flow{From: ids[i], To: ids[i+1], Kind: FlowSeq})
+	}
+	return b
+}
+
+// Msg declares a message flow across pools.
+func (b *Builder) Msg(from, to string) *Builder {
+	b.flows = append(b.flows, Flow{From: from, To: to, Kind: FlowMsg})
+	return b
+}
+
+// Build validates the accumulated declarations and returns the process.
+// All structural errors are collected and reported together.
+func (b *Builder) Build() (*Process, error) {
+	p := &Process{
+		Name:     b.name,
+		pools:    b.pools,
+		elements: b.elements,
+		byID:     b.byID,
+		flows:    b.flows,
+		orPairs:  b.orPairs,
+		in:       map[string][]Flow{},
+		out:      map[string][]Flow{},
+	}
+	for _, f := range b.flows {
+		p.out[f.From] = append(p.out[f.From], f)
+		p.in[f.To] = append(p.in[f.To], f)
+	}
+	for _, e := range b.elements {
+		if e.Kind == KindTask {
+			p.tasks = append(p.tasks, e.ID)
+		}
+	}
+	errs := b.errs
+	errs = append(errs, validate(p)...)
+	if len(errs) > 0 {
+		return nil, joinErrors(p.Name, errs)
+	}
+	return p, nil
+}
+
+// MustBuild is Build that panics on error, for fixtures and tests.
+func (b *Builder) MustBuild() *Process {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func joinErrors(name string, errs []error) error {
+	if len(errs) == 1 {
+		return fmt.Errorf("bpmn: process %q invalid: %w", name, errs[0])
+	}
+	msg := ""
+	for i, e := range errs {
+		if i > 0 {
+			msg += "; "
+		}
+		msg += e.Error()
+	}
+	return fmt.Errorf("bpmn: process %q invalid (%d problems): %s", name, len(errs), msg)
+}

@@ -1,0 +1,72 @@
+package bpmn
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the process diagram in Graphviz format, with one cluster
+// per pool (the BPMN pool/lane visual), BPMN-ish node shapes, and
+// dashed message flows — a quick way to eyeball an imported or
+// generated process.
+func (p *Process) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n  node [fontsize=10];\n", p.Name)
+
+	byPool := map[string][]*Element{}
+	for _, e := range p.elements {
+		byPool[e.Pool] = append(byPool[e.Pool], e)
+	}
+	for i, pool := range p.pools {
+		fmt.Fprintf(&b, "  subgraph cluster_%d {\n    label=%q;\n    style=rounded;\n", i, pool)
+		for _, e := range byPool[pool] {
+			fmt.Fprintf(&b, "    %s [%s];\n", nodeID(e.ID), nodeAttrs(e))
+		}
+		b.WriteString("  }\n")
+	}
+	for _, f := range p.flows {
+		attrs := ""
+		if f.Kind == FlowMsg {
+			attrs = " [style=dashed]"
+		}
+		fmt.Fprintf(&b, "  %s -> %s%s;\n", nodeID(f.From), nodeID(f.To), attrs)
+	}
+	// Error edges, dotted red.
+	for _, e := range p.elements {
+		if e.OnError != "" {
+			fmt.Fprintf(&b, "  %s -> %s [style=dotted color=red label=\"error\"];\n",
+				nodeID(e.ID), nodeID(e.OnError))
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func nodeID(id string) string { return "n_" + strings.ReplaceAll(id, "-", "_") }
+
+func nodeAttrs(e *Element) string {
+	label := e.ID
+	if e.Name != "" {
+		label = e.ID + "\\n" + e.Name
+	}
+	switch e.Kind {
+	case KindStart, KindMessageStart:
+		shape := "circle"
+		if e.Kind == KindMessageStart {
+			shape = "doublecircle"
+		}
+		return fmt.Sprintf("shape=%s label=%q width=0.3", shape, e.ID)
+	case KindEnd, KindMessageEnd:
+		return fmt.Sprintf("shape=circle style=bold label=%q width=0.3", e.ID)
+	case KindTask:
+		return fmt.Sprintf("shape=box style=rounded label=%q", label)
+	case KindGatewayXOR:
+		return fmt.Sprintf("shape=diamond label=%q", "X "+e.ID)
+	case KindGatewayAND:
+		return fmt.Sprintf("shape=diamond label=%q", "+ "+e.ID)
+	case KindGatewayOR:
+		return fmt.Sprintf("shape=diamond label=%q", "O "+e.ID)
+	default:
+		return fmt.Sprintf("label=%q", label)
+	}
+}

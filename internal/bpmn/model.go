@@ -1,0 +1,313 @@
+// Package bpmn models the fragment of the Business Process Modeling
+// Notation the paper uses to describe organizational processes
+// (Section 2, Section 3.3): pools, start/end events (plain and message),
+// tasks with optional error boundary events, exclusive/parallel/inclusive
+// gateways, sequence flows and message flows.
+//
+// A Process is a validated, immutable-after-Build value constructed with
+// a Builder. Validation enforces the structural rules the paper's
+// results rely on, in particular well-foundedness (Section 5): every
+// cycle must contain an observable activity (a task), otherwise the
+// encoded transition system is not finitely observable and Algorithm 1's
+// termination guarantee is void.
+package bpmn
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Kind enumerates BPMN element kinds in the supported fragment.
+type Kind int
+
+const (
+	// KindStart is a plain start event: it injects the case's initial
+	// token.
+	KindStart Kind = iota
+	// KindMessageStart is a start event triggered by a message flow
+	// from another pool.
+	KindMessageStart
+	// KindEnd is a plain end event: it consumes a token.
+	KindEnd
+	// KindMessageEnd is an end event that sends a message to another
+	// pool's message start event or inclusive join.
+	KindMessageEnd
+	// KindTask is an activity performed by the pool's role. Task
+	// executions are the observable labels r·q of the paper.
+	KindTask
+	// KindGatewayXOR is an exclusive decision gateway: exactly one
+	// outgoing branch is taken. With multiple incoming flows it also
+	// acts as an exclusive merge.
+	KindGatewayXOR
+	// KindGatewayAND is a parallel gateway: as a split it activates
+	// all branches, as a join it waits for all incoming tokens.
+	KindGatewayAND
+	// KindGatewayOR is an inclusive decision gateway: as a split it
+	// activates any non-empty subset of branches; as a join it must be
+	// paired with its split so it knows which subset to await.
+	KindGatewayOR
+)
+
+// String returns the BPMN name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindStart:
+		return "startEvent"
+	case KindMessageStart:
+		return "messageStartEvent"
+	case KindEnd:
+		return "endEvent"
+	case KindMessageEnd:
+		return "messageEndEvent"
+	case KindTask:
+		return "task"
+	case KindGatewayXOR:
+		return "exclusiveGateway"
+	case KindGatewayAND:
+		return "parallelGateway"
+	case KindGatewayOR:
+		return "inclusiveGateway"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// IsGateway reports whether the kind is one of the gateway kinds.
+func (k Kind) IsGateway() bool {
+	return k == KindGatewayXOR || k == KindGatewayAND || k == KindGatewayOR
+}
+
+// IsStart reports whether the kind starts a pool's flow.
+func (k Kind) IsStart() bool { return k == KindStart || k == KindMessageStart }
+
+// IsEnd reports whether the kind terminates a flow.
+func (k Kind) IsEnd() bool { return k == KindEnd || k == KindMessageEnd }
+
+// Element is one node of the process diagram.
+type Element struct {
+	// ID is the element's identifier, unique within the process and
+	// usable as a COWS operation name (e.g. "T01", "G1", "S1").
+	ID string
+	// Kind is the element kind.
+	Kind Kind
+	// Pool is the pool (role) the element belongs to. Every BPMN pool
+	// corresponds to a role of the data protection policy
+	// (Section 3.1).
+	Pool string
+	// Name is an optional human-readable description.
+	Name string
+	// OnError, for tasks only, is the element that handles the task's
+	// error boundary event. A task with OnError set may fail; the
+	// failure is the observable sys·Err label. Empty means the task
+	// cannot fail (a failure entry in a trail is then an
+	// infringement).
+	OnError string
+}
+
+// FlowKind distinguishes sequence flows (within a pool) from message
+// flows (across pools).
+type FlowKind int
+
+const (
+	// FlowSeq is a sequence flow.
+	FlowSeq FlowKind = iota
+	// FlowMsg is a message flow.
+	FlowMsg
+)
+
+// String returns "sequence" or "message".
+func (k FlowKind) String() string {
+	if k == FlowMsg {
+		return "message"
+	}
+	return "sequence"
+}
+
+// Flow is a directed edge of the process diagram.
+type Flow struct {
+	From string
+	To   string
+	Kind FlowKind
+}
+
+// Process is a validated organizational process: the operational
+// definition of a purpose (Section 3.1). Build one with a Builder; the
+// zero value is not usable.
+type Process struct {
+	// Name identifies the process; data protection policies refer to
+	// purposes by this name.
+	Name string
+	// pools in declaration order.
+	pools []string
+	// elements in declaration order.
+	elements []*Element
+	byID     map[string]*Element
+	flows    []Flow
+	// orPairs maps each inclusive split gateway to its paired join
+	// (empty if the split has no join).
+	orPairs map[string]string
+
+	// orRoutes, filled by validation, maps each paired inclusive split
+	// to the routing of its branches onto its join's incoming flows.
+	orRoutes map[string]orRoute
+
+	in    map[string][]Flow // incoming flows by element
+	out   map[string][]Flow // outgoing flows by element
+	tasks []string          // task IDs in declaration order
+}
+
+// ORBranchJoinFlow returns, for a paired inclusive split and one of its
+// branch targets, the incoming flow of the paired join on which that
+// branch's token arrives (established during validation).
+func (p *Process) ORBranchJoinFlow(split, branchTarget string) (Flow, bool) {
+	r, ok := p.orRoutes[split]
+	if !ok {
+		return Flow{}, false
+	}
+	f, ok := r.branchToJoinFlow[branchTarget]
+	return f, ok
+}
+
+// Name-accessors below are read-only views; Process is immutable after
+// Build.
+
+// Pools returns the pool (role) names in declaration order.
+func (p *Process) Pools() []string { return p.pools }
+
+// Elements returns the elements in declaration order.
+func (p *Process) Elements() []*Element { return p.elements }
+
+// Element returns the element with the given ID, or nil.
+func (p *Process) Element(id string) *Element { return p.byID[id] }
+
+// Flows returns all flows.
+func (p *Process) Flows() []Flow { return p.flows }
+
+// Incoming returns the flows into the element.
+func (p *Process) Incoming(id string) []Flow { return p.in[id] }
+
+// Outgoing returns the flows out of the element.
+func (p *Process) Outgoing(id string) []Flow { return p.out[id] }
+
+// Tasks returns the task IDs in declaration order.
+func (p *Process) Tasks() []string { return p.tasks }
+
+// HasTask reports whether id names a task of the process.
+func (p *Process) HasTask(id string) bool {
+	e := p.byID[id]
+	return e != nil && e.Kind == KindTask
+}
+
+// TaskRole returns the pool (role) of the given task, or "" if the id is
+// not a task.
+func (p *Process) TaskRole(id string) string {
+	e := p.byID[id]
+	if e == nil || e.Kind != KindTask {
+		return ""
+	}
+	return e.Pool
+}
+
+// ORJoin returns the paired inclusive join of the given inclusive split,
+// or "" when the split is unpaired.
+func (p *Process) ORJoin(split string) string { return p.orPairs[split] }
+
+// ORPairs returns a copy of the split→join pairing map.
+func (p *Process) ORPairs() map[string]string {
+	out := make(map[string]string, len(p.orPairs))
+	for k, v := range p.orPairs {
+		out[k] = v
+	}
+	return out
+}
+
+// IsANDJoin reports whether id names a parallel gateway acting as a
+// join (more than one incoming sequence flow). Joins receive each
+// incoming token on a per-flow endpoint.
+func (p *Process) IsANDJoin(id string) bool {
+	e := p.byID[id]
+	if e == nil || e.Kind != KindGatewayAND {
+		return false
+	}
+	seq, _ := countKinds(p.in[id])
+	return seq > 1
+}
+
+// IsORJoin reports whether id names an inclusive gateway acting as a
+// join.
+func (p *Process) IsORJoin(id string) bool {
+	e := p.byID[id]
+	if e == nil {
+		return false
+	}
+	return isORJoin(p, e)
+}
+
+// StartEvents returns the plain (non-message) start events; these inject
+// the case's initial tokens.
+func (p *Process) StartEvents() []*Element {
+	var out []*Element
+	for _, e := range p.elements {
+		if e.Kind == KindStart {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Stats summarizes the process size for reports and benchmarks.
+type Stats struct {
+	Pools     int
+	Elements  int
+	Tasks     int
+	Gateways  int
+	Events    int
+	SeqFlows  int
+	MsgFlows  int
+	ErrorEdge int
+}
+
+// Stats computes size statistics.
+func (p *Process) Stats() Stats {
+	var s Stats
+	s.Pools = len(p.pools)
+	s.Elements = len(p.elements)
+	for _, e := range p.elements {
+		switch {
+		case e.Kind == KindTask:
+			s.Tasks++
+			if e.OnError != "" {
+				s.ErrorEdge++
+			}
+		case e.Kind.IsGateway():
+			s.Gateways++
+		default:
+			s.Events++
+		}
+	}
+	for _, f := range p.flows {
+		if f.Kind == FlowSeq {
+			s.SeqFlows++
+		} else {
+			s.MsgFlows++
+		}
+	}
+	return s
+}
+
+// RolesOfTasks returns the sorted set of roles that perform at least one
+// task — the participants whose cooperation the process requires. The
+// mimicry-attack discussion of Section 4 rests on this: a single user
+// cannot simulate a process whose tasks span several roles.
+func (p *Process) RolesOfTasks() []string {
+	set := map[string]bool{}
+	for _, id := range p.tasks {
+		set[p.byID[id].Pool] = true
+	}
+	out := make([]string, 0, len(set))
+	for r := range set {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,397 @@
+package bpmn
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/cows"
+)
+
+// ErrNotWellFounded reports a cycle containing no task: the encoded
+// transition system would admit an infinite silent run, violating the
+// finitely-observable condition (Definition 8) that Algorithm 1's
+// termination rests on. As the paper notes (Section 5), such processes
+// are detectable directly on the diagram — which is exactly what this
+// check does.
+var ErrNotWellFounded = errors.New("bpmn: process is not well-founded (cycle without any task)")
+
+// MaxORBranches caps inclusive-split fan-out: an inclusive gateway with
+// k branches encodes 2^k−1 subset alternatives.
+const MaxORBranches = 8
+
+// reserved identifiers that would collide with the encoding's internal
+// machinery.
+var reservedIDs = map[string]bool{"Err": true, "sys": true, "plan": true, "u": true, "kill": true}
+
+func validate(p *Process) []error {
+	var errs []error
+	bad := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf(format, args...))
+	}
+
+	if p.Name == "" {
+		bad("bpmn: empty process name")
+	}
+	if len(p.pools) == 0 {
+		bad("bpmn: process has no pools")
+	}
+	for _, pool := range p.pools {
+		if err := cows.ParseFragmentName(pool); err != nil {
+			bad("bpmn: invalid pool name %q: %v", pool, err)
+		}
+		if reservedIDs[pool] {
+			bad("bpmn: pool name %q is reserved", pool)
+		}
+	}
+
+	starts := 0
+	for _, e := range p.elements {
+		if err := cows.ParseFragmentName(e.ID); err != nil {
+			bad("bpmn: invalid element id %q: %v", e.ID, err)
+			continue
+		}
+		if reservedIDs[e.ID] {
+			bad("bpmn: element id %q is reserved", e.ID)
+		}
+		if e.Kind == KindStart {
+			starts++
+		}
+		if e.OnError != "" {
+			if e.Kind != KindTask {
+				bad("bpmn: element %q: only tasks may have error boundary events", e.ID)
+			} else if h := p.byID[e.OnError]; h == nil {
+				bad("bpmn: task %q: error handler %q does not exist", e.ID, e.OnError)
+			} else if h.Pool != e.Pool {
+				bad("bpmn: task %q: error handler %q is in pool %q, want %q", e.ID, e.OnError, h.Pool, e.Pool)
+			}
+		}
+	}
+	if starts == 0 {
+		bad("bpmn: process has no plain start event")
+	}
+
+	// Flow endpoint and pool discipline.
+	for _, f := range p.flows {
+		from, to := p.byID[f.From], p.byID[f.To]
+		if from == nil || to == nil {
+			bad("bpmn: flow %s→%s references missing element", f.From, f.To)
+			continue
+		}
+		switch f.Kind {
+		case FlowSeq:
+			if from.Pool != to.Pool {
+				bad("bpmn: sequence flow %s→%s crosses pools %q→%q", f.From, f.To, from.Pool, to.Pool)
+			}
+		case FlowMsg:
+			if from.Pool == to.Pool {
+				bad("bpmn: message flow %s→%s stays within pool %q", f.From, f.To, from.Pool)
+			}
+			if from.Kind != KindMessageEnd {
+				bad("bpmn: message flow %s→%s must originate at a message end event, found %s", f.From, f.To, from.Kind)
+			}
+			if to.Kind != KindMessageStart && !isORJoin(p, to) {
+				bad("bpmn: message flow %s→%s must target a message start event or inclusive join, found %s", f.From, f.To, to.Kind)
+			}
+		}
+	}
+
+	// Error-handler targets may be fed exclusively by their error edge.
+	errTarget := map[string]bool{}
+	for _, e := range p.elements {
+		if e.OnError != "" {
+			errTarget[e.OnError] = true
+		}
+	}
+
+	// Degree rules.
+	for _, e := range p.elements {
+		inSeq, inMsg := countKinds(p.in[e.ID])
+		outSeq, outMsg := countKinds(p.out[e.ID])
+		switch e.Kind {
+		case KindStart:
+			if inSeq+inMsg != 0 {
+				bad("bpmn: start event %q has incoming flows", e.ID)
+			}
+			if outSeq != 1 || outMsg != 0 {
+				bad("bpmn: start event %q must have exactly one outgoing sequence flow", e.ID)
+			}
+		case KindMessageStart:
+			if inMsg == 0 {
+				bad("bpmn: message start event %q has no incoming message flow", e.ID)
+			}
+			if inSeq != 0 {
+				bad("bpmn: message start event %q has incoming sequence flows", e.ID)
+			}
+			if outSeq != 1 || outMsg != 0 {
+				bad("bpmn: message start event %q must have exactly one outgoing sequence flow", e.ID)
+			}
+		case KindEnd:
+			if inSeq == 0 {
+				bad("bpmn: end event %q has no incoming sequence flow", e.ID)
+			}
+			if outSeq+outMsg != 0 {
+				bad("bpmn: end event %q has outgoing flows", e.ID)
+			}
+		case KindMessageEnd:
+			if inSeq == 0 {
+				bad("bpmn: message end event %q has no incoming sequence flow", e.ID)
+			}
+			if outMsg != 1 || outSeq != 0 {
+				bad("bpmn: message end event %q must have exactly one outgoing message flow", e.ID)
+			}
+		case KindTask:
+			if inSeq == 0 && !errTarget[e.ID] {
+				bad("bpmn: task %q has no incoming sequence flow", e.ID)
+			}
+			if outSeq != 1 || outMsg != 0 {
+				bad("bpmn: task %q must have exactly one outgoing sequence flow", e.ID)
+			}
+		case KindGatewayXOR, KindGatewayAND:
+			if inSeq == 0 || outSeq == 0 {
+				bad("bpmn: gateway %q must have incoming and outgoing sequence flows", e.ID)
+			}
+			if inSeq > 1 && outSeq > 1 {
+				bad("bpmn: gateway %q mixes split and join (in=%d out=%d); use two gateways", e.ID, inSeq, outSeq)
+			}
+		case KindGatewayOR:
+			if isORJoin(p, e) {
+				if outSeq != 1 {
+					bad("bpmn: inclusive join %q must have exactly one outgoing sequence flow", e.ID)
+				}
+				if inSeq+inMsg < 2 {
+					bad("bpmn: inclusive join %q needs at least two incoming flows", e.ID)
+				}
+			} else {
+				if outSeq < 2 {
+					bad("bpmn: inclusive split %q needs at least two outgoing branches", e.ID)
+				}
+				if outSeq > MaxORBranches {
+					bad("bpmn: inclusive split %q has %d branches; max %d (2^k−1 subset encoding)", e.ID, outSeq, MaxORBranches)
+				}
+			}
+		}
+	}
+
+	// OR pairing discipline.
+	joinPaired := map[string]string{}
+	for split, join := range p.orPairs {
+		se, je := p.byID[split], p.byID[join]
+		if se == nil || se.Kind != KindGatewayOR {
+			bad("bpmn: OR pairing: split %q is not an inclusive gateway", split)
+			continue
+		}
+		if je == nil || je.Kind != KindGatewayOR {
+			bad("bpmn: OR pairing: join %q is not an inclusive gateway", join)
+			continue
+		}
+		if prev, dup := joinPaired[join]; dup {
+			bad("bpmn: inclusive join %q paired with both %q and %q", join, prev, split)
+		}
+		joinPaired[join] = split
+	}
+	for _, e := range p.elements {
+		if e.Kind == KindGatewayOR && isORJoin(p, e) {
+			if _, ok := joinPaired[e.ID]; !ok {
+				bad("bpmn: inclusive join %q is not paired with any split (use PairOR)", e.ID)
+			}
+		}
+	}
+
+	// Error handlers must not be join gateways: a join's per-flow input
+	// endpoints are reserved for its declared incoming flows.
+	for _, e := range p.elements {
+		if e.OnError == "" {
+			continue
+		}
+		if h := p.byID[e.OnError]; h != nil && (p.IsANDJoin(h.ID) || isORJoin(p, h)) {
+			bad("bpmn: task %q: error handler %q may not be a join gateway", e.ID, e.OnError)
+		}
+	}
+
+	if len(errs) == 0 {
+		errs = append(errs, routeORPairs(p)...)
+	}
+	if len(errs) == 0 {
+		if err := checkWellFounded(p); err != nil {
+			errs = append(errs, err)
+		}
+		errs = append(errs, checkReachable(p)...)
+	}
+	return errs
+}
+
+func countKinds(fs []Flow) (seq, msg int) {
+	for _, f := range fs {
+		if f.Kind == FlowSeq {
+			seq++
+		} else {
+			msg++
+		}
+	}
+	return
+}
+
+// isORJoin reports whether an inclusive gateway acts as a join (single
+// outgoing sequence flow, several incoming flows of any kind).
+func isORJoin(p *Process, e *Element) bool {
+	if e.Kind != KindGatewayOR {
+		return false
+	}
+	outSeq, _ := countKinds(p.out[e.ID])
+	return outSeq <= 1 && len(p.in[e.ID]) >= 2
+}
+
+// orRouting traces, for each branch of a paired inclusive split, the
+// unique incoming flow of the join that the branch's tokens arrive on.
+// The encoder uses the result to synthesize per-subset join behaviors.
+type orRoute struct {
+	// branchToJoinFlow maps the split's branch target element to the
+	// join's incoming flow carrying that branch's token.
+	branchToJoinFlow map[string]Flow
+}
+
+func routeORPairs(p *Process) []error {
+	var errs []error
+	p.orRoutes = map[string]orRoute{}
+	for split, join := range p.orPairs {
+		route := orRoute{branchToJoinFlow: map[string]Flow{}}
+		used := map[string]bool{} // join incoming flow "from" already claimed
+		for _, bf := range p.out[split] {
+			flows := joinFlowsReachableFrom(p, bf.To, join)
+			if len(flows) != 1 {
+				errs = append(errs, fmt.Errorf(
+					"bpmn: inclusive split %q branch %q reaches %d incoming flows of join %q, want exactly 1",
+					split, bf.To, len(flows), join))
+				continue
+			}
+			f := flows[0]
+			if used[f.From] {
+				errs = append(errs, fmt.Errorf(
+					"bpmn: two branches of inclusive split %q share join input %s→%s", split, f.From, f.To))
+				continue
+			}
+			used[f.From] = true
+			route.branchToJoinFlow[bf.To] = f
+		}
+		p.orRoutes[split] = route
+	}
+	return errs
+}
+
+// joinFlowsReachableFrom follows flows (and error edges) forward from
+// start, not expanding past the join, and collects which of the join's
+// incoming flows are reached.
+func joinFlowsReachableFrom(p *Process, start, join string) []Flow {
+	seen := map[string]bool{}
+	found := map[string]Flow{}
+	var dfs func(id string)
+	dfs = func(id string) {
+		if seen[id] {
+			return
+		}
+		seen[id] = true
+		for _, f := range p.out[id] {
+			if f.To == join {
+				found[f.From+"→"+f.To] = f
+				continue
+			}
+			dfs(f.To)
+		}
+		if e := p.byID[id]; e != nil && e.OnError != "" {
+			dfs(e.OnError)
+		}
+	}
+	dfs(start)
+	keys := make([]string, 0, len(found))
+	for k := range found {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Flow, 0, len(found))
+	for _, k := range keys {
+		out = append(out, found[k])
+	}
+	return out
+}
+
+// checkWellFounded verifies the Section 5 condition: every cycle of the
+// diagram (over sequence flows, message flows and error edges) contains
+// at least one task. Equivalently: the subgraph induced by non-task
+// elements is acyclic.
+func checkWellFounded(p *Process) error {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	var cyclePath []string
+
+	var dfs func(id string) bool // returns true when a cycle is found
+	dfs = func(id string) bool {
+		color[id] = gray
+		for _, f := range p.out[id] {
+			next := p.byID[f.To]
+			if next == nil || next.Kind == KindTask {
+				continue // tasks break silent cycles
+			}
+			switch color[f.To] {
+			case gray:
+				cyclePath = append(cyclePath, id, f.To)
+				return true
+			case white:
+				if dfs(f.To) {
+					cyclePath = append(cyclePath, id)
+					return true
+				}
+			}
+		}
+		color[id] = black
+		return false
+	}
+
+	for _, e := range p.elements {
+		if e.Kind == KindTask {
+			continue
+		}
+		if color[e.ID] == white {
+			if dfs(e.ID) {
+				return fmt.Errorf("%w: through %v", ErrNotWellFounded, cyclePath)
+			}
+		}
+	}
+	return nil
+}
+
+// checkReachable verifies every element is reachable from some plain
+// start event via flows and error edges, catching disconnected fragments
+// and typos.
+func checkReachable(p *Process) []error {
+	seen := map[string]bool{}
+	var dfs func(id string)
+	dfs = func(id string) {
+		if seen[id] {
+			return
+		}
+		seen[id] = true
+		for _, f := range p.out[id] {
+			dfs(f.To)
+		}
+		if e := p.byID[id]; e != nil && e.OnError != "" {
+			dfs(e.OnError)
+		}
+	}
+	for _, e := range p.elements {
+		if e.Kind == KindStart {
+			dfs(e.ID)
+		}
+	}
+	var errs []error
+	for _, e := range p.elements {
+		if !seen[e.ID] {
+			errs = append(errs, fmt.Errorf("bpmn: element %q unreachable from any start event", e.ID))
+		}
+	}
+	return errs
+}

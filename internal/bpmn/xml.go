@@ -1,0 +1,276 @@
+package bpmn
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// DecodeXML reads a process from the OMG BPMN 2.0 XML interchange
+// format — the format the common modeling tools (Camunda Modeler,
+// Signavio, bpmn.io) export — and maps it onto the supported fragment:
+//
+//   - one <process> per participant/pool (a <collaboration> names the
+//     pools; without one, the process id is the pool name);
+//   - <startEvent> (with <messageEventDefinition> → message start),
+//     <endEvent> (ditto → message end), <task>/<userTask>/
+//     <serviceTask>/<manualTask>/<scriptTask>/<sendTask>/<receiveTask>,
+//     <exclusiveGateway>, <parallelGateway>, <inclusiveGateway>;
+//   - <sequenceFlow> within a process, <messageFlow> across pools;
+//   - <boundaryEvent> with <errorEventDefinition> attached to a task,
+//     whose outgoing flow becomes the task's error edge;
+//   - inclusive split/join pairing is inferred: a lone split/join pair
+//     in one pool pairs up automatically; otherwise annotate the join
+//     with `purposecontrol:pairs="splitId"` (any namespace prefix).
+//
+// Element names use the XML id attribute (BPMN names are free text and
+// rarely identifier-safe); the name attribute is kept as the
+// human-readable label.
+func DecodeXML(r io.Reader) (*Process, error) {
+	var doc xmlDefinitions
+	dec := xml.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("bpmn: decoding BPMN XML: %w", err)
+	}
+	return doc.toProcess()
+}
+
+// The XML schema fragment we read. Field tags use local names only, so
+// any namespace prefixing (bpmn:, bpmn2:, none) is accepted.
+type xmlDefinitions struct {
+	XMLName       xml.Name           `xml:"definitions"`
+	Collaboration *xmlCollaboration  `xml:"collaboration"`
+	Processes     []xmlProcess       `xml:"process"`
+}
+
+type xmlCollaboration struct {
+	ID           string            `xml:"id,attr"`
+	Participants []xmlParticipant  `xml:"participant"`
+	MessageFlows []xmlMessageFlow  `xml:"messageFlow"`
+}
+
+type xmlParticipant struct {
+	ID      string `xml:"id,attr"`
+	Name    string `xml:"name,attr"`
+	Process string `xml:"processRef,attr"`
+}
+
+type xmlMessageFlow struct {
+	Source string `xml:"sourceRef,attr"`
+	Target string `xml:"targetRef,attr"`
+}
+
+type xmlProcess struct {
+	ID             string         `xml:"id,attr"`
+	Name           string         `xml:"name,attr"`
+	StartEvents    []xmlEvent     `xml:"startEvent"`
+	EndEvents      []xmlEvent     `xml:"endEvent"`
+	Tasks          []xmlTask      `xml:"task"`
+	UserTasks      []xmlTask      `xml:"userTask"`
+	ServiceTasks   []xmlTask      `xml:"serviceTask"`
+	ManualTasks    []xmlTask      `xml:"manualTask"`
+	ScriptTasks    []xmlTask      `xml:"scriptTask"`
+	SendTasks      []xmlTask      `xml:"sendTask"`
+	ReceiveTasks   []xmlTask      `xml:"receiveTask"`
+	ExclusiveGWs   []xmlGateway   `xml:"exclusiveGateway"`
+	ParallelGWs    []xmlGateway   `xml:"parallelGateway"`
+	InclusiveGWs   []xmlGateway   `xml:"inclusiveGateway"`
+	SequenceFlows  []xmlSeqFlow   `xml:"sequenceFlow"`
+	BoundaryEvents []xmlBoundary  `xml:"boundaryEvent"`
+}
+
+type xmlEvent struct {
+	ID      string    `xml:"id,attr"`
+	Name    string    `xml:"name,attr"`
+	Message *struct{} `xml:"messageEventDefinition"`
+}
+
+type xmlTask struct {
+	ID   string `xml:"id,attr"`
+	Name string `xml:"name,attr"`
+}
+
+type xmlGateway struct {
+	ID    string `xml:"id,attr"`
+	Name  string `xml:"name,attr"`
+	Pairs string `xml:"pairs,attr"` // purposecontrol:pairs on inclusive joins
+}
+
+type xmlSeqFlow struct {
+	ID     string `xml:"id,attr"`
+	Source string `xml:"sourceRef,attr"`
+	Target string `xml:"targetRef,attr"`
+}
+
+type xmlBoundary struct {
+	ID         string    `xml:"id,attr"`
+	AttachedTo string    `xml:"attachedToRef,attr"`
+	Error      *struct{} `xml:"errorEventDefinition"`
+}
+
+func (d *xmlDefinitions) toProcess() (*Process, error) {
+	if len(d.Processes) == 0 {
+		return nil, fmt.Errorf("bpmn: XML contains no <process>")
+	}
+	name := d.Processes[0].Name
+	if d.Collaboration != nil && d.Collaboration.ID != "" {
+		name = d.Collaboration.ID
+	}
+	if name == "" {
+		name = d.Processes[0].ID
+	}
+	b := NewBuilder(name)
+
+	// Pool names: participant name (sanitized) or process id.
+	poolOf := map[string]string{} // process id -> pool
+	if d.Collaboration != nil {
+		for _, part := range d.Collaboration.Participants {
+			pool := sanitizeIdent(part.Name)
+			if pool == "" {
+				pool = sanitizeIdent(part.Process)
+			}
+			poolOf[part.Process] = pool
+		}
+	}
+	for _, p := range d.Processes {
+		if poolOf[p.ID] == "" {
+			poolOf[p.ID] = sanitizeIdent(p.ID)
+		}
+	}
+	for _, p := range d.Processes {
+		b.Pool(poolOf[p.ID])
+	}
+
+	// elemPool records each element's pool for message-flow targets;
+	// boundary events map their id to the attached task.
+	boundaryTask := map[string]string{}
+	boundaryErrTarget := map[string]string{} // task -> handler (filled from flows)
+
+	for _, p := range d.Processes {
+		pool := poolOf[p.ID]
+		for _, e := range p.StartEvents {
+			if e.Message != nil {
+				b.MessageStart(sanitizeIdent(e.ID), pool)
+			} else {
+				b.Start(sanitizeIdent(e.ID), pool)
+			}
+		}
+		for _, e := range p.EndEvents {
+			if e.Message != nil {
+				b.MessageEnd(sanitizeIdent(e.ID), pool)
+			} else {
+				b.End(sanitizeIdent(e.ID), pool)
+			}
+		}
+		for _, ts := range [][]xmlTask{p.Tasks, p.UserTasks, p.ServiceTasks, p.ManualTasks, p.ScriptTasks, p.SendTasks, p.ReceiveTasks} {
+			for _, t := range ts {
+				// Tasks are added plain; error boundaries are
+				// attached in a second pass (they need the flow
+				// targets).
+				b.Task(sanitizeIdent(t.ID), pool, t.Name)
+			}
+		}
+		for _, g := range p.ExclusiveGWs {
+			b.XOR(sanitizeIdent(g.ID), pool)
+		}
+		for _, g := range p.ParallelGWs {
+			b.AND(sanitizeIdent(g.ID), pool)
+		}
+		for _, g := range p.InclusiveGWs {
+			b.OR(sanitizeIdent(g.ID), pool)
+			if g.Pairs != "" {
+				b.PairOR(sanitizeIdent(g.Pairs), sanitizeIdent(g.ID))
+			}
+		}
+		for _, be := range p.BoundaryEvents {
+			if be.Error != nil {
+				boundaryTask[be.ID] = sanitizeIdent(be.AttachedTo)
+			}
+		}
+		for _, f := range p.SequenceFlows {
+			if task, isBoundary := boundaryTask[f.Source]; isBoundary {
+				boundaryErrTarget[task] = sanitizeIdent(f.Target)
+				continue
+			}
+			b.Seq(sanitizeIdent(f.Source), sanitizeIdent(f.Target))
+		}
+	}
+	if d.Collaboration != nil {
+		for _, mf := range d.Collaboration.MessageFlows {
+			b.Msg(sanitizeIdent(mf.Source), sanitizeIdent(mf.Target))
+		}
+	}
+
+	// Attach error boundaries.
+	for task, handler := range boundaryErrTarget {
+		el := b.byID[task]
+		if el == nil || el.Kind != KindTask {
+			return nil, fmt.Errorf("bpmn: boundary error event attached to non-task %q", task)
+		}
+		el.OnError = handler
+	}
+
+	// Auto-pair a single unpaired inclusive split with a single
+	// unpaired inclusive join of the same pool.
+	autoPairInclusive(b)
+
+	return b.Build()
+}
+
+// autoPairInclusive pairs lone inclusive split/join pairs per pool when
+// the XML carried no explicit pairing annotation.
+func autoPairInclusive(b *Builder) {
+	out := map[string]int{}
+	in := map[string]int{}
+	for _, f := range b.flows {
+		if f.Kind == FlowSeq {
+			out[f.From]++
+		}
+		in[f.To]++
+	}
+	paired := map[string]bool{}
+	for s, j := range b.orPairs {
+		paired[s] = true
+		paired[j] = true
+	}
+	byPool := map[string][2][]string{} // pool -> [splits, joins]
+	for _, e := range b.elements {
+		if e.Kind != KindGatewayOR || paired[e.ID] {
+			continue
+		}
+		entry := byPool[e.Pool]
+		if out[e.ID] >= 2 {
+			entry[0] = append(entry[0], e.ID)
+		} else if in[e.ID] >= 2 {
+			entry[1] = append(entry[1], e.ID)
+		}
+		byPool[e.Pool] = entry
+	}
+	for _, entry := range byPool {
+		if len(entry[0]) == 1 && len(entry[1]) == 1 {
+			b.PairOR(entry[0][0], entry[1][0])
+		}
+	}
+}
+
+// sanitizeIdent maps arbitrary XML ids/names to identifier-safe names:
+// word characters are kept, runs of anything else become a single '_'.
+func sanitizeIdent(s string) string {
+	var out strings.Builder
+	lastUnderscore := false
+	for _, r := range s {
+		ok := r == '-' || r == '_' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')
+		if ok {
+			out.WriteRune(r)
+			lastUnderscore = false
+			continue
+		}
+		if !lastUnderscore && out.Len() > 0 {
+			out.WriteByte('_')
+			lastUnderscore = true
+		}
+	}
+	return strings.TrimSuffix(out.String(), "_")
+}

@@ -1,0 +1,244 @@
+package bpmn
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cows"
+)
+
+// referralXML is a two-pool collaboration in vendor-style BPMN 2.0 XML
+// (namespaced elements, boundary error event, message flows).
+const referralXML = `<?xml version="1.0" encoding="UTF-8"?>
+<bpmn:definitions xmlns:bpmn="http://www.omg.org/spec/BPMN/20100524/MODEL"
+                  xmlns:pc="http://example.org/purposecontrol"
+                  id="defs1" targetNamespace="http://example.org">
+  <bpmn:collaboration id="Referral">
+    <bpmn:participant id="pGP" name="GP" processRef="procGP"/>
+    <bpmn:participant id="pSpec" name="Specialist!" processRef="procSpec"/>
+    <bpmn:messageFlow id="mf1" sourceRef="E_refer" targetRef="S_spec"/>
+    <bpmn:messageFlow id="mf2" sourceRef="E_report" targetRef="S_back"/>
+  </bpmn:collaboration>
+  <bpmn:process id="procGP" name="GP side">
+    <bpmn:startEvent id="S_visit" name="patient arrives"/>
+    <bpmn:startEvent id="S_back" name="report received">
+      <bpmn:messageEventDefinition/>
+    </bpmn:startEvent>
+    <bpmn:userTask id="T_intake" name="intake &amp; anamnesis"/>
+    <bpmn:task id="T_plan" name="write care plan"/>
+    <bpmn:exclusiveGateway id="G_route"/>
+    <bpmn:sendTask id="T_refer" name="refer to specialist"/>
+    <bpmn:endEvent id="E_done"/>
+    <bpmn:endEvent id="E_refer">
+      <bpmn:messageEventDefinition/>
+    </bpmn:endEvent>
+    <bpmn:boundaryEvent id="B_err" attachedToRef="T_plan">
+      <bpmn:errorEventDefinition/>
+    </bpmn:boundaryEvent>
+    <bpmn:sequenceFlow id="f1" sourceRef="S_visit" targetRef="T_intake"/>
+    <bpmn:sequenceFlow id="f1b" sourceRef="S_back" targetRef="T_intake"/>
+    <bpmn:sequenceFlow id="f2" sourceRef="T_intake" targetRef="G_route"/>
+    <bpmn:sequenceFlow id="f3" sourceRef="G_route" targetRef="T_plan"/>
+    <bpmn:sequenceFlow id="f4" sourceRef="G_route" targetRef="T_refer"/>
+    <bpmn:sequenceFlow id="f5" sourceRef="T_plan" targetRef="E_done"/>
+    <bpmn:sequenceFlow id="f6" sourceRef="T_refer" targetRef="E_refer"/>
+    <bpmn:sequenceFlow id="fErr" sourceRef="B_err" targetRef="T_intake"/>
+  </bpmn:process>
+  <bpmn:process id="procSpec" name="Specialist side">
+    <bpmn:startEvent id="S_spec">
+      <bpmn:messageEventDefinition/>
+    </bpmn:startEvent>
+    <bpmn:serviceTask id="T_exam" name="examine"/>
+    <bpmn:endEvent id="E_report">
+      <bpmn:messageEventDefinition/>
+    </bpmn:endEvent>
+    <bpmn:sequenceFlow id="f7" sourceRef="S_spec" targetRef="T_exam"/>
+    <bpmn:sequenceFlow id="f8" sourceRef="T_exam" targetRef="E_report"/>
+  </bpmn:process>
+</bpmn:definitions>`
+
+func TestDecodeXMLCollaboration(t *testing.T) {
+	p, err := DecodeXML(strings.NewReader(referralXML))
+	if err != nil {
+		t.Fatalf("DecodeXML: %v", err)
+	}
+	if p.Name != "Referral" {
+		t.Errorf("name = %q", p.Name)
+	}
+	st := p.Stats()
+	if st.Pools != 2 {
+		t.Errorf("pools = %d", st.Pools)
+	}
+	if st.Tasks != 4 {
+		t.Errorf("tasks = %d, want 4", st.Tasks)
+	}
+	if st.MsgFlows != 2 {
+		t.Errorf("message flows = %d", st.MsgFlows)
+	}
+	if st.ErrorEdge != 1 {
+		t.Errorf("error edges = %d", st.ErrorEdge)
+	}
+	// Pool name sanitization: "Specialist!" → "Specialist".
+	pools := p.Pools()
+	found := false
+	for _, pool := range pools {
+		if pool == "Specialist" {
+			found = true
+		}
+		if strings.ContainsAny(pool, "!?") {
+			t.Errorf("unsanitized pool %q", pool)
+		}
+	}
+	if !found {
+		t.Errorf("pools = %v", pools)
+	}
+	// Error boundary attached: T_plan fails back to T_intake.
+	el := p.Element("T_plan")
+	if el == nil || el.OnError != "T_intake" {
+		t.Errorf("T_plan = %+v", el)
+	}
+	// Human-readable names survive.
+	if got := p.Element("T_intake").Name; got != "intake & anamnesis" {
+		t.Errorf("task name = %q", got)
+	}
+	if p.TaskRole("T_exam") != "Specialist" {
+		t.Errorf("T_exam role = %q", p.TaskRole("T_exam"))
+	}
+}
+
+const inclusiveXML = `<?xml version="1.0"?>
+<definitions xmlns="http://www.omg.org/spec/BPMN/20100524/MODEL" id="d">
+  <process id="Orders">
+    <startEvent id="S"/>
+    <inclusiveGateway id="G_split"/>
+    <task id="T_a"/>
+    <task id="T_b"/>
+    <inclusiveGateway id="G_join"/>
+    <task id="T_z"/>
+    <endEvent id="E"/>
+    <sequenceFlow id="f1" sourceRef="S" targetRef="G_split"/>
+    <sequenceFlow id="f2" sourceRef="G_split" targetRef="T_a"/>
+    <sequenceFlow id="f3" sourceRef="G_split" targetRef="T_b"/>
+    <sequenceFlow id="f4" sourceRef="T_a" targetRef="G_join"/>
+    <sequenceFlow id="f5" sourceRef="T_b" targetRef="G_join"/>
+    <sequenceFlow id="f6" sourceRef="G_join" targetRef="T_z"/>
+    <sequenceFlow id="f7" sourceRef="T_z" targetRef="E"/>
+  </process>
+</definitions>`
+
+func TestDecodeXMLAutoPairsInclusive(t *testing.T) {
+	p, err := DecodeXML(strings.NewReader(inclusiveXML))
+	if err != nil {
+		t.Fatalf("DecodeXML: %v", err)
+	}
+	if p.ORJoin("G_split") != "G_join" {
+		t.Fatalf("auto-pairing failed: %q", p.ORJoin("G_split"))
+	}
+	if _, ok := p.ORBranchJoinFlow("G_split", "T_a"); !ok {
+		t.Fatalf("routing missing after auto-pair")
+	}
+}
+
+func TestDecodeXMLExplicitPairing(t *testing.T) {
+	src := strings.Replace(inclusiveXML,
+		`<inclusiveGateway id="G_join"/>`,
+		`<inclusiveGateway id="G_join" pairs="G_split"/>`, 1)
+	p, err := DecodeXML(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("DecodeXML: %v", err)
+	}
+	if p.ORJoin("G_split") != "G_join" {
+		t.Fatalf("explicit pairing failed")
+	}
+}
+
+func TestDecodeXMLErrors(t *testing.T) {
+	cases := []string{
+		``,
+		`<definitions xmlns="x"/>`, // no process
+		`not xml at all`,
+		// Boundary attached to a non-task.
+		`<definitions xmlns="x"><process id="P">
+		   <startEvent id="S"/><task id="T"/><endEvent id="E"/>
+		   <boundaryEvent id="B" attachedToRef="S"><errorEventDefinition/></boundaryEvent>
+		   <sequenceFlow id="f1" sourceRef="S" targetRef="T"/>
+		   <sequenceFlow id="f2" sourceRef="T" targetRef="E"/>
+		   <sequenceFlow id="f3" sourceRef="B" targetRef="T"/>
+		 </process></definitions>`,
+	}
+	for i, src := range cases {
+		if _, err := DecodeXML(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestSanitizeIdent(t *testing.T) {
+	cases := map[string]string{
+		"Specialist!":        "Specialist",
+		"intake & anamnesis": "intake_anamnesis",
+		"a  b":               "a_b",
+		"T-1_x":              "T-1_x",
+		"éxo":                "xo",
+		"--ok--":             "--ok--",
+	}
+	for in, want := range cases {
+		if got := sanitizeIdent(in); got != want {
+			t.Errorf("sanitizeIdent(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestXMLProcessIsCheckable: the imported collaboration runs through the
+// whole stack (encode + replay).
+func TestXMLProcessIsCheckable(t *testing.T) {
+	p, err := DecodeXML(strings.NewReader(referralXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Smoke: JSON round trip of the imported process.
+	var b strings.Builder
+	if err := p.EncodeJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	q, err := DecodeJSON(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Stats() != p.Stats() {
+		t.Fatalf("stats changed through JSON: %+v vs %+v", q.Stats(), p.Stats())
+	}
+}
+
+func TestProcessDOT(t *testing.T) {
+	p, err := DecodeXML(strings.NewReader(referralXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := p.DOT()
+	for _, want := range []string{
+		"digraph", "cluster_0", `label="GP"`, "shape=diamond",
+		"style=dashed",            // message flows
+		`color=red label="error"`, // the boundary edge
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestSanitizeIdentProperty(t *testing.T) {
+	// For any input, the result is either empty or a valid COWS
+	// identifier fragment (quick over arbitrary strings).
+	prop := func(s string) bool {
+		out := sanitizeIdent(s)
+		if out == "" {
+			return true
+		}
+		return cows.ParseFragmentName(out) == nil || out[0] >= '0' && out[0] <= '9' || out[0] == '-'
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Errorf("sanitizeIdent property: %v", err)
+	}
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/audit"
+)
+
+// TestAbsorptionAblation demonstrates why Algorithm 1's line 8 exists
+// (the Section 3.5 alignment argument): without absorption, the 1-to-n
+// mapping between tasks and log entries breaks and any multi-action
+// task is falsely flagged.
+func TestAbsorptionAblation(t *testing.T) {
+	c := newChecker(t, linearProc(t), "LN", nil)
+	multi := trailOf("LN-1", "P:T1", "P:T1", "P:T2", "P:T3")
+
+	rep, err := c.CheckCase(multi, "LN-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Compliant {
+		t.Fatalf("with absorption: %s", rep)
+	}
+
+	c.DisableAbsorption = true
+	rep, err = c.CheckCase(multi, "LN-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Compliant {
+		t.Fatalf("ablated checker accepted a multi-action task")
+	}
+	if rep.StepsReplayed != 1 {
+		t.Fatalf("ablated checker deviated at step %d, want 1 (the second T1 action)", rep.StepsReplayed)
+	}
+
+	// Single-action trails are unaffected by the ablation.
+	single := trailOf("LN-1", "P:T1", "P:T2", "P:T3")
+	rep, err = c.CheckCase(single, "LN-1")
+	if err != nil || !rep.Compliant {
+		t.Fatalf("single-action trail under ablation: %v %v", rep, err)
+	}
+}
+
+// TestMaxConfigurationsGuard exercises the safety cap.
+func TestMaxConfigurationsGuard(t *testing.T) {
+	c := newChecker(t, linearProc(t), "LN", nil)
+	c.MaxConfigurations = 1
+	// A linear process never needs more than one configuration, so the
+	// cap of 1 must still work.
+	rep, err := c.CheckCase(trailOf("LN-1", "P:T1", "P:T2"), "LN-1")
+	if err != nil || !rep.Compliant {
+		t.Fatalf("cap=1 on linear process: %v %v", rep, err)
+	}
+}
+
+// TestEmptyCaseSlice: a case with no entries is trivially a (pending)
+// prefix.
+func TestEmptyCaseSlice(t *testing.T) {
+	c := newChecker(t, linearProc(t), "LN", nil)
+	rep, err := c.CheckCase(audit.NewTrail(nil), "LN-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Compliant || !rep.Pending || rep.Entries != 0 {
+		t.Fatalf("empty case: %s", rep)
+	}
+}

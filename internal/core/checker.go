@@ -1,0 +1,428 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/audit"
+	"repro/internal/cows"
+	"repro/internal/lts"
+	"repro/internal/policy"
+)
+
+// ActiveTask is one element of a configuration's active-task set
+// (Definition 6): a task currently in execution, with the role (pool)
+// it belongs to.
+type ActiveTask struct {
+	Role string
+	Task string
+}
+
+func (a ActiveTask) String() string { return a.Role + "·" + a.Task }
+
+// succ is one precomputed successor of a configuration: an observable
+// label, the state it leads to, and the active-task set in that state.
+type succ struct {
+	label  cows.Label
+	state  cows.Service
+	canon  string
+	active map[ActiveTask]bool
+}
+
+// Configuration is Definition 6: the current state, the set of active
+// tasks in that state, and the WeakNext successors with their active
+// sets.
+type Configuration struct {
+	state  cows.Service
+	canon  string
+	active map[ActiveTask]bool
+	next   []succ
+}
+
+// ActiveTasks returns the sorted active-task set (for reports and
+// tests).
+func (c *Configuration) ActiveTasks() []ActiveTask {
+	out := make([]ActiveTask, 0, len(c.active))
+	for a := range c.active {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// NextLabels returns the sorted distinct observable labels available
+// from the configuration.
+func (c *Configuration) NextLabels() []string {
+	set := map[string]bool{}
+	for _, s := range c.next {
+		set[s.label.Endpoint()] = true
+	}
+	out := make([]string, 0, len(set))
+	for l := range set {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// key identifies a configuration up to state congruence and active set.
+func (c *Configuration) key() string {
+	parts := make([]string, 0, len(c.active))
+	for a := range c.active {
+		parts = append(parts, a.String())
+	}
+	sort.Strings(parts)
+	return c.canon + "\x00" + strings.Join(parts, ",")
+}
+
+// Checker runs Algorithm 1. Checking methods are safe for concurrent
+// use (per-purpose LTS systems have guarded caches, so parallel per-case
+// analyses share warm caches — the Section 7 parallelization); mutating
+// the exported configuration fields or setting TraceFn concurrently with
+// checks is not.
+type Checker struct {
+	registry *Registry
+	roles    *policy.RoleHierarchy
+
+	// StrictFailureTask requires a failure entry's sys·Err label to
+	// originate from the failing entry's own task. The paper's
+	// Algorithm 1 (line 10) accepts any sys·Err; strict matching is
+	// the sharper default, switchable for fidelity experiments.
+	StrictFailureTask bool
+
+	// DisableAbsorption ablates Algorithm 1's line 8 (actions within an
+	// active task are absorbed): every entry must then fire a task
+	// label. The ablation demonstrates why the paper's 1-to-n
+	// task↔action mapping (Section 3.5) needs the active-task set —
+	// any task logging more than one action becomes a false positive.
+	DisableAbsorption bool
+
+	// MaxConfigurations caps the configuration set as a safeguard
+	// against pathological nondeterminism; 0 means DefaultMaxConfigurations.
+	MaxConfigurations int
+
+	// TraceFn, when set, is invoked after each replayed entry with the
+	// surviving configuration set — the data behind the paper's
+	// Figure 6 walkthrough. Leave nil in production use.
+	TraceFn func(step int, entry audit.Entry, configs []*Configuration)
+
+	mu      sync.Mutex
+	systems map[string]*lts.System // per purpose
+}
+
+// DefaultMaxConfigurations bounds the configuration set.
+const DefaultMaxConfigurations = 4096
+
+// NewChecker builds a checker over the registry. roles may be nil for
+// exact role matching.
+func NewChecker(reg *Registry, roles *policy.RoleHierarchy) *Checker {
+	return &Checker{
+		registry:          reg,
+		roles:             roles,
+		StrictFailureTask: true,
+		systems:           map[string]*lts.System{},
+	}
+}
+
+// Clone returns a checker sharing the registry and configuration but
+// with fresh LTS caches, for use on another goroutine.
+func (c *Checker) Clone() *Checker {
+	out := NewChecker(c.registry, c.roles)
+	out.StrictFailureTask = c.StrictFailureTask
+	out.MaxConfigurations = c.MaxConfigurations
+	return out
+}
+
+func (c *Checker) system(p *Purpose) *lts.System {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	y, ok := c.systems[p.Name]
+	if !ok {
+		y = lts.NewSystem(p.Observable)
+		c.systems[p.Name] = y
+	}
+	return y
+}
+
+// roleMatches reports whether the entry's role may perform a task of the
+// given pool role: equality, or specialization under the hierarchy
+// (Algorithm 1 line 5: r is a generalization of e.role).
+func (c *Checker) roleMatches(entryRole, poolRole string) bool {
+	if entryRole == poolRole {
+		return true
+	}
+	if c.roles == nil {
+		return false
+	}
+	return c.roles.Specializes(entryRole, poolRole)
+}
+
+// newConfiguration builds a configuration around a state, computing its
+// WeakNext successors and their active sets from the source active set
+// and the origins carried by each label.
+func (c *Checker) newConfiguration(y *lts.System, pur *Purpose, state cows.Service, canon string, active map[ActiveTask]bool) (*Configuration, error) {
+	obs, err := y.WeakNext(state)
+	if err != nil {
+		return nil, fmt.Errorf("core: WeakNext for purpose %q: %w", pur.Name, err)
+	}
+	conf := &Configuration{state: state, canon: canon, active: active}
+	for _, o := range obs {
+		conf.next = append(conf.next, succ{
+			label:  o.Label,
+			state:  o.State,
+			canon:  o.Canon,
+			active: nextActive(pur, active, o.Label),
+		})
+	}
+	return conf, nil
+}
+
+// nextActive applies the origin discipline: tasks whose token produced
+// the label stop being active; a task label activates its task
+// (DESIGN.md §4).
+func nextActive(pur *Purpose, active map[ActiveTask]bool, l cows.Label) map[ActiveTask]bool {
+	out := make(map[ActiveTask]bool, len(active)+1)
+	consumed := map[string]bool{}
+	for _, o := range l.Origins() {
+		consumed[o] = true
+	}
+	for a := range active {
+		if !consumed[a.Task] {
+			out[a] = true
+		}
+	}
+	if l.Op != "Err" && pur.Process.HasTask(l.Op) {
+		out[ActiveTask{Role: l.Partner, Task: l.Op}] = true
+	}
+	return out
+}
+
+// matchesEntry reports whether a successor's label accepts the entry
+// (Algorithm 1 line 10): a successful entry needs the task's own label
+// performed by a pool the entry's role specializes; a failure needs
+// sys·Err (strictly: originating from the entry's task).
+func (c *Checker) matchesEntry(s succ, e audit.Entry) bool {
+	if e.Status == audit.Failure {
+		if s.label.Op != "Err" {
+			return false
+		}
+		if !c.StrictFailureTask {
+			return true
+		}
+		for _, o := range s.label.Origins() {
+			if o == e.Task {
+				return true
+			}
+		}
+		return false
+	}
+	return s.label.Op == e.Task && c.roleMatches(e.Role, s.label.Partner)
+}
+
+// isActive reports whether the entry's task is active in the
+// configuration under the role hierarchy (Algorithm 1 line 8).
+func (c *Checker) isActive(conf *Configuration, e audit.Entry) bool {
+	for a := range conf.active {
+		if a.Task == e.Task && c.roleMatches(e.Role, a.Role) {
+			return true
+		}
+	}
+	return false
+}
+
+// CheckCase replays the case's slice of the trail against the purpose
+// its case code names — Algorithm 1. The returned report says whether
+// the replay is a valid (prefix of an) execution of the purpose's
+// process, and if not, which entry deviated and what was expected.
+func (c *Checker) CheckCase(trail *audit.Trail, caseID string) (*Report, error) {
+	pur := c.registry.ForCase(caseID)
+	if pur == nil {
+		return &Report{
+			Case:      caseID,
+			Compliant: false,
+			Violation: &Violation{
+				Kind:   ViolationUnknownPurpose,
+				Reason: fmt.Sprintf("case code %q is not bound to any registered purpose", CaseCode(caseID)),
+			},
+		}, nil
+	}
+	slice := trail.ByCase(caseID)
+	return c.replay(pur, caseID, slice.Entries())
+}
+
+// replay is the body of Algorithm 1 over a chronological entry slice.
+func (c *Checker) replay(pur *Purpose, caseID string, entries []audit.Entry) (*Report, error) {
+	y := c.system(pur)
+	maxConfigs := c.MaxConfigurations
+	if maxConfigs <= 0 {
+		maxConfigs = DefaultMaxConfigurations
+	}
+
+	initial, err := c.newConfiguration(y, pur, pur.Initial, cows.Canon(pur.Initial), map[ActiveTask]bool{})
+	if err != nil {
+		return nil, err
+	}
+	configs := []*Configuration{initial}
+	rep := &Report{Case: caseID, Purpose: pur.Name, Entries: len(entries)}
+
+	for i, e := range entries {
+		nextConfigs, found, err := c.advance(y, pur, configs, e, maxConfigs)
+		if err != nil {
+			return nil, fmt.Errorf("core: at entry %d of case %s: %w", i, caseID, err)
+		}
+		if !found {
+			rep.Compliant = false
+			rep.Violation = c.describeViolation(pur, configs, i, e)
+			rep.StepsReplayed = i
+			return rep, nil
+		}
+		if len(nextConfigs) > rep.PeakConfigurations {
+			rep.PeakConfigurations = len(nextConfigs)
+		}
+		configs = nextConfigs
+		if c.TraceFn != nil {
+			c.TraceFn(i, e, configs)
+		}
+	}
+
+	rep.Compliant = true
+	rep.StepsReplayed = len(entries)
+	rep.FinalConfigurations = len(configs)
+	for _, conf := range configs {
+		done, err := y.CanTerminateSilently(conf.state)
+		if err != nil {
+			return nil, err
+		}
+		if done {
+			rep.CanComplete = true
+			break
+		}
+	}
+	rep.Pending = !rep.CanComplete
+	return rep, nil
+}
+
+// advance performs one iteration of Algorithm 1's while loop: it feeds
+// one entry to every configuration, absorbing in-task actions (line 8)
+// and firing matching weak-next labels (line 10). It returns the
+// deduplicated next configuration set and whether any configuration
+// accepted the entry.
+func (c *Checker) advance(y *lts.System, pur *Purpose, configs []*Configuration, e audit.Entry, maxConfigs int) ([]*Configuration, bool, error) {
+	var nextConfigs []*Configuration
+	seen := map[string]bool{}
+	found := false
+	addConfig := func(conf *Configuration) error {
+		k := conf.key()
+		if seen[k] {
+			return nil
+		}
+		if len(nextConfigs) >= maxConfigs {
+			return fmt.Errorf("configuration set exceeds %d", maxConfigs)
+		}
+		seen[k] = true
+		nextConfigs = append(nextConfigs, conf)
+		return nil
+	}
+
+	for _, conf := range configs {
+		// Line 8: an action within an active, succeeding task is
+		// absorbed by the configuration.
+		if !c.DisableAbsorption && e.Status == audit.Success && c.isActive(conf, e) {
+			found = true
+			if err := addConfig(conf); err != nil {
+				return nil, false, err
+			}
+			continue
+		}
+		// Line 10: otherwise the entry must fire one of the
+		// configuration's weak-next labels.
+		for _, s := range conf.next {
+			if !c.matchesEntry(s, e) {
+				continue
+			}
+			found = true
+			nc, err := c.newConfiguration(y, pur, s.state, s.canon, s.active)
+			if err != nil {
+				return nil, false, err
+			}
+			if err := addConfig(nc); err != nil {
+				return nil, false, err
+			}
+		}
+	}
+	return nextConfigs, found, nil
+}
+
+// describeViolation assembles the diagnostic for a rejected entry: what
+// the surviving configurations would have accepted instead.
+func (c *Checker) describeViolation(pur *Purpose, configs []*Configuration, idx int, e audit.Entry) *Violation {
+	v := &Violation{
+		Kind:       ViolationInvalidExecution,
+		EntryIndex: idx,
+		Entry:      &e,
+	}
+	expected := map[string]bool{}
+	activeSet := map[string]bool{}
+	for _, conf := range configs {
+		for _, s := range conf.next {
+			if s.label.Op == "Err" {
+				expected["sys.Err("+strings.Join(s.label.Origins(), "+")+")"] = true
+			} else {
+				expected[s.label.Endpoint()] = true
+			}
+		}
+		for a := range conf.active {
+			activeSet[a.String()] = true
+		}
+	}
+	for l := range expected {
+		v.Expected = append(v.Expected, l)
+	}
+	sort.Strings(v.Expected)
+	for a := range activeSet {
+		v.ActiveTasks = append(v.ActiveTasks, a)
+	}
+	sort.Strings(v.ActiveTasks)
+
+	switch {
+	case !pur.Process.HasTask(e.Task) && e.Status == audit.Success:
+		v.Reason = fmt.Sprintf("task %q is not part of process %q", e.Task, pur.Name)
+	case e.Status == audit.Failure:
+		v.Reason = fmt.Sprintf("failure of task %q has no matching error handler at this point", e.Task)
+	case pur.Process.TaskRole(e.Task) != "" && !c.roleMatches(e.Role, pur.Process.TaskRole(e.Task)):
+		v.Reason = fmt.Sprintf("role %q may not perform task %q (pool %q)", e.Role, e.Task, pur.Process.TaskRole(e.Task))
+	default:
+		v.Reason = fmt.Sprintf("task %q is neither active nor enabled at this point of the process", e.Task)
+	}
+	return v
+}
+
+// CheckTrail replays every case occurring in the trail and returns one
+// report per case, ordered by first appearance.
+func (c *Checker) CheckTrail(trail *audit.Trail) ([]*Report, error) {
+	var out []*Report
+	for _, caseID := range trail.Cases() {
+		rep, err := c.CheckCase(trail, caseID)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}
+
+// CheckObject investigates one object per Section 4: for each case in
+// which the object (or a sub-resource) was accessed, replay that case.
+func (c *Checker) CheckObject(trail *audit.Trail, obj policy.Object) ([]*Report, error) {
+	var out []*Report
+	for _, caseID := range trail.TouchingObject(obj) {
+		rep, err := c.CheckCase(trail, caseID)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}

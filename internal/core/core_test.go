@@ -1,0 +1,542 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/bpmn"
+	"repro/internal/policy"
+)
+
+// entryAt builds a success entry with a synthetic timestamp derived from
+// the sequence number.
+func entryAt(seq int, user, role, task, caseID string) audit.Entry {
+	return audit.Entry{
+		User: user, Role: role, Action: "read",
+		Object: policy.MustParseObject("[P1]EPR/Clinical"),
+		Task:   task, Case: caseID,
+		Time:   time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC).Add(time.Duration(seq) * time.Minute),
+		Status: audit.Success,
+	}
+}
+
+func failureAt(seq int, user, role, task, caseID string) audit.Entry {
+	e := entryAt(seq, user, role, task, caseID)
+	e.Status = audit.Failure
+	e.Object = policy.Object{}
+	e.Action = "cancel"
+	return e
+}
+
+// trailOf builds a trail from (role, task) pairs in one case; "!" prefix
+// marks a failure entry.
+func trailOf(caseID string, steps ...string) *audit.Trail {
+	var entries []audit.Entry
+	for i, s := range steps {
+		role, task, ok := strings.Cut(s, ":")
+		if !ok {
+			panic("step must be role:task")
+		}
+		if strings.HasPrefix(task, "!") {
+			entries = append(entries, failureAt(i, "u", role, strings.TrimPrefix(task, "!"), caseID))
+		} else {
+			entries = append(entries, entryAt(i, "u", role, task, caseID))
+		}
+	}
+	return audit.NewTrail(entries)
+}
+
+func linearProc(t *testing.T) *bpmn.Process {
+	t.Helper()
+	return bpmn.NewBuilder("Linear").Pool("P").
+		Start("S", "P").Task("T1", "P", "").Task("T2", "P", "").Task("T3", "P", "").End("E", "P").
+		Seq("S", "T1", "T2", "T3", "E").MustBuild()
+}
+
+func newChecker(t *testing.T, p *bpmn.Process, code string, roles *policy.RoleHierarchy) *Checker {
+	t.Helper()
+	reg := NewRegistry()
+	if _, err := reg.Register(p, code); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	return NewChecker(reg, roles)
+}
+
+func check(t *testing.T, c *Checker, tr *audit.Trail, caseID string) *Report {
+	t.Helper()
+	rep, err := c.CheckCase(tr, caseID)
+	if err != nil {
+		t.Fatalf("CheckCase: %v", err)
+	}
+	return rep
+}
+
+func TestRegistry(t *testing.T) {
+	p := linearProc(t)
+	reg := NewRegistry()
+	if _, err := reg.Register(p, "LN", "L2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Register(p, "XX"); err == nil {
+		t.Fatalf("duplicate purpose accepted")
+	}
+	q := bpmn.NewBuilder("Other").Pool("P").
+		Start("S", "P").Task("T9", "P", "").End("E", "P").Seq("S", "T9", "E").MustBuild()
+	if _, err := reg.Register(q, "LN"); err == nil {
+		t.Fatalf("duplicate code accepted")
+	}
+	if _, err := reg.Register(q); err == nil {
+		t.Fatalf("codeless registration accepted")
+	}
+
+	if got := CaseCode("HT-123"); got != "HT" {
+		t.Errorf("CaseCode = %q", got)
+	}
+	if got := CaseCode("nodash"); got != "nodash" {
+		t.Errorf("CaseCode = %q", got)
+	}
+	if reg.PurposeOf("LN-1") != "Linear" || reg.PurposeOf("L2-7") != "Linear" {
+		t.Errorf("PurposeOf broken")
+	}
+	if reg.PurposeOf("ZZ-1") != "" {
+		t.Errorf("unknown code resolved")
+	}
+	if !reg.PurposeHasTask("Linear", "T2") || reg.PurposeHasTask("Linear", "T9") {
+		t.Errorf("PurposeHasTask broken")
+	}
+	if got := reg.Purposes(); len(got) != 1 || got[0] != "Linear" {
+		t.Errorf("Purposes = %v", got)
+	}
+	if got := reg.TasksOf("Linear"); len(got) != 3 {
+		t.Errorf("TasksOf = %v", got)
+	}
+}
+
+func TestCheckLinearCompliant(t *testing.T) {
+	c := newChecker(t, linearProc(t), "LN", nil)
+	rep := check(t, c, trailOf("LN-1", "P:T1", "P:T2", "P:T3"), "LN-1")
+	if !rep.Compliant || !rep.CanComplete || rep.Pending {
+		t.Fatalf("report = %s", rep)
+	}
+	if rep.StepsReplayed != 3 || rep.Entries != 3 {
+		t.Fatalf("steps = %d entries = %d", rep.StepsReplayed, rep.Entries)
+	}
+}
+
+func TestCheckPrefixPending(t *testing.T) {
+	c := newChecker(t, linearProc(t), "LN", nil)
+	rep := check(t, c, trailOf("LN-1", "P:T1", "P:T2"), "LN-1")
+	if !rep.Compliant || rep.CanComplete || !rep.Pending {
+		t.Fatalf("report = %s", rep)
+	}
+}
+
+func TestCheckAbsorbsInTaskActions(t *testing.T) {
+	// Multiple log entries within one task: the first fires the task
+	// label, the rest are absorbed while the task is active
+	// (Algorithm 1 line 8 / the paper's 1-to-n task↔action mapping).
+	c := newChecker(t, linearProc(t), "LN", nil)
+	rep := check(t, c, trailOf("LN-1", "P:T1", "P:T1", "P:T1", "P:T2", "P:T2", "P:T3"), "LN-1")
+	if !rep.Compliant {
+		t.Fatalf("report = %s", rep)
+	}
+	// Once T2 fired, T1 is no longer active: a late T1 action is an
+	// infringement.
+	rep = check(t, c, trailOf("LN-1", "P:T1", "P:T2", "P:T1"), "LN-1")
+	if rep.Compliant || rep.Violation == nil || rep.StepsReplayed != 2 {
+		t.Fatalf("report = %s", rep)
+	}
+}
+
+func TestCheckRejectsWrongOrderAndUnknownTask(t *testing.T) {
+	c := newChecker(t, linearProc(t), "LN", nil)
+
+	rep := check(t, c, trailOf("LN-1", "P:T2"), "LN-1")
+	if rep.Compliant {
+		t.Fatalf("out-of-order accepted")
+	}
+	if got := rep.Violation.Expected; len(got) != 1 || got[0] != "P.T1" {
+		t.Fatalf("expected = %v", got)
+	}
+
+	rep = check(t, c, trailOf("LN-1", "P:T1", "P:T9"), "LN-1")
+	if rep.Compliant || !strings.Contains(rep.Violation.Reason, "not part of process") {
+		t.Fatalf("unknown task: %s", rep)
+	}
+
+	rep = check(t, c, trailOf("ZZ-1", "P:T1"), "ZZ-1")
+	if rep.Compliant || rep.Violation.Kind != ViolationUnknownPurpose {
+		t.Fatalf("unknown purpose: %s", rep)
+	}
+}
+
+func TestCheckRoleHierarchyMatching(t *testing.T) {
+	roles := policy.NewRoleHierarchy()
+	if err := roles.Add("Physician"); err != nil {
+		t.Fatal(err)
+	}
+	if err := roles.Add("GP", "Physician"); err != nil {
+		t.Fatal(err)
+	}
+	proc := bpmn.NewBuilder("Phys").Pool("Physician").
+		Start("S", "Physician").Task("T1", "Physician", "").End("E", "Physician").
+		Seq("S", "T1", "E").MustBuild()
+
+	// With the hierarchy, a GP may perform Physician-pool tasks.
+	c := newChecker(t, proc, "PH", roles)
+	rep := check(t, c, trailOf("PH-1", "GP:T1"), "PH-1")
+	if !rep.Compliant {
+		t.Fatalf("specialized role rejected: %s", rep)
+	}
+	// A sibling or unknown role may not.
+	rep = check(t, c, trailOf("PH-1", "Nurse:T1"), "PH-1")
+	if rep.Compliant || !strings.Contains(rep.Violation.Reason, "may not perform") {
+		t.Fatalf("unrelated role accepted: %s", rep)
+	}
+	// Without a hierarchy, only exact matches.
+	c2 := newChecker(t, proc, "PH", nil)
+	rep = check(t, c2, trailOf("PH-1", "GP:T1"), "PH-1")
+	if rep.Compliant {
+		t.Fatalf("specialization accepted without hierarchy")
+	}
+}
+
+func fallibleProc(t *testing.T) *bpmn.Process {
+	t.Helper()
+	return bpmn.NewBuilder("Fallible").Pool("P").
+		Start("S", "P").Task("T1", "P", "").FallibleTask("T2", "P", "", "T1").End("E", "P").
+		Seq("S", "T1", "T2", "E").MustBuild()
+}
+
+func TestCheckFailureHandling(t *testing.T) {
+	c := newChecker(t, fallibleProc(t), "FB", nil)
+
+	// T2 fails, the process restarts at T1 and completes.
+	rep := check(t, c, trailOf("FB-1", "P:T1", "P:T2", "P:!T2", "P:T1", "P:T2"), "FB-1")
+	if !rep.Compliant || !rep.CanComplete {
+		t.Fatalf("failure cycle rejected: %s", rep)
+	}
+
+	// A failure of T1 (no error boundary) is an infringement.
+	rep = check(t, c, trailOf("FB-1", "P:T1", "P:!T1"), "FB-1")
+	if rep.Compliant || !strings.Contains(rep.Violation.Reason, "no matching error handler") {
+		t.Fatalf("unhandled failure accepted: %s", rep)
+	}
+
+	// Strict matching: a failure entry for T1 while only T2's handler
+	// is available must be rejected...
+	rep = check(t, c, trailOf("FB-1", "P:T1", "P:T2", "P:!T1"), "FB-1")
+	if rep.Compliant {
+		t.Fatalf("strict failure matching broken: %s", rep)
+	}
+	// ...but the paper's literal line 10 (any sys·Err) accepts it.
+	c.StrictFailureTask = false
+	rep = check(t, c, trailOf("FB-1", "P:T1", "P:T2", "P:!T1"), "FB-1")
+	if !rep.Compliant {
+		t.Fatalf("lenient failure matching broken: %s", rep)
+	}
+}
+
+func TestCheckXORBranches(t *testing.T) {
+	p := bpmn.NewBuilder("Branch").Pool("P").
+		Start("S", "P").Task("T0", "P", "").XOR("G", "P").
+		Task("T1", "P", "").Task("T2", "P", "").End("E1", "P").End("E2", "P").
+		Seq("S", "T0", "G").Seq("G", "T1", "E1").Seq("G", "T2", "E2").MustBuild()
+	c := newChecker(t, p, "BR", nil)
+
+	for _, branch := range []string{"T1", "T2"} {
+		rep := check(t, c, trailOf("BR-1", "P:T0", "P:"+branch), "BR-1")
+		if !rep.Compliant || !rep.CanComplete {
+			t.Fatalf("branch %s rejected: %s", branch, rep)
+		}
+	}
+	// Both branches in one case: exclusive gateway forbids it.
+	rep := check(t, c, trailOf("BR-1", "P:T0", "P:T1", "P:T2"), "BR-1")
+	if rep.Compliant {
+		t.Fatalf("exclusive gateway violated: %s", rep)
+	}
+}
+
+func TestCheckANDInterleavings(t *testing.T) {
+	p := bpmn.NewBuilder("Para").Pool("P").
+		Start("S", "P").AND("G", "P").
+		Task("T1", "P", "").Task("T2", "P", "").
+		AND("J", "P").Task("T3", "P", "").End("E", "P").
+		Seq("S", "G").Seq("G", "T1", "J").Seq("G", "T2", "J").Seq("J", "T3", "E").MustBuild()
+	c := newChecker(t, p, "PA", nil)
+
+	for _, order := range [][]string{{"P:T1", "P:T2", "P:T3"}, {"P:T2", "P:T1", "P:T3"}} {
+		rep := check(t, c, trailOf("PA-1", order...), "PA-1")
+		if !rep.Compliant {
+			t.Fatalf("interleaving %v rejected: %s", order, rep)
+		}
+	}
+	// T3 before both branches completed: rejected.
+	rep := check(t, c, trailOf("PA-1", "P:T1", "P:T3"), "PA-1")
+	if rep.Compliant {
+		t.Fatalf("join fired early: %s", rep)
+	}
+	// While T1 and T2 run in parallel, both are active.
+	var lastActive []string
+	c.TraceFn = func(step int, e audit.Entry, configs []*Configuration) {
+		if step == 1 {
+			for _, conf := range configs {
+				for _, a := range conf.ActiveTasks() {
+					lastActive = append(lastActive, a.String())
+				}
+			}
+		}
+	}
+	check(t, c, trailOf("PA-1", "P:T1", "P:T2", "P:T3"), "PA-1")
+	joined := strings.Join(lastActive, " ")
+	if !strings.Contains(joined, "P·T1") || !strings.Contains(joined, "P·T2") {
+		t.Fatalf("parallel active set = %v", lastActive)
+	}
+	c.TraceFn = nil
+}
+
+func TestCheckORSubsets(t *testing.T) {
+	p := bpmn.NewBuilder("Incl").Pool("P").
+		Start("S", "P").OR("G", "P").
+		Task("T1", "P", "").Task("T2", "P", "").
+		OR("J", "P").Task("T3", "P", "").End("E", "P").
+		Seq("S", "G").Seq("G", "T1", "J").Seq("G", "T2", "J").Seq("J", "T3", "E").
+		PairOR("G", "J").MustBuild()
+	c := newChecker(t, p, "IN", nil)
+
+	for _, steps := range [][]string{
+		{"P:T1", "P:T3"},
+		{"P:T2", "P:T3"},
+		{"P:T1", "P:T2", "P:T3"},
+		{"P:T2", "P:T1", "P:T3"},
+	} {
+		rep := check(t, c, trailOf("IN-1", steps...), "IN-1")
+		if !rep.Compliant {
+			t.Fatalf("subset %v rejected: %s", steps, rep)
+		}
+	}
+	// After only T1 fired, the algorithm cannot know whether the
+	// gateway chose {T1} or {T1,T2}: both configurations survive (the
+	// paper's St10/St11 ambiguity).
+	rep := check(t, c, trailOf("IN-1", "P:T1"), "IN-1")
+	if !rep.Compliant || rep.FinalConfigurations < 2 {
+		t.Fatalf("ambiguity not tracked: %s (final=%d)", rep, rep.FinalConfigurations)
+	}
+	// T3 cannot fire while the {T1,T2} plan still awaits T2 — but the
+	// {T1}-only configuration allows it; then a later T2 is rejected.
+	rep = check(t, c, trailOf("IN-1", "P:T1", "P:T3", "P:T2"), "IN-1")
+	if rep.Compliant || rep.StepsReplayed != 2 {
+		t.Fatalf("late branch accepted: %s", rep)
+	}
+}
+
+func TestCheckTrailAndObject(t *testing.T) {
+	c := newChecker(t, linearProc(t), "LN", nil)
+	var entries []audit.Entry
+	entries = append(entries, trailOf("LN-1", "P:T1", "P:T2", "P:T3").Entries()...)
+	e := entryAt(10, "u", "P", "T2", "LN-2") // starts mid-process: infringement
+	e.Object = policy.MustParseObject("[P2]EPR/Clinical")
+	entries = append(entries, e)
+	tr := audit.NewTrail(entries)
+
+	reports, err := c.CheckTrail(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 || !reports[0].Compliant || reports[1].Compliant {
+		t.Fatalf("reports = %v", reports)
+	}
+
+	// Investigating P2's EPR touches only LN-2.
+	reports, err = c.CheckObject(tr, policy.MustParseObject("[P2]EPR"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 1 || reports[0].Case != "LN-2" || reports[0].Compliant {
+		t.Fatalf("object reports = %v", reports)
+	}
+}
+
+func TestMonitorOnline(t *testing.T) {
+	c := newChecker(t, linearProc(t), "LN", nil)
+	m := NewMonitor(c)
+
+	steps := trailOf("LN-1", "P:T1", "P:T2", "P:T1").Entries() // third deviates
+	v, err := m.Feed(steps[0])
+	if err != nil || !v.OK {
+		t.Fatalf("feed 1: %v %v", v, err)
+	}
+	v, err = m.Feed(steps[1])
+	if err != nil || !v.OK {
+		t.Fatalf("feed 2: %v %v", v, err)
+	}
+	v, err = m.Feed(steps[2])
+	if err != nil || v.OK || v.Violation == nil {
+		t.Fatalf("feed 3 should deviate: %+v %v", v, err)
+	}
+	// Further entries on a dead case are flagged immediately.
+	v, err = m.Feed(steps[1])
+	if err != nil || v.OK {
+		t.Fatalf("dead case accepted: %+v", v)
+	}
+
+	// Unknown purpose.
+	v, err = m.Feed(entryAt(0, "u", "P", "T1", "ZZ-1"))
+	if err != nil || v.Violation == nil || v.Violation.Kind != ViolationUnknownPurpose {
+		t.Fatalf("unknown purpose: %+v %v", v, err)
+	}
+
+	// Status covers both cases.
+	st, err := m.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st) != 1 || !st[0].Deviated {
+		t.Fatalf("status = %+v", st)
+	}
+	m.Forget("LN-1")
+	st, _ = m.Status()
+	if len(st) != 0 {
+		t.Fatalf("Forget failed: %+v", st)
+	}
+
+	// A healthy case reports CanComplete when done.
+	m2 := NewMonitor(newChecker(t, linearProc(t), "LN", nil))
+	for _, e := range trailOf("LN-9", "P:T1", "P:T2", "P:T3").Entries() {
+		if v, err := m2.Feed(e); err != nil || !v.OK {
+			t.Fatalf("healthy feed: %+v %v", v, err)
+		}
+	}
+	st, err = m2.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st) != 1 || !st[0].CanComplete || st[0].Deviated {
+		t.Fatalf("status = %+v", st)
+	}
+}
+
+func TestCheckStoreParallelMatchesSerial(t *testing.T) {
+	c := newChecker(t, linearProc(t), "LN", nil)
+	store := audit.NewStore()
+	for i := 0; i < 20; i++ {
+		caseID := fmt.Sprintf("LN-%d", i)
+		var steps []string
+		if i%3 == 0 {
+			steps = []string{"P:T1", "P:T2", "P:T3"}
+		} else if i%3 == 1 {
+			steps = []string{"P:T1", "P:T2"}
+		} else {
+			steps = []string{"P:T1", "P:T3"} // skip T2: infringement
+		}
+		for _, e := range trailOf(caseID, steps...).Entries() {
+			e.Time = e.Time.Add(time.Duration(i) * time.Hour)
+			if err := store.Append(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	parallel, err := CheckStoreParallel(c, store, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parallel) != 20 {
+		t.Fatalf("parallel reports = %d", len(parallel))
+	}
+	serial := c.Clone()
+	for _, caseID := range store.Cases() {
+		want := check(t, serial, store.Case(caseID), caseID)
+		got := parallel[caseID]
+		if got == nil || got.Compliant != want.Compliant || got.Pending != want.Pending {
+			t.Fatalf("case %s: parallel %v vs serial %v", caseID, got, want)
+		}
+	}
+}
+
+func TestFrameworkPolicyAndPurpose(t *testing.T) {
+	roles := policy.NewRoleHierarchy()
+	if err := roles.Add("P"); err != nil {
+		t.Fatal(err)
+	}
+	pol := policy.NewPolicy(roles)
+	if err := pol.Permit("P", "read", "[*]EPR/Clinical", "Linear"); err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry()
+	if _, err := reg.Register(linearProc(t), "LN"); err != nil {
+		t.Fatal(err)
+	}
+	fw := NewFramework(reg, pol, policy.NewConsentRegistry())
+
+	// A process-valid trail with one policy-violating action (writing,
+	// while only reading is permitted): Algorithm 1 says compliant,
+	// the preventive layer flags the entry — the two layers are
+	// complementary (Section 3.5).
+	entries := trailOf("LN-1", "P:T1", "P:T2", "P:T3").Entries()
+	entries[1].Action = "write"
+	tr := audit.NewTrail(entries)
+
+	res, err := fw.Audit(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.CaseReports) != 1 || !res.CaseReports[0].Compliant {
+		t.Fatalf("case reports = %v", res.CaseReports)
+	}
+	if len(res.PolicyFindings) != 1 || res.PolicyFindings[0].Index != 1 {
+		t.Fatalf("policy findings = %+v", res.PolicyFindings)
+	}
+	if got := res.Infringements(); len(got) != 0 {
+		t.Fatalf("infringements = %v", got)
+	}
+
+	// Per-object audit narrows both layers to the object.
+	objRes, err := fw.AuditObject(tr, policy.MustParseObject("[P1]EPR"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objRes.CaseReports) != 1 || len(objRes.PolicyFindings) != 1 {
+		t.Fatalf("object audit = %+v", objRes)
+	}
+}
+
+func TestConfigurationIntrospection(t *testing.T) {
+	c := newChecker(t, linearProc(t), "LN", nil)
+	var nexts []string
+	c.TraceFn = func(step int, e audit.Entry, configs []*Configuration) {
+		for _, conf := range configs {
+			nexts = append(nexts, strings.Join(conf.NextLabels(), ","))
+		}
+	}
+	check(t, c, trailOf("LN-1", "P:T1", "P:T2"), "LN-1")
+	if len(nexts) != 2 || nexts[0] != "P.T2" || nexts[1] != "P.T3" {
+		t.Fatalf("next labels = %v", nexts)
+	}
+}
+
+func TestCheckErrorHandlerOnlyTask(t *testing.T) {
+	// A dedicated handler task whose only input is the error edge (a
+	// boundary-event flow): the failure routes through it and the
+	// process resumes.
+	p := bpmn.NewBuilder("Handler").Pool("P").
+		Start("S", "P").FallibleTask("T1", "P", "", "H").Task("T2", "P", "").End("E", "P").
+		Task("H", "P", "remediate").
+		Seq("S", "T1", "T2", "E").Seq("H", "T1").
+		MustBuild()
+	c := newChecker(t, p, "HD", nil)
+
+	// Failure path: T1 fails, handler H runs, T1 retries, T2 closes.
+	rep := check(t, c, trailOf("HD-1", "P:T1", "P:!T1", "P:H", "P:T1", "P:T2"), "HD-1")
+	if !rep.Compliant || !rep.CanComplete {
+		t.Fatalf("handler path rejected: %s", rep)
+	}
+	// The handler cannot run without a failure.
+	rep = check(t, c, trailOf("HD-1", "P:T1", "P:H"), "HD-1")
+	if rep.Compliant {
+		t.Fatalf("handler without failure accepted: %s", rep)
+	}
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/audit"
+	"repro/internal/policy"
+)
+
+// Framework is the complete purpose-control stack of Section 3: the
+// preventive layer (a PDP evaluating Definition 3 per access) plus the
+// a-posteriori layer (Algorithm 1 per case). The paper's alignment
+// discussion (Section 3.5) motivates running both: Algorithm 1 accepts
+// any action inside an active task, so fine-grained object/action
+// authorization must be checked per request in isolation.
+type Framework struct {
+	Registry *Registry
+	PDP      *policy.PDP
+	Checker  *Checker
+}
+
+// NewFramework wires the three components. The registry doubles as the
+// PDP's purpose directory.
+func NewFramework(reg *Registry, pol *policy.Policy, consent *policy.ConsentRegistry) *Framework {
+	pdp := &policy.PDP{Policy: pol, Consent: consent, Directory: reg}
+	var roles *policy.RoleHierarchy
+	if pol != nil {
+		roles = pol.Roles
+	}
+	return &Framework{
+		Registry: reg,
+		PDP:      pdp,
+		Checker:  NewChecker(reg, roles),
+	}
+}
+
+// EntryFinding is a per-entry preventive-layer finding: an action that
+// the policy would not have authorized (Definition 3 evaluated
+// a-posteriori over the logged request).
+type EntryFinding struct {
+	Index  int
+	Entry  audit.Entry
+	Reason string
+}
+
+// AuditResult is the combined outcome of auditing a trail.
+type AuditResult struct {
+	// CaseReports holds Algorithm 1's per-case verdicts, in order of
+	// first appearance of each case.
+	CaseReports []*Report
+	// PolicyFindings holds entries that fail Definition 3.
+	PolicyFindings []EntryFinding
+}
+
+// Infringements returns the non-compliant case reports.
+func (a *AuditResult) Infringements() []*Report {
+	var out []*Report
+	for _, r := range a.CaseReports {
+		if !r.Compliant {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Audit runs the full analysis over a trail: every entry against the
+// policy, every case through Algorithm 1.
+func (f *Framework) Audit(trail *audit.Trail) (*AuditResult, error) {
+	res := &AuditResult{}
+	for i := 0; i < trail.Len(); i++ {
+		e := trail.At(i)
+		if finding := f.evaluateEntry(i, e); finding != nil {
+			res.PolicyFindings = append(res.PolicyFindings, *finding)
+		}
+	}
+	reports, err := f.Checker.CheckTrail(trail)
+	if err != nil {
+		return nil, fmt.Errorf("core: auditing trail: %w", err)
+	}
+	res.CaseReports = reports
+	return res, nil
+}
+
+// evaluateEntry applies Definition 3 to a logged action. Entries without
+// an object (e.g. the paper's "cancel" rows) have no access to
+// authorize and are skipped.
+func (f *Framework) evaluateEntry(i int, e audit.Entry) *EntryFinding {
+	if len(e.Object.Path) == 0 {
+		return nil
+	}
+	dec := f.PDP.Evaluate(policy.AccessRequest{
+		User:   e.User,
+		Role:   e.Role,
+		Action: e.Action,
+		Object: e.Object,
+		Task:   e.Task,
+		Case:   e.Case,
+	})
+	if dec.Granted {
+		return nil
+	}
+	return &EntryFinding{Index: i, Entry: e, Reason: dec.Reason}
+}
+
+// AuditObject investigates one object: policy findings for entries
+// touching it, plus Algorithm 1 for each case in which it was accessed
+// (Section 4's per-object workflow).
+func (f *Framework) AuditObject(trail *audit.Trail, obj policy.Object) (*AuditResult, error) {
+	res := &AuditResult{}
+	for i := 0; i < trail.Len(); i++ {
+		e := trail.At(i)
+		if !obj.Covers(e.Object) {
+			continue
+		}
+		if finding := f.evaluateEntry(i, e); finding != nil {
+			res.PolicyFindings = append(res.PolicyFindings, *finding)
+		}
+	}
+	reports, err := f.Checker.CheckObject(trail, obj)
+	if err != nil {
+		return nil, fmt.Errorf("core: auditing object %s: %w", obj, err)
+	}
+	res.CaseReports = reports
+	return res, nil
+}

@@ -1,0 +1,308 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/audit"
+	"repro/internal/cows"
+)
+
+// Monitor is the online variant of Algorithm 1 the paper calls for in
+// Section 4 ("the analysis should be resumed when new actions within
+// the process instance are recorded"): it keeps one live configuration
+// set per case and consumes entries as they are logged, flagging the
+// first deviating entry of each case immediately.
+//
+// A Monitor is NOT safe for concurrent use (it owns a Checker); wrap it
+// or shard cases across monitors for concurrency.
+type Monitor struct {
+	checker *Checker
+	cases   map[string]*caseState
+}
+
+type caseState struct {
+	purpose *Purpose
+	configs []*Configuration
+	entries int
+	dead    bool // a violation was already flagged; further entries are reported, not replayed
+}
+
+// Verdict is the outcome of feeding one entry.
+type Verdict struct {
+	Case string
+	// OK is true when the entry extended a valid execution.
+	OK bool
+	// Violation describes the deviation when !OK.
+	Violation *Violation
+	// CaseEntries counts entries seen for the case so far.
+	CaseEntries int
+	// Configurations is the live configuration count after the entry.
+	Configurations int
+}
+
+// NewMonitor builds a monitor sharing the checker's configuration (the
+// checker must not be used elsewhere concurrently).
+func NewMonitor(c *Checker) *Monitor {
+	return &Monitor{checker: c, cases: map[string]*caseState{}}
+}
+
+// Watch initializes a case's live state without feeding an entry, so
+// Enabled can be queried before any activity (a workflow engine starting
+// a fresh instance).
+func (m *Monitor) Watch(caseID string) error {
+	_, err := m.caseStateFor(caseID)
+	return err
+}
+
+// errUnknownPurpose distinguishes resolution failures in caseStateFor.
+var errUnknownPurpose = fmt.Errorf("core: case code is not bound to any registered purpose")
+
+func (m *Monitor) caseStateFor(caseID string) (*caseState, error) {
+	st, ok := m.cases[caseID]
+	if ok {
+		return st, nil
+	}
+	pur := m.checker.registry.ForCase(caseID)
+	if pur == nil {
+		return nil, fmt.Errorf("%w: %q", errUnknownPurpose, CaseCode(caseID))
+	}
+	y := m.checker.system(pur)
+	initial, err := m.checker.newConfiguration(y, pur, pur.Initial, cows.Canon(pur.Initial), map[ActiveTask]bool{})
+	if err != nil {
+		return nil, err
+	}
+	st = &caseState{purpose: pur, configs: []*Configuration{initial}}
+	m.cases[caseID] = st
+	return st, nil
+}
+
+// Offer is one unit of available work in a monitored case: either a
+// task that can start now (Fire) or a task already active that can
+// absorb further actions (Active). Failing describes whether the task
+// may fail here (an error boundary is reachable).
+type Offer struct {
+	Role   string
+	Task   string
+	Active bool
+}
+
+// Enabled returns the union, over the case's live configurations, of
+// startable tasks and active tasks — a workflow worklist. Deviated
+// cases return nil.
+func (m *Monitor) Enabled(caseID string) ([]Offer, error) {
+	st, err := m.caseStateFor(caseID)
+	if err != nil {
+		return nil, err
+	}
+	if st.dead {
+		return nil, nil
+	}
+	seen := map[Offer]bool{}
+	var out []Offer
+	add := func(o Offer) {
+		if !seen[o] {
+			seen[o] = true
+			out = append(out, o)
+		}
+	}
+	for _, conf := range st.configs {
+		for a := range conf.active {
+			add(Offer{Role: a.Role, Task: a.Task, Active: true})
+		}
+		for _, s := range conf.next {
+			if s.label.Op == "Err" {
+				continue
+			}
+			if st.purpose.Process.HasTask(s.label.Op) {
+				add(Offer{Role: s.label.Partner, Task: s.label.Op})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Task != out[j].Task {
+			return out[i].Task < out[j].Task
+		}
+		return !out[i].Active && out[j].Active
+	})
+	return out, nil
+}
+
+// Peek reports whether the entry would extend the case's valid
+// execution, without mutating any state — the dry run a workflow engine
+// needs to refuse an operation instead of recording a deviation.
+func (m *Monitor) Peek(e audit.Entry) (bool, error) {
+	st, err := m.caseStateFor(e.Case)
+	if err != nil {
+		if errors.Is(err, errUnknownPurpose) {
+			return false, nil
+		}
+		return false, err
+	}
+	if st.dead {
+		return false, nil
+	}
+	maxConfigs := m.checker.MaxConfigurations
+	if maxConfigs <= 0 {
+		maxConfigs = DefaultMaxConfigurations
+	}
+	y := m.checker.system(st.purpose)
+	_, found, err := m.checker.advance(y, st.purpose, st.configs, e, maxConfigs)
+	if err != nil {
+		return false, fmt.Errorf("core: peeking case %s: %w", e.Case, err)
+	}
+	return found, nil
+}
+
+// Feed consumes one entry.
+func (m *Monitor) Feed(e audit.Entry) (*Verdict, error) {
+	v := &Verdict{Case: e.Case}
+	st, err := m.caseStateFor(e.Case)
+	if err != nil {
+		if errors.Is(err, errUnknownPurpose) {
+			return &Verdict{
+				Case: e.Case,
+				Violation: &Violation{
+					Kind:   ViolationUnknownPurpose,
+					Entry:  &e,
+					Reason: fmt.Sprintf("case code %q is not bound to any registered purpose", CaseCode(e.Case)),
+				},
+			}, nil
+		}
+		return nil, err
+	}
+	st.entries++
+	v.CaseEntries = st.entries
+
+	if st.dead {
+		v.Violation = &Violation{
+			Kind:   ViolationInvalidExecution,
+			Entry:  &e,
+			Reason: "case already deviated from its purpose's process",
+		}
+		return v, nil
+	}
+
+	maxConfigs := m.checker.MaxConfigurations
+	if maxConfigs <= 0 {
+		maxConfigs = DefaultMaxConfigurations
+	}
+	y := m.checker.system(st.purpose)
+	next, found, err := m.checker.advance(y, st.purpose, st.configs, e, maxConfigs)
+	if err != nil {
+		return nil, fmt.Errorf("core: monitoring case %s: %w", e.Case, err)
+	}
+	if !found {
+		st.dead = true
+		v.Violation = m.checker.describeViolation(st.purpose, st.configs, st.entries-1, e)
+		v.Configurations = len(st.configs)
+		return v, nil
+	}
+	st.configs = next
+	v.OK = true
+	v.Configurations = len(next)
+	return v, nil
+}
+
+// CaseStatus summarizes a monitored case.
+type CaseStatus struct {
+	Case           string
+	Purpose        string
+	Entries        int
+	Deviated       bool
+	Configurations int
+	CanComplete    bool
+}
+
+// Status reports all monitored cases, sorted by case id.
+func (m *Monitor) Status() ([]CaseStatus, error) {
+	var out []CaseStatus
+	for id, st := range m.cases {
+		cs := CaseStatus{
+			Case:           id,
+			Purpose:        st.purpose.Name,
+			Entries:        st.entries,
+			Deviated:       st.dead,
+			Configurations: len(st.configs),
+		}
+		if !st.dead {
+			y := m.checker.system(st.purpose)
+			for _, conf := range st.configs {
+				done, err := y.CanTerminateSilently(conf.state)
+				if err != nil {
+					return nil, err
+				}
+				if done {
+					cs.CanComplete = true
+					break
+				}
+			}
+		}
+		out = append(out, cs)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Case < out[j].Case })
+	return out, nil
+}
+
+// Forget drops a case's live state (e.g. after it completed and was
+// archived).
+func (m *Monitor) Forget(caseID string) { delete(m.cases, caseID) }
+
+// CheckStoreParallel fans the per-case analysis of a store out over
+// nWorkers goroutines — the "massive parallelization" the paper notes is
+// possible because case analyses are independent (Section 7). Workers
+// share the checker (and thus its warm LTS caches; the caches are
+// concurrency-safe). Reports come back keyed by case.
+func CheckStoreParallel(c *Checker, store *audit.Store, nWorkers int) (map[string]*Report, error) {
+	cases := store.Cases()
+	if nWorkers <= 0 {
+		nWorkers = 1
+	}
+	if nWorkers > len(cases) && len(cases) > 0 {
+		nWorkers = len(cases)
+	}
+	type result struct {
+		rep *Report
+		err error
+	}
+	jobs := make(chan string)
+	results := make(chan result)
+	var wg sync.WaitGroup
+	for w := 0; w < nWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for caseID := range jobs {
+				trail := store.Case(caseID)
+				rep, err := c.CheckCase(trail, caseID)
+				results <- result{rep: rep, err: err}
+			}
+		}()
+	}
+	go func() {
+		for _, id := range cases {
+			jobs <- id
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+
+	out := make(map[string]*Report, len(cases))
+	var firstErr error
+	for r := range results {
+		if r.err != nil {
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			continue
+		}
+		out[r.rep.Case] = r.rep
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}

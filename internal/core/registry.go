@@ -1,0 +1,162 @@
+// Package core implements the paper's contribution: the purpose-control
+// framework of Sections 3–5. It ties together data protection policies
+// (internal/policy), organizational processes (internal/bpmn encoded via
+// internal/encode into internal/cows services), and audit trails
+// (internal/audit), and decides — with Algorithm 1 — whether the data
+// recorded in a trail were actually processed for the purpose claimed
+// when access was granted.
+//
+// The package exposes:
+//
+//   - Registry: purposes bound to their organizational processes and
+//     case-code prefixes (the "HT" in "HT-1");
+//   - Checker: Algorithm 1 over configuration sets (Definition 6),
+//     sound and complete for well-founded processes (Theorems 1–2);
+//   - Monitor: the online/resumable variant that consumes entries as
+//     they are logged;
+//   - Framework: the combined preventive + a-posteriori audit the paper
+//     envisions (Definition 3 per entry, Algorithm 1 per case).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/bpmn"
+	"repro/internal/cows"
+	"repro/internal/encode"
+	"repro/internal/lts"
+)
+
+// Registry binds purposes (by process name) to organizational processes
+// and resolves which purpose a case instantiates from the case
+// identifier's code prefix ("HT-1" → the process registered under code
+// "HT"). It implements policy.PurposeDirectory. Safe for concurrent use
+// after registration is complete.
+type Registry struct {
+	mu      sync.RWMutex
+	byName  map[string]*Purpose
+	byCode  map[string]*Purpose
+	ordered []string
+}
+
+// Purpose is a registered purpose: the organizational process that
+// operationalizes it, its COWS encoding, and the case-code prefixes
+// that identify its instances.
+type Purpose struct {
+	Name    string
+	Codes   []string
+	Process *bpmn.Process
+	// Initial is the encoded COWS service: the initial state of one
+	// process instance.
+	Initial cows.Service
+	// Observable is the process's observable-label predicate.
+	Observable lts.Observability
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]*Purpose{}, byCode: map[string]*Purpose{}}
+}
+
+// Register encodes the process and binds it to the given case codes.
+// The process name is the purpose name policies refer to.
+func (r *Registry) Register(p *bpmn.Process, codes ...string) (*Purpose, error) {
+	if len(codes) == 0 {
+		return nil, fmt.Errorf("core: purpose %q needs at least one case code", p.Name)
+	}
+	initial, err := encode.Encode(p)
+	if err != nil {
+		return nil, fmt.Errorf("core: encoding purpose %q: %w", p.Name, err)
+	}
+	pur := &Purpose{
+		Name:       p.Name,
+		Codes:      append([]string(nil), codes...),
+		Process:    p,
+		Initial:    initial,
+		Observable: encode.Observability(p),
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[p.Name]; dup {
+		return nil, fmt.Errorf("core: purpose %q already registered", p.Name)
+	}
+	for _, c := range codes {
+		if prev, dup := r.byCode[c]; dup {
+			return nil, fmt.Errorf("core: case code %q already bound to purpose %q", c, prev.Name)
+		}
+	}
+	r.byName[p.Name] = pur
+	for _, c := range codes {
+		r.byCode[c] = pur
+	}
+	r.ordered = append(r.ordered, p.Name)
+	return pur, nil
+}
+
+// MustRegister is Register that panics on error (fixtures).
+func (r *Registry) MustRegister(p *bpmn.Process, codes ...string) *Purpose {
+	pur, err := r.Register(p, codes...)
+	if err != nil {
+		panic(err)
+	}
+	return pur
+}
+
+// Purpose returns the purpose registered under the given name, or nil.
+func (r *Registry) Purpose(name string) *Purpose {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.byName[name]
+}
+
+// Purposes returns registered purpose names in registration order.
+func (r *Registry) Purposes() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]string(nil), r.ordered...)
+}
+
+// CaseCode extracts the code prefix of a case identifier: the part
+// before the first '-' ("HT-1" → "HT"). A case without a dash is its own
+// code.
+func CaseCode(caseID string) string {
+	if i := strings.IndexByte(caseID, '-'); i >= 0 {
+		return caseID[:i]
+	}
+	return caseID
+}
+
+// ForCase resolves the purpose a case instantiates, or nil.
+func (r *Registry) ForCase(caseID string) *Purpose {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.byCode[CaseCode(caseID)]
+}
+
+// PurposeOf implements policy.PurposeDirectory.
+func (r *Registry) PurposeOf(caseID string) string {
+	if p := r.ForCase(caseID); p != nil {
+		return p.Name
+	}
+	return ""
+}
+
+// PurposeHasTask implements policy.PurposeDirectory.
+func (r *Registry) PurposeHasTask(purpose, task string) bool {
+	p := r.Purpose(purpose)
+	return p != nil && p.Process.HasTask(task)
+}
+
+// TasksOf returns the sorted tasks of a purpose's process (diagnostics).
+func (r *Registry) TasksOf(purpose string) []string {
+	p := r.Purpose(purpose)
+	if p == nil {
+		return nil
+	}
+	tasks := append([]string(nil), p.Process.Tasks()...)
+	sort.Strings(tasks)
+	return tasks
+}

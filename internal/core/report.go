@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/audit"
+)
+
+// ViolationKind classifies why a case failed compliance.
+type ViolationKind int
+
+const (
+	// ViolationInvalidExecution: the trail is not a valid execution of
+	// the purpose's process (Algorithm 1 returned false).
+	ViolationInvalidExecution ViolationKind = iota
+	// ViolationUnknownPurpose: the case code names no registered
+	// purpose, so the claimed purpose cannot be validated at all.
+	ViolationUnknownPurpose
+)
+
+// String names the kind.
+func (k ViolationKind) String() string {
+	switch k {
+	case ViolationInvalidExecution:
+		return "invalid-execution"
+	case ViolationUnknownPurpose:
+		return "unknown-purpose"
+	case ViolationExpired:
+		return "expired"
+	default:
+		return fmt.Sprintf("ViolationKind(%d)", int(k))
+	}
+}
+
+// Violation pinpoints the first entry Algorithm 1 could not replay.
+type Violation struct {
+	Kind       ViolationKind
+	EntryIndex int
+	Entry      *audit.Entry
+	Reason     string
+	// Expected lists the observable labels the surviving
+	// configurations offered instead.
+	Expected []string
+	// ActiveTasks lists the tasks that were active across surviving
+	// configurations.
+	ActiveTasks []string
+}
+
+// String renders a one-line diagnosis.
+func (v *Violation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "[%s] %s", v.Kind, v.Reason)
+	if v.Entry != nil {
+		fmt.Fprintf(&b, " (entry %d: %s)", v.EntryIndex, v.Entry)
+	}
+	if len(v.Expected) > 0 {
+		fmt.Fprintf(&b, "; expected one of %v", v.Expected)
+	}
+	if len(v.ActiveTasks) > 0 {
+		fmt.Fprintf(&b, "; active %v", v.ActiveTasks)
+	}
+	return b.String()
+}
+
+// Report is the outcome of replaying one case (Algorithm 1).
+type Report struct {
+	Case    string
+	Purpose string
+	// Entries is the number of entries in the case slice.
+	Entries int
+	// Compliant is Algorithm 1's verdict: the trail is a valid
+	// (prefix of an) execution of the purpose's process.
+	Compliant bool
+	// Violation is set when not compliant.
+	Violation *Violation
+	// StepsReplayed counts entries successfully replayed (all of them
+	// when compliant).
+	StepsReplayed int
+	// PeakConfigurations is the largest configuration set during the
+	// replay — the cost driver of the algorithm.
+	PeakConfigurations int
+	// FinalConfigurations is the surviving configuration count.
+	FinalConfigurations int
+	// CanComplete reports that some surviving configuration can reach
+	// process completion without further observable activity.
+	CanComplete bool
+	// Pending reports a compliant but mid-flight case: the analysis
+	// should be resumed when new actions are recorded (Section 4).
+	Pending bool
+}
+
+// String renders a one-line summary.
+func (r *Report) String() string {
+	if r.Compliant {
+		state := "complete"
+		if r.Pending {
+			state = "pending"
+		}
+		return fmt.Sprintf("case %s (%s): COMPLIANT (%d entries, %s)", r.Case, r.Purpose, r.Entries, state)
+	}
+	return fmt.Sprintf("case %s (%s): INFRINGEMENT at entry %d: %s", r.Case, r.Purpose, r.StepsReplayed, r.Violation)
+}

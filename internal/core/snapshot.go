@@ -1,0 +1,95 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/cows"
+)
+
+// Monitor snapshots: the online analysis must survive auditor restarts
+// (the paper's Section 4 resumption, across process lifetimes). A
+// snapshot serializes each monitored case's configuration set — the
+// COWS states in their textual syntax plus the active-task sets; the
+// weak-next components are recomputed on restore.
+
+// monitorSnapshot is the wire form.
+type monitorSnapshot struct {
+	Version int                     `json:"version"`
+	Cases   map[string]caseSnapshot `json:"cases"`
+}
+
+type caseSnapshot struct {
+	Purpose string           `json:"purpose"`
+	Entries int              `json:"entries"`
+	Dead    bool             `json:"dead"`
+	Configs []configSnapshot `json:"configs"`
+}
+
+type configSnapshot struct {
+	State  string       `json:"state"`
+	Active []ActiveTask `json:"active,omitempty"`
+}
+
+// Snapshot writes the monitor's live state.
+func (m *Monitor) Snapshot(w io.Writer) error {
+	snap := monitorSnapshot{Version: 1, Cases: map[string]caseSnapshot{}}
+	for id, st := range m.cases {
+		cs := caseSnapshot{Purpose: st.purpose.Name, Entries: st.entries, Dead: st.dead}
+		for _, conf := range st.configs {
+			cs.Configs = append(cs.Configs, configSnapshot{
+				State:  cows.String(conf.state),
+				Active: conf.ActiveTasks(),
+			})
+		}
+		snap.Cases[id] = cs
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		return fmt.Errorf("core: writing monitor snapshot: %w", err)
+	}
+	return nil
+}
+
+// RestoreMonitor rebuilds a monitor from a snapshot over the given
+// checker (whose registry must contain every purpose the snapshot
+// references). Weak-next sets are recomputed, so a restored monitor
+// behaves identically to the one that was snapshotted.
+func RestoreMonitor(c *Checker, r io.Reader) (*Monitor, error) {
+	var snap monitorSnapshot
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&snap); err != nil {
+		return nil, fmt.Errorf("core: reading monitor snapshot: %w", err)
+	}
+	if snap.Version != 1 {
+		return nil, fmt.Errorf("core: unsupported snapshot version %d", snap.Version)
+	}
+	m := NewMonitor(c)
+	for id, cs := range snap.Cases {
+		pur := c.registry.Purpose(cs.Purpose)
+		if pur == nil {
+			return nil, fmt.Errorf("core: snapshot references unknown purpose %q", cs.Purpose)
+		}
+		st := &caseState{purpose: pur, entries: cs.Entries, dead: cs.Dead}
+		y := c.system(pur)
+		for _, confSnap := range cs.Configs {
+			state, err := cows.Parse(confSnap.State)
+			if err != nil {
+				return nil, fmt.Errorf("core: snapshot state of case %s: %w", id, err)
+			}
+			active := map[ActiveTask]bool{}
+			for _, a := range confSnap.Active {
+				active[a] = true
+			}
+			conf, err := c.newConfiguration(y, pur, state, cows.Canon(state), active)
+			if err != nil {
+				return nil, fmt.Errorf("core: rebuilding case %s: %w", id, err)
+			}
+			st.configs = append(st.configs, conf)
+		}
+		m.cases[id] = st
+	}
+	return m, nil
+}

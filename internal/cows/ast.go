@@ -1,0 +1,330 @@
+// Package cows implements the mini Calculus for Orchestration of Web
+// Services (COWS) used by Petković, Prandi and Zannone to give BPMN
+// processes a formal semantics (SDM@VLDB 2011, Section 3.3).
+//
+// The grammar implemented here is exactly the one the paper presents:
+//
+//	s ::= p·o!<w>  |  [d]s  |  g  |  s|s  |  {|s|}  |  kill(k)  |  *s
+//	g ::= 0  |  p·o?<w>.s  |  g+g
+//
+// Services are immutable trees. All derivation functions return new trees
+// and never mutate their inputs, so services can be shared freely across
+// goroutines once built.
+//
+// Extensions relative to the paper's mini-calculus, both needed by the
+// BPMN encoder of the companion internal/encode package:
+//
+//   - Invoke arguments may be Union expressions, which at firing time
+//     compute the set-union of their operands (values are canonical
+//     '+'-separated sorted name sets, see values.go). Tokens in the
+//     encoded processes carry the set of "origin" tasks that produced
+//     them; OR/AND joins union the sets of their incoming tokens.
+//   - Scope declarations carry an explicit kind (name, variable or killer
+//     label) rather than relying on three disjoint ambient sets.
+package cows
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DeclKind says what a Scope delimiter [d] binds: a private name, a
+// communication variable, or a killer label.
+type DeclKind int
+
+// The three kinds of COWS delimited identifiers.
+const (
+	DeclName DeclKind = iota
+	DeclVar
+	DeclKill
+)
+
+// String returns "name", "var" or "kill".
+func (k DeclKind) String() string {
+	switch k {
+	case DeclName:
+		return "name"
+	case DeclVar:
+		return "var"
+	case DeclKill:
+		return "kill"
+	default:
+		return fmt.Sprintf("DeclKind(%d)", int(k))
+	}
+}
+
+// Service is a COWS term. The concrete types are Nil, Invoke, Choice
+// (whose branches are Requests), Par, Scope, Protect, Kill and Repl.
+// A bare Request is also a Service (a one-branch choice).
+type Service interface {
+	// isService is a marker; the sum of service types is closed.
+	isService()
+}
+
+// Nil is the empty activity 0.
+type Nil struct{}
+
+// Invoke is the sending activity p·o!<w̄>.
+type Invoke struct {
+	Partner string
+	Op      string
+	Args    []Expr
+}
+
+// Request is the receiving activity p·o?<w̄>.s. It doubles as a choice
+// branch; a Request used directly as a Service behaves as a singleton
+// Choice.
+type Request struct {
+	Partner string
+	Op      string
+	Params  []Pattern
+	Cont    Service
+}
+
+// Choice is the guarded choice g+g between two or more request branches.
+type Choice struct {
+	Branches []*Request
+}
+
+// Par is the parallel composition s|s, n-ary for convenience.
+type Par struct {
+	Kids []Service
+}
+
+// Scope is the delimitation [d]s. Kind determines whether Ident is a
+// private name, a variable or a killer label.
+type Scope struct {
+	Kind  DeclKind
+	Ident string
+	Body  Service
+}
+
+// Protect is the protection block {|s|}: its body survives kill signals.
+type Protect struct {
+	Body Service
+}
+
+// Kill is the forced-termination activity kill(k).
+type Kill struct {
+	Label string
+}
+
+// Repl is the replication *s: behaves as s | *s, unfolded lazily.
+type Repl struct {
+	Body Service
+}
+
+func (Nil) isService()     {}
+func (*Invoke) isService() {}
+func (*Request) isService() {}
+func (*Choice) isService() {}
+func (*Par) isService()    {}
+func (*Scope) isService()  {}
+func (*Protect) isService() {}
+func (*Kill) isService()   {}
+func (*Repl) isService()   {}
+
+// Endpoint renders the activity endpoint "partner.op".
+func (i *Invoke) Endpoint() string { return i.Partner + "." + i.Op }
+
+// Endpoint renders the activity endpoint "partner.op".
+func (r *Request) Endpoint() string { return r.Partner + "." + r.Op }
+
+//
+// Constructors. These keep trees in a lightly normalized shape (flattened
+// parallels, no empty choices) so that structural work downstream stays
+// simple. Full canonicalization lives in canon.go.
+//
+
+// Zero returns the empty activity.
+func Zero() Service { return Nil{} }
+
+// Inv builds an invoke activity with literal arguments.
+func Inv(partner, op string, args ...string) *Invoke {
+	ex := make([]Expr, len(args))
+	for i, a := range args {
+		ex[i] = Lit(a)
+	}
+	return &Invoke{Partner: partner, Op: op, Args: ex}
+}
+
+// InvE builds an invoke activity with expression arguments.
+func InvE(partner, op string, args ...Expr) *Invoke {
+	return &Invoke{Partner: partner, Op: op, Args: args}
+}
+
+// Req builds a request-prefixed service p·o?<params>.cont. Params that
+// start with '$' denote variables; anything else is a literal name.
+// A nil cont means the continuation is 0.
+func Req(partner, op string, params []string, cont Service) *Request {
+	ps := make([]Pattern, len(params))
+	for i, p := range params {
+		if strings.HasPrefix(p, "$") {
+			ps[i] = PVar(strings.TrimPrefix(p, "$"))
+		} else {
+			ps[i] = PLit(p)
+		}
+	}
+	if cont == nil {
+		cont = Nil{}
+	}
+	return &Request{Partner: partner, Op: op, Params: ps, Cont: cont}
+}
+
+// Sum builds a guarded choice from the given branches. Zero branches
+// yield 0, one branch yields the branch itself.
+func Sum(branches ...*Request) Service {
+	switch len(branches) {
+	case 0:
+		return Nil{}
+	case 1:
+		return branches[0]
+	default:
+		return &Choice{Branches: branches}
+	}
+}
+
+// Parallel composes services in parallel, flattening nested parallels and
+// dropping Nils. Zero kids yield 0, one kid yields the kid itself.
+func Parallel(kids ...Service) Service {
+	var flat []Service
+	var walk func(Service)
+	walk = func(s Service) {
+		switch t := s.(type) {
+		case Nil:
+		case *Par:
+			for _, k := range t.Kids {
+				walk(k)
+			}
+		default:
+			flat = append(flat, s)
+		}
+	}
+	for _, k := range kids {
+		if k == nil {
+			continue
+		}
+		walk(k)
+	}
+	switch len(flat) {
+	case 0:
+		return Nil{}
+	case 1:
+		return flat[0]
+	default:
+		return &Par{Kids: flat}
+	}
+}
+
+// NewScope wraps body in a delimiter of the given kind.
+func NewScope(kind DeclKind, ident string, body Service) *Scope {
+	return &Scope{Kind: kind, Ident: ident, Body: body}
+}
+
+// Protected wraps body in a protection block.
+func Protected(body Service) *Protect { return &Protect{Body: body} }
+
+// KillSig builds a kill(k) activity.
+func KillSig(label string) *Kill { return &Kill{Label: label} }
+
+// Replicate wraps body in the replication operator.
+func Replicate(body Service) *Repl { return &Repl{Body: body} }
+
+// IsNil reports whether s is structurally the empty activity (0, an empty
+// parallel, or compositions thereof).
+func IsNil(s Service) bool {
+	switch t := s.(type) {
+	case nil:
+		return true
+	case Nil:
+		return true
+	case *Par:
+		for _, k := range t.Kids {
+			if !IsNil(k) {
+				return false
+			}
+		}
+		return true
+	case *Protect:
+		return IsNil(t.Body)
+	case *Scope:
+		return IsNil(t.Body)
+	default:
+		return false
+	}
+}
+
+// Size returns the number of AST nodes in s; useful for reporting and for
+// sanity caps in exploration.
+func Size(s Service) int {
+	switch t := s.(type) {
+	case nil:
+		return 0
+	case Nil:
+		return 1
+	case *Invoke:
+		return 1
+	case *Request:
+		return 1 + Size(t.Cont)
+	case *Choice:
+		n := 1
+		for _, b := range t.Branches {
+			n += Size(b)
+		}
+		return n
+	case *Par:
+		n := 1
+		for _, k := range t.Kids {
+			n += Size(k)
+		}
+		return n
+	case *Scope:
+		return 1 + Size(t.Body)
+	case *Protect:
+		return 1 + Size(t.Body)
+	case *Kill:
+		return 1
+	case *Repl:
+		return 1 + Size(t.Body)
+	default:
+		return 1
+	}
+}
+
+// Endpoints returns the sorted set of endpoints ("partner.op") occurring
+// anywhere in s, for diagnostics.
+func Endpoints(s Service) []string {
+	set := map[string]bool{}
+	var walk func(Service)
+	walk = func(s Service) {
+		switch t := s.(type) {
+		case *Invoke:
+			set[t.Endpoint()] = true
+		case *Request:
+			set[t.Endpoint()] = true
+			walk(t.Cont)
+		case *Choice:
+			for _, b := range t.Branches {
+				walk(b)
+			}
+		case *Par:
+			for _, k := range t.Kids {
+				walk(k)
+			}
+		case *Scope:
+			walk(t.Body)
+		case *Protect:
+			walk(t.Body)
+		case *Repl:
+			walk(t.Body)
+		}
+	}
+	walk(s)
+	out := make([]string, 0, len(set))
+	for e := range set {
+		out = append(out, e)
+	}
+	sort.Strings(out)
+	return out
+}

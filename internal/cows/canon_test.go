@@ -1,0 +1,219 @@
+package cows
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCanonAlphaInvariance(t *testing.T) {
+	pairs := [][2]string{
+		{`[x:var] P.T?<$x>.P.E!<$x>`, `[y:var] P.T?<$y>.P.E!<$y>`},
+		{`[sys:name](sys.a!<> | sys.a?<>.0)`, `[zzz:name](zzz.a!<> | zzz.a?<>.0)`},
+		{`[k:kill](kill(k) | {|P.b!<>|})`, `[q:kill](kill(q) | {|P.b!<>|})`},
+		{
+			`[x:var][y:var] P.T?<$x,$y>.P.E!<$y,$x>`,
+			`[a:var][b:var] P.T?<$a,$b>.P.E!<$b,$a>`,
+		},
+	}
+	for _, p := range pairs {
+		a, b := MustParse(p[0]), MustParse(p[1])
+		if Canon(a) != Canon(b) {
+			t.Errorf("alpha-variants differ:\n %s -> %s\n %s -> %s", p[0], Canon(a), p[1], Canon(b))
+		}
+	}
+	// And genuinely different binders must differ.
+	a := MustParse(`[x:var] P.T?<$x>.P.E!<$x>`)
+	b := MustParse(`[x:var] P.T?<$x>.P.E!<v>`)
+	if Canon(a) == Canon(b) {
+		t.Errorf("distinct terms canonize equal")
+	}
+}
+
+func TestCanonParallelPermutationInvariance(t *testing.T) {
+	kids := []string{`P.a!<>`, `P.b?<>.0`, `*Q.c?<>.Q.d!<>`, `[x:var] R.e?<$x>.0`}
+	base := MustParse(kids[0] + "|" + kids[1] + "|" + kids[2] + "|" + kids[3])
+	want := Canon(base)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		perm := rng.Perm(len(kids))
+		src := ""
+		for i, idx := range perm {
+			if i > 0 {
+				src += "|"
+			}
+			src += kids[idx]
+		}
+		if got := Canon(MustParse(src)); got != want {
+			t.Fatalf("permutation %v changed canon:\n %s\n %s", perm, got, want)
+		}
+	}
+}
+
+func TestCanonChoicePermutationInvariance(t *testing.T) {
+	a := MustParse(`P.a?<>.0 + P.b?<>.P.x!<> + P.c?<>.0`)
+	b := MustParse(`P.c?<>.0 + P.a?<>.0 + P.b?<>.P.x!<>`)
+	if Canon(a) != Canon(b) {
+		t.Errorf("choice order changed canon")
+	}
+}
+
+func TestNormalizeLaws(t *testing.T) {
+	cases := [][2]string{
+		// 0 | s ≡ s
+		{`0 | P.a!<>`, `P.a!<>`},
+		// nested parallels flatten
+		{`(P.a!<> | P.b!<>) | P.c!<>`, `P.a!<> | P.b!<> | P.c!<>`},
+		// dead scope elimination
+		{`[n:name] P.a!<>`, `P.a!<>`},
+		// s | *s ≡ *s
+		{`P.T?<>.P.E!<> | *P.T?<>.P.E!<>`, `*P.T?<>.P.E!<>`},
+		// alpha-variant copy also absorbed
+		{`[x:var] P.T?<$x>.0 | *[y:var] P.T?<$y>.0`, `*[y:var] P.T?<$y>.0`},
+		// protect of 0 is 0
+		{`{|0|} | P.a!<>`, `P.a!<>`},
+		// replication of 0 is 0
+		{`*0 | P.a!<>`, `P.a!<>`},
+	}
+	for _, c := range cases {
+		got := Canon(Normalize(MustParse(c[0])))
+		want := Canon(MustParse(c[1]))
+		if got != want {
+			t.Errorf("Normalize(%q):\n got  %s\n want %s", c[0], got, want)
+		}
+	}
+	// Normalize must NOT absorb a component that differs from the
+	// replication body.
+	s := Normalize(MustParse(`P.E!<> | *P.T?<>.P.E!<>`))
+	if Canon(s) == Canon(MustParse(`*P.T?<>.P.E!<>`)) {
+		t.Errorf("Normalize over-absorbed a distinct component")
+	}
+}
+
+func TestCanonDeterministicUnderStepping(t *testing.T) {
+	// Two engines stepping the same replicated service through
+	// different numbers of prior derivations must produce canonically
+	// equal successors (freshness suffixes are alpha-normalized away).
+	src := `*[sys:name]( P.go?<>.sys.mid!<> | sys.mid?<>.P.done!<> ) | P.go!<> | P.done?<>`
+	e1, e2 := NewEngine(), NewEngine()
+	// Burn some freshness on e2.
+	for i := 0; i < 3; i++ {
+		if _, err := e2.Step(MustParse(`*[a:name](a.x!<> | a.x?<>.0) | P.kick!<> | P.kick?<>.0`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := MustParse(src)
+	t1, err := e1.Step(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := e2.Step(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t1) != len(t2) {
+		t.Fatalf("different transition counts %d vs %d", len(t1), len(t2))
+	}
+	for i := range t1 {
+		if Canon(t1[i].Next) != Canon(t2[i].Next) {
+			t.Fatalf("freshness leaked into canon at %d:\n %s\n %s",
+				i, Canon(t1[i].Next), Canon(t2[i].Next))
+		}
+	}
+}
+
+func TestSizeAndEndpoints(t *testing.T) {
+	s := MustParse(`P.T!<> | P.T?<>.P.E!<> | [x:var] Q.r?<$x>.0`)
+	if got := Size(s); got <= 4 {
+		t.Errorf("Size = %d", got)
+	}
+	eps := Endpoints(s)
+	want := []string{"P.E", "P.T", "Q.r"}
+	if len(eps) != len(want) {
+		t.Fatalf("Endpoints = %v", eps)
+	}
+	for i := range want {
+		if eps[i] != want[i] {
+			t.Errorf("Endpoints[%d] = %q, want %q", i, eps[i], want[i])
+		}
+	}
+}
+
+func TestSetValueProperties(t *testing.T) {
+	// Idempotent, commutative, associative, deduplicating.
+	if got := SetValue("b", "a", "b"); got != "a+b" {
+		t.Errorf("SetValue = %q", got)
+	}
+	if got := SetValue(); got != EmptySet {
+		t.Errorf("empty SetValue = %q", got)
+	}
+	if got := SetValue("-"); got != EmptySet {
+		t.Errorf("SetValue(-) = %q", got)
+	}
+	if got := SetValue("a+b", "c"); got != "a+b+c" {
+		t.Errorf("nested SetValue = %q", got)
+	}
+	comm := func(xs, ys []uint8) bool {
+		a := namesOf(xs)
+		b := namesOf(ys)
+		return SetValue(SetValue(a...), SetValue(b...)) == SetValue(SetValue(b...), SetValue(a...))
+	}
+	if err := quick.Check(comm, nil); err != nil {
+		t.Errorf("commutativity: %v", err)
+	}
+	idem := func(xs []uint8) bool {
+		a := namesOf(xs)
+		v := SetValue(a...)
+		return SetValue(v, v) == v
+	}
+	if err := quick.Check(idem, nil); err != nil {
+		t.Errorf("idempotence: %v", err)
+	}
+	roundTrip := func(xs []uint8) bool {
+		a := namesOf(xs)
+		v := SetValue(a...)
+		return SetValue(SetElems(v)...) == v
+	}
+	if err := quick.Check(roundTrip, nil); err != nil {
+		t.Errorf("round trip: %v", err)
+	}
+}
+
+func namesOf(xs []uint8) []string {
+	out := make([]string, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, string(rune('a'+int(x)%5)))
+	}
+	return out
+}
+
+func TestIsNilAndZero(t *testing.T) {
+	for _, s := range []Service{Zero(), Parallel(), Parallel(Zero(), Zero()), Protected(Zero()), NewScope(DeclName, "n", Zero())} {
+		if !IsNil(s) {
+			t.Errorf("IsNil(%s) = false", String(s))
+		}
+	}
+	for _, s := range []Service{Inv("P", "a"), Req("P", "a", nil, nil), KillSig("k"), Replicate(Inv("P", "a"))} {
+		if IsNil(s) {
+			t.Errorf("IsNil(%s) = true", String(s))
+		}
+	}
+}
+
+func TestLabelHelpers(t *testing.T) {
+	l := CommLabel("P", "T", "a+b")
+	if l.Endpoint() != "P.T" || l.String() != "P.T(a+b)" || l.Key() != "P.T(a+b)" {
+		t.Errorf("label rendering: %s / %s", l.Endpoint(), l)
+	}
+	if got := l.Origins(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("Origins = %v", got)
+	}
+	k := KillLabelOf("q")
+	if k.String() != "†q" || k.Endpoint() != "" {
+		t.Errorf("kill label: %s / %q", k, k.Endpoint())
+	}
+	empty := CommLabel("P", "T", "-")
+	if got := empty.Origins(); len(got) != 0 {
+		t.Errorf("empty origins = %v", got)
+	}
+}

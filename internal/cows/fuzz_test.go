@@ -1,0 +1,72 @@
+package cows
+
+import "testing"
+
+// FuzzParse checks two properties over arbitrary inputs: the parser
+// never panics, and for accepted inputs the print→reparse round trip
+// converges to the same canonical term.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"0",
+		"P.T!<>",
+		"P.T?<>.P.E!<>",
+		"P.T!<> | P.T?<>.P.E!<> | P.E?<>",
+		"P.a?<>.0 + P.b?<>.0",
+		"*[x:var] P.G?<$x>.[k:kill][sys:name](sys.c!<> | sys.c?<>.(kill(k) | {|P.b!<$x>|}))",
+		"[z:var] P1.S2?<$z>.P1.T1!<>",
+		"P.j!<u(a,b)>",
+		"kill(k)",
+		"{|P.a!<>|}",
+		"[x] P.T?<$x,$x>.0",
+		"((((P.a!<>))))",
+		"P..!<>",
+		"[:var] 0",
+		"+",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		s, err := Parse(src)
+		if err != nil {
+			return
+		}
+		printed := String(s)
+		re, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("printed form does not reparse: %q -> %q: %v", src, printed, err)
+		}
+		if Canon(s) != Canon(re) {
+			t.Fatalf("round trip changed term: %q -> %q", src, printed)
+		}
+	})
+}
+
+// FuzzStepTerminates checks the derivation engine never panics and
+// always terminates on parseable terms (bounded by construction: Step is
+// one derivation, not a closure).
+func FuzzStepTerminates(f *testing.F) {
+	for _, s := range []string{
+		"P.T!<> | P.T?<>.0",
+		"*P.T?<>.P.T!<> | P.T!<>",
+		"[k:kill](kill(k) | P.a!<>)",
+		"[x:var](P.r?<$x>.P.s!<$x>) | P.r!<v>",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		s, err := Parse(src)
+		if err != nil {
+			return
+		}
+		e := NewEngine()
+		ts, err := e.Step(s)
+		if err != nil {
+			return // unbound variables etc. are legitimate errors
+		}
+		for _, tr := range ts {
+			_ = Canon(tr.Next)
+			_ = tr.Label.String()
+		}
+	})
+}

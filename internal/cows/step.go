@@ -1,0 +1,409 @@
+package cows
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// Engine derives the transitions of COWS services under the closed-system
+// operational semantics: the observable steps of a complete service are
+// communications between its own invoke and request activities, plus
+// executed kill signals (which take priority, as in COWS).
+//
+// An Engine carries a freshness counter used to alpha-rename bound
+// identifiers when replications unfold; the counter is atomic and
+// derivation never mutates services, so an Engine is safe for concurrent
+// use.
+type Engine struct {
+	fresh atomic.Int64
+}
+
+// NewEngine returns a ready-to-use derivation engine.
+func NewEngine() *Engine { return &Engine{} }
+
+// Step returns the outgoing transitions of s, deterministically ordered
+// by (label, successor) and deduplicated. Successor services are
+// Normalized. If any kill signal is executable, only kill transitions
+// are returned (kill priority).
+func (e *Engine) Step(s Service) ([]Transition, error) {
+	exposed := e.expose(s)
+	sc := &scanner{}
+	sc.scan(exposed, nil, nil)
+	if sc.err != nil {
+		return nil, sc.err
+	}
+
+	var out []Transition
+	if len(sc.kills) > 0 {
+		for _, k := range sc.kills {
+			next, err := applyKill(exposed, k)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Transition{
+				Label: Label{Kind: LKill, KillLabel: display(k.label)},
+				Next:  Normalize(next),
+			})
+		}
+		return dedupSort(out), nil
+	}
+
+	for _, inv := range sc.invokes {
+		for _, req := range sc.requests {
+			if inv.key != req.key {
+				continue
+			}
+			sigma, ok := matchParams(req.params, inv.args)
+			if !ok {
+				continue
+			}
+			next, err := applyComm(exposed, inv, req, sigma)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Transition{
+				Label: Label{
+					Kind:    LComm,
+					Partner: display(inv.partner),
+					Op:      display(inv.op),
+					Args:    inv.args,
+				},
+				Next: Normalize(next),
+			})
+		}
+	}
+	return dedupSort(out), nil
+}
+
+// expose unfolds every replication in active position exactly once:
+// *s becomes s' | *s with s' an alpha-fresh copy. One unfolding per step
+// suffices for services where a single replica never needs to
+// synchronize with a second replica of itself within one transition,
+// which holds for all BPMN encodings produced by internal/encode.
+func (e *Engine) expose(s Service) Service {
+	switch t := s.(type) {
+	case *Par:
+		kids := make([]Service, len(t.Kids))
+		for i, k := range t.Kids {
+			kids[i] = e.expose(k)
+		}
+		return &Par{Kids: kids}
+	case *Scope:
+		return &Scope{Kind: t.Kind, Ident: t.Ident, Body: e.expose(t.Body)}
+	case *Protect:
+		return &Protect{Body: e.expose(t.Body)}
+	case *Repl:
+		copyBody := freshen(t.Body, func() int { return int(e.fresh.Add(1)) })
+		return &Par{Kids: []Service{e.expose(copyBody), t}}
+	default:
+		return s
+	}
+}
+
+// display strips the alpha-renaming suffix ("~n") so labels read as in
+// the paper's figures regardless of how many unfoldings happened.
+func display(ident string) string {
+	if i := strings.IndexByte(ident, '~'); i >= 0 {
+		return ident[:i]
+	}
+	return ident
+}
+
+//
+// Scanning: collect executable atoms (exposed invokes, requests, kills)
+// together with the information needed to rewrite the tree when they
+// fire.
+//
+
+type invokeAtom struct {
+	path    []int
+	key     string // privacy-resolved endpoint
+	partner string
+	op      string
+	args    []string
+}
+
+type requestAtom struct {
+	path    []int // node to replace: the Request itself, or its enclosing Choice
+	key     string
+	partner string
+	op      string
+	params  []Pattern
+	cont    Service
+	binders map[string][]int // pattern variable -> path of its binder scope
+}
+
+type killAtom struct {
+	label     string
+	scopePath []int // binder [k] scope
+}
+
+// scopeRef resolves an identifier occurrence to its binder.
+type scopeRef struct {
+	ident string
+	kind  DeclKind
+	path  []int
+}
+
+type scanner struct {
+	invokes  []invokeAtom
+	requests []requestAtom
+	kills    []killAtom
+	err      error
+}
+
+// scan walks the exposed service. env is the stack of enclosing scope
+// declarations (innermost last); path addresses the current node.
+func (sc *scanner) scan(s Service, path []int, env []scopeRef) {
+	switch t := s.(type) {
+	case nil, Nil:
+	case *Invoke:
+		args := make([]string, len(t.Args))
+		for i, a := range t.Args {
+			v, ok := a.eval(nil)
+			if !ok {
+				// Unbound variable argument: the invoke is stuck
+				// until an enclosing communication substitutes it.
+				return
+			}
+			args[i] = v
+		}
+		sc.invokes = append(sc.invokes, invokeAtom{
+			path:    clonePath(path),
+			key:     endpointKey(t.Partner, t.Op, env),
+			partner: t.Partner,
+			op:      t.Op,
+			args:    args,
+		})
+	case *Request:
+		sc.addRequest(t, path, env)
+	case *Choice:
+		for _, b := range t.Branches {
+			sc.addRequest(b, path, env)
+		}
+	case *Par:
+		for i, k := range t.Kids {
+			sc.scan(k, append(path, i), env)
+		}
+	case *Scope:
+		sc.scan(t.Body, append(path, 0), append(env, scopeRef{ident: t.Ident, kind: t.Kind, path: clonePath(path)}))
+	case *Protect:
+		sc.scan(t.Body, append(path, 0), env)
+	case *Kill:
+		ref, ok := lookup(env, t.Label, DeclKill)
+		if !ok {
+			// Free killer label: stuck (cannot be delimited).
+			return
+		}
+		sc.kills = append(sc.kills, killAtom{label: t.Label, scopePath: ref.path})
+	case *Repl:
+		// Already represented by its exposed unfolding; skip.
+		_ = t
+	}
+}
+
+func (sc *scanner) addRequest(r *Request, path []int, env []scopeRef) {
+	binders := map[string][]int{}
+	for _, p := range r.Params {
+		v, isVar := p.(PVar)
+		if !isVar {
+			continue
+		}
+		ref, ok := lookup(env, string(v), DeclVar)
+		if !ok {
+			sc.err = fmt.Errorf("cows: request %s.%s uses unbound variable %q", r.Partner, r.Op, string(v))
+			return
+		}
+		binders[string(v)] = ref.path
+	}
+	sc.requests = append(sc.requests, requestAtom{
+		path:    clonePath(path),
+		key:     endpointKey(r.Partner, r.Op, env),
+		partner: r.Partner,
+		op:      r.Op,
+		params:  r.Params,
+		cont:    r.Cont,
+		binders: binders,
+	})
+}
+
+// endpointKey resolves partner/op privacy: an identifier bound by a
+// DeclName scope is qualified with its binder's position, so equal
+// spellings in different scopes (e.g. two gateways' private "sys") never
+// match each other.
+func endpointKey(partner, op string, env []scopeRef) string {
+	return resolveIdent(partner, env) + "." + resolveIdent(op, env)
+}
+
+func resolveIdent(ident string, env []scopeRef) string {
+	if ref, ok := lookup(env, ident, DeclName); ok {
+		return ident + "@" + pathString(ref.path)
+	}
+	return ident
+}
+
+// lookup finds the innermost binder of ident with the given kind,
+// respecting shadowing across kinds: any closer binder of the same
+// ident (of whatever kind) shadows.
+func lookup(env []scopeRef, ident string, kind DeclKind) (scopeRef, bool) {
+	for i := len(env) - 1; i >= 0; i-- {
+		if env[i].ident == ident {
+			if env[i].kind == kind {
+				return env[i], true
+			}
+			return scopeRef{}, false
+		}
+	}
+	return scopeRef{}, false
+}
+
+func clonePath(p []int) []int {
+	out := make([]int, len(p))
+	copy(out, p)
+	return out
+}
+
+func pathString(p []int) string {
+	parts := make([]string, len(p))
+	for i, x := range p {
+		parts[i] = fmt.Sprint(x)
+	}
+	return strings.Join(parts, "/")
+}
+
+//
+// Rewriting
+//
+
+// replaceAt rebuilds s with the node at path transformed by f.
+func replaceAt(s Service, path []int, f func(Service) (Service, error)) (Service, error) {
+	if len(path) == 0 {
+		return f(s)
+	}
+	idx, rest := path[0], path[1:]
+	switch t := s.(type) {
+	case *Par:
+		if idx < 0 || idx >= len(t.Kids) {
+			return nil, fmt.Errorf("cows: path index %d out of range in parallel of %d", idx, len(t.Kids))
+		}
+		kids := make([]Service, len(t.Kids))
+		copy(kids, t.Kids)
+		nk, err := replaceAt(kids[idx], rest, f)
+		if err != nil {
+			return nil, err
+		}
+		kids[idx] = nk
+		return &Par{Kids: kids}, nil
+	case *Scope:
+		if idx != 0 {
+			return nil, fmt.Errorf("cows: invalid path index %d into scope", idx)
+		}
+		body, err := replaceAt(t.Body, rest, f)
+		if err != nil {
+			return nil, err
+		}
+		return &Scope{Kind: t.Kind, Ident: t.Ident, Body: body}, nil
+	case *Protect:
+		if idx != 0 {
+			return nil, fmt.Errorf("cows: invalid path index %d into protect", idx)
+		}
+		body, err := replaceAt(t.Body, rest, f)
+		if err != nil {
+			return nil, err
+		}
+		return &Protect{Body: body}, nil
+	default:
+		return nil, fmt.Errorf("cows: path descends into non-composite node %T", s)
+	}
+}
+
+// applyComm rewrites the exposed tree for a communication: the invoke
+// becomes 0, the request (or its whole choice) becomes its continuation,
+// and every variable bound by the match is substituted throughout its
+// binder scope, consuming the scope (the COWS delimitation rule).
+func applyComm(s Service, inv invokeAtom, req requestAtom, sigma map[string]string) (Service, error) {
+	t, err := replaceAt(s, inv.path, func(Service) (Service, error) { return Nil{}, nil })
+	if err != nil {
+		return nil, err
+	}
+	t, err = replaceAt(t, req.path, func(node Service) (Service, error) {
+		switch node.(type) {
+		case *Request, *Choice:
+			return req.cont, nil
+		default:
+			return nil, fmt.Errorf("cows: request path does not address a request/choice, found %T", node)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Dissolve binder scopes deepest-first so ancestor paths stay valid.
+	type binding struct {
+		ident string
+		path  []int
+	}
+	var binds []binding
+	for v := range sigma {
+		bp, ok := req.binders[v]
+		if !ok {
+			return nil, fmt.Errorf("cows: bound variable %q has no recorded binder", v)
+		}
+		binds = append(binds, binding{ident: v, path: bp})
+	}
+	sort.Slice(binds, func(i, j int) bool { return len(binds[i].path) > len(binds[j].path) })
+	for _, b := range binds {
+		val := sigma[b.ident]
+		t, err = replaceAt(t, b.path, func(node Service) (Service, error) {
+			scope, ok := node.(*Scope)
+			if !ok || scope.Kind != DeclVar || scope.Ident != b.ident {
+				return nil, fmt.Errorf("cows: binder path for %q does not address its scope", b.ident)
+			}
+			return subst(scope.Body, map[string]string{b.ident: val}), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// applyKill rewrites the exposed tree for an executed kill: everything
+// unprotected inside the killer label's scope is terminated.
+func applyKill(s Service, k killAtom) (Service, error) {
+	return replaceAt(s, k.scopePath, func(node Service) (Service, error) {
+		scope, ok := node.(*Scope)
+		if !ok || scope.Kind != DeclKill || scope.Ident != k.label {
+			return nil, fmt.Errorf("cows: kill scope path for %q does not address its scope", k.label)
+		}
+		body := halt(scope.Body)
+		if identOccurs(body, k.label) {
+			return &Scope{Kind: DeclKill, Ident: k.label, Body: body}, nil
+		}
+		return body, nil
+	})
+}
+
+func dedupSort(ts []Transition) []Transition {
+	type keyed struct {
+		key string
+		t   Transition
+	}
+	ks := make([]keyed, 0, len(ts))
+	for _, t := range ts {
+		ks = append(ks, keyed{key: t.Label.Key() + "\x00" + Canon(t.Next), t: t})
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i].key < ks[j].key })
+	out := ts[:0]
+	var prev string
+	for i, k := range ks {
+		if i > 0 && k.key == prev {
+			continue
+		}
+		prev = k.key
+		out = append(out, k.t)
+	}
+	return out
+}

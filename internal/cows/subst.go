@@ -1,0 +1,230 @@
+package cows
+
+import "strconv"
+
+// subst applies the variable substitution sigma to s, returning a new
+// tree. Substitution stops at an inner Scope re-declaring one of the
+// substituted variables (shadowing).
+func subst(s Service, sigma map[string]string) Service {
+	if len(sigma) == 0 {
+		return s
+	}
+	switch t := s.(type) {
+	case nil, Nil:
+		return Nil{}
+	case *Invoke:
+		args := make([]Expr, len(t.Args))
+		changed := false
+		for i, a := range t.Args {
+			na := substExpr(a, sigma)
+			args[i] = na
+			if na != a {
+				changed = true
+			}
+		}
+		if !changed {
+			return t
+		}
+		return &Invoke{Partner: t.Partner, Op: t.Op, Args: args}
+	case *Request:
+		params := make([]Pattern, len(t.Params))
+		for i, p := range t.Params {
+			if v, ok := p.(PVar); ok {
+				if val, hit := sigma[string(v)]; hit {
+					// A bound occurrence in pattern position
+					// would have been shadowed by its scope;
+					// reaching here means the variable was
+					// substituted from an outer binding that
+					// this request reuses as a match literal.
+					params[i] = PLit(val)
+					continue
+				}
+			}
+			params[i] = p
+		}
+		return &Request{Partner: t.Partner, Op: t.Op, Params: params, Cont: subst(t.Cont, sigma)}
+	case *Choice:
+		branches := make([]*Request, len(t.Branches))
+		for i, b := range t.Branches {
+			branches[i] = subst(b, sigma).(*Request)
+		}
+		return &Choice{Branches: branches}
+	case *Par:
+		kids := make([]Service, len(t.Kids))
+		for i, k := range t.Kids {
+			kids[i] = subst(k, sigma)
+		}
+		return &Par{Kids: kids}
+	case *Scope:
+		if t.Kind == DeclVar {
+			if _, shadowed := sigma[t.Ident]; shadowed {
+				inner := shallowCopyWithout(sigma, t.Ident)
+				if len(inner) == 0 {
+					return t
+				}
+				return &Scope{Kind: t.Kind, Ident: t.Ident, Body: subst(t.Body, inner)}
+			}
+		}
+		return &Scope{Kind: t.Kind, Ident: t.Ident, Body: subst(t.Body, sigma)}
+	case *Protect:
+		return &Protect{Body: subst(t.Body, sigma)}
+	case *Kill:
+		return t
+	case *Repl:
+		return &Repl{Body: subst(t.Body, sigma)}
+	default:
+		return s
+	}
+}
+
+func substExpr(e Expr, sigma map[string]string) Expr {
+	switch t := e.(type) {
+	case Lit:
+		return t
+	case Var:
+		if v, ok := sigma[string(t)]; ok {
+			return Lit(v)
+		}
+		return t
+	case *UnionExpr:
+		ops := make([]Expr, len(t.Operands))
+		for i, op := range t.Operands {
+			ops[i] = substExpr(op, sigma)
+		}
+		return &UnionExpr{Operands: ops}
+	default:
+		return e
+	}
+}
+
+func shallowCopyWithout(m map[string]string, key string) map[string]string {
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		if k != key {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// freshen alpha-renames every Scope-bound identifier in s to a fresh
+// identifier drawn from next. Replication unfolds use it so that
+// concurrent copies of a service do not share private names, variables or
+// killer labels.
+func freshen(s Service, next func() int) Service {
+	return renameBound(s, map[string]string{}, next)
+}
+
+func renameBound(s Service, ren map[string]string, next func() int) Service {
+	switch t := s.(type) {
+	case nil, Nil:
+		return Nil{}
+	case *Invoke:
+		args := make([]Expr, len(t.Args))
+		for i, a := range t.Args {
+			args[i] = renameExpr(a, ren)
+		}
+		return &Invoke{Partner: renameIdent(t.Partner, ren), Op: renameIdent(t.Op, ren), Args: args}
+	case *Request:
+		params := make([]Pattern, len(t.Params))
+		for i, p := range t.Params {
+			switch pt := p.(type) {
+			case PLit:
+				params[i] = PLit(renameIdent(string(pt), ren))
+			case PVar:
+				params[i] = PVar(renameIdent(string(pt), ren))
+			}
+		}
+		return &Request{
+			Partner: renameIdent(t.Partner, ren),
+			Op:      renameIdent(t.Op, ren),
+			Params:  params,
+			Cont:    renameBound(t.Cont, ren, next),
+		}
+	case *Choice:
+		branches := make([]*Request, len(t.Branches))
+		for i, b := range t.Branches {
+			branches[i] = renameBound(b, ren, next).(*Request)
+		}
+		return &Choice{Branches: branches}
+	case *Par:
+		kids := make([]Service, len(t.Kids))
+		for i, k := range t.Kids {
+			kids[i] = renameBound(k, ren, next)
+		}
+		return &Par{Kids: kids}
+	case *Scope:
+		fresh := t.Ident + "~" + strconv.Itoa(next())
+		inner := make(map[string]string, len(ren)+1)
+		for k, v := range ren {
+			inner[k] = v
+		}
+		inner[t.Ident] = fresh
+		return &Scope{Kind: t.Kind, Ident: fresh, Body: renameBound(t.Body, inner, next)}
+	case *Protect:
+		return &Protect{Body: renameBound(t.Body, ren, next)}
+	case *Kill:
+		return &Kill{Label: renameIdent(t.Label, ren)}
+	case *Repl:
+		return &Repl{Body: renameBound(t.Body, ren, next)}
+	default:
+		return s
+	}
+}
+
+func renameIdent(id string, ren map[string]string) string {
+	if v, ok := ren[id]; ok {
+		return v
+	}
+	return id
+}
+
+func renameExpr(e Expr, ren map[string]string) Expr {
+	switch t := e.(type) {
+	case Lit:
+		return Lit(renameIdent(string(t), ren))
+	case Var:
+		return Var(renameIdent(string(t), ren))
+	case *UnionExpr:
+		ops := make([]Expr, len(t.Operands))
+		for i, op := range t.Operands {
+			ops[i] = renameExpr(op, ren)
+		}
+		return &UnionExpr{Operands: ops}
+	default:
+		return e
+	}
+}
+
+// halt implements the effect of a kill signal on a service: every
+// unprotected activity is terminated (replaced by 0); protection blocks
+// survive intact. See the COWS semantics, rule for kill(k).
+func halt(s Service) Service {
+	switch t := s.(type) {
+	case nil, Nil:
+		return Nil{}
+	case *Invoke, *Request, *Choice, *Kill:
+		return Nil{}
+	case *Par:
+		kids := make([]Service, 0, len(t.Kids))
+		for _, k := range t.Kids {
+			h := halt(k)
+			if !IsNil(h) {
+				kids = append(kids, h)
+			}
+		}
+		return Parallel(kids...)
+	case *Scope:
+		b := halt(t.Body)
+		if IsNil(b) {
+			return Nil{}
+		}
+		return &Scope{Kind: t.Kind, Ident: t.Ident, Body: b}
+	case *Protect:
+		return t
+	case *Repl:
+		return Nil{}
+	default:
+		return Nil{}
+	}
+}

@@ -1,0 +1,208 @@
+package cows
+
+import (
+	"strings"
+	"testing"
+)
+
+// step1 derives one transition and returns its residual, asserting the
+// label.
+func step1(t *testing.T, src, wantLabel string) Service {
+	t.Helper()
+	e := NewEngine()
+	ts, err := e.Step(MustParse(src))
+	if err != nil {
+		t.Fatalf("Step(%s): %v", src, err)
+	}
+	for _, tr := range ts {
+		if tr.Label.String() == wantLabel {
+			return tr.Next
+		}
+	}
+	var have []string
+	for _, tr := range ts {
+		have = append(have, tr.Label.String())
+	}
+	t.Fatalf("label %q not available from %s; have %v", wantLabel, src, have)
+	return nil
+}
+
+func TestSubstitutionUnderChoice(t *testing.T) {
+	// Binding x must rewrite occurrences inside a sibling choice's
+	// branch continuations.
+	next := step1(t,
+		`[x:var]( P.in?<$x>.0 | (Q.a?<>.Q.out!<$x> + Q.b?<>.0) ) | P.in!<v>`,
+		"P.in(v)")
+	if !strings.Contains(String(next), "Q.out!<v>") {
+		t.Fatalf("substitution did not reach choice branch: %s", String(next))
+	}
+}
+
+func TestSubstitutionUnderProtectAndRepl(t *testing.T) {
+	next := step1(t,
+		`[x:var]( P.in?<$x>.0 | {| *Q.a?<>.Q.out!<$x> |} ) | P.in!<v>`,
+		"P.in(v)")
+	if !strings.Contains(String(next), "Q.out!<v>") {
+		t.Fatalf("substitution did not reach protected replication: %s", String(next))
+	}
+}
+
+func TestSubstitutionShadowing(t *testing.T) {
+	// The inner [x] shadows the outer binding: its occurrences must
+	// not be rewritten.
+	next := step1(t,
+		`[x:var]( P.in?<$x>.0 | [x:var] Q.r?<$x>.Q.out!<$x> ) | P.in!<v>`,
+		"P.in(v)")
+	// The inner scope must still be a variable binder with its own x.
+	if !strings.Contains(String(next), "?<$x") {
+		t.Fatalf("inner binder lost: %s", String(next))
+	}
+	// Feeding the inner request now yields its own value, not v.
+	e := NewEngine()
+	ts, err := e.Step(Parallel(next, MustParse(`Q.r!<w>`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, tr := range ts {
+		if tr.Label.String() == "Q.r(w)" {
+			found = true
+			if !strings.Contains(String(tr.Next), "Q.out!<w>") {
+				t.Fatalf("inner binding wrong: %s", String(tr.Next))
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("inner request did not fire")
+	}
+}
+
+func TestSubstitutionIntoUnionExpr(t *testing.T) {
+	// A union expression with one bound and one literal operand.
+	s := Parallel(
+		NewScope(cows_DeclVar(), "x",
+			Req("P", "in", []string{"$x"},
+				InvE("P", "out", Union(Var("x"), Lit("T9"))))),
+		Inv("P", "in", "T1"),
+		NewScope(cows_DeclVar(), "y", Req("P", "out", []string{"$y"}, Zero())),
+	)
+	e := NewEngine()
+	ts, err := e.Step(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 1 || ts[0].Label.String() != "P.in(T1)" {
+		t.Fatalf("first step: %v", ts)
+	}
+	ts, err = e.Step(ts[0].Next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 1 || ts[0].Label.String() != "P.out(T1+T9)" {
+		t.Fatalf("union step: %v", ts)
+	}
+}
+
+// cows_DeclVar avoids an unused-import dance in this focused test file.
+func cows_DeclVar() DeclKind { return DeclVar }
+
+func TestSubstitutionUsedAsMatchLiteral(t *testing.T) {
+	// An outer binding whose variable reappears in a later request's
+	// parameter position acts as a match literal after substitution:
+	// the request then only accepts the bound value.
+	src := `[x:var]( P.in?<$x>.( Q.r?<$x>.Q.yes!<> ) ) | P.in!<v> | Q.r!<w> | Q.r!<v>`
+	next := step1(t, src, "P.in(v)")
+	e := NewEngine()
+	ts, err := e.Step(next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the matching invoke can fire the request.
+	for _, tr := range ts {
+		if tr.Label.String() == "Q.r(w)" {
+			t.Fatalf("substituted pattern matched wrong value")
+		}
+	}
+	found := false
+	for _, tr := range ts {
+		if tr.Label.String() == "Q.r(v)" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("substituted pattern did not match bound value; %v", ts)
+	}
+}
+
+func TestKillInsideProtectSurvivesOuterKill(t *testing.T) {
+	// {|...|} shields its contents from a kill, including a nested
+	// kill activity for a different label.
+	src := `[k:kill][q:kill]( kill(k) | P.a!<> | {| kill(q) | P.b!<> |} )`
+	e := NewEngine()
+	ts, err := e.Step(MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill priority: both kills are executable; after †k the protected
+	// block (with kill(q) and P.b) must survive while P.a dies.
+	var afterK Service
+	for _, tr := range ts {
+		if tr.Label.String() == "†k" {
+			afterK = tr.Next
+		}
+	}
+	if afterK == nil {
+		t.Fatalf("no †k transition: %v", ts)
+	}
+	if strings.Contains(String(afterK), "P.a!") {
+		t.Fatalf("unprotected invoke survived kill: %s", String(afterK))
+	}
+	if !strings.Contains(String(afterK), "P.b!") {
+		t.Fatalf("protected invoke did not survive: %s", String(afterK))
+	}
+}
+
+func TestHaltKeepsScopedProtection(t *testing.T) {
+	// A protected block nested under a scope inside the killed region
+	// survives with its scope intact.
+	src := `[k:kill]( kill(k) | [n:name]( n.x!<> | {| n.x?<>.P.done!<> |} ) )`
+	e := NewEngine()
+	ts, err := e.Step(MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 1 || ts[0].Label.Kind != LKill {
+		t.Fatalf("transitions: %v", ts)
+	}
+	after := String(ts[0].Next)
+	if strings.Contains(after, "n.x!") {
+		t.Fatalf("unprotected invoke survived: %s", after)
+	}
+	if !strings.Contains(after, "n.x?") {
+		t.Fatalf("protected request lost: %s", after)
+	}
+}
+
+func TestInvokeConstructors(t *testing.T) {
+	i1 := Inv("P", "T", "a", "b")
+	i2 := InvE("P", "T", Lit("a"), Lit("b"))
+	if Canon(i1) != Canon(i2) {
+		t.Fatalf("Inv and InvE disagree: %s vs %s", Canon(i1), Canon(i2))
+	}
+	if i1.Endpoint() != "P.T" {
+		t.Fatalf("Endpoint = %s", i1.Endpoint())
+	}
+	r := Req("P", "T", []string{"lit", "$v"}, nil)
+	if r.Endpoint() != "P.T" {
+		t.Fatalf("request endpoint = %s", r.Endpoint())
+	}
+	if _, ok := r.Params[0].(PLit); !ok {
+		t.Fatalf("param 0 should be literal")
+	}
+	if _, ok := r.Params[1].(PVar); !ok {
+		t.Fatalf("param 1 should be variable")
+	}
+	if !IsNil(r.Cont) {
+		t.Fatalf("nil continuation should become 0")
+	}
+}

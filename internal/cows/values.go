@@ -1,0 +1,149 @@
+package cows
+
+import (
+	"sort"
+	"strings"
+)
+
+// Communicated values are plain strings. The BPMN encoder additionally
+// uses values that denote *sets of names* — the set of origin tasks a
+// token carries. A set value is the '+'-joined, duplicate-free, sorted
+// concatenation of its elements; the empty set is the distinguished
+// value "-". This keeps values first-class names as far as the calculus
+// is concerned while letting the compliance layer decode them.
+
+// EmptySet is the canonical encoding of the empty origin set.
+const EmptySet = "-"
+
+// SetValue encodes a set of names as a canonical value string.
+func SetValue(elems ...string) string {
+	seen := map[string]bool{}
+	var out []string
+	for _, e := range elems {
+		for _, part := range strings.Split(e, "+") {
+			if part == "" || part == EmptySet || seen[part] {
+				continue
+			}
+			seen[part] = true
+			out = append(out, part)
+		}
+	}
+	if len(out) == 0 {
+		return EmptySet
+	}
+	sort.Strings(out)
+	return strings.Join(out, "+")
+}
+
+// SetElems decodes a canonical set value into its elements. A plain name
+// decodes to a singleton; EmptySet decodes to nil.
+func SetElems(v string) []string {
+	if v == "" || v == EmptySet {
+		return nil
+	}
+	parts := strings.Split(v, "+")
+	out := parts[:0]
+	for _, p := range parts {
+		if p != "" && p != EmptySet {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Expr is an invoke-argument expression, evaluated to a ground value when
+// the invoke fires. Concrete types: Lit, Var, UnionExpr.
+type Expr interface {
+	isExpr()
+	// eval resolves the expression under the substitution env. It
+	// returns ok=false when a variable is unbound (the invoke is then
+	// not yet executable).
+	eval(env map[string]string) (string, bool)
+}
+
+// Lit is a literal name.
+type Lit string
+
+// Var references a communication variable bound by an enclosing [x].
+type Var string
+
+// UnionExpr computes the set union of its operand values.
+type UnionExpr struct {
+	Operands []Expr
+}
+
+func (Lit) isExpr()        {}
+func (Var) isExpr()        {}
+func (*UnionExpr) isExpr() {}
+
+func (l Lit) eval(map[string]string) (string, bool) { return string(l), true }
+
+func (v Var) eval(env map[string]string) (string, bool) {
+	val, ok := env[string(v)]
+	return val, ok
+}
+
+func (u *UnionExpr) eval(env map[string]string) (string, bool) {
+	elems := make([]string, 0, len(u.Operands))
+	for _, op := range u.Operands {
+		v, ok := op.eval(env)
+		if !ok {
+			return "", false
+		}
+		elems = append(elems, v)
+	}
+	return SetValue(elems...), true
+}
+
+// Union builds a set-union expression.
+func Union(ops ...Expr) Expr {
+	if len(ops) == 1 {
+		return ops[0]
+	}
+	return &UnionExpr{Operands: ops}
+}
+
+// Pattern is a request parameter: a literal to be matched or a variable
+// to be bound.
+type Pattern interface{ isPattern() }
+
+// PLit matches a value equal to the literal.
+type PLit string
+
+// PVar binds the received value to a variable.
+type PVar string
+
+func (PLit) isPattern() {}
+func (PVar) isPattern() {}
+
+// matchParams matches ground values against request patterns, returning
+// the variable bindings, or ok=false when arities differ or a literal
+// mismatches.
+func matchParams(patterns []Pattern, values []string) (map[string]string, bool) {
+	if len(patterns) != len(values) {
+		return nil, false
+	}
+	var binds map[string]string
+	for i, p := range patterns {
+		switch t := p.(type) {
+		case PLit:
+			if string(t) != values[i] {
+				return nil, false
+			}
+		case PVar:
+			if binds == nil {
+				binds = map[string]string{}
+			}
+			if prev, dup := binds[string(t)]; dup {
+				// Non-linear pattern: repeated variable must
+				// receive equal values.
+				if prev != values[i] {
+					return nil, false
+				}
+				continue
+			}
+			binds[string(t)] = values[i]
+		}
+	}
+	return binds, true
+}

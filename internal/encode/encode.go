@@ -1,0 +1,450 @@
+// Package encode translates BPMN processes into COWS services following
+// the paper's Appendix A templates ([16]): every BPMN element becomes a
+// distinct COWS service, the process is their parallel composition,
+// sequence and message flows are communications between element
+// endpoints, gateways resolve their decisions on a private sys name with
+// kill-based exclusion, and cycles are supported by replicating every
+// re-enterable element.
+//
+// One extension over the paper's presentation (motivated in DESIGN.md
+// §4): token-passing communications carry the set of *origin tasks* that
+// produced the token as their single parameter. Tasks replace the origin
+// set with themselves, events and gateways propagate it, and joins union
+// the sets of their incoming tokens. The compliance layer decodes the
+// origins from observable labels to maintain the active-task component
+// of its configurations (Definition 6) without any extra
+// instrumentation.
+//
+// Endpoint conventions:
+//
+//	pool.elemID         the element's trigger endpoint (task labels r·q)
+//	pool.joinID-srcID   per-flow inputs of AND joins and paired OR joins
+//	pool.plan-joinID    subset announcements from an OR split to its join
+//	sys.branchID        a gateway's private branch decision
+//	sys.Err             a fallible task's failure (observable)
+package encode
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bpmn"
+	"repro/internal/cows"
+	"repro/internal/lts"
+)
+
+// Encode returns the COWS service representing one instance (case) of
+// the process, per the Appendix A encoding. The service's observable
+// labels under Observability(p) are exactly the task executions r·q and
+// the sys·Err failures of fallible tasks.
+func Encode(p *bpmn.Process) (cows.Service, error) {
+	enc := &encoder{p: p}
+	var services []cows.Service
+	for _, e := range p.Elements() {
+		s, err := enc.element(e)
+		if err != nil {
+			return nil, fmt.Errorf("encode: element %q: %w", e.ID, err)
+		}
+		services = append(services, s)
+	}
+	return cows.Parallel(services...), nil
+}
+
+// Observability returns the paper's observable-label predicate for the
+// process: L = { pool·task } ∪ { sys·Err } (Section 3.5).
+func Observability(p *bpmn.Process) lts.Observability {
+	return func(l cows.Label) bool {
+		if l.Kind != cows.LComm {
+			return false
+		}
+		if l.Op == "Err" {
+			return true
+		}
+		return p.TaskRole(l.Op) == l.Partner
+	}
+}
+
+// NewSystem builds an LTS system for the process with its canonical
+// observability discipline.
+func NewSystem(p *bpmn.Process, opts ...lts.Option) *lts.System {
+	return lts.NewSystem(Observability(p), opts...)
+}
+
+type encoder struct {
+	p *bpmn.Process
+}
+
+// inputOp computes the operation name on which the target element
+// receives a token arriving from source: joins use per-flow endpoints,
+// everything else its trigger endpoint.
+func (enc *encoder) inputOp(target, source string) string {
+	if enc.p.IsANDJoin(target) || enc.p.IsORJoin(target) {
+		return target + "-" + source
+	}
+	return target
+}
+
+// invokeFlow builds the invoke activity delivering a token with the
+// given origin expression along the flow from source to target.
+func (enc *encoder) invokeFlow(source, target string, origin cows.Expr) (*cows.Invoke, error) {
+	te := enc.p.Element(target)
+	if te == nil {
+		return nil, fmt.Errorf("flow target %q missing", target)
+	}
+	return cows.InvE(te.Pool, enc.inputOp(target, source), origin), nil
+}
+
+// nextInvoke builds the token delivery along the element's unique
+// outgoing flow.
+func (enc *encoder) nextInvoke(e *bpmn.Element, origin cows.Expr) (*cows.Invoke, error) {
+	outs := enc.p.Outgoing(e.ID)
+	if len(outs) != 1 {
+		return nil, fmt.Errorf("expected exactly one outgoing flow, have %d", len(outs))
+	}
+	return enc.invokeFlow(e.ID, outs[0].To, origin)
+}
+
+func (enc *encoder) element(e *bpmn.Element) (cows.Service, error) {
+	switch e.Kind {
+	case bpmn.KindStart:
+		return enc.startEvent(e)
+	case bpmn.KindMessageStart:
+		return enc.messageStartEvent(e)
+	case bpmn.KindEnd:
+		return enc.endEvent(e)
+	case bpmn.KindMessageEnd:
+		return enc.messageEndEvent(e)
+	case bpmn.KindTask:
+		return enc.task(e)
+	case bpmn.KindGatewayXOR:
+		return enc.xorGateway(e)
+	case bpmn.KindGatewayAND:
+		return enc.andGateway(e)
+	case bpmn.KindGatewayOR:
+		return enc.orGateway(e)
+	default:
+		return nil, fmt.Errorf("unsupported element kind %v", e.Kind)
+	}
+}
+
+// startEvent: [[S]] = P.next!<∅>. Fires once per case, so it is not
+// replicated; the initial token carries the empty origin set.
+func (enc *encoder) startEvent(e *bpmn.Element) (cows.Service, error) {
+	inv, err := enc.nextInvoke(e, cows.Lit(cows.EmptySet))
+	if err != nil {
+		return nil, err
+	}
+	return inv, nil
+}
+
+// messageStartEvent: [[S]] = *[x] P.S?<x>. P.next!<x> — receives the
+// message (with the sender's origins) and forwards the token.
+func (enc *encoder) messageStartEvent(e *bpmn.Element) (cows.Service, error) {
+	inv, err := enc.nextInvoke(e, cows.Var("x"))
+	if err != nil {
+		return nil, err
+	}
+	return cows.Replicate(
+		cows.NewScope(cows.DeclVar, "x",
+			cows.Req(e.Pool, e.ID, []string{"$x"}, inv))), nil
+}
+
+// endEvent: [[E]] = *[x] P.E?<x>. 0 — consumes the token.
+func (enc *encoder) endEvent(e *bpmn.Element) (cows.Service, error) {
+	return cows.Replicate(
+		cows.NewScope(cows.DeclVar, "x",
+			cows.Req(e.Pool, e.ID, []string{"$x"}, cows.Zero()))), nil
+}
+
+// messageEndEvent: [[E]] = *[x] P.E?<x>. Q.M!<x> — forwards the token
+// across pools along the message flow.
+func (enc *encoder) messageEndEvent(e *bpmn.Element) (cows.Service, error) {
+	outs := enc.p.Outgoing(e.ID)
+	if len(outs) != 1 || outs[0].Kind != bpmn.FlowMsg {
+		return nil, fmt.Errorf("message end needs exactly one outgoing message flow")
+	}
+	inv, err := enc.invokeFlow(e.ID, outs[0].To, cows.Var("x"))
+	if err != nil {
+		return nil, err
+	}
+	return cows.Replicate(
+		cows.NewScope(cows.DeclVar, "x",
+			cows.Req(e.Pool, e.ID, []string{"$x"}, inv))), nil
+}
+
+// task encodes [[T]]. An infallible task forwards the token with itself
+// as the new origin:
+//
+//	*[x] P.T?<x>. P.next!<T>
+//
+// A fallible task resolves success/failure on a private sys name; the
+// failure path performs the observable sys·Err synchronization (carrying
+// the task as origin) before routing the token to the error handler:
+//
+//	*[x] P.T?<x>. [k][sys]( sys.ok!<> | sys.fail!<>
+//	    | sys.ok?<>.(kill(k) | {| P.next!<T> |})
+//	    | sys.fail?<>.(kill(k) | {| sys.Err!<T> | [e] sys.Err?<e>. P.handler!<T> |}) )
+func (enc *encoder) task(e *bpmn.Element) (cows.Service, error) {
+	next, err := enc.nextInvoke(e, cows.Lit(e.ID))
+	if err != nil {
+		return nil, err
+	}
+	var body cows.Service
+	if e.OnError == "" {
+		body = next
+	} else {
+		handler, err := enc.invokeFlow(e.ID, e.OnError, cows.Lit(e.ID))
+		if err != nil {
+			return nil, err
+		}
+		errPath := cows.Parallel(
+			cows.Inv("sys", "Err", e.ID),
+			cows.NewScope(cows.DeclVar, "e",
+				cows.Req("sys", "Err", []string{"$e"}, handler)),
+		)
+		body = cows.NewScope(cows.DeclKill, "k",
+			cows.NewScope(cows.DeclName, "sys",
+				cows.Parallel(
+					cows.Inv("sys", "ok"),
+					cows.Inv("sys", "fail"),
+					cows.Req("sys", "ok", nil,
+						cows.Parallel(cows.KillSig("k"), cows.Protected(next))),
+					cows.Req("sys", "fail", nil,
+						cows.Parallel(cows.KillSig("k"), cows.Protected(errPath))),
+				)))
+	}
+	return cows.Replicate(
+		cows.NewScope(cows.DeclVar, "x",
+			cows.Req(e.Pool, e.ID, []string{"$x"}, body))), nil
+}
+
+// xorGateway encodes the exclusive gateway per Figure 8: the decision is
+// made on a private sys name; choosing a branch kills the alternatives.
+// A pure merge (single outgoing flow) degenerates to token pass-through.
+func (enc *encoder) xorGateway(e *bpmn.Element) (cows.Service, error) {
+	outs := enc.p.Outgoing(e.ID)
+	if len(outs) == 1 {
+		inv, err := enc.invokeFlow(e.ID, outs[0].To, cows.Var("x"))
+		if err != nil {
+			return nil, err
+		}
+		return cows.Replicate(
+			cows.NewScope(cows.DeclVar, "x",
+				cows.Req(e.Pool, e.ID, []string{"$x"}, inv))), nil
+	}
+	var kids []cows.Service
+	for _, f := range outs {
+		kids = append(kids, cows.Inv("sys", f.To))
+	}
+	for _, f := range outs {
+		inv, err := enc.invokeFlow(e.ID, f.To, cows.Var("x"))
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, cows.Req("sys", f.To, nil,
+			cows.Parallel(cows.KillSig("k"), cows.Protected(inv))))
+	}
+	body := cows.NewScope(cows.DeclKill, "k",
+		cows.NewScope(cows.DeclName, "sys", cows.Parallel(kids...)))
+	return cows.Replicate(
+		cows.NewScope(cows.DeclVar, "x",
+			cows.Req(e.Pool, e.ID, []string{"$x"}, body))), nil
+}
+
+// andGateway encodes the parallel gateway: a split forwards the token to
+// every branch; a join awaits one token per incoming flow on per-flow
+// endpoints and forwards the union of their origins.
+func (enc *encoder) andGateway(e *bpmn.Element) (cows.Service, error) {
+	if enc.p.IsANDJoin(e.ID) {
+		return enc.joinBody(e, enc.p.Incoming(e.ID))
+	}
+	outs := enc.p.Outgoing(e.ID)
+	var kids []cows.Service
+	for _, f := range outs {
+		inv, err := enc.invokeFlow(e.ID, f.To, cows.Var("x"))
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, inv)
+	}
+	return cows.Replicate(
+		cows.NewScope(cows.DeclVar, "x",
+			cows.Req(e.Pool, e.ID, []string{"$x"}, cows.Parallel(kids...)))), nil
+}
+
+// joinBody builds the sequential await of one token per given incoming
+// flow, forwarding the union of origins. Used by AND joins (all flows)
+// and by OR joins (the per-subset flow selections).
+func (enc *encoder) joinBody(e *bpmn.Element, flows []bpmn.Flow) (cows.Service, error) {
+	if len(flows) == 0 {
+		return nil, fmt.Errorf("join %q has no incoming flows", e.ID)
+	}
+	svc, err := enc.joinAwait(e, flows)
+	if err != nil {
+		return nil, err
+	}
+	return cows.Replicate(svc), nil
+}
+
+// joinAwait nests the awaits innermost-last and ends with the forward
+// invoke.
+func (enc *encoder) joinAwait(e *bpmn.Element, flows []bpmn.Flow) (cows.Service, error) {
+	vars := make([]cows.Expr, len(flows))
+	for i := range flows {
+		vars[i] = cows.Var(fmt.Sprintf("x%d", i))
+	}
+	inv, err := enc.nextInvoke(e, cows.Union(vars...))
+	if err != nil {
+		return nil, err
+	}
+	svc := cows.Service(inv)
+	for i := len(flows) - 1; i >= 0; i-- {
+		v := fmt.Sprintf("x%d", i)
+		svc = cows.NewScope(cows.DeclVar, v,
+			cows.Req(e.Pool, e.ID+"-"+flows[i].From, []string{"$" + v}, svc))
+	}
+	return svc, nil
+}
+
+// orGateway encodes the inclusive gateway. A split chooses a non-empty
+// subset of its branches on the private sys name (kill-exclusive, like
+// XOR but over subsets), forwards the token to each chosen branch, and —
+// when paired with a join — announces the chosen subset on the join's
+// plan endpoint. The join is a replicated choice over plan values; each
+// branch awaits exactly the announced subset's tokens.
+//
+// The plan announcement is a handshake: the split emits only the plan,
+// the join acknowledges on the split's ack endpoint, and the branch
+// tokens are emitted only after the acknowledgment. Without the
+// handshake the plan delivery would race the branch tokens through the
+// silent fragment of the LTS, splitting every WeakNext state in two
+// (plan-delivered vs plan-in-flight); with it, the visited transition
+// system matches the paper's Figure 6 exactly (five successors at St7).
+func (enc *encoder) orGateway(e *bpmn.Element) (cows.Service, error) {
+	if enc.p.IsORJoin(e.ID) {
+		return enc.orJoin(e)
+	}
+	outs := enc.p.Outgoing(e.ID)
+	m := len(outs)
+	if m < 2 {
+		return nil, fmt.Errorf("inclusive split %q has %d branches", e.ID, m)
+	}
+	join := enc.p.ORJoin(e.ID)
+	var joinPool string
+	if join != "" {
+		joinPool = enc.p.Element(join).Pool
+	}
+
+	var kids []cows.Service
+	for mask := 1; mask < (1 << m); mask++ {
+		kids = append(kids, cows.Inv("sys", subsetOp(mask)))
+	}
+	for mask := 1; mask < (1 << m); mask++ {
+		var tokens []cows.Service
+		for i, f := range outs {
+			if mask&(1<<i) == 0 {
+				continue
+			}
+			inv, err := enc.invokeFlow(e.ID, f.To, cows.Var("x"))
+			if err != nil {
+				return nil, err
+			}
+			tokens = append(tokens, inv)
+		}
+		payload := cows.Parallel(tokens...)
+		if join != "" {
+			payload = cows.Parallel(
+				cows.InvE(joinPool, "plan-"+join, planValue(e.ID, mask)),
+				cows.Req(e.Pool, "ack-"+e.ID, nil, cows.Parallel(tokens...)),
+			)
+		}
+		kids = append(kids, cows.Req("sys", subsetOp(mask), nil,
+			cows.Parallel(cows.KillSig("k"), cows.Protected(payload))))
+	}
+	body := cows.NewScope(cows.DeclKill, "k",
+		cows.NewScope(cows.DeclName, "sys", cows.Parallel(kids...)))
+	return cows.Replicate(
+		cows.NewScope(cows.DeclVar, "x",
+			cows.Req(e.Pool, e.ID, []string{"$x"}, body))), nil
+}
+
+// orJoin builds the paired inclusive join: one replicated choice branch
+// per possible subset announcement.
+func (enc *encoder) orJoin(e *bpmn.Element) (cows.Service, error) {
+	split := ""
+	for s, j := range enc.p.ORPairs() {
+		if j == e.ID {
+			split = s
+			break
+		}
+	}
+	if split == "" {
+		return nil, fmt.Errorf("inclusive join %q has no paired split", e.ID)
+	}
+	splitOuts := enc.p.Outgoing(split)
+	m := len(splitOuts)
+
+	var branches []*cows.Request
+	for mask := 1; mask < (1 << m); mask++ {
+		var flows []bpmn.Flow
+		for i, bf := range splitOuts {
+			if mask&(1<<i) == 0 {
+				continue
+			}
+			jf, ok := enc.p.ORBranchJoinFlow(split, bf.To)
+			if !ok {
+				return nil, fmt.Errorf("no join routing for split %q branch %q", split, bf.To)
+			}
+			flows = append(flows, jf)
+		}
+		await, err := enc.joinAwait(e, flows)
+		if err != nil {
+			return nil, err
+		}
+		splitPool := enc.p.Element(split).Pool
+		branches = append(branches, cows.Req(e.Pool, "plan-"+e.ID,
+			[]string{string(planValue(split, mask))},
+			cows.Parallel(cows.Inv(splitPool, "ack-"+split), await)))
+	}
+	return cows.Replicate(cows.Sum(branches...)), nil
+}
+
+// subsetOp names an OR split's internal subset selector.
+func subsetOp(mask int) string { return fmt.Sprintf("sel%d", mask) }
+
+// planValue names the literal announcing an OR split's chosen subset.
+func planValue(split string, mask int) cows.Lit {
+	return cows.Lit(fmt.Sprintf("p-%s-%d", split, mask))
+}
+
+// EncodingReport summarizes an encoding for diagnostics: one entry per
+// element with its COWS size.
+type EncodingReport struct {
+	Process   string
+	TotalSize int
+	Elements  []ElementSize
+}
+
+// ElementSize pairs an element with the AST size of its COWS service.
+type ElementSize struct {
+	ID   string
+	Kind string
+	Size int
+}
+
+// Report encodes each element separately and reports sizes.
+func Report(p *bpmn.Process) (*EncodingReport, error) {
+	enc := &encoder{p: p}
+	rep := &EncodingReport{Process: p.Name}
+	for _, e := range p.Elements() {
+		s, err := enc.element(e)
+		if err != nil {
+			return nil, fmt.Errorf("encode: element %q: %w", e.ID, err)
+		}
+		n := cows.Size(s)
+		rep.TotalSize += n
+		rep.Elements = append(rep.Elements, ElementSize{ID: e.ID, Kind: e.Kind.String(), Size: n})
+	}
+	sort.Slice(rep.Elements, func(i, j int) bool { return rep.Elements[i].ID < rep.Elements[j].ID })
+	return rep, nil
+}

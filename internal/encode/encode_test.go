@@ -1,0 +1,447 @@
+package encode
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/bpmn"
+	"repro/internal/cows"
+	"repro/internal/lts"
+)
+
+// endpointTraces enumerates maximal observable traces as sequences of
+// endpoints (origins stripped), space-joined and sorted.
+func endpointTraces(t *testing.T, p *bpmn.Process, maxDepth int) []string {
+	t.Helper()
+	s, err := Encode(p)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	y := NewSystem(p)
+	res, err := y.ObservableTraces(s, lts.TraceLimits{MaxDepth: maxDepth, MaxTraces: 100000})
+	if err != nil {
+		t.Fatalf("ObservableTraces: %v", err)
+	}
+	// Distinct full traces can project to the same endpoint sequence:
+	// silent token deliveries may interleave before or after an
+	// observable label, splitting states (the paper's St11/St12
+	// phenomenon in Fig. 6). The trace *language* is what the tests
+	// pin down, so project and deduplicate.
+	set := map[string]bool{}
+	for _, tr := range res.Traces {
+		var eps []string
+		for _, l := range tr {
+			// label strings look like "P.T1(-)"; strip the args.
+			if i := strings.IndexByte(l, '('); i >= 0 {
+				l = l[:i]
+			}
+			eps = append(eps, l)
+		}
+		set[strings.Join(eps, " ")] = true
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func wantTraces(t *testing.T, got, want []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("traces:\n got %v\nwant %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("trace[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestEncodeLinear(t *testing.T) {
+	p := bpmn.NewBuilder("linear").Pool("P").
+		Start("S", "P").Task("T1", "P", "").Task("T2", "P", "").End("E", "P").
+		Seq("S", "T1", "T2", "E").MustBuild()
+	wantTraces(t, endpointTraces(t, p, 10), []string{"P.T1 P.T2"})
+}
+
+func TestEncodeOriginPropagation(t *testing.T) {
+	p := bpmn.NewBuilder("linear").Pool("P").
+		Start("S", "P").Task("T1", "P", "").Task("T2", "P", "").End("E", "P").
+		Seq("S", "T1", "T2", "E").MustBuild()
+	s, err := Encode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := NewSystem(p)
+	obs, err := y.WeakNext(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs) != 1 || obs[0].Label.Endpoint() != "P.T1" {
+		t.Fatalf("first weak-next = %v", obs)
+	}
+	// The start token carries the empty origin set.
+	if got := obs[0].Label.Origins(); len(got) != 0 {
+		t.Fatalf("T1 origins = %v, want empty", got)
+	}
+	obs, err = y.WeakNext(obs[0].State)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs) != 1 || obs[0].Label.Endpoint() != "P.T2" {
+		t.Fatalf("second weak-next = %v", obs)
+	}
+	// T2's token originates from T1.
+	if got := obs[0].Label.Origins(); len(got) != 1 || got[0] != "T1" {
+		t.Fatalf("T2 origins = %v, want [T1]", got)
+	}
+}
+
+func TestEncodeXOR(t *testing.T) {
+	p := bpmn.NewBuilder("xor").Pool("P").
+		Start("S", "P").Task("T0", "P", "").XOR("G", "P").
+		Task("T1", "P", "").Task("T2", "P", "").End("E1", "P").End("E2", "P").
+		Seq("S", "T0", "G").Seq("G", "T1", "E1").Seq("G", "T2", "E2").
+		MustBuild()
+	wantTraces(t, endpointTraces(t, p, 10), []string{"P.T0 P.T1", "P.T0 P.T2"})
+}
+
+func TestEncodeXORMergeCycle(t *testing.T) {
+	// S→T1→G; G→T1 (loop) or G→E. Unbounded traces; verify prefix
+	// acceptance instead of enumeration.
+	p := bpmn.NewBuilder("loop").Pool("P").
+		Start("S", "P").Task("T1", "P", "").XOR("G", "P").End("E", "P").
+		Seq("S", "T1", "G").Seq("G", "T1").Seq("G", "E").
+		MustBuild()
+	s, err := Encode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := NewSystem(p)
+	cur := s
+	for i := 0; i < 4; i++ {
+		obs, err := y.WeakNext(cur)
+		if err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		if len(obs) != 1 || obs[0].Label.Endpoint() != "P.T1" {
+			t.Fatalf("iteration %d: weak-next = %v, want P.T1", i, obs)
+		}
+		cur = obs[0].State
+	}
+	// The loop can also exit silently to E at any iteration.
+	ok, err := y.CanTerminateSilently(cur)
+	if err != nil || !ok {
+		t.Fatalf("CanTerminateSilently = %v, %v; want true", ok, err)
+	}
+}
+
+func TestEncodeFallibleTask(t *testing.T) {
+	// T2 may fail; its error routes back to T1 (the paper's T02/T01
+	// shape from Fig. 1).
+	p := bpmn.NewBuilder("fallible").Pool("P").
+		Start("S", "P").Task("T1", "P", "").FallibleTask("T2", "P", "", "T1").End("E", "P").
+		Seq("S", "T1", "T2", "E").
+		MustBuild()
+	s, err := Encode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := NewSystem(p)
+
+	// T1 then T2.
+	obs, err := y.WeakNext(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs) != 1 || obs[0].Label.Endpoint() != "P.T1" {
+		t.Fatalf("step 1 = %v", obs)
+	}
+	obs, err = y.WeakNext(obs[0].State)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs) != 1 || obs[0].Label.Endpoint() != "P.T2" {
+		t.Fatalf("step 2 = %v", obs)
+	}
+	// From within T2: either the process completes silently (success
+	// path reaches E) or the observable sys.Err fires.
+	after := obs[0].State
+	obs, err = y.WeakNext(after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found *lts.Observable
+	for i := range obs {
+		if obs[i].Label.Endpoint() == "sys.Err" {
+			found = &obs[i]
+		}
+	}
+	if found == nil {
+		t.Fatalf("no sys.Err among %v", obs)
+	}
+	// The Err label carries the failing task as origin.
+	if got := found.Label.Origins(); len(got) != 1 || got[0] != "T2" {
+		t.Fatalf("Err origins = %v, want [T2]", got)
+	}
+	ok, err := y.CanTerminateSilently(after)
+	if err != nil || !ok {
+		t.Fatalf("success path should complete silently: %v, %v", ok, err)
+	}
+	// After the failure, T1 runs again.
+	obs, err = y.WeakNext(found.State)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs) != 1 || obs[0].Label.Endpoint() != "P.T1" {
+		t.Fatalf("after failure = %v, want P.T1", obs)
+	}
+	if got := obs[0].Label.Origins(); len(got) != 1 || got[0] != "T2" {
+		t.Fatalf("restart origins = %v, want [T2]", got)
+	}
+}
+
+func TestEncodeANDSplitJoin(t *testing.T) {
+	p := bpmn.NewBuilder("and").Pool("P").
+		Start("S", "P").AND("G", "P").
+		Task("T1", "P", "").Task("T2", "P", "").
+		AND("J", "P").Task("T3", "P", "").End("E", "P").
+		Seq("S", "G").Seq("G", "T1", "J").Seq("G", "T2", "J").Seq("J", "T3", "E").
+		MustBuild()
+	wantTraces(t, endpointTraces(t, p, 10), []string{
+		"P.T1 P.T2 P.T3",
+		"P.T2 P.T1 P.T3",
+	})
+
+	// T3's token must carry both branch origins (the join unions).
+	s, _ := Encode(p)
+	y := NewSystem(p)
+	cur := s
+	for _, want := range []string{"P.T1", "P.T2"} {
+		obs, err := y.WeakNext(cur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var next *lts.Observable
+		for i := range obs {
+			if obs[i].Label.Endpoint() == want {
+				next = &obs[i]
+			}
+		}
+		if next == nil {
+			t.Fatalf("missing %s among %v", want, obs)
+		}
+		cur = next.State
+	}
+	obs, err := y.WeakNext(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs) != 1 || obs[0].Label.Endpoint() != "P.T3" {
+		t.Fatalf("join output = %v", obs)
+	}
+	if got := obs[0].Label.Origins(); len(got) != 2 || got[0] != "T1" || got[1] != "T2" {
+		t.Fatalf("T3 origins = %v, want [T1 T2]", got)
+	}
+}
+
+func TestEncodeORSplitJoin(t *testing.T) {
+	p := bpmn.NewBuilder("or").Pool("P").
+		Start("S", "P").OR("G", "P").
+		Task("T1", "P", "").Task("T2", "P", "").
+		OR("J", "P").Task("T3", "P", "").End("E", "P").
+		Seq("S", "G").Seq("G", "T1", "J").Seq("G", "T2", "J").Seq("J", "T3", "E").
+		PairOR("G", "J").
+		MustBuild()
+	wantTraces(t, endpointTraces(t, p, 10), []string{
+		"P.T1 P.T2 P.T3", // both branches, T1 first
+		"P.T1 P.T3",      // only T1
+		"P.T2 P.T1 P.T3", // both branches, T2 first
+		"P.T2 P.T3",      // only T2
+	})
+}
+
+func TestEncodeMessageFlowAcrossPools(t *testing.T) {
+	p := bpmn.NewBuilder("msg").Pool("A").Pool("B").
+		Start("S", "A").Task("T1", "A", "").MessageEnd("E1", "A").
+		MessageStart("M", "B").Task("T2", "B", "").End("E2", "B").
+		Seq("S", "T1", "E1").Msg("E1", "M").Seq("M", "T2", "E2").
+		MustBuild()
+	wantTraces(t, endpointTraces(t, p, 10), []string{"A.T1 B.T2"})
+
+	// T2's origins must trace back to T1 across the message flow.
+	s, _ := Encode(p)
+	y := NewSystem(p)
+	obs, err := y.WeakNext(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs, err = y.WeakNext(obs[0].State)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := obs[0].Label.Origins(); len(got) != 1 || got[0] != "T1" {
+		t.Fatalf("T2 origins = %v, want [T1]", got)
+	}
+}
+
+func TestObservabilityPredicate(t *testing.T) {
+	p := bpmn.NewBuilder("obs").Pool("P").
+		Start("S", "P").Task("T1", "P", "").End("E", "P").
+		Seq("S", "T1", "E").MustBuild()
+	obs := Observability(p)
+	cases := []struct {
+		l    cows.Label
+		want bool
+	}{
+		{cows.CommLabel("P", "T1"), true},
+		{cows.CommLabel("sys", "Err", "T1"), true},
+		{cows.CommLabel("P", "E"), false},       // event, not a task
+		{cows.CommLabel("sys", "T1"), false},    // gateway-internal, wrong partner
+		{cows.CommLabel("Q", "T1"), false},      // wrong pool
+		{cows.KillLabelOf("k"), false},          // kills are silent
+		{cows.CommLabel("P", "plan-J"), false},  // plan channel
+		{cows.CommLabel("P", "J-T1"), false},    // join input
+		{cows.CommLabel("P", "missing"), false}, // unknown op
+	}
+	for _, c := range cases {
+		if got := obs(c.l); got != c.want {
+			t.Errorf("obs(%v) = %v, want %v", c.l, got, c.want)
+		}
+	}
+}
+
+func TestEncodingReport(t *testing.T) {
+	p := bpmn.NewBuilder("rep").Pool("P").
+		Start("S", "P").Task("T1", "P", "").XOR("G", "P").
+		Task("T2", "P", "").Task("T3", "P", "").End("E1", "P").End("E2", "P").
+		Seq("S", "T1", "G").Seq("G", "T2", "E1").Seq("G", "T3", "E2").
+		MustBuild()
+	rep, err := Report(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalSize <= 0 || len(rep.Elements) != len(p.Elements()) {
+		t.Fatalf("report = %+v", rep)
+	}
+	// Gateways encode larger than events.
+	sizes := map[string]int{}
+	for _, es := range rep.Elements {
+		sizes[es.ID] = es.Size
+	}
+	if sizes["G"] <= sizes["E1"] {
+		t.Errorf("gateway size %d should exceed event size %d", sizes["G"], sizes["E1"])
+	}
+}
+
+func TestEncodeTwoConcurrentCases(t *testing.T) {
+	// Two instances of the same process run as independent parallel
+	// services; their interleavings must not cross-talk (each case is
+	// its own COWS term in the checker, but encoding twice in parallel
+	// must also work because replication freshens private names).
+	p := bpmn.NewBuilder("xor2").Pool("P").
+		Start("S", "P").Task("T0", "P", "").XOR("G", "P").
+		Task("T1", "P", "").Task("T2", "P", "").End("E1", "P").End("E2", "P").
+		Seq("S", "T0", "G").Seq("G", "T1", "E1").Seq("G", "T2", "E2").
+		MustBuild()
+	s1, err := Encode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Encode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	both := cows.Parallel(s1, s2)
+	y := NewSystem(p)
+	res, err := y.ObservableTraces(both, lts.TraceLimits{MaxDepth: 10, MaxTraces: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each trace is an interleaving of two independent runs; every
+	// trace must contain exactly two T0 and two of {T1,T2}.
+	for _, tr := range res.Traces {
+		t0, branch := 0, 0
+		for _, l := range tr {
+			switch {
+			case strings.HasPrefix(l, "P.T0"):
+				t0++
+			case strings.HasPrefix(l, "P.T1"), strings.HasPrefix(l, "P.T2"):
+				branch++
+			}
+		}
+		if t0 != 2 || branch != 2 {
+			t.Fatalf("bad interleaving %v (t0=%d branch=%d)", tr, t0, branch)
+		}
+	}
+}
+
+func TestEncodeNestedGateways(t *testing.T) {
+	// AND split whose branches each contain an XOR choice: the trace
+	// language is the interleavings of one choice per branch.
+	p := bpmn.NewBuilder("nested").Pool("P").
+		Start("S", "P").AND("GA", "P").
+		XOR("GX1", "P").Task("A1", "P", "").Task("A2", "P", "").XOR("MX1", "P").
+		XOR("GX2", "P").Task("B1", "P", "").Task("B2", "P", "").XOR("MX2", "P").
+		AND("JA", "P").Task("TZ", "P", "").End("E", "P").
+		Seq("S", "GA").
+		Seq("GA", "GX1").Seq("GX1", "A1", "MX1").Seq("GX1", "A2", "MX1").
+		Seq("GA", "GX2").Seq("GX2", "B1", "MX2").Seq("GX2", "B2", "MX2").
+		Seq("MX1", "JA").Seq("MX2", "JA").Seq("JA", "TZ", "E").
+		MustBuild()
+	got := endpointTraces(t, p, 10)
+	// 2 choices × 2 choices × 2 interleavings = 8 traces.
+	if len(got) != 8 {
+		t.Fatalf("traces = %v, want 8", got)
+	}
+	for _, tr := range got {
+		if !strings.HasSuffix(tr, "P.TZ") {
+			t.Errorf("trace %q does not end at the join task", tr)
+		}
+		hasA := strings.Contains(tr, "P.A1") != strings.Contains(tr, "P.A2")
+		hasB := strings.Contains(tr, "P.B1") != strings.Contains(tr, "P.B2")
+		if !hasA || !hasB {
+			t.Errorf("trace %q violates per-branch exclusivity", tr)
+		}
+	}
+}
+
+func TestEncodeXORInsideORBranch(t *testing.T) {
+	// An OR branch containing an XOR: subsets and inner choices
+	// compose.
+	p := bpmn.NewBuilder("orxor").Pool("P").
+		Start("S", "P").OR("G", "P").
+		XOR("GX", "P").Task("A1", "P", "").Task("A2", "P", "").XOR("MX", "P").
+		Task("B", "P", "").
+		OR("J", "P").Task("TZ", "P", "").End("E", "P").
+		Seq("S", "G").
+		Seq("G", "GX").Seq("GX", "A1", "MX").Seq("GX", "A2", "MX").Seq("MX", "J").
+		Seq("G", "B").Seq("B", "J").
+		Seq("J", "TZ", "E").
+		PairOR("G", "J").
+		MustBuild()
+	got := endpointTraces(t, p, 10)
+	// Subsets: {X-branch} (2 inner choices), {B}, {both} (2 choices × 2
+	// orders) = 2 + 1 + 4 = 7 trace strings.
+	if len(got) != 7 {
+		t.Fatalf("traces (%d) = %v, want 7", len(got), got)
+	}
+}
+
+func TestEncodeRejectsPathologies(t *testing.T) {
+	// The encoder trusts bpmn validation; encoding an element list with
+	// a hand-broken process is not possible through the public API, so
+	// this checks the error paths reachable via Report on valid input.
+	p := bpmn.NewBuilder("ok").Pool("P").
+		Start("S", "P").Task("T", "P", "").End("E", "P").
+		Seq("S", "T", "E").MustBuild()
+	if _, err := Report(p); err != nil {
+		t.Fatalf("Report: %v", err)
+	}
+	if _, err := Encode(p); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+}

@@ -1,0 +1,179 @@
+package hospital
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/core"
+	"repro/internal/policy"
+)
+
+// HIS simulates the Hospital Information System the paper assumes
+// (Section 2): electronic patient records organized in sections, every
+// access mediated by the data protection policy (Definition 3) and
+// every performed action recorded in the audit database with the
+// Definition 4 schema — task and case included, as transactional
+// systems do (Section 3.5). The audit trail that purpose control later
+// replays is exactly what this front end wrote.
+//
+// An HIS is safe for concurrent use.
+type HIS struct {
+	pdp  *policy.PDP
+	mu   sync.Mutex
+	epr  map[string]map[string]string // subject -> path -> content
+	log  *audit.Store
+	seal *audit.SecureLog
+	now  func() time.Time
+}
+
+// ErrDenied is returned (wrapped) when the policy denies an access.
+var ErrDenied = fmt.Errorf("hospital: access denied")
+
+// NewHIS builds an HIS over the scenario's policy machinery. sealKey
+// protects the integrity of the audit log; clock is injectable for
+// deterministic tests (nil = time.Now).
+func NewHIS(fw *core.Framework, sealKey []byte, clock func() time.Time) *HIS {
+	if clock == nil {
+		clock = time.Now
+	}
+	return &HIS{
+		pdp:  fw.PDP,
+		epr:  map[string]map[string]string{},
+		log:  audit.NewStore(),
+		seal: audit.NewSecureLog(sealKey),
+		now:  clock,
+	}
+}
+
+// Admit registers a patient with empty EPR sections.
+func (h *HIS) Admit(patient string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.epr[patient] == nil {
+		h.epr[patient] = map[string]string{}
+	}
+}
+
+// Patients returns the admitted patients (unordered).
+func (h *HIS) Patients() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]string, 0, len(h.epr))
+	for p := range h.epr {
+		out = append(out, p)
+	}
+	return out
+}
+
+// authorize runs Definition 3 for the request.
+func (h *HIS) authorize(user, role, action, task, caseID string, obj policy.Object) error {
+	dec := h.pdp.Evaluate(policy.AccessRequest{
+		User: user, Role: role, Action: action, Object: obj, Task: task, Case: caseID,
+	})
+	if !dec.Granted {
+		return fmt.Errorf("%w: %s", ErrDenied, dec.Reason)
+	}
+	return nil
+}
+
+// record appends the performed action to the audit database and the
+// sealed log.
+func (h *HIS) record(user, role, action, task, caseID string, obj policy.Object, st audit.Status) error {
+	e := audit.Entry{
+		User: user, Role: role, Action: action, Object: obj,
+		Task: task, Case: caseID, Time: h.now(), Status: st,
+	}
+	if err := h.log.Append(e); err != nil {
+		return fmt.Errorf("hospital: recording audit entry: %w", err)
+	}
+	h.seal.Append(e)
+	return nil
+}
+
+// Read returns a section's content after authorization, logging the
+// access.
+func (h *HIS) Read(user, role, task, caseID string, obj policy.Object) (string, error) {
+	if err := h.authorize(user, role, "read", task, caseID, obj); err != nil {
+		return "", err
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	sections, ok := h.epr[obj.Subject]
+	if !ok {
+		return "", fmt.Errorf("hospital: unknown patient %q", obj.Subject)
+	}
+	if err := h.record(user, role, "read", task, caseID, obj, audit.Success); err != nil {
+		return "", err
+	}
+	return sections[obj.String()], nil
+}
+
+// Write stores a section's content after authorization, logging the
+// access.
+func (h *HIS) Write(user, role, task, caseID string, obj policy.Object, content string) error {
+	if err := h.authorize(user, role, "write", task, caseID, obj); err != nil {
+		return err
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	sections, ok := h.epr[obj.Subject]
+	if !ok {
+		return fmt.Errorf("hospital: unknown patient %q", obj.Subject)
+	}
+	sections[obj.String()] = content
+	return h.record(user, role, "write", task, caseID, obj, audit.Success)
+}
+
+// Execute runs a subject-less tool (e.g. ScanSoftware) after
+// authorization, logging the execution.
+func (h *HIS) Execute(user, role, task, caseID, tool string) error {
+	obj := policy.Object{Path: []string{tool}}
+	if err := h.authorize(user, role, "execute", task, caseID, obj); err != nil {
+		return err
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.record(user, role, "execute", task, caseID, obj, audit.Success)
+}
+
+// Cancel logs a task failure (the paper's cancel rows): no object, a
+// failure status. The preventive layer is not consulted — nothing is
+// accessed — but purpose control will require an error boundary.
+func (h *HIS) Cancel(user, role, task, caseID string) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.record(user, role, "cancel", task, caseID, policy.Object{}, audit.Failure)
+}
+
+// FindPatients returns the patients whose EPR section the requester may
+// read under the claimed task/case — the paper's footnote 3 query:
+// visibility depends on the claimed purpose.
+func (h *HIS) FindPatients(user, role, task, caseID, section string) []string {
+	h.mu.Lock()
+	patients := make([]string, 0, len(h.epr))
+	for p := range h.epr {
+		patients = append(patients, p)
+	}
+	h.mu.Unlock()
+
+	var candidates []policy.Object
+	for _, p := range patients {
+		candidates = append(candidates, policy.Object{Subject: p, Path: []string{"EPR", section}})
+	}
+	visible := h.pdp.VisibleObjects(policy.AccessRequest{
+		User: user, Role: role, Action: "read", Task: task, Case: caseID,
+	}, candidates)
+	out := make([]string, 0, len(visible))
+	for _, o := range visible {
+		out = append(out, o.Subject)
+	}
+	return out
+}
+
+// AuditStore exposes the audit database for investigation.
+func (h *HIS) AuditStore() *audit.Store { return h.log }
+
+// SealedEntries exposes the integrity-protected log.
+func (h *HIS) SealedEntries() []audit.SealedEntry { return h.seal.Entries() }

@@ -1,0 +1,194 @@
+package hospital
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/policy"
+)
+
+// fakeClock hands out strictly increasing timestamps.
+func fakeClock() func() time.Time {
+	t := time.Date(2026, 4, 1, 8, 0, 0, 0, time.UTC)
+	return func() time.Time {
+		t = t.Add(time.Minute)
+		return t
+	}
+}
+
+func newHIS(t *testing.T) (*Scenario, *HIS) {
+	t.Helper()
+	sc := scenario(t)
+	his := NewHIS(sc.Framework, []byte("his-key"), fakeClock())
+	for _, p := range []string{"Jane", "Alice", "David"} {
+		his.Admit(p)
+	}
+	return sc, his
+}
+
+func obj(s string) policy.Object { return policy.MustParseObject(s) }
+
+func TestHISEnforcesPolicy(t *testing.T) {
+	_, his := newHIS(t)
+
+	// A GP reads and writes clinical data for treatment: permitted.
+	if err := his.Write("John", "GP", "T02", "HT-7", obj("[Jane]EPR/Clinical"), "suspected angina"); err != nil {
+		t.Fatalf("GP write: %v", err)
+	}
+	got, err := his.Read("John", "GP", "T01", "HT-7", obj("[Jane]EPR/Clinical"))
+	if err != nil {
+		t.Fatalf("GP read: %v", err)
+	}
+	if got != "suspected angina" {
+		t.Fatalf("read back %q", got)
+	}
+
+	// A lab tech may not write outside the Tests subsection.
+	err = his.Write("Tess", "MedicalLabTech", "T15", "HT-7", obj("[Jane]EPR/Clinical"), "x")
+	if !errors.Is(err, ErrDenied) {
+		t.Fatalf("lab tech write: %v", err)
+	}
+	if err := his.Write("Tess", "MedicalLabTech", "T15", "HT-7", obj("[Jane]EPR/Clinical/Tests"), "HDL 1.3"); err != nil {
+		t.Fatalf("lab tech tests write: %v", err)
+	}
+
+	// Reading Jane for the clinical trial is denied (no consent);
+	// Alice is fine.
+	if _, err := his.Read("Bob", "Cardiologist", "T92", "CT-9", obj("[Jane]EPR/Clinical")); !errors.Is(err, ErrDenied) {
+		t.Fatalf("trial read of Jane: %v", err)
+	}
+	if _, err := his.Read("Bob", "Cardiologist", "T92", "CT-9", obj("[Alice]EPR/Clinical")); err != nil {
+		t.Fatalf("trial read of Alice: %v", err)
+	}
+
+	// Unknown patient.
+	if _, err := his.Read("John", "GP", "T01", "HT-7", obj("[Nobody]EPR/Clinical")); err == nil {
+		t.Fatalf("unknown patient accepted")
+	}
+
+	// Denied accesses are not logged; permitted ones are.
+	trail := his.AuditStore().Trail()
+	for i := 0; i < trail.Len(); i++ {
+		if trail.At(i).Object.Subject == "Jane" && trail.At(i).Case == "CT-9" {
+			t.Fatalf("denied access was logged: %s", trail.At(i))
+		}
+	}
+	if trail.Len() != 4 {
+		t.Fatalf("logged %d entries, want 4", trail.Len())
+	}
+}
+
+func TestHISVisibilityByPurpose(t *testing.T) {
+	_, his := newHIS(t)
+	trial := his.FindPatients("Bob", "Cardiologist", "T92", "CT-9", "Clinical")
+	if len(trial) != 2 {
+		t.Fatalf("trial visibility = %v, want Alice and David", trial)
+	}
+	treatment := his.FindPatients("Bob", "Cardiologist", "T06", "HT-9", "Clinical")
+	if len(treatment) != 3 {
+		t.Fatalf("treatment visibility = %v", treatment)
+	}
+}
+
+// TestHISDrivenScenario replays the paper's story through the live
+// front end: every access goes through the HIS, and the audit store it
+// produced is then investigated with the framework — the full loop the
+// paper describes.
+func TestHISDrivenScenario(t *testing.T) {
+	sc, his := newHIS(t)
+
+	// Jane's legitimate treatment (abridged HT-1: diagnose directly).
+	steps := []func() error{
+		func() error {
+			_, err := his.Read("John", "GP", "T01", "HT-1", obj("[Jane]EPR/Clinical"))
+			return err
+		},
+		func() error {
+			return his.Write("John", "GP", "T02", "HT-1", obj("[Jane]EPR/Clinical"), "diagnosis")
+		},
+		func() error {
+			return his.Write("John", "GP", "T03", "HT-1", obj("[Jane]EPR/Clinical"), "prescription")
+		},
+		func() error {
+			return his.Write("John", "GP", "T04", "HT-1", obj("[Jane]EPR/Clinical"), "discharged")
+		},
+	}
+	for i, step := range steps {
+		if err := step(); err != nil {
+			t.Fatalf("treatment step %d: %v", i, err)
+		}
+	}
+
+	// Bob harvests EPRs under fake treatment cases (all authorized!).
+	for i, patient := range []string{"Alice", "Jane", "David"} {
+		caseID := "HT-1" + string(rune('0'+i))
+		if _, err := his.Read("Bob", "Cardiologist", "T06", caseID, obj("["+patient+"]EPR/Clinical")); err != nil {
+			t.Fatalf("harvest read %s: %v", patient, err)
+		}
+	}
+
+	// The investigation: replay the HIS's own audit store.
+	store := his.AuditStore()
+	reports, err := core_CheckAll(sc, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compliant, infringing := 0, 0
+	for _, rep := range reports {
+		if rep.Compliant {
+			compliant++
+		} else {
+			infringing++
+		}
+	}
+	if compliant != 1 || infringing != 3 {
+		t.Fatalf("verdicts: %d compliant, %d infringing (want 1/3)", compliant, infringing)
+	}
+
+	// The sealed log verifies end to end.
+	if err := audit.Verify([]byte("his-key"), his.SealedEntries(), store.Len()); err != nil {
+		t.Fatalf("seal verification: %v", err)
+	}
+}
+
+// core_CheckAll avoids importing core twice in the test's namespace.
+func core_CheckAll(sc *Scenario, store *audit.Store) ([]reportLike, error) {
+	trail := store.Trail()
+	reports, err := sc.Framework.Checker.CheckTrail(trail)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]reportLike, len(reports))
+	for i, r := range reports {
+		out[i] = reportLike{Case: r.Case, Compliant: r.Compliant}
+	}
+	return out, nil
+}
+
+type reportLike struct {
+	Case      string
+	Compliant bool
+}
+
+func TestHISCancelLogsFailure(t *testing.T) {
+	_, his := newHIS(t)
+	if err := his.Cancel("John", "GP", "T02", "HT-5"); err != nil {
+		t.Fatal(err)
+	}
+	trail := his.AuditStore().Trail()
+	if trail.Len() != 1 || trail.At(0).Status != audit.Failure || trail.At(0).Action != "cancel" {
+		t.Fatalf("cancel entry: %v", trail.At(0))
+	}
+}
+
+func TestHISExecute(t *testing.T) {
+	_, his := newHIS(t)
+	if err := his.Execute("Charlie", "Radiologist", "T11", "HT-1", "ScanSoftware"); err != nil {
+		t.Fatalf("execute: %v", err)
+	}
+	if err := his.Execute("Tess", "MedicalLabTech", "T14", "HT-1", "ScanSoftware"); !errors.Is(err, ErrDenied) {
+		t.Fatalf("lab tech executing scan software: %v", err)
+	}
+}

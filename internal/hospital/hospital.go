@@ -1,0 +1,357 @@
+// Package hospital reproduces the paper's running example (Section 2,
+// Figures 1–4): the healthcare treatment process, the clinical trial
+// process, the sample data protection policy, and the audit trail in
+// which the cardiologist Bob legitimately treats Jane and then re-uses
+// treatment as the claimed purpose to harvest EPRs for a clinical trial
+// (cases HT-10..HT-30) — the infringement preventive mechanisms cannot
+// catch and Algorithm 1 does.
+package hospital
+
+import (
+	"fmt"
+
+	"repro/internal/audit"
+	"repro/internal/bpmn"
+	"repro/internal/core"
+	"repro/internal/policy"
+)
+
+// Purpose names and case codes.
+const (
+	TreatmentPurpose = "HealthcareTreatment"
+	TreatmentCode    = "HT"
+	TrialPurpose     = "ClinicalTrial"
+	TrialCode        = "CT"
+)
+
+// Treatment builds the Figure 1 healthcare treatment process.
+//
+// Pools: GP, Cardiologist, Radiologist (the paper's R), MedicalLabTech
+// (the paper's TL). Task numbering follows Figure 6 / Figure 4: the
+// radiology visit is T10–T12, the lab visit T13–T15.
+//
+//	GP:            S1 → T01 → G1 → { T02 → T03 → T04 → E1 | T05 → E5 }
+//	               T02 may fail, error boundary → T01;  S2 (msg) → T01
+//	Cardiologist:  S3 (msg) → T06 → G2 → { T07 → E4 | G3 (OR) → T08, T09 }
+//	               T08 → E8 (msg→lab), T09 → E9 (msg→radiology)
+//	               J3 (OR join of G3, fed by msg flows E6, E7) → T06
+//	MedicalLabTech: S5 (msg) → T13 → T14 → T15 → E6 (msg→J3)
+//	Radiologist:   S6 (msg) → T10 → T11 → T12 → E7 (msg→J3)
+func Treatment() (*bpmn.Process, error) {
+	return bpmn.NewBuilder(TreatmentPurpose).
+		Pool("GP").Pool("Cardiologist").Pool("Radiologist").Pool("MedicalLabTech").
+		// GP pool.
+		Start("S1", "GP").
+		MessageStart("S2", "GP").
+		Task("T01", "GP", "Access EPR, collect symptoms and specialist reports").
+		XOR("G1", "GP").
+		FallibleTask("T02", "GP", "Make diagnosis", "T01").
+		Task("T03", "GP", "Prescribe medical treatment").
+		Task("T04", "GP", "Discharge patient").
+		Task("T05", "GP", "Refer to specialist").
+		End("E1", "GP").
+		MessageEnd("E5", "GP").
+		Seq("S1", "T01").Seq("S2", "T01").Seq("T01", "G1").
+		Seq("G1", "T02").Seq("T02", "T03", "T04", "E1").
+		Seq("G1", "T05").Seq("T05", "E5").
+		// Cardiologist pool.
+		MessageStart("S3", "Cardiologist").
+		Task("T06", "Cardiologist", "Access medical history, examine patient, retrieve results").
+		XOR("G2", "Cardiologist").
+		Task("T07", "Cardiologist", "Make diagnosis").
+		OR("G3", "Cardiologist").
+		Task("T08", "Cardiologist", "Order lab tests").
+		Task("T09", "Cardiologist", "Order radiology scans").
+		OR("J3", "Cardiologist").
+		MessageEnd("E4", "Cardiologist").
+		MessageEnd("E8", "Cardiologist").
+		MessageEnd("E9", "Cardiologist").
+		Seq("S3", "T06").Seq("T06", "G2").
+		Seq("G2", "T07").Seq("T07", "E4").
+		Seq("G2", "G3").Seq("G3", "T08").Seq("G3", "T09").
+		Seq("T08", "E8").Seq("T09", "E9").
+		Seq("J3", "T06").
+		PairOR("G3", "J3").
+		// MedicalLabTech pool.
+		MessageStart("S5", "MedicalLabTech").
+		Task("T13", "MedicalLabTech", "Check EPR for counter-indications").
+		Task("T14", "MedicalLabTech", "Perform lab tests").
+		Task("T15", "MedicalLabTech", "Export results to HIS").
+		MessageEnd("E6", "MedicalLabTech").
+		Seq("S5", "T13", "T14", "T15", "E6").
+		// Radiologist pool.
+		MessageStart("S6", "Radiologist").
+		Task("T10", "Radiologist", "Check EPR for counter-indications").
+		Task("T11", "Radiologist", "Perform radiology scan").
+		Task("T12", "Radiologist", "Export scan to HIS").
+		MessageEnd("E7", "Radiologist").
+		Seq("S6", "T10", "T11", "T12", "E7").
+		// Message flows.
+		Msg("E5", "S3"). // GP refers patient to cardiologist
+		Msg("E4", "S2"). // cardiologist's diagnosis notifies GP
+		Msg("E8", "S5"). // order lab tests
+		Msg("E9", "S6"). // order radiology scans
+		Msg("E6", "J3"). // lab done
+		Msg("E7", "J3"). // radiology done
+		Build()
+}
+
+// ClinicalTrial builds the Figure 2 clinical trial process: the
+// physician-facing part, a linear flow of five tasks.
+func ClinicalTrial() (*bpmn.Process, error) {
+	return bpmn.NewBuilder(TrialPurpose).
+		Pool("Physician").
+		Start("S90", "Physician").
+		Task("T91", "Physician", "Define eligibility criteria").
+		Task("T92", "Physician", "Select candidates from EPRs").
+		Task("T93", "Physician", "Obtain informed consent").
+		Task("T94", "Physician", "Perform trial, collect measurements").
+		Task("T95", "Physician", "Analyze results").
+		End("E90", "Physician").
+		Seq("S90", "T91", "T92", "T93", "T94", "T95", "E90").
+		Build()
+}
+
+// Roles builds the role hierarchy of Section 3.2: GP, Cardiologist and
+// Radiologist specialize Physician; MedicalLabTech specializes
+// MedicalTech.
+func Roles() (*policy.RoleHierarchy, error) {
+	h := policy.NewRoleHierarchy()
+	decls := []struct {
+		role    string
+		parents []string
+	}{
+		{"Physician", nil},
+		{"MedicalTech", nil},
+		{"GP", []string{"Physician"}},
+		{"Cardiologist", []string{"Physician"}},
+		{"Radiologist", []string{"Physician"}},
+		{"MedicalLabTech", []string{"MedicalTech"}},
+	}
+	for _, d := range decls {
+		if err := h.Add(d.role, d.parents...); err != nil {
+			return nil, err
+		}
+	}
+	return h, nil
+}
+
+// policyText is the Figure 3 policy, extended with the three statements
+// the Figure 4 trail exercises but Figure 3 (a "sample") omits: the
+// radiologist executing scan software, the lab tech operating lab
+// equipment, and the physician writing clinical-trial artifacts.
+const policyText = `
+# Figure 3, first block: physicians and treatment.
+permit Physician read  [*]EPR/Clinical      for HealthcareTreatment
+permit Physician write [*]EPR/Clinical      for HealthcareTreatment
+permit Physician read  [*]EPR/Demographics  for HealthcareTreatment
+
+# Figure 3, second block: medical technicians.
+permit MedicalTech    read  [*]EPR/Clinical           for HealthcareTreatment
+permit MedicalTech    read  [*]EPR/Demographics       for HealthcareTreatment
+permit MedicalLabTech write [*]EPR/Clinical/Tests     for HealthcareTreatment
+
+# Figure 3, last block: clinical trial, consent-gated ([X]).
+permit Physician read [X]EPR for ClinicalTrial
+
+# Extensions required by the Figure 4 trail (documented in DESIGN.md).
+permit Physician   execute ScanSoftware  for HealthcareTreatment
+permit MedicalTech execute LabEquipment  for HealthcareTreatment
+permit Physician   write   ClinicalTrial for ClinicalTrial
+permit Physician   read    ClinicalTrial for ClinicalTrial
+`
+
+// Policy builds the Figure 3 data protection policy over the Section 3.2
+// role hierarchy.
+func Policy() (*policy.Policy, error) {
+	h, err := Roles()
+	if err != nil {
+		return nil, err
+	}
+	pol, err := policy.ParsePolicyString(rolesText(h) + policyText)
+	if err != nil {
+		return nil, err
+	}
+	return pol, nil
+}
+
+// rolesText renders role declarations for the parser (keeps a single
+// source of truth in Roles).
+func rolesText(h *policy.RoleHierarchy) string {
+	out := ""
+	for _, r := range h.Roles() {
+		gens := ""
+		for _, g := range h.Generalizations(r) {
+			if g == r {
+				continue
+			}
+			if gens != "" {
+				gens += ", "
+			}
+			gens += g
+		}
+		if gens == "" {
+			out += "role " + r + "\n"
+		} else {
+			out += "role " + r + " : " + gens + "\n"
+		}
+	}
+	return out
+}
+
+// Consents builds the consent registry of the scenario: Jane explicitly
+// did NOT consent to research (Section 2); Alice and David did.
+func Consents() *policy.ConsentRegistry {
+	c := policy.NewConsentRegistry()
+	c.Grant("Alice", TrialPurpose)
+	c.Grant("David", TrialPurpose)
+	return c
+}
+
+// trailRows is Figure 4, row for row (the paper's "···" ellipses elide
+// repetitions of the adjacent rows; we include exactly the printed
+// ones).
+var trailRows = [][4]string{
+	// user|role, action, object|task|case, time|status
+	{"John|GP", "read", "[Jane]EPR/Clinical|T01|HT-1", "201003121210|success"},
+	{"John|GP", "write", "[Jane]EPR/Clinical|T02|HT-1", "201003121212|success"},
+	{"John|GP", "cancel", "|T02|HT-1", "201003121216|failure"},
+	{"John|GP", "read", "[Jane]EPR/Clinical|T01|HT-1", "201003121218|success"},
+	{"John|GP", "write", "[Jane]EPR/Clinical|T05|HT-1", "201003121220|success"},
+	{"John|GP", "read", "[David]EPR/Demographics|T01|HT-2", "201003121230|success"},
+	{"Bob|Cardiologist", "read", "[Jane]EPR/Clinical|T06|HT-1", "201003141010|success"},
+	{"Bob|Cardiologist", "write", "[Jane]EPR/Clinical|T09|HT-1", "201003141025|success"},
+	{"Charlie|Radiologist", "read", "[Jane]EPR/Clinical|T10|HT-1", "201003201640|success"},
+	{"Charlie|Radiologist", "execute", "ScanSoftware|T11|HT-1", "201003201645|success"},
+	{"Charlie|Radiologist", "write", "[Jane]EPR/Clinical/Scan|T12|HT-1", "201003201730|success"},
+	{"Bob|Cardiologist", "read", "[Jane]EPR/Clinical|T06|HT-1", "201003301010|success"},
+	{"Bob|Cardiologist", "write", "[Jane]EPR/Clinical|T07|HT-1", "201003301020|success"},
+	{"John|GP", "read", "[Jane]EPR/Clinical|T01|HT-1", "201004151210|success"},
+	{"John|GP", "write", "[Jane]EPR/Clinical|T02|HT-1", "201004151210|success"},
+	{"John|GP", "write", "[Jane]EPR/Clinical|T03|HT-1", "201004151215|success"},
+	{"John|GP", "write", "[Jane]EPR/Clinical|T04|HT-1", "201004151220|success"},
+	{"Bob|Cardiologist", "write", "ClinicalTrial/Criteria|T91|CT-1", "201004151450|success"},
+	{"Bob|Cardiologist", "read", "[Alice]EPR/Clinical|T06|HT-10", "201004151500|success"},
+	{"Bob|Cardiologist", "read", "[Jane]EPR/Clinical|T06|HT-11", "201004151501|success"},
+	{"Bob|Cardiologist", "read", "[David]EPR/Clinical|T06|HT-20", "201004151515|success"},
+	{"Bob|Cardiologist", "write", "ClinicalTrial/ListOfSelCand|T92|CT-1", "201004151520|success"},
+	{"Bob|Cardiologist", "read", "[Alice]EPR/Demographics|T06|HT-21", "201004151530|success"},
+	{"Bob|Cardiologist", "read", "[David]EPR/Demographics|T06|HT-30", "201004151550|success"},
+	{"Bob|Cardiologist", "write", "ClinicalTrial/ListOfEnrCand|T93|CT-1", "201004201200|success"},
+	{"Bob|Cardiologist", "write", "ClinicalTrial/Measurements|T94|CT-1", "201004221600|success"},
+	{"Bob|Cardiologist", "write", "ClinicalTrial/Measurements|T94|CT-1", "201004291600|success"},
+	{"Bob|Cardiologist", "write", "ClinicalTrial/Results|T95|CT-1", "201004301200|success"},
+}
+
+// Trail builds the Figure 4 audit trail.
+func Trail() (*audit.Trail, error) {
+	var entries []audit.Entry
+	for i, row := range trailRows {
+		e, err := rowEntry(row)
+		if err != nil {
+			return nil, fmt.Errorf("hospital: trail row %d: %w", i, err)
+		}
+		entries = append(entries, e)
+	}
+	return audit.NewTrail(entries), nil
+}
+
+func rowEntry(row [4]string) (audit.Entry, error) {
+	var e audit.Entry
+	if _, err := fmt.Sscanf(replacePipes(row[0]), "%s %s", &e.User, &e.Role); err != nil {
+		return e, err
+	}
+	e.Action = row[1]
+	var objStr string
+	if _, err := fmt.Sscanf(replacePipes(row[2]), "%s %s %s", &objStr, &e.Task, &e.Case); err != nil {
+		// Object may be empty (the paper's N/A rows).
+		var rest = replacePipes(row[2])
+		if _, err2 := fmt.Sscanf(rest, "%s %s", &e.Task, &e.Case); err2 != nil {
+			return e, err
+		}
+		objStr = ""
+	}
+	if objStr != "" {
+		o, err := policy.ParseObject(objStr)
+		if err != nil {
+			return e, err
+		}
+		e.Object = o
+	}
+	var ts, status string
+	if _, err := fmt.Sscanf(replacePipes(row[3]), "%s %s", &ts, &status); err != nil {
+		return e, err
+	}
+	t, err := audit.ParsePaperTime(ts)
+	if err != nil {
+		return e, err
+	}
+	e.Time = t
+	st, err := audit.ParseStatus(status)
+	if err != nil {
+		return e, err
+	}
+	e.Status = st
+	return e, nil
+}
+
+func replacePipes(s string) string {
+	out := make([]byte, len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] == '|' {
+			out[i] = ' '
+		} else {
+			out[i] = s[i]
+		}
+	}
+	return string(out)
+}
+
+// Scenario bundles the fully wired running example.
+type Scenario struct {
+	Treatment *bpmn.Process
+	Trial     *bpmn.Process
+	Registry  *core.Registry
+	Policy    *policy.Policy
+	Consents  *policy.ConsentRegistry
+	Framework *core.Framework
+	Trail     *audit.Trail
+}
+
+// NewScenario assembles processes, registry, policy, consents, framework
+// and the Figure 4 trail.
+func NewScenario() (*Scenario, error) {
+	treatment, err := Treatment()
+	if err != nil {
+		return nil, fmt.Errorf("hospital: building treatment process: %w", err)
+	}
+	trial, err := ClinicalTrial()
+	if err != nil {
+		return nil, fmt.Errorf("hospital: building trial process: %w", err)
+	}
+	reg := core.NewRegistry()
+	if _, err := reg.Register(treatment, TreatmentCode); err != nil {
+		return nil, err
+	}
+	if _, err := reg.Register(trial, TrialCode); err != nil {
+		return nil, err
+	}
+	pol, err := Policy()
+	if err != nil {
+		return nil, fmt.Errorf("hospital: building policy: %w", err)
+	}
+	consents := Consents()
+	trail, err := Trail()
+	if err != nil {
+		return nil, err
+	}
+	return &Scenario{
+		Treatment: treatment,
+		Trial:     trial,
+		Registry:  reg,
+		Policy:    pol,
+		Consents:  consents,
+		Framework: core.NewFramework(reg, pol, consents),
+		Trail:     trail,
+	}, nil
+}

@@ -1,0 +1,192 @@
+package lts
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cows"
+)
+
+// ErrBudgetExceeded reports that exploration hit its state budget before
+// exhausting the reachable state space (expected for services with
+// unbounded replication).
+var ErrBudgetExceeded = errors.New("lts: state budget exceeded")
+
+// Graph is a finite, explicitly materialized fragment of a labeled
+// transition system, produced by Explore. State 0 is the initial state.
+type Graph struct {
+	// States holds the canonical form of each explored state, indexed
+	// by state id.
+	States []string
+	// Services holds the corresponding service values.
+	Services []cows.Service
+	// Edges holds all discovered transitions between explored states.
+	Edges []Edge
+	// Complete is true when the whole reachable state space fit within
+	// the budget.
+	Complete bool
+}
+
+// Edge is one transition of a Graph.
+type Edge struct {
+	From  int
+	Label cows.Label
+	To    int
+}
+
+// NumStates returns the number of explored states.
+func (g *Graph) NumStates() int { return len(g.States) }
+
+// NumEdges returns the number of discovered transitions.
+func (g *Graph) NumEdges() int { return len(g.Edges) }
+
+// Succ returns the outgoing edges of state id, in insertion order.
+func (g *Graph) Succ(id int) []Edge {
+	var out []Edge
+	for _, e := range g.Edges {
+		if e.From == id {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// LabelSet returns the sorted set of distinct label strings in the graph.
+func (g *Graph) LabelSet() []string {
+	set := map[string]bool{}
+	for _, e := range g.Edges {
+		set[e.Label.String()] = true
+	}
+	out := make([]string, 0, len(set))
+	for l := range set {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Explore materializes the LTS of s breadth-first up to maxStates states.
+// All labels (observable and silent) appear as edges. If the reachable
+// space exceeds the budget the partial graph is returned together with
+// ErrBudgetExceeded.
+func (y *System) Explore(s cows.Service, maxStates int) (*Graph, error) {
+	if maxStates <= 0 {
+		return nil, fmt.Errorf("lts: non-positive state budget %d", maxStates)
+	}
+	g := &Graph{}
+	index := map[string]int{}
+
+	add := func(st cows.Service) (int, bool) {
+		key := cows.Canon(st)
+		if id, ok := index[key]; ok {
+			return id, true
+		}
+		if len(g.States) >= maxStates {
+			return -1, false
+		}
+		id := len(g.States)
+		index[key] = id
+		g.States = append(g.States, key)
+		g.Services = append(g.Services, st)
+		return id, true
+	}
+
+	if _, ok := add(s); !ok {
+		return g, ErrBudgetExceeded
+	}
+	truncated := false
+	for frontier := 0; frontier < len(g.States); frontier++ {
+		ts, err := y.Transitions(g.Services[frontier])
+		if err != nil {
+			return nil, err
+		}
+		for _, tr := range ts {
+			to, ok := add(tr.Next)
+			if !ok {
+				truncated = true
+				continue
+			}
+			g.Edges = append(g.Edges, Edge{From: frontier, Label: tr.Label, To: to})
+		}
+	}
+	if truncated {
+		return g, ErrBudgetExceeded
+	}
+	g.Complete = true
+	return g, nil
+}
+
+// ExploreObservable materializes the weak (observable-projected) LTS of
+// s: states are the initial state plus targets of observable
+// transitions, edges are WeakNext results. This is the view the paper's
+// figures draw (silent gateway steps compressed away, task
+// synchronizations visible).
+func (y *System) ExploreObservable(s cows.Service, maxStates int) (*Graph, error) {
+	if maxStates <= 0 {
+		return nil, fmt.Errorf("lts: non-positive state budget %d", maxStates)
+	}
+	g := &Graph{}
+	index := map[string]int{}
+
+	add := func(st cows.Service, key string) (int, bool) {
+		if id, ok := index[key]; ok {
+			return id, true
+		}
+		if len(g.States) >= maxStates {
+			return -1, false
+		}
+		id := len(g.States)
+		index[key] = id
+		g.States = append(g.States, key)
+		g.Services = append(g.Services, st)
+		return id, true
+	}
+
+	if _, ok := add(s, cows.Canon(s)); !ok {
+		return g, ErrBudgetExceeded
+	}
+	truncated := false
+	for frontier := 0; frontier < len(g.States); frontier++ {
+		obs, err := y.WeakNext(g.Services[frontier])
+		if err != nil {
+			return nil, err
+		}
+		for _, o := range obs {
+			to, ok := add(o.State, o.Canon)
+			if !ok {
+				truncated = true
+				continue
+			}
+			g.Edges = append(g.Edges, Edge{From: frontier, Label: o.Label, To: to})
+		}
+	}
+	if truncated {
+		return g, ErrBudgetExceeded
+	}
+	g.Complete = true
+	return g, nil
+}
+
+// DOT renders the graph in Graphviz format. Node labels are state ids;
+// pass withStates to include (long) canonical state strings as tooltips.
+func (g *Graph) DOT(name string, withStates bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n  node [shape=circle fontsize=10];\n", name)
+	for i := range g.States {
+		attrs := fmt.Sprintf("label=\"St%d\"", i+1)
+		if i == 0 {
+			attrs += " style=bold"
+		}
+		if withStates {
+			attrs += fmt.Sprintf(" tooltip=%q", g.States[i])
+		}
+		fmt.Fprintf(&b, "  n%d [%s];\n", i, attrs)
+	}
+	for _, e := range g.Edges {
+		fmt.Fprintf(&b, "  n%d -> n%d [label=%q fontsize=9];\n", e.From, e.To, e.Label.String())
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,126 @@
+package lts
+
+import (
+	"testing"
+
+	"repro/internal/cows"
+)
+
+func TestExploreObservableProjectsSilentSteps(t *testing.T) {
+	// Fig. 8 with only task-ish labels observable: the weak view
+	// compresses P.G / sys.* / †k away.
+	y := NewSystem(func(l cows.Label) bool {
+		if l.Kind != cows.LComm {
+			return false
+		}
+		switch l.Op {
+		case "T", "T1", "T2", "E1", "E2":
+			return l.Partner == "P"
+		}
+		return false
+	})
+	g, err := y.ExploreObservable(fig8(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Complete {
+		t.Fatalf("incomplete")
+	}
+	// Weak states: init, after T, after T1, after T2, after E1, after
+	// E2 (E1/E2 targets differ in leftover services).
+	if g.NumStates() != 6 {
+		t.Fatalf("weak LTS has %d states, want 6", g.NumStates())
+	}
+	labels := g.LabelSet()
+	for _, l := range labels {
+		switch l {
+		case "P.T", "P.T1", "P.T2", "P.E1", "P.E2":
+		default:
+			t.Fatalf("silent label leaked into weak view: %q", l)
+		}
+	}
+	// Branching: initial state has one successor (T), the post-T state
+	// two (T1, T2).
+	if got := len(g.Succ(0)); got != 1 {
+		t.Fatalf("init successors = %d", got)
+	}
+	if got := len(g.Succ(1)); got != 2 {
+		t.Fatalf("post-T successors = %d", got)
+	}
+}
+
+func TestExploreErrors(t *testing.T) {
+	y := NewSystem(obsAllComm)
+	if _, err := y.Explore(fig7(), 0); err == nil {
+		t.Fatalf("zero budget accepted")
+	}
+	if _, err := y.ExploreObservable(fig7(), 0); err == nil {
+		t.Fatalf("zero budget accepted")
+	}
+}
+
+func TestTraceString(t *testing.T) {
+	tr := Trace{"a.b", "c.d(v)"}
+	if got := tr.String(); got != "a.b c.d(v)" {
+		t.Fatalf("Trace.String = %q", got)
+	}
+	if got := (Trace{}).String(); got != "" {
+		t.Fatalf("empty trace = %q", got)
+	}
+}
+
+func TestObservableTracesDefaults(t *testing.T) {
+	y := NewSystem(obsAllComm)
+	res, err := y.ObservableTraces(fig7(), TraceLimits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exhaustive || len(res.Traces) != 1 {
+		t.Fatalf("defaults: %+v", res)
+	}
+	if res.StatesVisited < 2 {
+		t.Fatalf("states visited = %d", res.StatesVisited)
+	}
+}
+
+func TestWithMaxSilentDepth(t *testing.T) {
+	// A long but finite silent chain: with a tiny depth bound the
+	// guard trips, with the default it does not.
+	src := `x.o!<> |
+		a.t1!<> | a.t1?<>.a.t2!<> | a.t2?<>.a.t3!<> | a.t3?<>.(x.o?<>.0)`
+	s := cows.MustParse(src)
+	obs := func(l cows.Label) bool { return l.Kind == cows.LComm && l.Op == "o" }
+
+	y := NewSystem(obs, WithMaxSilentDepth(1))
+	if _, err := y.WeakNext(s); err == nil {
+		t.Fatalf("depth bound did not trip")
+	}
+	y2 := NewSystem(obs)
+	res, err := y2.WeakNext(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].Label.String() != "x.o" {
+		t.Fatalf("WeakNext = %v", res)
+	}
+	if res[0].Silent != 3 {
+		t.Fatalf("silent prefix = %d, want 3", res[0].Silent)
+	}
+}
+
+func TestSystemClone(t *testing.T) {
+	y := NewSystem(obsAllComm, WithMaxSilentDepth(123))
+	if _, err := y.WeakNext(fig7()); err != nil {
+		t.Fatal(err)
+	}
+	c := y.Clone()
+	if s, w := c.CacheStats(); s != 0 || w != 0 {
+		t.Fatalf("clone inherited caches: %d %d", s, w)
+	}
+	if c.maxSilent != 123 {
+		t.Fatalf("clone lost configuration")
+	}
+	if !c.Observable(cows.CommLabel("P", "T")) {
+		t.Fatalf("clone lost observability predicate")
+	}
+}

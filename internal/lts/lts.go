@@ -1,0 +1,274 @@
+// Package lts derives and explores the labeled transition systems of
+// COWS services (paper Section 3.3) and implements the WeakNext function
+// of Definition 7, including the finitely-observable guard of
+// Definition 8 that underpins the termination results of Section 5.
+//
+// A System wraps a COWS derivation engine with an observability
+// predicate: the paper's set of observable labels is
+//
+//	L = { r·q | r a role, q a task } ∪ { sys·Err }
+//
+// (Section 3.5); everything else — gateway bookkeeping, message flows,
+// kill signals — is silent. The predicate is injected so other label
+// disciplines (e.g. logging message flows too) can reuse the machinery.
+package lts
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/cows"
+)
+
+// ErrNotFinitelyObservable reports a silent cycle: from some reachable
+// state the service can perform infinitely many consecutive unobservable
+// transitions, violating Definition 8. BPMN processes whose encoding
+// triggers this are not well-founded (Section 5) and cannot be audited.
+var ErrNotFinitelyObservable = errors.New("lts: silent cycle: transition system is not finitely observable")
+
+// DefaultMaxSilentDepth bounds the silent-prefix exploration of WeakNext
+// as a belt-and-braces guard in addition to cycle detection.
+const DefaultMaxSilentDepth = 100000
+
+// Observability classifies labels as observable (recorded in audit
+// trails) or silent.
+type Observability func(cows.Label) bool
+
+// System memoizes transition derivation for a family of services sharing
+// one observability discipline. A System is safe for concurrent use: the
+// caches are mutex-guarded and the derivation engine is lock-free, so
+// Algorithm 1's per-case analyses can share one warm System — the
+// "massive parallelization" the paper notes in Section 7. Concurrent
+// cache misses on the same state may derive it twice; both derivations
+// are identical and the second write is a no-op overwrite.
+type System struct {
+	engine    *cows.Engine
+	obs       Observability
+	maxSilent int
+
+	mu sync.RWMutex
+	// step cache: canonical state -> outgoing transitions.
+	steps map[string][]cows.Transition
+	// weak cache: canonical state -> weak-next results.
+	weak map[string][]Observable
+	// interned states by canonical string, so equal states share one
+	// service value.
+	intern map[string]cows.Service
+}
+
+// Option configures a System.
+type Option func(*System)
+
+// WithMaxSilentDepth overrides the silent-prefix depth guard.
+func WithMaxSilentDepth(n int) Option {
+	return func(y *System) { y.maxSilent = n }
+}
+
+// NewSystem builds a System with the given observability predicate.
+func NewSystem(obs Observability, opts ...Option) *System {
+	y := &System{
+		engine:    cows.NewEngine(),
+		obs:       obs,
+		maxSilent: DefaultMaxSilentDepth,
+		steps:     map[string][]cows.Transition{},
+		weak:      map[string][]Observable{},
+		intern:    map[string]cows.Service{},
+	}
+	for _, o := range opts {
+		o(y)
+	}
+	return y
+}
+
+// Clone returns a fresh System with the same configuration and empty
+// caches, suitable for a different goroutine.
+func (y *System) Clone() *System {
+	return NewSystem(y.obs, WithMaxSilentDepth(y.maxSilent))
+}
+
+// Observable says whether the system's discipline records the label.
+func (y *System) Observable(l cows.Label) bool { return y.obs(l) }
+
+// Transitions returns the outgoing transitions of s, memoized by
+// canonical state.
+func (y *System) Transitions(s cows.Service) ([]cows.Transition, error) {
+	key := cows.Canon(s)
+	y.mu.RLock()
+	ts, ok := y.steps[key]
+	y.mu.RUnlock()
+	if ok {
+		return ts, nil
+	}
+	ts, err := y.engine.Step(s)
+	if err != nil {
+		return nil, fmt.Errorf("deriving transitions: %w", err)
+	}
+	y.mu.Lock()
+	// Intern successors so repeated states share storage.
+	for i := range ts {
+		ck := cows.Canon(ts[i].Next)
+		if prev, ok := y.intern[ck]; ok {
+			ts[i].Next = prev
+		} else {
+			y.intern[ck] = ts[i].Next
+		}
+	}
+	y.steps[key] = ts
+	y.mu.Unlock()
+	return ts, nil
+}
+
+// Observable is one result of WeakNext: an observable label, the state
+// reached by performing it after a finite silent prefix, and that
+// state's canonical form. Origins carries the provenance (origin task
+// set) decoded from the label's communicated values; the compliance
+// layer uses it to maintain active-task sets (Definition 6).
+type Observable struct {
+	Label  cows.Label
+	State  cows.Service
+	Canon  string
+	Silent int // length of the silent prefix before the observable step
+}
+
+// WeakNext implements Definition 7: the set of states reachable from s
+// by a finite (possibly empty) sequence of unobservable transitions
+// followed by exactly one observable transition, paired with that
+// transition's label.
+//
+// WeakNext performs a depth-first search over silent transitions. A
+// silent edge back into a state on the current DFS stack means the
+// service can diverge silently; WeakNext then fails with
+// ErrNotFinitelyObservable (Definition 8, Proposition 1).
+//
+// Results are deduplicated by (label, state) and deterministically
+// ordered.
+func (y *System) WeakNext(s cows.Service) ([]Observable, error) {
+	key := cows.Canon(s)
+	y.mu.RLock()
+	w, ok := y.weak[key]
+	y.mu.RUnlock()
+	if ok {
+		return w, nil
+	}
+
+	var results []Observable
+	seen := map[string]bool{}    // states fully expanded
+	onStack := map[string]bool{} // states on the current DFS path
+	dedup := map[string]bool{}   // label+state keys already emitted
+
+	var dfs func(st cows.Service, stKey string, depth int) error
+	dfs = func(st cows.Service, stKey string, depth int) error {
+		if depth > y.maxSilent {
+			return fmt.Errorf("%w (silent depth exceeds %d)", ErrNotFinitelyObservable, y.maxSilent)
+		}
+		onStack[stKey] = true
+		defer delete(onStack, stKey)
+		seen[stKey] = true
+
+		ts, err := y.Transitions(st)
+		if err != nil {
+			return err
+		}
+		for _, tr := range ts {
+			if y.obs(tr.Label) {
+				ck := cows.Canon(tr.Next)
+				dk := tr.Label.Key() + "\x00" + ck
+				if !dedup[dk] {
+					dedup[dk] = true
+					results = append(results, Observable{
+						Label:  tr.Label,
+						State:  tr.Next,
+						Canon:  ck,
+						Silent: depth,
+					})
+				}
+				continue
+			}
+			ck := cows.Canon(tr.Next)
+			if onStack[ck] {
+				return fmt.Errorf("%w (cycle through %s)", ErrNotFinitelyObservable, tr.Label)
+			}
+			if seen[ck] {
+				continue
+			}
+			if err := dfs(tr.Next, ck, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	if err := dfs(s, key, 0); err != nil {
+		return nil, err
+	}
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Label.Key() != results[j].Label.Key() {
+			return results[i].Label.Key() < results[j].Label.Key()
+		}
+		return results[i].Canon < results[j].Canon
+	})
+	y.mu.Lock()
+	y.weak[key] = results
+	y.mu.Unlock()
+	return results, nil
+}
+
+// Quiescent reports whether s has no transitions at all (the process
+// instance has run to completion or is stuck).
+func (y *System) Quiescent(s cows.Service) (bool, error) {
+	ts, err := y.Transitions(s)
+	if err != nil {
+		return false, err
+	}
+	return len(ts) == 0, nil
+}
+
+// CanTerminateSilently reports whether s can reach a quiescent state via
+// unobservable transitions only — i.e. whether the process instance can
+// be considered complete without further observable activity. The
+// compliance layer uses it to decide whether a fully-replayed trail ends
+// in a final state or leaves the process mid-flight.
+func (y *System) CanTerminateSilently(s cows.Service) (bool, error) {
+	seen := map[string]bool{}
+	var dfs func(st cows.Service, depth int) (bool, error)
+	dfs = func(st cows.Service, depth int) (bool, error) {
+		if depth > y.maxSilent {
+			return false, fmt.Errorf("%w (silent depth exceeds %d)", ErrNotFinitelyObservable, y.maxSilent)
+		}
+		key := cows.Canon(st)
+		if seen[key] {
+			return false, nil
+		}
+		seen[key] = true
+		ts, err := y.Transitions(st)
+		if err != nil {
+			return false, err
+		}
+		if len(ts) == 0 {
+			return true, nil
+		}
+		for _, tr := range ts {
+			if y.obs(tr.Label) {
+				continue
+			}
+			ok, err := dfs(tr.Next, depth+1)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+	return dfs(s, 0)
+}
+
+// CacheStats reports memoization sizes, for diagnostics and benchmarks.
+func (y *System) CacheStats() (steps, weak int) {
+	y.mu.RLock()
+	defer y.mu.RUnlock()
+	return len(y.steps), len(y.weak)
+}

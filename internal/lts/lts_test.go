@@ -1,0 +1,334 @@
+package lts
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/cows"
+)
+
+// obsPrefix marks labels whose operation starts with "obs" as observable
+// (for abstract-shape tests like Fig. 5).
+func obsPrefix(l cows.Label) bool {
+	return l.Kind == cows.LComm && strings.HasPrefix(l.Op, "obs")
+}
+
+// obsAllComm marks every communication as observable and kills as silent
+// (the view of the paper's appendix figures, which draw all
+// synchronizations including the private sys steps).
+func obsAllComm(l cows.Label) bool { return l.Kind == cows.LComm }
+
+func traceStrings(t *testing.T, y *System, s cows.Service, maxDepth int) []string {
+	t.Helper()
+	res, err := y.ObservableTraces(s, TraceLimits{MaxDepth: maxDepth, MaxTraces: 10000})
+	if err != nil {
+		t.Fatalf("ObservableTraces: %v", err)
+	}
+	out := make([]string, len(res.Traces))
+	for i, tr := range res.Traces {
+		out[i] = tr.String()
+	}
+	return out
+}
+
+// TestFig5WeakNext reproduces Figure 5: from s, WeakNext must return the
+// three states reachable with exactly one observable label — the
+// directly-observable successor s1 and the two successors s2, s3 of the
+// silently-reachable s0 — and not the deeper s4, s5.
+func TestFig5WeakNext(t *testing.T) {
+	src := `
+		// s: silent step to S0, observable obs1 to S1
+		x.tau!<> | y.obs1!<> |
+		( x.tau?<>.( a.obs2!<> | b.obs3!<> | (a.obs2?<>.0 + b.obs3?<>.0) )
+		+ y.obs1?<>.( c.tau2!<> | d.obs4!<> | (c.tau2?<>.0 + d.obs4?<>.0) ) )`
+	s := cows.MustParse(src)
+	y := NewSystem(obsPrefix)
+	obs, err := y.WeakNext(s)
+	if err != nil {
+		t.Fatalf("WeakNext: %v", err)
+	}
+	var lbls []string
+	for _, o := range obs {
+		lbls = append(lbls, o.Label.String())
+	}
+	want := []string{"a.obs2", "b.obs3", "y.obs1"}
+	if len(lbls) != 3 {
+		t.Fatalf("WeakNext returned %d results %v, want 3 %v", len(lbls), lbls, want)
+	}
+	for i, w := range want {
+		if lbls[i] != w {
+			t.Errorf("WeakNext label[%d] = %q, want %q", i, lbls[i], w)
+		}
+	}
+	// Silent prefix lengths: obs1 fires immediately (0 silent steps),
+	// obs2/obs3 fire after the tau step (1 silent step).
+	for _, o := range obs {
+		wantSilent := 1
+		if o.Label.String() == "y.obs1" {
+			wantSilent = 0
+		}
+		if o.Silent != wantSilent {
+			t.Errorf("silent prefix of %s = %d, want %d", o.Label, o.Silent, wantSilent)
+		}
+	}
+}
+
+// fig7 builds the Appendix A, Figure 7 service: a single pool P with
+// start event S, task T and end event E.
+func fig7() cows.Service {
+	return cows.MustParse(`P.T!<> | P.T?<>.P.E!<> | P.E?<>`)
+}
+
+func TestFig7LinearLTS(t *testing.T) {
+	y := NewSystem(obsAllComm)
+	g, err := y.Explore(fig7(), 100)
+	if err != nil {
+		t.Fatalf("Explore: %v", err)
+	}
+	if !g.Complete {
+		t.Fatalf("exploration incomplete")
+	}
+	if g.NumStates() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("LTS has %d states / %d edges, want 3 / 2 (paper Fig. 7c)", g.NumStates(), g.NumEdges())
+	}
+	traces := traceStrings(t, y, fig7(), 10)
+	if len(traces) != 1 || traces[0] != "P.T P.E" {
+		t.Fatalf("traces = %v, want [P.T P.E]", traces)
+	}
+}
+
+// fig8 builds the Appendix A, Figure 8 service: an exclusive (XOR)
+// gateway G choosing between tasks T1 and T2.
+func fig8() cows.Service {
+	return cows.MustParse(`
+		P.T!<>
+		| P.T?<>.P.G!<>
+		| P.G?<>.[k:kill][sys:name](
+			sys.T1!<> | sys.T2!<>
+			| sys.T1?<>.(kill(k) | {|P.T1!<>|})
+			| sys.T2?<>.(kill(k) | {|P.T2!<>|}) )
+		| P.T1?<>.P.E1!<>
+		| P.E1?<>
+		| P.T2?<>.P.E2!<>
+		| P.E2?<>`)
+}
+
+func TestFig8ExclusiveGateway(t *testing.T) {
+	y := NewSystem(obsAllComm)
+	traces := traceStrings(t, y, fig8(), 10)
+	want := []string{
+		"P.T P.G sys.T1 P.T1 P.E1",
+		"P.T P.G sys.T2 P.T2 P.E2",
+	}
+	if len(traces) != len(want) {
+		t.Fatalf("traces = %v, want %v", traces, want)
+	}
+	for i := range want {
+		if traces[i] != want[i] {
+			t.Errorf("trace[%d] = %q, want %q", i, traces[i], want[i])
+		}
+	}
+	// Exclusivity: no trace contains both T1 and T2 (the kill removed
+	// the losing branch) — implied by the exact match above, but spelled
+	// out as the property the paper's Fig. 8 illustrates.
+	for _, tr := range traces {
+		if strings.Contains(tr, "P.T1") && strings.Contains(tr, "P.T2") {
+			t.Errorf("gateway not exclusive: %q", tr)
+		}
+	}
+}
+
+// fig9 builds the Appendix A, Figure 9 service: task T either proceeds
+// to T2 or raises error Err handled by T1. (The paper's [[T]] contains a
+// typo — it receives on P.G which nothing invokes; the intended trigger
+// is P.T as in Figure 7, which is what we encode.)
+func fig9() cows.Service {
+	return cows.MustParse(`
+		P.T!<>
+		| P.T?<>.[k:kill][sys:name](
+			sys.Err!<> | sys.T2!<>
+			| sys.Err?<>.(kill(k) | {|P.T1!<>|})
+			| sys.T2?<>.(kill(k) | {|P.T2!<>|}) )
+		| P.T1?<>.P.E1!<>
+		| P.E1?<>
+		| P.T2?<>.P.E2!<>
+		| P.E2?<>`)
+}
+
+func TestFig9ErrorEvent(t *testing.T) {
+	y := NewSystem(obsAllComm)
+	traces := traceStrings(t, y, fig9(), 10)
+	want := []string{
+		"P.T sys.Err P.T1 P.E1",
+		"P.T sys.T2 P.T2 P.E2",
+	}
+	if len(traces) != len(want) {
+		t.Fatalf("traces = %v, want %v", traces, want)
+	}
+	for i := range want {
+		if traces[i] != want[i] {
+			t.Errorf("trace[%d] = %q, want %q", i, traces[i], want[i])
+		}
+	}
+}
+
+// fig10 builds the Appendix A, Figure 10 service: two pools connected by
+// message flows forming a cycle.
+func fig10() cows.Service {
+	return cows.MustParse(`
+		P1.T1!<>
+		| *[z:var] P1.S2?<$z>.P1.T1!<>
+		| *P1.T1?<>.P1.E1!<>
+		| *P1.E1?<>.P2.S3!<msg1>
+		| *[z:var] P2.S3?<$z>.P2.T2!<>
+		| *P2.T2?<>.P2.E2!<>
+		| *P2.E2?<>.P1.S2!<msg2>`)
+}
+
+func TestFig10MessageFlowCycle(t *testing.T) {
+	y := NewSystem(obsAllComm)
+	g, err := y.Explore(fig10(), 100)
+	if err != nil {
+		t.Fatalf("Explore: %v", err)
+	}
+	if !g.Complete {
+		t.Fatalf("cyclic process should have a finite LTS after replication garbage collection")
+	}
+	if g.NumStates() != 6 || g.NumEdges() != 6 {
+		t.Fatalf("LTS has %d states / %d edges, want 6 / 6 (paper Fig. 10c)", g.NumStates(), g.NumEdges())
+	}
+	// The cycle: following the unique path of 6 labels returns to the
+	// initial state.
+	wantCycle := []string{"P1.T1", "P1.E1", "P2.S3(msg1)", "P2.T2", "P2.E2", "P1.S2(msg2)"}
+	cur := 0
+	for i, w := range wantCycle {
+		succ := g.Succ(cur)
+		if len(succ) != 1 {
+			t.Fatalf("state %d has %d successors, want 1", cur, len(succ))
+		}
+		if succ[0].Label.String() != w {
+			t.Fatalf("edge %d label = %q, want %q", i, succ[0].Label, w)
+		}
+		cur = succ[0].To
+	}
+	if cur != 0 {
+		t.Fatalf("cycle does not close: ended at state %d", cur)
+	}
+}
+
+// TestNotFinitelyObservable checks the Definition 8 guard: a service
+// that can loop forever on silent labels must be rejected by WeakNext,
+// not diverge (Proposition 1's contrapositive).
+func TestNotFinitelyObservable(t *testing.T) {
+	// A silent self-feeding loop: tick synchronizes with a replicated
+	// service that re-issues tick.
+	s := cows.MustParse(`sys.tick!<> | *sys.tick?<>.sys.tick!<>`)
+	y := NewSystem(obsPrefix)
+	_, err := y.WeakNext(s)
+	if !errors.Is(err, ErrNotFinitelyObservable) {
+		t.Fatalf("WeakNext error = %v, want ErrNotFinitelyObservable", err)
+	}
+}
+
+// TestWeakNextMemoization checks the cache returns identical results.
+func TestWeakNextMemoization(t *testing.T) {
+	y := NewSystem(obsAllComm)
+	s := fig8()
+	a, err := y.WeakNext(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := y.WeakNext(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("memoized result differs in length")
+	}
+	for i := range a {
+		if a[i].Canon != b[i].Canon || a[i].Label.String() != b[i].Label.String() {
+			t.Fatalf("memoized result differs at %d", i)
+		}
+	}
+	if _, weak := y.CacheStats(); weak == 0 {
+		t.Fatalf("weak cache unexpectedly empty")
+	}
+}
+
+// TestAcceptsTraceOracle cross-checks the brute-force acceptance oracle
+// on Fig. 8.
+func TestAcceptsTraceOracle(t *testing.T) {
+	y := NewSystem(obsAllComm)
+	s := fig8()
+	cases := []struct {
+		trace []string
+		want  bool
+	}{
+		{[]string{"P.T", "P.G", "sys.T1", "P.T1", "P.E1"}, true},
+		{[]string{"P.T", "P.G", "sys.T2", "P.T2", "P.E2"}, true},
+		{[]string{"P.T", "P.G"}, true}, // prefixes accepted
+		{[]string{"P.T", "P.G", "sys.T1", "P.T2"}, false},
+		{[]string{"P.T1"}, false},
+		{nil, true},
+	}
+	for _, c := range cases {
+		got, err := y.AcceptsTrace(s, c.trace)
+		if err != nil {
+			t.Fatalf("AcceptsTrace(%v): %v", c.trace, err)
+		}
+		if got != c.want {
+			t.Errorf("AcceptsTrace(%v) = %v, want %v", c.trace, got, c.want)
+		}
+	}
+}
+
+// TestExploreBudget checks the explicit budget error on an unbounded
+// state space.
+func TestExploreBudget(t *testing.T) {
+	// A process that spawns unbounded parallel tokens: each sync leaves
+	// an extra pending invoke.
+	s := cows.MustParse(`go.x!<> | *go.x?<>.(go.x!<> | go.x!<>)`)
+	y := NewSystem(obsAllComm)
+	_, err := y.Explore(s, 50)
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("Explore error = %v, want ErrBudgetExceeded", err)
+	}
+}
+
+// TestDOTExport sanity-checks the Graphviz rendering.
+func TestDOTExport(t *testing.T) {
+	y := NewSystem(obsAllComm)
+	g, err := y.Explore(fig7(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := g.DOT("fig7", true)
+	for _, want := range []string{"digraph", "P.T", "P.E", "n0 -> n1"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+// TestCanTerminateSilently checks quiescence detection through silent
+// suffixes.
+func TestCanTerminateSilently(t *testing.T) {
+	y := NewSystem(obsPrefix)
+	// One silent step then done.
+	s := cows.MustParse(`x.tau!<> | x.tau?<>.0`)
+	ok, err := y.CanTerminateSilently(s)
+	if err != nil || !ok {
+		t.Fatalf("CanTerminateSilently = %v, %v; want true", ok, err)
+	}
+	// An observable step is required before quiescence: not silently
+	// terminable? The definition asks only for reachability of a
+	// quiescent state via silent steps; here the only transition is
+	// observable, so the current state is not quiescent and no silent
+	// steps exist.
+	s2 := cows.MustParse(`x.obs1!<> | x.obs1?<>.0`)
+	ok, err = y.CanTerminateSilently(s2)
+	if err != nil || ok {
+		t.Fatalf("CanTerminateSilently = %v, %v; want false", ok, err)
+	}
+}

@@ -1,0 +1,138 @@
+package lts
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cows"
+)
+
+// Trace is a sequence of observable label strings.
+type Trace []string
+
+// String joins the trace with spaces.
+func (t Trace) String() string {
+	out := ""
+	for i, l := range t {
+		if i > 0 {
+			out += " "
+		}
+		out += l
+	}
+	return out
+}
+
+// TraceSet enumeration limits.
+type TraceLimits struct {
+	// MaxDepth bounds trace length; traces longer than MaxDepth are
+	// truncated and marked incomplete.
+	MaxDepth int
+	// MaxTraces bounds how many traces are collected.
+	MaxTraces int
+}
+
+// TraceResult is the outcome of ObservableTraces.
+type TraceResult struct {
+	// Traces are the collected maximal observable traces, sorted.
+	Traces []Trace
+	// Exhaustive is true when every maximal trace within MaxDepth was
+	// collected (no truncation by MaxTraces or MaxDepth).
+	Exhaustive bool
+	// StatesVisited counts distinct weak states expanded.
+	StatesVisited int
+}
+
+// ObservableTraces enumerates the maximal observable traces of s: label
+// sequences of observable transitions, extended until quiescence (no
+// further observable activity). This materializes exactly the object the
+// paper's naive approach (Section 1) would need — and demonstrates why
+// it explodes: the number of traces is exponential in the process's
+// concurrency and unbounded in its cycles, which is why Algorithm 1
+// replays the trail against WeakNext instead.
+func (y *System) ObservableTraces(s cows.Service, lim TraceLimits) (*TraceResult, error) {
+	if lim.MaxDepth <= 0 {
+		lim.MaxDepth = 64
+	}
+	if lim.MaxTraces <= 0 {
+		lim.MaxTraces = 1 << 20
+	}
+	res := &TraceResult{Exhaustive: true}
+	visited := map[string]bool{}
+
+	var dfs func(st cows.Service, prefix Trace) error
+	dfs = func(st cows.Service, prefix Trace) error {
+		if len(res.Traces) >= lim.MaxTraces {
+			res.Exhaustive = false
+			return nil
+		}
+		key := cows.Canon(st)
+		if !visited[key] {
+			visited[key] = true
+			res.StatesVisited++
+		}
+		obs, err := y.WeakNext(st)
+		if err != nil {
+			return err
+		}
+		if len(obs) == 0 {
+			tr := make(Trace, len(prefix))
+			copy(tr, prefix)
+			res.Traces = append(res.Traces, tr)
+			return nil
+		}
+		if len(prefix) >= lim.MaxDepth {
+			res.Exhaustive = false
+			tr := make(Trace, len(prefix))
+			copy(tr, prefix)
+			res.Traces = append(res.Traces, tr)
+			return nil
+		}
+		for _, o := range obs {
+			if err := dfs(o.State, append(prefix, o.Label.String())); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	if err := dfs(s, nil); err != nil {
+		return nil, err
+	}
+	sort.Slice(res.Traces, func(i, j int) bool { return res.Traces[i].String() < res.Traces[j].String() })
+	return res, nil
+}
+
+// AcceptsTrace reports whether the given observable label sequence is a
+// prefix of some trace of s, by brute-force search over WeakNext — the
+// reference oracle used to validate Algorithm 1's soundness and
+// completeness (Theorem 2) in tests and by the naive baseline.
+func (y *System) AcceptsTrace(s cows.Service, trace []string) (bool, error) {
+	type frame struct {
+		st  cows.Service
+		pos int
+	}
+	stack := []frame{{st: s, pos: 0}}
+	seen := map[string]bool{}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if f.pos == len(trace) {
+			return true, nil
+		}
+		key := fmt.Sprintf("%d\x00%s", f.pos, cows.Canon(f.st))
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		obs, err := y.WeakNext(f.st)
+		if err != nil {
+			return false, err
+		}
+		for _, o := range obs {
+			if o.Label.String() == trace[f.pos] {
+				stack = append(stack, frame{st: o.State, pos: f.pos + 1})
+			}
+		}
+	}
+	return false, nil
+}

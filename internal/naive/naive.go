@@ -1,0 +1,237 @@
+// Package naive implements the approach the paper rejects in Section 1:
+// "generate the transition system of the COWS process model and then
+// verify if the audit trail corresponds to a valid trace of the
+// transition system. Unfortunately, the number of possible traces can be
+// infinite, for instance when the process has a loop, making this
+// approach not feasible."
+//
+// The checker below does exactly that — it materializes the set of
+// maximal observable traces (bounded, because it has to be) and matches
+// the case's trail against each one. It agrees with Algorithm 1 on every
+// verdict within its bounds; its cost is exponential in process
+// concurrency and unbounded in cycles, which is what the P4 benchmarks
+// measure against Algorithm 1's replay.
+package naive
+
+import (
+	"fmt"
+
+	"repro/internal/audit"
+	"repro/internal/core"
+	"repro/internal/cows"
+	"repro/internal/lts"
+	"repro/internal/policy"
+)
+
+// Checker enumerates traces up front and matches trails against them.
+type Checker struct {
+	Registry *core.Registry
+	Roles    *policy.RoleHierarchy
+	// MaxDepth bounds trace length (default: trail length + Slack).
+	MaxDepth int
+	// Slack extends the depth bound beyond the trail length to leave
+	// room for absorbed in-task actions (default 4).
+	Slack int
+	// MaxTraces bounds enumeration (default 1<<16).
+	MaxTraces int
+
+	systems map[string]*lts.System
+}
+
+// Result is the naive checker's outcome, with its cost counters.
+type Result struct {
+	Case      string
+	Purpose   string
+	Compliant bool
+	// TracesEnumerated is how many maximal traces were materialized —
+	// the blow-up the paper warns about.
+	TracesEnumerated int
+	// StatesVisited counts weak states expanded during enumeration.
+	StatesVisited int
+	// Exhaustive is false when enumeration hit a bound, in which case
+	// a non-compliant verdict is only valid within the bound.
+	Exhaustive bool
+}
+
+// NewChecker builds a naive checker over the same registry Algorithm 1
+// uses.
+func NewChecker(reg *core.Registry, roles *policy.RoleHierarchy) *Checker {
+	return &Checker{Registry: reg, Roles: roles, systems: map[string]*lts.System{}}
+}
+
+func (c *Checker) system(p *core.Purpose) *lts.System {
+	y, ok := c.systems[p.Name]
+	if !ok {
+		y = lts.NewSystem(p.Observable)
+		c.systems[p.Name] = y
+	}
+	return y
+}
+
+func (c *Checker) roleMatches(entryRole, poolRole string) bool {
+	if entryRole == poolRole {
+		return true
+	}
+	if c.Roles == nil {
+		return false
+	}
+	return c.Roles.Specializes(entryRole, poolRole)
+}
+
+// CheckCase enumerates the purpose's traces and matches the case slice.
+func (c *Checker) CheckCase(trail *audit.Trail, caseID string) (*Result, error) {
+	pur := c.Registry.ForCase(caseID)
+	if pur == nil {
+		return &Result{Case: caseID, Compliant: false, Exhaustive: true}, nil
+	}
+	entries := trail.ByCase(caseID).Entries()
+
+	maxDepth := c.MaxDepth
+	if maxDepth <= 0 {
+		slack := c.Slack
+		if slack <= 0 {
+			slack = 4
+		}
+		maxDepth = len(entries) + slack
+	}
+	maxTraces := c.MaxTraces
+	if maxTraces <= 0 {
+		maxTraces = 1 << 16
+	}
+
+	y := c.system(pur)
+	traces, err := y.ObservableTraces(pur.Initial, lts.TraceLimits{MaxDepth: maxDepth, MaxTraces: maxTraces})
+	if err != nil {
+		return nil, fmt.Errorf("naive: enumerating traces of %q: %w", pur.Name, err)
+	}
+
+	res := &Result{
+		Case:             caseID,
+		Purpose:          pur.Name,
+		TracesEnumerated: len(traces.Traces),
+		StatesVisited:    traces.StatesVisited,
+		Exhaustive:       traces.Exhaustive,
+	}
+	// Re-derive each trace's parsed labels once. Enumeration returns
+	// strings; we need ops and origins, so parse them back.
+	for _, tr := range traces.Traces {
+		labels := make([]parsedLabel, len(tr))
+		for i, s := range tr {
+			labels[i] = parseLabel(s)
+		}
+		if c.matchTrace(pur, labels, entries) {
+			res.Compliant = true
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+// parsedLabel is the (partner, op, origins) view of a trace label.
+type parsedLabel struct {
+	partner string
+	op      string
+	origins []string
+}
+
+func parseLabel(s string) parsedLabel {
+	var pl parsedLabel
+	rest := s
+	if i := indexByte(rest, '('); i >= 0 {
+		pl.origins = cows.SetElems(rest[i+1 : len(rest)-1])
+		rest = rest[:i]
+	}
+	if i := indexByte(rest, '.'); i >= 0 {
+		pl.partner, pl.op = rest[:i], rest[i+1:]
+	} else {
+		pl.op = rest
+	}
+	return pl
+}
+
+func indexByte(s string, b byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == b {
+			return i
+		}
+	}
+	return -1
+}
+
+// matchTrace replays the entries against one linear trace, maintaining
+// the active-task set along the trace (from the origins the labels
+// carry) so in-task actions absorb exactly as in Algorithm 1. The walk
+// backtracks over the absorb-vs-advance ambiguity.
+func (c *Checker) matchTrace(pur *core.Purpose, labels []parsedLabel, entries []audit.Entry) bool {
+	type state struct {
+		entry int
+		pos   int
+	}
+	seen := map[state]bool{}
+
+	// activeAt[i] is the active set after firing labels[0..i-1].
+	activeAt := make([]map[core.ActiveTask]bool, len(labels)+1)
+	activeAt[0] = map[core.ActiveTask]bool{}
+	for i, l := range labels {
+		next := map[core.ActiveTask]bool{}
+		consumed := map[string]bool{}
+		for _, o := range l.origins {
+			consumed[o] = true
+		}
+		for a := range activeAt[i] {
+			if !consumed[a.Task] {
+				next[a] = true
+			}
+		}
+		if l.op != "Err" && pur.Process.HasTask(l.op) {
+			next[core.ActiveTask{Role: l.partner, Task: l.op}] = true
+		}
+		activeAt[i+1] = next
+	}
+
+	var walk func(st state) bool
+	walk = func(st state) bool {
+		if st.entry == len(entries) {
+			return true
+		}
+		if seen[st] {
+			return false
+		}
+		seen[st] = true
+		e := entries[st.entry]
+
+		// Absorb: a successful action within an active task.
+		if e.Status == audit.Success {
+			for a := range activeAt[st.pos] {
+				if a.Task == e.Task && c.roleMatches(e.Role, a.Role) {
+					if walk(state{entry: st.entry + 1, pos: st.pos}) {
+						return true
+					}
+					break
+				}
+			}
+		}
+		// Advance: the next trace label accepts the entry.
+		if st.pos < len(labels) {
+			l := labels[st.pos]
+			ok := false
+			if e.Status == audit.Failure {
+				if l.op == "Err" {
+					for _, o := range l.origins {
+						if o == e.Task {
+							ok = true
+							break
+						}
+					}
+				}
+			} else {
+				ok = l.op == e.Task && c.roleMatches(e.Role, l.partner)
+			}
+			if ok && walk(state{entry: st.entry + 1, pos: st.pos + 1}) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(state{})
+}

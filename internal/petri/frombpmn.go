@@ -1,0 +1,153 @@
+package petri
+
+import (
+	"fmt"
+
+	"repro/internal/bpmn"
+)
+
+// FromBPMN maps a validated BPMN process onto a labeled Petri net, in
+// the style conformance-checking tools assume (paper Section 6, [13]):
+//
+//   - every flow (sequence or message) becomes a place;
+//   - tasks become labeled transitions (one per incoming flow — the
+//     implicit exclusive merge);
+//   - fallible tasks split into task transition → done-place, a τ to the
+//     normal flow and an "Err:<task>" transition to the handler;
+//   - XOR gateways become one τ per (in,out) routing; AND gateways a
+//     single synchronizing τ; OR splits one τ per branch subset.
+//
+// The inclusive JOIN is where the mapping is necessarily lossy, as the
+// paper notes: a Petri net join decides locally, one τ per subset of its
+// inputs, without knowing which subset the split actually activated. A
+// net may therefore fire the join after a strict subset of the chosen
+// branches — executions Algorithm 1 correctly rejects. TestORJoinLocality
+// demonstrates the gap.
+func FromBPMN(p *bpmn.Process) (*Net, error) {
+	var places []Place
+	var transitions []*Transition
+	initial := Marking{}
+
+	flowPlace := func(f bpmn.Flow) Place {
+		return Place("f_" + f.From + ">" + f.To)
+	}
+	addPlace := func(pl Place) Place {
+		places = append(places, pl)
+		return pl
+	}
+	for _, f := range p.Flows() {
+		addPlace(flowPlace(f))
+	}
+
+	// Error-edge places, keyed by failing task.
+	errPlace := map[string]Place{}
+	for _, e := range p.Elements() {
+		if e.Kind == bpmn.KindTask && e.OnError != "" {
+			errPlace[e.ID] = addPlace(Place("err_" + e.ID))
+		}
+	}
+
+	tcount := 0
+	add := func(label string, in, out []Place) {
+		tcount++
+		transitions = append(transitions, &Transition{
+			Name:  fmt.Sprintf("t%d_%s", tcount, label),
+			Label: label,
+			In:    in,
+			Out:   out,
+		})
+	}
+	inPlaces := func(id string) []Place {
+		var out []Place
+		for _, f := range p.Incoming(id) {
+			out = append(out, flowPlace(f))
+		}
+		if ep, ok := taskErrInputs(p, id, errPlace); ok {
+			out = append(out, ep...)
+		}
+		return out
+	}
+	outPlaces := func(id string) []Place {
+		var out []Place
+		for _, f := range p.Outgoing(id) {
+			out = append(out, flowPlace(f))
+		}
+		return out
+	}
+
+	for _, e := range p.Elements() {
+		ins, outs := inPlaces(e.ID), outPlaces(e.ID)
+		switch e.Kind {
+		case bpmn.KindStart:
+			start := addPlace(Place("start_" + e.ID))
+			initial[start] = 1
+			add("", []Place{start}, outs)
+		case bpmn.KindMessageStart:
+			for _, in := range ins {
+				add("", []Place{in}, outs)
+			}
+		case bpmn.KindEnd, bpmn.KindMessageEnd:
+			for _, in := range ins {
+				add("", []Place{in}, outs)
+			}
+		case bpmn.KindTask:
+			if e.OnError == "" {
+				for _, in := range ins {
+					add(e.ID, []Place{in}, outs)
+				}
+				continue
+			}
+			done := addPlace(Place("done_" + e.ID))
+			for _, in := range ins {
+				add(e.ID, []Place{in}, []Place{done})
+			}
+			add("", []Place{done}, outs)
+			add("Err:"+e.ID, []Place{done}, []Place{errPlace[e.ID]})
+		case bpmn.KindGatewayXOR:
+			for _, in := range ins {
+				for _, out := range outs {
+					add("", []Place{in}, []Place{out})
+				}
+			}
+		case bpmn.KindGatewayAND:
+			add("", ins, outs)
+		case bpmn.KindGatewayOR:
+			if p.IsORJoin(e.ID) {
+				// Local-choice join: one τ per non-empty input
+				// subset (the lossy part).
+				for mask := 1; mask < (1 << len(ins)); mask++ {
+					var sel []Place
+					for i, in := range ins {
+						if mask&(1<<i) != 0 {
+							sel = append(sel, in)
+						}
+					}
+					add("", sel, outs)
+				}
+			} else {
+				for mask := 1; mask < (1 << len(outs)); mask++ {
+					var sel []Place
+					for i, out := range outs {
+						if mask&(1<<i) != 0 {
+							sel = append(sel, out)
+						}
+					}
+					add("", ins, sel)
+				}
+			}
+		}
+	}
+	return NewNet(places, transitions, initial)
+}
+
+// taskErrInputs returns the error places feeding element id (the error
+// handlers' extra inputs).
+func taskErrInputs(p *bpmn.Process, id string, errPlace map[string]Place) ([]Place, bool) {
+	var out []Place
+	for _, e := range p.Elements() {
+		if e.Kind == bpmn.KindTask && e.OnError == id {
+			out = append(out, errPlace[e.ID])
+		}
+	}
+	return out, len(out) > 0
+}

@@ -1,0 +1,170 @@
+package petri
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hospital"
+	"repro/internal/workload"
+)
+
+func logOf(traces ...[]string) *Log { return &Log{Traces: traces} }
+
+func TestAlphaLinear(t *testing.T) {
+	l := logOf([]string{"A", "B", "C"}, []string{"A", "B", "C"})
+	net, err := Alpha(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Replayer{Net: net}
+	res, err := r.ReplayEvents("c1", []string{"A", "B", "C"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flagged() || res.Remaining != 0 {
+		t.Fatalf("mined net rejects its own log: %+v", res)
+	}
+	// Deviations from the mined model are flagged.
+	res, err = r.ReplayEvents("c2", []string{"B", "A", "C"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Flagged() {
+		t.Fatalf("mined net accepted a reordered trace: %+v", res)
+	}
+}
+
+func TestAlphaChoice(t *testing.T) {
+	l := logOf(
+		[]string{"A", "B", "D"},
+		[]string{"A", "C", "D"},
+	)
+	net, err := Alpha(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Replayer{Net: net}
+	for _, tr := range l.Traces {
+		res, err := r.ReplayEvents("c", tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Flagged() {
+			t.Fatalf("mined net rejects %v: %+v", tr, res)
+		}
+	}
+	// Both branches in one trace: rejected (the choice place holds one
+	// token).
+	res, err := r.ReplayEvents("c", []string{"A", "B", "C", "D"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Flagged() {
+		t.Fatalf("mined choice not exclusive: %+v", res)
+	}
+}
+
+func TestAlphaParallel(t *testing.T) {
+	l := logOf(
+		[]string{"A", "B", "C", "D"},
+		[]string{"A", "C", "B", "D"},
+	)
+	net, err := Alpha(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Replayer{Net: net}
+	for _, tr := range [][]string{{"A", "B", "C", "D"}, {"A", "C", "B", "D"}} {
+		res, err := r.ReplayEvents("c", tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Flagged() {
+			t.Fatalf("mined net rejects interleaving %v: %+v", tr, res)
+		}
+	}
+	// Skipping a parallel branch leaves the join starved.
+	res, err := r.ReplayEvents("c", []string{"A", "B", "D"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Flagged() {
+		t.Fatalf("mined parallel join not synchronizing: %+v", res)
+	}
+}
+
+func TestAlphaEmptyLog(t *testing.T) {
+	if _, err := Alpha(&Log{}); err == nil {
+		t.Fatalf("empty log accepted")
+	}
+}
+
+// TestAlphaOnSimulatedWorkload mines a model from simulated trails of a
+// generated process and verifies the mined net replays the very log it
+// was mined from (the Alpha fitness guarantee on its own input, for
+// structured logs).
+func TestAlphaOnSimulatedWorkload(t *testing.T) {
+	proc := workload.MustGenerate(workload.ProcParams{
+		Name: "Mined", Seed: 4, Tasks: 8, Pools: 1,
+		TaskWeight: 5, XORWeight: 2, ANDWeight: 1,
+		MaxBranch: 2, MaxDepth: 2,
+	})
+	reg := core.NewRegistry()
+	reg.MustRegister(proc, "MN")
+	params := workload.DefaultTrailParams(6, 12, "MN")
+	params.ActionsPerTask = 1
+	trail, err := workload.NewSimulator(reg, params).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := LogFromTrail(trail)
+	net, err := Alpha(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Replayer{Net: net}
+	misses := 0
+	for _, tr := range l.Traces {
+		res, err := r.ReplayEvents("c", tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Missing > 0 || !res.Fitting {
+			misses++
+		}
+	}
+	// Alpha reconstructs structured (loop-free, OR-free) behavior; the
+	// generator can emit constructs outside its class, so allow a small
+	// miss rate rather than exact refit.
+	if misses*4 > len(l.Traces) {
+		t.Fatalf("mined net misses %d of %d traces", misses, len(l.Traces))
+	}
+}
+
+// TestDriftDetection: a log in which nobody ever runs the counter-
+// indication check shows up as structural drift against Fig. 1.
+func TestDriftDetection(t *testing.T) {
+	sc, err := hospital.NewScenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := LogFromTrail(sc.Trail.ByCase("HT-1"))
+	rep := Drift(l, sc.Treatment.Tasks())
+	// HT-1 never ordered lab tests: T08 and the lab tasks never ran.
+	want := map[string]bool{"T08": true, "T13": true, "T14": true, "T15": true}
+	for _, task := range rep.NeverExecuted {
+		delete(want, task)
+	}
+	if len(want) != 0 {
+		t.Fatalf("drift misses %v (got %v)", want, rep.NeverExecuted)
+	}
+	if len(rep.Unknown) != 0 {
+		t.Fatalf("unexpected unknown tasks %v", rep.Unknown)
+	}
+	// A log with an off-process task surfaces it.
+	l2 := &Log{Traces: [][]string{{"T01", "T99"}}}
+	rep = Drift(l2, sc.Treatment.Tasks())
+	if len(rep.Unknown) != 1 || rep.Unknown[0] != "T99" {
+		t.Fatalf("unknown = %v", rep.Unknown)
+	}
+}

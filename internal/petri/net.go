@@ -1,0 +1,149 @@
+// Package petri implements the comparison baseline of the paper's
+// Section 6: Petri-net-based conformance checking ("token replay"
+// fitness, Rozinat & van der Aalst [13]). The paper argues such
+// techniques (a) only see events that name model activities — so they
+// cannot check roles, objects, actions or purposes — and (b) capture
+// BPMN imprecisely (inclusive joins in particular). This package exists
+// to make those claims measurable: internal/bpmn processes are mapped to
+// labeled Petri nets, trails are replayed, and the P5 experiments
+// compare detection capability and cost against Algorithm 1.
+package petri
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Place is a Petri net place, identified by name.
+type Place string
+
+// Transition is a Petri net transition: consumes one token from each
+// input place, produces one on each output place. A transition with an
+// empty Label is invisible (τ): it represents routing (gateways, events,
+// message flows) that never appears in logs.
+type Transition struct {
+	Name  string
+	Label string // task id; "" for τ
+	In    []Place
+	Out   []Place
+}
+
+// Net is a labeled Petri net with an initial marking.
+type Net struct {
+	Places      []Place
+	Transitions []*Transition
+	Initial     Marking
+
+	byLabel map[string][]*Transition
+}
+
+// Marking is a multiset of tokens by place.
+type Marking map[Place]int
+
+// Clone copies the marking.
+func (m Marking) Clone() Marking {
+	out := make(Marking, len(m))
+	for p, n := range m {
+		if n != 0 {
+			out[p] = n
+		}
+	}
+	return out
+}
+
+// Tokens returns the total token count.
+func (m Marking) Tokens() int {
+	n := 0
+	for _, k := range m {
+		n += k
+	}
+	return n
+}
+
+// String renders the marking deterministically.
+func (m Marking) String() string {
+	var keys []string
+	for p, n := range m {
+		if n > 0 {
+			keys = append(keys, fmt.Sprintf("%s:%d", p, n))
+		}
+	}
+	sort.Strings(keys)
+	return "{" + strings.Join(keys, ",") + "}"
+}
+
+// NewNet builds a net and indexes transitions by label.
+func NewNet(places []Place, transitions []*Transition, initial Marking) (*Net, error) {
+	n := &Net{Places: places, Transitions: transitions, Initial: initial, byLabel: map[string][]*Transition{}}
+	known := map[Place]bool{}
+	for _, p := range places {
+		if known[p] {
+			return nil, fmt.Errorf("petri: duplicate place %q", p)
+		}
+		known[p] = true
+	}
+	names := map[string]bool{}
+	for _, t := range transitions {
+		if names[t.Name] {
+			return nil, fmt.Errorf("petri: duplicate transition %q", t.Name)
+		}
+		names[t.Name] = true
+		for _, p := range append(append([]Place{}, t.In...), t.Out...) {
+			if !known[p] {
+				return nil, fmt.Errorf("petri: transition %q references unknown place %q", t.Name, p)
+			}
+		}
+		n.byLabel[t.Label] = append(n.byLabel[t.Label], t)
+	}
+	for p := range initial {
+		if !known[p] {
+			return nil, fmt.Errorf("petri: initial marking references unknown place %q", p)
+		}
+	}
+	return n, nil
+}
+
+// Labeled returns the transitions carrying the given (non-τ) label.
+func (n *Net) Labeled(label string) []*Transition { return n.byLabel[label] }
+
+// Silent returns the τ transitions.
+func (n *Net) Silent() []*Transition { return n.byLabel[""] }
+
+// Enabled reports whether t can fire under m.
+func Enabled(m Marking, t *Transition) bool {
+	need := map[Place]int{}
+	for _, p := range t.In {
+		need[p]++
+	}
+	for p, k := range need {
+		if m[p] < k {
+			return false
+		}
+	}
+	return true
+}
+
+// Fire fires t under m, forcing missing tokens into existence when
+// force is set (token replay's "missing token" accounting). It returns
+// the new marking and how many tokens were missing.
+func Fire(m Marking, t *Transition, force bool) (Marking, int) {
+	out := m.Clone()
+	missing := 0
+	for _, p := range t.In {
+		if out[p] > 0 {
+			out[p]--
+			if out[p] == 0 {
+				delete(out, p)
+			}
+		} else if force {
+			missing++
+		} else {
+			return nil, 0
+		}
+	}
+	for _, p := range t.Out {
+		out[p]++
+	}
+	return out, missing
+}

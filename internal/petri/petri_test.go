@@ -1,0 +1,279 @@
+package petri
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/bpmn"
+	"repro/internal/hospital"
+	"repro/internal/policy"
+)
+
+func trailOf(caseID string, steps ...string) *audit.Trail {
+	var entries []audit.Entry
+	for i, s := range steps {
+		role, task, _ := strings.Cut(s, ":")
+		e := audit.Entry{
+			User: "u", Role: role, Action: "read",
+			Object: policy.MustParseObject("[P1]EPR"),
+			Task:   task, Case: caseID,
+			Time:   time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC).Add(time.Duration(i) * time.Minute),
+			Status: audit.Success,
+		}
+		if strings.HasPrefix(task, "!") {
+			e.Task = strings.TrimPrefix(task, "!")
+			e.Status = audit.Failure
+			e.Object = policy.Object{}
+		}
+		entries = append(entries, e)
+	}
+	return audit.NewTrail(entries)
+}
+
+func netOf(t *testing.T, p *bpmn.Process) *Replayer {
+	t.Helper()
+	n, err := FromBPMN(p)
+	if err != nil {
+		t.Fatalf("FromBPMN: %v", err)
+	}
+	return &Replayer{Net: n}
+}
+
+func TestNetBasics(t *testing.T) {
+	n, err := NewNet(
+		[]Place{"a", "b"},
+		[]*Transition{{Name: "t", Label: "T", In: []Place{"a"}, Out: []Place{"b"}}},
+		Marking{"a": 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Labeled("T")) != 1 || len(n.Silent()) != 0 {
+		t.Fatalf("indexing broken")
+	}
+	m := n.Initial.Clone()
+	if !Enabled(m, n.Transitions[0]) {
+		t.Fatalf("t should be enabled")
+	}
+	m2, missing := Fire(m, n.Transitions[0], false)
+	if missing != 0 || m2["b"] != 1 || m2["a"] != 0 {
+		t.Fatalf("fire result %v", m2)
+	}
+	if Enabled(m2, n.Transitions[0]) {
+		t.Fatalf("t should be disabled after firing")
+	}
+	_, missing = Fire(m2, n.Transitions[0], true)
+	if missing != 1 {
+		t.Fatalf("forced fire missing = %d", missing)
+	}
+	if m["a"] != 1 {
+		t.Fatalf("Fire mutated its input marking")
+	}
+}
+
+func TestNetValidation(t *testing.T) {
+	if _, err := NewNet([]Place{"a", "a"}, nil, nil); err == nil {
+		t.Fatalf("duplicate place accepted")
+	}
+	if _, err := NewNet([]Place{"a"}, []*Transition{
+		{Name: "t", In: []Place{"zz"}},
+	}, nil); err == nil {
+		t.Fatalf("unknown place accepted")
+	}
+	if _, err := NewNet([]Place{"a"}, []*Transition{
+		{Name: "t", In: []Place{"a"}}, {Name: "t", In: []Place{"a"}},
+	}, nil); err == nil {
+		t.Fatalf("duplicate transition accepted")
+	}
+	if _, err := NewNet([]Place{"a"}, nil, Marking{"zz": 1}); err == nil {
+		t.Fatalf("bad initial marking accepted")
+	}
+}
+
+func TestReplayLinearFit(t *testing.T) {
+	p := bpmn.NewBuilder("Linear").Pool("P").
+		Start("S", "P").Task("T1", "P", "").Task("T2", "P", "").End("E", "P").
+		Seq("S", "T1", "T2", "E").MustBuild()
+	r := netOf(t, p)
+
+	res, err := r.ReplayCase(trailOf("LN-1", "P:T1", "P:T2"), "LN-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fitness() != 1 || res.Flagged() || res.Remaining != 0 {
+		t.Fatalf("fit trace: %+v fitness=%v", res, res.Fitness())
+	}
+
+	// Skipping T1 forces missing tokens.
+	res, err = r.ReplayCase(trailOf("LN-1", "P:T2"), "LN-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Flagged() || res.Missing == 0 || res.Fitness() >= 1 {
+		t.Fatalf("skip not flagged: %+v", res)
+	}
+
+	// An unknown task is an unknown event.
+	res, err = r.ReplayCase(trailOf("LN-1", "P:T1", "P:T9"), "LN-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Flagged() || res.UnknownEvents != 1 {
+		t.Fatalf("unknown event: %+v", res)
+	}
+
+	// Prefixes leave remaining tokens but are not flagged (the
+	// baseline cannot tell pending from abandoned).
+	res, err = r.ReplayCase(trailOf("LN-1", "P:T1"), "LN-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flagged() || res.Remaining == 0 {
+		t.Fatalf("prefix: %+v", res)
+	}
+}
+
+func TestReplayCollapsesInTaskActions(t *testing.T) {
+	p := bpmn.NewBuilder("Linear").Pool("P").
+		Start("S", "P").Task("T1", "P", "").Task("T2", "P", "").End("E", "P").
+		Seq("S", "T1", "T2", "E").MustBuild()
+	r := netOf(t, p)
+	res, err := r.ReplayCase(trailOf("LN-1", "P:T1", "P:T1", "P:T1", "P:T2"), "LN-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Events != 2 || res.Flagged() {
+		t.Fatalf("collapse: %+v", res)
+	}
+}
+
+func TestReplayXORAndError(t *testing.T) {
+	p := bpmn.NewBuilder("Branchy").Pool("P").
+		Start("S", "P").Task("T0", "P", "").XOR("G", "P").
+		FallibleTask("T1", "P", "", "T0").Task("T2", "P", "").End("E1", "P").End("E2", "P").
+		Seq("S", "T0", "G").Seq("G", "T1", "E1").Seq("G", "T2", "E2").MustBuild()
+	r := netOf(t, p)
+
+	for _, steps := range [][]string{
+		{"P:T0", "P:T1"},
+		{"P:T0", "P:T2"},
+		{"P:T0", "P:T1", "P:!T1", "P:T0", "P:T2"},
+	} {
+		res, err := r.ReplayCase(trailOf("B-1", steps...), "B-1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Flagged() {
+			t.Fatalf("%v flagged: %+v", steps, res)
+		}
+	}
+	// Both XOR branches: second one is missing its token.
+	res, err := r.ReplayCase(trailOf("B-1", "P:T0", "P:T1", "P:T2"), "B-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Flagged() {
+		t.Fatalf("double branch not flagged: %+v", res)
+	}
+}
+
+// TestBlindToRolesAndObjects demonstrates the paper's Section 6
+// argument: conformance checking sees task names only, so a wrong-role
+// execution replays with perfect fitness.
+func TestBlindToRolesAndObjects(t *testing.T) {
+	p := bpmn.NewBuilder("Linear").Pool("P").
+		Start("S", "P").Task("T1", "P", "").Task("T2", "P", "").End("E", "P").
+		Seq("S", "T1", "T2", "E").MustBuild()
+	r := netOf(t, p)
+	// "Mallory:T1" — wrong role, right control flow.
+	res, err := r.ReplayCase(trailOf("LN-1", "Mallory:T1", "Mallory:T2"), "LN-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flagged() || res.Fitness() != 1 {
+		t.Fatalf("token replay should be blind to roles: %+v", res)
+	}
+}
+
+// TestORJoinLocality demonstrates the mapping's inherent OR-join
+// imprecision (Section 6): the Petri net accepts T1;T3 even when the
+// split chose both branches — because the join decides locally — while
+// the COWS encoding's plan handshake rejects exactly that execution.
+func TestORJoinLocality(t *testing.T) {
+	p := bpmn.NewBuilder("Incl").Pool("P").
+		Start("S", "P").OR("G", "P").
+		Task("T1", "P", "").Task("T2", "P", "").
+		OR("J", "P").Task("T3", "P", "").End("E", "P").
+		Seq("S", "G").Seq("G", "T1", "J").Seq("G", "T2", "J").Seq("J", "T3", "E").
+		PairOR("G", "J").MustBuild()
+	r := netOf(t, p)
+
+	// T1, T3, then T2: Algorithm 1 rejects (see core's
+	// TestCheckORSubsets); token replay needs the net to have chosen
+	// {T1,T2} to fire T2 at all — and its local join lets T3 pass
+	// first. The search finds such a path, so nothing is flagged.
+	res, err := r.ReplayCase(trailOf("IN-1", "P:T1", "P:T3", "P:T2"), "IN-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flagged() || res.Missing > 0 {
+		t.Fatalf("expected the local join to let the invalid execution pass, got %+v", res)
+	}
+
+	// Valid subset executions still fit exactly.
+	for _, steps := range [][]string{
+		{"P:T1", "P:T3"},
+		{"P:T2", "P:T3"},
+		{"P:T1", "P:T2", "P:T3"},
+		{"P:T2", "P:T1", "P:T3"},
+	} {
+		res, err := r.ReplayCase(trailOf("IN-1", steps...), "IN-1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Flagged() {
+			t.Fatalf("valid %v flagged: %+v", steps, res)
+		}
+	}
+}
+
+// TestHospitalHT1Fitness replays the paper's HT-1 on the treatment
+// process net: perfect fitness, complete.
+func TestHospitalHT1Fitness(t *testing.T) {
+	sc, err := hospital.NewScenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := netOf(t, sc.Treatment)
+	res, err := r.ReplayCase(sc.Trail, "HT-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fitness() != 1 || res.Flagged() {
+		t.Fatalf("HT-1: %+v fitness=%v", res, res.Fitness())
+	}
+	if res.Remaining != 0 {
+		t.Fatalf("HT-1 should drain to completion: %+v", res)
+	}
+
+	// HT-11 (mid-process start): flagged via missing tokens — token
+	// replay does catch pure control-flow violations.
+	res, err = r.ReplayCase(sc.Trail, "HT-11")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Flagged() {
+		t.Fatalf("HT-11 not flagged: %+v", res)
+	}
+
+	// Whole-trail replay works per case.
+	results, err := r.ReplayTrail(sc.Trail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(sc.Trail.Cases()) {
+		t.Fatalf("replayed %d cases, want %d", len(results), len(sc.Trail.Cases()))
+	}
+}

@@ -1,0 +1,170 @@
+package policy
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// PurposeDirectory resolves the process-instance side of Definition 3:
+// which purpose (organizational process) a case instantiates, and
+// whether a task belongs to a purpose's process. internal/core's
+// ProcessRegistry implements it.
+type PurposeDirectory interface {
+	// PurposeOf returns the purpose the case instantiates, or "" when
+	// the case is unknown.
+	PurposeOf(caseID string) string
+	// PurposeHasTask reports whether the purpose's process contains
+	// the task.
+	PurposeHasTask(purpose, task string) bool
+}
+
+// ConsentRegistry records which data subjects consented to which
+// purposes; it backs the paper's [X] statements ("patients who give
+// consent to use their data for clinical trial"). Safe for concurrent
+// use.
+type ConsentRegistry struct {
+	mu sync.RWMutex
+	m  map[string]map[string]bool // subject -> purpose -> consented
+}
+
+// NewConsentRegistry returns an empty registry.
+func NewConsentRegistry() *ConsentRegistry {
+	return &ConsentRegistry{m: map[string]map[string]bool{}}
+}
+
+// Grant records the subject's consent to the purpose.
+func (c *ConsentRegistry) Grant(subject, purpose string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.m[subject] == nil {
+		c.m[subject] = map[string]bool{}
+	}
+	c.m[subject][purpose] = true
+}
+
+// Revoke withdraws the subject's consent to the purpose.
+func (c *ConsentRegistry) Revoke(subject, purpose string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.m[subject], purpose)
+}
+
+// HasConsent reports whether the subject consented to the purpose.
+func (c *ConsentRegistry) HasConsent(subject, purpose string) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.m[subject][purpose]
+}
+
+// PurposesOf returns the sorted purposes the subject consented to.
+func (c *ConsentRegistry) PurposesOf(subject string) []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.m[subject]))
+	for p := range c.m[subject] {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Subjects returns the sorted subjects with at least one consent.
+func (c *ConsentRegistry) Subjects() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.m))
+	for s, ps := range c.m {
+		if len(ps) > 0 {
+			out = append(out, s)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Decision is the outcome of evaluating an access request.
+type Decision struct {
+	Granted bool
+	// Statement is the matching statement when granted.
+	Statement *Statement
+	// Reason explains denial (or names the matching statement).
+	Reason string
+}
+
+// PDP is the policy decision point: it evaluates access requests against
+// a policy per Definition 3. A nil Consent treats every consent check as
+// failed; a nil Directory rejects every purpose binding.
+type PDP struct {
+	Policy    *Policy
+	Consent   *ConsentRegistry
+	Directory PurposeDirectory
+}
+
+// Evaluate implements Definition 3. The request is authorized iff some
+// statement (s, a', o', p) satisfies:
+//
+//	(i)   s = u, or s = r1 and the requester's active role r2 ≥R r1;
+//	(ii)  a = a';
+//	(iii) o' ≥O o;
+//	(iv)  c is an instance of p and q is a task in p;
+//
+// plus, for consent-gated statements, the data subject's consent to p.
+func (d *PDP) Evaluate(req AccessRequest) Decision {
+	if d.Policy == nil {
+		return Decision{Reason: "no policy configured"}
+	}
+	purpose := ""
+	if d.Directory != nil {
+		purpose = d.Directory.PurposeOf(req.Case)
+	}
+	if purpose == "" {
+		return Decision{Reason: fmt.Sprintf("case %q does not instantiate any known purpose", req.Case)}
+	}
+	if d.Directory == nil || !d.Directory.PurposeHasTask(purpose, req.Task) {
+		return Decision{Reason: fmt.Sprintf("task %q is not part of purpose %q", req.Task, purpose)}
+	}
+	for i := range d.Policy.Statements {
+		st := &d.Policy.Statements[i]
+		if st.Purpose != purpose {
+			continue
+		}
+		if st.Action != req.Action {
+			continue
+		}
+		if st.SubjectUser != "" {
+			if st.SubjectUser != req.User {
+				continue
+			}
+		} else if !d.Policy.Roles.Specializes(req.Role, st.SubjectRole) {
+			continue
+		}
+		if !st.Object.Covers(req.Object) {
+			continue
+		}
+		if st.RequiresConsent() {
+			if d.Consent == nil || !d.Consent.HasConsent(req.Object.Subject, purpose) {
+				continue
+			}
+		}
+		return Decision{Granted: true, Statement: st, Reason: "matched " + st.String()}
+	}
+	return Decision{Reason: fmt.Sprintf("no statement permits %s", req)}
+}
+
+// VisibleObjects filters, out of the given candidate objects, those the
+// requester may access — modeling the HIS behavior in the paper's
+// footnote 3: a query for clinical-trial purposes returns only the EPRs
+// of consenting patients, while the same query claimed for treatment
+// returns all of them.
+func (d *PDP) VisibleObjects(req AccessRequest, candidates []Object) []Object {
+	var out []Object
+	for _, o := range candidates {
+		r := req
+		r.Object = o
+		if d.Evaluate(r).Granted {
+			out = append(out, o)
+		}
+	}
+	return out
+}

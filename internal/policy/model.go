@@ -1,0 +1,333 @@
+// Package policy implements the paper's data protection policies
+// (Section 3.1–3.2): role hierarchies with specialization ordering ≥R,
+// directory-like object hierarchies with data subjects and ordering ≥O,
+// purpose-qualified authorization statements (Definition 1), access
+// requests (Definition 2) and their evaluation (Definition 3), including
+// the consent-gated statements of Figure 3 ("[X]EPR" — patients X who
+// consented to the purpose).
+//
+// The policy layer is the *preventive* half of the paper's framework; it
+// decides whether an access may happen at all. The a-posteriori half —
+// whether the claimed purpose was genuine — is internal/core.
+package policy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Roles
+
+// RoleHierarchy records the specialization partial order ≥R: a role may
+// specialize several more general roles (Section 3.1). The zero value is
+// unusable; call NewRoleHierarchy.
+type RoleHierarchy struct {
+	parents map[string][]string
+	known   map[string]bool
+}
+
+// NewRoleHierarchy returns an empty hierarchy.
+func NewRoleHierarchy() *RoleHierarchy {
+	return &RoleHierarchy{parents: map[string][]string{}, known: map[string]bool{}}
+}
+
+// Add declares a role with its (possibly empty) set of generalizations.
+// Declaring a role twice merges parent sets.
+func (h *RoleHierarchy) Add(role string, generalizes ...string) error {
+	if role == "" {
+		return fmt.Errorf("policy: empty role name")
+	}
+	h.known[role] = true
+	for _, g := range generalizes {
+		if g == "" {
+			return fmt.Errorf("policy: role %q generalizes empty role", role)
+		}
+		if g == role {
+			return fmt.Errorf("policy: role %q cannot specialize itself", role)
+		}
+		h.known[g] = true
+		h.parents[role] = append(h.parents[role], g)
+	}
+	if h.cyclic(role) {
+		return fmt.Errorf("policy: role hierarchy cycle through %q", role)
+	}
+	return nil
+}
+
+func (h *RoleHierarchy) cyclic(start string) bool {
+	seen := map[string]bool{}
+	var dfs func(r string) bool
+	dfs = func(r string) bool {
+		if r == start && len(seen) > 0 {
+			return true
+		}
+		if seen[r] {
+			return false
+		}
+		seen[r] = true
+		for _, p := range h.parents[r] {
+			if dfs(p) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, p := range h.parents[start] {
+		if dfs(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Known reports whether the role has been declared.
+func (h *RoleHierarchy) Known(role string) bool { return h.known[role] }
+
+// Roles returns all declared roles, sorted.
+func (h *RoleHierarchy) Roles() []string {
+	out := make([]string, 0, len(h.known))
+	for r := range h.known {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Specializes reports r1 ≥R r2: r1 is r2 or a (transitive)
+// specialization of r2. A user holding r1 satisfies a statement
+// targeting r2.
+func (h *RoleHierarchy) Specializes(r1, r2 string) bool {
+	if r1 == r2 {
+		return true
+	}
+	seen := map[string]bool{}
+	var dfs func(r string) bool
+	dfs = func(r string) bool {
+		if r == r2 {
+			return true
+		}
+		if seen[r] {
+			return false
+		}
+		seen[r] = true
+		for _, p := range h.parents[r] {
+			if dfs(p) {
+				return true
+			}
+		}
+		return false
+	}
+	return dfs(r1)
+}
+
+// Generalizations returns r and every role it (transitively)
+// specializes, sorted.
+func (h *RoleHierarchy) Generalizations(r string) []string {
+	seen := map[string]bool{}
+	var dfs func(x string)
+	dfs = func(x string) {
+		if seen[x] {
+			return
+		}
+		seen[x] = true
+		for _, p := range h.parents[x] {
+			dfs(p)
+		}
+	}
+	dfs(r)
+	out := make([]string, 0, len(seen))
+	for x := range seen {
+		out = append(out, x)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Objects
+
+// AnySubject is the wildcard data subject, written [·] in the paper and
+// [*] in the textual policy syntax: the statement applies to every
+// subject's resource.
+const AnySubject = "*"
+
+// ConsentSubject is the consent variable, written [X] in the paper: the
+// statement applies to the resources of subjects who consented to the
+// statement's purpose.
+const ConsentSubject = "X"
+
+// Object identifies a protected resource: an optional data subject and a
+// directory-like path (Section 3.1). The textual form is
+// "[Jane]EPR/Clinical" for subject resources and "ClinicalTrial/Criteria"
+// for subject-less ones.
+type Object struct {
+	// Subject is the data subject ("" for subject-less resources;
+	// AnySubject / ConsentSubject in statement patterns).
+	Subject string
+	// Path is the resource path, outermost first.
+	Path []string
+}
+
+// ParseObject reads the textual object form.
+func ParseObject(s string) (Object, error) {
+	var o Object
+	rest := s
+	if strings.HasPrefix(s, "[") {
+		end := strings.IndexByte(s, ']')
+		if end < 0 {
+			return o, fmt.Errorf("policy: object %q: unterminated subject", s)
+		}
+		o.Subject = s[1:end]
+		if o.Subject == "" {
+			return o, fmt.Errorf("policy: object %q: empty subject", s)
+		}
+		rest = s[end+1:]
+	}
+	if rest == "" {
+		return o, fmt.Errorf("policy: object %q: empty path", s)
+	}
+	for _, part := range strings.Split(rest, "/") {
+		if part == "" {
+			return o, fmt.Errorf("policy: object %q: empty path component", s)
+		}
+		o.Path = append(o.Path, part)
+	}
+	return o, nil
+}
+
+// MustParseObject is ParseObject that panics on error (fixtures).
+func MustParseObject(s string) Object {
+	o, err := ParseObject(s)
+	if err != nil {
+		panic(err)
+	}
+	return o
+}
+
+// String renders the textual form.
+func (o Object) String() string {
+	p := strings.Join(o.Path, "/")
+	if o.Subject == "" {
+		return p
+	}
+	return "[" + o.Subject + "]" + p
+}
+
+// Covers reports o ≥O other: o is an ancestor of (or equal to) other in
+// the resource hierarchy — the path of o is a prefix of other's — with
+// the subject matching rules: a concrete subject matches only itself;
+// AnySubject and ConsentSubject match any concrete subject (consent is
+// checked separately by the evaluator); a subject-less pattern matches
+// only subject-less objects.
+func (o Object) Covers(other Object) bool {
+	switch o.Subject {
+	case "":
+		if other.Subject != "" {
+			return false
+		}
+	case AnySubject, ConsentSubject:
+		if other.Subject == "" {
+			return false
+		}
+	default:
+		if o.Subject != other.Subject {
+			return false
+		}
+	}
+	if len(o.Path) > len(other.Path) {
+		return false
+	}
+	for i, part := range o.Path {
+		if other.Path[i] != part {
+			return false
+		}
+	}
+	return true
+}
+
+// Statements
+
+// Statement is a data protection statement (Definition 1): subject (a
+// user or role), action, object pattern, and purpose. When the object
+// pattern's subject is ConsentSubject, the statement additionally
+// requires the data subject's consent to the purpose.
+type Statement struct {
+	// SubjectUser or SubjectRole identifies who the statement permits;
+	// exactly one is non-empty.
+	SubjectUser string
+	SubjectRole string
+	Action      string
+	Object      Object
+	Purpose     string
+}
+
+// String renders the statement like the paper's Figure 3 rows.
+func (st Statement) String() string {
+	who := st.SubjectRole
+	if who == "" {
+		who = "user:" + st.SubjectUser
+	}
+	return fmt.Sprintf("(%s, %s, %s, %s)", who, st.Action, st.Object, st.Purpose)
+}
+
+// RequiresConsent reports whether the statement is consent-gated
+// (paper's [X] pattern).
+func (st Statement) RequiresConsent() bool { return st.Object.Subject == ConsentSubject }
+
+// Policy is a set of statements with the role hierarchy they are
+// interpreted under (Definition 1).
+type Policy struct {
+	Roles      *RoleHierarchy
+	Statements []Statement
+}
+
+// NewPolicy returns an empty policy with the given hierarchy (nil for a
+// flat one).
+func NewPolicy(roles *RoleHierarchy) *Policy {
+	if roles == nil {
+		roles = NewRoleHierarchy()
+	}
+	return &Policy{Roles: roles}
+}
+
+// Permit appends a role-subject statement.
+func (p *Policy) Permit(role, action, object, purpose string) error {
+	o, err := ParseObject(object)
+	if err != nil {
+		return err
+	}
+	if !p.Roles.Known(role) {
+		return fmt.Errorf("policy: statement references undeclared role %q", role)
+	}
+	p.Statements = append(p.Statements, Statement{SubjectRole: role, Action: action, Object: o, Purpose: purpose})
+	return nil
+}
+
+// PermitUser appends a user-subject statement.
+func (p *Policy) PermitUser(user, action, object, purpose string) error {
+	o, err := ParseObject(object)
+	if err != nil {
+		return err
+	}
+	p.Statements = append(p.Statements, Statement{SubjectUser: user, Action: action, Object: o, Purpose: purpose})
+	return nil
+}
+
+// Requests
+
+// AccessRequest is Definition 2: who wants to perform which action on
+// which object, within which task and process instance (the claimed
+// access purpose).
+type AccessRequest struct {
+	User   string
+	Role   string // the requester's active role (Definition 3 footnote)
+	Action string
+	Object Object
+	Task   string
+	Case   string
+}
+
+// String renders the request tuple.
+func (r AccessRequest) String() string {
+	return fmt.Sprintf("(%s, %s, %s, %s, %s)", r.User, r.Action, r.Object, r.Task, r.Case)
+}

@@ -1,0 +1,125 @@
+package policy
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ParsePolicy reads the textual policy format, one declaration per line:
+//
+//	# comment
+//	role Physician
+//	role GP : Physician            # GP specializes Physician
+//	role GP : Physician, OnCall    # multiple generalizations
+//	permit Physician read [*]EPR/Clinical for treatment
+//	permit user:John read [Jane]EPR/Demographics for treatment
+//	permit Physician read [X]EPR for clinicaltrial   # consent-gated
+//
+// Subjects in object patterns: [*] any subject (the paper's [·]), [X]
+// consenting subjects, [Name] one subject; no bracket form addresses
+// subject-less resources.
+func ParsePolicy(r io.Reader) (*Policy, error) {
+	pol := NewPolicy(nil)
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "role":
+			if err := parseRoleLine(pol, fields[1:]); err != nil {
+				return nil, fmt.Errorf("policy: line %d: %w", lineNo, err)
+			}
+		case "permit":
+			if err := parsePermitLine(pol, fields[1:]); err != nil {
+				return nil, fmt.Errorf("policy: line %d: %w", lineNo, err)
+			}
+		default:
+			return nil, fmt.Errorf("policy: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("policy: reading: %w", err)
+	}
+	return pol, nil
+}
+
+func parseRoleLine(pol *Policy, fields []string) error {
+	if len(fields) == 0 {
+		return fmt.Errorf("role: missing name")
+	}
+	name := fields[0]
+	rest := strings.Join(fields[1:], " ")
+	var parents []string
+	if rest != "" {
+		if !strings.HasPrefix(rest, ":") {
+			return fmt.Errorf("role %s: expected ':' before generalizations", name)
+		}
+		for _, p := range strings.Split(strings.TrimPrefix(rest, ":"), ",") {
+			p = strings.TrimSpace(p)
+			if p == "" {
+				return fmt.Errorf("role %s: empty generalization", name)
+			}
+			parents = append(parents, p)
+		}
+	}
+	return pol.Roles.Add(name, parents...)
+}
+
+func parsePermitLine(pol *Policy, fields []string) error {
+	// permit <subject> <action> <object> for <purpose>
+	if len(fields) != 5 || fields[3] != "for" {
+		return fmt.Errorf("permit: want \"permit <subject> <action> <object> for <purpose>\", got %q", strings.Join(fields, " "))
+	}
+	subject, action, object, purpose := fields[0], fields[1], fields[2], fields[4]
+	if user, ok := strings.CutPrefix(subject, "user:"); ok {
+		return pol.PermitUser(user, action, object, purpose)
+	}
+	// Roles may be used before their role line for convenience? No:
+	// require prior declaration to catch typos, matching Permit.
+	if err := pol.Permit(subject, action, object, purpose); err != nil {
+		return err
+	}
+	return nil
+}
+
+// ParsePolicyString is ParsePolicy over a string.
+func ParsePolicyString(s string) (*Policy, error) {
+	return ParsePolicy(strings.NewReader(s))
+}
+
+// Format renders the policy back to its textual form (roles first, then
+// statements, in declaration order).
+func Format(pol *Policy) string {
+	var b strings.Builder
+	for _, r := range pol.Roles.Roles() {
+		parents := pol.Roles.parents[r]
+		if len(parents) == 0 {
+			fmt.Fprintf(&b, "role %s\n", r)
+		} else {
+			fmt.Fprintf(&b, "role %s : %s\n", r, strings.Join(parents, ", "))
+		}
+	}
+	for _, st := range pol.Statements {
+		subject := st.SubjectRole
+		if subject == "" {
+			subject = "user:" + st.SubjectUser
+		}
+		obj := st.Object.String()
+		if st.Object.Subject == AnySubject {
+			obj = "[*]" + strings.Join(st.Object.Path, "/")
+		}
+		fmt.Fprintf(&b, "permit %s %s %s for %s\n", subject, st.Action, obj, st.Purpose)
+	}
+	return b.String()
+}

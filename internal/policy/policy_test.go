@@ -1,0 +1,341 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoleHierarchy(t *testing.T) {
+	h := NewRoleHierarchy()
+	if err := h.Add("Physician"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Add("GP", "Physician"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Add("Cardiologist", "Physician"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Add("InterventionalCardiologist", "Cardiologist"); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		r1, r2 string
+		want   bool
+	}{
+		{"GP", "Physician", true},
+		{"Physician", "GP", false},
+		{"GP", "GP", true},
+		{"InterventionalCardiologist", "Physician", true}, // transitive
+		{"GP", "Cardiologist", false},                     // siblings
+		{"Nurse", "Physician", false},                     // unknown role
+	}
+	for _, c := range cases {
+		if got := h.Specializes(c.r1, c.r2); got != c.want {
+			t.Errorf("Specializes(%s, %s) = %v, want %v", c.r1, c.r2, got, c.want)
+		}
+	}
+	gens := h.Generalizations("InterventionalCardiologist")
+	if len(gens) != 3 {
+		t.Errorf("Generalizations = %v, want 3 roles", gens)
+	}
+}
+
+func TestRoleHierarchyMultipleInheritance(t *testing.T) {
+	h := NewRoleHierarchy()
+	for _, r := range []string{"Physician", "Researcher"} {
+		if err := h.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.Add("TrialPhysician", "Physician", "Researcher"); err != nil {
+		t.Fatal(err)
+	}
+	if !h.Specializes("TrialPhysician", "Physician") || !h.Specializes("TrialPhysician", "Researcher") {
+		t.Errorf("multiple inheritance broken")
+	}
+}
+
+func TestRoleHierarchyRejectsCycles(t *testing.T) {
+	h := NewRoleHierarchy()
+	if err := h.Add("A", "B"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Add("B", "C"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Add("C", "A"); err == nil {
+		t.Fatalf("cycle accepted")
+	}
+	if err := h.Add("D", "D"); err == nil {
+		t.Fatalf("self-specialization accepted")
+	}
+}
+
+func TestParseObject(t *testing.T) {
+	cases := []struct {
+		in      string
+		subject string
+		path    string
+		wantErr bool
+	}{
+		{"[Jane]EPR/Clinical", "Jane", "EPR/Clinical", false},
+		{"[*]EPR", "*", "EPR", false},
+		{"[X]EPR", "X", "EPR", false},
+		{"ClinicalTrial/Criteria", "", "ClinicalTrial/Criteria", false},
+		{"[Jane]", "", "", true},
+		{"[]EPR", "", "", true},
+		{"[Jane]EPR//Clinical", "", "", true},
+		{"", "", "", true},
+	}
+	for _, c := range cases {
+		o, err := ParseObject(c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("ParseObject(%q) succeeded, want error", c.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseObject(%q): %v", c.in, err)
+			continue
+		}
+		if o.Subject != c.subject || strings.Join(o.Path, "/") != c.path {
+			t.Errorf("ParseObject(%q) = %+v", c.in, o)
+		}
+		if o.String() != c.in {
+			t.Errorf("round trip: %q -> %q", c.in, o.String())
+		}
+	}
+}
+
+func TestObjectCovers(t *testing.T) {
+	cases := []struct {
+		pattern, object string
+		want            bool
+	}{
+		{"[Jane]EPR", "[Jane]EPR/Clinical", true},
+		{"[Jane]EPR/Clinical", "[Jane]EPR", false}, // child does not cover parent
+		{"[*]EPR/Clinical", "[Jane]EPR/Clinical/Tests", true},
+		{"[*]EPR", "[David]EPR/Demographics", true},
+		{"[X]EPR", "[Jane]EPR/Clinical", true}, // consent checked separately
+		{"[Jane]EPR", "[David]EPR", false},
+		{"[*]EPR", "ClinicalTrial/Criteria", false}, // subject pattern vs subject-less
+		{"ClinicalTrial", "ClinicalTrial/Criteria", true},
+		{"ClinicalTrial", "[Jane]EPR", false},
+		{"[Jane]EPR/Clinical", "[Jane]EPR/Demographics", false},
+	}
+	for _, c := range cases {
+		p, o := MustParseObject(c.pattern), MustParseObject(c.object)
+		if got := p.Covers(o); got != c.want {
+			t.Errorf("Covers(%s, %s) = %v, want %v", c.pattern, c.object, got, c.want)
+		}
+	}
+}
+
+func TestObjectCoversProperties(t *testing.T) {
+	// Reflexivity and transitivity of ≥O on generated path objects.
+	gen := func(n uint8, d uint8) Object {
+		depth := int(d%3) + 1
+		var path []string
+		for i := 0; i < depth; i++ {
+			path = append(path, string(rune('a'+int(n)%3+i)))
+		}
+		return Object{Subject: "S", Path: path}
+	}
+	refl := func(n, d uint8) bool {
+		o := gen(n, d)
+		return o.Covers(o)
+	}
+	if err := quick.Check(refl, nil); err != nil {
+		t.Errorf("reflexivity: %v", err)
+	}
+	trans := func(a, b, c uint8, d1, d2, d3 uint8) bool {
+		x, y, z := gen(a, d1), gen(b, d2), gen(c, d3)
+		if x.Covers(y) && y.Covers(z) {
+			return x.Covers(z)
+		}
+		return true
+	}
+	if err := quick.Check(trans, nil); err != nil {
+		t.Errorf("transitivity: %v", err)
+	}
+}
+
+// stubDirectory maps case prefixes to purposes, as the HIS does with
+// case codes HT-n / CT-n.
+type stubDirectory struct {
+	purposes map[string]string          // case prefix -> purpose
+	tasks    map[string]map[string]bool // purpose -> tasks
+}
+
+func (d *stubDirectory) PurposeOf(caseID string) string {
+	for prefix, purpose := range d.purposes {
+		if strings.HasPrefix(caseID, prefix) {
+			return purpose
+		}
+	}
+	return ""
+}
+
+func (d *stubDirectory) PurposeHasTask(purpose, task string) bool {
+	return d.tasks[purpose][task]
+}
+
+func testPDP(t *testing.T) *PDP {
+	t.Helper()
+	pol, err := ParsePolicyString(`
+		role Physician
+		role MedicalTech
+		role GP : Physician
+		role Cardiologist : Physician
+		role Radiologist : Physician
+		role MedicalLabTech : MedicalTech
+
+		permit Physician read [*]EPR/Clinical for treatment
+		permit Physician write [*]EPR/Clinical for treatment
+		permit Physician read [*]EPR/Demographics for treatment
+		permit MedicalTech read [*]EPR/Clinical for treatment
+		permit MedicalTech read [*]EPR/Demographics for treatment
+		permit MedicalLabTech write [*]EPR/Clinical/Tests for treatment
+		permit Physician read [X]EPR for clinicaltrial
+		permit user:Audrey read [*]EPR for audit
+	`)
+	if err != nil {
+		t.Fatalf("ParsePolicyString: %v", err)
+	}
+	consent := NewConsentRegistry()
+	consent.Grant("Alice", "clinicaltrial")
+	dir := &stubDirectory{
+		purposes: map[string]string{"HT-": "treatment", "CT-": "clinicaltrial", "AU-": "audit"},
+		tasks: map[string]map[string]bool{
+			"treatment":     {"T01": true, "T02": true, "T06": true, "T14": true},
+			"clinicaltrial": {"T92": true},
+			"audit":         {"T99": true},
+		},
+	}
+	return &PDP{Policy: pol, Consent: consent, Directory: dir}
+}
+
+func TestEvaluateDefinition3(t *testing.T) {
+	pdp := testPDP(t)
+	obj := func(s string) Object { return MustParseObject(s) }
+	cases := []struct {
+		name string
+		req  AccessRequest
+		want bool
+	}{
+		{"GP reads clinical for treatment (role hierarchy)",
+			AccessRequest{User: "John", Role: "GP", Action: "read", Object: obj("[Jane]EPR/Clinical"), Task: "T01", Case: "HT-1"}, true},
+		{"cardiologist writes clinical",
+			AccessRequest{User: "Bob", Role: "Cardiologist", Action: "write", Object: obj("[Jane]EPR/Clinical"), Task: "T06", Case: "HT-1"}, true},
+		{"object hierarchy: statement covers subsection",
+			AccessRequest{User: "Bob", Role: "Cardiologist", Action: "read", Object: obj("[Jane]EPR/Clinical/Scan"), Task: "T06", Case: "HT-1"}, true},
+		{"lab tech writes tests subsection",
+			AccessRequest{User: "Tess", Role: "MedicalLabTech", Action: "write", Object: obj("[Jane]EPR/Clinical/Tests"), Task: "T14", Case: "HT-1"}, true},
+		{"lab tech cannot write outside tests",
+			AccessRequest{User: "Tess", Role: "MedicalLabTech", Action: "write", Object: obj("[Jane]EPR/Clinical"), Task: "T14", Case: "HT-1"}, false},
+		{"lab tech inherits read from MedicalTech",
+			AccessRequest{User: "Tess", Role: "MedicalLabTech", Action: "read", Object: obj("[Jane]EPR/Clinical"), Task: "T14", Case: "HT-1"}, true},
+		{"physician cannot execute",
+			AccessRequest{User: "Bob", Role: "Cardiologist", Action: "execute", Object: obj("[Jane]EPR/Clinical"), Task: "T06", Case: "HT-1"}, false},
+		{"clinical trial needs consent: Alice consented",
+			AccessRequest{User: "Bob", Role: "Cardiologist", Action: "read", Object: obj("[Alice]EPR/Clinical"), Task: "T92", Case: "CT-1"}, true},
+		{"clinical trial needs consent: Jane did not",
+			AccessRequest{User: "Bob", Role: "Cardiologist", Action: "read", Object: obj("[Jane]EPR/Clinical"), Task: "T92", Case: "CT-1"}, false},
+		{"task not in purpose's process",
+			AccessRequest{User: "John", Role: "GP", Action: "read", Object: obj("[Jane]EPR/Clinical"), Task: "T92", Case: "HT-1"}, false},
+		{"unknown case",
+			AccessRequest{User: "John", Role: "GP", Action: "read", Object: obj("[Jane]EPR/Clinical"), Task: "T01", Case: "ZZ-1"}, false},
+		{"user-level statement",
+			AccessRequest{User: "Audrey", Role: "", Action: "read", Object: obj("[Jane]EPR/Clinical"), Task: "T99", Case: "AU-1"}, true},
+		{"user-level statement other user",
+			AccessRequest{User: "Mallory", Role: "", Action: "read", Object: obj("[Jane]EPR/Clinical"), Task: "T99", Case: "AU-1"}, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			dec := pdp.Evaluate(c.req)
+			if dec.Granted != c.want {
+				t.Fatalf("Evaluate(%s) = %v (%s), want %v", c.req, dec.Granted, dec.Reason, c.want)
+			}
+			if dec.Granted && dec.Statement == nil {
+				t.Fatalf("granted decision missing statement")
+			}
+		})
+	}
+}
+
+func TestVisibleObjectsFootnote3(t *testing.T) {
+	// Paper footnote 3: a clinical-trial query returns only consenting
+	// patients' EPRs; the same objects claimed under treatment are all
+	// visible.
+	pdp := testPDP(t)
+	candidates := []Object{
+		MustParseObject("[Alice]EPR/Clinical"),
+		MustParseObject("[Jane]EPR/Clinical"),
+		MustParseObject("[David]EPR/Clinical"),
+	}
+	ctReq := AccessRequest{User: "Bob", Role: "Cardiologist", Action: "read", Task: "T92", Case: "CT-1"}
+	got := pdp.VisibleObjects(ctReq, candidates)
+	if len(got) != 1 || got[0].Subject != "Alice" {
+		t.Fatalf("clinical-trial visibility = %v, want only Alice", got)
+	}
+	htReq := AccessRequest{User: "Bob", Role: "Cardiologist", Action: "read", Task: "T06", Case: "HT-1"}
+	got = pdp.VisibleObjects(htReq, candidates)
+	if len(got) != 3 {
+		t.Fatalf("treatment visibility = %v, want all 3", got)
+	}
+}
+
+func TestConsentRevocation(t *testing.T) {
+	pdp := testPDP(t)
+	req := AccessRequest{User: "Bob", Role: "Cardiologist", Action: "read",
+		Object: MustParseObject("[Alice]EPR/Clinical"), Task: "T92", Case: "CT-1"}
+	if !pdp.Evaluate(req).Granted {
+		t.Fatalf("pre-revocation denied")
+	}
+	pdp.Consent.Revoke("Alice", "clinicaltrial")
+	if pdp.Evaluate(req).Granted {
+		t.Fatalf("post-revocation granted")
+	}
+	if subs := pdp.Consent.Subjects(); len(subs) != 0 {
+		t.Fatalf("Subjects = %v, want empty", subs)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"permit Physician read [Jane]EPR",               // missing "for"
+		"permit Ghost read [Jane]EPR for treatment",     // undeclared role
+		"role",                                          // missing name
+		"role A B",                                      // missing colon
+		"grant A read [Jane]EPR for treatment",          // unknown directive
+		"role A : ",                                     // empty generalization
+		"permit Physician read []EPR for treatment",     // bad object
+	}
+	for _, src := range cases {
+		full := "role Physician\n" + src
+		if _, err := ParsePolicyString(full); err == nil {
+			t.Errorf("ParsePolicyString(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	pdp := testPDP(t)
+	text := Format(pdp.Policy)
+	re, err := ParsePolicyString(text)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, text)
+	}
+	if len(re.Statements) != len(pdp.Policy.Statements) {
+		t.Fatalf("statement count %d != %d", len(re.Statements), len(pdp.Policy.Statements))
+	}
+	for i := range re.Statements {
+		if re.Statements[i].String() != pdp.Policy.Statements[i].String() {
+			t.Errorf("statement %d: %s != %s", i, re.Statements[i], pdp.Policy.Statements[i])
+		}
+	}
+}

@@ -1,0 +1,194 @@
+// Package wfm implements the transactional workflow substrate the paper
+// assumes exists (Section 3.5: "most IT systems based on transactional
+// systems such as WFM, ERP, CRM and B2B systems are able to record the
+// task and the instance of the process"): an execution engine that runs
+// registered organizational processes, offers per-case worklists derived
+// from the live COWS semantics, enforces role assignment at execution
+// time, and records every performed action in the audit database with
+// the Definition 4 schema — task and case filled in by the system
+// itself, exactly the provenance model the paper's framework relies on.
+//
+// Internally the engine state of a case IS the purpose-control
+// configuration set (an internal/core Monitor), so an execution driven
+// through the engine is compliant by construction, and the audit trail
+// it emits replays cleanly through Algorithm 1 — the closed loop the
+// paper describes between process execution and a-posteriori auditing.
+package wfm
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/core"
+	"repro/internal/policy"
+)
+
+// Action is one data access performed within a task execution.
+type Action struct {
+	Verb   string // read, write, execute, ...
+	Object policy.Object
+}
+
+// Engine executes process instances. Safe for concurrent use.
+type Engine struct {
+	mu      sync.Mutex
+	reg     *core.Registry
+	roles   *policy.RoleHierarchy
+	monitor *core.Monitor
+	log     *audit.Store
+	now     func() time.Time
+	seq     map[string]int // case counter per code
+}
+
+// New builds an engine over the registry. roles may be nil for exact
+// role matching; clock nil means time.Now.
+func New(reg *core.Registry, roles *policy.RoleHierarchy, clock func() time.Time) *Engine {
+	if clock == nil {
+		clock = time.Now
+	}
+	checker := core.NewChecker(reg, roles)
+	return &Engine{
+		reg:     reg,
+		roles:   roles,
+		monitor: core.NewMonitor(checker),
+		log:     audit.NewStore(),
+		now:     clock,
+		seq:     map[string]int{},
+	}
+}
+
+// Start creates a new instance of the purpose registered under the
+// given case code and returns its case id.
+func (e *Engine) Start(code string) (string, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.reg.ForCase(code+"-0") == nil {
+		return "", fmt.Errorf("wfm: case code %q resolves no registered purpose", code)
+	}
+	e.seq[code]++
+	caseID := fmt.Sprintf("%s-%d", code, e.seq[code])
+	if err := e.monitor.Watch(caseID); err != nil {
+		return "", fmt.Errorf("wfm: starting case %s: %w", caseID, err)
+	}
+	return caseID, nil
+}
+
+// Worklist returns the currently available work in the case: tasks that
+// can start and tasks still active (able to absorb more actions), with
+// the role each belongs to.
+func (e *Engine) Worklist(caseID string) ([]core.Offer, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	offers, err := e.monitor.Enabled(caseID)
+	if err != nil {
+		return nil, fmt.Errorf("wfm: worklist of %s: %w", caseID, err)
+	}
+	return offers, nil
+}
+
+// roleMayPerform mirrors the checker's role matching.
+func (e *Engine) roleMayPerform(userRole, poolRole string) bool {
+	if userRole == poolRole {
+		return true
+	}
+	return e.roles != nil && e.roles.Specializes(userRole, poolRole)
+}
+
+// Execute performs a task (one or more actions) as the given user/role.
+// The engine refuses executions the process does not offer — it is the
+// preventive twin of Algorithm 1: what the checker would flag, the
+// engine will not let happen. Each action is logged as one entry.
+func (e *Engine) Execute(caseID, user, role, task string, actions ...Action) error {
+	if len(actions) == 0 {
+		actions = []Action{{Verb: "execute"}}
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	offers, err := e.monitor.Enabled(caseID)
+	if err != nil {
+		return fmt.Errorf("wfm: executing %s in %s: %w", task, caseID, err)
+	}
+	offered := false
+	for _, o := range offers {
+		if o.Task == task && e.roleMayPerform(role, o.Role) {
+			offered = true
+			break
+		}
+	}
+	if !offered {
+		return fmt.Errorf("wfm: task %q is not available to role %q in case %s (worklist: %v)",
+			task, role, caseID, offers)
+	}
+
+	for _, a := range actions {
+		entry := audit.Entry{
+			User: user, Role: role, Action: a.Verb, Object: a.Object,
+			Task: task, Case: caseID, Time: e.now(), Status: audit.Success,
+		}
+		// Dry-run first so a refused operation never poisons the live
+		// case state (Feed marks deviations permanently).
+		ok, err := e.monitor.Peek(entry)
+		if err != nil {
+			return fmt.Errorf("wfm: executing %s in %s: %w", task, caseID, err)
+		}
+		if !ok {
+			return fmt.Errorf("wfm: engine refused %s/%s in case %s", task, a.Verb, caseID)
+		}
+		if _, err := e.monitor.Feed(entry); err != nil {
+			return fmt.Errorf("wfm: executing %s in %s: %w", task, caseID, err)
+		}
+		if err := e.log.Append(entry); err != nil {
+			return fmt.Errorf("wfm: logging execution: %w", err)
+		}
+	}
+	return nil
+}
+
+// Fail records a task failure (the task must be active or startable and
+// must have an error boundary; otherwise the process cannot proceed and
+// Fail returns an error).
+func (e *Engine) Fail(caseID, user, role, task string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	entry := audit.Entry{
+		User: user, Role: role, Action: "cancel",
+		Task: task, Case: caseID, Time: e.now(), Status: audit.Failure,
+	}
+	ok, err := e.monitor.Peek(entry)
+	if err != nil {
+		return fmt.Errorf("wfm: failing %s in %s: %w", task, caseID, err)
+	}
+	if !ok {
+		return fmt.Errorf("wfm: failure of %q not allowed in case %s (no reachable error boundary)", task, caseID)
+	}
+	if _, err := e.monitor.Feed(entry); err != nil {
+		return fmt.Errorf("wfm: failing %s in %s: %w", task, caseID, err)
+	}
+	if err := e.log.Append(entry); err != nil {
+		return fmt.Errorf("wfm: logging failure: %w", err)
+	}
+	return nil
+}
+
+// CaseStatus reports the case's live state.
+func (e *Engine) CaseStatus(caseID string) (core.CaseStatus, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	sts, err := e.monitor.Status()
+	if err != nil {
+		return core.CaseStatus{}, err
+	}
+	for _, st := range sts {
+		if st.Case == caseID {
+			return st, nil
+		}
+	}
+	return core.CaseStatus{}, fmt.Errorf("wfm: unknown case %s", caseID)
+}
+
+// AuditStore exposes the audit database the engine wrote — the input to
+// the a-posteriori analysis.
+func (e *Engine) AuditStore() *audit.Store { return e.log }

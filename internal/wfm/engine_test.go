@@ -1,0 +1,231 @@
+package wfm
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hospital"
+	"repro/internal/policy"
+)
+
+func fakeClock() func() time.Time {
+	t := time.Date(2026, 5, 2, 8, 0, 0, 0, time.UTC)
+	return func() time.Time {
+		t = t.Add(time.Minute)
+		return t
+	}
+}
+
+func hospitalEngine(t *testing.T) (*Engine, *core.Registry) {
+	t.Helper()
+	sc, err := hospital.NewScenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	roles, err := hospital.Roles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(sc.Registry, roles, fakeClock()), sc.Registry
+}
+
+func janeClinical() policy.Object {
+	return policy.MustParseObject("[Jane]EPR/Clinical")
+}
+
+func TestEngineRunsTreatmentCase(t *testing.T) {
+	eng, reg := hospitalEngine(t)
+	caseID, err := eng.Start(hospital.TreatmentCode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if caseID != "HT-1" {
+		t.Fatalf("caseID = %s", caseID)
+	}
+
+	// Fresh case: only the GP's first task is offered.
+	offers, err := eng.Worklist(caseID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(offers) != 1 || offers[0].Task != "T01" || offers[0].Role != "GP" || offers[0].Active {
+		t.Fatalf("initial worklist = %+v", offers)
+	}
+
+	// Run the straight-through path: T01, T02, T03, T04.
+	steps := []struct {
+		user, role, task string
+		actions          []Action
+	}{
+		{"John", "GP", "T01", []Action{{Verb: "read", Object: janeClinical()}}},
+		{"John", "GP", "T02", []Action{{Verb: "write", Object: janeClinical()}, {Verb: "write", Object: janeClinical()}}},
+		{"John", "GP", "T03", []Action{{Verb: "write", Object: janeClinical()}}},
+		{"John", "GP", "T04", []Action{{Verb: "write", Object: janeClinical()}}},
+	}
+	for _, s := range steps {
+		if err := eng.Execute(caseID, s.user, s.role, s.task, s.actions...); err != nil {
+			t.Fatalf("Execute(%s): %v", s.task, err)
+		}
+	}
+	st, err := eng.CaseStatus(caseID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.CanComplete || st.Deviated {
+		t.Fatalf("status = %+v", st)
+	}
+
+	// The engine's own trail replays cleanly through Algorithm 1.
+	roles, _ := hospital.Roles()
+	checker := core.NewChecker(reg, roles)
+	rep, err := checker.CheckCase(eng.AuditStore().Trail(), caseID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Compliant || !rep.CanComplete {
+		t.Fatalf("engine trail rejected: %s", rep)
+	}
+	// 5 entries: T01×1, T02×2, T03×1, T04×1.
+	if got := eng.AuditStore().Len(); got != 5 {
+		t.Fatalf("logged %d entries, want 5", got)
+	}
+}
+
+func TestEngineRefusesInvalidWork(t *testing.T) {
+	eng, _ := hospitalEngine(t)
+	caseID, err := eng.Start(hospital.TreatmentCode)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// T06 is not offered at case start — this is exactly the paper's
+	// HT-11 attack, stopped up front by the engine.
+	err = eng.Execute(caseID, "Bob", "Cardiologist", "T06", Action{Verb: "read", Object: janeClinical()})
+	if err == nil || !strings.Contains(err.Error(), "not available") {
+		t.Fatalf("mid-process start accepted: %v", err)
+	}
+	// Wrong role for an offered task.
+	err = eng.Execute(caseID, "Bob", "Cardiologist", "T01", Action{Verb: "read", Object: janeClinical()})
+	if err == nil {
+		t.Fatalf("wrong role accepted")
+	}
+	// The refusals must not have poisoned the case: T01 still works.
+	if err := eng.Execute(caseID, "John", "GP", "T01", Action{Verb: "read", Object: janeClinical()}); err != nil {
+		t.Fatalf("case poisoned by refusals: %v", err)
+	}
+	// Unknown case / code.
+	if _, err := eng.Start("ZZ"); err == nil {
+		t.Fatalf("unknown code accepted")
+	}
+	if err := eng.Execute("ZZ-1", "u", "GP", "T01"); err == nil {
+		t.Fatalf("unknown case accepted")
+	}
+}
+
+func TestEngineFailureHandling(t *testing.T) {
+	eng, _ := hospitalEngine(t)
+	caseID, err := eng.Start(hospital.TreatmentCode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Execute(caseID, "John", "GP", "T01", Action{Verb: "read", Object: janeClinical()}); err != nil {
+		t.Fatal(err)
+	}
+	// T01 has no error boundary: failing it is refused.
+	if err := eng.Fail(caseID, "John", "GP", "T01"); err == nil {
+		t.Fatalf("failure without boundary accepted")
+	}
+	// T02 has one: execute then fail, then the process restarts at T01.
+	if err := eng.Execute(caseID, "John", "GP", "T02", Action{Verb: "write", Object: janeClinical()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Fail(caseID, "John", "GP", "T02"); err != nil {
+		t.Fatalf("legitimate failure refused: %v", err)
+	}
+	offers, err := eng.Worklist(caseID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, o := range offers {
+		if o.Task == "T01" && !o.Active {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("post-failure worklist = %+v, want T01 startable", offers)
+	}
+}
+
+func TestEngineCrossPoolFlow(t *testing.T) {
+	eng, reg := hospitalEngine(t)
+	caseID, err := eng.Start(hospital.TreatmentCode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Referral path: GP refers, cardiologist examines, orders scans,
+	// radiology runs them, results come back.
+	seq := []struct {
+		user, role, task string
+	}{
+		{"John", "GP", "T01"},
+		{"John", "GP", "T05"},
+		{"Bob", "Cardiologist", "T06"},
+		{"Bob", "Cardiologist", "T09"},
+		{"Charlie", "Radiologist", "T10"},
+		{"Charlie", "Radiologist", "T11"},
+		{"Charlie", "Radiologist", "T12"},
+		{"Bob", "Cardiologist", "T06"},
+		{"Bob", "Cardiologist", "T07"},
+		{"John", "GP", "T01"},
+		{"John", "GP", "T02"},
+		{"John", "GP", "T03"},
+		{"John", "GP", "T04"},
+	}
+	for i, s := range seq {
+		if err := eng.Execute(caseID, s.user, s.role, s.task, Action{Verb: "read", Object: janeClinical()}); err != nil {
+			t.Fatalf("step %d (%s): %v", i, s.task, err)
+		}
+	}
+	st, err := eng.CaseStatus(caseID)
+	if err != nil || !st.CanComplete {
+		t.Fatalf("status = %+v, %v", st, err)
+	}
+	// Worklists moved across pools: after T09, radiology work appears.
+	caseID2, _ := eng.Start(hospital.TreatmentCode)
+	for _, task := range []string{"T01", "T05", "T06", "T09"} {
+		user, role := "John", "GP"
+		if task == "T06" || task == "T09" {
+			user, role = "Bob", "Cardiologist"
+		}
+		if err := eng.Execute(caseID2, user, role, task, Action{Verb: "read", Object: janeClinical()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	offers, err := eng.Worklist(caseID2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	radiology := false
+	for _, o := range offers {
+		if o.Role == "Radiologist" && o.Task == "T10" {
+			radiology = true
+		}
+	}
+	if !radiology {
+		t.Fatalf("worklist after T09 = %+v, want Radiologist/T10", offers)
+	}
+	_ = reg
+}
+
+func TestEngineCaseIDsIncrement(t *testing.T) {
+	eng, _ := hospitalEngine(t)
+	a, _ := eng.Start(hospital.TreatmentCode)
+	b, _ := eng.Start(hospital.TreatmentCode)
+	c, _ := eng.Start(hospital.TrialCode)
+	if a != "HT-1" || b != "HT-2" || c != "CT-1" {
+		t.Fatalf("ids = %s %s %s", a, b, c)
+	}
+}

@@ -1,0 +1,310 @@
+// Package workload synthesizes the experimental inputs the paper's
+// unreported "first experiments" (Section 7) would have needed: random
+// well-founded BPMN processes, valid audit trails simulated from their
+// COWS semantics, violation injectors for detection studies, and a
+// hospital-scale load generator calibrated to the paper's motivating
+// figure of 20,000 record opens per day at the Geneva University
+// Hospitals (Section 1).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bpmn"
+)
+
+// ProcParams parameterizes random process generation. Generated
+// processes are block-structured, which guarantees validity and
+// well-foundedness by construction: a block is a sequence of fragments,
+// and a fragment is a task, an exclusive/parallel/inclusive block of
+// sub-blocks, or a task-guarded loop.
+type ProcParams struct {
+	Name string
+	Seed int64
+	// Tasks is the approximate number of tasks to generate (the
+	// generator stops opening new fragments once reached).
+	Tasks int
+	// Pools is the number of sequential pool segments, connected by
+	// message flows (1 = single pool).
+	Pools int
+	// XORWeight, ANDWeight, ORWeight, LoopWeight are the relative
+	// weights of compound fragments versus plain tasks (TaskWeight).
+	TaskWeight, XORWeight, ANDWeight, ORWeight, LoopWeight int
+	// MaxBranch bounds gateway fan-out (≥2; OR fan-out additionally
+	// respects bpmn.MaxORBranches).
+	MaxBranch int
+	// FallibleProb is the probability a task gets an error boundary
+	// looping back to the segment's first task.
+	FallibleProb float64
+	// MaxDepth bounds fragment nesting.
+	MaxDepth int
+}
+
+// DefaultProcParams returns a balanced parameterization.
+func DefaultProcParams(name string, seed int64, tasks int) ProcParams {
+	return ProcParams{
+		Name: name, Seed: seed, Tasks: tasks, Pools: 1,
+		TaskWeight: 6, XORWeight: 2, ANDWeight: 1, ORWeight: 1, LoopWeight: 1,
+		MaxBranch: 3, FallibleProb: 0.1, MaxDepth: 3,
+	}
+}
+
+// procGen carries generation state.
+type procGen struct {
+	p       ProcParams
+	rng     *rand.Rand
+	b       *bpmn.Builder
+	nTask   int
+	nGate   int
+	nEvent  int
+	pool    string
+	anchor  string // segment's first task (error-boundary target)
+	orPairs int
+}
+
+// Generate builds a random well-founded process.
+func Generate(p ProcParams) (*bpmn.Process, error) {
+	if p.Tasks < 1 {
+		return nil, fmt.Errorf("workload: need at least 1 task")
+	}
+	if p.Pools < 1 {
+		p.Pools = 1
+	}
+	if p.MaxBranch < 2 {
+		p.MaxBranch = 2
+	}
+	if p.MaxDepth < 1 {
+		p.MaxDepth = 1
+	}
+	if p.TaskWeight+p.XORWeight+p.ANDWeight+p.ORWeight+p.LoopWeight <= 0 {
+		p.TaskWeight = 1
+	}
+	g := &procGen{p: p, rng: rand.New(rand.NewSource(p.Seed)), b: bpmn.NewBuilder(p.Name)}
+
+	pools := make([]string, p.Pools)
+	for i := range pools {
+		pools[i] = fmt.Sprintf("R%d", i)
+		g.b.Pool(pools[i])
+	}
+
+	// Sequential pool segments: start in pool 0; each segment ends in
+	// a message end feeding the next segment's message start; the last
+	// segment ends in a plain end.
+	perSegment := p.Tasks / p.Pools
+	if perSegment < 1 {
+		perSegment = 1
+	}
+	entry := ""
+	for i, pool := range pools {
+		g.pool = pool
+		var segStart string
+		if i == 0 {
+			segStart = g.newEvent("S")
+			g.b.Start(segStart, pool)
+		} else {
+			segStart = g.newEvent("M")
+			g.b.MessageStart(segStart, pool)
+			g.b.Msg(entry, segStart)
+		}
+		budget := perSegment
+		if i == len(pools)-1 {
+			budget = p.Tasks - g.nTask // remainder
+			if budget < 1 {
+				budget = 1
+			}
+		}
+		g.anchor = ""
+		last := g.block(segStart, budget, p.MaxDepth)
+		if i == len(pools)-1 {
+			end := g.newEvent("E")
+			g.b.End(end, pool)
+			g.b.Seq(last, end)
+		} else {
+			end := g.newEvent("X")
+			g.b.MessageEnd(end, pool)
+			g.b.Seq(last, end)
+			entry = end
+		}
+	}
+	return g.b.Build()
+}
+
+// MustGenerate is Generate that panics on error (benchmarks).
+func MustGenerate(p ProcParams) *bpmn.Process {
+	proc, err := Generate(p)
+	if err != nil {
+		panic(err)
+	}
+	return proc
+}
+
+func (g *procGen) newTask() string {
+	g.nTask++
+	return fmt.Sprintf("T%02d", g.nTask)
+}
+
+func (g *procGen) newGate() string {
+	g.nGate++
+	return fmt.Sprintf("G%02d", g.nGate)
+}
+
+func (g *procGen) newEvent(prefix string) string {
+	g.nEvent++
+	return fmt.Sprintf("%s%02d", prefix, g.nEvent)
+}
+
+// block emits a sequence of fragments after `from` until the block has
+// actually produced `budget` new tasks (fragments may emit fewer tasks
+// than asked — integer branch division — so the loop is driven by the
+// real task counter), and returns the last element id.
+func (g *procGen) block(from string, budget, depth int) string {
+	target := g.nTask + budget
+	cur := from
+	for g.nTask < target {
+		n := g.fragmentBudget(target-g.nTask, depth)
+		cur = g.fragment(cur, n, depth)
+	}
+	return cur
+}
+
+// fragmentBudget decides how many of the remaining tasks the next
+// fragment consumes.
+func (g *procGen) fragmentBudget(budget, depth int) int {
+	if budget <= 1 || depth <= 1 {
+		return 1
+	}
+	n := 1 + g.rng.Intn(budget)
+	return n
+}
+
+// fragment emits one fragment consuming ~n tasks after cur, returning
+// its exit element.
+func (g *procGen) fragment(cur string, n, depth int) string {
+	if n <= 1 || depth <= 1 {
+		return g.task(cur)
+	}
+	total := g.p.TaskWeight + g.p.XORWeight + g.p.ANDWeight + g.p.ORWeight + g.p.LoopWeight
+	pick := g.rng.Intn(total)
+	switch {
+	case pick < g.p.TaskWeight:
+		return g.task(cur)
+	case pick < g.p.TaskWeight+g.p.XORWeight:
+		return g.gateway(cur, bpmn.KindGatewayXOR, n, depth)
+	case pick < g.p.TaskWeight+g.p.XORWeight+g.p.ANDWeight:
+		return g.gateway(cur, bpmn.KindGatewayAND, n, depth)
+	case pick < g.p.TaskWeight+g.p.XORWeight+g.p.ANDWeight+g.p.ORWeight:
+		return g.gateway(cur, bpmn.KindGatewayOR, n, depth)
+	default:
+		return g.loop(cur, n, depth)
+	}
+}
+
+// task emits one task, possibly fallible (error boundary to the
+// segment's first task, mirroring the paper's T02→T01).
+func (g *procGen) task(cur string) string {
+	id := g.newTask()
+	if g.anchor != "" && g.rng.Float64() < g.p.FallibleProb {
+		g.b.FallibleTask(id, g.pool, "", g.anchor)
+	} else {
+		g.b.Task(id, g.pool, "")
+	}
+	if g.anchor == "" {
+		g.anchor = id
+	}
+	g.b.Seq(cur, id)
+	return id
+}
+
+// gateway emits a split of the given kind with 2..MaxBranch branches, a
+// matching join, and recursive blocks on each branch.
+func (g *procGen) gateway(cur string, kind bpmn.Kind, n, depth int) string {
+	maxBranch := g.p.MaxBranch
+	if kind == bpmn.KindGatewayOR && maxBranch > bpmn.MaxORBranches {
+		maxBranch = bpmn.MaxORBranches
+	}
+	branches := 2 + g.rng.Intn(maxBranch-1)
+	if branches > n {
+		branches = n
+	}
+	if branches < 2 {
+		return g.task(cur)
+	}
+	split, join := g.newGate(), g.newGate()
+	switch kind {
+	case bpmn.KindGatewayXOR:
+		g.b.XOR(split, g.pool)
+		g.b.XOR(join, g.pool)
+	case bpmn.KindGatewayAND:
+		g.b.AND(split, g.pool)
+		g.b.AND(join, g.pool)
+	case bpmn.KindGatewayOR:
+		g.b.OR(split, g.pool)
+		g.b.OR(join, g.pool)
+		g.b.PairOR(split, join)
+		g.orPairs++
+	}
+	g.b.Seq(cur, split)
+	per := n / branches
+	if per < 1 {
+		per = 1
+	}
+	for i := 0; i < branches; i++ {
+		// Branch bodies must not be fallible toward an anchor outside
+		// the branch for OR/AND joins (the error path would bypass the
+		// join and corrupt its token accounting), so suspend anchors.
+		savedAnchor := g.anchor
+		if kind != bpmn.KindGatewayXOR {
+			g.anchor = "-" // sentinel: no fallible tasks inside
+		}
+		exit := g.branchBlock(split, per, depth-1, kind != bpmn.KindGatewayXOR)
+		g.anchor = savedAnchor
+		g.b.Seq(exit, join)
+	}
+	return join
+}
+
+// branchBlock emits a linear block for a gateway branch. Inside AND/OR
+// branches only plain tasks are generated (noFallible), keeping join
+// token accounting exact.
+func (g *procGen) branchBlock(from string, budget, depth int, noFallible bool) string {
+	cur := from
+	for i := 0; i < budget; i++ {
+		id := g.newTask()
+		if !noFallible && g.anchor != "" && g.anchor != "-" && g.rng.Float64() < g.p.FallibleProb {
+			g.b.FallibleTask(id, g.pool, "", g.anchor)
+		} else {
+			g.b.Task(id, g.pool, "")
+		}
+		g.b.Seq(cur, id)
+		cur = id
+	}
+	if cur == from {
+		// A branch needs at least one element distinct from the split.
+		id := g.newTask()
+		g.b.Task(id, g.pool, "")
+		g.b.Seq(cur, id)
+		cur = id
+	}
+	return cur
+}
+
+// loop emits a merge-gate → body → split-gate cycle (well-founded: the
+// cycle contains the body's tasks) followed by an exit task.
+func (g *procGen) loop(cur string, n, depth int) string {
+	merge := g.newGate()
+	g.b.XOR(merge, g.pool)
+	g.b.Seq(cur, merge)
+	body := g.task(merge)
+	if n > 1 {
+		body = g.block(body, n-1, depth-1)
+	}
+	split := g.newGate()
+	g.b.XOR(split, g.pool)
+	g.b.Seq(body, split)
+	g.b.Seq(split, merge)
+	exit := g.newTask()
+	g.b.Task(exit, g.pool, "")
+	g.b.Seq(split, exit)
+	return exit
+}

@@ -1,0 +1,224 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/core"
+	"repro/internal/cows"
+	"repro/internal/lts"
+	"repro/internal/policy"
+)
+
+// TrailParams parameterizes trail simulation for one registered
+// purpose.
+type TrailParams struct {
+	Seed int64
+	// Cases is how many process instances to simulate.
+	Cases int
+	// CasePrefix prefixes case ids ("HT" → HT-1, HT-2, …); it must be
+	// a registered case code of the purpose.
+	CasePrefix string
+	// ActionsPerTask draws 1..ActionsPerTask log entries per executed
+	// task (the paper's 1-to-n task↔action mapping).
+	ActionsPerTask int
+	// MaxSteps caps observable steps per case (loops would otherwise
+	// run forever); reaching the cap leaves the case pending.
+	MaxSteps int
+	// CompleteBias is the probability of stopping at the first
+	// opportunity once the process can complete (1 = always finish as
+	// early as possible, 0 = keep running until MaxSteps or forced).
+	CompleteBias float64
+	// Subjects is the pool of data-subject names for generated
+	// objects.
+	Subjects []string
+	// Start is the wall-clock time of the first entry.
+	Start time.Time
+	// Step is the time between consecutive entries.
+	Step time.Duration
+}
+
+// DefaultTrailParams returns a balanced parameterization.
+func DefaultTrailParams(seed int64, cases int, prefix string) TrailParams {
+	return TrailParams{
+		Seed: seed, Cases: cases, CasePrefix: prefix,
+		ActionsPerTask: 2, MaxSteps: 60, CompleteBias: 0.7,
+		Subjects: []string{"P01", "P02", "P03", "P04", "P05"},
+		Start:    time.Date(2026, 3, 2, 8, 0, 0, 0, time.UTC),
+		Step:     time.Minute,
+	}
+}
+
+// Simulator generates valid trails by random walks over a purpose's
+// weak transition system — every generated case is, by construction, a
+// valid execution of the process (Algorithm 1 must accept it; the
+// workload tests verify this agreement).
+type Simulator struct {
+	reg    *core.Registry
+	params TrailParams
+	rng    *rand.Rand
+	sys    map[string]*lts.System
+	// users per role, synthesized on demand.
+	users map[string]string
+}
+
+// NewSimulator builds a simulator over the registry.
+func NewSimulator(reg *core.Registry, params TrailParams) *Simulator {
+	if params.ActionsPerTask < 1 {
+		params.ActionsPerTask = 1
+	}
+	if params.MaxSteps < 1 {
+		params.MaxSteps = 50
+	}
+	if len(params.Subjects) == 0 {
+		params.Subjects = []string{"P01"}
+	}
+	if params.Step <= 0 {
+		params.Step = time.Minute
+	}
+	if params.Start.IsZero() {
+		params.Start = time.Date(2026, 3, 2, 8, 0, 0, 0, time.UTC)
+	}
+	return &Simulator{
+		reg:    reg,
+		params: params,
+		rng:    rand.New(rand.NewSource(params.Seed)),
+		sys:    map[string]*lts.System{},
+		users:  map[string]string{},
+	}
+}
+
+func (s *Simulator) system(p *core.Purpose) *lts.System {
+	y, ok := s.sys[p.Name]
+	if !ok {
+		y = lts.NewSystem(p.Observable)
+		s.sys[p.Name] = y
+	}
+	return y
+}
+
+func (s *Simulator) userFor(role string) string {
+	u, ok := s.users[role]
+	if !ok {
+		u = "u-" + role
+		s.users[role] = u
+	}
+	return u
+}
+
+// Generate simulates all cases and returns the merged chronological
+// trail. Entries of different cases interleave (cases are dealt
+// round-robin across the timeline), as in a real audit database.
+func (s *Simulator) Generate() (*audit.Trail, error) {
+	pur := s.reg.ForCase(s.params.CasePrefix + "-0")
+	if pur == nil {
+		return nil, fmt.Errorf("workload: case prefix %q resolves no purpose", s.params.CasePrefix)
+	}
+	var all []audit.Entry
+	clock := s.params.Start
+	for c := 1; c <= s.params.Cases; c++ {
+		caseID := fmt.Sprintf("%s-%d", s.params.CasePrefix, c)
+		entries, err := s.simulateCase(pur, caseID, &clock)
+		if err != nil {
+			return nil, fmt.Errorf("workload: simulating %s: %w", caseID, err)
+		}
+		all = append(all, entries...)
+	}
+	return audit.NewTrail(all), nil
+}
+
+// simulateCase walks the weak LTS once.
+func (s *Simulator) simulateCase(pur *core.Purpose, caseID string, clock *time.Time) ([]audit.Entry, error) {
+	y := s.system(pur)
+	state := pur.Initial
+	subject := s.params.Subjects[s.rng.Intn(len(s.params.Subjects))]
+	var entries []audit.Entry
+
+	for step := 0; step < s.params.MaxSteps; step++ {
+		done, err := y.CanTerminateSilently(state)
+		if err != nil {
+			return nil, err
+		}
+		if done && s.rng.Float64() < s.params.CompleteBias {
+			break
+		}
+		obs, err := y.WeakNext(state)
+		if err != nil {
+			return nil, err
+		}
+		if len(obs) == 0 {
+			break
+		}
+		pick := obs[s.rng.Intn(len(obs))]
+		entries = append(entries, s.entriesForLabel(pur, pick.Label, caseID, subject, clock)...)
+		state = pick.State
+	}
+	return entries, nil
+}
+
+// entriesForLabel renders one observable label as 1..ActionsPerTask log
+// entries (or a single failure entry for sys·Err).
+func (s *Simulator) entriesForLabel(pur *core.Purpose, l cows.Label, caseID, subject string, clock *time.Time) []audit.Entry {
+	tick := func() time.Time {
+		t := *clock
+		*clock = clock.Add(s.params.Step)
+		return t
+	}
+	if l.Op == "Err" {
+		task := ""
+		if or := l.Origins(); len(or) > 0 {
+			task = or[0]
+		}
+		role := pur.Process.TaskRole(task)
+		return []audit.Entry{{
+			User: s.userFor(role), Role: role, Action: "cancel",
+			Task: task, Case: caseID, Time: tick(), Status: audit.Failure,
+		}}
+	}
+	role := l.Partner
+	task := l.Op
+	n := 1 + s.rng.Intn(s.params.ActionsPerTask)
+	actions := []string{"read", "write", "read", "write"}
+	var out []audit.Entry
+	for i := 0; i < n; i++ {
+		section := "Clinical"
+		if i%3 == 2 {
+			section = "Demographics"
+		}
+		out = append(out, audit.Entry{
+			User: s.userFor(role), Role: role, Action: actions[i%len(actions)],
+			Object: policy.Object{Subject: subject, Path: []string{"EPR", section}},
+			Task:   task, Case: caseID, Time: tick(), Status: audit.Success,
+		})
+	}
+	return out
+}
+
+// HospitalDay generates a day of audit load shaped like the paper's
+// motivating statistic: opens record-accesses across cases until at
+// least `opens` entries exist (Geneva University Hospitals: >20,000 per
+// day, Section 1). It returns the trail and the number of cases used.
+func HospitalDay(reg *core.Registry, prefix string, opens int, seed int64) (*audit.Trail, int, error) {
+	params := DefaultTrailParams(seed, 0, prefix)
+	params.Step = 2 * time.Second
+	sim := NewSimulator(reg, params)
+	pur := reg.ForCase(prefix + "-0")
+	if pur == nil {
+		return nil, 0, fmt.Errorf("workload: case prefix %q resolves no purpose", prefix)
+	}
+	var all []audit.Entry
+	clock := params.Start
+	cases := 0
+	for len(all) < opens {
+		cases++
+		caseID := fmt.Sprintf("%s-%d", prefix, cases)
+		entries, err := sim.simulateCase(pur, caseID, &clock)
+		if err != nil {
+			return nil, 0, err
+		}
+		all = append(all, entries...)
+	}
+	return audit.NewTrail(all), cases, nil
+}

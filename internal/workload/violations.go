@@ -1,0 +1,176 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/audit"
+)
+
+// ViolationKind enumerates the injectors used by the detection
+// experiments (P5): each takes a valid case slice and perturbs it into a
+// (usually) non-compliant one. The kinds are chosen to separate the
+// detection capabilities of Algorithm 1 from Petri-net token replay:
+// control-flow violations are visible to both; role violations are
+// invisible to conformance checking (paper Section 6); re-purposing is
+// the paper's motivating attack.
+type ViolationKind int
+
+const (
+	// SkipTask removes all entries of one mid-trail task.
+	SkipTask ViolationKind = iota
+	// SwapAdjacent swaps two adjacent entries of different tasks.
+	SwapAdjacent
+	// WrongRole relabels one entry's role (and user) with an
+	// unrelated role.
+	WrongRole
+	// ForeignTask rewrites one entry's task to a task of another
+	// process.
+	ForeignTask
+	// Repurpose duplicates the first entry under a fresh case of the
+	// same purpose — an access claiming a process instance that never
+	// ran (the paper's HT-11).
+	Repurpose
+	// FakeFailure inserts a failure entry for a task with no error
+	// boundary.
+	FakeFailure
+	// NumViolationKinds counts the kinds.
+	NumViolationKinds
+)
+
+// String names the kind.
+func (k ViolationKind) String() string {
+	switch k {
+	case SkipTask:
+		return "skip-task"
+	case SwapAdjacent:
+		return "swap-adjacent"
+	case WrongRole:
+		return "wrong-role"
+	case ForeignTask:
+		return "foreign-task"
+	case Repurpose:
+		return "re-purpose"
+	case FakeFailure:
+		return "fake-failure"
+	default:
+		return fmt.Sprintf("ViolationKind(%d)", int(k))
+	}
+}
+
+// Injector perturbs valid case slices.
+type Injector struct {
+	rng *rand.Rand
+	// UnrelatedRole is the role used by WrongRole (default "Intruder").
+	UnrelatedRole string
+	// ForeignTaskID is the task used by ForeignTask (default "T99x").
+	ForeignTaskID string
+}
+
+// NewInjector builds an injector with the given seed.
+func NewInjector(seed int64) *Injector {
+	return &Injector{rng: rand.New(rand.NewSource(seed)), UnrelatedRole: "Intruder", ForeignTaskID: "T99x"}
+}
+
+// Inject applies the kind to a copy of the entries. It returns the
+// perturbed entries and whether the perturbation was applicable (some
+// kinds need minimum length or task variety). The perturbed slice keeps
+// chronological order (timestamps are preserved positionally).
+func (inj *Injector) Inject(kind ViolationKind, entries []audit.Entry) ([]audit.Entry, bool) {
+	if len(entries) == 0 {
+		return nil, false
+	}
+	out := append([]audit.Entry(nil), entries...)
+	switch kind {
+	case SkipTask:
+		// Pick a task that is neither the first nor only task.
+		tasks := taskSpans(out)
+		if len(tasks) < 3 {
+			return nil, false
+		}
+		victim := tasks[1+inj.rng.Intn(len(tasks)-2)] // not first, not last
+		var kept []audit.Entry
+		for _, e := range out {
+			if e.Task != victim.task {
+				kept = append(kept, e)
+			}
+		}
+		return renumberTimes(kept, entries), true
+	case SwapAdjacent:
+		var idxs []int
+		for i := 0; i+1 < len(out); i++ {
+			if out[i].Task != out[i+1].Task {
+				idxs = append(idxs, i)
+			}
+		}
+		if len(idxs) == 0 {
+			return nil, false
+		}
+		i := idxs[inj.rng.Intn(len(idxs))]
+		out[i], out[i+1] = out[i+1], out[i]
+		return renumberTimes(out, entries), true
+	case WrongRole:
+		i := inj.rng.Intn(len(out))
+		out[i].Role = inj.UnrelatedRole
+		out[i].User = "mallory"
+		return out, true
+	case ForeignTask:
+		i := inj.rng.Intn(len(out))
+		out[i].Task = inj.ForeignTaskID
+		return out, true
+	case Repurpose:
+		// An isolated access mid-process under a fresh case id: pick a
+		// non-initial task occurrence.
+		tasks := taskSpans(out)
+		if len(tasks) < 2 {
+			return nil, false
+		}
+		src := out[tasks[1+inj.rng.Intn(len(tasks)-1)].start]
+		src.Case = src.Case + "9999" // fresh case id, same code prefix
+		return []audit.Entry{src}, true
+	case FakeFailure:
+		i := inj.rng.Intn(len(out))
+		f := out[i]
+		f.Status = audit.Failure
+		f.Action = "cancel"
+		// Insert right after i.
+		out = append(out[:i+1], append([]audit.Entry{f}, out[i+1:]...)...)
+		return renumberTimes(out, entries), true
+	default:
+		return nil, false
+	}
+}
+
+type span struct {
+	task  string
+	start int
+}
+
+// taskSpans lists maximal runs of consecutive same-task entries.
+func taskSpans(entries []audit.Entry) []span {
+	var out []span
+	prev := ""
+	for i, e := range entries {
+		if e.Task != prev {
+			out = append(out, span{task: e.Task, start: i})
+			prev = e.Task
+		}
+	}
+	return out
+}
+
+// renumberTimes rebases timestamps onto the original sequence so the
+// perturbed slice stays chronologically ordered.
+func renumberTimes(out, original []audit.Entry) []audit.Entry {
+	for i := range out {
+		j := i
+		if j >= len(original) {
+			j = len(original) - 1
+		}
+		out[i].Time = original[j].Time
+		if i >= len(original) {
+			out[i].Time = out[i].Time.Add(1)
+		}
+	}
+	return out
+}

@@ -1,0 +1,197 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/policy"
+)
+
+// fixtureEntries builds a 5-task case with one multi-action task.
+func fixtureEntries() []audit.Entry {
+	base := time.Date(2026, 6, 1, 9, 0, 0, 0, time.UTC)
+	mk := func(i int, task string, st audit.Status) audit.Entry {
+		return audit.Entry{
+			User: "u", Role: "R0", Action: "read",
+			Object: policy.Object{Subject: "P1", Path: []string{"EPR", "Clinical"}},
+			Task:   task, Case: "IJ-1",
+			Time: base.Add(time.Duration(i) * time.Minute), Status: st,
+		}
+	}
+	return []audit.Entry{
+		mk(0, "T01", audit.Success),
+		mk(1, "T02", audit.Success),
+		mk(2, "T02", audit.Success), // second action within T02
+		mk(3, "T03", audit.Success),
+		mk(4, "T04", audit.Success),
+	}
+}
+
+func TestInjectSkipTask(t *testing.T) {
+	inj := NewInjector(1)
+	out, ok := inj.Inject(SkipTask, fixtureEntries())
+	if !ok {
+		t.Fatalf("not applicable")
+	}
+	if len(out) >= len(fixtureEntries()) {
+		t.Fatalf("nothing removed: %d entries", len(out))
+	}
+	// First and last tasks survive.
+	if out[0].Task != "T01" || out[len(out)-1].Task != "T04" {
+		t.Fatalf("skip removed a boundary task: %v .. %v", out[0].Task, out[len(out)-1].Task)
+	}
+	// Chronological order preserved.
+	for i := 1; i < len(out); i++ {
+		if out[i].Time.Before(out[i-1].Time) {
+			t.Fatalf("order broken at %d", i)
+		}
+	}
+}
+
+func TestInjectSwapAdjacent(t *testing.T) {
+	inj := NewInjector(2)
+	src := fixtureEntries()
+	out, ok := inj.Inject(SwapAdjacent, src)
+	if !ok {
+		t.Fatalf("not applicable")
+	}
+	if len(out) != len(src) {
+		t.Fatalf("length changed")
+	}
+	// The task multiset is unchanged, order differs.
+	count := map[string]int{}
+	for _, e := range out {
+		count[e.Task]++
+	}
+	if count["T02"] != 2 || count["T01"] != 1 {
+		t.Fatalf("multiset changed: %v", count)
+	}
+	same := true
+	for i := range out {
+		if out[i].Task != src[i].Task {
+			same = false
+		}
+	}
+	if same {
+		t.Fatalf("no swap happened")
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i].Time.Before(out[i-1].Time) {
+			t.Fatalf("order broken at %d", i)
+		}
+	}
+}
+
+func TestInjectWrongRoleAndForeignTask(t *testing.T) {
+	inj := NewInjector(3)
+	out, ok := inj.Inject(WrongRole, fixtureEntries())
+	if !ok {
+		t.Fatalf("not applicable")
+	}
+	found := false
+	for _, e := range out {
+		if e.Role == "Intruder" && e.User == "mallory" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no role rewritten")
+	}
+
+	out, ok = inj.Inject(ForeignTask, fixtureEntries())
+	if !ok {
+		t.Fatalf("not applicable")
+	}
+	found = false
+	for _, e := range out {
+		if e.Task == "T99x" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no task rewritten")
+	}
+}
+
+func TestInjectRepurpose(t *testing.T) {
+	inj := NewInjector(4)
+	out, ok := inj.Inject(Repurpose, fixtureEntries())
+	if !ok {
+		t.Fatalf("not applicable")
+	}
+	if len(out) != 1 {
+		t.Fatalf("repurpose should emit a single isolated entry, got %d", len(out))
+	}
+	if out[0].Case == "IJ-1" {
+		t.Fatalf("case id not freshened")
+	}
+	if out[0].Task == "T01" {
+		t.Fatalf("repurpose picked the initial task (would be a valid prefix)")
+	}
+}
+
+func TestInjectFakeFailure(t *testing.T) {
+	inj := NewInjector(5)
+	src := fixtureEntries()
+	out, ok := inj.Inject(FakeFailure, src)
+	if !ok {
+		t.Fatalf("not applicable")
+	}
+	if len(out) != len(src)+1 {
+		t.Fatalf("length = %d, want %d", len(out), len(src)+1)
+	}
+	failures := 0
+	for _, e := range out {
+		if e.Status == audit.Failure {
+			failures++
+		}
+	}
+	if failures != 1 {
+		t.Fatalf("failures = %d", failures)
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i].Time.Before(out[i-1].Time) {
+			t.Fatalf("order broken at %d", i)
+		}
+	}
+}
+
+func TestInjectInapplicable(t *testing.T) {
+	inj := NewInjector(6)
+	if _, ok := inj.Inject(SkipTask, nil); ok {
+		t.Fatalf("skip on empty applicable")
+	}
+	one := fixtureEntries()[:1]
+	if _, ok := inj.Inject(SkipTask, one); ok {
+		t.Fatalf("skip on single-task trail applicable")
+	}
+	if _, ok := inj.Inject(SwapAdjacent, one); ok {
+		t.Fatalf("swap on single entry applicable")
+	}
+	if _, ok := inj.Inject(Repurpose, one); ok {
+		t.Fatalf("repurpose on single-task trail applicable")
+	}
+	if _, ok := inj.Inject(ViolationKind(99), fixtureEntries()); ok {
+		t.Fatalf("unknown kind applicable")
+	}
+}
+
+func TestViolationKindStrings(t *testing.T) {
+	want := map[ViolationKind]string{
+		SkipTask:     "skip-task",
+		SwapAdjacent: "swap-adjacent",
+		WrongRole:    "wrong-role",
+		ForeignTask:  "foreign-task",
+		Repurpose:    "re-purpose",
+		FakeFailure:  "fake-failure",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), s)
+		}
+	}
+	if ViolationKind(42).String() == "" {
+		t.Errorf("unknown kind has empty string")
+	}
+}
