@@ -1,0 +1,10 @@
+.PHONY: ci test bench
+
+ci:
+	sh ./ci.sh
+
+test:
+	go test ./...
+
+bench:
+	go test -bench . -benchmem .

@@ -141,6 +141,11 @@ func BenchmarkParallelCases(b *testing.B) {
 		b.Fatal(err)
 	}
 	checker := core.NewChecker(sc.Registry, roles)
+	// Warm the shared LTS/configuration caches once so the worker sweep
+	// measures steady-state scaling, not the one-time derivation cost.
+	if _, err := core.CheckStoreParallel(checker, store, 1); err != nil {
+		b.Fatal(err)
+	}
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			b.ReportMetric(float64(store.Len()), "entries")
@@ -153,6 +158,37 @@ func BenchmarkParallelCases(b *testing.B) {
 					if !rep.Compliant {
 						b.Fatalf("case %s rejected: %s", id, rep)
 					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCheckTrailParallel: Checker.CheckTrailParallel on the same
+// hospital-day load — the report-ordered variant of P3, sharing one
+// warm checker across workers.
+func BenchmarkCheckTrailParallel(b *testing.B) {
+	sc, err := hospital.NewScenario()
+	if err != nil {
+		b.Fatal(err)
+	}
+	trail, _, err := workload.HospitalDay(sc.Registry, hospital.TreatmentCode, 500, 21)
+	if err != nil {
+		b.Fatal(err)
+	}
+	roles, err := hospital.Roles()
+	if err != nil {
+		b.Fatal(err)
+	}
+	checker := core.NewChecker(sc.Registry, roles)
+	if _, err := checker.CheckTrail(trail); err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := checker.CheckTrailParallel(trail, workers); err != nil {
+					b.Fatal(err)
 				}
 			}
 		})

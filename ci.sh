@@ -1,0 +1,18 @@
+#!/bin/sh
+# CI gate: static checks, full build, race-enabled tests, then a quick
+# benchmark smoke of the P1 (trail length) and P3 (parallel cases)
+# performance claims, recorded to BENCH_pr1.json for regression
+# tracking. Run via `make ci` or directly.
+set -eu
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "== benchmark smoke (P1, P3) =="
+go run ./cmd/benchtab -exp P1,P3 -quick -json BENCH_pr1.json

@@ -7,12 +7,17 @@
 //
 //	benchtab              # all experiments
 //	benchtab -exp F4,P1   # a selection
+//	benchtab -exp P1,P3 -quick -json BENCH.json
+//	                      # CI smoke: ~100 iterations per point, with
+//	                      # the timed P1/P3 rows also written as JSON
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"testing"
@@ -31,9 +36,32 @@ import (
 	"repro/internal/workload"
 )
 
+// quickIters, when positive, switches bench() from testing.Benchmark's
+// adaptive ~1s runs to a fixed iteration count — the CI smoke mode.
+var quickIters int
+
+// benchRow is one timed measurement, recorded for -json output.
+type benchRow struct {
+	Exp        string  `json:"exp"`
+	Name       string  `json:"name"`
+	Entries    int     `json:"entries,omitempty"`
+	Workers    int     `json:"workers,omitempty"`
+	NsPerOp    int64   `json:"ns_per_op"`
+	NsPerEntry float64 `json:"ns_per_entry,omitempty"`
+}
+
+var benchRows []benchRow
+
+func record(r benchRow) { benchRows = append(benchRows, r) }
+
 func main() {
 	expFlag := flag.String("exp", "", "comma-separated experiment ids (default: all)")
+	jsonFlag := flag.String("json", "", "write timed rows (P1, P3) as JSON to this file")
+	quickFlag := flag.Bool("quick", false, "fixed 100-iteration timing instead of ~1s adaptive runs")
 	flag.Parse()
+	if *quickFlag {
+		quickIters = 100
+	}
 
 	all := []struct {
 		id  string
@@ -72,9 +100,38 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *jsonFlag != "" {
+		out := struct {
+			Quick      bool       `json:"quick"`
+			GoMaxProcs int        `json:"gomaxprocs"`
+			Rows       []benchRow `json:"rows"`
+		}{Quick: quickIters > 0, GoMaxProcs: runtime.GOMAXPROCS(0), Rows: benchRows}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: encoding %s: %v\n", *jsonFlag, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonFlag, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: writing %s: %v\n", *jsonFlag, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %d timed rows to %s\n", len(benchRows), *jsonFlag)
+	}
 }
 
 func bench(f func() error) (time.Duration, error) {
+	if quickIters > 0 {
+		if err := f(); err != nil { // warm once outside the timer
+			return 0, err
+		}
+		start := time.Now()
+		for i := 0; i < quickIters; i++ {
+			if err := f(); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start) / time.Duration(quickIters), nil
+	}
 	var err error
 	r := testing.Benchmark(func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
@@ -353,6 +410,11 @@ func expP1() error {
 			return err
 		}
 		fmt.Printf("%-9d %-12v %v\n", trail.Len(), d, d/time.Duration(trail.Len()))
+		record(benchRow{
+			Exp: "P1", Name: fmt.Sprintf("steps=%d", steps),
+			Entries: trail.Len(), NsPerOp: d.Nanoseconds(),
+			NsPerEntry: float64(d.Nanoseconds()) / float64(trail.Len()),
+		})
 	}
 	return nil
 }
@@ -406,6 +468,10 @@ func expP3() error {
 		return err
 	}
 	checker := core.NewChecker(sc.Registry, roles)
+	// Warm the shared caches so the sweep measures steady-state scaling.
+	if _, err := core.CheckStoreParallel(checker, store, 1); err != nil {
+		return err
+	}
 	fmt.Printf("hospital-day load: %d entries across %d cases\n", store.Len(), cases)
 	fmt.Printf("%-9s %-12s\n", "workers", "time/sweep")
 	for _, workers := range []int{1, 2, 4, 8} {
@@ -417,6 +483,10 @@ func expP3() error {
 			return err
 		}
 		fmt.Printf("%-9d %-12v\n", workers, d)
+		record(benchRow{
+			Exp: "P3", Name: fmt.Sprintf("workers=%d", workers),
+			Entries: store.Len(), Workers: workers, NsPerOp: d.Nanoseconds(),
+		})
 	}
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/audit"
 	"repro/internal/cows"
@@ -22,32 +23,87 @@ type ActiveTask struct {
 
 func (a ActiveTask) String() string { return a.Role + "·" + a.Task }
 
+// activeLess orders active tasks by (Role, Task); the internal canonical
+// order of activeSet slices (reports re-sort by String for display).
+func activeLess(a, b ActiveTask) bool {
+	if a.Role != b.Role {
+		return a.Role < b.Role
+	}
+	return a.Task < b.Task
+}
+
+// activeSet is an interned active-task set: a sorted, deduplicated slice
+// with a dense per-purpose ID. Equal sets share one value, so comparing
+// sets — and keying the configuration memo — is an integer compare
+// instead of rebuilding and hashing a map per step.
+type activeSet struct {
+	id    uint32
+	tasks []ActiveTask // sorted by activeLess, deduplicated; never mutated
+}
+
+// activeInterner deduplicates active sets per purpose.
+type activeInterner struct {
+	mu    sync.RWMutex
+	byKey map[string]*activeSet
+}
+
+// intern returns the canonical activeSet for tasks (which must be sorted
+// by activeLess and deduplicated). The input slice is copied on first
+// sight, so callers may reuse scratch buffers.
+func (ai *activeInterner) intern(tasks []ActiveTask) *activeSet {
+	var b strings.Builder
+	for _, t := range tasks {
+		b.WriteString(t.Role)
+		b.WriteByte(0)
+		b.WriteString(t.Task)
+		b.WriteByte(1)
+	}
+	key := b.String()
+	ai.mu.RLock()
+	as, ok := ai.byKey[key]
+	ai.mu.RUnlock()
+	if ok {
+		return as
+	}
+	ai.mu.Lock()
+	defer ai.mu.Unlock()
+	if as, ok := ai.byKey[key]; ok {
+		return as
+	}
+	as = &activeSet{id: uint32(len(ai.byKey)), tasks: append([]ActiveTask(nil), tasks...)}
+	ai.byKey[key] = as
+	return as
+}
+
 // succ is one precomputed successor of a configuration: an observable
-// label, the state it leads to, and the active-task set in that state.
+// label, the interned state it leads to, and the interned active-task
+// set in that state.
 type succ struct {
 	label  cows.Label
 	state  cows.Service
-	canon  string
-	active map[ActiveTask]bool
+	id     lts.StateID
+	active *activeSet
 }
 
 // Configuration is Definition 6: the current state, the set of active
 // tasks in that state, and the WeakNext successors with their active
-// sets.
+// sets. Configurations are immutable and memoized per purpose by
+// (state ID, active-set ID): in looping processes the same handful of
+// configurations recur thousands of times, so replay fetches them from
+// a hash map instead of rebuilding successor slices and active maps per
+// entry. The memo is shared by every checker cloned from the same
+// runtime and is safe for concurrent use.
 type Configuration struct {
 	state  cows.Service
-	canon  string
-	active map[ActiveTask]bool
+	id     lts.StateID
+	active *activeSet
 	next   []succ
 }
 
 // ActiveTasks returns the sorted active-task set (for reports and
 // tests).
 func (c *Configuration) ActiveTasks() []ActiveTask {
-	out := make([]ActiveTask, 0, len(c.active))
-	for a := range c.active {
-		out = append(out, a)
-	}
+	out := append([]ActiveTask(nil), c.active.tasks...)
 	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
 	return out
 }
@@ -67,20 +123,46 @@ func (c *Configuration) NextLabels() []string {
 	return out
 }
 
-// key identifies a configuration up to state congruence and active set.
-func (c *Configuration) key() string {
-	parts := make([]string, 0, len(c.active))
-	for a := range c.active {
-		parts = append(parts, a.String())
+// memoKey identifies a configuration up to state congruence and active
+// set — two small dense integers packed into one word.
+func (c *Configuration) memoKey() uint64 { return confKey(c.id, c.active.id) }
+
+func confKey(id lts.StateID, activeID uint32) uint64 {
+	return uint64(uint32(id))<<32 | uint64(activeID)
+}
+
+// purposeRT is the shared per-purpose runtime: the warm LTS system, the
+// active-set interner and the configuration memo. All fields are safe
+// for concurrent use, so any number of case checks (and checkers cloned
+// from the same runtime) share one warm instance.
+type purposeRT struct {
+	sys     *lts.System
+	active  activeInterner
+	empty   *activeSet
+	configs sync.Map // uint64 (confKey) -> *Configuration
+}
+
+func newPurposeRT(p *Purpose) *purposeRT {
+	rt := &purposeRT{
+		sys:    lts.NewSystem(p.Observable),
+		active: activeInterner{byKey: map[string]*activeSet{}},
 	}
-	sort.Strings(parts)
-	return c.canon + "\x00" + strings.Join(parts, ",")
+	rt.empty = rt.active.intern(nil)
+	return rt
+}
+
+// checkerRT is the cache state shared between a checker and its clones:
+// one purposeRT per purpose, created on demand.
+type checkerRT struct {
+	mu       sync.RWMutex
+	purposes map[string]*purposeRT
 }
 
 // Checker runs Algorithm 1. Checking methods are safe for concurrent
-// use (per-purpose LTS systems have guarded caches, so parallel per-case
-// analyses share warm caches — the Section 7 parallelization); mutating
-// the exported configuration fields or setting TraceFn concurrently with
+// use (per-purpose LTS systems and configuration memos are shared,
+// read-mostly and internally synchronized, so parallel per-case analyses
+// share warm caches — the Section 7 parallelization); mutating the
+// exported configuration fields or setting TraceFn concurrently with
 // checks is not.
 type Checker struct {
 	registry *Registry
@@ -105,11 +187,11 @@ type Checker struct {
 
 	// TraceFn, when set, is invoked after each replayed entry with the
 	// surviving configuration set — the data behind the paper's
-	// Figure 6 walkthrough. Leave nil in production use.
+	// Figure 6 walkthrough. The configurations are shared memoized
+	// values: treat them as read-only. Leave nil in production use.
 	TraceFn func(step int, entry audit.Entry, configs []*Configuration)
 
-	mu      sync.Mutex
-	systems map[string]*lts.System // per purpose
+	rt *checkerRT
 }
 
 // DefaultMaxConfigurations bounds the configuration set.
@@ -122,29 +204,48 @@ func NewChecker(reg *Registry, roles *policy.RoleHierarchy) *Checker {
 		registry:          reg,
 		roles:             roles,
 		StrictFailureTask: true,
-		systems:           map[string]*lts.System{},
+		rt:                &checkerRT{purposes: map[string]*purposeRT{}},
 	}
 }
 
-// Clone returns a checker sharing the registry and configuration but
-// with fresh LTS caches, for use on another goroutine.
+// Clone returns a checker sharing the registry, configuration AND the
+// warm per-purpose caches (LTS systems and configuration memos — both
+// concurrency-safe), for use on another goroutine. Workers fanned out
+// over clones therefore share one warm LTS instead of each re-deriving
+// it cold; flag fields (StrictFailureTask, MaxConfigurations, TraceFn)
+// remain per-clone.
 func (c *Checker) Clone() *Checker {
-	out := NewChecker(c.registry, c.roles)
-	out.StrictFailureTask = c.StrictFailureTask
-	out.MaxConfigurations = c.MaxConfigurations
-	return out
+	return &Checker{
+		registry:          c.registry,
+		roles:             c.roles,
+		StrictFailureTask: c.StrictFailureTask,
+		DisableAbsorption: c.DisableAbsorption,
+		MaxConfigurations: c.MaxConfigurations,
+		rt:                c.rt,
+	}
 }
 
-func (c *Checker) system(p *Purpose) *lts.System {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	y, ok := c.systems[p.Name]
-	if !ok {
-		y = lts.NewSystem(p.Observable)
-		c.systems[p.Name] = y
+// runtime returns the shared per-purpose runtime, creating it on first
+// use. Read path is a shared-lock map hit.
+func (c *Checker) runtime(p *Purpose) *purposeRT {
+	c.rt.mu.RLock()
+	rt, ok := c.rt.purposes[p.Name]
+	c.rt.mu.RUnlock()
+	if ok {
+		return rt
 	}
-	return y
+	c.rt.mu.Lock()
+	defer c.rt.mu.Unlock()
+	if rt, ok := c.rt.purposes[p.Name]; ok {
+		return rt
+	}
+	rt = newPurposeRT(p)
+	c.rt.purposes[p.Name] = rt
+	return rt
 }
+
+// system exposes the warm per-purpose LTS (diagnostics, tests).
+func (c *Checker) system(p *Purpose) *lts.System { return c.runtime(p).sys }
 
 // roleMatches reports whether the entry's role may perform a task of the
 // given pool role: equality, or specialization under the hierarchy
@@ -159,51 +260,73 @@ func (c *Checker) roleMatches(entryRole, poolRole string) bool {
 	return c.roles.Specializes(entryRole, poolRole)
 }
 
-// newConfiguration builds a configuration around a state, computing its
-// WeakNext successors and their active sets from the source active set
-// and the origins carried by each label.
-func (c *Checker) newConfiguration(y *lts.System, pur *Purpose, state cows.Service, canon string, active map[ActiveTask]bool) (*Configuration, error) {
-	obs, err := y.WeakNext(state)
+// newConfiguration returns the memoized configuration for (state,
+// active), building it — WeakNext successors and their interned active
+// sets — only on first sight of that pair.
+func (c *Checker) newConfiguration(rt *purposeRT, pur *Purpose, state cows.Service, id lts.StateID, active *activeSet) (*Configuration, error) {
+	key := confKey(id, active.id)
+	if v, ok := rt.configs.Load(key); ok {
+		return v.(*Configuration), nil
+	}
+	obs, err := rt.sys.WeakNext(state)
 	if err != nil {
 		return nil, fmt.Errorf("core: WeakNext for purpose %q: %w", pur.Name, err)
 	}
-	conf := &Configuration{state: state, canon: canon, active: active}
+	conf := &Configuration{state: state, id: id, active: active}
+	if len(obs) > 0 {
+		conf.next = make([]succ, 0, len(obs))
+	}
+	var scratch []ActiveTask
 	for _, o := range obs {
+		var na *activeSet
+		na, scratch = nextActive(rt, pur, active, o.Label, scratch)
 		conf.next = append(conf.next, succ{
 			label:  o.Label,
 			state:  o.State,
-			canon:  o.Canon,
-			active: nextActive(pur, active, o.Label),
+			id:     o.ID,
+			active: na,
 		})
 	}
-	return conf, nil
+	v, _ := rt.configs.LoadOrStore(key, conf)
+	return v.(*Configuration), nil
 }
 
 // nextActive applies the origin discipline: tasks whose token produced
 // the label stop being active; a task label activates its task
-// (DESIGN.md §4).
-func nextActive(pur *Purpose, active map[ActiveTask]bool, l cows.Label) map[ActiveTask]bool {
-	out := make(map[ActiveTask]bool, len(active)+1)
-	consumed := map[string]bool{}
-	for _, o := range l.Origins() {
-		consumed[o] = true
-	}
-	for a := range active {
-		if !consumed[a.Task] {
-			out[a] = true
+// (DESIGN.md §4). The result is interned; scratch is reused across
+// successors of one configuration build.
+func nextActive(rt *purposeRT, pur *Purpose, active *activeSet, l cows.Label, scratch []ActiveTask) (*activeSet, []ActiveTask) {
+	origins := l.Origins()
+	out := scratch[:0]
+	for _, a := range active.tasks {
+		consumed := false
+		for _, o := range origins {
+			if o == a.Task {
+				consumed = true
+				break
+			}
+		}
+		if !consumed {
+			out = append(out, a)
 		}
 	}
 	if l.Op != "Err" && pur.Process.HasTask(l.Op) {
-		out[ActiveTask{Role: l.Partner, Task: l.Op}] = true
+		na := ActiveTask{Role: l.Partner, Task: l.Op}
+		pos := sort.Search(len(out), func(i int) bool { return !activeLess(out[i], na) })
+		if pos == len(out) || out[pos] != na {
+			out = append(out, ActiveTask{})
+			copy(out[pos+1:], out[pos:])
+			out[pos] = na
+		}
 	}
-	return out
+	return rt.active.intern(out), out
 }
 
 // matchesEntry reports whether a successor's label accepts the entry
 // (Algorithm 1 line 10): a successful entry needs the task's own label
 // performed by a pool the entry's role specializes; a failure needs
 // sys·Err (strictly: originating from the entry's task).
-func (c *Checker) matchesEntry(s succ, e audit.Entry) bool {
+func (c *Checker) matchesEntry(s *succ, e audit.Entry) bool {
 	if e.Status == audit.Failure {
 		if s.label.Op != "Err" {
 			return false
@@ -224,7 +347,7 @@ func (c *Checker) matchesEntry(s succ, e audit.Entry) bool {
 // isActive reports whether the entry's task is active in the
 // configuration under the role hierarchy (Algorithm 1 line 8).
 func (c *Checker) isActive(conf *Configuration, e audit.Entry) bool {
-	for a := range conf.active {
+	for _, a := range conf.active.tasks {
 		if a.Task == e.Task && c.roleMatches(e.Role, a.Role) {
 			return true
 		}
@@ -252,23 +375,35 @@ func (c *Checker) CheckCase(trail *audit.Trail, caseID string) (*Report, error) 
 	return c.replay(pur, caseID, slice.Entries())
 }
 
+// initialConfiguration returns the memoized configuration of the
+// purpose's initial state with no active tasks.
+func (c *Checker) initialConfiguration(rt *purposeRT, pur *Purpose) (*Configuration, error) {
+	return c.newConfiguration(rt, pur, pur.Initial, rt.sys.Intern(pur.Initial), rt.empty)
+}
+
 // replay is the body of Algorithm 1 over a chronological entry slice.
 func (c *Checker) replay(pur *Purpose, caseID string, entries []audit.Entry) (*Report, error) {
-	y := c.system(pur)
+	rt := c.runtime(pur)
 	maxConfigs := c.MaxConfigurations
 	if maxConfigs <= 0 {
 		maxConfigs = DefaultMaxConfigurations
 	}
 
-	initial, err := c.newConfiguration(y, pur, pur.Initial, cows.Canon(pur.Initial), map[ActiveTask]bool{})
+	initial, err := c.initialConfiguration(rt, pur)
 	if err != nil {
 		return nil, err
 	}
 	configs := []*Configuration{initial}
 	rep := &Report{Case: caseID, Purpose: pur.Name, Entries: len(entries)}
 
+	// Scratch reused across entries: the dedup set is cleared per step
+	// and the output buffer alternates with the input slice, so a warm
+	// replay performs no per-entry allocations.
+	seen := make(map[uint64]bool, 8)
+	var spare []*Configuration
+
 	for i, e := range entries {
-		nextConfigs, found, err := c.advance(y, pur, configs, e, maxConfigs)
+		nextConfigs, found, err := c.advance(rt, pur, configs, e, maxConfigs, seen, spare)
 		if err != nil {
 			return nil, fmt.Errorf("core: at entry %d of case %s: %w", i, caseID, err)
 		}
@@ -281,6 +416,7 @@ func (c *Checker) replay(pur *Purpose, caseID string, entries []audit.Entry) (*R
 		if len(nextConfigs) > rep.PeakConfigurations {
 			rep.PeakConfigurations = len(nextConfigs)
 		}
+		spare = configs[:0]
 		configs = nextConfigs
 		if c.TraceFn != nil {
 			c.TraceFn(i, e, configs)
@@ -291,7 +427,7 @@ func (c *Checker) replay(pur *Purpose, caseID string, entries []audit.Entry) (*R
 	rep.StepsReplayed = len(entries)
 	rep.FinalConfigurations = len(configs)
 	for _, conf := range configs {
-		done, err := y.CanTerminateSilently(conf.state)
+		done, err := rt.sys.CanTerminateSilently(conf.state)
 		if err != nil {
 			return nil, err
 		}
@@ -308,13 +444,19 @@ func (c *Checker) replay(pur *Purpose, caseID string, entries []audit.Entry) (*R
 // one entry to every configuration, absorbing in-task actions (line 8)
 // and firing matching weak-next labels (line 10). It returns the
 // deduplicated next configuration set and whether any configuration
-// accepted the entry.
-func (c *Checker) advance(y *lts.System, pur *Purpose, configs []*Configuration, e audit.Entry, maxConfigs int) ([]*Configuration, bool, error) {
-	var nextConfigs []*Configuration
-	seen := map[string]bool{}
+// accepted the entry. seen and out are optional scratch (cleared /
+// truncated here) so steady-state callers allocate nothing; the returned
+// slice aliases out's backing array when capacity suffices.
+func (c *Checker) advance(rt *purposeRT, pur *Purpose, configs []*Configuration, e audit.Entry, maxConfigs int, seen map[uint64]bool, out []*Configuration) ([]*Configuration, bool, error) {
+	if seen == nil {
+		seen = make(map[uint64]bool, len(configs))
+	} else {
+		clear(seen)
+	}
+	nextConfigs := out[:0]
 	found := false
 	addConfig := func(conf *Configuration) error {
-		k := conf.key()
+		k := conf.memoKey()
 		if seen[k] {
 			return nil
 		}
@@ -338,12 +480,13 @@ func (c *Checker) advance(y *lts.System, pur *Purpose, configs []*Configuration,
 		}
 		// Line 10: otherwise the entry must fire one of the
 		// configuration's weak-next labels.
-		for _, s := range conf.next {
+		for i := range conf.next {
+			s := &conf.next[i]
 			if !c.matchesEntry(s, e) {
 				continue
 			}
 			found = true
-			nc, err := c.newConfiguration(y, pur, s.state, s.canon, s.active)
+			nc, err := c.newConfiguration(rt, pur, s.state, s.id, s.active)
 			if err != nil {
 				return nil, false, err
 			}
@@ -366,14 +509,15 @@ func (c *Checker) describeViolation(pur *Purpose, configs []*Configuration, idx 
 	expected := map[string]bool{}
 	activeSet := map[string]bool{}
 	for _, conf := range configs {
-		for _, s := range conf.next {
+		for i := range conf.next {
+			s := &conf.next[i]
 			if s.label.Op == "Err" {
 				expected["sys.Err("+strings.Join(s.label.Origins(), "+")+")"] = true
 			} else {
 				expected[s.label.Endpoint()] = true
 			}
 		}
-		for a := range conf.active {
+		for _, a := range conf.active.tasks {
 			activeSet[a.String()] = true
 		}
 	}
@@ -411,6 +555,47 @@ func (c *Checker) CheckTrail(trail *audit.Trail) ([]*Report, error) {
 		out = append(out, rep)
 	}
 	return out, nil
+}
+
+// CheckTrailParallel is CheckTrail fanned out over a pool of workers
+// sharing this checker's warm caches — the paper's Section 7
+// observation that per-case analyses are independent, made concrete.
+// Reports are returned in the same order as CheckTrail (first appearance
+// of each case), and because configurations and LTS derivations are
+// memoized deterministically, the reports are identical to a sequential
+// run. workers <= 1 degenerates to CheckTrail.
+func (c *Checker) CheckTrailParallel(trail *audit.Trail, workers int) ([]*Report, error) {
+	cases := trail.Cases()
+	if workers <= 1 || len(cases) <= 1 {
+		return c.CheckTrail(trail)
+	}
+	if workers > len(cases) {
+		workers = len(cases)
+	}
+	reports := make([]*Report, len(cases))
+	errs := make([]error, len(cases))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cases) {
+					return
+				}
+				reports[i], errs[i] = c.CheckCase(trail, cases[i])
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return reports, nil
 }
 
 // CheckObject investigates one object per Section 4: for each case in

@@ -5,9 +5,9 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/audit"
-	"repro/internal/cows"
 )
 
 // Monitor is the online variant of Algorithm 1 the paper calls for in
@@ -69,8 +69,7 @@ func (m *Monitor) caseStateFor(caseID string) (*caseState, error) {
 	if pur == nil {
 		return nil, fmt.Errorf("%w: %q", errUnknownPurpose, CaseCode(caseID))
 	}
-	y := m.checker.system(pur)
-	initial, err := m.checker.newConfiguration(y, pur, pur.Initial, cows.Canon(pur.Initial), map[ActiveTask]bool{})
+	initial, err := m.checker.initialConfiguration(m.checker.runtime(pur), pur)
 	if err != nil {
 		return nil, err
 	}
@@ -109,7 +108,7 @@ func (m *Monitor) Enabled(caseID string) ([]Offer, error) {
 		}
 	}
 	for _, conf := range st.configs {
-		for a := range conf.active {
+		for _, a := range conf.active.tasks {
 			add(Offer{Role: a.Role, Task: a.Task, Active: true})
 		}
 		for _, s := range conf.next {
@@ -148,8 +147,8 @@ func (m *Monitor) Peek(e audit.Entry) (bool, error) {
 	if maxConfigs <= 0 {
 		maxConfigs = DefaultMaxConfigurations
 	}
-	y := m.checker.system(st.purpose)
-	_, found, err := m.checker.advance(y, st.purpose, st.configs, e, maxConfigs)
+	rt := m.checker.runtime(st.purpose)
+	_, found, err := m.checker.advance(rt, st.purpose, st.configs, e, maxConfigs, nil, nil)
 	if err != nil {
 		return false, fmt.Errorf("core: peeking case %s: %w", e.Case, err)
 	}
@@ -189,8 +188,8 @@ func (m *Monitor) Feed(e audit.Entry) (*Verdict, error) {
 	if maxConfigs <= 0 {
 		maxConfigs = DefaultMaxConfigurations
 	}
-	y := m.checker.system(st.purpose)
-	next, found, err := m.checker.advance(y, st.purpose, st.configs, e, maxConfigs)
+	rt := m.checker.runtime(st.purpose)
+	next, found, err := m.checker.advance(rt, st.purpose, st.configs, e, maxConfigs, nil, nil)
 	if err != nil {
 		return nil, fmt.Errorf("core: monitoring case %s: %w", e.Case, err)
 	}
@@ -228,7 +227,7 @@ func (m *Monitor) Status() ([]CaseStatus, error) {
 			Configurations: len(st.configs),
 		}
 		if !st.dead {
-			y := m.checker.system(st.purpose)
+			y := m.checker.runtime(st.purpose).sys
 			for _, conf := range st.configs {
 				done, err := y.CanTerminateSilently(conf.state)
 				if err != nil {
@@ -253,8 +252,11 @@ func (m *Monitor) Forget(caseID string) { delete(m.cases, caseID) }
 // CheckStoreParallel fans the per-case analysis of a store out over
 // nWorkers goroutines — the "massive parallelization" the paper notes is
 // possible because case analyses are independent (Section 7). Workers
-// share the checker (and thus its warm LTS caches; the caches are
-// concurrency-safe). Reports come back keyed by case.
+// share the checker (and thus its warm LTS and configuration caches; the
+// caches are concurrency-safe). Dispatch is a lock-free work counter
+// over the case list — per-case checks on a warm checker are
+// microseconds, so channel coordination would dominate. Reports come
+// back keyed by case.
 func CheckStoreParallel(c *Checker, store *audit.Store, nWorkers int) (map[string]*Report, error) {
 	cases := store.Cases()
 	if nWorkers <= 0 {
@@ -263,46 +265,31 @@ func CheckStoreParallel(c *Checker, store *audit.Store, nWorkers int) (map[strin
 	if nWorkers > len(cases) && len(cases) > 0 {
 		nWorkers = len(cases)
 	}
-	type result struct {
-		rep *Report
-		err error
-	}
-	jobs := make(chan string)
-	results := make(chan result)
+	reports := make([]*Report, len(cases))
+	errs := make([]error, len(cases))
+	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < nWorkers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for caseID := range jobs {
-				trail := store.Case(caseID)
-				rep, err := c.CheckCase(trail, caseID)
-				results <- result{rep: rep, err: err}
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cases) {
+					return
+				}
+				reports[i], errs[i] = c.CheckCase(store.Case(cases[i]), cases[i])
 			}
 		}()
 	}
-	go func() {
-		for _, id := range cases {
-			jobs <- id
-		}
-		close(jobs)
-		wg.Wait()
-		close(results)
-	}()
+	wg.Wait()
 
 	out := make(map[string]*Report, len(cases))
-	var firstErr error
-	for r := range results {
-		if r.err != nil {
-			if firstErr == nil {
-				firstErr = r.err
-			}
-			continue
+	for i := range cases {
+		if errs[i] != nil {
+			return nil, errs[i]
 		}
-		out[r.rep.Case] = r.rep
-	}
-	if firstErr != nil {
-		return nil, firstErr
+		out[reports[i].Case] = reports[i]
 	}
 	return out, nil
 }

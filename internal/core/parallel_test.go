@@ -1,0 +1,162 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/audit"
+)
+
+// parallelFixture builds a 24-case store on the linear process: a mix
+// of compliant, pending and infringing trails, plus the flat trail and
+// the per-case sequential reference reports.
+func parallelFixture(t *testing.T) (*Checker, *audit.Store, *audit.Trail, map[string]*Report) {
+	t.Helper()
+	c := newChecker(t, linearProc(t), "LN", nil)
+	store := audit.NewStore()
+	for i := 0; i < 24; i++ {
+		caseID := fmt.Sprintf("LN-%d", i)
+		var steps []string
+		switch i % 3 {
+		case 0:
+			steps = []string{"P:T1", "P:T2", "P:T3"}
+		case 1:
+			steps = []string{"P:T1", "P:T2"} // pending
+		default:
+			steps = []string{"P:T1", "P:T3"} // skip T2: infringement
+		}
+		for _, e := range trailOf(caseID, steps...).Entries() {
+			e.Time = e.Time.Add(time.Duration(i) * time.Hour)
+			if err := store.Append(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	trail := store.Trail()
+	// Sequential reference on an isolated cold checker: the shared
+	// checker's results must match byte for byte.
+	ref := newChecker(t, linearProc(t), "LN", nil)
+	want := map[string]*Report{}
+	for _, caseID := range store.Cases() {
+		want[caseID] = check(t, ref, store.Case(caseID), caseID)
+	}
+	return c, store, trail, want
+}
+
+// TestSharedCheckerConcurrent: N goroutines hammer ONE shared Checker —
+// first over disjoint case partitions, then all goroutines over the
+// same overlapping case set — and every report must equal the
+// sequential reference. Run with -race: this is the proof that the
+// interned LTS caches and the configuration memo are safely shared.
+func TestSharedCheckerConcurrent(t *testing.T) {
+	c, store, _, want := parallelFixture(t)
+	cases := store.Cases()
+	const workers = 8
+
+	// Disjoint: worker w owns cases w, w+workers, w+2*workers, ...
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(cases); i += workers {
+				caseID := cases[i]
+				rep, err := c.CheckCase(store.Case(caseID), caseID)
+				if err != nil {
+					t.Errorf("disjoint %s: %v", caseID, err)
+					return
+				}
+				if !reflect.DeepEqual(rep, want[caseID]) {
+					t.Errorf("disjoint %s: shared %+v != sequential %+v", caseID, rep, want[caseID])
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Overlapping: every worker re-checks EVERY case against the now
+	// fully warm caches — maximal read contention on shared state.
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, caseID := range cases {
+				rep, err := c.CheckCase(store.Case(caseID), caseID)
+				if err != nil {
+					t.Errorf("overlap %s: %v", caseID, err)
+					return
+				}
+				if !reflect.DeepEqual(rep, want[caseID]) {
+					t.Errorf("overlap %s: shared %+v != sequential %+v", caseID, rep, want[caseID])
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestCheckTrailParallelMatchesSequential: CheckTrailParallel must
+// return the same reports in the same (case-sorted) order as CheckTrail
+// for every worker count, including on a warm checker.
+func TestCheckTrailParallelMatchesSequential(t *testing.T) {
+	c, _, trail, _ := parallelFixture(t)
+	want, err := c.CheckTrail(trail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != 24 {
+		t.Fatalf("sequential reports = %d", len(want))
+	}
+	for _, workers := range []int{0, 1, 2, 4, 8, 64} {
+		got, err := c.CheckTrailParallel(trail, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: parallel reports differ from sequential", workers)
+		}
+	}
+}
+
+// TestCloneSharesWarmRuntime: the cold-cache bug fix — Clone must hand
+// out a checker backed by the same per-purpose runtime (interned LTS +
+// configuration memo), so fan-out via Clone no longer re-derives the
+// state space per worker. Flag fields stay per-clone.
+func TestCloneSharesWarmRuntime(t *testing.T) {
+	c, store, _, want := parallelFixture(t)
+	caseID := store.Cases()[0]
+	if _, err := c.CheckCase(store.Case(caseID), caseID); err != nil {
+		t.Fatal(err)
+	}
+	cl := c.Clone()
+	if cl.rt != c.rt {
+		t.Fatalf("Clone did not share the checker runtime")
+	}
+	pur := c.registry.ForCase(caseID)
+	if cl.runtime(pur) != c.runtime(pur) {
+		t.Fatalf("Clone resolved a different per-purpose runtime")
+	}
+	steps, weak := c.runtime(pur).sys.CacheStats()
+	if steps == 0 || weak == 0 {
+		t.Fatalf("warm runtime has empty caches: %d %d", steps, weak)
+	}
+	// The clone checks through the warm caches and agrees with the
+	// sequential reference.
+	for _, id := range store.Cases() {
+		rep, err := cl.CheckCase(store.Case(id), id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(rep, want[id]) {
+			t.Fatalf("case %s: clone %+v != sequential %+v", id, rep, want[id])
+		}
+	}
+	// Independent flag mutation must not leak between clones.
+	cl.MaxConfigurations = 7
+	if c.MaxConfigurations == 7 {
+		t.Fatalf("flag mutation leaked through Clone")
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/audit"
-	"repro/internal/cows"
 )
 
 // Partial-trail checking — the first future-work item of Section 7:
@@ -57,13 +56,13 @@ func (c *Checker) CheckCaseWithSkips(trail *audit.Trail, caseID string, budget i
 		return &SkipReport{Report: *rep}, nil
 	}
 	entries := trail.ByCase(caseID).Entries()
-	y := c.system(pur)
+	rt := c.runtime(pur)
 	maxConfigs := c.MaxConfigurations
 	if maxConfigs <= 0 {
 		maxConfigs = DefaultMaxConfigurations
 	}
 
-	initial, err := c.newConfiguration(y, pur, pur.Initial, cows.Canon(pur.Initial), map[ActiveTask]bool{})
+	initial, err := c.initialConfiguration(rt, pur)
 	if err != nil {
 		return nil, err
 	}
@@ -72,9 +71,9 @@ func (c *Checker) CheckCaseWithSkips(trail *audit.Trail, caseID string, budget i
 
 	for i, e := range entries {
 		var next []skipConfig
-		seen := map[string]int{} // config key -> best (lowest) skip count index+1
+		seen := map[uint64]int{} // config key -> best (lowest) skip count index+1
 		add := func(sc skipConfig) error {
-			k := sc.conf.key()
+			k := sc.conf.memoKey()
 			if idx, ok := seen[k]; ok {
 				if next[idx-1].skips <= sc.skips {
 					return nil
@@ -102,11 +101,12 @@ func (c *Checker) CheckCaseWithSkips(trail *audit.Trail, caseID string, budget i
 						return nil, err
 					}
 				}
-				for _, s := range sc.conf.next {
+				for j := range sc.conf.next {
+					s := &sc.conf.next[j]
 					if !c.matchesEntry(s, e) {
 						continue
 					}
-					nc, err := c.newConfiguration(y, pur, s.state, s.canon, s.active)
+					nc, err := c.newConfiguration(rt, pur, s.state, s.id, s.active)
 					if err != nil {
 						return nil, err
 					}
@@ -116,8 +116,9 @@ func (c *Checker) CheckCaseWithSkips(trail *audit.Trail, caseID string, budget i
 				}
 				// Hypothesize one unlogged execution (any successor).
 				if sc.skips < budget {
-					for _, s := range sc.conf.next {
-						nc, err := c.newConfiguration(y, pur, s.state, s.canon, s.active)
+					for j := range sc.conf.next {
+						s := &sc.conf.next[j]
+						nc, err := c.newConfiguration(rt, pur, s.state, s.id, s.active)
 						if err != nil {
 							return nil, err
 						}
@@ -163,7 +164,7 @@ func (c *Checker) CheckCaseWithSkips(trail *audit.Trail, caseID string, budget i
 			best = sc.skips
 			rep.SkippedLabels = sc.skipped
 		}
-		done, err := y.CanTerminateSilently(sc.conf.state)
+		done, err := rt.sys.CanTerminateSilently(sc.conf.state)
 		if err != nil {
 			return nil, err
 		}

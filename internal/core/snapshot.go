@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 
 	"repro/internal/cows"
 )
@@ -73,17 +74,21 @@ func RestoreMonitor(c *Checker, r io.Reader) (*Monitor, error) {
 			return nil, fmt.Errorf("core: snapshot references unknown purpose %q", cs.Purpose)
 		}
 		st := &caseState{purpose: pur, entries: cs.Entries, dead: cs.Dead}
-		y := c.system(pur)
+		rt := c.runtime(pur)
 		for _, confSnap := range cs.Configs {
 			state, err := cows.Parse(confSnap.State)
 			if err != nil {
 				return nil, fmt.Errorf("core: snapshot state of case %s: %w", id, err)
 			}
-			active := map[ActiveTask]bool{}
-			for _, a := range confSnap.Active {
-				active[a] = true
+			tasks := append([]ActiveTask(nil), confSnap.Active...)
+			sort.Slice(tasks, func(i, j int) bool { return activeLess(tasks[i], tasks[j]) })
+			dedup := tasks[:0]
+			for _, t := range tasks {
+				if len(dedup) == 0 || t != dedup[len(dedup)-1] {
+					dedup = append(dedup, t)
+				}
 			}
-			conf, err := c.newConfiguration(y, pur, state, cows.Canon(state), active)
+			conf, err := c.newConfiguration(rt, pur, state, rt.sys.Intern(state), rt.active.intern(dedup))
 			if err != nil {
 				return nil, fmt.Errorf("core: rebuilding case %s: %w", id, err)
 			}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/cows"
 )
@@ -27,6 +28,12 @@ type Graph struct {
 	// Complete is true when the whole reachable state space fit within
 	// the budget.
 	Complete bool
+
+	// succOnce/succIdx lazily index Edges by source state so Succ is an
+	// O(1) slice lookup instead of an O(E) scan. Built on first use;
+	// callers must not append to Edges after querying Succ.
+	succOnce sync.Once
+	succIdx  [][]Edge
 }
 
 // Edge is one transition of a Graph.
@@ -42,15 +49,41 @@ func (g *Graph) NumStates() int { return len(g.States) }
 // NumEdges returns the number of discovered transitions.
 func (g *Graph) NumEdges() int { return len(g.Edges) }
 
-// Succ returns the outgoing edges of state id, in insertion order.
+// Succ returns the outgoing edges of state id, in insertion order. The
+// adjacency index is built once on first call (counting sort over Edges,
+// one shared backing array), so repeated queries are O(out-degree).
 func (g *Graph) Succ(id int) []Edge {
-	var out []Edge
+	g.succOnce.Do(g.buildSuccIndex)
+	if id < 0 || id >= len(g.succIdx) {
+		return nil
+	}
+	return g.succIdx[id]
+}
+
+func (g *Graph) buildSuccIndex() {
+	n := len(g.States)
+	offsets := make([]int, n+1)
 	for _, e := range g.Edges {
-		if e.From == id {
-			out = append(out, e)
+		if e.From >= 0 && e.From < n {
+			offsets[e.From+1]++
 		}
 	}
-	return out
+	for i := 0; i < n; i++ {
+		offsets[i+1] += offsets[i]
+	}
+	flat := make([]Edge, offsets[n])
+	pos := append([]int(nil), offsets[:n]...)
+	for _, e := range g.Edges {
+		if e.From < 0 || e.From >= n {
+			continue
+		}
+		flat[pos[e.From]] = e
+		pos[e.From]++
+	}
+	g.succIdx = make([][]Edge, n)
+	for i := 0; i < n; i++ {
+		g.succIdx[i] = flat[offsets[i]:offsets[i+1]:offsets[i+1]]
+	}
 }
 
 // LabelSet returns the sorted set of distinct label strings in the graph.
@@ -79,7 +112,7 @@ func (y *System) Explore(s cows.Service, maxStates int) (*Graph, error) {
 	index := map[string]int{}
 
 	add := func(st cows.Service) (int, bool) {
-		key := cows.Canon(st)
+		key := y.CanonOf(st)
 		if id, ok := index[key]; ok {
 			return id, true
 		}
@@ -144,7 +177,7 @@ func (y *System) ExploreObservable(s cows.Service, maxStates int) (*Graph, error
 		return id, true
 	}
 
-	if _, ok := add(s, cows.Canon(s)); !ok {
+	if _, ok := add(s, y.CanonOf(s)); !ok {
 		return g, ErrBudgetExceeded
 	}
 	truncated := false

@@ -11,6 +11,23 @@
 // (Section 3.5); everything else — gateway bookkeeping, message flows,
 // kill signals — is silent. The predicate is injected so other label
 // disciplines (e.g. logging message flows too) can reuse the machinery.
+//
+// # Performance architecture
+//
+// A System interns every state it meets: the canonical string of a
+// service (cows.Canon) is computed exactly once per distinct state and
+// mapped to a dense StateID. All per-state results — outgoing
+// transitions, WeakNext sets, silent-termination verdicts — live on the
+// interned state record and are derived at most once, guarded by
+// sync.Once, so the steady-state read path is an atomic load with no
+// lock acquisition at all. The intern table itself is sharded by canon
+// hash, and a pointer-identity side index short-circuits
+// re-canonicalization of services the System has already seen (every
+// successor a System hands out is an interned representative, so the
+// replay hot path never recomputes a canonical string). This is what
+// makes the paper's Section 7 "massive parallelization" real: any number
+// of per-case analyses can share one warm System without convoying on a
+// global cache lock.
 package lts
 
 import (
@@ -18,6 +35,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/cows"
 )
@@ -36,26 +54,69 @@ const DefaultMaxSilentDepth = 100000
 // trails) or silent.
 type Observability func(cows.Label) bool
 
+// StateID is the interned identity of a state: two services receive the
+// same StateID iff they are structurally congruent (equal cows.Canon).
+// IDs are dense within one System and are the currency higher layers use
+// to key their own memoization (e.g. core's configuration cache) without
+// carrying canonical strings around.
+type StateID int32
+
+// state is the interned record of one distinct state. Derived results
+// are computed at most once each (sync.Once / atomic publication), so
+// concurrent readers never contend once a state is warm.
+type state struct {
+	id    StateID
+	svc   cows.Service
+	canon string
+
+	stepsOnce sync.Once
+	steps     []cows.Transition
+	stepsErr  error
+
+	weakOnce sync.Once
+	weak     []Observable
+	weakErr  error
+
+	// term caches CanTerminateSilently. Published atomically; positive
+	// verdicts are recorded for every state on a terminating path,
+	// negative verdicts only where the full silent closure was explored.
+	term atomic.Pointer[termResult]
+}
+
+type termResult struct {
+	ok  bool
+	err error
+}
+
+// internShards shards the canon→state table so concurrent cold misses on
+// unrelated states do not serialize. Must be a power of two.
+const internShards = 64
+
+type internShard struct {
+	mu      sync.RWMutex
+	byCanon map[string]*state
+}
+
 // System memoizes transition derivation for a family of services sharing
-// one observability discipline. A System is safe for concurrent use: the
-// caches are mutex-guarded and the derivation engine is lock-free, so
-// Algorithm 1's per-case analyses can share one warm System — the
-// "massive parallelization" the paper notes in Section 7. Concurrent
-// cache misses on the same state may derive it twice; both derivations
-// are identical and the second write is a no-op overwrite.
+// one observability discipline. A System is safe for concurrent use and
+// is designed to be *shared*: per-state results are derived once and
+// read lock-free afterwards, so Algorithm 1's per-case analyses should
+// all run against one warm System — the "massive parallelization" the
+// paper notes in Section 7. See Share.
 type System struct {
 	engine    *cows.Engine
 	obs       Observability
 	maxSilent int
 
-	mu sync.RWMutex
-	// step cache: canonical state -> outgoing transitions.
-	steps map[string][]cows.Transition
-	// weak cache: canonical state -> weak-next results.
-	weak map[string][]Observable
-	// interned states by canonical string, so equal states share one
-	// service value.
-	intern map[string]cows.Service
+	shards [internShards]internShard
+	// byPtr short-circuits interning for service values already seen,
+	// keyed by pointer identity: every successor the System returns is an
+	// interned representative, so warm replay never re-canonicalizes.
+	byPtr  sync.Map // cows.Service -> *state
+	nextID atomic.Int32
+
+	stepsCached atomic.Int64
+	weakCached  atomic.Int64
 }
 
 // Option configures a System.
@@ -72,9 +133,9 @@ func NewSystem(obs Observability, opts ...Option) *System {
 		engine:    cows.NewEngine(),
 		obs:       obs,
 		maxSilent: DefaultMaxSilentDepth,
-		steps:     map[string][]cows.Transition{},
-		weak:      map[string][]Observable{},
-		intern:    map[string]cows.Service{},
+	}
+	for i := range y.shards {
+		y.shards[i].byCanon = map[string]*state{}
 	}
 	for _, o := range opts {
 		o(y)
@@ -83,51 +144,111 @@ func NewSystem(obs Observability, opts ...Option) *System {
 }
 
 // Clone returns a fresh System with the same configuration and empty
-// caches, suitable for a different goroutine.
+// caches. Use it only when cache *isolation* is the point (memory
+// experiments, cold-start measurements); parallel workers should call
+// Share instead — a System's caches are concurrency-safe and re-deriving
+// the LTS per goroutine throws the warm caches away.
 func (y *System) Clone() *System {
 	return NewSystem(y.obs, WithMaxSilentDepth(y.maxSilent))
 }
 
+// Share returns y itself, documenting the sharing discipline: a System
+// is safe for concurrent use and per-case analyses are independent, so
+// fan-out workers share one warm instance instead of cloning cold ones.
+func (y *System) Share() *System { return y }
+
 // Observable says whether the system's discipline records the label.
 func (y *System) Observable(l cows.Label) bool { return y.obs(l) }
 
-// Transitions returns the outgoing transitions of s, memoized by
-// canonical state.
-func (y *System) Transitions(s cows.Service) ([]cows.Transition, error) {
-	key := cows.Canon(s)
-	y.mu.RLock()
-	ts, ok := y.steps[key]
-	y.mu.RUnlock()
+func shardOf(canon string) uint32 {
+	// FNV-1a; only shard selection, not identity, depends on it.
+	h := uint32(2166136261)
+	for i := 0; i < len(canon); i++ {
+		h ^= uint32(canon[i])
+		h *= 16777619
+	}
+	return h & (internShards - 1)
+}
+
+// intern resolves s to its interned state record, canonicalizing at most
+// once per distinct pointer and once per distinct state overall.
+func (y *System) intern(s cows.Service) *state {
+	if v, ok := y.byPtr.Load(s); ok {
+		return v.(*state)
+	}
+	canon := cows.Canon(s)
+	st := y.internCanon(s, canon)
+	y.byPtr.Store(s, st)
+	return st
+}
+
+func (y *System) internCanon(s cows.Service, canon string) *state {
+	sh := &y.shards[shardOf(canon)]
+	sh.mu.RLock()
+	st, ok := sh.byCanon[canon]
+	sh.mu.RUnlock()
 	if ok {
-		return ts, nil
+		return st
 	}
-	ts, err := y.engine.Step(s)
-	if err != nil {
-		return nil, fmt.Errorf("deriving transitions: %w", err)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if st, ok := sh.byCanon[canon]; ok {
+		return st
 	}
-	y.mu.Lock()
-	// Intern successors so repeated states share storage.
-	for i := range ts {
-		ck := cows.Canon(ts[i].Next)
-		if prev, ok := y.intern[ck]; ok {
-			ts[i].Next = prev
-		} else {
-			y.intern[ck] = ts[i].Next
+	st = &state{id: StateID(y.nextID.Add(1) - 1), svc: s, canon: canon}
+	sh.byCanon[canon] = st
+	return st
+}
+
+// Intern returns the StateID of s, interning it if new. Congruent
+// services (equal cows.Canon) always map to the same StateID.
+func (y *System) Intern(s cows.Service) StateID { return y.intern(s).id }
+
+// CanonOf returns the canonical form of s, memoized by the intern table
+// (for services the System has already seen this is a pointer lookup,
+// not a re-canonicalization).
+func (y *System) CanonOf(s cows.Service) string { return y.intern(s).canon }
+
+// Representative returns the interned service congruent to s. All
+// transitions the System returns already point at representatives, so
+// pointer identity of representatives implies state identity.
+func (y *System) Representative(s cows.Service) cows.Service { return y.intern(s).svc }
+
+// StateCount reports how many distinct states have been interned.
+func (y *System) StateCount() int { return int(y.nextID.Load()) }
+
+// Transitions returns the outgoing transitions of s, derived at most
+// once per distinct state.
+func (y *System) Transitions(s cows.Service) ([]cows.Transition, error) {
+	return y.transitions(y.intern(s))
+}
+
+func (y *System) transitions(st *state) ([]cows.Transition, error) {
+	st.stepsOnce.Do(func() {
+		ts, err := y.engine.Step(st.svc)
+		if err != nil {
+			st.stepsErr = fmt.Errorf("deriving transitions: %w", err)
+			return
 		}
-	}
-	y.steps[key] = ts
-	y.mu.Unlock()
-	return ts, nil
+		// Intern successors so repeated states share one representative
+		// (and so downstream interning of them is a pointer lookup).
+		for i := range ts {
+			ts[i].Next = y.intern(ts[i].Next).svc
+		}
+		st.steps = ts
+		y.stepsCached.Add(1)
+	})
+	return st.steps, st.stepsErr
 }
 
 // Observable is one result of WeakNext: an observable label, the state
-// reached by performing it after a finite silent prefix, and that
-// state's canonical form. Origins carries the provenance (origin task
-// set) decoded from the label's communicated values; the compliance
-// layer uses it to maintain active-task sets (Definition 6).
+// reached by performing it after a finite silent prefix, that state's
+// interned ID and canonical form. The compliance layer keys its own
+// memoization by ID; Canon is retained for rendering and debugging.
 type Observable struct {
 	Label  cows.Label
 	State  cows.Service
+	ID     StateID
 	Canon  string
 	Silent int // length of the silent prefix before the observable step
 }
@@ -142,65 +263,72 @@ type Observable struct {
 // service can diverge silently; WeakNext then fails with
 // ErrNotFinitelyObservable (Definition 8, Proposition 1).
 //
-// Results are deduplicated by (label, state) and deterministically
-// ordered.
+// Results are deduplicated by (label, state), deterministically ordered,
+// and computed at most once per distinct state.
 func (y *System) WeakNext(s cows.Service) ([]Observable, error) {
-	key := cows.Canon(s)
-	y.mu.RLock()
-	w, ok := y.weak[key]
-	y.mu.RUnlock()
-	if ok {
-		return w, nil
+	st := y.intern(s)
+	st.weakOnce.Do(func() {
+		st.weak, st.weakErr = y.computeWeak(st)
+		if st.weakErr == nil {
+			y.weakCached.Add(1)
+		}
+	})
+	return st.weak, st.weakErr
+}
+
+func (y *System) computeWeak(root *state) ([]Observable, error) {
+	type dedupKey struct {
+		label string
+		id    StateID
 	}
-
 	var results []Observable
-	seen := map[string]bool{}    // states fully expanded
-	onStack := map[string]bool{} // states on the current DFS path
-	dedup := map[string]bool{}   // label+state keys already emitted
+	seen := map[*state]bool{}    // states fully expanded
+	onStack := map[*state]bool{} // states on the current DFS path
+	dedup := map[dedupKey]bool{} // (label, state) pairs already emitted
 
-	var dfs func(st cows.Service, stKey string, depth int) error
-	dfs = func(st cows.Service, stKey string, depth int) error {
+	var dfs func(st *state, depth int) error
+	dfs = func(st *state, depth int) error {
 		if depth > y.maxSilent {
 			return fmt.Errorf("%w (silent depth exceeds %d)", ErrNotFinitelyObservable, y.maxSilent)
 		}
-		onStack[stKey] = true
-		defer delete(onStack, stKey)
-		seen[stKey] = true
+		onStack[st] = true
+		defer delete(onStack, st)
+		seen[st] = true
 
-		ts, err := y.Transitions(st)
+		ts, err := y.transitions(st)
 		if err != nil {
 			return err
 		}
 		for _, tr := range ts {
+			next := y.intern(tr.Next)
 			if y.obs(tr.Label) {
-				ck := cows.Canon(tr.Next)
-				dk := tr.Label.Key() + "\x00" + ck
+				dk := dedupKey{label: tr.Label.Key(), id: next.id}
 				if !dedup[dk] {
 					dedup[dk] = true
 					results = append(results, Observable{
 						Label:  tr.Label,
-						State:  tr.Next,
-						Canon:  ck,
+						State:  next.svc,
+						ID:     next.id,
+						Canon:  next.canon,
 						Silent: depth,
 					})
 				}
 				continue
 			}
-			ck := cows.Canon(tr.Next)
-			if onStack[ck] {
+			if onStack[next] {
 				return fmt.Errorf("%w (cycle through %s)", ErrNotFinitelyObservable, tr.Label)
 			}
-			if seen[ck] {
+			if seen[next] {
 				continue
 			}
-			if err := dfs(tr.Next, ck, depth+1); err != nil {
+			if err := dfs(next, depth+1); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
 
-	if err := dfs(s, key, 0); err != nil {
+	if err := dfs(root, 0); err != nil {
 		return nil, err
 	}
 	sort.Slice(results, func(i, j int) bool {
@@ -209,9 +337,6 @@ func (y *System) WeakNext(s cows.Service) ([]Observable, error) {
 		}
 		return results[i].Canon < results[j].Canon
 	})
-	y.mu.Lock()
-	y.weak[key] = results
-	y.mu.Unlock()
 	return results, nil
 }
 
@@ -230,45 +355,64 @@ func (y *System) Quiescent(s cows.Service) (bool, error) {
 // be considered complete without further observable activity. The
 // compliance layer uses it to decide whether a fully-replayed trail ends
 // in a final state or leaves the process mid-flight.
+//
+// Verdicts are memoized per state: replaying the same case (or many
+// cases ending in congruent states) pays for the silent DFS once.
 func (y *System) CanTerminateSilently(s cows.Service) (bool, error) {
-	seen := map[string]bool{}
-	var dfs func(st cows.Service, depth int) (bool, error)
-	dfs = func(st cows.Service, depth int) (bool, error) {
-		if depth > y.maxSilent {
-			return false, fmt.Errorf("%w (silent depth exceeds %d)", ErrNotFinitelyObservable, y.maxSilent)
+	st := y.intern(s)
+	if r := st.term.Load(); r != nil {
+		return r.ok, r.err
+	}
+	seen := map[*state]bool{}
+	ok, err := y.canTerm(st, seen, 0)
+	// The root's silent closure was fully explored, so even a negative
+	// (or failed) verdict is complete and safe to publish.
+	st.term.Store(&termResult{ok: ok, err: err})
+	return ok, err
+}
+
+func (y *System) canTerm(st *state, seen map[*state]bool, depth int) (bool, error) {
+	if r := st.term.Load(); r != nil {
+		return r.ok, r.err
+	}
+	if depth > y.maxSilent {
+		return false, fmt.Errorf("%w (silent depth exceeds %d)", ErrNotFinitelyObservable, y.maxSilent)
+	}
+	if seen[st] {
+		return false, nil
+	}
+	seen[st] = true
+	ts, err := y.transitions(st)
+	if err != nil {
+		return false, err
+	}
+	if len(ts) == 0 {
+		st.term.Store(&termResult{ok: true})
+		return true, nil
+	}
+	for _, tr := range ts {
+		if y.obs(tr.Label) {
+			continue
 		}
-		key := cows.Canon(st)
-		if seen[key] {
-			return false, nil
-		}
-		seen[key] = true
-		ts, err := y.Transitions(st)
+		ok, err := y.canTerm(y.intern(tr.Next), seen, depth+1)
 		if err != nil {
 			return false, err
 		}
-		if len(ts) == 0 {
+		if ok {
+			// Positive verdicts are path-independent: a silent route to
+			// quiescence exists regardless of how we got here.
+			st.term.Store(&termResult{ok: true})
 			return true, nil
 		}
-		for _, tr := range ts {
-			if y.obs(tr.Label) {
-				continue
-			}
-			ok, err := dfs(tr.Next, depth+1)
-			if err != nil {
-				return false, err
-			}
-			if ok {
-				return true, nil
-			}
-		}
-		return false, nil
 	}
-	return dfs(s, 0)
+	// A negative here may be an artifact of the shared visited set (a
+	// successor on the current path was skipped), so only the root —
+	// whose closure is complete — publishes negatives.
+	return false, nil
 }
 
-// CacheStats reports memoization sizes, for diagnostics and benchmarks.
+// CacheStats reports memoization sizes (states with derived transitions,
+// states with derived WeakNext sets), for diagnostics and benchmarks.
 func (y *System) CacheStats() (steps, weak int) {
-	y.mu.RLock()
-	defer y.mu.RUnlock()
-	return len(y.steps), len(y.weak)
+	return int(y.stepsCached.Load()), int(y.weakCached.Load())
 }

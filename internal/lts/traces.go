@@ -1,7 +1,6 @@
 package lts
 
 import (
-	"fmt"
 	"sort"
 
 	"repro/internal/cows"
@@ -57,7 +56,7 @@ func (y *System) ObservableTraces(s cows.Service, lim TraceLimits) (*TraceResult
 		lim.MaxTraces = 1 << 20
 	}
 	res := &TraceResult{Exhaustive: true}
-	visited := map[string]bool{}
+	visited := map[StateID]bool{}
 
 	var dfs func(st cows.Service, prefix Trace) error
 	dfs = func(st cows.Service, prefix Trace) error {
@@ -65,7 +64,7 @@ func (y *System) ObservableTraces(s cows.Service, lim TraceLimits) (*TraceResult
 			res.Exhaustive = false
 			return nil
 		}
-		key := cows.Canon(st)
+		key := y.Intern(st)
 		if !visited[key] {
 			visited[key] = true
 			res.StatesVisited++
@@ -111,15 +110,19 @@ func (y *System) AcceptsTrace(s cows.Service, trace []string) (bool, error) {
 		st  cows.Service
 		pos int
 	}
+	type visitKey struct {
+		id  StateID
+		pos int
+	}
 	stack := []frame{{st: s, pos: 0}}
-	seen := map[string]bool{}
+	seen := map[visitKey]bool{}
 	for len(stack) > 0 {
 		f := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		if f.pos == len(trace) {
 			return true, nil
 		}
-		key := fmt.Sprintf("%d\x00%s", f.pos, cows.Canon(f.st))
+		key := visitKey{id: y.Intern(f.st), pos: f.pos}
 		if seen[key] {
 			continue
 		}

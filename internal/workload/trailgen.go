@@ -222,3 +222,13 @@ func HospitalDay(reg *core.Registry, prefix string, opens int, seed int64) (*aud
 	}
 	return audit.NewTrail(all), cases, nil
 }
+
+// ManyCases generates exactly `cases` valid process instances under the
+// purpose bound to prefix — the case-count-controlled companion of
+// HospitalDay (which is entry-count-controlled), used by the parallel
+// benchmarks to sweep worker counts over a fixed case population.
+func ManyCases(reg *core.Registry, prefix string, cases int, seed int64) (*audit.Trail, error) {
+	params := DefaultTrailParams(seed, cases, prefix)
+	params.Step = 2 * time.Second
+	return NewSimulator(reg, params).Generate()
+}

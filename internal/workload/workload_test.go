@@ -253,6 +253,31 @@ func TestHospitalDayScale(t *testing.T) {
 	}
 }
 
+func TestManyCases(t *testing.T) {
+	sc, err := hospital.NewScenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	trail, err := ManyCases(sc.Registry, hospital.TreatmentCode, 12, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(trail.Cases()); got != 12 {
+		t.Fatalf("cases = %d, want 12", got)
+	}
+	roles, _ := hospital.Roles()
+	checker := core.NewChecker(sc.Registry, roles)
+	reports, err := checker.CheckTrailParallel(trail, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rep := range reports {
+		if !rep.Compliant {
+			t.Errorf("generated case %s rejected: %s", rep.Case, rep)
+		}
+	}
+}
+
 // TestGeneratedProcessesJSONRoundTrip: every generated process survives
 // the JSON interchange format with structure and routing intact.
 func TestGeneratedProcessesJSONRoundTrip(t *testing.T) {
