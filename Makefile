@@ -1,4 +1,4 @@
-.PHONY: ci test bench
+.PHONY: ci test bench fuzz chaos
 
 ci:
 	sh ./ci.sh
@@ -8,3 +8,14 @@ test:
 
 bench:
 	go test -bench . -benchmem .
+
+# Short fuzz pass over the ingestion surface (decoders must never panic;
+# strict and lenient decoding must agree on clean input).
+fuzz:
+	go test ./internal/audit/ -run '^$$' -fuzz '^FuzzReadCSV$$' -fuzztime 5s
+	go test ./internal/audit/ -run '^$$' -fuzz '^FuzzReadJSONL$$' -fuzztime 5s
+	go test ./internal/audit/ -run '^$$' -fuzz '^FuzzParsePaperTime$$' -fuzztime 5s
+
+# Fault-injection chaos suite under the race detector.
+chaos:
+	go test -race -run TestChaosPipeline ./internal/faultinject/

@@ -1,8 +1,10 @@
 #!/bin/sh
-# CI gate: static checks, full build, race-enabled tests, then a quick
-# benchmark smoke of the P1 (trail length) and P3 (parallel cases)
-# performance claims, recorded to BENCH_pr1.json for regression
-# tracking. Run via `make ci` or directly.
+# CI gate: static checks, full build, race-enabled tests (the chaos
+# suite in internal/faultinject runs under -race here), a fuzz smoke
+# over the ingestion surface, then a quick benchmark smoke of the P1
+# (trail length) and P3 (parallel cases) performance claims, recorded
+# to BENCH_pr1.json for regression tracking. Run via `make ci` or
+# directly.
 set -eu
 
 echo "== go vet =="
@@ -13,6 +15,14 @@ go build ./...
 
 echo "== go test -race =="
 go test -race ./...
+
+echo "== chaos test -race =="
+go test -race -run TestChaosPipeline ./internal/faultinject/
+
+echo "== fuzz smoke =="
+for target in FuzzReadCSV FuzzReadJSONL FuzzParsePaperTime; do
+	go test ./internal/audit/ -run '^$' -fuzz "^${target}\$" -fuzztime 5s
+done
 
 echo "== benchmark smoke (P1, P3) =="
 go run ./cmd/benchtab -exp P1,P3 -quick -json BENCH_pr1.json

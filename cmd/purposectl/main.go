@@ -8,15 +8,24 @@
 //
 //	purposectl -builtin hospital [-object "[Jane]EPR"] [-v]
 //	purposectl -proc treat.json:HT -proc trial.bpmn:CT -trail day.csv \
-//	           [-policy pol.txt] [-object OBJ] [-case HT-1] [-skips N] [-v]
+//	           [-policy pol.txt] [-object OBJ] [-case HT-1] [-skips N] \
+//	           [-lenient] [-v]
 //
 // Processes are BPMN files — our JSON interchange (internal/bpmn.Spec)
 // or OMG BPMN 2.0 XML (.bpmn/.xml) — bound to case codes with
 // file:CODE[,CODE...]. Trails are CSV (Figure 4 layout) or JSONL,
 // selected by extension. -skips N allows up to N unlogged task
-// executions per case (partial-trail analysis, paper Section 7). Exit
-// status is 1 when infringements or policy findings are reported, 2 on
-// usage or input errors.
+// executions per case (partial-trail analysis, paper Section 7).
+//
+// -lenient switches ingestion to degraded mode: malformed trail lines
+// are quarantined (and summarized) instead of aborting the run, and
+// entries are ingested with per-case ordering and a bounded reorder
+// buffer, recording duplicates and clock skew as anomalies.
+//
+// Exit status: 0 when every case is compliant; 1 when infringements or
+// policy findings are reported; 2 on usage or input errors; 3 when the
+// only irregularities are indeterminate cases (analysis abandoned on a
+// budget or cap — neither compliance nor violation is claimed).
 package main
 
 import (
@@ -38,56 +47,136 @@ type procFlags []string
 func (p *procFlags) String() string     { return strings.Join(*p, " ") }
 func (p *procFlags) Set(v string) error { *p = append(*p, v); return nil }
 
+// options collects everything run needs; flags map onto it 1:1.
+type options struct {
+	procs   []string
+	trail   string
+	policy  string
+	builtin string
+	object  string
+	caseID  string
+	skips   int
+	lenient bool
+	verbose bool
+}
+
+// summary is what a run found; main maps it to the exit status.
+type summary struct {
+	cases         int
+	infringements int
+	indeterminate int
+	findings      int
+	quarantined   int
+	anomalies     int
+}
+
+// exitCode maps a run summary to the process exit status: definite
+// problems (infringements, policy findings) dominate; indeterminate-only
+// runs get their own status so callers can retry with larger budgets.
+func exitCode(s summary) int {
+	switch {
+	case s.infringements > 0 || s.findings > 0:
+		return 1
+	case s.indeterminate > 0:
+		return 3
+	default:
+		return 0
+	}
+}
+
 func main() {
 	var (
-		procs    procFlags
-		trailArg = flag.String("trail", "", "trail file (.csv or .jsonl)")
-		policyF  = flag.String("policy", "", "policy file (textual format)")
-		builtin  = flag.String("builtin", "", "use a built-in scenario: 'hospital' (Figures 1-4)")
-		object   = flag.String("object", "", "investigate one object, e.g. \"[Jane]EPR\"")
-		caseID   = flag.String("case", "", "check a single case id")
-		skips    = flag.Int("skips", 0, "allow up to N unlogged task executions per case")
-		verbose  = flag.Bool("v", false, "print compliant cases too")
+		procs procFlags
+		o     options
 	)
+	flag.StringVar(&o.trail, "trail", "", "trail file (.csv or .jsonl)")
+	flag.StringVar(&o.policy, "policy", "", "policy file (textual format)")
+	flag.StringVar(&o.builtin, "builtin", "", "use a built-in scenario: 'hospital' (Figures 1-4)")
+	flag.StringVar(&o.object, "object", "", "investigate one object, e.g. \"[Jane]EPR\"")
+	flag.StringVar(&o.caseID, "case", "", "check a single case id")
+	flag.IntVar(&o.skips, "skips", 0, "allow up to N unlogged task executions per case")
+	flag.BoolVar(&o.lenient, "lenient", false, "quarantine malformed trail lines and absorb ordering anomalies instead of aborting")
+	flag.BoolVar(&o.verbose, "v", false, "print compliant cases too")
 	flag.Var(&procs, "proc", "process binding file.json:CODE[,CODE...] (repeatable)")
 	flag.Parse()
+	o.procs = procs
 
-	bad, findings, err := run(os.Stdout, procs, *trailArg, *policyF, *builtin, *object, *caseID, *skips, *verbose)
+	s, err := run(os.Stdout, o)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "purposectl:", err)
 		os.Exit(2)
 	}
-	if bad > 0 || findings > 0 {
-		os.Exit(1)
-	}
+	os.Exit(exitCode(s))
 }
 
-// run performs the audit and returns the infringement and policy
-// finding counts; main maps them to the exit status.
-func run(w io.Writer, procs []string, trailArg, policyF, builtin, object, caseID string, skips int, verbose bool) (int, int, error) {
+// loadTrail reads the trail file; in lenient mode malformed lines are
+// quarantined and entries pass through a per-case lenient store whose
+// anomalies are reported alongside.
+func loadTrail(path string, lenient bool) (*audit.Trail, *audit.Quarantine, []audit.Anomaly, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	defer f.Close()
+	jsonl := strings.HasSuffix(path, ".jsonl")
+	if !lenient {
+		var trail *audit.Trail
+		if jsonl {
+			trail, err = audit.ReadJSONL(f)
+		} else {
+			trail, err = audit.ReadCSV(f)
+		}
+		return trail, nil, nil, err
+	}
+	opts := audit.DecodeOptions{Lenient: true}
 	var (
+		entries []audit.Entry
+		q       *audit.Quarantine
+	)
+	if jsonl {
+		entries, q, err = audit.DecodeJSONLEntries(f, opts)
+	} else {
+		entries, q, err = audit.DecodeCSVEntries(f, opts)
+	}
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	store := audit.NewStoreWith(audit.StoreOptions{Order: audit.OrderPerCaseLenient})
+	for _, e := range entries {
+		if err := store.Append(e); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	return store.Trail(), q, store.Anomalies(), nil
+}
+
+// run performs the audit and returns what it found; main maps the
+// summary to the exit status.
+func run(w io.Writer, o options) (summary, error) {
+	var (
+		s       summary
 		reg     = core.NewRegistry()
 		pol     *policy.Policy
 		consent *policy.ConsentRegistry
 		trail   *audit.Trail
 	)
 
-	switch builtin {
+	switch o.builtin {
 	case "hospital":
 		sc, err := hospital.NewScenario()
 		if err != nil {
-			return 0, 0, err
+			return s, err
 		}
 		reg, pol, consent, trail = sc.Registry, sc.Policy, sc.Consents, sc.Trail
 	case "":
-		for _, spec := range procs {
+		for _, spec := range o.procs {
 			file, codes, ok := strings.Cut(spec, ":")
 			if !ok {
-				return 0, 0, fmt.Errorf("-proc %q: want file.json:CODE[,CODE...]", spec)
+				return s, fmt.Errorf("-proc %q: want file.json:CODE[,CODE...]", spec)
 			}
 			f, err := os.Open(file)
 			if err != nil {
-				return 0, 0, err
+				return s, err
 			}
 			var proc *bpmn.Process
 			if strings.HasSuffix(file, ".bpmn") || strings.HasSuffix(file, ".xml") {
@@ -97,47 +186,71 @@ func run(w io.Writer, procs []string, trailArg, policyF, builtin, object, caseID
 			}
 			f.Close()
 			if err != nil {
-				return 0, 0, err
+				return s, err
 			}
 			if _, err := reg.Register(proc, strings.Split(codes, ",")...); err != nil {
-				return 0, 0, err
+				return s, err
 			}
 		}
-		if len(procs) == 0 {
-			return 0, 0, fmt.Errorf("no processes: use -proc or -builtin")
+		if len(o.procs) == 0 {
+			return s, fmt.Errorf("no processes: use -proc or -builtin")
 		}
 	default:
-		return 0, 0, fmt.Errorf("unknown builtin %q", builtin)
+		return s, fmt.Errorf("unknown builtin %q", o.builtin)
 	}
 
-	if trailArg != "" {
-		f, err := os.Open(trailArg)
+	if o.trail != "" {
+		var (
+			q     *audit.Quarantine
+			anoms []audit.Anomaly
+			err   error
+		)
+		trail, q, anoms, err = loadTrail(o.trail, o.lenient)
 		if err != nil {
-			return 0, 0, err
+			return s, err
 		}
-		defer f.Close()
-		if strings.HasSuffix(trailArg, ".jsonl") {
-			trail, err = audit.ReadJSONL(f)
-		} else {
-			trail, err = audit.ReadCSV(f)
+		if q != nil && q.Len() > 0 {
+			s.quarantined = q.Len()
+			fmt.Fprintln(w, q.Summary())
+			if o.verbose {
+				for _, r := range q.Records {
+					fmt.Fprintf(w, "  quarantined line %d: %v\n", r.Line, r.Err)
+				}
+			}
 		}
-		if err != nil {
-			return 0, 0, err
+		if len(anoms) > 0 {
+			s.anomalies = len(anoms)
+			kinds := map[audit.AnomalyKind]int{}
+			for _, a := range anoms {
+				kinds[a.Kind]++
+			}
+			fmt.Fprintf(w, "ingest absorbed %d ordering anomaly(ies):", len(anoms))
+			for _, k := range []audit.AnomalyKind{audit.AnomalyReordered, audit.AnomalySkew, audit.AnomalyDuplicate} {
+				if kinds[k] > 0 {
+					fmt.Fprintf(w, " %d %s", kinds[k], k)
+				}
+			}
+			fmt.Fprintln(w)
+			if o.verbose {
+				for _, a := range anoms {
+					fmt.Fprintf(w, "  %s\n", a)
+				}
+			}
 		}
 	}
 	if trail == nil {
-		return 0, 0, fmt.Errorf("no trail: use -trail (or -builtin hospital)")
+		return s, fmt.Errorf("no trail: use -trail (or -builtin hospital)")
 	}
 
-	if policyF != "" {
-		f, err := os.Open(policyF)
+	if o.policy != "" {
+		f, err := os.Open(o.policy)
 		if err != nil {
-			return 0, 0, err
+			return s, err
 		}
 		pol, err = policy.ParsePolicy(f)
 		f.Close()
 		if err != nil {
-			return 0, 0, err
+			return s, err
 		}
 	}
 	if consent == nil {
@@ -147,8 +260,8 @@ func run(w io.Writer, procs []string, trailArg, policyF, builtin, object, caseID
 	fw := core.NewFramework(reg, pol, consent)
 
 	check := func(caseID string) (*core.Report, error) {
-		if skips > 0 {
-			srep, err := fw.Checker.CheckCaseWithSkips(trail, caseID, skips)
+		if o.skips > 0 {
+			srep, err := fw.Checker.CheckCaseWithSkips(trail, caseID, o.skips)
 			if err != nil {
 				return nil, err
 			}
@@ -164,61 +277,66 @@ func run(w io.Writer, procs []string, trailArg, policyF, builtin, object, caseID
 	var reports []*core.Report
 	var findings []core.EntryFinding
 	switch {
-	case caseID != "":
-		rep, err := check(caseID)
+	case o.caseID != "":
+		rep, err := check(o.caseID)
 		if err != nil {
-			return 0, 0, err
+			return s, err
 		}
 		reports = []*core.Report{rep}
-	case object != "":
-		obj, err := policy.ParseObject(object)
+	case o.object != "":
+		obj, err := policy.ParseObject(o.object)
 		if err != nil {
-			return 0, 0, err
+			return s, err
 		}
 		res, err := fw.AuditObject(trail, obj)
 		if err != nil {
-			return 0, 0, err
+			return s, err
 		}
 		reports, findings = res.CaseReports, res.PolicyFindings
 	default:
 		res, err := fw.Audit(trail)
 		if err != nil {
-			return 0, 0, err
+			return s, err
 		}
 		reports, findings = res.CaseReports, res.PolicyFindings
 	}
-	if skips > 0 {
+	if o.skips > 0 {
 		// Re-examine infringements with the skip budget; gaps that a
 		// few unlogged executions explain are downgraded in place.
+		// Indeterminate cases are left alone: the skip search runs under
+		// the same budgets that already failed.
 		for i, rep := range reports {
-			if rep.Compliant {
+			if rep.Compliant || rep.Outcome == core.OutcomeIndeterminate {
 				continue
 			}
 			re, err := check(rep.Case)
 			if err != nil {
-				return 0, 0, err
+				return s, err
 			}
 			reports[i] = re
 		}
 	}
 
-	bad := 0
+	s.cases = len(reports)
 	for _, rep := range reports {
-		if !rep.Compliant {
-			bad++
+		switch {
+		case rep.Outcome == core.OutcomeIndeterminate:
+			s.indeterminate++
 			fmt.Fprintln(w, rep)
-		} else if verbose {
+		case !rep.Compliant:
+			s.infringements++
+			fmt.Fprintln(w, rep)
+		case o.verbose:
 			fmt.Fprintln(w, rep)
 		}
 	}
-	nFindings := 0
 	if pol != nil {
-		nFindings = len(findings)
+		s.findings = len(findings)
 		for _, f := range findings {
 			fmt.Fprintf(w, "policy finding (entry %d): %s: %s\n", f.Index, f.Entry, f.Reason)
 		}
 	}
-	fmt.Fprintf(w, "checked %d case(s): %d infringement(s), %d policy finding(s)\n",
-		len(reports), bad, nFindings)
-	return bad, nFindings, nil
+	fmt.Fprintf(w, "checked %d case(s): %d infringement(s), %d indeterminate, %d policy finding(s)\n",
+		s.cases, s.infringements, s.indeterminate, s.findings)
+	return s, nil
 }

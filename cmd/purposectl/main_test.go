@@ -14,12 +14,12 @@ import (
 
 func TestRunBuiltinHospital(t *testing.T) {
 	var b strings.Builder
-	bad, findings, err := run(&b, nil, "", "", "hospital", "", "", 0, false)
+	s, err := run(&b, options{builtin: "hospital"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if bad != 5 || findings != 0 {
-		t.Fatalf("bad=%d findings=%d, want 5/0", bad, findings)
+	if s.infringements != 5 || s.findings != 0 || s.indeterminate != 0 {
+		t.Fatalf("summary=%+v, want 5 infringements only", s)
 	}
 	out := b.String()
 	for _, want := range []string{"HT-11", "INFRINGEMENT", "checked 8 case(s)"} {
@@ -27,16 +27,19 @@ func TestRunBuiltinHospital(t *testing.T) {
 			t.Errorf("output missing %q:\n%s", want, out)
 		}
 	}
+	if exitCode(s) != 1 {
+		t.Errorf("exit code = %d, want 1", exitCode(s))
+	}
 }
 
 func TestRunObjectInvestigation(t *testing.T) {
 	var b strings.Builder
-	bad, _, err := run(&b, nil, "", "", "hospital", "[Jane]EPR", "", 0, true)
+	s, err := run(&b, options{builtin: "hospital", object: "[Jane]EPR", verbose: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if bad != 1 {
-		t.Fatalf("bad=%d, want 1 (only HT-11 touches Jane)", bad)
+	if s.infringements != 1 {
+		t.Fatalf("infringements=%d, want 1 (only HT-11 touches Jane)", s.infringements)
 	}
 	if !strings.Contains(b.String(), "HT-1 ") || !strings.Contains(b.String(), "HT-11") {
 		t.Errorf("expected HT-1 and HT-11 in output:\n%s", b.String())
@@ -45,19 +48,32 @@ func TestRunObjectInvestigation(t *testing.T) {
 
 func TestRunSingleCase(t *testing.T) {
 	var b strings.Builder
-	bad, _, err := run(&b, nil, "", "", "hospital", "", "HT-1", 0, true)
-	if err != nil || bad != 0 {
-		t.Fatalf("bad=%d err=%v", bad, err)
+	s, err := run(&b, options{builtin: "hospital", caseID: "HT-1", verbose: true})
+	if err != nil || s.infringements != 0 {
+		t.Fatalf("summary=%+v err=%v", s, err)
 	}
 	if !strings.Contains(b.String(), "checked 1 case(s)") {
 		t.Errorf("output:\n%s", b.String())
 	}
+	if exitCode(s) != 0 {
+		t.Errorf("exit code = %d, want 0", exitCode(s))
+	}
 }
 
-func TestRunWithFiles(t *testing.T) {
-	dir := t.TempDir()
+func mkEntry(min int, task, caseID string) audit.Entry {
+	return audit.Entry{
+		User: "u", Role: "P", Action: "read",
+		Object: policy.MustParseObject("[S1]Doc"),
+		Task:   task, Case: caseID,
+		Time:   time.Date(2026, 5, 1, 9, 0, 0, 0, time.UTC).Add(time.Duration(min) * time.Minute),
+		Status: audit.Success,
+	}
+}
 
-	// A tiny process file.
+// writeFlowProc writes the 2-task linear test process and returns its
+// -proc binding spec.
+func writeFlowProc(t *testing.T, dir string) string {
+	t.Helper()
 	proc := bpmn.NewBuilder("Flow").Pool("P").
 		Start("S", "P").Task("A", "P", "").Task("B", "P", "").End("E", "P").
 		Seq("S", "A", "B", "E").MustBuild()
@@ -70,20 +86,17 @@ func TestRunWithFiles(t *testing.T) {
 		t.Fatal(err)
 	}
 	pf.Close()
+	return procPath + ":FL"
+}
+
+func TestRunWithFiles(t *testing.T) {
+	dir := t.TempDir()
+	procSpec := writeFlowProc(t, dir)
 
 	// A trail with one good and one bad case.
-	mk := func(min int, task, caseID string) audit.Entry {
-		return audit.Entry{
-			User: "u", Role: "P", Action: "read",
-			Object: policy.MustParseObject("[S1]Doc"),
-			Task:   task, Case: caseID,
-			Time:   time.Date(2026, 5, 1, 9, 0, 0, 0, time.UTC).Add(time.Duration(min) * time.Minute),
-			Status: audit.Success,
-		}
-	}
 	trail := audit.NewTrail([]audit.Entry{
-		mk(0, "A", "FL-1"), mk(1, "B", "FL-1"),
-		mk(5, "B", "FL-2"),
+		mkEntry(0, "A", "FL-1"), mkEntry(1, "B", "FL-1"),
+		mkEntry(5, "B", "FL-2"),
 	})
 	trailPath := filepath.Join(dir, "trail.csv")
 	tf, err := os.Create(trailPath)
@@ -103,12 +116,12 @@ func TestRunWithFiles(t *testing.T) {
 	}
 
 	var b strings.Builder
-	bad, findings, err := run(&b, []string{procPath + ":FL"}, trailPath, polPath, "", "", "", 0, false)
+	s, err := run(&b, options{procs: []string{procSpec}, trail: trailPath, policy: polPath})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if bad != 1 || findings != 0 {
-		t.Fatalf("bad=%d findings=%d, want 1/0\n%s", bad, findings, b.String())
+	if s.infringements != 1 || s.findings != 0 {
+		t.Fatalf("summary=%+v, want 1 infringement\n%s", s, b.String())
 	}
 
 	// JSONL input too.
@@ -118,25 +131,95 @@ func TestRunWithFiles(t *testing.T) {
 		t.Fatal(err)
 	}
 	jf.Close()
-	bad, _, err = run(&b, []string{procPath + ":FL"}, jsonlPath, "", "", "", "", 0, false)
-	if err != nil || bad != 1 {
-		t.Fatalf("jsonl: bad=%d err=%v", bad, err)
+	s, err = run(&b, options{procs: []string{procSpec}, trail: jsonlPath})
+	if err != nil || s.infringements != 1 {
+		t.Fatalf("jsonl: summary=%+v err=%v", s, err)
+	}
+}
+
+func TestRunLenientTrail(t *testing.T) {
+	dir := t.TempDir()
+	procSpec := writeFlowProc(t, dir)
+
+	// Serialize a clean trail, then corrupt one line and duplicate
+	// another — strict mode must abort, lenient mode must quarantine,
+	// flag the duplicate and still reach verdicts.
+	trail := audit.NewTrail([]audit.Entry{
+		mkEntry(0, "A", "FL-1"), mkEntry(1, "B", "FL-1"),
+		mkEntry(5, "A", "FL-2"),
+	})
+	var enc strings.Builder
+	if err := audit.WriteCSV(&enc, trail); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(enc.String(), "\n"), "\n")
+	lines[3] = "CORRUPTED RECORD"                       // FL-2's A entry
+	lines = append(lines, lines[1])                     // duplicate FL-1's A entry
+	src := strings.Join(lines, "\n") + "\n"
+	trailPath := filepath.Join(dir, "trail.csv")
+	if err := os.WriteFile(trailPath, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var b strings.Builder
+	if _, err := run(&b, options{procs: []string{procSpec}, trail: trailPath}); err == nil {
+		t.Fatalf("strict mode accepted a corrupt trail")
+	}
+
+	b.Reset()
+	s, err := run(&b, options{procs: []string{procSpec}, trail: trailPath, lenient: true, verbose: true})
+	if err != nil {
+		t.Fatalf("lenient run failed: %v", err)
+	}
+	if s.quarantined != 1 || s.anomalies != 1 {
+		t.Fatalf("summary=%+v, want 1 quarantined + 1 anomaly\n%s", s, b.String())
+	}
+	// FL-1 stays compliant; FL-2 lost its only entry to quarantine and
+	// checks as an empty (pending, compliant) case.
+	if s.infringements != 0 {
+		t.Fatalf("summary=%+v\n%s", s, b.String())
+	}
+	out := b.String()
+	for _, want := range []string{"quarantined", "duplicate", "checked"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		s    summary
+		want int
+	}{
+		{summary{}, 0},
+		{summary{cases: 3}, 0},
+		{summary{infringements: 1}, 1},
+		{summary{findings: 2}, 1},
+		{summary{indeterminate: 1}, 3},
+		{summary{infringements: 1, indeterminate: 1}, 1},
+		{summary{quarantined: 4, anomalies: 2}, 0},
+	}
+	for _, c := range cases {
+		if got := exitCode(c.s); got != c.want {
+			t.Errorf("exitCode(%+v) = %d, want %d", c.s, got, c.want)
+		}
 	}
 }
 
 func TestRunUsageErrors(t *testing.T) {
 	var b strings.Builder
-	cases := []func() error{
-		func() error { _, _, err := run(&b, nil, "", "", "", "", "", 0, false); return err },
-		func() error { _, _, err := run(&b, nil, "", "", "nope", "", "", 0, false); return err },
-		func() error { _, _, err := run(&b, []string{"badspec"}, "x.csv", "", "", "", "", 0, false); return err },
-		func() error { _, _, err := run(&b, []string{"missing.json:XX"}, "x.csv", "", "", "", "", 0, false); return err },
-		func() error { _, _, err := run(&b, nil, "missing.csv", "", "hospital", "", "", 0, false); return err },
-		func() error { _, _, err := run(&b, nil, "", "", "hospital", "[bad", "", 0, false); return err },
-		func() error { _, _, err := run(&b, nil, "", "missing.txt", "hospital", "", "", 0, false); return err },
+	cases := []options{
+		{},
+		{builtin: "nope"},
+		{procs: []string{"badspec"}, trail: "x.csv"},
+		{procs: []string{"missing.json:XX"}, trail: "x.csv"},
+		{builtin: "hospital", trail: "missing.csv"},
+		{builtin: "hospital", object: "[bad"},
+		{builtin: "hospital", policy: "missing.txt"},
 	}
-	for i, f := range cases {
-		if err := f(); err == nil {
+	for i, o := range cases {
+		if _, err := run(&b, o); err == nil {
 			t.Errorf("case %d: expected error", i)
 		}
 	}
@@ -180,21 +263,21 @@ func TestRunWithBPMNXMLAndSkips(t *testing.T) {
 
 	// Without skips: infringement.
 	var b strings.Builder
-	bad, _, err := run(&b, []string{procPath + ":IN"}, trailPath, "", "", "", "", 0, false)
+	s, err := run(&b, options{procs: []string{procPath + ":IN"}, trail: trailPath})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if bad != 1 {
-		t.Fatalf("bad=%d, want 1\n%s", bad, b.String())
+	if s.infringements != 1 {
+		t.Fatalf("summary=%+v, want 1 infringement\n%s", s, b.String())
 	}
 	// With a skip budget: explained.
 	b.Reset()
-	bad, _, err = run(&b, []string{procPath + ":IN"}, trailPath, "", "", "", "", 1, false)
+	s, err = run(&b, options{procs: []string{procPath + ":IN"}, trail: trailPath, skips: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if bad != 0 {
-		t.Fatalf("bad=%d with skips, want 0\n%s", bad, b.String())
+	if s.infringements != 0 {
+		t.Fatalf("summary=%+v with skips\n%s", s, b.String())
 	}
 	if !strings.Contains(b.String(), "hypothesized unlogged") || !strings.Contains(b.String(), "T_b") {
 		t.Errorf("missing skip explanation:\n%s", b.String())

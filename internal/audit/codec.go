@@ -52,32 +52,12 @@ func WriteCSV(w io.Writer, t *Trail) error {
 	return nil
 }
 
-// ReadCSV reads a trail written by WriteCSV (header required).
+// ReadCSV reads a trail written by WriteCSV (header required). It is
+// strict: the first malformed row aborts. Use DecodeCSV with
+// DecodeOptions{Lenient: true} to quarantine bad rows instead.
 func ReadCSV(r io.Reader) (*Trail, error) {
-	cr := csv.NewReader(r)
-	header, err := cr.Read()
-	if err != nil {
-		return nil, fmt.Errorf("audit: reading CSV header: %w", err)
-	}
-	if len(header) != len(csvHeader) {
-		return nil, fmt.Errorf("audit: CSV header has %d columns, want %d", len(header), len(csvHeader))
-	}
-	var entries []Entry
-	for line := 2; ; line++ {
-		rec, err := cr.Read()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return nil, fmt.Errorf("audit: reading CSV line %d: %w", line, err)
-		}
-		e, err := entryFromRecord(rec)
-		if err != nil {
-			return nil, fmt.Errorf("audit: CSV line %d: %w", line, err)
-		}
-		entries = append(entries, e)
-	}
-	return NewTrail(entries), nil
+	t, _, err := DecodeCSV(r, DecodeOptions{})
+	return t, err
 }
 
 func entryFromRecord(rec []string) (Entry, error) {
@@ -138,34 +118,11 @@ func WriteJSONL(w io.Writer, t *Trail) error {
 	return nil
 }
 
-// ReadJSONL reads a trail written by WriteJSONL.
+// ReadJSONL reads a trail written by WriteJSONL: one JSON object per
+// line (blank lines are skipped). It is strict: the first malformed
+// line aborts. Use DecodeJSONL with DecodeOptions{Lenient: true} to
+// quarantine bad lines instead.
 func ReadJSONL(r io.Reader) (*Trail, error) {
-	dec := json.NewDecoder(r)
-	var entries []Entry
-	for i := 0; ; i++ {
-		var je jsonEntry
-		if err := dec.Decode(&je); err == io.EOF {
-			break
-		} else if err != nil {
-			return nil, fmt.Errorf("audit: reading JSONL entry %d: %w", i, err)
-		}
-		e := Entry{
-			User: je.User, Role: je.Role, Action: je.Action,
-			Task: je.Task, Case: je.Case, Time: je.Time,
-		}
-		if je.Object != "" {
-			o, err := policy.ParseObject(je.Object)
-			if err != nil {
-				return nil, fmt.Errorf("audit: JSONL entry %d: %w", i, err)
-			}
-			e.Object = o
-		}
-		st, err := ParseStatus(je.Status)
-		if err != nil {
-			return nil, fmt.Errorf("audit: JSONL entry %d: %w", i, err)
-		}
-		e.Status = st
-		entries = append(entries, e)
-	}
-	return NewTrail(entries), nil
+	t, _, err := DecodeJSONL(r, DecodeOptions{})
+	return t, err
 }

@@ -1,0 +1,105 @@
+package audit
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Fuzz targets for the ingestion surface: the decoders must never
+// panic, and on input the strict decoder accepts, the lenient decoder
+// must agree byte for byte and quarantine nothing (leniency is free on
+// clean data).
+
+func fuzzSeedTrail() *Trail {
+	return NewTrail([]Entry{
+		lenEntry(0, "T1", "C-1"),
+		lenEntry(1, "T2", "C-1"),
+		{User: "u2", Role: "R2", Action: "cancel", Task: "T3", Case: "C-2",
+			Time:   time.Date(2026, 4, 1, 10, 0, 0, 0, time.UTC),
+			Status: Failure},
+	})
+}
+
+func assertStrictLenientAgreement(t *testing.T, strict *Trail, strictErr error, lenient *Trail, q *Quarantine, lenientErr error) {
+	t.Helper()
+	if strictErr != nil {
+		return // corrupt input: lenient may succeed, fail, or quarantine
+	}
+	if lenientErr != nil {
+		t.Fatalf("strict accepted but lenient failed: %v", lenientErr)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("strict accepted but lenient quarantined %d: %v", q.Len(), q.Records)
+	}
+	if strict.Len() != lenient.Len() {
+		t.Fatalf("strict decoded %d entries, lenient %d", strict.Len(), lenient.Len())
+	}
+	for i := 0; i < strict.Len(); i++ {
+		if !entryEqual(strict.At(i), lenient.At(i)) {
+			t.Fatalf("entry %d differs: %v vs %v", i, strict.At(i), lenient.At(i))
+		}
+	}
+}
+
+func FuzzReadCSV(f *testing.F) {
+	var b bytes.Buffer
+	if err := WriteCSV(&b, fuzzSeedTrail()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(b.Bytes())
+	f.Add([]byte("user,role,action,object,task,case,time,status\n"))
+	f.Add([]byte("user,role,action,object,task,case,time,status\na,b,c,N/A,q,c-1,202603121210,success\n"))
+	f.Add([]byte("user,role,action,object,task,case,time,status\ntoo,short\n"))
+	f.Add([]byte("user,role,action,object,task,case,time,status\na,b,c,\"unterminated,q,c,202603121210,success\n"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		strict, strictErr := ReadCSV(bytes.NewReader(data))
+		lenient, q, lenientErr := DecodeCSV(bytes.NewReader(data), DecodeOptions{Lenient: true, MaxErrors: 256})
+		assertStrictLenientAgreement(t, strict, strictErr, lenient, q, lenientErr)
+	})
+}
+
+func FuzzReadJSONL(f *testing.F) {
+	var b bytes.Buffer
+	if err := WriteJSONL(&b, fuzzSeedTrail()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(b.Bytes())
+	f.Add([]byte("{\"status\":\"success\"}\n"))
+	f.Add([]byte("{\"broken\n"))
+	f.Add([]byte("\n\n"))
+	f.Add([]byte("{\"object\":\"[bad\",\"status\":\"success\"}\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		strict, strictErr := ReadJSONL(bytes.NewReader(data))
+		lenient, q, lenientErr := DecodeJSONL(bytes.NewReader(data), DecodeOptions{Lenient: true, MaxErrors: 256})
+		assertStrictLenientAgreement(t, strict, strictErr, lenient, q, lenientErr)
+	})
+}
+
+func FuzzParsePaperTime(f *testing.F) {
+	f.Add("202603121210")
+	f.Add("000001010000")
+	f.Add("not a time")
+	f.Add("")
+	f.Add("20260312121")
+	f.Fuzz(func(t *testing.T, s string) {
+		tm, err := ParsePaperTime(s)
+		if err != nil {
+			return
+		}
+		// Round trip: a successfully parsed paper time re-renders to a
+		// string that parses to the same instant.
+		again, err := ParsePaperTime(tm.Format(PaperTimeLayout))
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q) failed: %v", tm.Format(PaperTimeLayout), s, err)
+		}
+		if !again.Equal(tm) {
+			t.Fatalf("round trip moved %q: %v vs %v", s, tm, again)
+		}
+		if strings.ContainsAny(s, "\n\r") {
+			t.Fatalf("timestamp with newline parsed: %q", s)
+		}
+	})
+}

@@ -1,0 +1,234 @@
+package audit
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/policy"
+)
+
+// Lenient (degraded-mode) trail ingestion. The paper assumes a clean
+// audit database (Definition 4), but a real deployment collecting "logs
+// from all applications in a single database" sees truncated files,
+// malformed rows and clock skew across sources. The strict codecs abort
+// an entire investigation on the first bad byte; the lenient decoders
+// below quarantine malformed records into a structured report and keep
+// going, so one corrupt line never loses the whole audit.
+
+// DecodeOptions configures trail decoding.
+type DecodeOptions struct {
+	// Lenient quarantines malformed records instead of aborting on the
+	// first one. Structural failures that make the rest of the input
+	// uninterpretable (a bad CSV header, an I/O error) still abort.
+	Lenient bool
+	// MaxErrors caps the quarantine in lenient mode: once more than
+	// MaxErrors records have been quarantined the decode aborts, on the
+	// theory that pervasive corruption is a different problem than a few
+	// bad rows. 0 means unlimited.
+	MaxErrors int
+}
+
+// QuarantinedRecord is one malformed input record set aside by a
+// lenient decode.
+type QuarantinedRecord struct {
+	// Line is the 1-based input line of the record (the CSV header is
+	// line 1, so data starts at line 2; JSONL data starts at line 1).
+	Line int
+	// Raw is the offending record text as far as it could be read.
+	Raw string
+	// Err is the decode error.
+	Err error
+}
+
+func (r QuarantinedRecord) String() string {
+	return fmt.Sprintf("line %d: %v (%q)", r.Line, r.Err, r.Raw)
+}
+
+// Quarantine collects the records a lenient decode set aside. A nil or
+// empty quarantine means the input was clean.
+type Quarantine struct {
+	Records []QuarantinedRecord
+}
+
+// Len returns the number of quarantined records.
+func (q *Quarantine) Len() int {
+	if q == nil {
+		return 0
+	}
+	return len(q.Records)
+}
+
+// Lines returns the input lines of the quarantined records, in input
+// order.
+func (q *Quarantine) Lines() []int {
+	if q == nil {
+		return nil
+	}
+	out := make([]int, len(q.Records))
+	for i, r := range q.Records {
+		out[i] = r.Line
+	}
+	return out
+}
+
+// Summary renders a one-line account ("3 record(s) quarantined, first
+// at line 7: ...").
+func (q *Quarantine) Summary() string {
+	if q.Len() == 0 {
+		return "no records quarantined"
+	}
+	return fmt.Sprintf("%d record(s) quarantined, first at line %d: %v",
+		len(q.Records), q.Records[0].Line, q.Records[0].Err)
+}
+
+func (q *Quarantine) add(line int, raw string, err error, max int) error {
+	q.Records = append(q.Records, QuarantinedRecord{Line: line, Raw: raw, Err: err})
+	if max > 0 && len(q.Records) > max {
+		return fmt.Errorf("audit: lenient decode aborted: more than %d malformed records (last at line %d: %v)",
+			max, line, err)
+	}
+	return nil
+}
+
+// DecodeCSV reads a trail in the Figure 4 CSV layout under the given
+// options. In strict mode it behaves exactly like ReadCSV; in lenient
+// mode malformed rows are quarantined and decoding continues. The
+// returned quarantine is never nil.
+func DecodeCSV(r io.Reader, opts DecodeOptions) (*Trail, *Quarantine, error) {
+	entries, q, err := DecodeCSVEntries(r, opts)
+	if err != nil {
+		return nil, q, err
+	}
+	return NewTrail(entries), q, nil
+}
+
+// DecodeCSVEntries is DecodeCSV without the chronological sort: entries
+// are returned in input order, which a Store in per-case ordering mode
+// needs to detect reordering and duplication at the source.
+func DecodeCSVEntries(r io.Reader, opts DecodeOptions) ([]Entry, *Quarantine, error) {
+	q := &Quarantine{}
+	cr := csv.NewReader(r)
+	if opts.Lenient {
+		// Field counts are validated per record so a short or long row
+		// is quarantined, not fatal.
+		cr.FieldsPerRecord = -1
+	}
+	header, err := cr.Read()
+	if err != nil {
+		return nil, q, fmt.Errorf("audit: reading CSV header: %w", err)
+	}
+	if len(header) != len(csvHeader) {
+		return nil, q, fmt.Errorf("audit: CSV header has %d columns, want %d", len(header), len(csvHeader))
+	}
+	var entries []Entry
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			if !opts.Lenient {
+				return nil, q, fmt.Errorf("audit: reading CSV line %d: %w", line, err)
+			}
+			var pe *csv.ParseError
+			if !errors.As(err, &pe) {
+				// Not a per-record syntax problem (e.g. the underlying
+				// reader failed); retrying would loop forever.
+				return nil, q, fmt.Errorf("audit: reading CSV line %d: %w", line, err)
+			}
+			if qerr := q.add(line, strings.Join(rec, ","), err, opts.MaxErrors); qerr != nil {
+				return nil, q, qerr
+			}
+			continue
+		}
+		e, err := entryFromRecord(rec)
+		if err != nil {
+			if !opts.Lenient {
+				return nil, q, fmt.Errorf("audit: CSV line %d: %w", line, err)
+			}
+			if qerr := q.add(line, strings.Join(rec, ","), err, opts.MaxErrors); qerr != nil {
+				return nil, q, qerr
+			}
+			continue
+		}
+		entries = append(entries, e)
+	}
+	return entries, q, nil
+}
+
+// maxJSONLLine bounds a single JSONL record; longer lines fail decoding.
+const maxJSONLLine = 8 << 20
+
+// DecodeJSONL reads a trail with one JSON object per line under the
+// given options. Blank lines are skipped. In lenient mode malformed
+// lines are quarantined and decoding continues. The returned quarantine
+// is never nil.
+func DecodeJSONL(r io.Reader, opts DecodeOptions) (*Trail, *Quarantine, error) {
+	entries, q, err := DecodeJSONLEntries(r, opts)
+	if err != nil {
+		return nil, q, err
+	}
+	return NewTrail(entries), q, nil
+}
+
+// DecodeJSONLEntries is DecodeJSONL without the chronological sort (see
+// DecodeCSVEntries).
+func DecodeJSONLEntries(r io.Reader, opts DecodeOptions) ([]Entry, *Quarantine, error) {
+	q := &Quarantine{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), maxJSONLLine)
+	var entries []Entry
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Text()
+		if strings.TrimSpace(raw) == "" {
+			continue
+		}
+		e, err := entryFromJSON([]byte(raw))
+		if err != nil {
+			if !opts.Lenient {
+				return nil, q, fmt.Errorf("audit: JSONL line %d: %w", line, err)
+			}
+			if qerr := q.add(line, raw, err, opts.MaxErrors); qerr != nil {
+				return nil, q, qerr
+			}
+			continue
+		}
+		entries = append(entries, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, q, fmt.Errorf("audit: reading JSONL line %d: %w", line+1, err)
+	}
+	return entries, q, nil
+}
+
+// entryFromJSON decodes one JSONL record.
+func entryFromJSON(b []byte) (Entry, error) {
+	var je jsonEntry
+	if err := json.Unmarshal(b, &je); err != nil {
+		return Entry{}, err
+	}
+	e := Entry{
+		User: je.User, Role: je.Role, Action: je.Action,
+		Task: je.Task, Case: je.Case, Time: je.Time,
+	}
+	if je.Object != "" {
+		o, err := policy.ParseObject(je.Object)
+		if err != nil {
+			return Entry{}, err
+		}
+		e.Object = o
+	}
+	st, err := ParseStatus(je.Status)
+	if err != nil {
+		return Entry{}, err
+	}
+	e.Status = st
+	return e, nil
+}

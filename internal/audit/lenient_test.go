@@ -1,0 +1,202 @@
+package audit
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/policy"
+)
+
+func lenEntry(min int, task, caseID string) Entry {
+	return Entry{
+		User: "u1", Role: "R", Action: "read",
+		Object: policy.MustParseObject("[P1]EPR/Clinical"),
+		Task:   task, Case: caseID,
+		Time:   time.Date(2026, 4, 1, 9, 0, 0, 0, time.UTC).Add(time.Duration(min) * time.Minute),
+		Status: Success,
+	}
+}
+
+func csvOf(t *testing.T, entries ...Entry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := WriteCSV(&b, NewTrail(entries)); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestDecodeCSVLenientQuarantines(t *testing.T) {
+	clean := csvOf(t, lenEntry(0, "T1", "C-1"), lenEntry(1, "T2", "C-1"), lenEntry(2, "T3", "C-1"))
+	lines := strings.Split(strings.TrimSuffix(clean, "\n"), "\n")
+	// Corrupt line 3 (bad time) and append a short line.
+	lines[2] = strings.Replace(lines[2], "202604010901", "NOTATIME", 1)
+	lines = append(lines, "too,short")
+	src := strings.Join(lines, "\n") + "\n"
+
+	if _, err := ReadCSV(strings.NewReader(src)); err == nil {
+		t.Fatalf("strict decode accepted corrupt input")
+	}
+	trail, q, err := DecodeCSV(strings.NewReader(src), DecodeOptions{Lenient: true})
+	if err != nil {
+		t.Fatalf("lenient decode failed: %v", err)
+	}
+	if trail.Len() != 2 {
+		t.Errorf("decoded %d entries, want 2", trail.Len())
+	}
+	if got := q.Lines(); len(got) != 2 || got[0] != 3 || got[1] != 5 {
+		t.Errorf("quarantine lines = %v, want [3 5]", got)
+	}
+	for _, r := range q.Records {
+		if r.Err == nil || r.Raw == "" {
+			t.Errorf("quarantined record missing err/raw: %+v", r)
+		}
+	}
+	if !strings.Contains(q.Summary(), "2 record(s)") {
+		t.Errorf("summary = %q", q.Summary())
+	}
+}
+
+func TestDecodeCSVLenientMaxErrors(t *testing.T) {
+	clean := csvOf(t, lenEntry(0, "T1", "C-1"))
+	src := clean + "bad\nbad\nbad\n"
+	_, q, err := DecodeCSV(strings.NewReader(src), DecodeOptions{Lenient: true, MaxErrors: 2})
+	if err == nil {
+		t.Fatalf("expected abort after MaxErrors, got quarantine %v", q.Lines())
+	}
+}
+
+func TestDecodeCSVStrictLenientAgreeOnCleanInput(t *testing.T) {
+	clean := csvOf(t, lenEntry(0, "T1", "C-1"), lenEntry(1, "T2", "C-2"))
+	strict, err := ReadCSV(strings.NewReader(clean))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lenient, q, err := DecodeCSV(strings.NewReader(clean), DecodeOptions{Lenient: true})
+	if err != nil || q.Len() != 0 {
+		t.Fatalf("lenient on clean input: err=%v quarantine=%d", err, q.Len())
+	}
+	if strict.Len() != lenient.Len() {
+		t.Fatalf("strict %d entries, lenient %d", strict.Len(), lenient.Len())
+	}
+	for i := 0; i < strict.Len(); i++ {
+		if !entryEqual(strict.At(i), lenient.At(i)) {
+			t.Errorf("entry %d differs: %v vs %v", i, strict.At(i), lenient.At(i))
+		}
+	}
+}
+
+func TestDecodeJSONLLenient(t *testing.T) {
+	var b strings.Builder
+	if err := WriteJSONL(&b, NewTrail([]Entry{lenEntry(0, "T1", "C-1"), lenEntry(1, "T2", "C-1")})); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(b.String(), "\n"), "\n")
+	src := lines[0] + "\n{\"broken\n\n" + lines[1] + "\n{\"status\":\"bogus\"}\n"
+
+	if _, err := ReadJSONL(strings.NewReader(src)); err == nil {
+		t.Fatalf("strict decode accepted corrupt input")
+	}
+	trail, q, err := DecodeJSONL(strings.NewReader(src), DecodeOptions{Lenient: true})
+	if err != nil {
+		t.Fatalf("lenient decode failed: %v", err)
+	}
+	if trail.Len() != 2 {
+		t.Errorf("decoded %d entries, want 2", trail.Len())
+	}
+	// Line 2 is the broken object, line 3 is blank (skipped, not
+	// quarantined), line 5 has an unknown status.
+	if got := q.Lines(); len(got) != 2 || got[0] != 2 || got[1] != 5 {
+		t.Errorf("quarantine lines = %v, want [2 5]", got)
+	}
+}
+
+func TestStoreStrictOrderingErrors(t *testing.T) {
+	s := NewStore()
+	if err := s.Append(lenEntry(5, "T1", "C-1")); err != nil {
+		t.Fatal(err)
+	}
+	// Equal timestamps are accepted.
+	dup := lenEntry(5, "T2", "C-2")
+	if err := s.Append(dup); err != nil {
+		t.Fatalf("equal timestamp rejected: %v", err)
+	}
+	// Earlier timestamps are rejected, naming the case.
+	err := s.Append(lenEntry(1, "T3", "C-3"))
+	if err == nil {
+		t.Fatalf("out-of-order entry accepted")
+	}
+	if !strings.Contains(err.Error(), "C-3") {
+		t.Errorf("error does not name the case: %v", err)
+	}
+}
+
+func TestStorePerCaseLenientReorder(t *testing.T) {
+	s := NewStoreWith(StoreOptions{Order: OrderPerCaseLenient, ReorderWindow: 4})
+	// Case A in order; case B delivers entry 1 late (within window).
+	for _, e := range []Entry{
+		lenEntry(0, "T1", "A-1"),
+		lenEntry(10, "T1", "B-1"),
+		lenEntry(12, "T3", "B-1"), // arrives before T2
+		lenEntry(11, "T2", "B-1"), // late arrival
+		lenEntry(1, "T2", "A-1"),  // global disorder vs case B: fine per case... late for nothing in A
+	} {
+		if err := s.Append(e); err != nil {
+			t.Fatalf("lenient append failed: %v", err)
+		}
+	}
+	got := s.Case("B-1")
+	var tasks []string
+	for i := 0; i < got.Len(); i++ {
+		tasks = append(tasks, got.At(i).Task)
+	}
+	if strings.Join(tasks, ",") != "T1,T2,T3" {
+		t.Errorf("case B order = %v, want T1,T2,T3", tasks)
+	}
+	an := s.Anomalies()
+	if len(an) != 1 || an[0].Kind != AnomalyReordered || an[0].Case != "B-1" {
+		t.Errorf("anomalies = %v, want one reordered for B-1", an)
+	}
+}
+
+func TestStorePerCaseLenientDuplicateAndSkew(t *testing.T) {
+	s := NewStoreWith(StoreOptions{Order: OrderPerCaseLenient, ReorderWindow: 2})
+	e1 := lenEntry(10, "T1", "C-1")
+	e2 := lenEntry(11, "T2", "C-1")
+	e3 := lenEntry(12, "T3", "C-1")
+	for _, e := range []Entry{e1, e2, e3, e2} { // exact duplicate of e2
+		if err := s.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != 3 {
+		t.Errorf("store kept %d entries, want 3 (duplicate dropped)", s.Len())
+	}
+	// An arrival far earlier than the whole window: skew.
+	if err := s.Append(lenEntry(0, "T0", "C-1")); err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[AnomalyKind]int{}
+	for _, a := range s.Anomalies() {
+		kinds[a.Kind]++
+	}
+	if kinds[AnomalyDuplicate] != 1 || kinds[AnomalySkew] != 1 {
+		t.Errorf("anomaly kinds = %v, want one duplicate and one skew", kinds)
+	}
+}
+
+func TestStoreLenientTrailIsSorted(t *testing.T) {
+	s := NewStoreWith(StoreOptions{Order: OrderPerCaseLenient})
+	if err := s.AppendAll([]Entry{
+		lenEntry(3, "T1", "A-1"), lenEntry(1, "T1", "B-1"), lenEntry(2, "T2", "A-1"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tr := s.Trail()
+	for i := 1; i < tr.Len(); i++ {
+		if tr.At(i).Time.Before(tr.At(i - 1).Time) {
+			t.Fatalf("lenient Trail() not sorted at %d", i)
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -12,6 +14,37 @@ import (
 	"repro/internal/lts"
 	"repro/internal/policy"
 )
+
+// errConfigCap marks a configuration-set overflow; the replay loop
+// converts it to an indeterminate verdict rather than failing the run.
+var errConfigCap = errors.New("core: configuration set cap exceeded")
+
+// errRecoveredPanic marks a panic recovered during one case's analysis.
+var errRecoveredPanic = errors.New("core: recovered panic")
+
+// indeterminacyFor classifies err as an abandon-this-case condition
+// (budget exhaustion, configuration cap, isolated panic) and returns
+// the corresponding Indeterminacy, or nil for genuine errors.
+func indeterminacyFor(err error) *Indeterminacy {
+	switch {
+	case errors.Is(err, errConfigCap):
+		return &Indeterminacy{Cause: CauseConfigurationCap, EntryIndex: -1, Reason: err.Error()}
+	case errors.Is(err, lts.ErrBudgetExceeded), errors.Is(err, lts.ErrNotFinitelyObservable):
+		return &Indeterminacy{Cause: CauseBudgetExceeded, EntryIndex: -1, Reason: err.Error()}
+	case errors.Is(err, errRecoveredPanic):
+		return &Indeterminacy{Cause: CauseRecoveredPanic, EntryIndex: -1, Reason: err.Error()}
+	}
+	return nil
+}
+
+// indeterminateReport builds the tri-state "cannot decide" report.
+func indeterminateReport(caseID, purpose string, entries, steps int, ind *Indeterminacy) *Report {
+	return &Report{
+		Case: caseID, Purpose: purpose, Entries: entries,
+		Outcome: OutcomeIndeterminate, Indeterminate: ind,
+		StepsReplayed: steps,
+	}
+}
 
 // ActiveTask is one element of a configuration's active-task set
 // (Definition 6): a task currently in execution, with the role (pool)
@@ -142,9 +175,13 @@ type purposeRT struct {
 	configs sync.Map // uint64 (confKey) -> *Configuration
 }
 
-func newPurposeRT(p *Purpose) *purposeRT {
+func newPurposeRT(p *Purpose, maxSilent int) *purposeRT {
+	var opts []lts.Option
+	if maxSilent > 0 {
+		opts = append(opts, lts.WithMaxSilentDepth(maxSilent))
+	}
 	rt := &purposeRT{
-		sys:    lts.NewSystem(p.Observable),
+		sys:    lts.NewSystem(p.Observable, opts...),
 		active: activeInterner{byKey: map[string]*activeSet{}},
 	}
 	rt.empty = rt.active.intern(nil)
@@ -183,7 +220,14 @@ type Checker struct {
 
 	// MaxConfigurations caps the configuration set as a safeguard
 	// against pathological nondeterminism; 0 means DefaultMaxConfigurations.
+	// Exceeding the cap yields an OutcomeIndeterminate report for the
+	// case, not an error.
 	MaxConfigurations int
+
+	// MaxSilentDepth overrides the per-purpose LTS silent-depth guard
+	// (0 = lts.DefaultMaxSilentDepth). It must be set before the first
+	// check against a purpose: the per-purpose runtime is built once.
+	MaxSilentDepth int
 
 	// TraceFn, when set, is invoked after each replayed entry with the
 	// surviving configuration set — the data behind the paper's
@@ -221,6 +265,7 @@ func (c *Checker) Clone() *Checker {
 		StrictFailureTask: c.StrictFailureTask,
 		DisableAbsorption: c.DisableAbsorption,
 		MaxConfigurations: c.MaxConfigurations,
+		MaxSilentDepth:    c.MaxSilentDepth,
 		rt:                c.rt,
 	}
 }
@@ -239,7 +284,7 @@ func (c *Checker) runtime(p *Purpose) *purposeRT {
 	if rt, ok := c.rt.purposes[p.Name]; ok {
 		return rt
 	}
-	rt = newPurposeRT(p)
+	rt = newPurposeRT(p, c.MaxSilentDepth)
 	c.rt.purposes[p.Name] = rt
 	return rt
 }
@@ -360,19 +405,40 @@ func (c *Checker) isActive(conf *Configuration, e audit.Entry) bool {
 // the replay is a valid (prefix of an) execution of the purpose's
 // process, and if not, which entry deviated and what was expected.
 func (c *Checker) CheckCase(trail *audit.Trail, caseID string) (*Report, error) {
+	return c.CheckCaseContext(context.Background(), trail, caseID)
+}
+
+// CheckCaseContext is CheckCase honoring ctx: cancellation or deadline
+// expiry inside the replay loop returns the context's error promptly.
+// The checker's shared caches stay consistent, so the same checker can
+// be reused after a cancellation. A panic during the case's analysis is
+// recovered and isolated into an OutcomeIndeterminate report instead of
+// taking down the whole run.
+func (c *Checker) CheckCaseContext(ctx context.Context, trail *audit.Trail, caseID string) (rep *Report, err error) {
 	pur := c.registry.ForCase(caseID)
 	if pur == nil {
 		return &Report{
 			Case:      caseID,
 			Compliant: false,
+			Outcome:   OutcomeViolation,
 			Violation: &Violation{
 				Kind:   ViolationUnknownPurpose,
 				Reason: fmt.Sprintf("case code %q is not bound to any registered purpose", CaseCode(caseID)),
 			},
 		}, nil
 	}
-	slice := trail.ByCase(caseID)
-	return c.replay(pur, caseID, slice.Entries())
+	entries := trail.ByCase(caseID).Entries()
+	defer func() {
+		if r := recover(); r != nil {
+			rep = indeterminateReport(caseID, pur.Name, len(entries), 0, &Indeterminacy{
+				Cause:      CauseRecoveredPanic,
+				EntryIndex: -1,
+				Reason:     fmt.Sprintf("recovered panic: %v", r),
+			})
+			err = nil
+		}
+	}()
+	return c.replay(ctx, pur, caseID, entries)
 }
 
 // initialConfiguration returns the memoized configuration of the
@@ -382,7 +448,10 @@ func (c *Checker) initialConfiguration(rt *purposeRT, pur *Purpose) (*Configurat
 }
 
 // replay is the body of Algorithm 1 over a chronological entry slice.
-func (c *Checker) replay(pur *Purpose, caseID string, entries []audit.Entry) (*Report, error) {
+// Budget exhaustion and configuration-cap overflow yield an
+// OutcomeIndeterminate report; ctx cancellation yields the context's
+// error.
+func (c *Checker) replay(ctx context.Context, pur *Purpose, caseID string, entries []audit.Entry) (*Report, error) {
 	rt := c.runtime(pur)
 	maxConfigs := c.MaxConfigurations
 	if maxConfigs <= 0 {
@@ -391,10 +460,17 @@ func (c *Checker) replay(pur *Purpose, caseID string, entries []audit.Entry) (*R
 
 	initial, err := c.initialConfiguration(rt, pur)
 	if err != nil {
+		if ind := indeterminacyFor(err); ind != nil {
+			return indeterminateReport(caseID, pur.Name, len(entries), 0, ind), nil
+		}
 		return nil, err
 	}
 	configs := []*Configuration{initial}
 	rep := &Report{Case: caseID, Purpose: pur.Name, Entries: len(entries)}
+
+	// Background contexts have a nil Done channel; skip the per-entry
+	// poll entirely then.
+	done := ctx.Done()
 
 	// Scratch reused across entries: the dedup set is cleared per step
 	// and the output buffer alternates with the input slice, so a warm
@@ -403,12 +479,22 @@ func (c *Checker) replay(pur *Purpose, caseID string, entries []audit.Entry) (*R
 	var spare []*Configuration
 
 	for i, e := range entries {
+		if done != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		nextConfigs, found, err := c.advance(rt, pur, configs, e, maxConfigs, seen, spare)
 		if err != nil {
+			if ind := indeterminacyFor(err); ind != nil {
+				ind.EntryIndex = i
+				return indeterminateReport(caseID, pur.Name, len(entries), i, ind), nil
+			}
 			return nil, fmt.Errorf("core: at entry %d of case %s: %w", i, caseID, err)
 		}
 		if !found {
 			rep.Compliant = false
+			rep.Outcome = OutcomeViolation
 			rep.Violation = c.describeViolation(pur, configs, i, e)
 			rep.StepsReplayed = i
 			return rep, nil
@@ -424,11 +510,17 @@ func (c *Checker) replay(pur *Purpose, caseID string, entries []audit.Entry) (*R
 	}
 
 	rep.Compliant = true
+	rep.Outcome = OutcomeCompliant
 	rep.StepsReplayed = len(entries)
 	rep.FinalConfigurations = len(configs)
 	for _, conf := range configs {
 		done, err := rt.sys.CanTerminateSilently(conf.state)
 		if err != nil {
+			if ind := indeterminacyFor(err); ind != nil {
+				ind.EntryIndex = len(entries)
+				ind.Reason = "completion check: " + ind.Reason
+				return indeterminateReport(caseID, pur.Name, len(entries), len(entries), ind), nil
+			}
 			return nil, err
 		}
 		if done {
@@ -461,7 +553,7 @@ func (c *Checker) advance(rt *purposeRT, pur *Purpose, configs []*Configuration,
 			return nil
 		}
 		if len(nextConfigs) >= maxConfigs {
-			return fmt.Errorf("configuration set exceeds %d", maxConfigs)
+			return fmt.Errorf("%w: configuration set exceeds %d", errConfigCap, maxConfigs)
 		}
 		seen[k] = true
 		nextConfigs = append(nextConfigs, conf)
@@ -546,9 +638,15 @@ func (c *Checker) describeViolation(pur *Purpose, configs []*Configuration, idx 
 // CheckTrail replays every case occurring in the trail and returns one
 // report per case, ordered by first appearance.
 func (c *Checker) CheckTrail(trail *audit.Trail) ([]*Report, error) {
+	return c.CheckTrailContext(context.Background(), trail)
+}
+
+// CheckTrailContext is CheckTrail honoring ctx between and within case
+// replays.
+func (c *Checker) CheckTrailContext(ctx context.Context, trail *audit.Trail) ([]*Report, error) {
 	var out []*Report
 	for _, caseID := range trail.Cases() {
-		rep, err := c.CheckCase(trail, caseID)
+		rep, err := c.CheckCaseContext(ctx, trail, caseID)
 		if err != nil {
 			return nil, err
 		}
@@ -565,9 +663,16 @@ func (c *Checker) CheckTrail(trail *audit.Trail) ([]*Report, error) {
 // memoized deterministically, the reports are identical to a sequential
 // run. workers <= 1 degenerates to CheckTrail.
 func (c *Checker) CheckTrailParallel(trail *audit.Trail, workers int) ([]*Report, error) {
+	return c.CheckTrailParallelContext(context.Background(), trail, workers)
+}
+
+// CheckTrailParallelContext is CheckTrailParallel honoring ctx: workers
+// stop claiming cases once the context is done, and the first context
+// error is returned.
+func (c *Checker) CheckTrailParallelContext(ctx context.Context, trail *audit.Trail, workers int) ([]*Report, error) {
 	cases := trail.Cases()
 	if workers <= 1 || len(cases) <= 1 {
-		return c.CheckTrail(trail)
+		return c.CheckTrailContext(ctx, trail)
 	}
 	if workers > len(cases) {
 		workers = len(cases)
@@ -585,7 +690,11 @@ func (c *Checker) CheckTrailParallel(trail *audit.Trail, workers int) ([]*Report
 				if i >= len(cases) {
 					return
 				}
-				reports[i], errs[i] = c.CheckCase(trail, cases[i])
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					return
+				}
+				reports[i], errs[i] = c.CheckCaseContext(ctx, trail, cases[i])
 			}
 		}()
 	}
@@ -601,9 +710,14 @@ func (c *Checker) CheckTrailParallel(trail *audit.Trail, workers int) ([]*Report
 // CheckObject investigates one object per Section 4: for each case in
 // which the object (or a sub-resource) was accessed, replay that case.
 func (c *Checker) CheckObject(trail *audit.Trail, obj policy.Object) ([]*Report, error) {
+	return c.CheckObjectContext(context.Background(), trail, obj)
+}
+
+// CheckObjectContext is CheckObject honoring ctx.
+func (c *Checker) CheckObjectContext(ctx context.Context, trail *audit.Trail, obj policy.Object) ([]*Report, error) {
 	var out []*Report
 	for _, caseID := range trail.TouchingObject(obj) {
-		rep, err := c.CheckCase(trail, caseID)
+		rep, err := c.CheckCaseContext(ctx, trail, caseID)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -27,7 +28,10 @@ type caseState struct {
 	purpose *Purpose
 	configs []*Configuration
 	entries int
-	dead    bool // a violation was already flagged; further entries are reported, not replayed
+	dead    bool // a violation or indeterminacy was already flagged; further entries are reported, not replayed
+	// cause is set when the case died of an analysis abandon (budget,
+	// configuration cap, recovered panic) rather than a violation.
+	cause *Indeterminacy
 }
 
 // Verdict is the outcome of feeding one entry.
@@ -35,8 +39,13 @@ type Verdict struct {
 	Case string
 	// OK is true when the entry extended a valid execution.
 	OK bool
-	// Violation describes the deviation when !OK.
+	// Violation describes the deviation when !OK and the case's analysis
+	// reached a verdict.
 	Violation *Violation
+	// Indeterminate is set when !OK because the case's analysis was
+	// abandoned (budget, configuration cap, recovered panic); neither
+	// compliance nor violation is claimed for this case.
+	Indeterminate *Indeterminacy
 	// CaseEntries counts entries seen for the case so far.
 	CaseEntries int
 	// Configurations is the live configuration count after the entry.
@@ -71,6 +80,14 @@ func (m *Monitor) caseStateFor(caseID string) (*caseState, error) {
 	}
 	initial, err := m.checker.initialConfiguration(m.checker.runtime(pur), pur)
 	if err != nil {
+		if ind := indeterminacyFor(err); ind != nil {
+			// The purpose's process cannot even be set up within budget:
+			// the case is born dead-indeterminate instead of erroring out
+			// the whole monitoring run.
+			st = &caseState{purpose: pur, dead: true, cause: ind}
+			m.cases[caseID] = st
+			return st, nil
+		}
 		return nil, err
 	}
 	st = &caseState{purpose: pur, configs: []*Configuration{initial}}
@@ -157,6 +174,17 @@ func (m *Monitor) Peek(e audit.Entry) (bool, error) {
 
 // Feed consumes one entry.
 func (m *Monitor) Feed(e audit.Entry) (*Verdict, error) {
+	return m.FeedContext(context.Background(), e)
+}
+
+// FeedContext is Feed honoring ctx. A budget/cap overflow or a panic
+// while advancing the case yields an indeterminate verdict and kills the
+// case (further feeds keep reporting it indeterminate); other monitored
+// cases are unaffected.
+func (m *Monitor) FeedContext(ctx context.Context, e audit.Entry) (*Verdict, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	v := &Verdict{Case: e.Case}
 	st, err := m.caseStateFor(e.Case)
 	if err != nil {
@@ -176,10 +204,14 @@ func (m *Monitor) Feed(e audit.Entry) (*Verdict, error) {
 	v.CaseEntries = st.entries
 
 	if st.dead {
-		v.Violation = &Violation{
-			Kind:   ViolationInvalidExecution,
-			Entry:  &e,
-			Reason: "case already deviated from its purpose's process",
+		if st.cause != nil {
+			v.Indeterminate = st.cause
+		} else {
+			v.Violation = &Violation{
+				Kind:   ViolationInvalidExecution,
+				Entry:  &e,
+				Reason: "case already deviated from its purpose's process",
+			}
 		}
 		return v, nil
 	}
@@ -189,8 +221,22 @@ func (m *Monitor) Feed(e audit.Entry) (*Verdict, error) {
 		maxConfigs = DefaultMaxConfigurations
 	}
 	rt := m.checker.runtime(st.purpose)
-	next, found, err := m.checker.advance(rt, st.purpose, st.configs, e, maxConfigs, nil, nil)
+	next, found, err := func() (next []*Configuration, found bool, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("%w: %v", errRecoveredPanic, r)
+			}
+		}()
+		return m.checker.advance(rt, st.purpose, st.configs, e, maxConfigs, nil, nil)
+	}()
 	if err != nil {
+		if ind := indeterminacyFor(err); ind != nil {
+			ind.EntryIndex = st.entries - 1
+			st.dead = true
+			st.cause = ind
+			v.Indeterminate = ind
+			return v, nil
+		}
 		return nil, fmt.Errorf("core: monitoring case %s: %w", e.Case, err)
 	}
 	if !found {
@@ -213,6 +259,10 @@ type CaseStatus struct {
 	Deviated       bool
 	Configurations int
 	CanComplete    bool
+	// Indeterminate is set when the case's analysis was abandoned
+	// (budget, configuration cap, recovered panic); Deviated is then
+	// true without a violation verdict.
+	Indeterminate *Indeterminacy
 }
 
 // Status reports all monitored cases, sorted by case id.
@@ -225,12 +275,18 @@ func (m *Monitor) Status() ([]CaseStatus, error) {
 			Entries:        st.entries,
 			Deviated:       st.dead,
 			Configurations: len(st.configs),
+			Indeterminate:  st.cause,
 		}
 		if !st.dead {
 			y := m.checker.runtime(st.purpose).sys
 			for _, conf := range st.configs {
 				done, err := y.CanTerminateSilently(conf.state)
 				if err != nil {
+					if indeterminacyFor(err) != nil {
+						// Completion is unknowable within budget; leave
+						// CanComplete false rather than failing the sweep.
+						break
+					}
 					return nil, err
 				}
 				if done {
@@ -258,6 +314,13 @@ func (m *Monitor) Forget(caseID string) { delete(m.cases, caseID) }
 // microseconds, so channel coordination would dominate. Reports come
 // back keyed by case.
 func CheckStoreParallel(c *Checker, store *audit.Store, nWorkers int) (map[string]*Report, error) {
+	return CheckStoreParallelContext(context.Background(), c, store, nWorkers)
+}
+
+// CheckStoreParallelContext is CheckStoreParallel honoring ctx: workers
+// stop claiming cases once the context is done, and the first context
+// error is returned.
+func CheckStoreParallelContext(ctx context.Context, c *Checker, store *audit.Store, nWorkers int) (map[string]*Report, error) {
 	cases := store.Cases()
 	if nWorkers <= 0 {
 		nWorkers = 1
@@ -278,7 +341,11 @@ func CheckStoreParallel(c *Checker, store *audit.Store, nWorkers int) (map[strin
 				if i >= len(cases) {
 					return
 				}
-				reports[i], errs[i] = c.CheckCase(store.Case(cases[i]), cases[i])
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					return
+				}
+				reports[i], errs[i] = c.CheckCaseContext(ctx, store.Case(cases[i]), cases[i])
 			}
 		}()
 	}

@@ -7,6 +7,87 @@ import (
 	"repro/internal/audit"
 )
 
+// Outcome is the tri-state verdict of a case analysis. The paper's
+// Algorithm 1 is binary (valid execution or not); a production checker
+// replaying imperfect evidence needs a third answer — "cannot decide" —
+// for cases whose analysis was abandoned (state-space budget, config
+// cap, isolated panic) rather than completed. De Masellis et al.'s
+// declarative framework draws the same violation/undecided line.
+type Outcome int
+
+const (
+	// OutcomeCompliant: the trail is a valid (prefix of an) execution.
+	OutcomeCompliant Outcome = iota
+	// OutcomeViolation: Algorithm 1 rejected an entry (or the case's
+	// purpose is unknown).
+	OutcomeViolation
+	// OutcomeIndeterminate: the analysis could not run to a verdict;
+	// Report.Indeterminate says why. Neither compliance nor violation
+	// is claimed.
+	OutcomeIndeterminate
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeCompliant:
+		return "compliant"
+	case OutcomeViolation:
+		return "violation"
+	case OutcomeIndeterminate:
+		return "indeterminate"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// IndeterminacyCause classifies why the checker abstained.
+type IndeterminacyCause int
+
+const (
+	// CauseBudgetExceeded: LTS exploration hit a budget (state budget,
+	// silent-depth guard, or a non-finitely-observable process).
+	CauseBudgetExceeded IndeterminacyCause = iota
+	// CauseConfigurationCap: the configuration set exceeded
+	// MaxConfigurations.
+	CauseConfigurationCap
+	// CauseRecoveredPanic: a panic during this case's analysis was
+	// recovered and isolated to the case.
+	CauseRecoveredPanic
+)
+
+// String names the cause.
+func (c IndeterminacyCause) String() string {
+	switch c {
+	case CauseBudgetExceeded:
+		return "budget-exceeded"
+	case CauseConfigurationCap:
+		return "configuration-cap"
+	case CauseRecoveredPanic:
+		return "recovered-panic"
+	default:
+		return fmt.Sprintf("IndeterminacyCause(%d)", int(c))
+	}
+}
+
+// Indeterminacy explains an OutcomeIndeterminate report.
+type Indeterminacy struct {
+	Cause IndeterminacyCause
+	// EntryIndex is the entry being replayed when the analysis was
+	// abandoned; -1 when it never started (e.g. the initial
+	// configuration could not be derived).
+	EntryIndex int
+	Reason     string
+}
+
+// String renders a one-line account.
+func (ind *Indeterminacy) String() string {
+	if ind.EntryIndex >= 0 {
+		return fmt.Sprintf("[%s] %s (at entry %d)", ind.Cause, ind.Reason, ind.EntryIndex)
+	}
+	return fmt.Sprintf("[%s] %s", ind.Cause, ind.Reason)
+}
+
 // ViolationKind classifies why a case failed compliance.
 type ViolationKind int
 
@@ -70,10 +151,16 @@ type Report struct {
 	// Entries is the number of entries in the case slice.
 	Entries int
 	// Compliant is Algorithm 1's verdict: the trail is a valid
-	// (prefix of an) execution of the purpose's process.
+	// (prefix of an) execution of the purpose's process. It is true
+	// exactly when Outcome is OutcomeCompliant.
 	Compliant bool
-	// Violation is set when not compliant.
+	// Outcome is the tri-state verdict; indeterminate cases are neither
+	// compliant nor violations.
+	Outcome Outcome
+	// Violation is set when Outcome is OutcomeViolation.
 	Violation *Violation
+	// Indeterminate is set when Outcome is OutcomeIndeterminate.
+	Indeterminate *Indeterminacy
 	// StepsReplayed counts entries successfully replayed (all of them
 	// when compliant).
 	StepsReplayed int
@@ -92,6 +179,9 @@ type Report struct {
 
 // String renders a one-line summary.
 func (r *Report) String() string {
+	if r.Outcome == OutcomeIndeterminate {
+		return fmt.Sprintf("case %s (%s): INDETERMINATE after %d step(s): %s", r.Case, r.Purpose, r.StepsReplayed, r.Indeterminate)
+	}
 	if r.Compliant {
 		state := "complete"
 		if r.Pending {

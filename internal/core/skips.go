@@ -47,6 +47,21 @@ type skipConfig struct {
 // the minimum over surviving configurations, so the verdict is the most
 // charitable explanation within budget.
 func (c *Checker) CheckCaseWithSkips(trail *audit.Trail, caseID string, budget int) (*SkipReport, error) {
+	rep, err := c.checkCaseWithSkips(trail, caseID, budget)
+	if err != nil {
+		if ind := indeterminacyFor(err); ind != nil {
+			name := ""
+			if pur := c.registry.ForCase(caseID); pur != nil {
+				name = pur.Name
+			}
+			return &SkipReport{Report: *indeterminateReport(caseID, name, trail.ByCase(caseID).Len(), 0, ind)}, nil
+		}
+		return nil, err
+	}
+	return rep, nil
+}
+
+func (c *Checker) checkCaseWithSkips(trail *audit.Trail, caseID string, budget int) (*SkipReport, error) {
 	pur := c.registry.ForCase(caseID)
 	if pur == nil {
 		rep, err := c.CheckCase(trail, caseID)
@@ -82,7 +97,7 @@ func (c *Checker) CheckCaseWithSkips(trail *audit.Trail, caseID string, budget i
 				return nil
 			}
 			if len(next) >= maxConfigs {
-				return fmt.Errorf("core: skip-search configuration set exceeds %d at entry %d of case %s", maxConfigs, i, caseID)
+				return fmt.Errorf("%w: skip-search configuration set exceeds %d at entry %d of case %s", errConfigCap, maxConfigs, i, caseID)
 			}
 			next = append(next, sc)
 			seen[k] = len(next)
@@ -141,6 +156,7 @@ func (c *Checker) CheckCaseWithSkips(trail *audit.Trail, caseID string, budget i
 
 		if len(next) == 0 {
 			rep.Compliant = false
+			rep.Outcome = OutcomeViolation
 			confs := make([]*Configuration, len(live))
 			for j, sc := range live {
 				confs[j] = sc.conf
@@ -156,6 +172,7 @@ func (c *Checker) CheckCaseWithSkips(trail *audit.Trail, caseID string, budget i
 	}
 
 	rep.Compliant = true
+	rep.Outcome = OutcomeCompliant
 	rep.StepsReplayed = len(entries)
 	rep.FinalConfigurations = len(live)
 	best := -1

@@ -1,0 +1,125 @@
+package faultinject_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/audit"
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/workload"
+)
+
+// The chaos test drives the full degraded-mode pipeline end to end:
+// generate a valid multi-case workload, serialize it, damage the bytes
+// with every fault kind, then run lenient ingestion + tri-state checking
+// and assert (under -race, via CI) that nothing panics, every injected
+// corruption is quarantined at exactly its line, duplicates surface as
+// anomalies, and the verdicts of cases no fault touched are identical to
+// a clean-run baseline.
+
+// chaosPipeline is the production lenient path: decode in file order,
+// ingest per-case lenient, check every case in parallel.
+func chaosPipeline(t *testing.T, checker *core.Checker, text string) (*audit.Quarantine, *audit.Store, map[string]*core.Report) {
+	t.Helper()
+	entries, q, err := audit.DecodeCSVEntries(strings.NewReader(text), audit.DecodeOptions{Lenient: true})
+	if err != nil {
+		t.Fatalf("lenient decode failed: %v", err)
+	}
+	store := audit.NewStoreWith(audit.StoreOptions{Order: audit.OrderPerCaseLenient})
+	for _, e := range entries {
+		if err := store.Append(e); err != nil {
+			t.Fatalf("lenient append failed: %v", err)
+		}
+	}
+	reports, err := core.CheckStoreParallel(checker, store, 8)
+	if err != nil {
+		t.Fatalf("parallel check failed: %v", err)
+	}
+	return q, store, reports
+}
+
+func TestChaosPipeline(t *testing.T) {
+	proc := workload.MustGenerate(workload.DefaultProcParams("Chaos", 7, 10))
+	reg := core.NewRegistry()
+	if _, err := reg.Register(proc, "CH"); err != nil {
+		t.Fatal(err)
+	}
+	trail, err := workload.ManyCases(reg, "CH", 24, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := audit.WriteCSV(&b, trail); err != nil {
+		t.Fatal(err)
+	}
+	clean := b.String()
+	checker := core.NewChecker(reg, nil)
+
+	_, _, baseline := chaosPipeline(t, checker, clean)
+
+	res := faultinject.New(7).MutateCSV(clean, 12)
+	kindsApplied := 0
+	for _, k := range faultinject.AllKinds() {
+		if res.Count(k) > 0 {
+			kindsApplied++
+		}
+	}
+	if kindsApplied < 4 {
+		t.Fatalf("only %d fault kinds applied, want >=4: %v", kindsApplied, res.Injections)
+	}
+
+	q, store, damaged := chaosPipeline(t, checker, res.Text)
+
+	// Every injected corruption is quarantined at exactly its line — no
+	// misses, no collateral quarantining of healthy records.
+	if got, want := q.Lines(), res.CorruptLines(); !reflect.DeepEqual(got, want) {
+		t.Errorf("quarantine lines = %v, want %v", got, want)
+	}
+
+	// Every injected duplicate surfaces as a duplicate anomaly; the
+	// generated workload has no natural duplicates (strictly increasing
+	// clock), so the counts match exactly.
+	dups := 0
+	for _, a := range store.Anomalies() {
+		if a.Kind == audit.AnomalyDuplicate {
+			dups++
+		}
+	}
+	if dups != res.Count(faultinject.Duplicate) {
+		t.Errorf("duplicate anomalies = %d, want %d", dups, res.Count(faultinject.Duplicate))
+	}
+
+	// Cases no fault touched get verdicts identical to the clean run.
+	touched := map[string]bool{}
+	for _, c := range res.Touched {
+		touched[c] = true
+	}
+	compared := 0
+	for id, want := range baseline {
+		if touched[id] {
+			continue
+		}
+		compared++
+		if got := damaged[id]; !reflect.DeepEqual(got, want) {
+			t.Errorf("untouched case %s verdict changed:\n got %+v\nwant %+v", id, got, want)
+		}
+	}
+	if compared == 0 {
+		t.Fatalf("every case was touched; widen the workload or reduce faults")
+	}
+
+	// Cancellation mid-run returns promptly with the context error and
+	// leaves the checker reusable.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := core.CheckStoreParallelContext(ctx, checker, store, 8); !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled parallel check: err = %v, want context.Canceled", err)
+	}
+	if _, err := core.CheckStoreParallel(checker, store, 8); err != nil {
+		t.Errorf("checker unusable after cancellation: %v", err)
+	}
+}

@@ -1,0 +1,306 @@
+// Package faultinject mutates serialized audit trails with seeded,
+// line-oriented faults — corrupted records, drops, duplicates, local
+// reorderings, truncation — so the degraded-mode ingestion and checking
+// pipeline can be exercised against realistic log damage. The mutator
+// works on the textual encodings (CSV, JSONL) rather than on decoded
+// entries: that is where real damage happens (partial writes, collector
+// crashes, transport reordering), and it lets tests assert that every
+// injected corruption is quarantined at exactly the line it landed on.
+package faultinject
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Kind is one fault family.
+type Kind int
+
+const (
+	// Corrupt replaces a record with an unparsable line (same line
+	// count, no quote or newline characters, so decoder line accounting
+	// stays in sync).
+	Corrupt Kind = iota
+	// Drop deletes a record.
+	Drop
+	// Duplicate emits a record twice, adjacently.
+	Duplicate
+	// Reorder swaps a record with its successor (a window-1 transport
+	// reordering).
+	Reorder
+	// Truncate cuts the file at the record (collector crash); it is
+	// always placed near the end so most of the trail survives.
+	Truncate
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Corrupt:
+		return "corrupt"
+	case Drop:
+		return "drop"
+	case Duplicate:
+		return "duplicate"
+	case Reorder:
+		return "reorder"
+	case Truncate:
+		return "truncate"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// AllKinds lists every fault family.
+func AllKinds() []Kind { return []Kind{Corrupt, Drop, Duplicate, Reorder, Truncate} }
+
+// Injection records one applied fault.
+type Injection struct {
+	Kind Kind
+	// SourceLine is the 1-based line of the input text the fault
+	// targeted.
+	SourceLine int
+	// OutLine is the 1-based line in the mutated text where the fault
+	// materialized (the corrupted line, the second copy of a duplicate,
+	// the displaced line of a reorder); 0 for Drop and Truncate, which
+	// leave nothing behind.
+	OutLine int
+	// Case is the case id of the targeted record ("" if it could not be
+	// determined).
+	Case   string
+	Detail string
+}
+
+// String renders a one-line account.
+func (in Injection) String() string {
+	return fmt.Sprintf("[%s] source line %d case %q: %s", in.Kind, in.SourceLine, in.Case, in.Detail)
+}
+
+// Result is a mutated text plus the ground truth of what was done to it.
+type Result struct {
+	Text       string
+	Injections []Injection
+	// Touched lists, sorted, the case ids whose slices were altered by
+	// any injection — the complement is the set of cases whose verdicts
+	// must match a clean run exactly.
+	Touched []string
+}
+
+// CorruptLines returns the 1-based mutated-text lines carrying Corrupt
+// injections, sorted — exactly what a lenient decoder must quarantine.
+func (r Result) CorruptLines() []int {
+	var out []int
+	for _, in := range r.Injections {
+		if in.Kind == Corrupt {
+			out = append(out, in.OutLine)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Count returns how many injections of kind k were applied.
+func (r Result) Count(k Kind) int {
+	n := 0
+	for _, in := range r.Injections {
+		if in.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// Mutator applies seeded faults. The same seed, kinds, input and count
+// always produce the same Result.
+type Mutator struct {
+	rng   *rand.Rand
+	kinds []Kind
+}
+
+// New builds a mutator drawing faults from kinds (all of them when none
+// are given).
+func New(seed int64, kinds ...Kind) *Mutator {
+	if len(kinds) == 0 {
+		kinds = AllKinds()
+	}
+	return &Mutator{rng: rand.New(rand.NewSource(seed)), kinds: append([]Kind(nil), kinds...)}
+}
+
+// MutateCSV applies up to n faults to a WriteCSV-encoded trail (header
+// on line 1 is never targeted).
+func (m *Mutator) MutateCSV(text string, n int) Result {
+	return m.mutate(text, n, 1, csvCase, corruptCSVLine)
+}
+
+// MutateJSONL applies up to n faults to a WriteJSONL-encoded trail.
+func (m *Mutator) MutateJSONL(text string, n int) Result {
+	return m.mutate(text, n, 0, jsonlCase, corruptJSONLLine)
+}
+
+// csvCase extracts the case column (user,role,action,object,task,case,
+// time,status) without a full CSV parse; trail writers never quote
+// these simple fields.
+func csvCase(line string) string {
+	fields := strings.Split(line, ",")
+	if len(fields) != 8 {
+		return ""
+	}
+	return fields[5]
+}
+
+func jsonlCase(line string) string {
+	var rec struct {
+		Case string `json:"case"`
+	}
+	if err := json.Unmarshal([]byte(line), &rec); err != nil {
+		return ""
+	}
+	return rec.Case
+}
+
+// corruptCSVLine yields a record that parses as CSV (keeping the line
+// counter in sync — no quotes, commas or newlines) but fails entry
+// decoding on field count.
+func corruptCSVLine(string) string { return "CORRUPTED RECORD" }
+
+// corruptJSONLLine yields an unterminated JSON object.
+func corruptJSONLLine(string) string { return "{\"corrupted" }
+
+// mutate is the shared engine. first is the index of the first
+// targetable line (1 skips a header). Fault positions are sampled with
+// pairwise spacing ≥ 2 so faults never interact (a reorder never swaps
+// into a dropped or corrupted line), keeping the ground truth exact.
+func (m *Mutator) mutate(text string, n int, first int, caseOf func(string) string, corruptFn func(string) string) Result {
+	lines := strings.Split(strings.TrimSuffix(text, "\n"), "\n")
+	data := len(lines) - first
+	if max := data / 3; n > max {
+		n = max
+	}
+	if n <= 0 || data < 4 {
+		return Result{Text: text}
+	}
+
+	// One fault kind per slot, cycling through the configured kinds;
+	// Truncate at most once (a second truncation is a no-op).
+	kinds := make([]Kind, 0, n)
+	haveTrunc := false
+	for i := 0; len(kinds) < n; i++ {
+		k := m.kinds[i%len(m.kinds)]
+		if k == Truncate {
+			if haveTrunc {
+				continue
+			}
+			haveTrunc = true
+		}
+		kinds = append(kinds, k)
+	}
+
+	// Truncation lands in the last eighth of the file; every other
+	// fault is sampled before it, away from the final line so Reorder
+	// always has a successor to swap with.
+	truncateAt := -1
+	hi := len(lines) - 1 // exclusive bound for non-truncate positions
+	if haveTrunc {
+		tail := data / 8
+		if tail < 2 {
+			tail = 2
+		}
+		truncateAt = len(lines) - 1 - m.rng.Intn(tail)
+		hi = truncateAt - 1
+	}
+
+	chosen := map[int]Kind{}
+	var positions []int
+	for _, k := range kinds {
+		if k == Truncate {
+			continue
+		}
+		placed := false
+		for attempt := 0; attempt < 200 && !placed; attempt++ {
+			p := first + m.rng.Intn(hi-first)
+			if _, hit := chosen[p-1]; hit {
+				continue
+			}
+			if _, hit := chosen[p]; hit {
+				continue
+			}
+			if _, hit := chosen[p+1]; hit {
+				continue
+			}
+			chosen[p] = k
+			positions = append(positions, p)
+			placed = true
+		}
+	}
+	sort.Ints(positions)
+
+	touched := map[string]bool{}
+	touch := func(c string) {
+		if c != "" {
+			touched[c] = true
+		}
+	}
+	var injections []Injection
+	out := make([]string, 0, len(lines)+n)
+	skip := -1
+	for i := 0; i < len(lines); i++ {
+		if i == truncateAt {
+			for j := i; j < len(lines); j++ {
+				touch(caseOf(lines[j]))
+			}
+			injections = append(injections, Injection{
+				Kind: Truncate, SourceLine: i + 1, Case: caseOf(lines[i]),
+				Detail: fmt.Sprintf("file cut, %d line(s) lost", len(lines)-i),
+			})
+			break
+		}
+		if i == skip {
+			continue
+		}
+		k, hit := chosen[i]
+		if !hit {
+			out = append(out, lines[i])
+			continue
+		}
+		cs := caseOf(lines[i])
+		touch(cs)
+		switch k {
+		case Corrupt:
+			out = append(out, corruptFn(lines[i]))
+			injections = append(injections, Injection{
+				Kind: Corrupt, SourceLine: i + 1, OutLine: len(out), Case: cs,
+				Detail: "record replaced with unparsable bytes",
+			})
+		case Drop:
+			injections = append(injections, Injection{
+				Kind: Drop, SourceLine: i + 1, Case: cs,
+				Detail: "record deleted",
+			})
+		case Duplicate:
+			out = append(out, lines[i], lines[i])
+			injections = append(injections, Injection{
+				Kind: Duplicate, SourceLine: i + 1, OutLine: len(out), Case: cs,
+				Detail: "record emitted twice",
+			})
+		case Reorder:
+			next := lines[i+1]
+			touch(caseOf(next))
+			out = append(out, next, lines[i])
+			skip = i + 1
+			injections = append(injections, Injection{
+				Kind: Reorder, SourceLine: i + 1, OutLine: len(out), Case: cs,
+				Detail: "record swapped with its successor",
+			})
+		}
+	}
+
+	cases := make([]string, 0, len(touched))
+	for c := range touched {
+		cases = append(cases, c)
+	}
+	sort.Strings(cases)
+	return Result{Text: strings.Join(out, "\n") + "\n", Injections: injections, Touched: cases}
+}

@@ -1,0 +1,105 @@
+package faultinject_test
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/faultinject"
+	"repro/internal/policy"
+)
+
+func sampleCSV(t *testing.T, n int) string {
+	t.Helper()
+	entries := make([]audit.Entry, n)
+	for i := range entries {
+		entries[i] = audit.Entry{
+			User: "u1", Role: "R", Action: "read",
+			Object: policy.MustParseObject("[P1]EPR/Clinical"),
+			Task:   fmt.Sprintf("T%d", i%4+1), Case: fmt.Sprintf("C-%d", i/4+1),
+			Time:   time.Date(2026, 4, 1, 9, 0, 0, 0, time.UTC).Add(time.Duration(i) * time.Minute),
+			Status: audit.Success,
+		}
+	}
+	var b strings.Builder
+	if err := audit.WriteCSV(&b, audit.NewTrail(entries)); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestMutatorDeterministic(t *testing.T) {
+	src := sampleCSV(t, 40)
+	a := faultinject.New(42).MutateCSV(src, 8)
+	b := faultinject.New(42).MutateCSV(src, 8)
+	if a.Text != b.Text || !reflect.DeepEqual(a.Injections, b.Injections) {
+		t.Fatalf("same seed diverged")
+	}
+	c := faultinject.New(43).MutateCSV(src, 8)
+	if a.Text == c.Text {
+		t.Fatalf("different seeds produced identical mutations")
+	}
+}
+
+func TestMutatorAppliesAllKinds(t *testing.T) {
+	src := sampleCSV(t, 60)
+	res := faultinject.New(7).MutateCSV(src, 10)
+	for _, k := range faultinject.AllKinds() {
+		if res.Count(k) == 0 {
+			t.Errorf("kind %s never applied: %v", k, res.Injections)
+		}
+	}
+	if res.Count(faultinject.Truncate) != 1 {
+		t.Errorf("truncate applied %d times, want exactly 1", res.Count(faultinject.Truncate))
+	}
+	if len(res.Touched) == 0 {
+		t.Errorf("no touched cases recorded")
+	}
+	for _, in := range res.Injections {
+		if in.Kind != faultinject.Truncate && in.Case == "" {
+			t.Errorf("injection lost its case: %s", in)
+		}
+	}
+}
+
+func TestMutatedCSVQuarantinesExactly(t *testing.T) {
+	src := sampleCSV(t, 60)
+	res := faultinject.New(11).MutateCSV(src, 9)
+	_, q, err := audit.DecodeCSV(strings.NewReader(res.Text), audit.DecodeOptions{Lenient: true})
+	if err != nil {
+		t.Fatalf("lenient decode of mutated text failed: %v", err)
+	}
+	if got, want := q.Lines(), res.CorruptLines(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("quarantine lines = %v, want exactly the corrupt injections %v", got, want)
+	}
+}
+
+func TestMutatedJSONLQuarantinesExactly(t *testing.T) {
+	entries, _, err := audit.DecodeCSVEntries(strings.NewReader(sampleCSV(t, 60)), audit.DecodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := audit.WriteJSONL(&b, audit.NewTrail(entries)); err != nil {
+		t.Fatal(err)
+	}
+	res := faultinject.New(11).MutateJSONL(b.String(), 9)
+	_, q, err := audit.DecodeJSONL(strings.NewReader(res.Text), audit.DecodeOptions{Lenient: true})
+	if err != nil {
+		t.Fatalf("lenient decode of mutated text failed: %v", err)
+	}
+	if got, want := q.Lines(), res.CorruptLines(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("quarantine lines = %v, want exactly the corrupt injections %v", got, want)
+	}
+}
+
+func TestMutatorTinyInputUntouched(t *testing.T) {
+	src := sampleCSV(t, 2)
+	res := faultinject.New(1).MutateCSV(src, 5)
+	if res.Text != src || len(res.Injections) != 0 {
+		t.Fatalf("tiny input should pass through unchanged")
+	}
+}
