@@ -1,4 +1,4 @@
-.PHONY: ci test bench fuzz chaos
+.PHONY: ci test bench fuzz chaos serve smoke
 
 ci:
 	sh ./ci.sh
@@ -19,3 +19,12 @@ fuzz:
 # Fault-injection chaos suite under the race detector.
 chaos:
 	go test -race -run TestChaosPipeline ./internal/faultinject/
+
+# Run the streaming audit server over the paper's hospital scenario.
+serve:
+	go run ./cmd/auditd -builtin hospital -addr :8443 -checkpoint auditd.ckpt.json
+
+# End-to-end server smoke: random port, stream the Figure 4 trail,
+# assert the known violations and metrics, clean SIGTERM drain.
+smoke:
+	sh ./ci.sh smoke

@@ -1,11 +1,110 @@
 #!/bin/sh
 # CI gate: static checks, full build, race-enabled tests (the chaos
 # suite in internal/faultinject runs under -race here), a fuzz smoke
-# over the ingestion surface, then a quick benchmark smoke of the P1
-# (trail length) and P3 (parallel cases) performance claims, recorded
-# to BENCH_pr1.json for regression tracking. Run via `make ci` or
-# directly.
+# over the ingestion surface, a quick benchmark smoke of the P1
+# (trail length) and P3 (parallel cases) performance claims (recorded
+# to BENCH_pr1.json for regression tracking), and an end-to-end smoke
+# of the auditd streaming server. Run via `make ci` or directly;
+# `sh ci.sh smoke` runs only the server smoke (also `make smoke`).
 set -eu
+
+SMOKE_TMP=""
+SMOKE_PID=""
+cleanup() {
+	[ -n "$SMOKE_PID" ] && kill "$SMOKE_PID" 2>/dev/null || true
+	[ -n "$SMOKE_TMP" ] && rm -rf "$SMOKE_TMP" || true
+}
+trap cleanup EXIT
+
+# server_smoke boots auditd on a random port, streams the Figure 4
+# hospital trail into it, asserts the five known infringements are
+# reported and the metrics moved, then SIGTERMs it and requires a
+# clean drain with a final checkpoint on disk.
+server_smoke() {
+	echo "== auditd server smoke =="
+	SMOKE_TMP=$(mktemp -d)
+	go build -o "$SMOKE_TMP/auditd" ./cmd/auditd
+	go build -o "$SMOKE_TMP/auditgen" ./cmd/auditgen
+
+	"$SMOKE_TMP/auditd" -builtin hospital -addr 127.0.0.1:0 \
+		-addr-file "$SMOKE_TMP/addr" -checkpoint "$SMOKE_TMP/ckpt.json" \
+		2>"$SMOKE_TMP/auditd.log" &
+	SMOKE_PID=$!
+
+	i=0
+	while [ ! -s "$SMOKE_TMP/addr" ]; do
+		i=$((i + 1))
+		if [ "$i" -gt 100 ]; then
+			echo "auditd never wrote its address; log:" >&2
+			cat "$SMOKE_TMP/auditd.log" >&2
+			exit 1
+		fi
+		sleep 0.1
+	done
+	addr=$(cat "$SMOKE_TMP/addr")
+	curl -sf "http://$addr/readyz" >/dev/null
+
+	# Ingest the Figure 4 trail as an NDJSON stream; ?wait=1 blocks
+	# until every entry reached its monitor.
+	"$SMOKE_TMP/auditgen" -builtin hospital -stream |
+		curl -sf --data-binary @- "http://$addr/v1/events?wait=1" \
+			>"$SMOKE_TMP/ingest.json"
+	grep -q '"accepted": 28' "$SMOKE_TMP/ingest.json" || {
+		echo "unexpected ingest result:" >&2
+		cat "$SMOKE_TMP/ingest.json" >&2
+		exit 1
+	}
+
+	# The paper's five infringing cases must be reported as violations.
+	curl -sf "http://$addr/v1/cases?outcome=violation" >"$SMOKE_TMP/violations.json"
+	n=$(grep -c '"outcome": "violation"' "$SMOKE_TMP/violations.json")
+	if [ "$n" -ne 5 ]; then
+		echo "expected 5 violating cases, got $n:" >&2
+		cat "$SMOKE_TMP/violations.json" >&2
+		exit 1
+	fi
+	curl -sf "http://$addr/v1/cases/HT-11" | grep -q '"outcome": "violation"' || {
+		echo "HT-11 (the paper's re-purposing attack) not flagged" >&2
+		exit 1
+	}
+
+	# Observability: the ingest and verdict series moved.
+	curl -sf "http://$addr/metrics" >"$SMOKE_TMP/metrics.txt"
+	grep -q '^auditd_events_ingested_total 28$' "$SMOKE_TMP/metrics.txt" || {
+		echo "ingest counter did not move:" >&2
+		grep ^auditd_events "$SMOKE_TMP/metrics.txt" >&2
+		exit 1
+	}
+	grep -q '^auditd_verdicts_total{outcome="violation"} [1-9]' "$SMOKE_TMP/metrics.txt" || {
+		echo "violation verdict counter did not move" >&2
+		exit 1
+	}
+
+	# Clean shutdown: SIGTERM must drain and write a final checkpoint.
+	kill -TERM "$SMOKE_PID"
+	wait "$SMOKE_PID" || {
+		echo "auditd exited non-zero; log:" >&2
+		cat "$SMOKE_TMP/auditd.log" >&2
+		exit 1
+	}
+	SMOKE_PID=""
+	[ -s "$SMOKE_TMP/ckpt.json" ] || {
+		echo "no final checkpoint written" >&2
+		exit 1
+	}
+	grep -q '"monitor"' "$SMOKE_TMP/ckpt.json" || {
+		echo "checkpoint has no monitor state" >&2
+		exit 1
+	}
+	echo "server smoke OK ($n violations, clean drain, checkpoint written)"
+	rm -rf "$SMOKE_TMP"
+	SMOKE_TMP=""
+}
+
+if [ "${1:-all}" = smoke ]; then
+	server_smoke
+	exit 0
+fi
 
 echo "== go vet =="
 go vet ./...
@@ -26,3 +125,5 @@ done
 
 echo "== benchmark smoke (P1, P3) =="
 go run ./cmd/benchtab -exp P1,P3 -quick -json BENCH_pr1.json
+
+server_smoke

@@ -1,0 +1,156 @@
+// Command auditd serves the purpose-control analysis as a long-running
+// HTTP service: audit entries stream in (NDJSON or CSV), are sharded by
+// case across a pool of online monitors, and verdicts are queryable
+// while the stream is still flowing. The live state checkpoints to disk
+// periodically and on SIGTERM, so a restart resumes mid-case instead of
+// losing history.
+//
+// Usage:
+//
+//	auditd -builtin hospital -addr :8443
+//	auditd -proc treat.json:HT -proc trial.bpmn:CT [-policy pol.txt] \
+//	       -shards 8 -queue 1024 \
+//	       -checkpoint /var/lib/auditd/state.json -checkpoint-every 30s \
+//	       [-addr-file /run/auditd.addr]
+//
+// Endpoints: POST /v1/events (ingest; 202, or 429 + Retry-After under
+// backpressure), GET /v1/cases[?outcome=|purpose=|since=],
+// GET /v1/cases/{id}, GET /v1/purposes, GET /v1/quarantine, /metrics
+// (Prometheus text), /healthz, /readyz.
+//
+// -addr-file writes the actually bound address (useful with :0 in
+// scripts). SIGINT/SIGTERM drain the shard queues, write a final
+// checkpoint, and exit 0; startup or serve errors exit 2.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		procs  cli.ProcList
+		addr   = flag.String("addr", ":8443", "listen address (use :0 for an ephemeral port)")
+		addrFS = flag.String("addr-file", "", "write the bound address to this file once listening")
+		shards = flag.Int("shards", 8, "monitor shards (cases are hash-partitioned)")
+		queue  = flag.Int("queue", 1024, "per-shard queue depth (full queue => 429 backpressure)")
+		ckpt   = flag.String("checkpoint", "", "checkpoint file (restored on start, written periodically and on shutdown)")
+		every  = flag.Duration("checkpoint-every", 30*time.Second, "periodic checkpoint interval")
+		pol    = flag.String("policy", "", "policy file (textual format; supplies the role hierarchy)")
+		bltn   = flag.String("builtin", "", "use a built-in scenario: 'hospital' (Figures 1-4)")
+		drain  = flag.Duration("drain-timeout", 30*time.Second, "max wait for queues to drain on shutdown")
+	)
+	flag.Var(&procs, "proc", cli.ProcUsage)
+	flag.Parse()
+
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	slog.SetDefault(log)
+	if err := run(log, *addr, *addrFS, *shards, *queue, *ckpt, *every, *drain, *pol, *bltn, procs); err != nil {
+		log.Error("auditd failed", "err", err)
+		os.Exit(cli.ExitUsage)
+	}
+}
+
+// buildRegistry assembles the registry and role hierarchy from the
+// builtin scenario or the -proc/-policy bindings, exactly as purposectl
+// does (shared loaders in internal/cli).
+func buildRegistry(builtin, polFile string, procs []string) (*core.Registry, *policy.RoleHierarchy, error) {
+	if builtin != "" {
+		sc, err := cli.Builtin(builtin)
+		if err != nil {
+			return nil, nil, err
+		}
+		var roles *policy.RoleHierarchy
+		if sc.Policy != nil {
+			roles = sc.Policy.Roles
+		}
+		return sc.Registry, roles, nil
+	}
+	if len(procs) == 0 {
+		return nil, nil, fmt.Errorf("no processes: use -proc or -builtin")
+	}
+	reg := core.NewRegistry()
+	if err := cli.LoadProcs(reg, procs); err != nil {
+		return nil, nil, err
+	}
+	var roles *policy.RoleHierarchy
+	if polFile != "" {
+		f, err := os.Open(polFile)
+		if err != nil {
+			return nil, nil, err
+		}
+		p, err := policy.ParsePolicy(f)
+		f.Close()
+		if err != nil {
+			return nil, nil, err
+		}
+		roles = p.Roles
+	}
+	return reg, roles, nil
+}
+
+func run(log *slog.Logger, addr, addrFile string, shards, queue int, ckpt string, every, drainTimeout time.Duration, polFile, builtin string, procs []string) error {
+	reg, roles, err := buildRegistry(builtin, polFile, procs)
+	if err != nil {
+		return err
+	}
+
+	srv := server.New(reg, core.NewChecker(reg, roles), server.Config{
+		Shards:          shards,
+		QueueDepth:      queue,
+		CheckpointPath:  ckpt,
+		CheckpointEvery: every,
+		Logger:          log,
+	})
+	if err := srv.Start(); err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	log.Info("listening", "addr", ln.Addr().String())
+	if addrFile != "" {
+		if err := os.WriteFile(addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			return err
+		}
+	}
+
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		log.Info("signal received, draining")
+	case err := <-errc:
+		return fmt.Errorf("serve: %w", err)
+	}
+
+	// Stop accepting HTTP first (waits for in-flight requests), then
+	// drain the shard queues and write the final checkpoint.
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Warn("http shutdown", "err", err)
+	}
+	return srv.Shutdown(shutdownCtx)
+}

@@ -7,19 +7,29 @@
 //	auditgen -tasks 20 -seed 1 -cases 10 -code GEN \
 //	         -proc-out proc.json -out trail.csv \
 //	         [-pools 2] [-violate wrong-role] [-actions 3]
+//	auditgen -builtin hospital -stream -rate 50 | curl --data-binary @- ...
 //
 // The generated process goes to -proc-out (BPMN JSON), the trail to
 // -out (CSV, or JSONL by extension). With -violate, one injection of the
 // given kind is applied per case where applicable.
+//
+// -stream switches the output to NDJSON written one entry at a time
+// (each line flushed), paced at -rate events per second (0 =
+// unthrottled) — a live feed for auditd's POST /v1/events. -builtin
+// hospital replays the paper's Figure 4 trail instead of generating
+// one.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/audit"
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/workload"
 )
@@ -35,51 +45,85 @@ func main() {
 		procOut = flag.String("proc-out", "", "write the process as BPMN JSON")
 		out     = flag.String("out", "", "write the trail (.csv or .jsonl; default stdout CSV)")
 		violate = flag.String("violate", "", "inject a violation per case: skip-task, swap-adjacent, wrong-role, foreign-task, re-purpose, fake-failure")
+		builtin = flag.String("builtin", "", "emit a built-in trail instead of generating: 'hospital' (Figure 4)")
+		stream  = flag.Bool("stream", false, "write NDJSON one entry at a time (flushed per line), for live ingestion")
+		rate    = flag.Float64("rate", 0, "with -stream: events per second (0 = unthrottled)")
 	)
 	flag.Parse()
 
-	if err := run(*tasks, *pools, *seed, *cases, *code, *actions, *procOut, *out, *violate); err != nil {
+	if err := run(*tasks, *pools, *seed, *cases, *code, *actions, *procOut, *out, *violate, *builtin, *stream, *rate); err != nil {
 		fmt.Fprintln(os.Stderr, "auditgen:", err)
 		os.Exit(2)
 	}
 }
 
-func run(tasks, pools int, seed int64, cases int, code string, actions int, procOut, out, violate string) error {
+func run(tasks, pools int, seed int64, cases int, code string, actions int, procOut, out, violate, builtin string, stream bool, rate float64) error {
+	trail, err := buildTrail(tasks, pools, seed, cases, code, actions, procOut, violate, builtin)
+	if err != nil {
+		return err
+	}
+
+	var w *os.File = os.Stdout
+	if out != "" {
+		w, err = os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer w.Close()
+	}
+	if stream {
+		return streamJSONL(w, trail, rate)
+	}
+	if strings.HasSuffix(out, ".jsonl") {
+		return audit.WriteJSONL(w, trail)
+	}
+	return audit.WriteCSV(w, trail)
+}
+
+func buildTrail(tasks, pools int, seed int64, cases int, code string, actions int, procOut, violate, builtin string) (*audit.Trail, error) {
+	if builtin != "" {
+		sc, err := cli.Builtin(builtin)
+		if err != nil {
+			return nil, err
+		}
+		return sc.Trail, nil
+	}
+
 	params := workload.DefaultProcParams("Generated", seed, tasks)
 	params.Pools = pools
 	proc, err := workload.Generate(params)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if procOut != "" {
 		f, err := os.Create(procOut)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if err := proc.EncodeJSON(f); err != nil {
 			f.Close()
-			return err
+			return nil, err
 		}
 		if err := f.Close(); err != nil {
-			return err
+			return nil, err
 		}
 	}
 
 	reg := core.NewRegistry()
 	if _, err := reg.Register(proc, code); err != nil {
-		return err
+		return nil, err
 	}
 	tp := workload.DefaultTrailParams(seed+1, cases, code)
 	tp.ActionsPerTask = actions
 	trail, err := workload.NewSimulator(reg, tp).Generate()
 	if err != nil {
-		return err
+		return nil, err
 	}
 
 	if violate != "" {
 		kind, err := parseKind(violate)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		inj := workload.NewInjector(seed + 2)
 		var entries []audit.Entry
@@ -93,19 +137,32 @@ func run(tasks, pools int, seed int64, cases int, code string, actions int, proc
 		}
 		trail = audit.NewTrail(entries)
 	}
+	return trail, nil
+}
 
-	var w *os.File = os.Stdout
-	if out != "" {
-		w, err = os.Create(out)
-		if err != nil {
+// streamJSONL writes the trail as NDJSON one entry at a time, flushing
+// after every line so a downstream reader (auditd, a pipe) sees each
+// event as it happens. rate > 0 paces the emission at that many events
+// per second.
+func streamJSONL(w *os.File, t *audit.Trail, rate float64) error {
+	bw := bufio.NewWriter(w)
+	var tick *time.Ticker
+	if rate > 0 {
+		tick = time.NewTicker(time.Duration(float64(time.Second) / rate))
+		defer tick.Stop()
+	}
+	for _, e := range t.Entries() {
+		if tick != nil {
+			<-tick.C
+		}
+		if err := audit.AppendJSONL(bw, e); err != nil {
 			return err
 		}
-		defer w.Close()
+		if err := bw.Flush(); err != nil {
+			return err
+		}
 	}
-	if strings.HasSuffix(out, ".jsonl") {
-		return audit.WriteJSONL(w, trail)
-	}
-	return audit.WriteCSV(w, trail)
+	return nil
 }
 
 func parseKind(s string) (workload.ViolationKind, error) {

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/audit"
 	"repro/internal/bpmn"
+	"repro/internal/cli"
 	"repro/internal/core"
 )
 
@@ -15,7 +16,7 @@ func TestGenerateRoundTrip(t *testing.T) {
 	procPath := filepath.Join(dir, "proc.json")
 	trailPath := filepath.Join(dir, "trail.csv")
 
-	if err := run(12, 2, 7, 5, "GEN", 2, procPath, trailPath, ""); err != nil {
+	if err := run(12, 2, 7, 5, "GEN", 2, procPath, trailPath, "", "", false, 0); err != nil {
 		t.Fatal(err)
 	}
 
@@ -68,7 +69,7 @@ func TestGenerateWithViolations(t *testing.T) {
 	procPath := filepath.Join(dir, "proc.json")
 	trailPath := filepath.Join(dir, "trail.jsonl")
 
-	if err := run(10, 1, 3, 6, "GEN", 1, procPath, trailPath, "wrong-role"); err != nil {
+	if err := run(10, 1, 3, 6, "GEN", 1, procPath, trailPath, "wrong-role", "", false, 0); err != nil {
 		t.Fatal(err)
 	}
 	tf, err := os.Open(trailPath)
@@ -92,8 +93,39 @@ func TestGenerateWithViolations(t *testing.T) {
 	}
 }
 
+func TestStreamBuiltinHospital(t *testing.T) {
+	dir := t.TempDir()
+	outPath := filepath.Join(dir, "feed.ndjson")
+
+	if err := run(0, 0, 0, 0, "", 0, "", outPath, "", "hospital", true, 0); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := audit.ReadJSONL(f)
+	f.Close()
+	if err != nil {
+		t.Fatalf("streamed NDJSON does not parse: %v", err)
+	}
+	want, err := cli.Builtin("hospital")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != want.Trail.Len() {
+		t.Fatalf("streamed %d entries, Figure 4 trail has %d", got.Len(), want.Trail.Len())
+	}
+	for i := 0; i < got.Len(); i++ {
+		g, w := got.At(i), want.Trail.At(i)
+		if g.Case != w.Case || g.Task != w.Task || g.User != w.User || !g.Time.Equal(w.Time) {
+			t.Fatalf("entry %d: got %+v want %+v", i, g, w)
+		}
+	}
+}
+
 func TestBadViolationKind(t *testing.T) {
-	if err := run(5, 1, 1, 1, "GEN", 1, "", os.DevNull, "no-such-kind"); err == nil {
+	if err := run(5, 1, 1, 1, "GEN", 1, "", os.DevNull, "no-such-kind", "", false, 0); err == nil {
 		t.Fatalf("unknown violation kind accepted")
 	}
 }

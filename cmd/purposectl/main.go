@@ -34,18 +34,13 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/audit"
-	"repro/internal/bpmn"
+	"repro/internal/cli"
 	"repro/internal/core"
-	"repro/internal/hospital"
 	"repro/internal/policy"
 )
-
-type procFlags []string
-
-func (p *procFlags) String() string     { return strings.Join(*p, " ") }
-func (p *procFlags) Set(v string) error { *p = append(*p, v); return nil }
 
 // options collects everything run needs; flags map onto it 1:1.
 type options struct {
@@ -55,6 +50,8 @@ type options struct {
 	builtin string
 	object  string
 	caseID  string
+	from    string
+	to      string
 	skips   int
 	lenient bool
 	verbose bool
@@ -70,23 +67,14 @@ type summary struct {
 	anomalies     int
 }
 
-// exitCode maps a run summary to the process exit status: definite
-// problems (infringements, policy findings) dominate; indeterminate-only
-// runs get their own status so callers can retry with larger budgets.
+// exitCode maps a run summary onto the shared cli exit-status scale.
 func exitCode(s summary) int {
-	switch {
-	case s.infringements > 0 || s.findings > 0:
-		return 1
-	case s.indeterminate > 0:
-		return 3
-	default:
-		return 0
-	}
+	return cli.ExitCode(s.infringements, s.findings, s.indeterminate)
 }
 
 func main() {
 	var (
-		procs procFlags
+		procs cli.ProcList
 		o     options
 	)
 	flag.StringVar(&o.trail, "trail", "", "trail file (.csv or .jsonl)")
@@ -94,17 +82,20 @@ func main() {
 	flag.StringVar(&o.builtin, "builtin", "", "use a built-in scenario: 'hospital' (Figures 1-4)")
 	flag.StringVar(&o.object, "object", "", "investigate one object, e.g. \"[Jane]EPR\"")
 	flag.StringVar(&o.caseID, "case", "", "check a single case id")
+	flag.StringVar(&o.from, "from", "", "audit only entries at or after this time, "+cli.TimeUsage)
+	flag.StringVar(&o.to, "to", "", "audit only entries before this time, "+cli.TimeUsage)
 	flag.IntVar(&o.skips, "skips", 0, "allow up to N unlogged task executions per case")
 	flag.BoolVar(&o.lenient, "lenient", false, "quarantine malformed trail lines and absorb ordering anomalies instead of aborting")
 	flag.BoolVar(&o.verbose, "v", false, "print compliant cases too")
-	flag.Var(&procs, "proc", "process binding file.json:CODE[,CODE...] (repeatable)")
+	flag.Var(&procs, "proc", cli.ProcUsage)
 	flag.Parse()
 	o.procs = procs
 
 	s, err := run(os.Stdout, o)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "purposectl:", err)
-		os.Exit(2)
+		fmt.Fprintln(os.Stderr, cli.ExitCodesHelp)
+		os.Exit(cli.ExitUsage)
 	}
 	os.Exit(exitCode(s))
 }
@@ -161,42 +152,19 @@ func run(w io.Writer, o options) (summary, error) {
 		trail   *audit.Trail
 	)
 
-	switch o.builtin {
-	case "hospital":
-		sc, err := hospital.NewScenario()
+	if o.builtin != "" {
+		sc, err := cli.Builtin(o.builtin)
 		if err != nil {
 			return s, err
 		}
 		reg, pol, consent, trail = sc.Registry, sc.Policy, sc.Consents, sc.Trail
-	case "":
-		for _, spec := range o.procs {
-			file, codes, ok := strings.Cut(spec, ":")
-			if !ok {
-				return s, fmt.Errorf("-proc %q: want file.json:CODE[,CODE...]", spec)
-			}
-			f, err := os.Open(file)
-			if err != nil {
-				return s, err
-			}
-			var proc *bpmn.Process
-			if strings.HasSuffix(file, ".bpmn") || strings.HasSuffix(file, ".xml") {
-				proc, err = bpmn.DecodeXML(f)
-			} else {
-				proc, err = bpmn.DecodeJSON(f)
-			}
-			f.Close()
-			if err != nil {
-				return s, err
-			}
-			if _, err := reg.Register(proc, strings.Split(codes, ",")...); err != nil {
-				return s, err
-			}
-		}
+	} else {
 		if len(o.procs) == 0 {
 			return s, fmt.Errorf("no processes: use -proc or -builtin")
 		}
-	default:
-		return s, fmt.Errorf("unknown builtin %q", o.builtin)
+		if err := cli.LoadProcs(reg, o.procs); err != nil {
+			return s, err
+		}
 	}
 
 	if o.trail != "" {
@@ -240,6 +208,21 @@ func run(w io.Writer, o options) (summary, error) {
 	}
 	if trail == nil {
 		return s, fmt.Errorf("no trail: use -trail (or -builtin hospital)")
+	}
+	if o.from != "" || o.to != "" {
+		var from, to time.Time
+		var err error
+		if o.from != "" {
+			if from, err = cli.ParseTime(o.from); err != nil {
+				return s, err
+			}
+		}
+		if o.to != "" {
+			if to, err = cli.ParseTime(o.to); err != nil {
+				return s, err
+			}
+		}
+		trail = cli.Window(trail, from, to)
 	}
 
 	if o.policy != "" {

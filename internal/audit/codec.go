@@ -99,24 +99,42 @@ type jsonEntry struct {
 	Status string    `json:"status"`
 }
 
+// AppendJSONL writes one entry as a single JSONL line — the unit a
+// streaming producer (auditgen -stream) emits and a streaming consumer
+// (auditd) ingests.
+func AppendJSONL(w io.Writer, e Entry) error {
+	je := jsonEntry{
+		User: e.User, Role: e.Role, Action: e.Action,
+		Task: e.Task, Case: e.Case, Time: e.Time, Status: e.Status.String(),
+	}
+	if len(e.Object.Path) > 0 {
+		je.Object = e.Object.String()
+	}
+	b, err := json.Marshal(je)
+	if err != nil {
+		return fmt.Errorf("audit: encoding JSONL entry: %w", err)
+	}
+	b = append(b, '\n')
+	if _, err := w.Write(b); err != nil {
+		return fmt.Errorf("audit: writing JSONL entry: %w", err)
+	}
+	return nil
+}
+
 // WriteJSONL writes one JSON object per line.
 func WriteJSONL(w io.Writer, t *Trail) error {
-	enc := json.NewEncoder(w)
 	for i := 0; i < t.Len(); i++ {
-		e := t.At(i)
-		je := jsonEntry{
-			User: e.User, Role: e.Role, Action: e.Action,
-			Task: e.Task, Case: e.Case, Time: e.Time, Status: e.Status.String(),
-		}
-		if len(e.Object.Path) > 0 {
-			je.Object = e.Object.String()
-		}
-		if err := enc.Encode(je); err != nil {
-			return fmt.Errorf("audit: writing JSONL entry %d: %w", i, err)
+		if err := AppendJSONL(w, t.At(i)); err != nil {
+			return fmt.Errorf("audit: entry %d: %w", i, err)
 		}
 	}
 	return nil
 }
+
+// DecodeEntryJSON decodes a single JSONL record — the per-line inverse
+// of AppendJSONL, for stream consumers that need line-at-a-time
+// backpressure instead of whole-body decoding.
+func DecodeEntryJSON(b []byte) (Entry, error) { return entryFromJSON(b) }
 
 // ReadJSONL reads a trail written by WriteJSONL: one JSON object per
 // line (blank lines are skipped). It is strict: the first malformed

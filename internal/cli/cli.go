@@ -1,0 +1,131 @@
+// Package cli holds the pieces the purpose-control binaries
+// (purposectl, auditd) share, so their flag conventions, time parsing
+// and exit-code semantics cannot drift apart: process-binding flags,
+// built-in scenario loading, timestamp parsing, and the canonical
+// exit-status help text.
+package cli
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/bpmn"
+	"repro/internal/core"
+	"repro/internal/hospital"
+)
+
+// ProcList is the repeatable -proc flag: each value binds a BPMN file
+// to one or more case codes as file.json:CODE[,CODE...].
+type ProcList []string
+
+// String implements flag.Value.
+func (p *ProcList) String() string { return strings.Join(*p, " ") }
+
+// Set implements flag.Value.
+func (p *ProcList) Set(v string) error { *p = append(*p, v); return nil }
+
+// ProcUsage is the canonical usage string for the -proc flag.
+const ProcUsage = "process binding file.json:CODE[,CODE...] (repeatable)"
+
+// LoadProcs registers every -proc binding into the registry. Files
+// ending in .bpmn or .xml are decoded as OMG BPMN 2.0 XML, everything
+// else as the BPMN JSON interchange.
+func LoadProcs(reg *core.Registry, specs []string) error {
+	for _, spec := range specs {
+		file, codes, ok := strings.Cut(spec, ":")
+		if !ok {
+			return fmt.Errorf("-proc %q: want file.json:CODE[,CODE...]", spec)
+		}
+		f, err := os.Open(file)
+		if err != nil {
+			return err
+		}
+		var proc *bpmn.Process
+		if strings.HasSuffix(file, ".bpmn") || strings.HasSuffix(file, ".xml") {
+			proc, err = bpmn.DecodeXML(f)
+		} else {
+			proc, err = bpmn.DecodeJSON(f)
+		}
+		f.Close()
+		if err != nil {
+			return err
+		}
+		if _, err := reg.Register(proc, strings.Split(codes, ",")...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Builtin loads a named built-in scenario ("hospital": the paper's
+// Figures 1–4).
+func Builtin(name string) (*hospital.Scenario, error) {
+	switch name {
+	case "hospital":
+		return hospital.NewScenario()
+	default:
+		return nil, fmt.Errorf("unknown builtin %q (try 'hospital')", name)
+	}
+}
+
+// TimeUsage is the canonical usage suffix for timestamp-valued flags.
+const TimeUsage = "paper layout (200601021504) or RFC 3339"
+
+// ParseTime reads a timestamp in either the paper's 12-digit layout
+// (e.g. 201003121210, as in trail files) or RFC 3339.
+func ParseTime(s string) (time.Time, error) {
+	if len(s) == len(audit.PaperTimeLayout) && !strings.ContainsAny(s, "TZ:-") {
+		return audit.ParsePaperTime(s)
+	}
+	t, err := time.Parse(time.RFC3339, s)
+	if err != nil {
+		return time.Time{}, fmt.Errorf("cli: bad timestamp %q: want %s", s, TimeUsage)
+	}
+	return t, nil
+}
+
+// Exit statuses shared by the audit binaries. purposectl exits with
+// these directly; auditd uses the same scale in its smoke tooling.
+const (
+	// ExitClean: every case compliant, no findings.
+	ExitClean = 0
+	// ExitProblem: infringements or policy findings were reported.
+	ExitProblem = 1
+	// ExitUsage: usage or input errors.
+	ExitUsage = 2
+	// ExitIndeterminate: the only irregularities are indeterminate
+	// cases (analysis abandoned on a budget or cap).
+	ExitIndeterminate = 3
+)
+
+// ExitCodesHelp is the canonical one-line exit-status contract, shared
+// by the binaries' usage text.
+const ExitCodesHelp = "exit status: 0 all compliant; 1 infringements or policy findings; 2 usage/input error; 3 indeterminate cases only"
+
+// ExitCode maps audit tallies onto the shared exit statuses: definite
+// problems dominate; indeterminate-only runs get their own status so
+// callers can retry with larger budgets.
+func ExitCode(infringements, findings, indeterminate int) int {
+	switch {
+	case infringements > 0 || findings > 0:
+		return ExitProblem
+	case indeterminate > 0:
+		return ExitIndeterminate
+	default:
+		return ExitClean
+	}
+}
+
+// Window trims the trail to from ≤ t < to; zero bounds are open.
+func Window(t *audit.Trail, from, to time.Time) *audit.Trail {
+	if from.IsZero() && to.IsZero() {
+		return t
+	}
+	if to.IsZero() {
+		to = time.Date(9999, 1, 1, 0, 0, 0, 0, time.UTC)
+	}
+	return t.Window(from, to)
+}

@@ -274,9 +274,10 @@ func TestRestoreMonitorErrors(t *testing.T) {
 	c := newChecker(t, linearProc(t), "LN", nil)
 	cases := []string{
 		``,
-		`{"version":2,"cases":{}}`,
+		`{"version":3,"cases":{}}`,
 		`{"version":1,"cases":{"XX-1":{"purpose":"Ghost","configs":[]}}}`,
 		`{"version":1,"cases":{"LN-1":{"purpose":"Linear","configs":[{"state":"]["}]}}}`,
+		`{"version":2,"states":["nil"],"cases":{"LN-1":{"purpose":"Linear","configs":[{"state_ref":4}]}}}`,
 	}
 	for i, src := range cases {
 		if _, err := RestoreMonitor(c, strings.NewReader(src)); err == nil {

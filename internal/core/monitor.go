@@ -19,9 +19,37 @@ import (
 //
 // A Monitor is NOT safe for concurrent use (it owns a Checker); wrap it
 // or shard cases across monitors for concurrency.
+//
+// Sharding contract: a monitor's state is partitioned by case — no
+// field is shared across cases except the checker's caches, which are
+// concurrency-safe and semantics-free (memoization only). Feeding a
+// trail through N monitors, routing every entry of one case to the
+// same monitor (ShardCase) and preserving per-case entry order, yields
+// verdicts and final Status() identical to one monitor consuming the
+// whole trail. TestShardedMonitorEquivalence enforces this under the
+// race detector; internal/server builds its worker pool on it.
 type Monitor struct {
 	checker *Checker
 	cases   map[string]*caseState
+}
+
+// ShardCase maps a case id to a shard in [0, shards) by FNV-1a hash.
+// All entries of one case land on one shard, which is what preserves
+// the sharding contract above. shards < 2 always yields 0.
+func ShardCase(caseID string, shards int) int {
+	if shards < 2 {
+		return 0
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(caseID); i++ {
+		h ^= uint64(caseID[i])
+		h *= prime64
+	}
+	return int(h % uint64(shards))
 }
 
 type caseState struct {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 
@@ -70,14 +71,35 @@ func (c IndeterminacyCause) String() string {
 	}
 }
 
+// MarshalJSON serializes the cause by name, so snapshots stay readable
+// and stable if the enum is ever reordered.
+func (c IndeterminacyCause) MarshalJSON() ([]byte, error) {
+	return json.Marshal(c.String())
+}
+
+// UnmarshalJSON reads a cause name written by MarshalJSON.
+func (c *IndeterminacyCause) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	for _, k := range []IndeterminacyCause{CauseBudgetExceeded, CauseConfigurationCap, CauseRecoveredPanic} {
+		if k.String() == s {
+			*c = k
+			return nil
+		}
+	}
+	return fmt.Errorf("core: unknown indeterminacy cause %q", s)
+}
+
 // Indeterminacy explains an OutcomeIndeterminate report.
 type Indeterminacy struct {
-	Cause IndeterminacyCause
+	Cause IndeterminacyCause `json:"cause"`
 	// EntryIndex is the entry being replayed when the analysis was
 	// abandoned; -1 when it never started (e.g. the initial
 	// configuration could not be derived).
-	EntryIndex int
-	Reason     string
+	EntryIndex int    `json:"entry_index"`
+	Reason     string `json:"reason"`
 }
 
 // String renders a one-line account.

@@ -1,0 +1,152 @@
+// Sharding-contract tests: monitor state partitions by case, so cases
+// hash-routed across N monitors (each fed its cases in trail order)
+// must reach verdicts identical to one monitor consuming the whole
+// trail. This file runs the contract under -race with real goroutines;
+// it lives in package core_test because it drives core through the
+// workload generator.
+package core_test
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/audit"
+	"repro/internal/core"
+	"repro/internal/hospital"
+	"repro/internal/workload"
+)
+
+func TestShardCaseProperties(t *testing.T) {
+	if got := core.ShardCase("HT-1", 8); got != core.ShardCase("HT-1", 8) {
+		t.Fatal("ShardCase is not deterministic")
+	}
+	for _, shards := range []int{0, 1, -3} {
+		if got := core.ShardCase("HT-1", shards); got != 0 {
+			t.Errorf("ShardCase(%d shards) = %d, want 0", shards, got)
+		}
+	}
+	hit := map[int]bool{}
+	for i := 0; i < 256; i++ {
+		s := core.ShardCase(fmt.Sprintf("HT-%d", i), 8)
+		if s < 0 || s >= 8 {
+			t.Fatalf("shard %d out of range", s)
+		}
+		hit[s] = true
+	}
+	if len(hit) != 8 {
+		t.Errorf("256 cases hit only shards %v", hit)
+	}
+}
+
+// TestShardedMonitorEquivalence feeds a 48-case generated hospital
+// workload (with violations injected into every fourth case) through 8
+// concurrently-running sharded monitors and through one sequential
+// monitor, and requires the merged Status() to be identical.
+func TestShardedMonitorEquivalence(t *testing.T) {
+	sc, err := hospital.NewScenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	trail, err := workload.ManyCases(sc.Registry, "HT", 48, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := workload.NewInjector(7)
+	var entries []audit.Entry
+	for i, caseID := range trail.Cases() {
+		slice := trail.ByCase(caseID).Entries()
+		if i%4 == 0 {
+			if mut, ok := inj.Inject(workload.WrongRole, slice); ok {
+				slice = mut
+			}
+		}
+		entries = append(entries, slice...)
+	}
+
+	roles := sc.Policy.Roles
+	single := core.NewMonitor(core.NewChecker(sc.Registry, roles))
+	for _, e := range entries {
+		if _, err := single.Feed(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := single.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const shards = 8
+	base := core.NewChecker(sc.Registry, roles)
+	monitors := make([]*core.Monitor, shards)
+	queues := make([]chan audit.Entry, shards)
+	errs := make([]error, shards)
+	var wg sync.WaitGroup
+	for i := range monitors {
+		monitors[i] = core.NewMonitor(base.Clone())
+		queues[i] = make(chan audit.Entry, 64)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for e := range queues[i] {
+				if _, err := monitors[i].Feed(e); err != nil && errs[i] == nil {
+					errs[i] = err
+				}
+			}
+		}()
+	}
+	used := map[int]bool{}
+	for _, e := range entries {
+		s := core.ShardCase(e.Case, shards)
+		used[s] = true
+		queues[s] <- e
+	}
+	for _, q := range queues {
+		close(q)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+	}
+	if len(used) < 2 {
+		t.Fatalf("workload exercised only shards %v; the test proves nothing", used)
+	}
+
+	var got []core.CaseStatus
+	for _, m := range monitors {
+		st, err := m.Status()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, st...)
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i].Case < got[j].Case })
+	sort.Slice(want, func(i, j int) bool { return want[i].Case < want[j].Case })
+	if !reflect.DeepEqual(got, want) {
+		if len(got) != len(want) {
+			t.Fatalf("sharded run has %d cases, single run %d", len(got), len(want))
+		}
+		for i := range got {
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Errorf("case %s diverges:\nsharded %+v\nsingle  %+v", want[i].Case, got[i], want[i])
+			}
+		}
+		t.FailNow()
+	}
+
+	// The injected violations actually produced dead cases — the
+	// equivalence above compared non-trivial verdicts.
+	dead := 0
+	for _, st := range want {
+		if st.Deviated {
+			dead++
+		}
+	}
+	if dead == 0 {
+		t.Error("no deviating case in the workload; equivalence was vacuous")
+	}
+}

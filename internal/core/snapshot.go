@@ -12,75 +12,128 @@ import (
 // Monitor snapshots: the online analysis must survive auditor restarts
 // (the paper's Section 4 resumption, across process lifetimes). A
 // snapshot serializes each monitored case's configuration set — the
-// COWS states in their textual syntax plus the active-task sets; the
-// weak-next components are recomputed on restore.
+// COWS states in their canonical textual syntax plus the active-task
+// sets; the weak-next components are recomputed on restore, so a
+// restored monitor behaves identically to the one snapshotted.
+//
+// Wire format. Version 2 (current) deduplicates state terms into a
+// shared table: interning (PR 1) makes configurations across cases of
+// one purpose share a handful of canonical states, so the table
+// shrinks large-population snapshots by orders of magnitude. Version 1
+// (inline state text per configuration) is still read. Version 2 also
+// carries the Indeterminacy cause of dead-indeterminate cases, which
+// version 1 lost — a v1 restore of such a case degrades to a generic
+// "already deviated" verdict.
 
-// monitorSnapshot is the wire form.
-type monitorSnapshot struct {
-	Version int                     `json:"version"`
-	Cases   map[string]caseSnapshot `json:"cases"`
+// MonitorState is the exported, serializable form of a monitor's live
+// state. It is the unit the auditd server checkpoints: shards export
+// their states, the server merges them into one file, and a restart
+// splits the merged state back across shards (see internal/server).
+type MonitorState struct {
+	Version int `json:"version"`
+	// States is the deduplicated table of canonical COWS terms;
+	// configurations reference it by index.
+	States []string `json:"states,omitempty"`
+	// Cases maps case id to its live state.
+	Cases map[string]CaseSnapshot `json:"cases"`
 }
 
-type caseSnapshot struct {
-	Purpose string           `json:"purpose"`
-	Entries int              `json:"entries"`
-	Dead    bool             `json:"dead"`
-	Configs []configSnapshot `json:"configs"`
+// CaseSnapshot is one case's live state.
+type CaseSnapshot struct {
+	Purpose string `json:"purpose"`
+	Entries int    `json:"entries"`
+	Dead    bool   `json:"dead"`
+	// Cause records why a dead case is indeterminate rather than
+	// violating; nil for violation-dead and live cases.
+	Cause   *Indeterminacy   `json:"cause,omitempty"`
+	Configs []ConfigSnapshot `json:"configs,omitempty"`
 }
 
-type configSnapshot struct {
-	State  string       `json:"state"`
+// ConfigSnapshot is one live configuration: a state (by table index in
+// version 2, inline text in version 1) plus its active-task set.
+type ConfigSnapshot struct {
+	// StateRef indexes MonitorState.States (version 2).
+	StateRef int `json:"state_ref,omitempty"`
+	// State is the inline canonical term (version 1; ignored when the
+	// snapshot has a state table).
+	State  string       `json:"state,omitempty"`
 	Active []ActiveTask `json:"active,omitempty"`
 }
 
-// Snapshot writes the monitor's live state.
-func (m *Monitor) Snapshot(w io.Writer) error {
-	snap := monitorSnapshot{Version: 1, Cases: map[string]caseSnapshot{}}
-	for id, st := range m.cases {
-		cs := caseSnapshot{Purpose: st.purpose.Name, Entries: st.entries, Dead: st.dead}
-		for _, conf := range st.configs {
-			cs.Configs = append(cs.Configs, configSnapshot{
-				State:  cows.String(conf.state),
-				Active: conf.ActiveTasks(),
+// snapshotVersion is the version State emits.
+const snapshotVersion = 2
+
+// State exports the monitor's live state. The result shares nothing
+// with the monitor and may be serialized or merged freely.
+func (m *Monitor) State() *MonitorState {
+	st := &MonitorState{Version: snapshotVersion, Cases: make(map[string]CaseSnapshot, len(m.cases))}
+	table := map[string]int{}
+	for id, cs := range m.cases {
+		snap := CaseSnapshot{Purpose: cs.purpose.Name, Entries: cs.entries, Dead: cs.dead}
+		if cs.cause != nil {
+			c := *cs.cause
+			snap.Cause = &c
+		}
+		for _, conf := range cs.configs {
+			term := cows.String(conf.state)
+			ref, ok := table[term]
+			if !ok {
+				ref = len(st.States)
+				table[term] = ref
+				st.States = append(st.States, term)
+			}
+			snap.Configs = append(snap.Configs, ConfigSnapshot{
+				StateRef: ref,
+				Active:   conf.ActiveTasks(),
 			})
 		}
-		snap.Cases[id] = cs
+		st.Cases[id] = snap
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(snap); err != nil {
-		return fmt.Errorf("core: writing monitor snapshot: %w", err)
-	}
-	return nil
+	return st
 }
 
-// RestoreMonitor rebuilds a monitor from a snapshot over the given
-// checker (whose registry must contain every purpose the snapshot
-// references). Weak-next sets are recomputed, so a restored monitor
-// behaves identically to the one that was snapshotted.
-func RestoreMonitor(c *Checker, r io.Reader) (*Monitor, error) {
-	var snap monitorSnapshot
-	dec := json.NewDecoder(r)
-	if err := dec.Decode(&snap); err != nil {
-		return nil, fmt.Errorf("core: reading monitor snapshot: %w", err)
+// LoadState merges an exported state into the monitor, rebuilding each
+// case's configurations over the monitor's checker (whose registry must
+// contain every purpose the state references). Weak-next sets are
+// recomputed, so a restored monitor behaves identically to the exported
+// one. A case id already present in the monitor is an error.
+func (m *Monitor) LoadState(st *MonitorState) error {
+	if st.Version < 1 || st.Version > snapshotVersion {
+		return fmt.Errorf("core: unsupported snapshot version %d", st.Version)
 	}
-	if snap.Version != 1 {
-		return nil, fmt.Errorf("core: unsupported snapshot version %d", snap.Version)
-	}
-	m := NewMonitor(c)
-	for id, cs := range snap.Cases {
-		pur := c.registry.Purpose(cs.Purpose)
-		if pur == nil {
-			return nil, fmt.Errorf("core: snapshot references unknown purpose %q", cs.Purpose)
-		}
-		st := &caseState{purpose: pur, entries: cs.Entries, dead: cs.Dead}
-		rt := c.runtime(pur)
-		for _, confSnap := range cs.Configs {
-			state, err := cows.Parse(confSnap.State)
-			if err != nil {
-				return nil, fmt.Errorf("core: snapshot state of case %s: %w", id, err)
+	stateFor := func(cfg ConfigSnapshot) (string, error) {
+		if len(st.States) > 0 {
+			if cfg.StateRef < 0 || cfg.StateRef >= len(st.States) {
+				return "", fmt.Errorf("state ref %d out of table range %d", cfg.StateRef, len(st.States))
 			}
-			tasks := append([]ActiveTask(nil), confSnap.Active...)
+			return st.States[cfg.StateRef], nil
+		}
+		return cfg.State, nil
+	}
+	for id, cs := range st.Cases {
+		if _, dup := m.cases[id]; dup {
+			return fmt.Errorf("core: snapshot case %s already monitored", id)
+		}
+		pur := m.checker.registry.Purpose(cs.Purpose)
+		if pur == nil {
+			return fmt.Errorf("core: snapshot references unknown purpose %q", cs.Purpose)
+		}
+		ns := &caseState{purpose: pur, entries: cs.Entries, dead: cs.Dead}
+		if cs.Cause != nil {
+			c := *cs.Cause
+			ns.cause = &c
+		}
+		rt := m.checker.runtime(pur)
+		for _, cfg := range cs.Configs {
+			term, err := stateFor(cfg)
+			if err != nil {
+				return fmt.Errorf("core: snapshot of case %s: %w", id, err)
+			}
+			state, err := cows.Parse(term)
+			if err != nil {
+				return fmt.Errorf("core: snapshot state of case %s: %w", id, err)
+			}
+			tasks := append([]ActiveTask(nil), cfg.Active...)
 			sort.Slice(tasks, func(i, j int) bool { return activeLess(tasks[i], tasks[j]) })
 			dedup := tasks[:0]
 			for _, t := range tasks {
@@ -88,13 +141,38 @@ func RestoreMonitor(c *Checker, r io.Reader) (*Monitor, error) {
 					dedup = append(dedup, t)
 				}
 			}
-			conf, err := c.newConfiguration(rt, pur, state, rt.sys.Intern(state), rt.active.intern(dedup))
+			conf, err := m.checker.newConfiguration(rt, pur, state, rt.sys.Intern(state), rt.active.intern(dedup))
 			if err != nil {
-				return nil, fmt.Errorf("core: rebuilding case %s: %w", id, err)
+				return fmt.Errorf("core: rebuilding case %s: %w", id, err)
 			}
-			st.configs = append(st.configs, conf)
+			ns.configs = append(ns.configs, conf)
 		}
-		m.cases[id] = st
+		m.cases[id] = ns
+	}
+	return nil
+}
+
+// Snapshot writes the monitor's live state as indented JSON.
+func (m *Monitor) Snapshot(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(m.State()); err != nil {
+		return fmt.Errorf("core: writing monitor snapshot: %w", err)
+	}
+	return nil
+}
+
+// RestoreMonitor rebuilds a monitor from a snapshot over the given
+// checker. Both snapshot versions are accepted.
+func RestoreMonitor(c *Checker, r io.Reader) (*Monitor, error) {
+	var st MonitorState
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&st); err != nil {
+		return nil, fmt.Errorf("core: reading monitor snapshot: %w", err)
+	}
+	m := NewMonitor(c)
+	if err := m.LoadState(&st); err != nil {
+		return nil, err
 	}
 	return m, nil
 }

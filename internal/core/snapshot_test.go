@@ -1,0 +1,188 @@
+package core
+
+import (
+	"encoding/json"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// snapshotFixture is a monitor over a two-purpose registry holding, at
+// snapshot time, one mid-flight compliant case (LN-1), one dead
+// violating case (LN-2) and one dead indeterminate case (IN-1, killed
+// by an artificial configuration cap).
+func snapshotChecker(t *testing.T) *Checker {
+	t.Helper()
+	reg := NewRegistry()
+	if _, err := reg.Register(linearProc(t), "LN"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Register(orProc(t), "IN"); err != nil {
+		t.Fatal(err)
+	}
+	c := NewChecker(reg, nil)
+	// Kills IN-* replays (the OR split overflows a 1-configuration
+	// budget) while LN-* replays, which never branch, are untouched.
+	c.MaxConfigurations = 1
+	return c
+}
+
+// TestSnapshotMidTrailResume snapshots a monitor holding compliant,
+// violating and indeterminate cases mid-trail, restores it into a fresh
+// checker, replays the tail, and requires every post-restore verdict
+// and the final Status() to be identical to a monitor that never
+// stopped.
+func TestSnapshotMidTrailResume(t *testing.T) {
+	ln1 := trailOf("LN-1", "P:T1", "P:T2", "P:T3").Entries()
+	ln2bad := trailOf("LN-2", "P:T2").Entries()
+	in1 := trailOf("IN-1", "P:T1", "P:T3").Entries()
+
+	// Feed indices address the three trails back to back: 0-2 are ln1,
+	// 3-4 ln2bad, 5-6 in1. The head runs before the snapshot, the tail
+	// after the restore (refeeding the dead cases to check their
+	// verdicts stay sticky and identical).
+	feedHead := []int{0, 1, 3, 5, 6} // ln1[0], ln1[1], ln2bad[0], in1[0], in1[1]
+	feedTail := []int{2, 3, 5}       // ln1[2], ln2bad[0] again, in1[0] again
+
+	feed := func(m *Monitor, idx int) *Verdict {
+		t.Helper()
+		var v *Verdict
+		var err error
+		switch {
+		case idx < 3:
+			v, err = m.Feed(ln1[idx])
+		case idx < 5:
+			v, err = m.Feed(ln2bad[idx-3])
+		default:
+			v, err = m.Feed(in1[idx-5])
+		}
+		if err != nil {
+			t.Fatalf("feed %d: %v", idx, err)
+		}
+		return v
+	}
+
+	// Reference: continuous monitor over head + tail.
+	ref := NewMonitor(snapshotChecker(t))
+	for _, i := range feedHead {
+		feed(ref, i)
+	}
+	var refTail []*Verdict
+	for _, i := range feedTail {
+		refTail = append(refTail, feed(ref, i))
+	}
+
+	// Interrupted monitor: head, snapshot, restore, tail.
+	m1 := NewMonitor(snapshotChecker(t))
+	for _, i := range feedHead {
+		feed(m1, i)
+	}
+	var buf strings.Builder
+	if err := m1.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// The snapshot is the deduplicated v2 format and records the
+	// indeterminacy cause.
+	var st MonitorState
+	if err := json.Unmarshal([]byte(buf.String()), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Version != 2 || len(st.States) == 0 {
+		t.Fatalf("snapshot version=%d states=%d, want v2 with a state table", st.Version, len(st.States))
+	}
+	if cs := st.Cases["IN-1"]; !cs.Dead || cs.Cause == nil || cs.Cause.Cause != CauseConfigurationCap {
+		t.Fatalf("IN-1 snapshot lost its indeterminacy: %+v", cs)
+	}
+	if cs := st.Cases["LN-2"]; !cs.Dead || cs.Cause != nil {
+		t.Fatalf("LN-2 snapshot should be dead without a cause: %+v", cs)
+	}
+
+	m2, err := RestoreMonitor(snapshotChecker(t), strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, i := range feedTail {
+		v := feed(m2, i)
+		if !reflect.DeepEqual(v, refTail[k]) {
+			t.Errorf("tail verdict %d diverges after restore:\n got %+v\nwant %+v", k, v, refTail[k])
+		}
+	}
+
+	refSt := statusOf(t, ref)
+	gotSt := statusOf(t, m2)
+	if !reflect.DeepEqual(gotSt, refSt) {
+		t.Fatalf("final status diverges:\n got %+v\nwant %+v", gotSt, refSt)
+	}
+	for _, cs := range gotSt {
+		switch cs.Case {
+		case "LN-1":
+			if cs.Deviated || cs.Entries != 3 {
+				t.Errorf("LN-1 = %+v, want 3 compliant entries", cs)
+			}
+		case "LN-2":
+			if !cs.Deviated || cs.Indeterminate != nil {
+				t.Errorf("LN-2 = %+v, want dead violation", cs)
+			}
+		case "IN-1":
+			if !cs.Deviated || cs.Indeterminate == nil || cs.Indeterminate.Cause != CauseConfigurationCap {
+				t.Errorf("IN-1 = %+v, want dead indeterminate (configuration cap)", cs)
+			}
+		}
+	}
+}
+
+// TestSnapshotV1Compat: a version-1 snapshot (inline state terms, no
+// table, no cause) still restores; live cases resume exactly, dead
+// cases stay dead.
+func TestSnapshotV1Compat(t *testing.T) {
+	ln1 := trailOf("LN-1", "P:T1", "P:T2", "P:T3").Entries()
+	ln2bad := trailOf("LN-2", "P:T2").Entries()
+
+	m1 := NewMonitor(snapshotChecker(t))
+	for _, e := range ln1[:2] {
+		if _, err := m1.Feed(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v, err := m1.Feed(ln2bad[0]); err != nil || v.OK {
+		t.Fatalf("LN-2 should deviate: %+v %v", v, err)
+	}
+
+	// Downgrade the v2 state to the v1 wire shape by hand.
+	v2 := m1.State()
+	v1 := MonitorState{Version: 1, Cases: map[string]CaseSnapshot{}}
+	for id, cs := range v2.Cases {
+		configs := make([]ConfigSnapshot, len(cs.Configs))
+		for i, cfg := range cs.Configs {
+			configs[i] = ConfigSnapshot{State: v2.States[cfg.StateRef], Active: cfg.Active}
+		}
+		v1.Cases[id] = CaseSnapshot{Purpose: cs.Purpose, Entries: cs.Entries, Dead: cs.Dead, Configs: configs}
+	}
+	raw, err := json.Marshal(&v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m2, err := RestoreMonitor(snapshotChecker(t), strings.NewReader(string(raw)))
+	if err != nil {
+		t.Fatalf("v1 snapshot rejected: %v", err)
+	}
+	if v, err := m2.Feed(ln1[2]); err != nil || !v.OK {
+		t.Fatalf("LN-1 did not resume from v1 snapshot: %+v %v", v, err)
+	}
+	if v, err := m2.Feed(ln2bad[0]); err != nil || v.OK {
+		t.Fatalf("LN-2 revived by v1 restore: %+v %v", v, err)
+	}
+}
+
+func statusOf(t *testing.T, m *Monitor) []CaseStatus {
+	t.Helper()
+	st, err := m.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Slice(st, func(i, j int) bool { return st[i].Case < st[j].Case })
+	return st
+}

@@ -1,0 +1,237 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Checkpointing: the server periodically (and on shutdown, after the
+// queues drain) writes its whole live state — merged monitor state,
+// case views, quarantine — to CheckpointPath via write-to-temp +
+// atomic rename, so a crash never leaves a torn file. On Start the
+// file is read back and the cases are re-split across shards by case
+// hash, which also makes the shard count a restart-time knob: a
+// 4-shard snapshot restores cleanly into 16 shards.
+//
+// Consistency: a running checkpoint asks every shard for a dump
+// through its own queue, so each shard's cut reflects exactly the
+// entries fed before the request — a consistent point-in-time cut per
+// shard. Entries still waiting in queues at a crash are not in the
+// snapshot; producers that need zero loss should use ?wait=1 and
+// retry anything unacknowledged.
+
+// checkpointFile is the on-disk format.
+type checkpointFile struct {
+	Version   int                  `json:"version"`
+	SavedUnix int64                `json:"saved_unix"`
+	Monitor   *core.MonitorState   `json:"monitor"`
+	Views     map[string]*CaseView `json:"views,omitempty"`
+	// Quarantine persists the held records and the all-time total so
+	// /v1/quarantine survives restarts.
+	QuarantineTotal int64              `json:"quarantine_total,omitempty"`
+	Quarantine      []QuarantineRecord `json:"quarantine,omitempty"`
+}
+
+const checkpointVersion = 1
+
+// checkpointLoop snapshots every CheckpointEvery until stopped.
+func (s *Server) checkpointLoop() {
+	defer close(s.ckptDone)
+	if s.cfg.CheckpointPath == "" {
+		<-s.stopCkpt
+		return
+	}
+	t := time.NewTicker(s.cfg.CheckpointEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopCkpt:
+			return
+		case <-t.C:
+			if err := s.checkpointRunning(); err != nil {
+				s.metrics.snapshotErrors.Add(1)
+				s.log.Error("checkpoint failed", "err", err)
+			}
+		}
+	}
+}
+
+// checkpointRunning takes a consistent cut through the live shard
+// queues and writes it.
+func (s *Server) checkpointRunning() error {
+	if s.cfg.CheckpointPath == "" {
+		return nil
+	}
+	replies := make([]<-chan shardDump, len(s.shards))
+	for i, sh := range s.shards {
+		replies[i] = sh.requestDump()
+	}
+	dumps := make([]shardDump, len(s.shards))
+	for i, ch := range replies {
+		dumps[i] = <-ch
+	}
+	return s.writeCheckpoint(dumps)
+}
+
+// checkpointFinal reads the monitors directly; only valid after the
+// shard workers have exited.
+func (s *Server) checkpointFinal() error {
+	if s.cfg.CheckpointPath == "" {
+		return nil
+	}
+	dumps := make([]shardDump, len(s.shards))
+	for i, sh := range s.shards {
+		dumps[i] = sh.dump()
+	}
+	return s.writeCheckpoint(dumps)
+}
+
+// writeCheckpoint merges the shard dumps and writes the file
+// atomically.
+func (s *Server) writeCheckpoint(dumps []shardDump) error {
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	start := time.Now()
+
+	merged := mergeStates(dumps)
+	views := map[string]*CaseView{}
+	for _, d := range dumps {
+		for id, v := range d.views {
+			views[id] = v
+		}
+	}
+	_, qtotal := s.quar.stats()
+	recs := s.quar.snapshot()
+	file := checkpointFile{
+		Version:         checkpointVersion,
+		SavedUnix:       time.Now().Unix(),
+		Monitor:         merged,
+		Views:           views,
+		QuarantineTotal: qtotal,
+		Quarantine:      recs,
+	}
+
+	dir := filepath.Dir(s.cfg.CheckpointPath)
+	tmp, err := os.CreateTemp(dir, ".auditd-ckpt-*")
+	if err != nil {
+		return fmt.Errorf("server: checkpoint temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	enc := json.NewEncoder(tmp)
+	if err := enc.Encode(&file); err != nil {
+		tmp.Close()
+		return fmt.Errorf("server: encoding checkpoint: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("server: syncing checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("server: closing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.cfg.CheckpointPath); err != nil {
+		return fmt.Errorf("server: publishing checkpoint: %w", err)
+	}
+
+	d := time.Since(start)
+	s.metrics.snapshotDuration.observe(d)
+	s.metrics.snapshots.Add(1)
+	s.metrics.lastSnapshotNano.Store(time.Now().UnixNano())
+	s.log.Info("checkpoint written", "path", s.cfg.CheckpointPath,
+		"cases", len(merged.Cases), "dur_ms", float64(d.Microseconds())/1000)
+	return nil
+}
+
+// mergeStates folds per-shard monitor states into one, re-indexing
+// each shard's state table into a shared one.
+func mergeStates(dumps []shardDump) *core.MonitorState {
+	merged := &core.MonitorState{Version: 2, Cases: map[string]core.CaseSnapshot{}}
+	index := map[string]int{}
+	for _, d := range dumps {
+		if d.state == nil {
+			continue
+		}
+		remap := make([]int, len(d.state.States))
+		for i, term := range d.state.States {
+			ref, ok := index[term]
+			if !ok {
+				ref = len(merged.States)
+				index[term] = ref
+				merged.States = append(merged.States, term)
+			}
+			remap[i] = ref
+		}
+		for id, cs := range d.state.Cases {
+			configs := make([]core.ConfigSnapshot, len(cs.Configs))
+			for i, cfg := range cs.Configs {
+				configs[i] = core.ConfigSnapshot{StateRef: remap[cfg.StateRef], Active: cfg.Active}
+			}
+			cs.Configs = configs
+			merged.Cases[id] = cs
+		}
+	}
+	return merged
+}
+
+// restore loads the checkpoint file, if configured and present, and
+// splits it across the shards. Called from Start, before the workers
+// run.
+func (s *Server) restore() error {
+	if s.cfg.CheckpointPath == "" {
+		return nil
+	}
+	f, err := os.Open(s.cfg.CheckpointPath)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("server: opening checkpoint: %w", err)
+	}
+	defer f.Close()
+	var file checkpointFile
+	if err := json.NewDecoder(f).Decode(&file); err != nil {
+		return fmt.Errorf("server: decoding checkpoint %s: %w", s.cfg.CheckpointPath, err)
+	}
+	if file.Version != checkpointVersion {
+		return fmt.Errorf("server: unsupported checkpoint version %d", file.Version)
+	}
+	if file.Monitor != nil {
+		// Split cases by hash; every per-shard state shares the full
+		// term table, so no re-indexing is needed.
+		parts := make([]*core.MonitorState, len(s.shards))
+		for id, cs := range file.Monitor.Cases {
+			i := core.ShardCase(id, len(s.shards))
+			if parts[i] == nil {
+				parts[i] = &core.MonitorState{
+					Version: file.Monitor.Version,
+					States:  file.Monitor.States,
+					Cases:   map[string]core.CaseSnapshot{},
+				}
+			}
+			parts[i].Cases[id] = cs
+		}
+		for i, part := range parts {
+			if part == nil {
+				continue
+			}
+			if err := s.shards[i].mon.LoadState(part); err != nil {
+				return fmt.Errorf("server: restoring shard %d: %w", i, err)
+			}
+		}
+	}
+	for id, v := range file.Views {
+		s.shardFor(id).loadViews(map[string]*CaseView{id: v})
+	}
+	s.quar.load(file.QuarantineTotal, file.Quarantine)
+	s.metrics.lastSnapshotNano.Store(time.Unix(file.SavedUnix, 0).UnixNano())
+	s.log.Info("checkpoint restored", "path", s.cfg.CheckpointPath,
+		"cases", len(file.Views), "saved", time.Unix(file.SavedUnix, 0).Format(time.RFC3339))
+	return nil
+}

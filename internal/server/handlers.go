@@ -1,0 +1,259 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"mime"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/cli"
+)
+
+// HTTP surface:
+//
+//	POST /v1/events      NDJSON (default) or text/csv entry stream
+//	GET  /v1/cases       all case verdicts; ?outcome=, ?purpose=, ?since=
+//	GET  /v1/cases/{id}  one case
+//	GET  /v1/purposes    registered purposes
+//	GET  /v1/quarantine  malformed lines set aside by lenient ingestion
+//	GET  /metrics        Prometheus text exposition
+//	GET  /healthz        process liveness
+//	GET  /readyz         ready to ingest (503 while starting/draining)
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/cases", s.handleCases)
+	s.mux.HandleFunc("GET /v1/cases/{id}", s.handleCase)
+	s.mux.HandleFunc("GET /v1/purposes", s.handlePurposes)
+	s.mux.HandleFunc("GET /v1/quarantine", s.handleQuarantine)
+	s.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.writeMetrics(w)
+	})
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	s.mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !s.isReady() {
+			http.Error(w, "not ready", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// ingestResult is the POST /v1/events response body.
+type ingestResult struct {
+	// Accepted entries were enqueued to a shard (not necessarily fed
+	// yet unless ?wait=1).
+	Accepted int `json:"accepted"`
+	// Quarantined lines were malformed and set aside.
+	Quarantined int `json:"quarantined"`
+	// RejectedAtLine is set on 429: the 1-based body line at which a
+	// saturated shard stopped the ingest. Everything before it (minus
+	// quarantined lines) was accepted; resend from here.
+	RejectedAtLine int    `json:"rejected_at_line,omitempty"`
+	Error          string `json:"error,omitempty"`
+}
+
+// handleEvents ingests an entry stream. NDJSON bodies are consumed
+// line-at-a-time so backpressure stops the read exactly at the
+// rejected line; CSV bodies (Content-Type: text/csv) are decoded as a
+// batch first (the CSV reader needs the header) and then enqueued with
+// the same backpressure contract. Malformed lines land in the
+// quarantine in both modes — lenient ingestion, not rejection.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if !s.accepting() {
+		w.Header().Set("Retry-After", "5")
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	defer s.ingestWG.Done()
+
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	ct, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	wait := r.URL.Query().Get("wait") != ""
+
+	var res ingestResult
+	var full bool
+	if ct == "text/csv" {
+		res, full = s.ingestCSV(r, body)
+	} else {
+		res, full = s.ingestNDJSON(r, body)
+	}
+
+	if wait {
+		s.Flush()
+	}
+	switch {
+	case full:
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, res)
+	case res.Error != "":
+		writeJSON(w, http.StatusBadRequest, res)
+	default:
+		writeJSON(w, http.StatusAccepted, res)
+	}
+}
+
+// ingestNDJSON consumes one JSON entry per line.
+func (s *Server) ingestNDJSON(r *http.Request, body io.Reader) (ingestResult, bool) {
+	var res ingestResult
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 0, 64<<10), 8<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := strings.TrimSpace(sc.Text())
+		if raw == "" {
+			continue
+		}
+		e, err := audit.DecodeEntryJSON([]byte(raw))
+		if err != nil {
+			s.quarantineLine(r, line, raw, err)
+			res.Quarantined++
+			continue
+		}
+		if !s.enqueue(e) {
+			res.RejectedAtLine = line
+			return res, true
+		}
+		res.Accepted++
+	}
+	if err := sc.Err(); err != nil {
+		res.Error = fmt.Sprintf("reading body at line %d: %v", line+1, err)
+	}
+	return res, false
+}
+
+// ingestCSV decodes a Figure 4 CSV body leniently, then enqueues.
+func (s *Server) ingestCSV(r *http.Request, body io.Reader) (ingestResult, bool) {
+	var res ingestResult
+	entries, q, err := audit.DecodeCSVEntries(body, audit.DecodeOptions{Lenient: true})
+	if err != nil {
+		res.Error = err.Error()
+		return res, false
+	}
+	for _, rec := range q.Records {
+		s.quarantineLine(r, rec.Line, rec.Raw, rec.Err)
+		res.Quarantined++
+	}
+	for i, e := range entries {
+		if !s.enqueue(e) {
+			// +2: CSV data starts at body line 2 (header is line 1).
+			res.RejectedAtLine = i + 2
+			return res, true
+		}
+		res.Accepted++
+	}
+	return res, false
+}
+
+func (s *Server) quarantineLine(r *http.Request, line int, raw string, err error) {
+	s.metrics.eventsQuarantined.Add(1)
+	s.quar.add(r.RemoteAddr, line, raw, err, time.Now())
+}
+
+// handleCases lists case verdicts, optionally filtered by ?outcome=
+// (compliant|violation|indeterminate), ?purpose=, and ?since= (cases
+// whose verdict state changed at or after the given time, paper layout
+// or RFC 3339 — for incremental polling).
+func (s *Server) handleCases(w http.ResponseWriter, r *http.Request) {
+	outcome := r.URL.Query().Get("outcome")
+	purpose := r.URL.Query().Get("purpose")
+	var since time.Time
+	if v := r.URL.Query().Get("since"); v != "" {
+		t, err := cli.ParseTime(v)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		since = t
+	}
+	accept := func(v *CaseView) bool {
+		if outcome != "" && v.Outcome != outcome {
+			return false
+		}
+		if purpose != "" && v.Purpose != purpose {
+			return false
+		}
+		if !since.IsZero() && v.Updated.Before(since) {
+			return false
+		}
+		return true
+	}
+	var views []CaseView
+	for _, sh := range s.shards {
+		views = sh.collectViews(views, accept)
+	}
+	sort.Slice(views, func(i, j int) bool { return views[i].Case < views[j].Case })
+	writeJSON(w, http.StatusOK, struct {
+		Cases []CaseView `json:"cases"`
+		Total int        `json:"total"`
+	}{Cases: views, Total: len(views)})
+}
+
+func (s *Server) handleCase(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	v, ok := s.shardFor(id).view(id)
+	if !ok {
+		http.Error(w, fmt.Sprintf("case %q not monitored", id), http.StatusNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+// purposeInfo is one row of GET /v1/purposes.
+type purposeInfo struct {
+	Name  string   `json:"name"`
+	Codes []string `json:"codes"`
+	Tasks int      `json:"tasks"`
+	Cases int      `json:"cases"`
+}
+
+func (s *Server) handlePurposes(w http.ResponseWriter, r *http.Request) {
+	perPurpose := map[string]int{}
+	var all []CaseView
+	for _, sh := range s.shards {
+		all = sh.collectViews(all, nil)
+	}
+	for _, v := range all {
+		perPurpose[v.Purpose]++
+	}
+	var out []purposeInfo
+	for _, name := range s.reg.Purposes() {
+		p := s.reg.Purpose(name)
+		out = append(out, purposeInfo{
+			Name:  name,
+			Codes: p.Codes,
+			Tasks: len(p.Process.Tasks()),
+			Cases: perPurpose[name],
+		})
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Purposes []purposeInfo `json:"purposes"`
+	}{Purposes: out})
+}
+
+func (s *Server) handleQuarantine(w http.ResponseWriter, r *http.Request) {
+	held, total := s.quar.stats()
+	writeJSON(w, http.StatusOK, struct {
+		Total   int64              `json:"total"`
+		Held    int                `json:"held"`
+		Records []QuarantineRecord `json:"records"`
+	}{Total: total, Held: held, Records: s.quar.snapshot()})
+}

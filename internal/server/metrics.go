@@ -1,0 +1,123 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics is auditd's observability surface, exposed at /metrics in
+// Prometheus text exposition format. It is stdlib-only by design (the
+// container bakes no client library): counters and histogram buckets
+// are plain atomics, and rendering walks them under no lock, so a
+// scrape never stalls ingestion.
+type metrics struct {
+	eventsIngested    atomic.Int64 // accepted into a shard queue
+	eventsRejected    atomic.Int64 // refused with 429 backpressure
+	eventsQuarantined atomic.Int64 // malformed lines set aside
+	feedErrors        atomic.Int64 // genuine monitor errors (not verdicts)
+
+	verdictsOK            atomic.Int64
+	verdictsViolation     atomic.Int64
+	verdictsIndeterminate atomic.Int64
+
+	feedLatency      histogram
+	snapshotDuration histogram
+	snapshots        atomic.Int64
+	snapshotErrors   atomic.Int64
+	lastSnapshotNano atomic.Int64 // unix nanoseconds of the last successful snapshot
+}
+
+func newMetrics() *metrics {
+	m := &metrics{}
+	// Feed of one entry on a warm checker is sub-millisecond; cold LTS
+	// derivation can take much longer, hence the wide tail.
+	m.feedLatency.bounds = []float64{25e-6, 50e-6, 100e-6, 250e-6, 500e-6, 1e-3, 5e-3, 25e-3, 100e-3, 1}
+	m.feedLatency.counts = make([]atomic.Int64, len(m.feedLatency.bounds)+1)
+	m.snapshotDuration.bounds = []float64{1e-3, 5e-3, 25e-3, 100e-3, 500e-3, 2, 10}
+	m.snapshotDuration.counts = make([]atomic.Int64, len(m.snapshotDuration.bounds)+1)
+	return m
+}
+
+// histogram is a fixed-bucket latency histogram in seconds. counts has
+// one extra slot for the +Inf bucket; sum is kept in nanoseconds so it
+// stays an integer atomic.
+type histogram struct {
+	bounds  []float64
+	counts  []atomic.Int64
+	sumNano atomic.Int64
+	n       atomic.Int64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	sec := d.Seconds()
+	i := 0
+	for ; i < len(h.bounds); i++ {
+		if sec <= h.bounds[i] {
+			break
+		}
+	}
+	h.counts[i].Add(1)
+	h.sumNano.Add(int64(d))
+	h.n.Add(1)
+}
+
+// write renders the histogram with cumulative buckets, as Prometheus
+// expects.
+func (h *histogram) write(w io.Writer, name string) {
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	cum := int64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatBound(b), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %g\n", name, float64(h.sumNano.Load())/1e9)
+	fmt.Fprintf(w, "%s_count %d\n", name, h.n.Load())
+}
+
+func formatBound(b float64) string { return fmt.Sprintf("%g", b) }
+
+func counter(w io.Writer, name, help string, v int64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+}
+
+func gauge(w io.Writer, name, help string, v float64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+}
+
+// writeTo renders the full exposition, pulling live gauges (queue
+// depths, quarantine size, snapshot age) from the server.
+func (s *Server) writeMetrics(w io.Writer) {
+	m := s.metrics
+	counter(w, "auditd_events_ingested_total", "Entries accepted into a shard queue.", m.eventsIngested.Load())
+	counter(w, "auditd_events_rejected_total", "Entries refused with 429 backpressure.", m.eventsRejected.Load())
+	counter(w, "auditd_events_quarantined_total", "Malformed input lines quarantined.", m.eventsQuarantined.Load())
+	counter(w, "auditd_feed_errors_total", "Monitor feed errors that were not verdicts.", m.feedErrors.Load())
+
+	fmt.Fprintf(w, "# HELP auditd_verdicts_total Verdicts returned by the online monitor, by outcome.\n# TYPE auditd_verdicts_total counter\n")
+	fmt.Fprintf(w, "auditd_verdicts_total{outcome=\"compliant\"} %d\n", m.verdictsOK.Load())
+	fmt.Fprintf(w, "auditd_verdicts_total{outcome=\"violation\"} %d\n", m.verdictsViolation.Load())
+	fmt.Fprintf(w, "auditd_verdicts_total{outcome=\"indeterminate\"} %d\n", m.verdictsIndeterminate.Load())
+
+	fmt.Fprintf(w, "# HELP auditd_shard_queue_depth Entries waiting in each shard's queue.\n# TYPE auditd_shard_queue_depth gauge\n")
+	for _, sh := range s.shards {
+		fmt.Fprintf(w, "auditd_shard_queue_depth{shard=\"%d\"} %d\n", sh.id, len(sh.queue))
+	}
+	gauge(w, "auditd_shards", "Number of monitor shards.", float64(len(s.shards)))
+	gauge(w, "auditd_cases", "Cases with live verdict state.", float64(s.caseCount()))
+
+	held, _ := s.quar.stats()
+	gauge(w, "auditd_quarantine_held", "Quarantined records currently held (bounded).", float64(held))
+
+	m.feedLatency.write(w, "auditd_feed_latency_seconds")
+	m.snapshotDuration.write(w, "auditd_snapshot_duration_seconds")
+	counter(w, "auditd_snapshots_total", "Checkpoint snapshots written.", m.snapshots.Load())
+	counter(w, "auditd_snapshot_errors_total", "Checkpoint snapshots that failed.", m.snapshotErrors.Load())
+	if last := m.lastSnapshotNano.Load(); last > 0 {
+		gauge(w, "auditd_snapshot_age_seconds", "Seconds since the last successful snapshot.",
+			time.Since(time.Unix(0, last)).Seconds())
+	}
+}

@@ -1,0 +1,272 @@
+// Package server implements auditd's engine: a long-running, sharded
+// purpose-audit service over the paper's online monitor (Section 4's
+// "the analysis should be resumed when new actions within the process
+// instance are recorded", turned into a deployable process).
+//
+// Architecture. Ingested entries are routed by core.ShardCase to one of
+// N shards; each shard owns a core.Monitor over a Checker.Clone() — all
+// clones share the warm per-purpose runtime from PR 1, so the LTS and
+// configuration memos are derived once and hit by every shard. Shard
+// queues are bounded: a saturated shard answers POST /v1/events with
+// 429 + Retry-After instead of buffering without limit (explicit
+// backpressure). Verdict state is queryable at GET /v1/cases while the
+// stream is still flowing, and the whole live state checkpoints to disk
+// periodically and on shutdown, so a restart resumes mid-case instead
+// of losing history.
+package server
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/core"
+)
+
+// Config tunes the server; zero values take the documented defaults.
+type Config struct {
+	// Shards is the monitor worker pool size (default 8).
+	Shards int
+	// QueueDepth bounds each shard's queue (default 1024); a full
+	// queue triggers 429 backpressure.
+	QueueDepth int
+	// CheckpointPath, when set, enables snapshotting the live state to
+	// this file (atomic rename) and restoring it on Start.
+	CheckpointPath string
+	// CheckpointEvery is the periodic snapshot interval (default 30s;
+	// only meaningful with CheckpointPath).
+	CheckpointEvery time.Duration
+	// MaxBodyBytes bounds one POST /v1/events body (default 32 MiB).
+	MaxBodyBytes int64
+	// QuarantineKeep bounds the held quarantine records (default 1024).
+	QuarantineKeep int
+	// Logger receives structured request/verdict logs (default
+	// slog.Default()).
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 8
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1024
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 30 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	if c.QuarantineKeep <= 0 {
+		c.QuarantineKeep = 1024
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	return c
+}
+
+// Server is the auditd engine. Build with New, then Start, serve
+// Handler over any http.Server, and Shutdown to drain and snapshot.
+type Server struct {
+	cfg     Config
+	reg     *core.Registry
+	shards  []*shard
+	metrics *metrics
+	quar    *quarantine
+	mux     *http.ServeMux
+	log     *slog.Logger
+
+	// ingest gate: handlers register in-flight ingests so Shutdown can
+	// wait for them before closing the shard queues.
+	gate     sync.Mutex
+	draining bool
+	ingestWG sync.WaitGroup
+
+	started  bool
+	ready    bool
+	readyMu  sync.RWMutex
+	stopCkpt chan struct{}
+	ckptDone chan struct{}
+	// ckptMu serializes checkpoint writes (ticker vs. shutdown).
+	ckptMu sync.Mutex
+}
+
+// New builds a server over the registry's purposes. The checker
+// configures replay (caps, role hierarchy); each shard gets a clone, so
+// all shards share its warm caches.
+func New(reg *core.Registry, checker *core.Checker, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		reg:     reg,
+		metrics: newMetrics(),
+		quar:    newQuarantine(cfg.QuarantineKeep),
+		mux:     http.NewServeMux(),
+		log:     cfg.Logger,
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		s.shards = append(s.shards, newShard(i, checker, cfg.QueueDepth, s.metrics, s.log, reg.PurposeOf))
+	}
+	s.routes()
+	return s
+}
+
+// shardFor routes a case to its shard.
+func (s *Server) shardFor(caseID string) *shard {
+	return s.shards[core.ShardCase(caseID, len(s.shards))]
+}
+
+// caseCount sums live cases across shards.
+func (s *Server) caseCount() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.viewCount()
+	}
+	return n
+}
+
+// Start restores the checkpoint (if configured and present), launches
+// the shard workers and the checkpoint loop, and marks the server
+// ready. It must be called exactly once.
+func (s *Server) Start() error {
+	if s.started {
+		return fmt.Errorf("server: already started")
+	}
+	s.started = true
+	if err := s.restore(); err != nil {
+		return err
+	}
+	for _, sh := range s.shards {
+		go sh.run()
+	}
+	s.stopCkpt = make(chan struct{})
+	s.ckptDone = make(chan struct{})
+	go s.checkpointLoop()
+	s.setReady(true)
+	s.log.Info("auditd started", "shards", len(s.shards), "queue_depth", s.cfg.QueueDepth,
+		"checkpoint", s.cfg.CheckpointPath, "purposes", len(s.reg.Purposes()), "cases", s.caseCount())
+	return nil
+}
+
+// Shutdown drains and stops the server: new ingests are refused,
+// in-flight ingests finish, shard queues are drained to their monitors,
+// and a final checkpoint is written. The context bounds the wait for
+// in-flight work.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.setReady(false)
+
+	// Refuse new ingests, then wait for in-flight ones: after this no
+	// goroutine writes the shard queues except the checkpoint loop.
+	s.gate.Lock()
+	s.draining = true
+	s.gate.Unlock()
+
+	// Stop the checkpoint loop before closing queues (it enqueues
+	// control messages).
+	if s.stopCkpt != nil {
+		close(s.stopCkpt)
+		<-s.ckptDone
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.ingestWG.Wait()
+		for _, sh := range s.shards {
+			close(sh.queue)
+		}
+		for _, sh := range s.shards {
+			<-sh.done
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+
+	// Workers are gone; monitors are safe to read directly.
+	if err := s.checkpointFinal(); err != nil {
+		s.log.Error("final checkpoint failed", "err", err)
+		return err
+	}
+	s.log.Info("auditd drained and stopped", "cases", s.caseCount())
+	return nil
+}
+
+// accepting registers an ingest if the server is not draining.
+func (s *Server) accepting() bool {
+	s.gate.Lock()
+	defer s.gate.Unlock()
+	if s.draining {
+		return false
+	}
+	s.ingestWG.Add(1)
+	return true
+}
+
+func (s *Server) setReady(v bool) {
+	s.readyMu.Lock()
+	s.ready = v
+	s.readyMu.Unlock()
+}
+
+func (s *Server) isReady() bool {
+	s.readyMu.RLock()
+	defer s.readyMu.RUnlock()
+	return s.ready
+}
+
+// Handler returns the HTTP surface with request logging.
+func (s *Server) Handler() http.Handler { return s.logRequests(s.mux) }
+
+// Flush blocks until every entry enqueued before the call has been fed
+// to its monitor — the barrier behind POST /v1/events?wait=1, giving
+// tests and the CI smoke a deterministic read-your-writes handle.
+func (s *Server) Flush() {
+	var waits []<-chan struct{}
+	for _, sh := range s.shards {
+		waits = append(waits, sh.barrier())
+	}
+	for _, w := range waits {
+		<-w
+	}
+}
+
+// logRequests wraps the mux with structured request logging.
+func (s *Server) logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		lw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(lw, r)
+		s.log.Info("request",
+			"method", r.Method, "path", r.URL.Path, "status", lw.code,
+			"dur_ms", float64(time.Since(start).Microseconds())/1000, "remote", r.RemoteAddr)
+	})
+}
+
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// enqueue routes one entry, applying backpressure.
+func (s *Server) enqueue(e audit.Entry) bool {
+	if s.shardFor(e.Case).tryEnqueue(e) {
+		s.metrics.eventsIngested.Add(1)
+		return true
+	}
+	s.metrics.eventsRejected.Add(1)
+	return false
+}

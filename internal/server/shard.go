@@ -1,0 +1,241 @@
+package server
+
+import (
+	"log/slog"
+	"sync"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/core"
+)
+
+// A shard owns one core.Monitor (over a Checker.Clone sharing the warm
+// per-purpose runtime) and consumes its queue on a single goroutine, so
+// the monitor is never touched concurrently. Cases are routed to shards
+// by core.ShardCase, which together with FIFO queues preserves the
+// monitor sharding contract: verdicts are identical to a single monitor
+// consuming the whole trail.
+//
+// Control traffic (barriers, snapshot requests) travels through the
+// same queue as entries, so a snapshot is a consistent point-in-time
+// cut of the shard: everything enqueued before it is reflected,
+// everything after is not.
+type shard struct {
+	id    int
+	queue chan shardMsg
+	done  chan struct{}
+
+	mon     *core.Monitor
+	metrics *metrics
+	log     *slog.Logger
+	// purposeOf resolves a case id to its purpose name (registry
+	// lookup), for the view's Purpose field.
+	purposeOf func(string) string
+
+	// views is the queryable verdict state, written only by the shard
+	// worker, read by HTTP handlers.
+	mu    sync.RWMutex
+	views map[string]*CaseView
+}
+
+// shardMsg is one unit of shard queue traffic: exactly one field is
+// set.
+type shardMsg struct {
+	entry *audit.Entry
+	// barrier is closed by the worker when it reaches the message —
+	// everything enqueued before it has then been fed.
+	barrier chan<- struct{}
+	// snap receives the shard's consistent state cut.
+	snap chan<- shardDump
+}
+
+// shardDump is one shard's contribution to a checkpoint.
+type shardDump struct {
+	state *core.MonitorState
+	views map[string]*CaseView
+}
+
+// CaseView is the queryable verdict state of one case, exposed at
+// GET /v1/cases. Outcome is "compliant" (so far), "violation" or
+// "indeterminate"; a dead case's first verdict is sticky, matching the
+// monitor's semantics.
+type CaseView struct {
+	Case    string `json:"case"`
+	Purpose string `json:"purpose"`
+	Entries int    `json:"entries"`
+	Outcome string `json:"outcome"`
+	// Configurations is the live configuration count (0 once dead).
+	Configurations int `json:"configurations,omitempty"`
+	// Violation/Indeterminate carry the first deviating verdict's
+	// diagnosis.
+	Violation     string `json:"violation,omitempty"`
+	Indeterminate string `json:"indeterminate,omitempty"`
+	// Updated is the log time of the entry that last changed this view.
+	Updated time.Time `json:"updated"`
+	Shard   int       `json:"shard"`
+}
+
+const (
+	outcomeCompliant     = "compliant"
+	outcomeViolation     = "violation"
+	outcomeIndeterminate = "indeterminate"
+)
+
+func newShard(id int, checker *core.Checker, depth int, m *metrics, log *slog.Logger, purposeOf func(string) string) *shard {
+	return &shard{
+		id:        id,
+		queue:     make(chan shardMsg, depth),
+		done:      make(chan struct{}),
+		mon:       core.NewMonitor(checker.Clone()),
+		metrics:   m,
+		log:       log,
+		purposeOf: purposeOf,
+		views:     map[string]*CaseView{},
+	}
+}
+
+// run consumes the queue until it is closed, then drains nothing more
+// and signals done. Only this goroutine touches sh.mon after Start.
+func (sh *shard) run() {
+	defer close(sh.done)
+	for msg := range sh.queue {
+		switch {
+		case msg.entry != nil:
+			sh.feed(*msg.entry)
+		case msg.barrier != nil:
+			close(msg.barrier)
+		case msg.snap != nil:
+			msg.snap <- sh.dump()
+		}
+	}
+}
+
+// tryEnqueue offers an entry to the queue without blocking; false means
+// the shard is saturated and the caller must apply backpressure.
+func (sh *shard) tryEnqueue(e audit.Entry) bool {
+	select {
+	case sh.queue <- shardMsg{entry: &e}:
+		return true
+	default:
+		return false
+	}
+}
+
+// barrier enqueues a flush marker (blocking: control traffic may wait
+// for queue space) and returns the channel closed when it is reached.
+func (sh *shard) barrier() <-chan struct{} {
+	ch := make(chan struct{})
+	sh.queue <- shardMsg{barrier: ch}
+	return ch
+}
+
+// requestDump asks the running worker for a consistent cut.
+func (sh *shard) requestDump() <-chan shardDump {
+	ch := make(chan shardDump, 1)
+	sh.queue <- shardMsg{snap: ch}
+	return ch
+}
+
+// dump exports monitor state and a copy of the views. Called either by
+// the worker goroutine (running) or after the worker exited (final
+// checkpoint).
+func (sh *shard) dump() shardDump {
+	sh.mu.RLock()
+	views := make(map[string]*CaseView, len(sh.views))
+	for id, v := range sh.views {
+		c := *v
+		views[id] = &c
+	}
+	sh.mu.RUnlock()
+	return shardDump{state: sh.mon.State(), views: views}
+}
+
+// feed advances one case by one entry and folds the verdict into the
+// case view and the metrics.
+func (sh *shard) feed(e audit.Entry) {
+	start := time.Now()
+	v, err := sh.mon.Feed(e)
+	sh.metrics.feedLatency.observe(time.Since(start))
+	if err != nil {
+		// Genuine engine error (not a verdict): count it, log it, and
+		// leave the case view untouched — the entry is lost, which the
+		// feed-errors counter makes visible.
+		sh.metrics.feedErrors.Add(1)
+		sh.log.Error("feed failed", "shard", sh.id, "case", e.Case, "err", err)
+		return
+	}
+
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	view, ok := sh.views[e.Case]
+	if !ok {
+		view = &CaseView{
+			Case: e.Case, Shard: sh.id, Outcome: outcomeCompliant,
+			Purpose: sh.purposeOf(e.Case),
+		}
+		sh.views[e.Case] = view
+	}
+	view.Entries = v.CaseEntries
+	view.Updated = e.Time
+	view.Configurations = v.Configurations
+	switch {
+	case v.OK:
+		sh.metrics.verdictsOK.Add(1)
+	case v.Indeterminate != nil:
+		sh.metrics.verdictsIndeterminate.Add(1)
+		if view.Outcome == outcomeCompliant {
+			view.Outcome = outcomeIndeterminate
+			view.Indeterminate = v.Indeterminate.String()
+			sh.log.Warn("case indeterminate", "shard", sh.id, "case", e.Case, "cause", v.Indeterminate.Cause.String())
+		}
+	case v.Violation != nil:
+		sh.metrics.verdictsViolation.Add(1)
+		if view.Outcome == outcomeCompliant {
+			view.Outcome = outcomeViolation
+			view.Violation = v.Violation.String()
+			sh.log.Warn("case violated", "shard", sh.id, "case", e.Case, "reason", v.Violation.Reason)
+		}
+	}
+}
+
+// view returns a copy of one case's view.
+func (sh *shard) view(caseID string) (CaseView, bool) {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	v, ok := sh.views[caseID]
+	if !ok {
+		return CaseView{}, false
+	}
+	return *v, true
+}
+
+// viewCount returns the number of cases with live view state.
+func (sh *shard) viewCount() int {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return len(sh.views)
+}
+
+// collectViews appends copies of views passing the filter.
+func (sh *shard) collectViews(dst []CaseView, accept func(*CaseView) bool) []CaseView {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	for _, v := range sh.views {
+		if accept == nil || accept(v) {
+			dst = append(dst, *v)
+		}
+	}
+	return dst
+}
+
+// loadViews seeds the view table from a checkpoint (before the worker
+// starts; no locking concerns, but take the lock for form).
+func (sh *shard) loadViews(views map[string]*CaseView) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for id, v := range views {
+		c := *v
+		c.Shard = sh.id
+		sh.views[id] = &c
+	}
+}
