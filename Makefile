@@ -1,7 +1,19 @@
-.PHONY: ci test bench fuzz chaos serve smoke
+.PHONY: ci lint cover benchguard test bench fuzz chaos serve smoke
 
 ci:
 	sh ./ci.sh
+
+# gofmt + go vet + pinned staticcheck (skipped with a warning offline).
+lint:
+	sh ./ci.sh lint
+
+# Coverage ratchet over the verdict-bearing engines.
+cover:
+	sh ./ci.sh cover
+
+# Quick P1/P3/P4 timing run vs the checked-in BENCH_*.json baselines.
+benchguard:
+	sh ./ci.sh benchguard
 
 test:
 	go test ./...
@@ -15,6 +27,7 @@ fuzz:
 	go test ./internal/audit/ -run '^$$' -fuzz '^FuzzReadCSV$$' -fuzztime 5s
 	go test ./internal/audit/ -run '^$$' -fuzz '^FuzzReadJSONL$$' -fuzztime 5s
 	go test ./internal/audit/ -run '^$$' -fuzz '^FuzzParsePaperTime$$' -fuzztime 5s
+	go test ./internal/core/ -run '^$$' -fuzz '^FuzzCompiledReplay$$' -fuzztime 5s
 
 # Fault-injection chaos suite under the race detector.
 chaos:

@@ -11,7 +11,14 @@
 //	auditd -proc treat.json:HT -proc trial.bpmn:CT [-policy pol.txt] \
 //	       -shards 8 -queue 1024 \
 //	       -checkpoint /var/lib/auditd/state.json -checkpoint-every 30s \
-//	       [-addr-file /run/auditd.addr]
+//	       [-addr-file /run/auditd.addr] \
+//	       [-compiled] [-automata-dir /var/lib/auditd/automata]
+//
+// -compiled replays on ahead-of-time determinized purpose automata
+// (DESIGN.md §11); purposes that cannot be compiled stay on the
+// interpreter, per case. -automata-dir (implies -compiled) is a
+// content-addressed artifact cache: matching artifacts load instead of
+// recompiling, fresh compiles are saved for the next boot.
 //
 // Endpoints: POST /v1/events (ingest; 202, or 429 + Retry-After under
 // backpressure), GET /v1/cases[?outcome=|purpose=|since=],
@@ -38,6 +45,7 @@ import (
 
 	"repro/internal/cli"
 	"repro/internal/core"
+	"repro/internal/encode"
 	"repro/internal/policy"
 	"repro/internal/server"
 )
@@ -54,13 +62,15 @@ func main() {
 		pol    = flag.String("policy", "", "policy file (textual format; supplies the role hierarchy)")
 		bltn   = flag.String("builtin", "", "use a built-in scenario: 'hospital' (Figures 1-4)")
 		drain  = flag.Duration("drain-timeout", 30*time.Second, "max wait for queues to drain on shutdown")
+		comp   = flag.Bool("compiled", false, "replay on ahead-of-time compiled purpose automata (interpreter fallback per purpose)")
+		autoD  = flag.String("automata-dir", "", "artifact cache for compiled automata: load matching artifacts at boot, save fresh compiles (implies -compiled)")
 	)
 	flag.Var(&procs, "proc", cli.ProcUsage)
 	flag.Parse()
 
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	slog.SetDefault(log)
-	if err := run(log, *addr, *addrFS, *shards, *queue, *ckpt, *every, *drain, *pol, *bltn, procs); err != nil {
+	if err := run(log, *addr, *addrFS, *shards, *queue, *ckpt, *every, *drain, *pol, *bltn, *comp || *autoD != "", *autoD, procs); err != nil {
 		log.Error("auditd failed", "err", err)
 		os.Exit(cli.ExitUsage)
 	}
@@ -104,13 +114,56 @@ func buildRegistry(builtin, polFile string, procs []string) (*core.Registry, *po
 	return reg, roles, nil
 }
 
-func run(log *slog.Logger, addr, addrFile string, shards, queue int, ckpt string, every, drainTimeout time.Duration, polFile, builtin string, procs []string) error {
+// setupCompiled switches the checker onto the table-driven fast path:
+// per purpose it probes the artifact cache by content address, installs
+// a hit, compiles (and saves) on a miss, and leaves non-compilable
+// purposes on the interpreter with the cause logged. Boot never fails
+// because of the automata — the interpreter is always a valid engine.
+func setupCompiled(log *slog.Logger, c *core.Checker, reg *core.Registry, dir string) {
+	c.UseCompiled = true
+	for _, name := range reg.Purposes() {
+		if dir != "" {
+			fp, err := c.AutomatonFingerprint(name)
+			if err != nil {
+				log.Warn("automaton fingerprint", "purpose", name, "err", err)
+				continue
+			}
+			if d, err := encode.LoadAutomaton(dir, fp); err == nil {
+				if err := c.SetCompiled(name, d); err == nil {
+					log.Info("automaton loaded", "purpose", name, "fingerprint", fp[:12], "states", len(d.States))
+					continue
+				}
+			} else if !errors.Is(err, os.ErrNotExist) {
+				log.Warn("automaton artifact unreadable, recompiling", "purpose", name, "err", err)
+			}
+		}
+		d, err := c.EnsureCompiled(name)
+		if err != nil {
+			log.Warn("purpose stays interpreted", "purpose", name, "cause", err)
+			continue
+		}
+		log.Info("automaton compiled", "purpose", name, "fingerprint", d.Fingerprint[:12], "states", len(d.States))
+		if dir != "" {
+			if path, err := encode.SaveAutomaton(dir, d); err != nil {
+				log.Warn("automaton artifact not saved", "purpose", name, "err", err)
+			} else {
+				log.Info("automaton saved", "purpose", name, "path", path)
+			}
+		}
+	}
+}
+
+func run(log *slog.Logger, addr, addrFile string, shards, queue int, ckpt string, every, drainTimeout time.Duration, polFile, builtin string, compiled bool, automataDir string, procs []string) error {
 	reg, roles, err := buildRegistry(builtin, polFile, procs)
 	if err != nil {
 		return err
 	}
+	checker := core.NewChecker(reg, roles)
+	if compiled {
+		setupCompiled(log, checker, reg, automataDir)
+	}
 
-	srv := server.New(reg, core.NewChecker(reg, roles), server.Config{
+	srv := server.New(reg, checker, server.Config{
 		Shards:          shards,
 		QueueDepth:      queue,
 		CheckpointPath:  ckpt,

@@ -56,8 +56,10 @@ func record(r benchRow) { benchRows = append(benchRows, r) }
 
 func main() {
 	expFlag := flag.String("exp", "", "comma-separated experiment ids (default: all)")
-	jsonFlag := flag.String("json", "", "write timed rows (P1, P3) as JSON to this file")
+	jsonFlag := flag.String("json", "", "write timed rows (P1, P3, P4) as JSON to this file")
 	quickFlag := flag.Bool("quick", false, "fixed 100-iteration timing instead of ~1s adaptive runs")
+	guardFlag := flag.String("guard", "", "comma-separated baseline BENCH_*.json files; exit 1 if any shared timed row's ns/entry regresses more than -guard-slack")
+	slackFlag := flag.Float64("guard-slack", 0.25, "tolerated fractional ns/entry regression vs the baseline")
 	flag.Parse()
 	if *quickFlag {
 		quickIters = 100
@@ -78,7 +80,7 @@ func main() {
 		{"P1", expP1, "check time vs trail length"},
 		{"P2", expP2, "check time vs process size"},
 		{"P3", expP3, "parallel case checking"},
-		{"P4", expP4, "Algorithm 1 vs naive enumeration"},
+		{"P4", expP4, "Algorithm 1 vs naive enumeration; compiled automaton vs interpreter"},
 		{"P5", expP5, "detection & cost vs token replay"},
 		{"P6", expP6, "OR fan-out configuration growth"},
 		{"P7", expP7, "well-foundedness detection"},
@@ -117,6 +119,78 @@ func main() {
 		}
 		fmt.Printf("\nwrote %d timed rows to %s\n", len(benchRows), *jsonFlag)
 	}
+	if *guardFlag != "" {
+		if err := guard(strings.Split(*guardFlag, ","), *slackFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: benchguard: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// guard compares this run's timed rows against checked-in baselines.
+// Later baseline files override earlier ones per (exp, name) key; only
+// rows measured by both sides are compared, so a guard run may select
+// any experiment subset. CI wall-clock noise is absorbed by the slack;
+// a genuine hot-path regression blows well past it.
+func guard(baselines []string, slack float64) error {
+	base := map[string]benchRow{}
+	for _, file := range baselines {
+		file = strings.TrimSpace(file)
+		if file == "" {
+			continue
+		}
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return err
+		}
+		var doc struct {
+			Rows []benchRow `json:"rows"`
+		}
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return fmt.Errorf("%s: %w", file, err)
+		}
+		for _, r := range doc.Rows {
+			if r.NsPerEntry > 0 {
+				base[r.Exp+"/"+r.Name] = r
+			}
+		}
+	}
+	if len(base) == 0 {
+		return fmt.Errorf("no ns/entry baseline rows in %v", baselines)
+	}
+	fmt.Printf("\n===== benchguard (slack %.0f%%) =====\n", slack*100)
+	fmt.Printf("%-28s %-12s %-12s %s\n", "row", "baseline", "current", "delta")
+	var failures []string
+	compared := 0
+	for _, r := range benchRows {
+		b, ok := base[r.Exp+"/"+r.Name]
+		if !ok || r.NsPerEntry <= 0 {
+			continue
+		}
+		// Sub-100-entry points time in single-digit microseconds, where
+		// quick mode's fixed iteration count is scheduler noise, not
+		// signal; the long-trail rows are the regression detectors.
+		if r.Entries < 100 {
+			continue
+		}
+		compared++
+		delta := r.NsPerEntry/b.NsPerEntry - 1
+		mark := ""
+		if delta > slack {
+			mark = "  REGRESSION"
+			failures = append(failures, fmt.Sprintf("%s/%s: %.1f -> %.1f ns/entry (%+.0f%%)",
+				r.Exp, r.Name, b.NsPerEntry, r.NsPerEntry, delta*100))
+		}
+		fmt.Printf("%-28s %-12.1f %-12.1f %+.0f%%%s\n", r.Exp+"/"+r.Name, b.NsPerEntry, r.NsPerEntry, delta*100, mark)
+	}
+	if compared == 0 {
+		return fmt.Errorf("no timed rows shared with the baseline (ran the wrong -exp selection?)")
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d row(s) regressed >%.0f%%:\n  %s", len(failures), slack*100, strings.Join(failures, "\n  "))
+	}
+	fmt.Printf("benchguard: %d rows within slack\n", compared)
+	return nil
 }
 
 func bench(f func() error) (time.Duration, error) {
@@ -486,6 +560,7 @@ func expP3() error {
 		record(benchRow{
 			Exp: "P3", Name: fmt.Sprintf("workers=%d", workers),
 			Entries: store.Len(), Workers: workers, NsPerOp: d.Nanoseconds(),
+			NsPerEntry: float64(d.Nanoseconds()) / float64(store.Len()),
 		})
 	}
 	return nil
@@ -496,34 +571,95 @@ func expP4() error {
 	if _, err := reg.Register(loopedProcess(), "LP"); err != nil {
 		return err
 	}
-	fmt.Printf("%-9s %-14s %-14s %s\n", "entries", "Algorithm 1", "naive", "traces materialized")
-	for _, steps := range []int{4, 8, 16, 24} {
-		trail := longTrail(steps)
-		caseID := trail.Cases()[0]
-		checker := core.NewChecker(reg, nil)
-		dAlg, err := bench(func() error {
-			_, err := checker.CheckCase(trail, caseID)
-			return err
-		})
-		if err != nil {
-			return err
-		}
-		nv := naive.NewChecker(reg, nil)
-		nv.Slack = 2
-		nv.MaxTraces = 1 << 20
-		traces := 0
-		dNv, err := bench(func() error {
-			res, err := nv.CheckCase(trail, caseID)
+	// Naive trace enumeration is exponential; the sweep is meaningful in
+	// adaptive mode but too slow for the fixed-iteration CI smoke, which
+	// only needs the timed engine comparison below.
+	if quickIters == 0 {
+		fmt.Printf("%-9s %-14s %-14s %s\n", "entries", "Algorithm 1", "naive", "traces materialized")
+		for _, steps := range []int{4, 8, 16, 24} {
+			trail := longTrail(steps)
+			caseID := trail.Cases()[0]
+			checker := core.NewChecker(reg, nil)
+			dAlg, err := bench(func() error {
+				_, err := checker.CheckCase(trail, caseID)
+				return err
+			})
 			if err != nil {
 				return err
 			}
-			traces = res.TracesEnumerated
-			return nil
-		})
+			nv := naive.NewChecker(reg, nil)
+			nv.Slack = 2
+			nv.MaxTraces = 1 << 20
+			traces := 0
+			dNv, err := bench(func() error {
+				res, err := nv.CheckCase(trail, caseID)
+				if err != nil {
+					return err
+				}
+				traces = res.TracesEnumerated
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-9d %-14v %-14v %d\n", trail.Len(), dAlg, dNv, traces)
+		}
+		fmt.Println()
+	}
+
+	// Interpreted vs ahead-of-time compiled replay (DESIGN.md §11) on
+	// the same looped process: the compiled engine does one array lookup
+	// per entry where the interpreter advances configuration sets.
+	interp := core.NewChecker(reg, nil)
+	compiled := interp.Clone()
+	compiled.UseCompiled = true
+	if _, err := compiled.EnsureCompiled("Loop"); err != nil {
+		return err
+	}
+	st, err := compiled.CompiledStatus("Loop")
+	if err != nil {
+		return err
+	}
+	fmt.Println(st)
+	fmt.Printf("%-9s %-14s %-14s %s\n", "entries", "interpreted", "compiled", "speedup")
+	for _, steps := range []int{10, 100, 1000, 5000} {
+		trail := longTrail(steps)
+		caseID := trail.Cases()[0]
+		check := func(c *core.Checker) func() error {
+			return func() error {
+				rep, err := c.CheckCase(trail, caseID)
+				if err != nil {
+					return err
+				}
+				if !rep.Compliant {
+					return fmt.Errorf("rejected at %d", rep.StepsReplayed)
+				}
+				return nil
+			}
+		}
+		if err := check(compiled)(); err != nil { // warm both engines
+			return err
+		}
+		dI, err := bench(check(interp))
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%-9d %-14v %-14v %d\n", trail.Len(), dAlg, dNv, traces)
+		dC, err := bench(check(compiled))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-9d %-14v %-14v %.1fx\n", trail.Len(), dI, dC, float64(dI)/float64(dC))
+		n := float64(trail.Len())
+		record(benchRow{
+			Exp: "P4", Name: fmt.Sprintf("interpreted/steps=%d", steps),
+			Entries: trail.Len(), NsPerOp: dI.Nanoseconds(),
+			NsPerEntry: float64(dI.Nanoseconds()) / n,
+		})
+		record(benchRow{
+			Exp: "P4", Name: fmt.Sprintf("compiled/steps=%d", steps),
+			Entries: trail.Len(), NsPerOp: dC.Nanoseconds(),
+			NsPerEntry: float64(dC.Nanoseconds()) / n,
+		})
 	}
 	return nil
 }

@@ -7,6 +7,14 @@
 //	ltsdump -cows 'P.T!<> | P.T?<>.P.E!<> | P.E?<>'
 //	ltsdump -proc process.json [-dot out.dot] [-traces 20] [-max 5000]
 //	ltsdump -builtin treatment -dot fig1.dot
+//	ltsdump -builtin clinicaltrial -stats
+//	ltsdump -proc process.json [-policy pol.txt] -compile ./automata
+//
+// -stats determinizes the process into the table-driven replay
+// automaton (DESIGN.md §11) and prints its table sizes; -compile DIR
+// additionally saves the content-addressed artifact under DIR for
+// auditd -automata-dir. -policy supplies the role hierarchy so the
+// fingerprint matches a checker running under the same policy.
 package main
 
 import (
@@ -21,6 +29,7 @@ import (
 	"repro/internal/encode"
 	"repro/internal/hospital"
 	"repro/internal/lts"
+	"repro/internal/policy"
 )
 
 func main() {
@@ -33,20 +42,24 @@ func main() {
 		traces   = flag.Int("traces", 0, "enumerate up to N maximal observable traces")
 		maxState = flag.Int("max", 10000, "state budget for exploration")
 		depth    = flag.Int("depth", 40, "trace depth bound")
+		stats    = flag.Bool("stats", false, "determinize into the replay automaton and print table statistics")
+		compile  = flag.String("compile", "", "compile the replay automaton and save the content-addressed artifact under this directory")
+		polFile  = flag.String("policy", "", "policy file supplying the role hierarchy for automaton compilation")
 	)
 	flag.Parse()
 
-	if err := run(*cowsSrc, *procFile, *builtin, *dotOut, *procDot, *traces, *maxState, *depth); err != nil {
+	if err := run(*cowsSrc, *procFile, *builtin, *dotOut, *procDot, *traces, *maxState, *depth, *stats, *compile, *polFile); err != nil {
 		fmt.Fprintln(os.Stderr, "ltsdump:", err)
 		os.Exit(2)
 	}
 }
 
-func run(cowsSrc, procFile, builtin, dotOut, procDot string, traces, maxState, depth int) error {
+func run(cowsSrc, procFile, builtin, dotOut, procDot string, traces, maxState, depth int, stats bool, compileDir, polFile string) error {
 	var (
 		service cows.Service
 		obs     lts.Observability
 		name    = "lts"
+		proc    *bpmn.Process
 		err     error
 	)
 	switch {
@@ -57,7 +70,6 @@ func run(cowsSrc, procFile, builtin, dotOut, procDot string, traces, maxState, d
 		}
 		obs = func(l cows.Label) bool { return l.Kind == cows.LComm }
 	case procFile != "" || builtin != "":
-		var proc *bpmn.Process
 		switch builtin {
 		case "treatment":
 			proc, err = hospital.Treatment()
@@ -103,6 +115,38 @@ func run(cowsSrc, procFile, builtin, dotOut, procDot string, traces, maxState, d
 		}
 	default:
 		return fmt.Errorf("need one of -cows, -proc, -builtin")
+	}
+
+	if stats || compileDir != "" {
+		if proc == nil {
+			return fmt.Errorf("-stats/-compile need a BPMN process (-proc or -builtin)")
+		}
+		var roles *policy.RoleHierarchy
+		if polFile != "" {
+			f, err := os.Open(polFile)
+			if err != nil {
+				return err
+			}
+			p, err := policy.ParsePolicy(f)
+			f.Close()
+			if err != nil {
+				return err
+			}
+			roles = p.Roles
+		}
+		d, err := encode.CompileProcess(proc, roles)
+		if err != nil {
+			return fmt.Errorf("compiling %s: %w", proc.Name, err)
+		}
+		fmt.Println(d.Stats())
+		fmt.Printf("fingerprint: %s\n", d.Fingerprint)
+		if compileDir != "" {
+			path, err := encode.SaveAutomaton(compileDir, d)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
 	}
 
 	y := lts.NewSystem(obs)

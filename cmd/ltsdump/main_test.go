@@ -8,14 +8,14 @@ import (
 )
 
 func TestRunCOWSSource(t *testing.T) {
-	if err := run(`P.T!<> | P.T?<>.P.E!<> | P.E?<>`, "", "", "", "", 5, 100, 10); err != nil {
+	if err := run(`P.T!<> | P.T?<>.P.E!<> | P.E?<>`, "", "", "", "", 5, 100, 10, false, "", ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunBuiltinWithDOT(t *testing.T) {
 	dot := filepath.Join(t.TempDir(), "ct.dot")
-	if err := run("", "", "clinicaltrial", dot, "", 2, 1000, 20); err != nil {
+	if err := run("", "", "clinicaltrial", dot, "", 2, 1000, 20, false, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(dot)
@@ -32,7 +32,7 @@ func TestRunBuiltinWithDOT(t *testing.T) {
 func TestRunTreatmentBudget(t *testing.T) {
 	// The treatment process's observable LTS is finite; exploration
 	// with a generous budget must complete without error.
-	if err := run("", "", "treatment", "", "", 0, 3000, 10); err != nil {
+	if err := run("", "", "treatment", "", "", 0, 3000, 10, false, "", ""); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -55,21 +55,41 @@ func TestRunProcFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("", path, "", "", "", 1, 100, 10); err != nil {
+	if err := run("", path, "", "", "", 1, 100, 10, false, "", ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
 	cases := []func() error{
-		func() error { return run("", "", "", "", "", 0, 100, 10) },          // nothing given
-		func() error { return run("P.!", "", "", "", "", 0, 100, 10) },       // bad COWS
-		func() error { return run("", "missing.json", "", "", "", 0, 100, 10) },
-		func() error { return run("", "", "nope", "", "", 0, 100, 10) },
+		func() error { return run("", "", "", "", "", 0, 100, 10, false, "", "") },    // nothing given
+		func() error { return run("P.!", "", "", "", "", 0, 100, 10, false, "", "") }, // bad COWS
+		func() error { return run("", "missing.json", "", "", "", 0, 100, 10, false, "", "") },
+		func() error { return run("", "", "nope", "", "", 0, 100, 10, false, "", "") },
 	}
 	for i, f := range cases {
 		if err := f(); err == nil {
 			t.Errorf("case %d: expected error", i)
 		}
+	}
+}
+
+func TestRunCompileArtifact(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("", "", "clinicaltrial", "", "", 0, 1000, 10, true, dir, ""); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || !strings.HasSuffix(ents[0].Name(), ".dfa.json.gz") {
+		t.Fatalf("expected one .dfa.json.gz artifact, got %v", ents)
+	}
+}
+
+func TestRunStatsNeedsProcess(t *testing.T) {
+	if err := run(`P.T!<> | P.T?<>.P.E!<> | P.E?<>`, "", "", "", "", 0, 100, 10, true, "", ""); err == nil {
+		t.Fatal("-stats on a raw COWS service should fail (no task alphabet)")
 	}
 }

@@ -153,8 +153,8 @@ func TestRunLenientTrail(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSuffix(enc.String(), "\n"), "\n")
-	lines[3] = "CORRUPTED RECORD"                       // FL-2's A entry
-	lines = append(lines, lines[1])                     // duplicate FL-1's A entry
+	lines[3] = "CORRUPTED RECORD"   // FL-2's A entry
+	lines = append(lines, lines[1]) // duplicate FL-1's A entry
 	src := strings.Join(lines, "\n") + "\n"
 	trailPath := filepath.Join(dir, "trail.csv")
 	if err := os.WriteFile(trailPath, []byte(src), 0o644); err != nil {

@@ -1,10 +1,10 @@
 // Purpose control outside healthcare: a bank's loan-origination
-// process. Credit bureau reports may be pulled for the purpose of
-// deciding a loan application — not for prospecting. A clerk who pulls
-// reports under fabricated application cases to build a marketing list
-// re-purposes the data exactly like the paper's cardiologist; the
-// preventive layer authorizes every single pull, and Algorithm 1 flags
-// every fabricated case.
+// process (see internal/loan). Credit bureau reports may be pulled for
+// the purpose of deciding a loan application — not for prospecting. A
+// clerk who pulls reports under fabricated application cases to build
+// a marketing list re-purposes the data exactly like the paper's
+// cardiologist; the preventive layer authorizes every single pull, and
+// Algorithm 1 flags every fabricated case.
 //
 //	go run ./examples/loanorigination
 package main
@@ -12,102 +12,27 @@ package main
 import (
 	"fmt"
 	"log"
-	"time"
 
-	"repro/internal/audit"
-	"repro/internal/bpmn"
 	"repro/internal/core"
+	"repro/internal/loan"
 	"repro/internal/policy"
 )
 
-func buildLoanProcess() (*bpmn.Process, error) {
-	// Intake clerk receives the application; credit analysis may fail
-	// (missing documents loop back to intake); underwriting orders
-	// income verification and/or collateral appraisal (inclusive);
-	// then the decision is made.
-	return bpmn.NewBuilder("LoanOrigination").
-		Pool("IntakeClerk").Pool("CreditAnalyst").Pool("Underwriter").
-		Start("S1", "IntakeClerk").
-		Task("L01", "IntakeClerk", "register application, collect documents").
-		MessageEnd("E1", "IntakeClerk").
-		MessageStart("S1b", "IntakeClerk").
-		Seq("S1", "L01").Seq("S1b", "L01").Seq("L01", "E1").
-		MessageStart("S2", "CreditAnalyst").
-		FallibleTask("L02", "CreditAnalyst", "pull credit report, assess", "L02b").
-		Task("L02b", "CreditAnalyst", "request missing documents").
-		MessageEnd("E2", "CreditAnalyst").
-		MessageEnd("E2b", "CreditAnalyst").
-		Seq("S2", "L02").Seq("L02", "E2").Seq("L02b", "E2b").
-		MessageStart("S3", "Underwriter").
-		OR("G1", "Underwriter").
-		Task("L03", "Underwriter", "verify income").
-		Task("L04", "Underwriter", "appraise collateral").
-		OR("J1", "Underwriter").
-		Task("L05", "Underwriter", "decide application").
-		End("E3", "Underwriter").
-		Seq("S3", "G1").Seq("G1", "L03", "J1").Seq("G1", "L04", "J1").
-		Seq("J1", "L05", "E3").
-		PairOR("G1", "J1").
-		Msg("E1", "S2").   // application forwarded to credit analysis
-		Msg("E2", "S3").   // credit ok: to underwriting
-		Msg("E2b", "S1b"). // documents missing: back to intake
-		Build()
-}
-
 func main() {
-	proc, err := buildLoanProcess()
+	proc, err := loan.Process()
 	if err != nil {
 		log.Fatal(err)
 	}
 	reg := core.NewRegistry()
-	if _, err := reg.Register(proc, "LA"); err != nil {
+	if _, err := reg.Register(proc, loan.Code); err != nil {
 		log.Fatal(err)
 	}
-
-	pol, err := policy.ParsePolicyString(`
-		role BankStaff
-		role IntakeClerk   : BankStaff
-		role CreditAnalyst : BankStaff
-		role Underwriter   : BankStaff
-
-		permit BankStaff     read  [*]Application          for LoanOrigination
-		permit IntakeClerk   write [*]Application          for LoanOrigination
-		permit CreditAnalyst read  [*]CreditReport         for LoanOrigination
-		permit CreditAnalyst write [*]Application/Credit   for LoanOrigination
-		permit Underwriter   write [*]Application/Decision for LoanOrigination
-	`)
+	pol, err := loan.Policy()
 	if err != nil {
 		log.Fatal(err)
 	}
 	fw := core.NewFramework(reg, pol, policy.NewConsentRegistry())
-
-	t0 := time.Date(2026, 7, 3, 9, 0, 0, 0, time.UTC)
-	mk := func(min int, user, role, action, object, task, caseID string) audit.Entry {
-		return audit.Entry{
-			User: user, Role: role, Action: action,
-			Object: policy.MustParseObject(object),
-			Task:   task, Case: caseID,
-			Time: t0.Add(time.Duration(min) * time.Minute), Status: audit.Success,
-		}
-	}
-
-	// LA-1: a genuine application, straight through with both checks.
-	genuine := []audit.Entry{
-		mk(0, "ida", "IntakeClerk", "write", "[Kim]Application", "L01", "LA-1"),
-		mk(10, "carl", "CreditAnalyst", "read", "[Kim]CreditReport", "L02", "LA-1"),
-		mk(11, "carl", "CreditAnalyst", "write", "[Kim]Application/Credit", "L02", "LA-1"),
-		mk(20, "uma", "Underwriter", "read", "[Kim]Application", "L03", "LA-1"),
-		mk(25, "uma", "Underwriter", "read", "[Kim]Application", "L04", "LA-1"),
-		mk(30, "uma", "Underwriter", "write", "[Kim]Application/Decision", "L05", "LA-1"),
-	}
-	// LA-50x: carl harvests credit reports under fabricated
-	// applications — every pull individually authorized.
-	harvest := []audit.Entry{
-		mk(40, "carl", "CreditAnalyst", "read", "[Lee]CreditReport", "L02", "LA-501"),
-		mk(41, "carl", "CreditAnalyst", "read", "[Mia]CreditReport", "L02", "LA-502"),
-		mk(42, "carl", "CreditAnalyst", "read", "[Noa]CreditReport", "L02", "LA-503"),
-	}
-	trail := audit.NewTrail(append(genuine, harvest...))
+	trail := loan.Trail()
 
 	res, err := fw.Audit(trail)
 	if err != nil {

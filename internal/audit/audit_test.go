@@ -134,8 +134,8 @@ func TestCSVRoundTrip(t *testing.T) {
 
 func TestCSVErrors(t *testing.T) {
 	cases := []string{
-		"",                        // no header
-		"a,b\n",                   // short header
+		"",      // no header
+		"a,b\n", // short header
 		"user,role,action,object,task,case,time,status\nJohn,GP,read,[Jane]EPR,T01,HT-1,notatime,success\n",
 		"user,role,action,object,task,case,time,status\nJohn,GP,read,[Jane]EPR,T01,HT-1,201001010101,maybe\n",
 		"user,role,action,object,task,case,time,status\nJohn,GP,read,[]bad,T01,HT-1,201001010101,success\n",

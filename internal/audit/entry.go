@@ -118,6 +118,12 @@ func (t *Trail) At(i int) Entry { return t.entries[i] }
 // Entries returns a copy of the entries in chronological order.
 func (t *Trail) Entries() []Entry { return append([]Entry(nil), t.entries...) }
 
+// View returns the entries without copying. The caller must treat the
+// slice as read-only; it is invalidated by Append. Replay loops use it
+// so that scanning a long case is not dominated by the defensive copy
+// Entries makes.
+func (t *Trail) View() []Entry { return t.entries }
+
 // Cases returns the distinct case identifiers in order of first
 // appearance.
 func (t *Trail) Cases() []string {
@@ -138,7 +144,19 @@ func (t *Trail) Cases() []string {
 // portion of the audit trail related to that case is a valid execution"
 // (Section 4).
 func (t *Trail) ByCase(caseID string) *Trail {
-	var out []Entry
+	n := 0
+	for _, e := range t.entries {
+		if e.Case == caseID {
+			n++
+		}
+	}
+	// Single-case trails (the per-case replay loop's common shape) are
+	// returned as-is: copying thousands of entries per check would
+	// dominate the replay itself.
+	if n == len(t.entries) {
+		return t
+	}
+	out := make([]Entry, 0, n)
 	for _, e := range t.entries {
 		if e.Case == caseID {
 			out = append(out, e)

@@ -39,15 +39,15 @@ func DecodeXML(r io.Reader) (*Process, error) {
 // The XML schema fragment we read. Field tags use local names only, so
 // any namespace prefixing (bpmn:, bpmn2:, none) is accepted.
 type xmlDefinitions struct {
-	XMLName       xml.Name           `xml:"definitions"`
-	Collaboration *xmlCollaboration  `xml:"collaboration"`
-	Processes     []xmlProcess       `xml:"process"`
+	XMLName       xml.Name          `xml:"definitions"`
+	Collaboration *xmlCollaboration `xml:"collaboration"`
+	Processes     []xmlProcess      `xml:"process"`
 }
 
 type xmlCollaboration struct {
-	ID           string            `xml:"id,attr"`
-	Participants []xmlParticipant  `xml:"participant"`
-	MessageFlows []xmlMessageFlow  `xml:"messageFlow"`
+	ID           string           `xml:"id,attr"`
+	Participants []xmlParticipant `xml:"participant"`
+	MessageFlows []xmlMessageFlow `xml:"messageFlow"`
 }
 
 type xmlParticipant struct {
@@ -62,22 +62,22 @@ type xmlMessageFlow struct {
 }
 
 type xmlProcess struct {
-	ID             string         `xml:"id,attr"`
-	Name           string         `xml:"name,attr"`
-	StartEvents    []xmlEvent     `xml:"startEvent"`
-	EndEvents      []xmlEvent     `xml:"endEvent"`
-	Tasks          []xmlTask      `xml:"task"`
-	UserTasks      []xmlTask      `xml:"userTask"`
-	ServiceTasks   []xmlTask      `xml:"serviceTask"`
-	ManualTasks    []xmlTask      `xml:"manualTask"`
-	ScriptTasks    []xmlTask      `xml:"scriptTask"`
-	SendTasks      []xmlTask      `xml:"sendTask"`
-	ReceiveTasks   []xmlTask      `xml:"receiveTask"`
-	ExclusiveGWs   []xmlGateway   `xml:"exclusiveGateway"`
-	ParallelGWs    []xmlGateway   `xml:"parallelGateway"`
-	InclusiveGWs   []xmlGateway   `xml:"inclusiveGateway"`
-	SequenceFlows  []xmlSeqFlow   `xml:"sequenceFlow"`
-	BoundaryEvents []xmlBoundary  `xml:"boundaryEvent"`
+	ID             string        `xml:"id,attr"`
+	Name           string        `xml:"name,attr"`
+	StartEvents    []xmlEvent    `xml:"startEvent"`
+	EndEvents      []xmlEvent    `xml:"endEvent"`
+	Tasks          []xmlTask     `xml:"task"`
+	UserTasks      []xmlTask     `xml:"userTask"`
+	ServiceTasks   []xmlTask     `xml:"serviceTask"`
+	ManualTasks    []xmlTask     `xml:"manualTask"`
+	ScriptTasks    []xmlTask     `xml:"scriptTask"`
+	SendTasks      []xmlTask     `xml:"sendTask"`
+	ReceiveTasks   []xmlTask     `xml:"receiveTask"`
+	ExclusiveGWs   []xmlGateway  `xml:"exclusiveGateway"`
+	ParallelGWs    []xmlGateway  `xml:"parallelGateway"`
+	InclusiveGWs   []xmlGateway  `xml:"inclusiveGateway"`
+	SequenceFlows  []xmlSeqFlow  `xml:"sequenceFlow"`
+	BoundaryEvents []xmlBoundary `xml:"boundaryEvent"`
 }
 
 type xmlEvent struct {

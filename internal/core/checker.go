@@ -173,6 +173,13 @@ type purposeRT struct {
 	active  activeInterner
 	empty   *activeSet
 	configs sync.Map // uint64 (confKey) -> *Configuration
+
+	// compiled is the purpose's ahead-of-time automaton slot (DESIGN.md
+	// §11): one compile attempt (or installed artifact) shared by every
+	// checker cloned from the same runtime. compiledMu serializes the
+	// lazy compile; readers go through the atomic pointer.
+	compiledMu sync.Mutex
+	compiled   atomic.Pointer[compiledResult]
 }
 
 func newPurposeRT(p *Purpose, maxSilent int) *purposeRT {
@@ -233,7 +240,23 @@ type Checker struct {
 	// surviving configuration set — the data behind the paper's
 	// Figure 6 walkthrough. The configurations are shared memoized
 	// values: treat them as read-only. Leave nil in production use.
+	// Setting TraceFn disables the compiled fast path (the automaton
+	// has no per-entry configuration sets to hand out).
 	TraceFn func(step int, entry audit.Entry, configs []*Configuration)
+
+	// UseCompiled enables the ahead-of-time automaton fast path
+	// (DESIGN.md §11): replay becomes one table lookup per entry. The
+	// automaton is compiled lazily on first use (or installed via
+	// SetCompiled); when it is absent — the purpose is not compilable,
+	// compilation exceeded its budgets, or the checker's flags differ
+	// from the automaton's — the interpreter runs instead and the
+	// report records the fallback cause.
+	UseCompiled bool
+
+	// MaxAutomatonStates bounds subset construction when compiling
+	// (0 = automaton.DefaultMaxStates). Exceeding it makes the purpose
+	// fall back to the interpreter; it never affects verdicts.
+	MaxAutomatonStates int
 
 	rt *checkerRT
 }
@@ -260,13 +283,15 @@ func NewChecker(reg *Registry, roles *policy.RoleHierarchy) *Checker {
 // remain per-clone.
 func (c *Checker) Clone() *Checker {
 	return &Checker{
-		registry:          c.registry,
-		roles:             c.roles,
-		StrictFailureTask: c.StrictFailureTask,
-		DisableAbsorption: c.DisableAbsorption,
-		MaxConfigurations: c.MaxConfigurations,
-		MaxSilentDepth:    c.MaxSilentDepth,
-		rt:                c.rt,
+		registry:           c.registry,
+		roles:              c.roles,
+		StrictFailureTask:  c.StrictFailureTask,
+		DisableAbsorption:  c.DisableAbsorption,
+		MaxConfigurations:  c.MaxConfigurations,
+		MaxSilentDepth:     c.MaxSilentDepth,
+		UseCompiled:        c.UseCompiled,
+		MaxAutomatonStates: c.MaxAutomatonStates,
+		rt:                 c.rt,
 	}
 }
 
@@ -427,7 +452,7 @@ func (c *Checker) CheckCaseContext(ctx context.Context, trail *audit.Trail, case
 			},
 		}, nil
 	}
-	entries := trail.ByCase(caseID).Entries()
+	entries := trail.ByCase(caseID).View()
 	defer func() {
 		if r := recover(); r != nil {
 			rep = indeterminateReport(caseID, pur.Name, len(entries), 0, &Indeterminacy{
@@ -447,11 +472,30 @@ func (c *Checker) initialConfiguration(rt *purposeRT, pur *Purpose) (*Configurat
 	return c.newConfiguration(rt, pur, pur.Initial, rt.sys.Intern(pur.Initial), rt.empty)
 }
 
-// replay is the body of Algorithm 1 over a chronological entry slice.
-// Budget exhaustion and configuration-cap overflow yield an
-// OutcomeIndeterminate report; ctx cancellation yields the context's
-// error.
+// replay decides one case, dispatching to the compiled automaton when
+// the fast path is on and available, and to the Algorithm 1 interpreter
+// otherwise (recording why — DESIGN.md §11 fallback rules).
 func (c *Checker) replay(ctx context.Context, pur *Purpose, caseID string, entries []audit.Entry) (*Report, error) {
+	if c.UseCompiled {
+		d, why := c.compiledFor(pur)
+		if d != nil {
+			return c.replayCompiled(ctx, d, pur, caseID, entries)
+		}
+		rep, err := c.replayInterpreted(ctx, pur, caseID, entries)
+		if rep != nil {
+			rep.Engine = EngineInterpreted
+			rep.EngineFallback = why
+		}
+		return rep, err
+	}
+	return c.replayInterpreted(ctx, pur, caseID, entries)
+}
+
+// replayInterpreted is the body of Algorithm 1 over a chronological
+// entry slice. Budget exhaustion and configuration-cap overflow yield
+// an OutcomeIndeterminate report; ctx cancellation yields the context's
+// error.
+func (c *Checker) replayInterpreted(ctx context.Context, pur *Purpose, caseID string, entries []audit.Entry) (*Report, error) {
 	rt := c.runtime(pur)
 	maxConfigs := c.MaxConfigurations
 	if maxConfigs <= 0 {

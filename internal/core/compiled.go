@@ -1,0 +1,319 @@
+package core
+
+// Compiled fast path (DESIGN.md §11). For well-founded processes the
+// observable-trace semantics of Definition 6 is a regular language over
+// task/error labels, so Algorithm 1's configuration-set machine can be
+// determinized once, ahead of time (internal/automaton), and replay
+// becomes one dense-table lookup per entry. The checker compiles each
+// purpose lazily on first use (or accepts a preloaded artifact via
+// SetCompiled) and falls back to the interpreter — recording the cause
+// — whenever the automaton is absent: the purpose is not compilable
+// within its budgets, the checker's semantic flags differ from the
+// automaton's, or a TraceFn needs live configuration sets.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/audit"
+	"repro/internal/automaton"
+)
+
+// Engine names recorded in Report.Engine when UseCompiled is on.
+const (
+	EngineCompiled    = "compiled"
+	EngineInterpreted = "interpreted"
+)
+
+// compiledResult is one purpose's compile outcome, stored in the shared
+// runtime: either a usable automaton or the error explaining its
+// absence, plus the semantic flags it was built under.
+type compiledResult struct {
+	dfa *automaton.DFA
+	err error
+
+	strict       bool
+	noAbsorption bool
+	maxConfigs   int
+}
+
+func (c *Checker) effectiveMaxConfigurations() int {
+	if c.MaxConfigurations > 0 {
+		return c.MaxConfigurations
+	}
+	return DefaultMaxConfigurations
+}
+
+// automatonInput assembles the compiler input for a purpose under this
+// checker's semantic flags, reusing the warm shared LTS.
+func (c *Checker) automatonInput(pur *Purpose, rt *purposeRT) automaton.CompileInput {
+	in := automaton.CompileInput{
+		Purpose:           pur.Name,
+		Initial:           pur.Initial,
+		Observable:        pur.Observable,
+		Roles:             c.roles,
+		StrictFailureTask: c.StrictFailureTask,
+		DisableAbsorption: c.DisableAbsorption,
+		MaxConfigurations: c.MaxConfigurations,
+		MaxSilentDepth:    c.MaxSilentDepth,
+		MaxStates:         c.MaxAutomatonStates,
+		System:            rt.sys,
+	}
+	for _, task := range pur.Process.Tasks() {
+		in.Tasks = append(in.Tasks, automaton.TaskSpec{Name: task, Role: pur.Process.TaskRole(task)})
+	}
+	return in
+}
+
+// purposeByName resolves a registered purpose for the compiled-artifact
+// API surface.
+func (c *Checker) purposeByName(name string) (*Purpose, error) {
+	pur := c.registry.Purpose(name)
+	if pur == nil {
+		return nil, fmt.Errorf("core: unknown purpose %q", name)
+	}
+	return pur, nil
+}
+
+// AutomatonFingerprint returns the content address a compiled automaton
+// for the purpose would have under this checker's current flags —
+// computable without compiling, so callers can probe an artifact cache
+// (encode.LoadAutomaton) before paying for subset construction.
+func (c *Checker) AutomatonFingerprint(purpose string) (string, error) {
+	pur, err := c.purposeByName(purpose)
+	if err != nil {
+		return "", err
+	}
+	return automaton.Fingerprint(c.automatonInput(pur, c.runtime(pur))), nil
+}
+
+// EnsureCompiled compiles the purpose's automaton under the checker's
+// current flags (replacing any slot compiled under different flags) and
+// returns it. Non-compilable purposes return an error wrapping
+// automaton.ErrNotCompilable; the failure is recorded so replay falls
+// back to the interpreter without retrying the compile.
+func (c *Checker) EnsureCompiled(purpose string) (*automaton.DFA, error) {
+	pur, err := c.purposeByName(purpose)
+	if err != nil {
+		return nil, err
+	}
+	rt := c.runtime(pur)
+	rt.compiledMu.Lock()
+	defer rt.compiledMu.Unlock()
+	if r := rt.compiled.Load(); r != nil && c.flagsMatch(r) {
+		return r.dfa, r.err
+	}
+	return c.compileLocked(pur, rt)
+}
+
+// SetCompiled installs a previously compiled automaton (typically
+// loaded from an artifact via encode.LoadAutomaton) for the purpose.
+// The automaton's fingerprint must equal the one this checker would
+// compile to under its current flags; a mismatched artifact is refused
+// so a stale cache can never change verdicts.
+func (c *Checker) SetCompiled(purpose string, d *automaton.DFA) error {
+	pur, err := c.purposeByName(purpose)
+	if err != nil {
+		return err
+	}
+	rt := c.runtime(pur)
+	want := automaton.Fingerprint(c.automatonInput(pur, rt))
+	if d.Fingerprint != want {
+		return fmt.Errorf("core: automaton fingerprint %.12s does not match purpose %q under current flags (want %.12s)",
+			d.Fingerprint, purpose, want)
+	}
+	rt.compiledMu.Lock()
+	defer rt.compiledMu.Unlock()
+	rt.compiled.Store(&compiledResult{
+		dfa:          d,
+		strict:       c.StrictFailureTask,
+		noAbsorption: c.DisableAbsorption,
+		maxConfigs:   c.effectiveMaxConfigurations(),
+	})
+	return nil
+}
+
+// CompiledStatus reports the purpose's automaton table sizes, or the
+// recorded reason no automaton is in use (never compiled, or the
+// compile failed).
+func (c *Checker) CompiledStatus(purpose string) (automaton.Stats, error) {
+	pur, err := c.purposeByName(purpose)
+	if err != nil {
+		return automaton.Stats{}, err
+	}
+	r := c.runtime(pur).compiled.Load()
+	switch {
+	case r == nil:
+		return automaton.Stats{}, fmt.Errorf("core: purpose %q has no compiled automaton", purpose)
+	case r.err != nil:
+		return automaton.Stats{}, r.err
+	default:
+		return r.dfa.Stats(), nil
+	}
+}
+
+func (c *Checker) flagsMatch(r *compiledResult) bool {
+	return r.strict == c.StrictFailureTask &&
+		r.noAbsorption == c.DisableAbsorption &&
+		r.maxConfigs == c.effectiveMaxConfigurations()
+}
+
+// compileLocked compiles and records the result; rt.compiledMu held.
+func (c *Checker) compileLocked(pur *Purpose, rt *purposeRT) (*automaton.DFA, error) {
+	d, err := automaton.Compile(c.automatonInput(pur, rt))
+	r := &compiledResult{
+		dfa:          d,
+		err:          err,
+		strict:       c.StrictFailureTask,
+		noAbsorption: c.DisableAbsorption,
+		maxConfigs:   c.effectiveMaxConfigurations(),
+	}
+	rt.compiled.Store(r)
+	return d, err
+}
+
+// compiledFor returns the purpose's automaton when the fast path
+// applies, compiling lazily on first use. Otherwise it returns nil and
+// the fallback cause to record.
+func (c *Checker) compiledFor(pur *Purpose) (*automaton.DFA, string) {
+	if !c.UseCompiled {
+		return nil, ""
+	}
+	if c.TraceFn != nil {
+		return nil, "TraceFn requires live configuration sets"
+	}
+	rt := c.runtime(pur)
+	r := rt.compiled.Load()
+	if r == nil {
+		rt.compiledMu.Lock()
+		if r = rt.compiled.Load(); r == nil {
+			c.compileLocked(pur, rt)
+			r = rt.compiled.Load()
+		}
+		rt.compiledMu.Unlock()
+	}
+	if !c.flagsMatch(r) {
+		return nil, "automaton was compiled under different checker flags"
+	}
+	if r.err != nil {
+		return nil, r.err.Error()
+	}
+	return r.dfa, ""
+}
+
+// symbolForEntry classifies an audit entry into the automaton's
+// alphabet. No symbol means no configuration could accept the entry —
+// a violation, mirroring the interpreter's matchesEntry.
+func symbolForEntry(d *automaton.DFA, e audit.Entry) (int32, bool) {
+	if e.Status == audit.Failure {
+		return d.SymbolFor(e.Task, "", true)
+	}
+	return d.SymbolFor(e.Task, e.Role, false)
+}
+
+// symCacheSize is the direct-mapped symbol-cache size of one compiled
+// replay. Trails draw tasks and roles from a small alphabet, so even a
+// tiny cache turns the two map probes of SymbolFor into one string
+// compare per entry on the hot path.
+const symCacheSize = 32
+
+type symCacheSlot struct {
+	task, role string
+	failure    bool
+	sym        int32
+	ok         bool
+	live       bool
+}
+
+func symCacheIdx(task, role string) uint8 {
+	h := uint32(len(task))*131 + uint32(len(role))*31
+	if len(task) > 0 {
+		h += uint32(task[len(task)-1]) * 7
+	}
+	if len(role) > 0 {
+		h += uint32(role[0])
+	}
+	return uint8(h % symCacheSize)
+}
+
+// replayCompiled is Algorithm 1 as one table lookup per entry.
+func (c *Checker) replayCompiled(ctx context.Context, d *automaton.DFA, pur *Purpose, caseID string, entries []audit.Entry) (*Report, error) {
+	rep := &Report{Case: caseID, Purpose: pur.Name, Entries: len(entries), Engine: EngineCompiled}
+	state := d.Start
+	done := ctx.Done()
+	var cache [symCacheSize]symCacheSlot
+	for i := range entries {
+		if done != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		e := &entries[i]
+		task, role := e.Task, e.Role
+		failure := e.Status == audit.Failure
+		if failure {
+			role = ""
+		}
+		slot := &cache[symCacheIdx(task, role)]
+		if !slot.live || slot.task != task || slot.role != role || slot.failure != failure {
+			slot.sym, slot.ok = d.SymbolFor(task, role, failure)
+			slot.task, slot.role, slot.failure, slot.live = task, role, failure, true
+		}
+		next := automaton.Reject
+		if slot.ok {
+			next = d.Step(state, slot.sym)
+		}
+		if next == automaton.Reject {
+			rep.Compliant = false
+			rep.Outcome = OutcomeViolation
+			rep.Violation = c.describeViolationCompiled(d, state, pur, i, entries[i])
+			rep.StepsReplayed = i
+			return rep, nil
+		}
+		state = next
+		if n := len(d.States[state].Members); n > rep.PeakConfigurations {
+			rep.PeakConfigurations = n
+		}
+	}
+	st := &d.States[state]
+	rep.Compliant = true
+	rep.Outcome = OutcomeCompliant
+	rep.StepsReplayed = len(entries)
+	rep.FinalConfigurations = len(st.Members)
+	rep.CanComplete = st.CanComplete
+	rep.Pending = !rep.CanComplete
+	return rep, nil
+}
+
+// describeViolationCompiled renders the same diagnostic the interpreter
+// would: the expected labels and active tasks are precomputed per DFA
+// state, the reason classification reuses the checker's own logic.
+func (c *Checker) describeViolationCompiled(d *automaton.DFA, state int32, pur *Purpose, idx int, e audit.Entry) *Violation {
+	st := &d.States[state]
+	v := &Violation{
+		Kind:        ViolationInvalidExecution,
+		EntryIndex:  idx,
+		Entry:       &e,
+		Expected:    append([]string(nil), st.Expected...),
+		ActiveTasks: append([]string(nil), st.ActiveTasks...),
+	}
+	switch {
+	case !pur.Process.HasTask(e.Task) && e.Status == audit.Success:
+		v.Reason = fmt.Sprintf("task %q is not part of process %q", e.Task, pur.Name)
+	case e.Status == audit.Failure:
+		v.Reason = fmt.Sprintf("failure of task %q has no matching error handler at this point", e.Task)
+	case pur.Process.TaskRole(e.Task) != "" && !c.roleMatches(e.Role, pur.Process.TaskRole(e.Task)):
+		v.Reason = fmt.Sprintf("role %q may not perform task %q (pool %q)", e.Role, e.Task, pur.Process.TaskRole(e.Task))
+	default:
+		v.Reason = fmt.Sprintf("task %q is neither active nor enabled at this point of the process", e.Task)
+	}
+	return v
+}
+
+// IsNotCompilable reports whether err (e.g. from EnsureCompiled or
+// CompiledStatus) means the purpose cannot be determinized, as opposed
+// to a genuine failure.
+func IsNotCompilable(err error) bool {
+	return errors.Is(err, automaton.ErrNotCompilable)
+}

@@ -1,0 +1,93 @@
+package core_test
+
+// FuzzCompiledReplay is the differential fuzz target gating the
+// compiled fast path: arbitrary bytes decode into a trail over the
+// clinical-trial alphabet (plus off-alphabet tasks and roles) and the
+// table-driven engine must return byte-identical reports to the
+// interpreter, including violation messages and configuration counts.
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/core"
+	"repro/internal/policy"
+)
+
+var fuzzTasks = []string{
+	"T91", "T92", "T93", "T94", "T95", // clinical trial
+	"T01", "T02", "T05", "T11", "T15", // treatment (wrong purpose)
+	"Zed", "", // off-alphabet
+}
+
+var fuzzRoles = []string{
+	"Researcher", "Physician", "Cardiologist", "Nurse",
+	"Janitor", "", // off-alphabet
+}
+
+// decodeFuzzTrail reads two bytes per entry: the first selects the
+// task, the second the role and whether the entry is a failure.
+func decodeFuzzTrail(data []byte) *audit.Trail {
+	t0 := time.Date(2026, 3, 1, 8, 0, 0, 0, time.UTC)
+	var entries []audit.Entry
+	for i := 0; i+1 < len(data) && len(entries) < 64; i += 2 {
+		e := audit.Entry{
+			User: "u", Role: fuzzRoles[int(data[i+1]>>2)%len(fuzzRoles)],
+			Action: "read",
+			Object: policy.MustParseObject("[K]EPR"),
+			Task:   fuzzTasks[int(data[i])%len(fuzzTasks)],
+			Case:   "CT-F",
+			Time:   t0.Add(time.Duration(len(entries)) * time.Minute),
+			Status: audit.Success,
+		}
+		if data[i+1]&3 == 3 {
+			e.Status = audit.Failure
+		}
+		entries = append(entries, e)
+	}
+	return audit.NewTrail(entries)
+}
+
+func FuzzCompiledReplay(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 0, 2, 0, 3, 0, 4, 0})       // the Figure 4 happy path
+	f.Add([]byte{0, 0, 2, 0})                         // out of order
+	f.Add([]byte{0, 16, 1, 16})                       // Janitor
+	f.Add([]byte{5, 0, 6, 0})                         // treatment tasks under trial purpose
+	f.Add([]byte{10, 0})                              // off-alphabet task
+	f.Add([]byte{0, 3, 0, 0})                         // failure marker
+	f.Add([]byte{})                                   // empty trail
+	f.Add([]byte{0, 0, 0, 0, 1, 0, 1, 0, 2, 0, 2, 0}) // duplicates
+
+	reg, roles := hospitalRegistry(f)
+	interp := core.NewChecker(reg, roles)
+	compiled := interp.Clone()
+	compiled.UseCompiled = true
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		trail := decodeFuzzTrail(data)
+		ri, errI := interp.CheckTrail(trail)
+		rc, errC := compiled.CheckTrail(trail)
+		if (errI == nil) != (errC == nil) {
+			t.Fatalf("error divergence: interpreted %v, compiled %v", errI, errC)
+		}
+		if errI != nil {
+			return
+		}
+		if len(ri) != len(rc) {
+			t.Fatalf("report count divergence: %d vs %d", len(ri), len(rc))
+		}
+		for i := range ri {
+			if rc[i].Engine != core.EngineCompiled {
+				t.Fatalf("case %s ran on engine %q, want compiled", rc[i].Case, rc[i].Engine)
+			}
+			a, b := *ri[i], *rc[i]
+			a.Engine, a.EngineFallback = "", ""
+			b.Engine, b.EngineFallback = "", ""
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("report divergence for trail %v:\ninterpreted: %+v\ncompiled:    %+v", data, a, b)
+			}
+		}
+	})
+}

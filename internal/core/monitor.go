@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/audit"
+	"repro/internal/automaton"
 )
 
 // Monitor is the online variant of Algorithm 1 the paper calls for in
@@ -60,6 +61,21 @@ type caseState struct {
 	// cause is set when the case died of an analysis abandon (budget,
 	// configuration cap, recovered panic) rather than a violation.
 	cause *Indeterminacy
+	// dfa/dstate, when dfa is non-nil, carry the case on the compiled
+	// fast path (DESIGN.md §11): dstate is the current automaton state
+	// and configs stays nil. Cases restored from a snapshot that cannot
+	// be mapped onto the automaton run interpreted instead; the two
+	// engines coexist per case within one monitor.
+	dfa    *automaton.DFA
+	dstate int32
+}
+
+// configCount is the live configuration-set size under either engine.
+func (cs *caseState) configCount() int {
+	if cs.dfa != nil {
+		return len(cs.dfa.States[cs.dstate].Members)
+	}
+	return len(cs.configs)
 }
 
 // Verdict is the outcome of feeding one entry.
@@ -105,6 +121,11 @@ func (m *Monitor) caseStateFor(caseID string) (*caseState, error) {
 	pur := m.checker.registry.ForCase(caseID)
 	if pur == nil {
 		return nil, fmt.Errorf("%w: %q", errUnknownPurpose, CaseCode(caseID))
+	}
+	if d, _ := m.checker.compiledFor(pur); d != nil {
+		st = &caseState{purpose: pur, dfa: d, dstate: d.Start}
+		m.cases[caseID] = st
+		return st, nil
 	}
 	initial, err := m.checker.initialConfiguration(m.checker.runtime(pur), pur)
 	if err != nil {
@@ -152,6 +173,15 @@ func (m *Monitor) Enabled(caseID string) ([]Offer, error) {
 			out = append(out, o)
 		}
 	}
+	if st.dfa != nil {
+		ds := &st.dfa.States[st.dstate]
+		for _, o := range ds.Active {
+			add(Offer{Role: o.Role, Task: o.Task, Active: true})
+		}
+		for _, o := range ds.Fire {
+			add(Offer{Role: o.Role, Task: o.Task})
+		}
+	}
 	for _, conf := range st.configs {
 		for _, a := range conf.active.tasks {
 			add(Offer{Role: a.Role, Task: a.Task, Active: true})
@@ -187,6 +217,10 @@ func (m *Monitor) Peek(e audit.Entry) (bool, error) {
 	}
 	if st.dead {
 		return false, nil
+	}
+	if st.dfa != nil {
+		sym, ok := symbolForEntry(st.dfa, e)
+		return ok && st.dfa.Step(st.dstate, sym) != automaton.Reject, nil
 	}
 	maxConfigs := m.checker.MaxConfigurations
 	if maxConfigs <= 0 {
@@ -244,6 +278,23 @@ func (m *Monitor) FeedContext(ctx context.Context, e audit.Entry) (*Verdict, err
 		return v, nil
 	}
 
+	if st.dfa != nil {
+		dnext := automaton.Reject
+		if sym, ok := symbolForEntry(st.dfa, e); ok {
+			dnext = st.dfa.Step(st.dstate, sym)
+		}
+		if dnext == automaton.Reject {
+			st.dead = true
+			v.Violation = m.checker.describeViolationCompiled(st.dfa, st.dstate, st.purpose, st.entries-1, e)
+			v.Configurations = st.configCount()
+			return v, nil
+		}
+		st.dstate = dnext
+		v.OK = true
+		v.Configurations = st.configCount()
+		return v, nil
+	}
+
 	maxConfigs := m.checker.MaxConfigurations
 	if maxConfigs <= 0 {
 		maxConfigs = DefaultMaxConfigurations
@@ -291,6 +342,10 @@ type CaseStatus struct {
 	// (budget, configuration cap, recovered panic); Deviated is then
 	// true without a violation verdict.
 	Indeterminate *Indeterminacy
+	// Engine is the replay engine carrying the case: "compiled" or
+	// "interpreted". Cases restored from snapshots may stay interpreted
+	// even when the fast path is on (DESIGN.md §11).
+	Engine string
 }
 
 // Status reports all monitored cases, sorted by case id.
@@ -302,8 +357,17 @@ func (m *Monitor) Status() ([]CaseStatus, error) {
 			Purpose:        st.purpose.Name,
 			Entries:        st.entries,
 			Deviated:       st.dead,
-			Configurations: len(st.configs),
+			Configurations: st.configCount(),
 			Indeterminate:  st.cause,
+			Engine:         EngineInterpreted,
+		}
+		if st.dfa != nil {
+			cs.Engine = EngineCompiled
+			if !st.dead {
+				cs.CanComplete = st.dfa.States[st.dstate].CanComplete
+			}
+			out = append(out, cs)
+			continue
 		}
 		if !st.dead {
 			y := m.checker.runtime(st.purpose).sys

@@ -197,6 +197,15 @@ type Report struct {
 	// Pending reports a compliant but mid-flight case: the analysis
 	// should be resumed when new actions are recorded (Section 4).
 	Pending bool
+	// Engine records which replay engine decided the case when the
+	// compiled fast path was requested (Checker.UseCompiled):
+	// "compiled" for the table-driven automaton, "interpreted" for the
+	// Algorithm 1 fallback. Empty when UseCompiled is off.
+	Engine string
+	// EngineFallback, set when UseCompiled was requested but the
+	// interpreter ran, records why the automaton was unavailable
+	// (DESIGN.md §11 fallback rules).
+	EngineFallback string
 }
 
 // String renders a one-line summary.

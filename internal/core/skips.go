@@ -70,7 +70,7 @@ func (c *Checker) checkCaseWithSkips(trail *audit.Trail, caseID string, budget i
 		}
 		return &SkipReport{Report: *rep}, nil
 	}
-	entries := trail.ByCase(caseID).Entries()
+	entries := trail.ByCase(caseID).View()
 	rt := c.runtime(pur)
 	maxConfigs := c.MaxConfigurations
 	if maxConfigs <= 0 {

@@ -6,6 +6,7 @@ import (
 	"io"
 	"sort"
 
+	"repro/internal/automaton"
 	"repro/internal/cows"
 )
 
@@ -74,18 +75,33 @@ func (m *Monitor) State() *MonitorState {
 			c := *cs.cause
 			snap.Cause = &c
 		}
-		for _, conf := range cs.configs {
-			term := cows.String(conf.state)
+		addConfig := func(term string, active []ActiveTask) {
 			ref, ok := table[term]
 			if !ok {
 				ref = len(st.States)
 				table[term] = ref
 				st.States = append(st.States, term)
 			}
-			snap.Configs = append(snap.Configs, ConfigSnapshot{
-				StateRef: ref,
-				Active:   conf.ActiveTasks(),
-			})
+			snap.Configs = append(snap.Configs, ConfigSnapshot{StateRef: ref, Active: active})
+		}
+		if cs.dfa != nil {
+			// Compiled cases export the determinized state's member
+			// configurations, so the snapshot is engine-neutral: a
+			// restoring monitor may resume it under either engine.
+			d := cs.dfa
+			for _, mid := range d.States[cs.dstate].Members {
+				cfg := d.Configs[mid]
+				active := make([]ActiveTask, 0, len(d.ActiveSets[cfg.Active]))
+				for _, a := range d.ActiveSets[cfg.Active] {
+					active = append(active, ActiveTask{Role: a.Role, Task: a.Task})
+				}
+				sort.Slice(active, func(i, j int) bool { return active[i].String() < active[j].String() })
+				addConfig(d.Texts[cfg.Term], active)
+			}
+		} else {
+			for _, conf := range cs.configs {
+				addConfig(cows.String(conf.state), conf.ActiveTasks())
+			}
 		}
 		st.Cases[id] = snap
 	}
@@ -147,9 +163,48 @@ func (m *Monitor) LoadState(st *MonitorState) error {
 			}
 			ns.configs = append(ns.configs, conf)
 		}
+		// A checkpoint taken under either engine resumes on the compiled
+		// fast path when the configuration set maps onto a determinized
+		// state; otherwise the case keeps running interpreted.
+		if d, _ := m.checker.compiledFor(pur); d != nil && !ns.dead {
+			if sid, ok := promoteCase(d, rt, ns.configs); ok {
+				ns.dfa, ns.dstate, ns.configs = d, sid, nil
+			}
+		}
 		m.cases[id] = ns
 	}
 	return nil
+}
+
+// promoteCase maps an interpreter configuration set onto the DFA state
+// with exactly that membership. It fails (ok=false) when any
+// configuration — or the set as a whole — is unknown to the automaton,
+// in which case the case stays on the interpreter.
+func promoteCase(d *automaton.DFA, rt *purposeRT, configs []*Configuration) (int32, bool) {
+	if len(configs) == 0 {
+		return 0, false
+	}
+	ids := make([]int32, 0, len(configs))
+	scratch := make([]automaton.ActiveTask, 0, 8)
+	for _, conf := range configs {
+		scratch = scratch[:0]
+		for _, a := range conf.active.tasks {
+			scratch = append(scratch, automaton.ActiveTask{Role: a.Role, Task: a.Task})
+		}
+		id, ok := d.ConfigID(rt.sys.CanonOf(conf.state), scratch)
+		if !ok {
+			return 0, false
+		}
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	dedup := ids[:0]
+	for _, id := range ids {
+		if len(dedup) == 0 || id != dedup[len(dedup)-1] {
+			dedup = append(dedup, id)
+		}
+	}
+	return d.StateOf(dedup)
 }
 
 // Snapshot writes the monitor's live state as indented JSON.

@@ -115,15 +115,15 @@ type Repl struct {
 	Body Service
 }
 
-func (Nil) isService()     {}
-func (*Invoke) isService() {}
+func (Nil) isService()      {}
+func (*Invoke) isService()  {}
 func (*Request) isService() {}
-func (*Choice) isService() {}
-func (*Par) isService()    {}
-func (*Scope) isService()  {}
+func (*Choice) isService()  {}
+func (*Par) isService()     {}
+func (*Scope) isService()   {}
 func (*Protect) isService() {}
-func (*Kill) isService()   {}
-func (*Repl) isService()   {}
+func (*Kill) isService()    {}
+func (*Repl) isService()    {}
 
 // Endpoint renders the activity endpoint "partner.op".
 func (i *Invoke) Endpoint() string { return i.Partner + "." + i.Op }

@@ -1,0 +1,98 @@
+package encode_test
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"reflect"
+	"testing"
+
+	"repro/internal/automaton"
+	"repro/internal/encode"
+	"repro/internal/hospital"
+)
+
+func compileTreatment(t *testing.T) *automaton.DFA {
+	t.Helper()
+	p, err := hospital.Treatment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	roles, err := hospital.Roles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := encode.CompileProcess(p, roles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestArtifactRoundTrip(t *testing.T) {
+	d := compileTreatment(t)
+	var buf bytes.Buffer
+	if err := encode.WriteAutomaton(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := encode.ReadAutomaton(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Fingerprint != d.Fingerprint || got.NumStates() != d.NumStates() ||
+		got.NumSymbols() != d.NumSymbols() {
+		t.Fatalf("round trip changed identity: %s vs %s", got.Stats(), d.Stats())
+	}
+	if !reflect.DeepEqual(got.Delta, d.Delta) {
+		t.Fatal("round trip changed the transition table")
+	}
+	if !reflect.DeepEqual(got.States, d.States) {
+		t.Fatal("round trip changed state metadata")
+	}
+}
+
+func TestArtifactSaveLoad(t *testing.T) {
+	d := compileTreatment(t)
+	dir := t.TempDir()
+	path, err := encode.SaveAutomaton(dir, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path != encode.ArtifactPath(dir, d.Fingerprint) {
+		t.Fatalf("saved to %q, want content address", path)
+	}
+	got, err := encode.LoadAutomaton(dir, d.Fingerprint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Fingerprint != d.Fingerprint {
+		t.Fatal("load returned a different automaton")
+	}
+	// A fingerprint with no artifact is a plain cache miss.
+	if _, err := encode.LoadAutomaton(dir, "deadbeef"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing artifact: err = %v, want ErrNotExist", err)
+	}
+	// A file whose content disagrees with its address is rejected.
+	if err := os.Rename(path, encode.ArtifactPath(dir, "deadbeef")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := encode.LoadAutomaton(dir, "deadbeef"); !errors.Is(err, encode.ErrArtifactMismatch) {
+		t.Fatalf("mismatched artifact: err = %v, want ErrArtifactMismatch", err)
+	}
+}
+
+func TestArtifactRejectsCorruption(t *testing.T) {
+	d := compileTreatment(t)
+	var buf bytes.Buffer
+	if err := encode.WriteAutomaton(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	// Not gzip at all.
+	if _, err := encode.ReadAutomaton(bytes.NewReader([]byte("{}"))); !errors.Is(err, encode.ErrArtifactMismatch) {
+		t.Fatalf("plain JSON accepted: %v", err)
+	}
+	// Truncated stream.
+	if _, err := encode.ReadAutomaton(bytes.NewReader(buf.Bytes()[:buf.Len()/2])); err == nil {
+		t.Fatal("truncated artifact accepted")
+	}
+}

@@ -263,22 +263,22 @@ func TestFig6Replay(t *testing.T) {
 	}
 
 	wantActive := []string{
-		"GP·T01",            // St2
-		"GP·T02",            // St3
-		"",                  // St4: failure empties the active set
-		"GP·T01",            // back to St2
-		"GP·T05",            // St6
-		"Cardiologist·T06",  // St7
-		"Cardiologist·T09",  // St10/St11 (our origin discipline: only fired tasks)
-		"Radiologist·T10",   // St13/St14
-		"Radiologist·T11",   // St15/St16
-		"Radiologist·T12",   //
-		"Cardiologist·T06",  // second visit
-		"Cardiologist·T07",  //
-		"GP·T01",            // notification received
-		"GP·T02",            //
-		"GP·T03",            //
-		"GP·T04",            // St36
+		"GP·T01",           // St2
+		"GP·T02",           // St3
+		"",                 // St4: failure empties the active set
+		"GP·T01",           // back to St2
+		"GP·T05",           // St6
+		"Cardiologist·T06", // St7
+		"Cardiologist·T09", // St10/St11 (our origin discipline: only fired tasks)
+		"Radiologist·T10",  // St13/St14
+		"Radiologist·T11",  // St15/St16
+		"Radiologist·T12",  //
+		"Cardiologist·T06", // second visit
+		"Cardiologist·T07", //
+		"GP·T01",           // notification received
+		"GP·T02",           //
+		"GP·T03",           //
+		"GP·T04",           // St36
 	}
 	for i, want := range wantActive {
 		var got []string

@@ -1,0 +1,104 @@
+// Package loan is the purpose-control scenario outside healthcare used
+// by examples/loanorigination, the differential tests and the fuzz
+// corpus: a bank's loan-origination process in which credit bureau
+// reports may be pulled to decide an application — not to build a
+// prospecting list. A clerk pulling reports under fabricated
+// application cases re-purposes the data exactly like the paper's
+// cardiologist; every pull is individually authorized and Algorithm 1
+// flags every fabricated case.
+package loan
+
+import (
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/bpmn"
+	"repro/internal/policy"
+)
+
+// Purpose and case-code constants.
+const (
+	PurposeName = "LoanOrigination"
+	Code        = "LA"
+)
+
+// Process builds the loan-origination process: the intake clerk
+// registers the application; credit analysis may fail (missing
+// documents loop back to intake); underwriting orders income
+// verification and/or collateral appraisal (inclusive); then the
+// decision is made.
+func Process() (*bpmn.Process, error) {
+	return bpmn.NewBuilder(PurposeName).
+		Pool("IntakeClerk").Pool("CreditAnalyst").Pool("Underwriter").
+		Start("S1", "IntakeClerk").
+		Task("L01", "IntakeClerk", "register application, collect documents").
+		MessageEnd("E1", "IntakeClerk").
+		MessageStart("S1b", "IntakeClerk").
+		Seq("S1", "L01").Seq("S1b", "L01").Seq("L01", "E1").
+		MessageStart("S2", "CreditAnalyst").
+		FallibleTask("L02", "CreditAnalyst", "pull credit report, assess", "L02b").
+		Task("L02b", "CreditAnalyst", "request missing documents").
+		MessageEnd("E2", "CreditAnalyst").
+		MessageEnd("E2b", "CreditAnalyst").
+		Seq("S2", "L02").Seq("L02", "E2").Seq("L02b", "E2b").
+		MessageStart("S3", "Underwriter").
+		OR("G1", "Underwriter").
+		Task("L03", "Underwriter", "verify income").
+		Task("L04", "Underwriter", "appraise collateral").
+		OR("J1", "Underwriter").
+		Task("L05", "Underwriter", "decide application").
+		End("E3", "Underwriter").
+		Seq("S3", "G1").Seq("G1", "L03", "J1").Seq("G1", "L04", "J1").
+		Seq("J1", "L05", "E3").
+		PairOR("G1", "J1").
+		Msg("E1", "S2").   // application forwarded to credit analysis
+		Msg("E2", "S3").   // credit ok: to underwriting
+		Msg("E2b", "S1b"). // documents missing: back to intake
+		Build()
+}
+
+// Policy builds the bank's data protection policy; its Roles field
+// carries the BankStaff hierarchy.
+func Policy() (*policy.Policy, error) {
+	return policy.ParsePolicyString(`
+		role BankStaff
+		role IntakeClerk   : BankStaff
+		role CreditAnalyst : BankStaff
+		role Underwriter   : BankStaff
+
+		permit BankStaff     read  [*]Application          for LoanOrigination
+		permit IntakeClerk   write [*]Application          for LoanOrigination
+		permit CreditAnalyst read  [*]CreditReport         for LoanOrigination
+		permit CreditAnalyst write [*]Application/Credit   for LoanOrigination
+		permit Underwriter   write [*]Application/Decision for LoanOrigination
+	`)
+}
+
+// Trail is the example's audit trail: one genuine application (LA-1)
+// plus the harvesting attack (LA-501..LA-503, a fabricated case per
+// pulled report).
+func Trail() *audit.Trail {
+	t0 := time.Date(2026, 7, 3, 9, 0, 0, 0, time.UTC)
+	mk := func(min int, user, role, action, object, task, caseID string) audit.Entry {
+		return audit.Entry{
+			User: user, Role: role, Action: action,
+			Object: policy.MustParseObject(object),
+			Task:   task, Case: caseID,
+			Time: t0.Add(time.Duration(min) * time.Minute), Status: audit.Success,
+		}
+	}
+	genuine := []audit.Entry{
+		mk(0, "ida", "IntakeClerk", "write", "[Kim]Application", "L01", "LA-1"),
+		mk(10, "carl", "CreditAnalyst", "read", "[Kim]CreditReport", "L02", "LA-1"),
+		mk(11, "carl", "CreditAnalyst", "write", "[Kim]Application/Credit", "L02", "LA-1"),
+		mk(20, "uma", "Underwriter", "read", "[Kim]Application", "L03", "LA-1"),
+		mk(25, "uma", "Underwriter", "read", "[Kim]Application", "L04", "LA-1"),
+		mk(30, "uma", "Underwriter", "write", "[Kim]Application/Decision", "L05", "LA-1"),
+	}
+	harvest := []audit.Entry{
+		mk(40, "carl", "CreditAnalyst", "read", "[Lee]CreditReport", "L02", "LA-501"),
+		mk(41, "carl", "CreditAnalyst", "read", "[Mia]CreditReport", "L02", "LA-502"),
+		mk(42, "carl", "CreditAnalyst", "read", "[Noa]CreditReport", "L02", "LA-503"),
+	}
+	return audit.NewTrail(append(genuine, harvest...))
+}

@@ -218,8 +218,8 @@ func TestNaiveBlowupCounters(t *testing.T) {
 func TestRandomizedAgreement(t *testing.T) {
 	for seed := int64(1); seed <= 10; seed++ {
 		params := workload.DefaultProcParams(fmt.Sprintf("Rnd%d", seed), seed, 8)
-		params.LoopWeight = 0    // no loops...
-		params.FallibleProb = 0  // ...and no error edges: acyclic => finite trace set
+		params.LoopWeight = 0   // no loops...
+		params.FallibleProb = 0 // ...and no error edges: acyclic => finite trace set
 		proc := workload.MustGenerate(params)
 		reg := core.NewRegistry()
 		reg.MustRegister(proc, "RD")

@@ -307,13 +307,13 @@ func TestConsentRevocation(t *testing.T) {
 
 func TestParseErrors(t *testing.T) {
 	cases := []string{
-		"permit Physician read [Jane]EPR",               // missing "for"
-		"permit Ghost read [Jane]EPR for treatment",     // undeclared role
-		"role",                                          // missing name
-		"role A B",                                      // missing colon
-		"grant A read [Jane]EPR for treatment",          // unknown directive
-		"role A : ",                                     // empty generalization
-		"permit Physician read []EPR for treatment",     // bad object
+		"permit Physician read [Jane]EPR",           // missing "for"
+		"permit Ghost read [Jane]EPR for treatment", // undeclared role
+		"role",                                 // missing name
+		"role A B",                             // missing colon
+		"grant A read [Jane]EPR for treatment", // unknown directive
+		"role A : ",                            // empty generalization
+		"permit Physician read []EPR for treatment", // bad object
 	}
 	for _, src := range cases {
 		full := "role Physician\n" + src
