@@ -3,15 +3,16 @@
 # build, race-enabled tests (the chaos suite in internal/faultinject
 # runs under -race here), a fuzz smoke over the ingestion surface plus
 # the compiled-vs-interpreted differential target, a coverage ratchet
-# on the replay engines, a benchmark guard failing on >25% ns/entry
-# regressions of the P1/P3/P4 claims vs the checked-in baselines, and
+# on the replay engines and the observability layer, a benchmark guard
+# failing on ns/entry regressions of the P1/P3/P4/P5 claims vs the
+# checked-in baselines (nil-observer replay rows are held to 5%), and
 # an end-to-end smoke of the auditd streaming server.
 #
 # Stages run standalone too:
 #   sh ci.sh            # everything
 #   sh ci.sh lint       # gofmt + vet + staticcheck
-#   sh ci.sh cover      # coverage ratchet (internal/core, internal/automaton)
-#   sh ci.sh benchguard # quick P1/P3/P4 run vs BENCH_pr1.json/BENCH_pr4.json
+#   sh ci.sh cover      # coverage ratchet (internal/core, internal/automaton, internal/obs)
+#   sh ci.sh benchguard # quick P1/P3/P4/P5 run vs BENCH_pr*.json
 #   sh ci.sh smoke      # auditd server smoke (also `make smoke`)
 set -eu
 
@@ -71,15 +72,26 @@ server_smoke() {
 	}
 
 	# The paper's five infringing cases must be reported as violations.
+	# Count via the endpoint's total field: the per-case explanation
+	# repeats the outcome string, so grep -c would double-count.
 	curl -sf "http://$addr/v1/cases?outcome=violation" >"$SMOKE_TMP/violations.json"
-	n=$(grep -c '"outcome": "violation"' "$SMOKE_TMP/violations.json")
-	if [ "$n" -ne 5 ]; then
-		echo "expected 5 violating cases, got $n:" >&2
+	n=$(sed -n 's/^  "total": \([0-9][0-9]*\)$/\1/p' "$SMOKE_TMP/violations.json")
+	if [ "$n" != 5 ]; then
+		echo "expected 5 violating cases, got ${n:-none}:" >&2
 		cat "$SMOKE_TMP/violations.json" >&2
 		exit 1
 	fi
 	curl -sf "http://$addr/v1/cases/HT-11" | grep -q '"outcome": "violation"' || {
 		echo "HT-11 (the paper's re-purposing attack) not flagged" >&2
+		exit 1
+	}
+
+	# The explain endpoint names the diverging entry and expected tasks.
+	curl -sf "http://$addr/v1/cases/HT-10/explain" >"$SMOKE_TMP/explain.json"
+	grep -q '"expected_tasks"' "$SMOKE_TMP/explain.json" &&
+		grep -q '"nearest_miss"' "$SMOKE_TMP/explain.json" || {
+		echo "explain endpoint lacks the structured explanation:" >&2
+		cat "$SMOKE_TMP/explain.json" >&2
 		exit 1
 	}
 
@@ -92,6 +104,14 @@ server_smoke() {
 	}
 	grep -q '^auditd_verdicts_total{outcome="violation"} [1-9]' "$SMOKE_TMP/metrics.txt" || {
 		echo "violation verdict counter did not move" >&2
+		exit 1
+	}
+	grep -q '^auditd_purpose_verdicts_total{purpose="HealthcareTreatment",outcome="violation"} [1-9]' "$SMOKE_TMP/metrics.txt" || {
+		echo "per-purpose verdict counter did not move" >&2
+		exit 1
+	}
+	grep -q '^auditd_go_goroutines ' "$SMOKE_TMP/metrics.txt" || {
+		echo "runtime gauges missing" >&2
 		exit 1
 	}
 
@@ -147,12 +167,13 @@ lint() {
 	fi
 }
 
-# cover ratchets statement coverage of the two packages that decide
-# verdicts: the interpreter (internal/core) and the table compiler
-# (internal/automaton). The combined figure must stay >= COVER_MIN.
+# cover ratchets statement coverage of the packages that decide and
+# explain verdicts: the interpreter (internal/core), the table compiler
+# (internal/automaton) and the observability layer (internal/obs). The
+# combined figure must stay >= COVER_MIN.
 cover() {
-	echo "== coverage ratchet (internal/core, internal/automaton; min ${COVER_MIN}%) =="
-	go test -coverprofile=cover.out ./internal/core/ ./internal/automaton/
+	echo "== coverage ratchet (internal/core, internal/automaton, internal/obs; min ${COVER_MIN}%) =="
+	go test -coverprofile=cover.out ./internal/core/ ./internal/automaton/ ./internal/obs/
 	total=$(go tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $3); print $3}')
 	echo "combined engine coverage: ${total}%"
 	if [ -n "${GITHUB_STEP_SUMMARY:-}" ]; then
@@ -164,14 +185,17 @@ cover() {
 	}
 }
 
-# benchguard replays the timed P1 (trail length), P3 (parallel cases)
-# and P4 (compiled vs interpreted) series in quick mode and fails if
-# any long-trail row's ns/entry regressed more than BENCH_SLACK vs the
-# checked-in baselines (later files override earlier rows).
+# benchguard replays the timed P1 (trail length), P3 (parallel cases),
+# P4 (compiled vs interpreted) and P5 (observer overhead) series in
+# quick mode and fails if any long-trail row's ns/entry regressed more
+# than BENCH_SLACK vs the checked-in baselines (later files override
+# earlier rows). The P1/P4 nil-observer replay rows are held to 5%:
+# a disabled observer must stay free.
 benchguard() {
-	echo "== benchguard (P1, P3, P4 vs checked-in baselines) =="
-	go run ./cmd/benchtab -exp P1,P3,P4 -quick \
-		-guard BENCH_pr1.json,BENCH_pr4.json -guard-slack "$BENCH_SLACK"
+	echo "== benchguard (P1, P3, P4, P5 vs checked-in baselines) =="
+	go run ./cmd/benchtab -exp P1,P3,P4,P5 -quick \
+		-guard BENCH_pr1.json,BENCH_pr4.json,BENCH_pr5.json \
+		-guard-slack "$BENCH_SLACK" -guard-slack-exp P1=0.05,P4=0.05
 }
 
 case "${1:-all}" in

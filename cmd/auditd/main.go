@@ -21,9 +21,15 @@
 // recompiling, fresh compiles are saved for the next boot.
 //
 // Endpoints: POST /v1/events (ingest; 202, or 429 + Retry-After under
-// backpressure), GET /v1/cases[?outcome=|purpose=|since=],
-// GET /v1/cases/{id}, GET /v1/purposes, GET /v1/quarantine, /metrics
-// (Prometheus text), /healthz, /readyz.
+// backpressure; honors a W3C traceparent header),
+// GET /v1/cases[?outcome=|purpose=|since=], GET /v1/cases/{id},
+// GET /v1/cases/{id}/explain (structured first-deviation explanation),
+// GET /v1/traces (recent spans), GET /v1/purposes, GET /v1/quarantine,
+// /metrics (Prometheus text), /healthz, /readyz.
+//
+// -debug-addr serves net/http/pprof on a second listener, kept off the
+// public surface (profiles leak internals); -trace-buffer bounds the
+// span ring behind /v1/traces.
 //
 // -addr-file writes the actually bound address (useful with :0 in
 // scripts). SIGINT/SIGTERM drain the shard queues, write a final
@@ -38,6 +44,7 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -64,13 +71,15 @@ func main() {
 		drain  = flag.Duration("drain-timeout", 30*time.Second, "max wait for queues to drain on shutdown")
 		comp   = flag.Bool("compiled", false, "replay on ahead-of-time compiled purpose automata (interpreter fallback per purpose)")
 		autoD  = flag.String("automata-dir", "", "artifact cache for compiled automata: load matching artifacts at boot, save fresh compiles (implies -compiled)")
+		dbg    = flag.String("debug-addr", "", "serve net/http/pprof on this separate address (empty = disabled)")
+		traceN = flag.Int("trace-buffer", 0, "spans held in the /v1/traces ring buffer (0 = default)")
 	)
 	flag.Var(&procs, "proc", cli.ProcUsage)
 	flag.Parse()
 
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	slog.SetDefault(log)
-	if err := run(log, *addr, *addrFS, *shards, *queue, *ckpt, *every, *drain, *pol, *bltn, *comp || *autoD != "", *autoD, procs); err != nil {
+	if err := run(log, *addr, *addrFS, *dbg, *shards, *queue, *traceN, *ckpt, *every, *drain, *pol, *bltn, *comp || *autoD != "", *autoD, procs); err != nil {
 		log.Error("auditd failed", "err", err)
 		os.Exit(cli.ExitUsage)
 	}
@@ -153,7 +162,30 @@ func setupCompiled(log *slog.Logger, c *core.Checker, reg *core.Registry, dir st
 	}
 }
 
-func run(log *slog.Logger, addr, addrFile string, shards, queue int, ckpt string, every, drainTimeout time.Duration, polFile, builtin string, compiled bool, automataDir string, procs []string) error {
+// debugServer mounts net/http/pprof on its own mux (pprof only
+// auto-registers on http.DefaultServeMux, which we never serve) and
+// listens on addr in the background.
+func debugServer(log *slog.Logger, addr string) error {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	log.Info("pprof listening", "addr", ln.Addr().String())
+	go func() {
+		if err := http.Serve(ln, mux); err != nil {
+			log.Warn("pprof server stopped", "err", err)
+		}
+	}()
+	return nil
+}
+
+func run(log *slog.Logger, addr, addrFile, debugAddr string, shards, queue, traceBuffer int, ckpt string, every, drainTimeout time.Duration, polFile, builtin string, compiled bool, automataDir string, procs []string) error {
 	reg, roles, err := buildRegistry(builtin, polFile, procs)
 	if err != nil {
 		return err
@@ -168,10 +200,17 @@ func run(log *slog.Logger, addr, addrFile string, shards, queue int, ckpt string
 		QueueDepth:      queue,
 		CheckpointPath:  ckpt,
 		CheckpointEvery: every,
+		TraceBuffer:     traceBuffer,
 		Logger:          log,
 	})
 	if err := srv.Start(); err != nil {
 		return err
+	}
+
+	if debugAddr != "" {
+		if err := debugServer(log, debugAddr); err != nil {
+			return err
+		}
 	}
 
 	ln, err := net.Listen("tcp", addr)

@@ -9,7 +9,12 @@
 //	purposectl -builtin hospital [-object "[Jane]EPR"] [-v]
 //	purposectl -proc treat.json:HT -proc trial.bpmn:CT -trail day.csv \
 //	           [-policy pol.txt] [-object OBJ] [-case HT-1] [-skips N] \
-//	           [-lenient] [-v]
+//	           [-lenient] [-explain] [-trace spans.jsonl] [-v]
+//
+// -explain prints a structured account under every non-compliant case:
+// the diverging entry, the expected tasks at that point, and a
+// nearest-miss hint (DESIGN.md §12). -trace records one span per case
+// replay to a JSONL file (same span model auditd serves at /v1/traces).
 //
 // Processes are BPMN files — our JSON interchange (internal/bpmn.Spec)
 // or OMG BPMN 2.0 XML (.bpmn/.xml) — bound to case codes with
@@ -39,6 +44,7 @@ import (
 	"repro/internal/audit"
 	"repro/internal/cli"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/policy"
 )
 
@@ -54,6 +60,8 @@ type options struct {
 	to      string
 	skips   int
 	lenient bool
+	explain bool
+	trace   string
 	verbose bool
 }
 
@@ -86,6 +94,8 @@ func main() {
 	flag.StringVar(&o.to, "to", "", "audit only entries before this time, "+cli.TimeUsage)
 	flag.IntVar(&o.skips, "skips", 0, "allow up to N unlogged task executions per case")
 	flag.BoolVar(&o.lenient, "lenient", false, "quarantine malformed trail lines and absorb ordering anomalies instead of aborting")
+	flag.BoolVar(&o.explain, "explain", false, "print a structured explanation under every non-compliant case")
+	flag.StringVar(&o.trace, "trace", "", "record one span per case replay to this JSONL file")
 	flag.BoolVar(&o.verbose, "v", false, "print compliant cases too")
 	flag.Var(&procs, "proc", cli.ProcUsage)
 	flag.Parse()
@@ -242,6 +252,23 @@ func run(w io.Writer, o options) (summary, error) {
 
 	fw := core.NewFramework(reg, pol, consent)
 
+	if o.trace != "" {
+		// Framework audits replay cases sequentially, so the
+		// single-goroutine replay tracer is safe on the shared checker.
+		f, err := os.Create(o.trace)
+		if err != nil {
+			return s, err
+		}
+		exp := obs.NewJSONLExporter(f)
+		fw.Checker.Observer = obs.NewReplayTracer(exp)
+		defer func() {
+			if err := exp.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "purposectl: span export:", err)
+			}
+			f.Close()
+		}()
+	}
+
 	check := func(caseID string) (*core.Report, error) {
 		if o.skips > 0 {
 			srep, err := fw.Checker.CheckCaseWithSkips(trail, caseID, o.skips)
@@ -306,9 +333,15 @@ func run(w io.Writer, o options) (summary, error) {
 		case rep.Outcome == core.OutcomeIndeterminate:
 			s.indeterminate++
 			fmt.Fprintln(w, rep)
+			if o.explain {
+				obs.WriteExplanation(w, rep.Explanation)
+			}
 		case !rep.Compliant:
 			s.infringements++
 			fmt.Fprintln(w, rep)
+			if o.explain {
+				obs.WriteExplanation(w, rep.Explanation)
+			}
 		case o.verbose:
 			fmt.Fprintln(w, rep)
 		}

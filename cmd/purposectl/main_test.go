@@ -187,6 +187,47 @@ func TestRunLenientTrail(t *testing.T) {
 	}
 }
 
+func TestRunExplain(t *testing.T) {
+	var b strings.Builder
+	s, err := run(&b, options{builtin: "hospital", explain: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.infringements != 5 {
+		t.Fatalf("summary=%+v", s)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"violation at entry 0", "expected: GP.T01 → tasks T01", "hint:", "reason:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunTraceExport(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "spans.jsonl")
+	var b strings.Builder
+	if _, err := run(&b, options{builtin: "hospital", trace: tracePath}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	// One replay span per audited case (8 hospital cases).
+	if len(lines) != 8 {
+		t.Fatalf("%d spans exported, want 8:\n%s", len(lines), data)
+	}
+	if !strings.Contains(string(data), `"name":"replay"`) ||
+		!strings.Contains(string(data), `"outcome":"violation"`) {
+		t.Fatalf("span export lacks expected attributes:\n%s", data)
+	}
+}
+
 func TestExitCodes(t *testing.T) {
 	cases := []struct {
 		s    summary

@@ -37,12 +37,14 @@ func indeterminacyFor(err error) *Indeterminacy {
 	return nil
 }
 
-// indeterminateReport builds the tri-state "cannot decide" report.
+// indeterminateReport builds the tri-state "cannot decide" report,
+// explanation included (every abstention names the budget it hit).
 func indeterminateReport(caseID, purpose string, entries, steps int, ind *Indeterminacy) *Report {
 	return &Report{
 		Case: caseID, Purpose: purpose, Entries: entries,
 		Outcome: OutcomeIndeterminate, Indeterminate: ind,
 		StepsReplayed: steps,
+		Explanation:   explainIndeterminacy(caseID, purpose, ind),
 	}
 }
 
@@ -258,6 +260,14 @@ type Checker struct {
 	// fall back to the interpreter; it never affects verdicts.
 	MaxAutomatonStates int
 
+	// Observer, when set, receives per-entry replay events from
+	// whichever engine decides the case (see Observer). Unlike TraceFn
+	// it does not disable the compiled fast path, and like TraceFn it
+	// is per-clone state: Clone() does not copy it, and the observer is
+	// invoked synchronously from the replaying goroutine. Leave nil in
+	// production hot paths — the nil check is the only cost then.
+	Observer Observer
+
 	rt *checkerRT
 }
 
@@ -279,8 +289,9 @@ func NewChecker(reg *Registry, roles *policy.RoleHierarchy) *Checker {
 // warm per-purpose caches (LTS systems and configuration memos — both
 // concurrency-safe), for use on another goroutine. Workers fanned out
 // over clones therefore share one warm LTS instead of each re-deriving
-// it cold; flag fields (StrictFailureTask, MaxConfigurations, TraceFn)
-// remain per-clone.
+// it cold; flag fields (StrictFailureTask, MaxConfigurations) remain
+// per-clone, and TraceFn/Observer are deliberately NOT copied — an
+// observer belongs to exactly one replaying goroutine.
 func (c *Checker) Clone() *Checker {
 	return &Checker{
 		registry:           c.registry,
@@ -442,14 +453,16 @@ func (c *Checker) CheckCase(trail *audit.Trail, caseID string) (*Report, error) 
 func (c *Checker) CheckCaseContext(ctx context.Context, trail *audit.Trail, caseID string) (rep *Report, err error) {
 	pur := c.registry.ForCase(caseID)
 	if pur == nil {
+		v := &Violation{
+			Kind:   ViolationUnknownPurpose,
+			Reason: fmt.Sprintf("case code %q is not bound to any registered purpose", CaseCode(caseID)),
+		}
 		return &Report{
-			Case:      caseID,
-			Compliant: false,
-			Outcome:   OutcomeViolation,
-			Violation: &Violation{
-				Kind:   ViolationUnknownPurpose,
-				Reason: fmt.Sprintf("case code %q is not bound to any registered purpose", CaseCode(caseID)),
-			},
+			Case:        caseID,
+			Compliant:   false,
+			Outcome:     OutcomeViolation,
+			Violation:   v,
+			Explanation: explainUnknownPurpose(caseID, v),
 		}, nil
 	}
 	entries := trail.ByCase(caseID).View()
@@ -502,10 +515,17 @@ func (c *Checker) replayInterpreted(ctx context.Context, pur *Purpose, caseID st
 		maxConfigs = DefaultMaxConfigurations
 	}
 
+	// obs is hoisted so the hot loop pays one predictable nil check per
+	// entry; all observer-only bookkeeping hides behind it.
+	obs := c.Observer
+	if obs != nil {
+		obs.ReplayBegin(caseID, pur.Name, EngineInterpreted, len(entries))
+	}
+
 	initial, err := c.initialConfiguration(rt, pur)
 	if err != nil {
 		if ind := indeterminacyFor(err); ind != nil {
-			return indeterminateReport(caseID, pur.Name, len(entries), 0, ind), nil
+			return observed(obs, indeterminateReport(caseID, pur.Name, len(entries), 0, ind)), nil
 		}
 		return nil, err
 	}
@@ -532,7 +552,7 @@ func (c *Checker) replayInterpreted(ctx context.Context, pur *Purpose, caseID st
 		if err != nil {
 			if ind := indeterminacyFor(err); ind != nil {
 				ind.EntryIndex = i
-				return indeterminateReport(caseID, pur.Name, len(entries), i, ind), nil
+				return observed(obs, indeterminateReport(caseID, pur.Name, len(entries), i, ind)), nil
 			}
 			return nil, fmt.Errorf("core: at entry %d of case %s: %w", i, caseID, err)
 		}
@@ -541,10 +561,18 @@ func (c *Checker) replayInterpreted(ctx context.Context, pur *Purpose, caseID st
 			rep.Outcome = OutcomeViolation
 			rep.Violation = c.describeViolation(pur, configs, i, e)
 			rep.StepsReplayed = i
+			rep.Explanation = c.explainViolation(pur, caseID, rep.Violation, len(configs))
+			if obs != nil {
+				obs.EntryRejected(i, &entries[i], rep.Explanation)
+				obs.ReplayEnd(rep)
+			}
 			return rep, nil
 		}
 		if len(nextConfigs) > rep.PeakConfigurations {
 			rep.PeakConfigurations = len(nextConfigs)
+		}
+		if obs != nil {
+			obs.EntryAccepted(i, &entries[i], c.stepStats(configs, nextConfigs, e))
 		}
 		spare = configs[:0]
 		configs = nextConfigs
@@ -563,7 +591,7 @@ func (c *Checker) replayInterpreted(ctx context.Context, pur *Purpose, caseID st
 			if ind := indeterminacyFor(err); ind != nil {
 				ind.EntryIndex = len(entries)
 				ind.Reason = "completion check: " + ind.Reason
-				return indeterminateReport(caseID, pur.Name, len(entries), len(entries), ind), nil
+				return observed(obs, indeterminateReport(caseID, pur.Name, len(entries), len(entries), ind)), nil
 			}
 			return nil, err
 		}
@@ -573,7 +601,30 @@ func (c *Checker) replayInterpreted(ctx context.Context, pur *Purpose, caseID st
 		}
 	}
 	rep.Pending = !rep.CanComplete
-	return rep, nil
+	return observed(obs, rep), nil
+}
+
+// observed closes an observer's replay with the decided report; the
+// identity function when no observer is attached.
+func observed(obs Observer, rep *Report) *Report {
+	if obs != nil {
+		obs.ReplayEnd(rep)
+	}
+	return rep
+}
+
+// stepStats assembles the observer-only per-entry statistics. Only
+// called with an observer attached — the extra isActive sweep and
+// candidate count never run on the bare hot path.
+func (c *Checker) stepStats(configs, next []*Configuration, e audit.Entry) StepStats {
+	st := StepStats{ConfigsBefore: len(configs), ConfigsAfter: len(next)}
+	for _, conf := range configs {
+		st.Candidates += len(conf.next)
+		if !st.Absorbed && !c.DisableAbsorption && e.Status == audit.Success && c.isActive(conf, e) {
+			st.Absorbed = true
+		}
+	}
+	return st
 }
 
 // advance performs one iteration of Algorithm 1's while loop: it feeds

@@ -219,11 +219,29 @@ func symbolForEntry(d *automaton.DFA, e audit.Entry) (int32, bool) {
 const symCacheSize = 32
 
 type symCacheSlot struct {
+	dfa        *automaton.DFA // nil = empty slot; also invalidates across automata
 	task, role string
 	failure    bool
 	sym        int32
 	ok         bool
-	live       bool
+}
+
+// symCacheTable is a direct-mapped (task, role, failure) → symbol
+// cache. replayCompiled keeps one on its stack per replay; a Monitor
+// keeps one across feeds (its slots key on the DFA pointer, so one
+// table safely serves every purpose's automaton).
+type symCacheTable [symCacheSize]symCacheSlot
+
+// lookup resolves the symbol for (task, role, failure) under d,
+// reporting whether the answer came from the cache.
+func (t *symCacheTable) lookup(d *automaton.DFA, task, role string, failure bool) (sym int32, ok, hit bool) {
+	slot := &t[symCacheIdx(task, role)]
+	if slot.dfa == d && slot.task == task && slot.role == role && slot.failure == failure {
+		return slot.sym, slot.ok, true
+	}
+	slot.sym, slot.ok = d.SymbolFor(task, role, failure)
+	slot.dfa, slot.task, slot.role, slot.failure = d, task, role, failure
+	return slot.sym, slot.ok, false
 }
 
 func symCacheIdx(task, role string) uint8 {
@@ -240,9 +258,13 @@ func symCacheIdx(task, role string) uint8 {
 // replayCompiled is Algorithm 1 as one table lookup per entry.
 func (c *Checker) replayCompiled(ctx context.Context, d *automaton.DFA, pur *Purpose, caseID string, entries []audit.Entry) (*Report, error) {
 	rep := &Report{Case: caseID, Purpose: pur.Name, Entries: len(entries), Engine: EngineCompiled}
+	obs := c.Observer
+	if obs != nil {
+		obs.ReplayBegin(caseID, pur.Name, EngineCompiled, len(entries))
+	}
 	state := d.Start
 	done := ctx.Done()
-	var cache [symCacheSize]symCacheSlot
+	var cache symCacheTable
 	for i := range entries {
 		if done != nil {
 			if err := ctx.Err(); err != nil {
@@ -255,21 +277,29 @@ func (c *Checker) replayCompiled(ctx context.Context, d *automaton.DFA, pur *Pur
 		if failure {
 			role = ""
 		}
-		slot := &cache[symCacheIdx(task, role)]
-		if !slot.live || slot.task != task || slot.role != role || slot.failure != failure {
-			slot.sym, slot.ok = d.SymbolFor(task, role, failure)
-			slot.task, slot.role, slot.failure, slot.live = task, role, failure, true
-		}
+		sym, ok, hit := cache.lookup(d, task, role, failure)
 		next := automaton.Reject
-		if slot.ok {
-			next = d.Step(state, slot.sym)
+		if ok {
+			next = d.Step(state, sym)
 		}
 		if next == automaton.Reject {
 			rep.Compliant = false
 			rep.Outcome = OutcomeViolation
 			rep.Violation = c.describeViolationCompiled(d, state, pur, i, entries[i])
 			rep.StepsReplayed = i
+			rep.Explanation = c.explainViolation(pur, caseID, rep.Violation, len(d.States[state].Members))
+			if obs != nil {
+				obs.EntryRejected(i, e, rep.Explanation)
+				obs.ReplayEnd(rep)
+			}
 			return rep, nil
+		}
+		if obs != nil {
+			obs.EntryAccepted(i, e, StepStats{
+				ConfigsBefore:  len(d.States[state].Members),
+				ConfigsAfter:   len(d.States[next].Members),
+				SymbolCacheHit: hit,
+			})
 		}
 		state = next
 		if n := len(d.States[state].Members); n > rep.PeakConfigurations {
@@ -283,7 +313,7 @@ func (c *Checker) replayCompiled(ctx context.Context, d *automaton.DFA, pur *Pur
 	rep.FinalConfigurations = len(st.Members)
 	rep.CanComplete = st.CanComplete
 	rep.Pending = !rep.CanComplete
-	return rep, nil
+	return observed(obs, rep), nil
 }
 
 // describeViolationCompiled renders the same diagnostic the interpreter

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/audit"
+)
+
+// Explanation is the auditor-facing account of a non-compliant or
+// indeterminate verdict: not just *that* Algorithm 1 rejected the
+// case, but where the replay diverged and what the process would have
+// accepted instead. It is deliberately engine-neutral — the
+// interpreter and the compiled automaton must produce byte-identical
+// explanations for the same trail (the differential suite enforces
+// this), so it carries no engine marker.
+type Explanation struct {
+	Case    string `json:"case"`
+	Purpose string `json:"purpose,omitempty"`
+	// Outcome is "violation" or "indeterminate".
+	Outcome string `json:"outcome"`
+	// EntryIndex is the diverging entry's position in the case slice;
+	// -1 when no single entry can be blamed (unknown purpose, or an
+	// analysis that never started).
+	EntryIndex int `json:"entry_index"`
+	// Timestamp is the diverging entry's time in the paper's
+	// YYYYMMDDhhmm layout; empty when EntryIndex is -1.
+	Timestamp string `json:"timestamp,omitempty"`
+	// Entry is the diverging entry rendered in the paper's row format.
+	Entry string `json:"entry,omitempty"`
+	Task  string `json:"task,omitempty"`
+	Role  string `json:"role,omitempty"`
+	User  string `json:"user,omitempty"`
+	// Status is "success" or "failure" for the diverging entry.
+	Status string `json:"status,omitempty"`
+	// StepsReplayed counts the entries consumed before the divergence.
+	StepsReplayed int `json:"steps_replayed"`
+	// LastGoodConfigurations is the size of the last configuration set
+	// that was still consistent with the trail — the live hypotheses
+	// the diverging entry killed.
+	LastGoodConfigurations int `json:"last_good_configurations,omitempty"`
+	// ActiveTasks are the Role·Task pairs in execution across the
+	// last-good configurations.
+	ActiveTasks []string `json:"active_tasks,omitempty"`
+	// Expected is the expected observable set at the divergence: the
+	// weak-next labels some configuration would have fired.
+	Expected []string `json:"expected,omitempty"`
+	// ExpectedTasks projects Expected onto plain task identifiers
+	// (error-handler labels excluded), deduplicated and sorted.
+	ExpectedTasks []string `json:"expected_tasks,omitempty"`
+	// NearestMiss is a one-line hint at what probably went wrong:
+	// a near-matching task name, the pool a role conflicts with, or
+	// the knob an indeterminate analysis ran out of.
+	NearestMiss string `json:"nearest_miss,omitempty"`
+	// Reason restates the verdict's reason line.
+	Reason string `json:"reason"`
+}
+
+// explainViolation turns a Violation into an Explanation. lastGood is
+// the configuration-set size before the diverging entry (on the
+// compiled engine: the member count of the last accepting DFA state).
+func (c *Checker) explainViolation(pur *Purpose, caseID string, v *Violation, lastGood int) *Explanation {
+	x := &Explanation{
+		Case:                   caseID,
+		Outcome:                OutcomeViolation.String(),
+		EntryIndex:             v.EntryIndex,
+		StepsReplayed:          v.EntryIndex,
+		LastGoodConfigurations: lastGood,
+		ActiveTasks:            append([]string(nil), v.ActiveTasks...),
+		Expected:               append([]string(nil), v.Expected...),
+		Reason:                 v.Reason,
+	}
+	if pur != nil {
+		x.Purpose = pur.Name
+	}
+	x.ExpectedTasks = expectedTasks(x.Expected)
+	if v.Entry == nil {
+		x.EntryIndex = -1
+		x.StepsReplayed = 0
+		return x
+	}
+	e := v.Entry
+	x.Entry = e.String()
+	x.Timestamp = e.Time.Format(audit.PaperTimeLayout)
+	x.Task, x.Role, x.User = e.Task, e.Role, e.User
+	x.Status = e.Status.String()
+	if v.Kind == ViolationUnknownPurpose {
+		x.NearestMiss = "the case code maps to no registered purpose; register the purpose (or fix the case numbering) and re-audit"
+		return x
+	}
+	x.NearestMiss = c.nearestMiss(pur, e, x.ExpectedTasks)
+	return x
+}
+
+// explainUnknownPurpose covers the pre-replay rejection where the case
+// code itself is unregistered and no entry can be blamed.
+func explainUnknownPurpose(caseID string, v *Violation) *Explanation {
+	return &Explanation{
+		Case:        caseID,
+		Outcome:     OutcomeViolation.String(),
+		EntryIndex:  -1,
+		NearestMiss: "the case code maps to no registered purpose; register the purpose (or fix the case numbering) and re-audit",
+		Reason:      v.Reason,
+	}
+}
+
+// explainIndeterminacy accounts for an abstained verdict, hinting at
+// the budget knob that would let the analysis finish.
+func explainIndeterminacy(caseID, purpose string, ind *Indeterminacy) *Explanation {
+	x := &Explanation{
+		Case:       caseID,
+		Purpose:    purpose,
+		Outcome:    OutcomeIndeterminate.String(),
+		EntryIndex: ind.EntryIndex,
+		Reason:     ind.Reason,
+	}
+	if ind.EntryIndex >= 0 {
+		x.StepsReplayed = ind.EntryIndex
+	}
+	switch ind.Cause {
+	case CauseConfigurationCap:
+		x.NearestMiss = "the configuration set outgrew Checker.MaxConfigurations; raise the cap to keep more concurrent hypotheses live"
+	case CauseBudgetExceeded:
+		x.NearestMiss = "the LTS exploration hit a budget; raise MaxSilentDepth / the state budget and re-run the case"
+	case CauseRecoveredPanic:
+		x.NearestMiss = "the analysis crashed and was isolated to this case; no verdict is claimed — re-run after fixing the inputs"
+	}
+	return x
+}
+
+// expectedTasks projects rendered expected labels ("Pool.Task",
+// "sys.Err(T03)") onto plain task identifiers. Error-handler labels
+// are dropped: they name the failure being handled, not a task the
+// auditor could look for next. Both engines render Expected from the
+// same label set, so this derivation is engine-stable.
+func expectedTasks(expected []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, l := range expected {
+		if strings.HasPrefix(l, "sys.Err(") {
+			continue
+		}
+		task := l
+		if i := strings.LastIndexByte(l, '.'); i >= 0 {
+			task = l[i+1:]
+		}
+		if task != "" && !seen[task] {
+			seen[task] = true
+			out = append(out, task)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// nearestMiss classifies the divergence into the hint an auditor acts
+// on. Deterministic: candidate scans run in sorted order, so both
+// engines and repeated runs produce the same sentence.
+func (c *Checker) nearestMiss(pur *Purpose, e *audit.Entry, expTasks []string) string {
+	if e.Status == audit.Failure {
+		if len(expTasks) == 0 {
+			return fmt.Sprintf("the failure of task %q is unhandled and no further task could continue the case", e.Task)
+		}
+		return fmt.Sprintf("the failure of task %q has no reachable error handler; only successful steps of %s could continue the case",
+			e.Task, quoteList(expTasks))
+	}
+	if !pur.Process.HasTask(e.Task) {
+		if near, d := nearestString(e.Task, pur.Process.Tasks()); near != "" && d <= 2 {
+			return fmt.Sprintf("task %q is not in the process; the closest process task is %q — possibly a mislabelled entry", e.Task, near)
+		}
+		return fmt.Sprintf("task %q belongs to no task of this process — the data was likely processed for a different purpose", e.Task)
+	}
+	if pool := pur.Process.TaskRole(e.Task); pool != "" && !c.roleMatches(e.Role, pool) {
+		return fmt.Sprintf("task %q is performed by pool %q, which role %q may not act for", e.Task, pool, e.Role)
+	}
+	for _, t := range expTasks {
+		if t == e.Task {
+			return fmt.Sprintf("task %q is expected here but not as performed by role %q", e.Task, e.Role)
+		}
+	}
+	if len(expTasks) > 0 {
+		return fmt.Sprintf("the process expects %s at this point; task %q comes too early, too late, or on a dead branch", quoteList(expTasks), e.Task)
+	}
+	return "no further task can continue the case at this point — the process run had already completed"
+}
+
+// quoteList renders []{"T05","T09"} as `"T05" or "T09"`.
+func quoteList(tasks []string) string {
+	switch len(tasks) {
+	case 0:
+		return ""
+	case 1:
+		return fmt.Sprintf("%q", tasks[0])
+	}
+	var b strings.Builder
+	for i, t := range tasks[:len(tasks)-1] {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%q", t)
+	}
+	fmt.Fprintf(&b, " or %q", tasks[len(tasks)-1])
+	return b.String()
+}
+
+// nearestString returns the candidate with the smallest edit distance
+// to s, ties broken lexicographically (candidates are scanned sorted).
+func nearestString(s string, candidates []string) (string, int) {
+	sorted := append([]string(nil), candidates...)
+	sort.Strings(sorted)
+	best, bestD := "", -1
+	for _, c := range sorted {
+		d := editDistance(s, c)
+		if bestD < 0 || d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best, bestD
+}
+
+// editDistance is the Levenshtein distance with unit costs.
+func editDistance(a, b string) int {
+	if a == b {
+		return 0
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min(prev[j]+1, min(cur[j-1]+1, prev[j-1]+cost))
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}

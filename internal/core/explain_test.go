@@ -1,0 +1,206 @@
+package core_test
+
+// Explanation tests (DESIGN.md §12): every non-compliant Figure 4 case
+// must name its diverging entry and expected-task set, byte-identically
+// across the interpreter and the compiled automaton, and indeterminate
+// / unknown-purpose verdicts must carry a narrative too.
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/audit"
+	"repro/internal/core"
+	"repro/internal/hospital"
+)
+
+// figure4Violations are the paper's five infringing cases; every one
+// diverges on its first entry (task T06 fired before T01 opened the
+// treatment process).
+var figure4Violations = []string{"HT-10", "HT-11", "HT-20", "HT-21", "HT-30"}
+
+func TestExplanationFigure4(t *testing.T) {
+	reg, roles := hospitalRegistry(t)
+	trail, err := hospital.Trail()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := newEnginePair(t, reg, roles)
+
+	for _, caseID := range figure4Violations {
+		ri, err := p.interp.CheckCase(trail, caseID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rc, err := p.compiled.CheckCase(trail, caseID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rc.Engine != core.EngineCompiled {
+			t.Fatalf("%s: compiled checker ran %q (fallback %q)", caseID, rc.Engine, rc.EngineFallback)
+		}
+		for _, rep := range []*core.Report{ri, rc} {
+			x := rep.Explanation
+			if x == nil {
+				t.Fatalf("%s: no explanation on %s report", caseID, rep.Engine)
+			}
+			if x.Outcome != "violation" {
+				t.Errorf("%s: outcome %q", caseID, x.Outcome)
+			}
+			if x.EntryIndex != 0 {
+				t.Errorf("%s: diverging entry %d, want 0", caseID, x.EntryIndex)
+			}
+			if x.Task != "T06" {
+				t.Errorf("%s: diverging task %q, want T06", caseID, x.Task)
+			}
+			if len(x.Expected) != 1 || x.Expected[0] != "GP.T01" {
+				t.Errorf("%s: expected set %v, want [GP.T01]", caseID, x.Expected)
+			}
+			if len(x.ExpectedTasks) != 1 || x.ExpectedTasks[0] != "T01" {
+				t.Errorf("%s: expected tasks %v, want [T01]", caseID, x.ExpectedTasks)
+			}
+			if x.LastGoodConfigurations != 1 {
+				t.Errorf("%s: last-good configurations %d, want 1", caseID, x.LastGoodConfigurations)
+			}
+			if x.Timestamp == "" || x.Entry == "" || x.NearestMiss == "" {
+				t.Errorf("%s: incomplete explanation: %+v", caseID, x)
+			}
+		}
+		// Byte-identical across engines: the explanation may not leak
+		// which engine produced it.
+		bi, err := json.Marshal(ri.Explanation)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bc, err := json.Marshal(rc.Explanation)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(bi) != string(bc) {
+			t.Errorf("%s: explanations differ across engines:\ninterpreted: %s\ncompiled:    %s", caseID, bi, bc)
+		}
+	}
+
+	// Compliant cases carry no explanation.
+	rep, err := p.interp.CheckCase(trail, "HT-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Explanation != nil {
+		t.Fatalf("HT-1 is compliant but got explanation %+v", rep.Explanation)
+	}
+}
+
+func TestExplanationNearestMissClassification(t *testing.T) {
+	reg, roles := hospitalRegistry(t)
+	trail, err := hospital.Trail()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := core.NewChecker(reg, roles)
+
+	// Role mismatch: the right task attempted by the wrong role names
+	// the owning pool.
+	e := trail.At(0)
+	e.Role = "Nurse"
+	e.Case = "HT-90"
+	wrongRole := audit.NewTrail([]audit.Entry{e})
+	r, err := c.CheckCase(wrongRole, "HT-90")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Explanation == nil || !strings.Contains(r.Explanation.NearestMiss, `pool "GP"`) {
+		t.Errorf("role-mismatch hint should name the pool, got %+v", r.Explanation)
+	}
+
+	// Unknown task close to a real one: hint proposes the near miss.
+	e2 := trail.At(0)
+	e2.Task = "T0"
+	e2.Case = "HT-91"
+	typo := audit.NewTrail([]audit.Entry{e2})
+	r2, err := c.CheckCase(typo, "HT-91")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Explanation == nil || !strings.Contains(r2.Explanation.NearestMiss, "closest process task") {
+		t.Errorf("typo hint should propose the closest task, got %+v", r2.Explanation)
+	}
+
+	// Unknown purpose: no entry is blamed, the hint says register it.
+	r3, err := c.CheckCase(trail, "ZZ-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Explanation == nil || r3.Explanation.EntryIndex != -1 ||
+		!strings.Contains(r3.Explanation.NearestMiss, "no registered purpose") {
+		t.Errorf("unknown-purpose explanation wrong: %+v", r3.Explanation)
+	}
+}
+
+func TestExplanationIndeterminate(t *testing.T) {
+	reg, roles := hospitalRegistry(t)
+	trail, err := hospital.Trail()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := core.NewChecker(reg, roles)
+	c.MaxSilentDepth = 1 // starve the LTS budget so analysis abstains
+	rep, err := c.CheckCase(trail, "HT-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Outcome != core.OutcomeIndeterminate {
+		t.Skipf("budget starving did not trigger indeterminacy (outcome %v)", rep.Outcome)
+	}
+	x := rep.Explanation
+	if x == nil || x.Outcome != "indeterminate" || x.NearestMiss == "" {
+		t.Fatalf("indeterminate report lacks a usable explanation: %+v", x)
+	}
+}
+
+// TestExplanationMonitorSticky: a dead case keeps re-surfacing its
+// original explanation, including across a snapshot round trip.
+func TestExplanationMonitorSticky(t *testing.T) {
+	reg, roles := hospitalRegistry(t)
+	trail, err := hospital.Trail()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := core.NewMonitor(core.NewChecker(reg, roles))
+	var bad audit.Entry
+	for _, e := range trail.Entries() {
+		if e.Case == "HT-10" {
+			bad = e
+			break
+		}
+	}
+	v, err := m.Feed(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.OK || v.Explanation == nil || v.Explanation.Task != "T06" {
+		t.Fatalf("first deviation verdict lacks explanation: %+v", v)
+	}
+
+	// Restore into a fresh monitor: the narrative survives.
+	state, err := json.Marshal(m.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ms core.MonitorState
+	if err := json.Unmarshal(state, &ms); err != nil {
+		t.Fatal(err)
+	}
+	m2 := core.NewMonitor(core.NewChecker(reg, roles))
+	if err := m2.LoadState(&ms); err != nil {
+		t.Fatal(err)
+	}
+	v2, err := m2.Feed(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Explanation == nil || v2.Explanation.Task != "T06" {
+		t.Fatalf("restored dead case lost its explanation: %+v", v2)
+	}
+}

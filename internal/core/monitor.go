@@ -32,6 +32,37 @@ import (
 type Monitor struct {
 	checker *Checker
 	cases   map[string]*caseState
+	// syms caches (task, role, failure) → symbol lookups across feeds
+	// for every compiled case; slots key on the DFA pointer so one
+	// table serves all purposes. Owned by the feeding goroutine.
+	syms symCacheTable
+	// symHits/symMisses count syms outcomes. Atomics so an exporter on
+	// another goroutine (auditd /metrics) can read them while the shard
+	// goroutine feeds.
+	symHits, symMisses atomic.Uint64
+}
+
+// SymbolCacheStats reports the compiled fast path's symbol-cache
+// counters. Safe to call from any goroutine.
+func (m *Monitor) SymbolCacheStats() (hits, misses uint64) {
+	return m.symHits.Load(), m.symMisses.Load()
+}
+
+// symbolFor resolves an entry's automaton symbol through the monitor's
+// persistent cache, bumping the hit/miss counters.
+func (m *Monitor) symbolFor(d *automaton.DFA, e audit.Entry) (int32, bool) {
+	task, role := e.Task, e.Role
+	failure := e.Status == audit.Failure
+	if failure {
+		role = ""
+	}
+	sym, ok, hit := m.syms.lookup(d, task, role, failure)
+	if hit {
+		m.symHits.Add(1)
+	} else {
+		m.symMisses.Add(1)
+	}
+	return sym, ok
 }
 
 // ShardCase maps a case id to a shard in [0, shards) by FNV-1a hash.
@@ -68,6 +99,10 @@ type caseState struct {
 	// engines coexist per case within one monitor.
 	dfa    *automaton.DFA
 	dstate int32
+	// expl is the explanation captured when the case died; repeated
+	// feeds of a dead case re-surface it, and snapshots carry it so a
+	// restored monitor keeps the narrative.
+	expl *Explanation
 }
 
 // configCount is the live configuration-set size under either engine.
@@ -94,6 +129,13 @@ type Verdict struct {
 	CaseEntries int
 	// Configurations is the live configuration count after the entry.
 	Configurations int
+	// Engine is the replay engine that consumed the entry ("compiled"
+	// or "interpreted"); empty when no engine ran (unknown purpose).
+	Engine string
+	// Explanation accounts for a non-OK verdict (see Report.Explanation);
+	// engine-neutral and sticky — repeated feeds of a dead case carry
+	// the original explanation, including across snapshot restores.
+	Explanation *Explanation
 }
 
 // NewMonitor builds a monitor sharing the checker's configuration (the
@@ -219,7 +261,7 @@ func (m *Monitor) Peek(e audit.Entry) (bool, error) {
 		return false, nil
 	}
 	if st.dfa != nil {
-		sym, ok := symbolForEntry(st.dfa, e)
+		sym, ok := m.symbolFor(st.dfa, e)
 		return ok && st.dfa.Step(st.dstate, sym) != automaton.Reject, nil
 	}
 	maxConfigs := m.checker.MaxConfigurations
@@ -251,21 +293,33 @@ func (m *Monitor) FeedContext(ctx context.Context, e audit.Entry) (*Verdict, err
 	st, err := m.caseStateFor(e.Case)
 	if err != nil {
 		if errors.Is(err, errUnknownPurpose) {
+			uv := &Violation{
+				Kind:   ViolationUnknownPurpose,
+				Entry:  &e,
+				Reason: fmt.Sprintf("case code %q is not bound to any registered purpose", CaseCode(e.Case)),
+			}
 			return &Verdict{
-				Case: e.Case,
-				Violation: &Violation{
-					Kind:   ViolationUnknownPurpose,
-					Entry:  &e,
-					Reason: fmt.Sprintf("case code %q is not bound to any registered purpose", CaseCode(e.Case)),
-				},
+				Case:        e.Case,
+				Violation:   uv,
+				Explanation: m.checker.explainViolation(nil, e.Case, uv, 0),
 			}, nil
 		}
 		return nil, err
 	}
 	st.entries++
 	v.CaseEntries = st.entries
+	v.Engine = EngineInterpreted
+	if st.dfa != nil {
+		v.Engine = EngineCompiled
+	}
 
 	if st.dead {
+		if st.expl == nil && st.cause != nil {
+			// Born-dead case (setup exceeded its budget): derive the
+			// narrative on first feed.
+			st.expl = explainIndeterminacy(e.Case, st.purpose.Name, st.cause)
+		}
+		v.Explanation = st.expl
 		if st.cause != nil {
 			v.Indeterminate = st.cause
 		} else {
@@ -280,13 +334,15 @@ func (m *Monitor) FeedContext(ctx context.Context, e audit.Entry) (*Verdict, err
 
 	if st.dfa != nil {
 		dnext := automaton.Reject
-		if sym, ok := symbolForEntry(st.dfa, e); ok {
+		if sym, ok := m.symbolFor(st.dfa, e); ok {
 			dnext = st.dfa.Step(st.dstate, sym)
 		}
 		if dnext == automaton.Reject {
 			st.dead = true
 			v.Violation = m.checker.describeViolationCompiled(st.dfa, st.dstate, st.purpose, st.entries-1, e)
 			v.Configurations = st.configCount()
+			st.expl = m.checker.explainViolation(st.purpose, e.Case, v.Violation, st.configCount())
+			v.Explanation = st.expl
 			return v, nil
 		}
 		st.dstate = dnext
@@ -313,7 +369,9 @@ func (m *Monitor) FeedContext(ctx context.Context, e audit.Entry) (*Verdict, err
 			ind.EntryIndex = st.entries - 1
 			st.dead = true
 			st.cause = ind
+			st.expl = explainIndeterminacy(e.Case, st.purpose.Name, ind)
 			v.Indeterminate = ind
+			v.Explanation = st.expl
 			return v, nil
 		}
 		return nil, fmt.Errorf("core: monitoring case %s: %w", e.Case, err)
@@ -322,6 +380,8 @@ func (m *Monitor) FeedContext(ctx context.Context, e audit.Entry) (*Verdict, err
 		st.dead = true
 		v.Violation = m.checker.describeViolation(st.purpose, st.configs, st.entries-1, e)
 		v.Configurations = len(st.configs)
+		st.expl = m.checker.explainViolation(st.purpose, e.Case, v.Violation, len(st.configs))
+		v.Explanation = st.expl
 		return v, nil
 	}
 	st.configs = next

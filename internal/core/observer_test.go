@@ -1,0 +1,158 @@
+package core_test
+
+// Observer contract tests (DESIGN.md §12): both engines must emit the
+// same begin/accept/reject/end event skeleton, attaching an observer
+// must not change any verdict, and Clone must not share it.
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/audit"
+	"repro/internal/core"
+	"repro/internal/hospital"
+)
+
+// eventLog is a recording core.Observer.
+type eventLog struct {
+	begins   []string // "case/engine/entries"
+	accepted []core.StepStats
+	rejected []int // steps
+	ends     []core.Outcome
+	hits     int
+}
+
+func (l *eventLog) ReplayBegin(caseID, purpose, engine string, entries int) {
+	l.begins = append(l.begins, caseID+"/"+engine)
+}
+
+func (l *eventLog) EntryAccepted(step int, e *audit.Entry, st core.StepStats) {
+	l.accepted = append(l.accepted, st)
+	if st.SymbolCacheHit {
+		l.hits++
+	}
+}
+
+func (l *eventLog) EntryRejected(step int, e *audit.Entry, expl *core.Explanation) {
+	l.rejected = append(l.rejected, step)
+}
+
+func (l *eventLog) ReplayEnd(rep *core.Report) {
+	l.ends = append(l.ends, rep.Outcome)
+}
+
+func TestObserverEventSkeleton(t *testing.T) {
+	reg, roles := hospitalRegistry(t)
+	trail, err := hospital.Trail()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := newEnginePair(t, reg, roles)
+
+	for _, tc := range []struct {
+		name    string
+		checker *core.Checker
+		engine  string
+	}{
+		{"interpreted", p.interp, core.EngineInterpreted},
+		{"compiled", p.compiled, core.EngineCompiled},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			log := &eventLog{}
+			tc.checker.Observer = log
+			defer func() { tc.checker.Observer = nil }()
+
+			// Compliant case: every entry accepted, one end, no reject.
+			rep, err := tc.checker.CheckCase(trail, "HT-1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Compliant {
+				t.Fatalf("HT-1 not compliant: %v", rep)
+			}
+			if want := "HT-1/" + tc.engine; len(log.begins) != 1 || log.begins[0] != want {
+				t.Fatalf("begins %v, want [%s]", log.begins, want)
+			}
+			if len(log.accepted) != rep.Entries || len(log.rejected) != 0 {
+				t.Fatalf("compliant case: %d accepted / %d rejected, want %d / 0",
+					len(log.accepted), len(log.rejected), rep.Entries)
+			}
+			if len(log.ends) != 1 || log.ends[0] != core.OutcomeCompliant {
+				t.Fatalf("ends %v", log.ends)
+			}
+			// Configuration-set sizes must be plausible (every step has
+			// at least one live configuration on each side).
+			peak := 0
+			for _, st := range log.accepted {
+				if st.ConfigsBefore < 1 || st.ConfigsAfter < 1 {
+					t.Fatalf("empty configuration set in %+v", st)
+				}
+				if st.ConfigsAfter > peak {
+					peak = st.ConfigsAfter
+				}
+			}
+			if peak != rep.PeakConfigurations {
+				t.Fatalf("observed peak %d, report says %d", peak, rep.PeakConfigurations)
+			}
+			if tc.engine == core.EngineCompiled && log.hits == 0 {
+				t.Fatal("compiled replay of 16 entries never hit the symbol cache")
+			}
+
+			// Violating case: reject event at the diverging entry, then end.
+			*log = eventLog{}
+			rep, err = tc.checker.CheckCase(trail, "HT-10")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Compliant {
+				t.Fatal("HT-10 unexpectedly compliant")
+			}
+			if len(log.rejected) != 1 || log.rejected[0] != rep.Violation.EntryIndex {
+				t.Fatalf("rejected %v, want [%d]", log.rejected, rep.Violation.EntryIndex)
+			}
+			if len(log.ends) != 1 || log.ends[0] != core.OutcomeViolation {
+				t.Fatalf("ends %v", log.ends)
+			}
+		})
+	}
+}
+
+// TestObserverDoesNotChangeVerdicts: the observer is write-only — the
+// reports with and without one attached are identical.
+func TestObserverDoesNotChangeVerdicts(t *testing.T) {
+	reg, roles := hospitalRegistry(t)
+	trail, err := hospital.Trail()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, compiled := range []bool{false, true} {
+		bare := core.NewChecker(reg, roles)
+		bare.UseCompiled = compiled
+		observed := core.NewChecker(reg, roles)
+		observed.UseCompiled = compiled
+		observed.Observer = &eventLog{}
+
+		want, err := bare.CheckTrail(trail)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := observed.CheckTrail(trail)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("compiled=%v: reports changed under observation", compiled)
+		}
+	}
+}
+
+// TestObserverNotCloned: Clone() must not copy the observer — clones
+// run on other goroutines and the observer is single-goroutine state.
+func TestObserverNotCloned(t *testing.T) {
+	reg, roles := hospitalRegistry(t)
+	c := core.NewChecker(reg, roles)
+	c.Observer = &eventLog{}
+	if clone := c.Clone(); clone.Observer != nil {
+		t.Fatal("Clone copied the Observer")
+	}
+}

@@ -183,6 +183,10 @@ type Report struct {
 	Violation *Violation
 	// Indeterminate is set when Outcome is OutcomeIndeterminate.
 	Indeterminate *Indeterminacy
+	// Explanation is the auditor-facing account of a non-compliant or
+	// indeterminate outcome (nil when compliant). Both engines produce
+	// identical explanations for the same trail.
+	Explanation *Explanation
 	// StepsReplayed counts entries successfully replayed (all of them
 	// when compliant).
 	StepsReplayed int

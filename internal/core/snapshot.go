@@ -46,8 +46,13 @@ type CaseSnapshot struct {
 	Dead    bool   `json:"dead"`
 	// Cause records why a dead case is indeterminate rather than
 	// violating; nil for violation-dead and live cases.
-	Cause   *Indeterminacy   `json:"cause,omitempty"`
-	Configs []ConfigSnapshot `json:"configs,omitempty"`
+	Cause *Indeterminacy `json:"cause,omitempty"`
+	// Explanation carries a dead case's auditor-facing narrative, so a
+	// restored monitor keeps re-surfacing it on further feeds. Absent
+	// in snapshots written before version 2 gained the field; restore
+	// tolerates nil.
+	Explanation *Explanation     `json:"explanation,omitempty"`
+	Configs     []ConfigSnapshot `json:"configs,omitempty"`
 }
 
 // ConfigSnapshot is one live configuration: a state (by table index in
@@ -74,6 +79,10 @@ func (m *Monitor) State() *MonitorState {
 		if cs.cause != nil {
 			c := *cs.cause
 			snap.Cause = &c
+		}
+		if cs.expl != nil {
+			x := *cs.expl
+			snap.Explanation = &x
 		}
 		addConfig := func(term string, active []ActiveTask) {
 			ref, ok := table[term]
@@ -138,6 +147,10 @@ func (m *Monitor) LoadState(st *MonitorState) error {
 		if cs.Cause != nil {
 			c := *cs.Cause
 			ns.cause = &c
+		}
+		if cs.Explanation != nil {
+			x := *cs.Explanation
+			ns.expl = &x
 		}
 		rt := m.checker.runtime(pur)
 		for _, cfg := range cs.Configs {

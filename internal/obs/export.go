@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// JSONLExporter is a Recorder writing one span per line — the offline
+// counterpart of the /v1/traces ring for purposectl -trace runs. Safe
+// for concurrent use; the first write error is kept and later spans
+// are dropped (tracing must never take down an audit).
+type JSONLExporter struct {
+	mu  sync.Mutex
+	w   io.Writer
+	err error
+	n   int
+}
+
+// NewJSONLExporter writes spans to w.
+func NewJSONLExporter(w io.Writer) *JSONLExporter {
+	return &JSONLExporter{w: w}
+}
+
+// Record encodes the span as one JSON line.
+func (x *JSONLExporter) Record(s Span) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if x.err != nil {
+		return
+	}
+	b, err := json.Marshal(s)
+	if err != nil {
+		x.err = err
+		return
+	}
+	b = append(b, '\n')
+	if _, err := x.w.Write(b); err != nil {
+		x.err = err
+		return
+	}
+	x.n++
+}
+
+// Err returns the first write/encode error, nil when healthy.
+func (x *JSONLExporter) Err() error {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.err
+}
+
+// Count returns the number of spans successfully written.
+func (x *JSONLExporter) Count() int {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.n
+}

@@ -1,0 +1,217 @@
+package obs_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hospital"
+	"repro/internal/obs"
+	"repro/internal/policy"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	sc := obs.SpanContext{TraceID: obs.NewTraceID(), SpanID: obs.NewSpanID(), Flags: 1}
+	got, err := obs.ParseTraceparent(sc.Traceparent())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != sc {
+		t.Fatalf("round trip: %+v != %+v", got, sc)
+	}
+}
+
+func TestParseTraceparent(t *testing.T) {
+	valid := "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"
+	sc, err := obs.ParseTraceparent(valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.TraceID.String() != "0af7651916cd43dd8448eb211c80319c" ||
+		sc.SpanID.String() != "b7ad6b7169203331" || sc.Flags != 1 {
+		t.Fatalf("parsed %+v", sc)
+	}
+	// A future version with extra fields still parses (W3C forward
+	// compatibility).
+	if _, err := obs.ParseTraceparent("cc-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-extra"); err != nil {
+		t.Fatalf("future version rejected: %v", err)
+	}
+	for _, bad := range []string{
+		"",
+		"00",
+		"00-short-b7ad6b7169203331-01",
+		"00-0af7651916cd43dd8448eb211c80319c-short-01",
+		"00-00000000000000000000000000000000-b7ad6b7169203331-01", // zero trace id
+		"00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01", // zero span id
+		"ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01", // forbidden version
+		"00-0AF7651916CD43DD8448EB211C80319C-b7ad6b7169203331-01", // uppercase hex
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-extra",
+	} {
+		if _, err := obs.ParseTraceparent(bad); err == nil {
+			t.Errorf("ParseTraceparent(%q) accepted", bad)
+		}
+	}
+}
+
+func TestIDJSONRoundTrip(t *testing.T) {
+	sp := obs.Span{TraceID: obs.NewTraceID(), SpanID: obs.NewSpanID(), Name: "x"}
+	b, err := json.Marshal(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), sp.TraceID.String()) {
+		t.Fatalf("trace id not hex-encoded: %s", b)
+	}
+	var back obs.Span
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.TraceID != sp.TraceID || back.SpanID != sp.SpanID {
+		t.Fatalf("round trip: %+v != %+v", back, sp)
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	r := obs.NewRing(3)
+	for i := 0; i < 5; i++ {
+		r.Record(obs.Span{Name: string(rune('a' + i))})
+	}
+	held, total := r.Stats()
+	if held != 3 || total != 5 {
+		t.Fatalf("held %d total %d, want 3/5", held, total)
+	}
+	snap := r.Snapshot()
+	var names []string
+	for _, s := range snap {
+		names = append(names, s.Name)
+	}
+	if strings.Join(names, "") != "cde" {
+		t.Fatalf("snapshot %v, want oldest-first c d e", names)
+	}
+}
+
+func TestJSONLExporter(t *testing.T) {
+	var buf bytes.Buffer
+	x := obs.NewJSONLExporter(&buf)
+	x.Record(obs.Span{Name: "one"})
+	x.Record(obs.Span{Name: "two"})
+	if err := x.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if x.Count() != 2 {
+		t.Fatalf("count %d", x.Count())
+	}
+	sc := bufio.NewScanner(&buf)
+	var lines int
+	for sc.Scan() {
+		var sp obs.Span
+		if err := json.Unmarshal(sc.Bytes(), &sp); err != nil {
+			t.Fatalf("line %d: %v", lines, err)
+		}
+		lines++
+	}
+	if lines != 2 {
+		t.Fatalf("%d JSONL lines", lines)
+	}
+}
+
+func TestDisabledTracerIsNoOp(t *testing.T) {
+	var tr *obs.Tracer
+	sp := tr.StartSpan(obs.SpanContext{}, "x")
+	// All methods on the nil ActiveSpan must be safe.
+	sp.SetAttr("k", "v")
+	sp.End()
+	if sp.Context().IsValid() {
+		t.Fatal("nil span has a valid context")
+	}
+}
+
+func hospitalChecker(t *testing.T) *core.Checker {
+	t.Helper()
+	treatment, err := hospital.Treatment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	trial, err := hospital.ClinicalTrial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var roles *policy.RoleHierarchy
+	if roles, err = hospital.Roles(); err != nil {
+		t.Fatal(err)
+	}
+	reg := core.NewRegistry()
+	if _, err := reg.Register(treatment, hospital.TreatmentCode); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Register(trial, hospital.TrialCode); err != nil {
+		t.Fatal(err)
+	}
+	return core.NewChecker(reg, roles)
+}
+
+func TestReplayTracerSpans(t *testing.T) {
+	c := hospitalChecker(t)
+	trail, err := hospital.Trail()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := obs.NewRing(16)
+	c.Observer = obs.NewReplayTracer(ring)
+
+	if _, err := c.CheckCase(trail, "HT-1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CheckCase(trail, "HT-10"); err != nil {
+		t.Fatal(err)
+	}
+	spans := ring.Snapshot()
+	if len(spans) != 2 {
+		t.Fatalf("%d spans, want one per replay", len(spans))
+	}
+	ok, bad := spans[0], spans[1]
+	if ok.Name != "replay" || ok.Attrs["case"] != "HT-1" || ok.Attrs["outcome"] != "compliant" {
+		t.Fatalf("compliant span: %+v", ok)
+	}
+	if ok.Attrs["peak_configurations"] == "" || ok.Attrs["engine"] != "interpreted" {
+		t.Fatalf("compliant span attrs: %+v", ok.Attrs)
+	}
+	if bad.Attrs["case"] != "HT-10" || bad.Attrs["outcome"] != "violation" ||
+		bad.Attrs["diverged_at"] != "0" || bad.Attrs["expected_tasks"] == "" {
+		t.Fatalf("violation span attrs: %+v", bad.Attrs)
+	}
+	if bad.TraceID.IsZero() || bad.SpanID.IsZero() {
+		t.Fatalf("span ids missing: %+v", bad)
+	}
+}
+
+func TestWriteExplanation(t *testing.T) {
+	c := hospitalChecker(t)
+	trail, err := hospital.Trail()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.CheckCase(trail, "HT-10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	obs.WriteExplanation(&buf, rep.Explanation)
+	out := buf.String()
+	for _, want := range []string{
+		"case HT-10", "violation at entry 0", "reason:", "expected: GP.T01 → tasks T01", "hint:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering lacks %q:\n%s", want, out)
+		}
+	}
+	// Nil explanation renders nothing.
+	buf.Reset()
+	obs.WriteExplanation(&buf, nil)
+	if buf.Len() != 0 {
+		t.Fatalf("nil explanation rendered %q", buf.String())
+	}
+}

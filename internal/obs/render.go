@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// WriteExplanation renders an Explanation for a terminal — the body of
+// purposectl -explain. Layout mirrors the auditor's questions in
+// order: where did it diverge, on what evidence, what was expected
+// instead, and what probably went wrong.
+func WriteExplanation(w io.Writer, x *core.Explanation) {
+	if x == nil {
+		return
+	}
+	head := fmt.Sprintf("case %s", x.Case)
+	if x.Purpose != "" {
+		head += fmt.Sprintf(" (%s)", x.Purpose)
+	}
+	if x.EntryIndex >= 0 {
+		fmt.Fprintf(w, "  %s: %s at entry %d", head, x.Outcome, x.EntryIndex)
+		if x.Timestamp != "" {
+			fmt.Fprintf(w, " (%s)", x.Timestamp)
+		}
+		fmt.Fprintln(w)
+	} else {
+		fmt.Fprintf(w, "  %s: %s\n", head, x.Outcome)
+	}
+	if x.Entry != "" {
+		fmt.Fprintf(w, "    entry:    %s\n", x.Entry)
+	}
+	fmt.Fprintf(w, "    reason:   %s\n", x.Reason)
+	if x.EntryIndex >= 0 {
+		fmt.Fprintf(w, "    replayed: %d entr%s before divergence; %d live configuration(s)\n",
+			x.StepsReplayed, plural(x.StepsReplayed, "y", "ies"), x.LastGoodConfigurations)
+	}
+	if len(x.ActiveTasks) > 0 {
+		fmt.Fprintf(w, "    active:   %s\n", strings.Join(x.ActiveTasks, ", "))
+	}
+	if len(x.Expected) > 0 {
+		line := strings.Join(x.Expected, ", ")
+		if len(x.ExpectedTasks) > 0 {
+			line += fmt.Sprintf(" → tasks %s", strings.Join(x.ExpectedTasks, ", "))
+		}
+		fmt.Fprintf(w, "    expected: %s\n", line)
+	}
+	if x.NearestMiss != "" {
+		fmt.Fprintf(w, "    hint:     %s\n", x.NearestMiss)
+	}
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
+}

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/audit"
+	"repro/internal/core"
+)
+
+// ReplayTracer is the core.Observer that turns each case replay into
+// one span: per-entry events are folded into aggregate attributes
+// (peak configuration set, WeakNext candidates examined, absorption
+// and symbol-cache counts) instead of per-entry spans, so a 5000-entry
+// trail costs one ring slot, not 5000.
+//
+// Like any Observer it is invoked synchronously by the replaying
+// goroutine and must not be shared across concurrently replaying
+// checkers — give each its own ReplayTracer over a shared Recorder.
+type ReplayTracer struct {
+	tracer *Tracer
+	// Parent, when valid, roots replay spans under an existing trace
+	// (e.g. an ingest span).
+	Parent SpanContext
+
+	cur        *ActiveSpan
+	peak       int
+	candidates int
+	absorbed   int
+	cacheHits  int
+	cacheMiss  int
+}
+
+// NewReplayTracer records replay spans into rec.
+func NewReplayTracer(rec Recorder) *ReplayTracer {
+	return &ReplayTracer{tracer: &Tracer{Rec: rec}}
+}
+
+// ReplayBegin opens the case's span.
+func (rt *ReplayTracer) ReplayBegin(caseID, purpose, engine string, entries int) {
+	rt.peak, rt.candidates, rt.absorbed, rt.cacheHits, rt.cacheMiss = 0, 0, 0, 0, 0
+	rt.cur = rt.tracer.StartSpan(rt.Parent, "replay")
+	rt.cur.SetAttr("case", caseID)
+	rt.cur.SetAttr("purpose", purpose)
+	rt.cur.SetAttr("engine", engine)
+	rt.cur.SetAttr("entries", strconv.Itoa(entries))
+}
+
+// EntryAccepted folds one accepted entry into the aggregates.
+func (rt *ReplayTracer) EntryAccepted(step int, e *audit.Entry, st core.StepStats) {
+	if st.ConfigsAfter > rt.peak {
+		rt.peak = st.ConfigsAfter
+	}
+	rt.candidates += st.Candidates
+	if st.Absorbed {
+		rt.absorbed++
+	}
+	if st.SymbolCacheHit {
+		rt.cacheHits++
+	} else {
+		rt.cacheMiss++
+	}
+}
+
+// EntryRejected pins the divergence onto the span.
+func (rt *ReplayTracer) EntryRejected(step int, e *audit.Entry, expl *core.Explanation) {
+	rt.cur.SetAttr("diverged_at", strconv.Itoa(step))
+	rt.cur.SetAttr("diverged_entry", e.String())
+	if expl != nil {
+		rt.cur.SetAttr("reason", expl.Reason)
+		if len(expl.ExpectedTasks) > 0 {
+			rt.cur.SetAttr("expected_tasks", fmt.Sprintf("%v", expl.ExpectedTasks))
+		}
+	}
+}
+
+// ReplayEnd stamps the verdict and records the span.
+func (rt *ReplayTracer) ReplayEnd(rep *core.Report) {
+	sp := rt.cur
+	if sp == nil {
+		return
+	}
+	rt.cur = nil
+	sp.SetAttr("outcome", rep.Outcome.String())
+	sp.SetAttr("steps_replayed", strconv.Itoa(rep.StepsReplayed))
+	sp.SetAttr("peak_configurations", strconv.Itoa(rt.peak))
+	if rt.candidates > 0 {
+		sp.SetAttr("weaknext_candidates", strconv.Itoa(rt.candidates))
+	}
+	if rt.absorbed > 0 {
+		sp.SetAttr("entries_absorbed", strconv.Itoa(rt.absorbed))
+	}
+	if rep.Engine == core.EngineCompiled {
+		sp.SetAttr("symbol_cache_hits", strconv.Itoa(rt.cacheHits))
+		sp.SetAttr("symbol_cache_misses", strconv.Itoa(rt.cacheMiss))
+	}
+	sp.End()
+}

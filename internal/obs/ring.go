@@ -1,0 +1,61 @@
+package obs
+
+import "sync"
+
+// Ring is a fixed-capacity span recorder: the newest spans win, memory
+// stays bounded, and a snapshot is cheap — the store behind auditd's
+// GET /v1/traces. Safe for concurrent use.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []Span
+	next  int // write cursor
+	n     int // spans currently held (≤ cap)
+	total uint64
+}
+
+// DefaultRingCapacity is the span count NewRing keeps when asked for
+// a non-positive capacity.
+const DefaultRingCapacity = 256
+
+// NewRing builds a ring holding up to capacity spans.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = DefaultRingCapacity
+	}
+	return &Ring{buf: make([]Span, capacity)}
+}
+
+// Record stores the span, evicting the oldest when full.
+func (r *Ring) Record(s Span) {
+	r.mu.Lock()
+	r.buf[r.next] = s
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Snapshot copies the held spans, oldest first.
+func (r *Ring) Snapshot() []Span {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Span, 0, r.n)
+	start := r.next - r.n
+	if start < 0 {
+		start += len(r.buf)
+	}
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.buf[(start+i)%len(r.buf)])
+	}
+	return out
+}
+
+// Stats reports spans currently held and recorded over the ring's
+// lifetime (the difference is what eviction dropped).
+func (r *Ring) Stats() (held int, total uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n, r.total
+}

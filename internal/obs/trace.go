@@ -1,0 +1,241 @@
+// Package obs is the repo's zero-dependency observability layer: a
+// minimal span model with W3C trace-context interop, an in-memory
+// ring-buffer recorder (auditd's GET /v1/traces), a JSONL exporter for
+// offline runs, a core.Observer that turns replays into spans, and the
+// human renderer behind purposectl -explain.
+//
+// It deliberately stops far short of OpenTelemetry: the paper's
+// auditor workflow needs "which entry broke case 7 and what was
+// expected instead", not a sampling pipeline. Everything here is
+// stdlib-only and cheap enough to leave compiled in; when no recorder
+// is attached the core engines pay a single nil check per entry
+// (DESIGN.md §12).
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// TraceID is a 16-byte W3C trace id, rendered as 32 lowercase hex
+// digits. The zero value is invalid per the spec.
+type TraceID [16]byte
+
+// SpanID is an 8-byte W3C span id, rendered as 16 lowercase hex
+// digits. The zero value is invalid per the spec.
+type SpanID [8]byte
+
+// IsZero reports the invalid all-zero id.
+func (id TraceID) IsZero() bool { return id == TraceID{} }
+
+// IsZero reports the invalid all-zero id.
+func (id SpanID) IsZero() bool { return id == SpanID{} }
+
+func (id TraceID) String() string { return hex.EncodeToString(id[:]) }
+func (id SpanID) String() string  { return hex.EncodeToString(id[:]) }
+
+// MarshalText renders the id as lowercase hex (JSON uses this too).
+func (id TraceID) MarshalText() ([]byte, error) { return []byte(id.String()), nil }
+
+// UnmarshalText parses 32 hex digits.
+func (id *TraceID) UnmarshalText(b []byte) error {
+	if len(b) != 2*len(id) {
+		return fmt.Errorf("obs: trace id %q: want %d hex digits", b, 2*len(id))
+	}
+	_, err := hex.Decode(id[:], b)
+	return err
+}
+
+// MarshalText renders the id as lowercase hex (JSON uses this too).
+func (id SpanID) MarshalText() ([]byte, error) { return []byte(id.String()), nil }
+
+// UnmarshalText parses 16 hex digits.
+func (id *SpanID) UnmarshalText(b []byte) error {
+	if len(b) != 2*len(id) {
+		return fmt.Errorf("obs: span id %q: want %d hex digits", b, 2*len(id))
+	}
+	_, err := hex.Decode(id[:], b)
+	return err
+}
+
+// NewTraceID draws a random trace id.
+func NewTraceID() TraceID {
+	var id TraceID
+	mustRead(id[:])
+	return id
+}
+
+// NewSpanID draws a random span id.
+func NewSpanID() SpanID {
+	var id SpanID
+	mustRead(id[:])
+	return id
+}
+
+func mustRead(b []byte) {
+	if _, err := rand.Read(b); err != nil {
+		// crypto/rand failing means the platform's entropy source is
+		// gone; tracing ids are not worth limping past that.
+		panic(fmt.Sprintf("obs: crypto/rand: %v", err))
+	}
+}
+
+// SpanContext identifies a position in a trace: the trace, the current
+// span, and the W3C trace flags (bit 0 = sampled).
+type SpanContext struct {
+	TraceID TraceID
+	SpanID  SpanID
+	Flags   byte
+}
+
+// IsValid reports a usable context (both ids non-zero, per W3C).
+func (sc SpanContext) IsValid() bool { return !sc.TraceID.IsZero() && !sc.SpanID.IsZero() }
+
+// Traceparent renders the context as a version-00 W3C traceparent
+// header value.
+func (sc SpanContext) Traceparent() string {
+	return fmt.Sprintf("00-%s-%s-%02x", sc.TraceID, sc.SpanID, sc.Flags)
+}
+
+// ParseTraceparent parses a W3C traceparent header value
+// ("version-traceid-parentid-flags", lowercase hex as the spec
+// requires). Unknown versions are accepted as long as the four known
+// fields parse; all-zero ids and version ff are rejected.
+func ParseTraceparent(s string) (SpanContext, error) {
+	var sc SpanContext
+	parts := strings.Split(strings.TrimSpace(s), "-")
+	if len(parts) < 4 {
+		return sc, fmt.Errorf("obs: traceparent %q: want version-traceid-parentid-flags", s)
+	}
+	version, traceID, parentID, flags := parts[0], parts[1], parts[2], parts[3]
+	if len(version) != 2 || !isLowerHex(version) {
+		return sc, fmt.Errorf("obs: traceparent %q: bad version", s)
+	}
+	if version == "ff" {
+		return sc, fmt.Errorf("obs: traceparent %q: version ff is forbidden", s)
+	}
+	if version == "00" && len(parts) != 4 {
+		return sc, fmt.Errorf("obs: traceparent %q: version 00 has exactly four fields", s)
+	}
+	if len(traceID) != 32 || !isLowerHex(traceID) {
+		return sc, fmt.Errorf("obs: traceparent %q: bad trace id", s)
+	}
+	if len(parentID) != 16 || !isLowerHex(parentID) {
+		return sc, fmt.Errorf("obs: traceparent %q: bad parent id", s)
+	}
+	if len(flags) != 2 || !isLowerHex(flags) {
+		return sc, fmt.Errorf("obs: traceparent %q: bad flags", s)
+	}
+	hex.Decode(sc.TraceID[:], []byte(traceID))
+	hex.Decode(sc.SpanID[:], []byte(parentID))
+	var fb [1]byte
+	hex.Decode(fb[:], []byte(flags))
+	sc.Flags = fb[0]
+	if !sc.IsValid() {
+		return SpanContext{}, fmt.Errorf("obs: traceparent %q: all-zero id", s)
+	}
+	return sc, nil
+}
+
+func isLowerHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Span is one completed operation. Parent is the zero SpanID for trace
+// roots.
+type Span struct {
+	TraceID TraceID           `json:"trace_id"`
+	SpanID  SpanID            `json:"span_id"`
+	Parent  SpanID            `json:"parent_span_id"`
+	Name    string            `json:"name"`
+	Start   time.Time         `json:"start"`
+	End     time.Time         `json:"end"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+}
+
+// Duration is the span's wall-clock extent.
+func (s Span) Duration() time.Duration { return s.End.Sub(s.Start) }
+
+// Context returns the span's position for child propagation.
+func (s Span) Context() SpanContext {
+	return SpanContext{TraceID: s.TraceID, SpanID: s.SpanID, Flags: 1}
+}
+
+// Recorder receives completed spans. Implementations must be safe for
+// concurrent use (auditd records from every shard).
+type Recorder interface {
+	Record(Span)
+}
+
+// Tracer mints spans into a Recorder. The zero/nil Tracer is disabled:
+// StartSpan returns a nil *ActiveSpan whose methods are no-ops, so
+// call sites need no branching.
+type Tracer struct {
+	Rec Recorder
+}
+
+// Enabled reports whether spans will actually be recorded.
+func (t *Tracer) Enabled() bool { return t != nil && t.Rec != nil }
+
+// StartSpan opens a span. A valid parent keeps its trace and becomes
+// the parent span; otherwise a fresh trace is rooted.
+func (t *Tracer) StartSpan(parent SpanContext, name string) *ActiveSpan {
+	if !t.Enabled() {
+		return nil
+	}
+	sp := &ActiveSpan{rec: t.Rec, span: Span{
+		SpanID: NewSpanID(),
+		Name:   name,
+		Start:  time.Now(),
+	}}
+	if parent.IsValid() {
+		sp.span.TraceID = parent.TraceID
+		sp.span.Parent = parent.SpanID
+	} else {
+		sp.span.TraceID = NewTraceID()
+	}
+	return sp
+}
+
+// ActiveSpan is an open span. All methods are nil-safe.
+type ActiveSpan struct {
+	span Span
+	rec  Recorder
+}
+
+// Context returns the open span's position (zero when nil).
+func (a *ActiveSpan) Context() SpanContext {
+	if a == nil {
+		return SpanContext{}
+	}
+	return a.span.Context()
+}
+
+// SetAttr attaches a key/value attribute.
+func (a *ActiveSpan) SetAttr(k, v string) {
+	if a == nil {
+		return
+	}
+	if a.span.Attrs == nil {
+		a.span.Attrs = map[string]string{}
+	}
+	a.span.Attrs[k] = v
+}
+
+// End closes the span and hands it to the recorder.
+func (a *ActiveSpan) End() {
+	if a == nil {
+		return
+	}
+	a.span.End = time.Now()
+	a.rec.Record(a.span)
+}

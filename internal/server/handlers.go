@@ -8,28 +8,36 @@ import (
 	"mime"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/audit"
 	"repro/internal/cli"
+	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // HTTP surface:
 //
-//	POST /v1/events      NDJSON (default) or text/csv entry stream
-//	GET  /v1/cases       all case verdicts; ?outcome=, ?purpose=, ?since=
-//	GET  /v1/cases/{id}  one case
-//	GET  /v1/purposes    registered purposes
-//	GET  /v1/quarantine  malformed lines set aside by lenient ingestion
-//	GET  /metrics        Prometheus text exposition
-//	GET  /healthz        process liveness
-//	GET  /readyz         ready to ingest (503 while starting/draining)
+//	POST /v1/events              NDJSON (default) or text/csv entry stream;
+//	                             honors a W3C traceparent header
+//	GET  /v1/cases               all case verdicts; ?outcome=, ?purpose=, ?since=
+//	GET  /v1/cases/{id}          one case
+//	GET  /v1/cases/{id}/explain  structured explanation of the first deviation
+//	GET  /v1/traces              recent spans from the in-memory ring buffer
+//	GET  /v1/purposes            registered purposes
+//	GET  /v1/quarantine          malformed lines set aside by lenient ingestion
+//	GET  /metrics                Prometheus text exposition
+//	GET  /healthz                process liveness
+//	GET  /readyz                 ready to ingest (503 while starting/draining)
 
 func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/events", s.handleEvents)
 	s.mux.HandleFunc("GET /v1/cases", s.handleCases)
 	s.mux.HandleFunc("GET /v1/cases/{id}", s.handleCase)
+	s.mux.HandleFunc("GET /v1/cases/{id}/explain", s.handleExplain)
+	s.mux.HandleFunc("GET /v1/traces", s.handleTraces)
 	s.mux.HandleFunc("GET /v1/purposes", s.handlePurposes)
 	s.mux.HandleFunc("GET /v1/quarantine", s.handleQuarantine)
 	s.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -76,6 +84,10 @@ type ingestResult struct {
 // batch first (the CSV reader needs the header) and then enqueued with
 // the same backpressure contract. Malformed lines land in the
 // quarantine in both modes — lenient ingestion, not rejection.
+//
+// When the request carries a valid W3C traceparent header, the ingest
+// is recorded as a span in the caller's trace and every entry's feed
+// becomes a child span of it; untraced requests record nothing.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	if !s.accepting() {
 		w.Header().Set("Retry-After", "5")
@@ -88,12 +100,31 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	ct, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
 	wait := r.URL.Query().Get("wait") != ""
 
+	var span *obs.ActiveSpan
+	var spanCtx obs.SpanContext
+	if tp := r.Header.Get("traceparent"); tp != "" {
+		if parent, err := obs.ParseTraceparent(tp); err == nil {
+			span = s.tracer.StartSpan(parent, "ingest")
+			span.SetAttr("format", ct)
+			spanCtx = span.Context()
+		}
+	}
+
 	var res ingestResult
 	var full bool
 	if ct == "text/csv" {
-		res, full = s.ingestCSV(r, body)
+		res, full = s.ingestCSV(r, body, spanCtx)
 	} else {
-		res, full = s.ingestNDJSON(r, body)
+		res, full = s.ingestNDJSON(r, body, spanCtx)
+	}
+
+	if span != nil {
+		span.SetAttr("accepted", strconv.Itoa(res.Accepted))
+		span.SetAttr("quarantined", strconv.Itoa(res.Quarantined))
+		if full {
+			span.SetAttr("backpressure", "true")
+		}
+		span.End()
 	}
 
 	if wait {
@@ -111,7 +142,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 }
 
 // ingestNDJSON consumes one JSON entry per line.
-func (s *Server) ingestNDJSON(r *http.Request, body io.Reader) (ingestResult, bool) {
+func (s *Server) ingestNDJSON(r *http.Request, body io.Reader, spanCtx obs.SpanContext) (ingestResult, bool) {
 	var res ingestResult
 	sc := bufio.NewScanner(body)
 	sc.Buffer(make([]byte, 0, 64<<10), 8<<20)
@@ -128,7 +159,7 @@ func (s *Server) ingestNDJSON(r *http.Request, body io.Reader) (ingestResult, bo
 			res.Quarantined++
 			continue
 		}
-		if !s.enqueue(e) {
+		if !s.enqueue(e, spanCtx) {
 			res.RejectedAtLine = line
 			return res, true
 		}
@@ -141,7 +172,7 @@ func (s *Server) ingestNDJSON(r *http.Request, body io.Reader) (ingestResult, bo
 }
 
 // ingestCSV decodes a Figure 4 CSV body leniently, then enqueues.
-func (s *Server) ingestCSV(r *http.Request, body io.Reader) (ingestResult, bool) {
+func (s *Server) ingestCSV(r *http.Request, body io.Reader, spanCtx obs.SpanContext) (ingestResult, bool) {
 	var res ingestResult
 	entries, q, err := audit.DecodeCSVEntries(body, audit.DecodeOptions{Lenient: true})
 	if err != nil {
@@ -153,7 +184,7 @@ func (s *Server) ingestCSV(r *http.Request, body io.Reader) (ingestResult, bool)
 		res.Quarantined++
 	}
 	for i, e := range entries {
-		if !s.enqueue(e) {
+		if !s.enqueue(e, spanCtx) {
 			// +2: CSV data starts at body line 2 (header is line 1).
 			res.RejectedAtLine = i + 2
 			return res, true
@@ -215,6 +246,33 @@ func (s *Server) handleCase(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, v)
+}
+
+// handleExplain returns the structured account of a case's first
+// deviation. Compliant cases answer with a null explanation — the case
+// exists but there is nothing to explain yet.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	v, ok := s.shardFor(id).view(id)
+	if !ok {
+		http.Error(w, fmt.Sprintf("case %q not monitored", id), http.StatusNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Case        string            `json:"case"`
+		Outcome     string            `json:"outcome"`
+		Explanation *core.Explanation `json:"explanation"`
+	}{Case: v.Case, Outcome: v.Outcome, Explanation: v.Explanation})
+}
+
+// handleTraces dumps the span ring, oldest-first.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	held, total := s.ring.Stats()
+	writeJSON(w, http.StatusOK, struct {
+		Held  int        `json:"held"`
+		Total uint64     `json:"total"`
+		Spans []obs.Span `json:"spans"`
+	}{Held: held, Total: total, Spans: s.ring.Snapshot()})
 }
 
 // purposeInfo is one row of GET /v1/purposes.

@@ -3,8 +3,13 @@ package server
 import (
 	"fmt"
 	"io"
+	"runtime"
+	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/core"
 )
 
 // Metrics is auditd's observability surface, exposed at /metrics in
@@ -22,6 +27,16 @@ type metrics struct {
 	verdictsViolation     atomic.Int64
 	verdictsIndeterminate atomic.Int64
 
+	// purposeVerdicts maps purpose name → *purposeCounters; purposes
+	// are few and fixed at boot, so a sync.Map read path is hit after
+	// the first entry of each purpose.
+	purposeVerdicts sync.Map
+
+	// feedCompiled/feedInterpreted count entries by the engine that
+	// consumed them — the live compiled-vs-fallback ratio.
+	feedCompiled    atomic.Int64
+	feedInterpreted atomic.Int64
+
 	feedLatency      histogram
 	snapshotDuration histogram
 	snapshots        atomic.Int64
@@ -38,6 +53,43 @@ func newMetrics() *metrics {
 	m.snapshotDuration.bounds = []float64{1e-3, 5e-3, 25e-3, 100e-3, 500e-3, 2, 10}
 	m.snapshotDuration.counts = make([]atomic.Int64, len(m.snapshotDuration.bounds)+1)
 	return m
+}
+
+// purposeCounters is one purpose's verdict tally.
+type purposeCounters struct {
+	ok, violation, indeterminate atomic.Int64
+}
+
+// countPurposeVerdict bumps the per-purpose verdict counter. Unknown
+// purposes ("" — unregistered case codes) are skipped: the global
+// verdict counters already cover them.
+func (m *metrics) countPurposeVerdict(purpose, outcome string) {
+	if purpose == "" {
+		return
+	}
+	v, ok := m.purposeVerdicts.Load(purpose)
+	if !ok {
+		v, _ = m.purposeVerdicts.LoadOrStore(purpose, &purposeCounters{})
+	}
+	pc := v.(*purposeCounters)
+	switch outcome {
+	case outcomeCompliant:
+		pc.ok.Add(1)
+	case outcomeViolation:
+		pc.violation.Add(1)
+	case outcomeIndeterminate:
+		pc.indeterminate.Add(1)
+	}
+}
+
+// countEngine bumps the engine feed counter.
+func (m *metrics) countEngine(engine string) {
+	switch engine {
+	case core.EngineCompiled:
+		m.feedCompiled.Add(1)
+	case core.EngineInterpreted:
+		m.feedInterpreted.Add(1)
+	}
 }
 
 // histogram is a fixed-bucket latency histogram in seconds. counts has
@@ -102,6 +154,43 @@ func (s *Server) writeMetrics(w io.Writer) {
 	fmt.Fprintf(w, "auditd_verdicts_total{outcome=\"violation\"} %d\n", m.verdictsViolation.Load())
 	fmt.Fprintf(w, "auditd_verdicts_total{outcome=\"indeterminate\"} %d\n", m.verdictsIndeterminate.Load())
 
+	// Per-purpose verdicts, purposes sorted for a stable exposition.
+	var purposes []string
+	m.purposeVerdicts.Range(func(k, _ any) bool {
+		purposes = append(purposes, k.(string))
+		return true
+	})
+	if len(purposes) > 0 {
+		sort.Strings(purposes)
+		fmt.Fprintf(w, "# HELP auditd_purpose_verdicts_total Verdicts by purpose and outcome.\n# TYPE auditd_purpose_verdicts_total counter\n")
+		for _, p := range purposes {
+			v, _ := m.purposeVerdicts.Load(p)
+			pc := v.(*purposeCounters)
+			fmt.Fprintf(w, "auditd_purpose_verdicts_total{purpose=%q,outcome=\"compliant\"} %d\n", p, pc.ok.Load())
+			fmt.Fprintf(w, "auditd_purpose_verdicts_total{purpose=%q,outcome=\"violation\"} %d\n", p, pc.violation.Load())
+			fmt.Fprintf(w, "auditd_purpose_verdicts_total{purpose=%q,outcome=\"indeterminate\"} %d\n", p, pc.indeterminate.Load())
+		}
+	}
+
+	fmt.Fprintf(w, "# HELP auditd_feed_engine_total Entries consumed, by replay engine.\n# TYPE auditd_feed_engine_total counter\n")
+	fmt.Fprintf(w, "auditd_feed_engine_total{engine=\"compiled\"} %d\n", m.feedCompiled.Load())
+	fmt.Fprintf(w, "auditd_feed_engine_total{engine=\"interpreted\"} %d\n", m.feedInterpreted.Load())
+
+	// Symbol-cache effectiveness of the compiled fast path, summed
+	// over the shards' monitors (their counters are atomics).
+	var symHits, symMisses uint64
+	for _, sh := range s.shards {
+		h, miss := sh.mon.SymbolCacheStats()
+		symHits += h
+		symMisses += miss
+	}
+	counter(w, "auditd_symbol_cache_hits_total", "Compiled-engine symbol lookups served from cache.", int64(symHits))
+	counter(w, "auditd_symbol_cache_misses_total", "Compiled-engine symbol lookups resolved via the DFA index.", int64(symMisses))
+	if total := symHits + symMisses; total > 0 {
+		gauge(w, "auditd_symbol_cache_hit_ratio", "Fraction of symbol lookups served from cache.",
+			float64(symHits)/float64(total))
+	}
+
 	fmt.Fprintf(w, "# HELP auditd_shard_queue_depth Entries waiting in each shard's queue.\n# TYPE auditd_shard_queue_depth gauge\n")
 	for _, sh := range s.shards {
 		fmt.Fprintf(w, "auditd_shard_queue_depth{shard=\"%d\"} %d\n", sh.id, len(sh.queue))
@@ -111,6 +200,20 @@ func (s *Server) writeMetrics(w io.Writer) {
 
 	held, _ := s.quar.stats()
 	gauge(w, "auditd_quarantine_held", "Quarantined records currently held (bounded).", float64(held))
+
+	spansHeld, spansTotal := s.ring.Stats()
+	gauge(w, "auditd_trace_spans_held", "Spans currently held in the trace ring buffer.", float64(spansHeld))
+	counter(w, "auditd_trace_spans_total", "Spans recorded since boot (ring evicts beyond its capacity).", int64(spansTotal))
+
+	// Go runtime gauges: enough to spot leaks and GC pressure without
+	// a client library.
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	gauge(w, "auditd_go_goroutines", "Live goroutines.", float64(runtime.NumGoroutine()))
+	gauge(w, "auditd_go_heap_alloc_bytes", "Heap bytes in use.", float64(ms.HeapAlloc))
+	gauge(w, "auditd_go_heap_objects", "Live heap objects.", float64(ms.HeapObjects))
+	counter(w, "auditd_go_gc_cycles_total", "Completed GC cycles.", int64(ms.NumGC))
+	gauge(w, "auditd_go_gc_pause_total_seconds", "Cumulative GC stop-the-world pause.", float64(ms.PauseTotalNs)/1e9)
 
 	m.feedLatency.write(w, "auditd_feed_latency_seconds")
 	m.snapshotDuration.write(w, "auditd_snapshot_duration_seconds")

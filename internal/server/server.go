@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/audit"
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // Config tunes the server; zero values take the documented defaults.
@@ -44,6 +45,9 @@ type Config struct {
 	MaxBodyBytes int64
 	// QuarantineKeep bounds the held quarantine records (default 1024).
 	QuarantineKeep int
+	// TraceBuffer bounds the in-memory span ring served at GET
+	// /v1/traces (default obs.DefaultRingCapacity).
+	TraceBuffer int
 	// Logger receives structured request/verdict logs (default
 	// slog.Default()).
 	Logger *slog.Logger
@@ -65,6 +69,9 @@ func (c Config) withDefaults() Config {
 	if c.QuarantineKeep <= 0 {
 		c.QuarantineKeep = 1024
 	}
+	if c.TraceBuffer <= 0 {
+		c.TraceBuffer = obs.DefaultRingCapacity
+	}
 	if c.Logger == nil {
 		c.Logger = slog.Default()
 	}
@@ -81,6 +88,10 @@ type Server struct {
 	quar    *quarantine
 	mux     *http.ServeMux
 	log     *slog.Logger
+	// ring holds the most recent spans (GET /v1/traces); tracer writes
+	// into it and is handed to every shard for per-entry feed spans.
+	ring   *obs.Ring
+	tracer *obs.Tracer
 
 	// ingest gate: handlers register in-flight ingests so Shutdown can
 	// wait for them before closing the shard queues.
@@ -109,9 +120,11 @@ func New(reg *core.Registry, checker *core.Checker, cfg Config) *Server {
 		quar:    newQuarantine(cfg.QuarantineKeep),
 		mux:     http.NewServeMux(),
 		log:     cfg.Logger,
+		ring:    obs.NewRing(cfg.TraceBuffer),
 	}
+	s.tracer = &obs.Tracer{Rec: s.ring}
 	for i := 0; i < cfg.Shards; i++ {
-		s.shards = append(s.shards, newShard(i, checker, cfg.QueueDepth, s.metrics, s.log, reg.PurposeOf))
+		s.shards = append(s.shards, newShard(i, checker, cfg.QueueDepth, s.metrics, s.log, reg.PurposeOf, s.tracer))
 	}
 	s.routes()
 	return s
@@ -261,9 +274,10 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// enqueue routes one entry, applying backpressure.
-func (s *Server) enqueue(e audit.Entry) bool {
-	if s.shardFor(e.Case).tryEnqueue(e) {
+// enqueue routes one entry, applying backpressure. sc carries the
+// submitting request's trace context (zero when untraced).
+func (s *Server) enqueue(e audit.Entry, sc obs.SpanContext) bool {
+	if s.shardFor(e.Case).tryEnqueue(e, sc) {
 		s.metrics.eventsIngested.Add(1)
 		return true
 	}

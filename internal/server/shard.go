@@ -2,11 +2,13 @@ package server
 
 import (
 	"log/slog"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/audit"
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // A shard owns one core.Monitor (over a Checker.Clone sharing the warm
@@ -28,6 +30,10 @@ type shard struct {
 	mon     *core.Monitor
 	metrics *metrics
 	log     *slog.Logger
+	// tracer records per-entry feed spans — only for entries whose
+	// ingest carried W3C trace context (see feed), so untraced bulk
+	// loads cost nothing and the ring isn't flooded.
+	tracer *obs.Tracer
 	// purposeOf resolves a case id to its purpose name (registry
 	// lookup), for the view's Purpose field.
 	purposeOf func(string) string
@@ -42,6 +48,10 @@ type shard struct {
 // set.
 type shardMsg struct {
 	entry *audit.Entry
+	// sc is the ingest span's context when the submitting request
+	// carried a traceparent header; the zero value otherwise. It rides
+	// the queue so the feed span lands in the caller's trace.
+	sc obs.SpanContext
 	// barrier is closed by the worker when it reaches the message —
 	// everything enqueued before it has then been fed.
 	barrier chan<- struct{}
@@ -70,6 +80,13 @@ type CaseView struct {
 	// diagnosis.
 	Violation     string `json:"violation,omitempty"`
 	Indeterminate string `json:"indeterminate,omitempty"`
+	// Engine is the replay engine carrying the case ("compiled" or
+	// "interpreted").
+	Engine string `json:"engine,omitempty"`
+	// Explanation is the structured account of the first deviation
+	// (GET /v1/cases/{id}/explain); nil while compliant. Sticky like
+	// Outcome, and persisted in checkpoints.
+	Explanation *core.Explanation `json:"explanation,omitempty"`
 	// Updated is the log time of the entry that last changed this view.
 	Updated time.Time `json:"updated"`
 	Shard   int       `json:"shard"`
@@ -81,7 +98,7 @@ const (
 	outcomeIndeterminate = "indeterminate"
 )
 
-func newShard(id int, checker *core.Checker, depth int, m *metrics, log *slog.Logger, purposeOf func(string) string) *shard {
+func newShard(id int, checker *core.Checker, depth int, m *metrics, log *slog.Logger, purposeOf func(string) string, tracer *obs.Tracer) *shard {
 	return &shard{
 		id:        id,
 		queue:     make(chan shardMsg, depth),
@@ -90,6 +107,7 @@ func newShard(id int, checker *core.Checker, depth int, m *metrics, log *slog.Lo
 		metrics:   m,
 		log:       log,
 		purposeOf: purposeOf,
+		tracer:    tracer,
 		views:     map[string]*CaseView{},
 	}
 }
@@ -101,7 +119,7 @@ func (sh *shard) run() {
 	for msg := range sh.queue {
 		switch {
 		case msg.entry != nil:
-			sh.feed(*msg.entry)
+			sh.feed(*msg.entry, msg.sc)
 		case msg.barrier != nil:
 			close(msg.barrier)
 		case msg.snap != nil:
@@ -111,10 +129,11 @@ func (sh *shard) run() {
 }
 
 // tryEnqueue offers an entry to the queue without blocking; false means
-// the shard is saturated and the caller must apply backpressure.
-func (sh *shard) tryEnqueue(e audit.Entry) bool {
+// the shard is saturated and the caller must apply backpressure. sc
+// carries the submitting request's trace context (zero when untraced).
+func (sh *shard) tryEnqueue(e audit.Entry, sc obs.SpanContext) bool {
 	select {
-	case sh.queue <- shardMsg{entry: &e}:
+	case sh.queue <- shardMsg{entry: &e, sc: sc}:
 		return true
 	default:
 		return false
@@ -151,8 +170,16 @@ func (sh *shard) dump() shardDump {
 }
 
 // feed advances one case by one entry and folds the verdict into the
-// case view and the metrics.
-func (sh *shard) feed(e audit.Entry) {
+// case view and the metrics. When the entry's ingest carried trace
+// context, the feed is recorded as a child span in the caller's trace.
+func (sh *shard) feed(e audit.Entry, sc obs.SpanContext) {
+	var span *obs.ActiveSpan
+	if sc.IsValid() {
+		span = sh.tracer.StartSpan(sc, "feed")
+		span.SetAttr("shard", strconv.Itoa(sh.id))
+		span.SetAttr("case", e.Case)
+		span.SetAttr("task", e.Task)
+	}
 	start := time.Now()
 	v, err := sh.mon.Feed(e)
 	sh.metrics.feedLatency.observe(time.Since(start))
@@ -161,12 +188,15 @@ func (sh *shard) feed(e audit.Entry) {
 		// leave the case view untouched — the entry is lost, which the
 		// feed-errors counter makes visible.
 		sh.metrics.feedErrors.Add(1)
-		sh.log.Error("feed failed", "shard", sh.id, "case", e.Case, "err", err)
+		sh.log.Error("feed failed", "shard", sh.id, "case", e.Case, "err", err,
+			"trace_id", traceField(sc))
+		span.SetAttr("error", err.Error())
+		span.End()
 		return
 	}
+	sh.metrics.countEngine(v.Engine)
 
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	view, ok := sh.views[e.Case]
 	if !ok {
 		view = &CaseView{
@@ -178,24 +208,50 @@ func (sh *shard) feed(e audit.Entry) {
 	view.Entries = v.CaseEntries
 	view.Updated = e.Time
 	view.Configurations = v.Configurations
+	if v.Engine != "" {
+		view.Engine = v.Engine
+	}
 	switch {
 	case v.OK:
 		sh.metrics.verdictsOK.Add(1)
+		sh.metrics.countPurposeVerdict(view.Purpose, outcomeCompliant)
 	case v.Indeterminate != nil:
 		sh.metrics.verdictsIndeterminate.Add(1)
+		sh.metrics.countPurposeVerdict(view.Purpose, outcomeIndeterminate)
 		if view.Outcome == outcomeCompliant {
 			view.Outcome = outcomeIndeterminate
 			view.Indeterminate = v.Indeterminate.String()
-			sh.log.Warn("case indeterminate", "shard", sh.id, "case", e.Case, "cause", v.Indeterminate.Cause.String())
+			view.Explanation = v.Explanation
+			sh.log.Warn("case indeterminate", "shard", sh.id, "case", e.Case,
+				"cause", v.Indeterminate.Cause.String(), "trace_id", traceField(sc))
 		}
 	case v.Violation != nil:
 		sh.metrics.verdictsViolation.Add(1)
+		sh.metrics.countPurposeVerdict(view.Purpose, outcomeViolation)
 		if view.Outcome == outcomeCompliant {
 			view.Outcome = outcomeViolation
 			view.Violation = v.Violation.String()
-			sh.log.Warn("case violated", "shard", sh.id, "case", e.Case, "reason", v.Violation.Reason)
+			view.Explanation = v.Explanation
+			sh.log.Warn("case violated", "shard", sh.id, "case", e.Case,
+				"reason", v.Violation.Reason, "trace_id", traceField(sc))
 		}
 	}
+	outcome := view.Outcome
+	sh.mu.Unlock()
+
+	if span != nil {
+		span.SetAttr("outcome", outcome)
+		span.End()
+	}
+}
+
+// traceField renders the trace id for log correlation; empty when the
+// entry was untraced (slog drops nothing, so empty is fine).
+func traceField(sc obs.SpanContext) string {
+	if !sc.IsValid() {
+		return ""
+	}
+	return sc.TraceID.String()
 }
 
 // view returns a copy of one case's view.
