@@ -4,15 +4,16 @@
 # runs under -race here), a fuzz smoke over the ingestion surface plus
 # the compiled-vs-interpreted differential target, a coverage ratchet
 # on the replay engines and the observability layer, a benchmark guard
-# failing on ns/entry regressions of the P1/P3/P4/P5 claims vs the
+# failing on ns/entry regressions of the P1/P3/P4/P5/P6 claims vs the
 # checked-in baselines (nil-observer replay rows are held to 5%), and
-# an end-to-end smoke of the auditd streaming server.
+# an end-to-end smoke of the auditd streaming server including a
+# reboot from a binary checkpoint.
 #
 # Stages run standalone too:
 #   sh ci.sh            # everything
 #   sh ci.sh lint       # gofmt + vet + staticcheck
-#   sh ci.sh cover      # coverage ratchet (internal/core, internal/automaton, internal/obs)
-#   sh ci.sh benchguard # quick P1/P3/P4/P5 run vs BENCH_pr*.json
+#   sh ci.sh cover      # coverage ratchet (internal/core, internal/automaton, internal/obs, internal/encode)
+#   sh ci.sh benchguard # quick P1/P3/P4/P5/P6 run vs BENCH_pr*.json
 #   sh ci.sh smoke      # auditd server smoke (also `make smoke`)
 set -eu
 
@@ -131,7 +132,74 @@ server_smoke() {
 		echo "checkpoint has no monitor state" >&2
 		exit 1
 	}
-	echo "server smoke OK ($n violations, clean drain, checkpoint written)"
+
+	# Binary-checkpoint boot: the raw-speed tier (-minimize,
+	# -binary-checkpoint) must write a flat binary container on TERM and
+	# a fresh boot from that file must still know all five violations
+	# without re-ingesting anything.
+	: >"$SMOKE_TMP/addr"
+	"$SMOKE_TMP/auditd" -builtin hospital -addr 127.0.0.1:0 -minimize \
+		-addr-file "$SMOKE_TMP/addr" -checkpoint "$SMOKE_TMP/ckpt.bin" \
+		-binary-checkpoint 2>"$SMOKE_TMP/auditd2.log" &
+	SMOKE_PID=$!
+	i=0
+	while [ ! -s "$SMOKE_TMP/addr" ]; do
+		i=$((i + 1))
+		if [ "$i" -gt 100 ]; then
+			echo "binary-checkpoint auditd never wrote its address; log:" >&2
+			cat "$SMOKE_TMP/auditd2.log" >&2
+			exit 1
+		fi
+		sleep 0.1
+	done
+	addr=$(cat "$SMOKE_TMP/addr")
+	"$SMOKE_TMP/auditgen" -builtin hospital -stream |
+		curl -sf --data-binary @- "http://$addr/v1/events?wait=1" >/dev/null
+	kill -TERM "$SMOKE_PID"
+	wait "$SMOKE_PID" || {
+		echo "binary-checkpoint auditd exited non-zero; log:" >&2
+		cat "$SMOKE_TMP/auditd2.log" >&2
+		exit 1
+	}
+	SMOKE_PID=""
+	magic=$(od -An -tx1 -N4 "$SMOKE_TMP/ckpt.bin" | tr -d ' ')
+	if [ "$magic" != "89504342" ]; then
+		echo "checkpoint is not a binary container (magic: $magic)" >&2
+		exit 1
+	fi
+
+	: >"$SMOKE_TMP/addr"
+	"$SMOKE_TMP/auditd" -builtin hospital -addr 127.0.0.1:0 -minimize \
+		-addr-file "$SMOKE_TMP/addr" -checkpoint "$SMOKE_TMP/ckpt.bin" \
+		-binary-checkpoint 2>"$SMOKE_TMP/auditd3.log" &
+	SMOKE_PID=$!
+	i=0
+	while [ ! -s "$SMOKE_TMP/addr" ]; do
+		i=$((i + 1))
+		if [ "$i" -gt 100 ]; then
+			echo "auditd did not boot from the binary checkpoint; log:" >&2
+			cat "$SMOKE_TMP/auditd3.log" >&2
+			exit 1
+		fi
+		sleep 0.1
+	done
+	addr=$(cat "$SMOKE_TMP/addr")
+	curl -sf "http://$addr/v1/cases?outcome=violation" >"$SMOKE_TMP/violations2.json"
+	b=$(sed -n 's/^  "total": \([0-9][0-9]*\)$/\1/p' "$SMOKE_TMP/violations2.json")
+	if [ "$b" != 5 ]; then
+		echo "expected 5 violations restored from binary checkpoint, got ${b:-none}:" >&2
+		cat "$SMOKE_TMP/violations2.json" >&2
+		exit 1
+	fi
+	kill -TERM "$SMOKE_PID"
+	wait "$SMOKE_PID" || {
+		echo "restored auditd exited non-zero; log:" >&2
+		cat "$SMOKE_TMP/auditd3.log" >&2
+		exit 1
+	}
+	SMOKE_PID=""
+
+	echo "server smoke OK ($n violations, clean drain, binary checkpoint reboot)"
 	rm -rf "$SMOKE_TMP"
 	SMOKE_TMP=""
 }
@@ -169,11 +237,12 @@ lint() {
 
 # cover ratchets statement coverage of the packages that decide and
 # explain verdicts: the interpreter (internal/core), the table compiler
-# (internal/automaton) and the observability layer (internal/obs). The
-# combined figure must stay >= COVER_MIN.
+# (internal/automaton), the observability layer (internal/obs) and the
+# artifact codec (internal/encode — it deserializes what the automata
+# trust). The combined figure must stay >= COVER_MIN.
 cover() {
-	echo "== coverage ratchet (internal/core, internal/automaton, internal/obs; min ${COVER_MIN}%) =="
-	go test -coverprofile=cover.out ./internal/core/ ./internal/automaton/ ./internal/obs/
+	echo "== coverage ratchet (internal/core, internal/automaton, internal/obs, internal/encode; min ${COVER_MIN}%) =="
+	go test -coverprofile=cover.out ./internal/core/ ./internal/automaton/ ./internal/obs/ ./internal/encode/
 	total=$(go tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $3); print $3}')
 	echo "combined engine coverage: ${total}%"
 	if [ -n "${GITHUB_STEP_SUMMARY:-}" ]; then
@@ -186,16 +255,21 @@ cover() {
 }
 
 # benchguard replays the timed P1 (trail length), P3 (parallel cases),
-# P4 (compiled vs interpreted) and P5 (observer overhead) series in
-# quick mode and fails if any long-trail row's ns/entry regressed more
-# than BENCH_SLACK vs the checked-in baselines (later files override
-# earlier rows). The P1/P4 nil-observer replay rows are held to 5%:
-# a disabled observer must stay free.
+# P4 (compiled vs interpreted), P5 (observer overhead) and P6
+# (raw-speed tier: decode, dispatch, minimized replay, binary
+# boot/restore) series in quick mode and fails if any long-trail
+# row's ns/entry regressed more than BENCH_SLACK vs the checked-in
+# baselines (later files override earlier rows). The P1/P4
+# nil-observer replay rows are held to 5%: a disabled observer must
+# stay free. P6 gets 50%: its replay rows sit around 20 ns/entry where
+# quick-mode scheduler noise dwarfs the 25% band — the tier's hard
+# claims (zero decode allocations, batched dispatch >= 2x) are
+# asserted inside benchtab itself on every full run.
 benchguard() {
-	echo "== benchguard (P1, P3, P4, P5 vs checked-in baselines) =="
-	go run ./cmd/benchtab -exp P1,P3,P4,P5 -quick \
-		-guard BENCH_pr1.json,BENCH_pr4.json,BENCH_pr5.json \
-		-guard-slack "$BENCH_SLACK" -guard-slack-exp P1=0.05,P4=0.05
+	echo "== benchguard (P1, P3, P4, P5, P6 vs checked-in baselines) =="
+	go run ./cmd/benchtab -exp P1,P3,P4,P5,P6 -quick \
+		-guard BENCH_pr1.json,BENCH_pr4.json,BENCH_pr5.json,BENCH_pr6.json \
+		-guard-slack "$BENCH_SLACK" -guard-slack-exp P1=0.05,P4=0.05,P6=0.5
 }
 
 case "${1:-all}" in

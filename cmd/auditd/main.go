@@ -12,13 +12,21 @@
 //	       -shards 8 -queue 1024 \
 //	       -checkpoint /var/lib/auditd/state.json -checkpoint-every 30s \
 //	       [-addr-file /run/auditd.addr] \
-//	       [-compiled] [-automata-dir /var/lib/auditd/automata]
+//	       [-compiled] [-minimize] [-automata-dir /var/lib/auditd/automata] \
+//	       [-binary-artifacts] [-binary-checkpoint]
 //
 // -compiled replays on ahead-of-time determinized purpose automata
 // (DESIGN.md §11); purposes that cannot be compiled stay on the
-// interpreter, per case. -automata-dir (implies -compiled) is a
-// content-addressed artifact cache: matching artifacts load instead of
-// recompiling, fresh compiles are saved for the next boot.
+// interpreter, per case. -minimize (implies -compiled) runs the
+// Hopcroft minimization and alphabet-compaction pass on each automaton
+// (DESIGN.md §13), shrinking the tables at no change in verdicts.
+// -automata-dir (implies -compiled) is a content-addressed artifact
+// cache: matching artifacts load instead of recompiling, fresh
+// compiles are saved for the next boot. -binary-artifacts saves fresh
+// compiles in the flat binary container format instead of gzip+JSON;
+// loads auto-detect whichever format is present. -binary-checkpoint
+// does the same for the periodic state snapshot: writes use the binary
+// container, restore accepts either format (DESIGN.md §13).
 //
 // Endpoints: POST /v1/events (ingest; 202, or 429 + Retry-After under
 // backpressure; honors a W3C traceparent header),
@@ -71,6 +79,9 @@ func main() {
 		drain  = flag.Duration("drain-timeout", 30*time.Second, "max wait for queues to drain on shutdown")
 		comp   = flag.Bool("compiled", false, "replay on ahead-of-time compiled purpose automata (interpreter fallback per purpose)")
 		autoD  = flag.String("automata-dir", "", "artifact cache for compiled automata: load matching artifacts at boot, save fresh compiles (implies -compiled)")
+		minim  = flag.Bool("minimize", false, "minimize compiled automata (Hopcroft + alphabet compaction; implies -compiled, changes artifact fingerprints)")
+		binArt = flag.Bool("binary-artifacts", false, "save fresh compiles in the flat binary artifact format (loads auto-detect either format)")
+		binCk  = flag.Bool("binary-checkpoint", false, "write checkpoints in the flat binary container format (restore auto-detects either format)")
 		dbg    = flag.String("debug-addr", "", "serve net/http/pprof on this separate address (empty = disabled)")
 		traceN = flag.Int("trace-buffer", 0, "spans held in the /v1/traces ring buffer (0 = default)")
 	)
@@ -79,7 +90,7 @@ func main() {
 
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	slog.SetDefault(log)
-	if err := run(log, *addr, *addrFS, *dbg, *shards, *queue, *traceN, *ckpt, *every, *drain, *pol, *bltn, *comp || *autoD != "", *autoD, procs); err != nil {
+	if err := run(log, *addr, *addrFS, *dbg, *shards, *queue, *traceN, *ckpt, *every, *drain, *pol, *bltn, *comp || *autoD != "" || *minim, *autoD, *minim, *binArt, *binCk, procs); err != nil {
 		log.Error("auditd failed", "err", err)
 		os.Exit(cli.ExitUsage)
 	}
@@ -128,7 +139,7 @@ func buildRegistry(builtin, polFile string, procs []string) (*core.Registry, *po
 // a hit, compiles (and saves) on a miss, and leaves non-compilable
 // purposes on the interpreter with the cause logged. Boot never fails
 // because of the automata — the interpreter is always a valid engine.
-func setupCompiled(log *slog.Logger, c *core.Checker, reg *core.Registry, dir string) {
+func setupCompiled(log *slog.Logger, c *core.Checker, reg *core.Registry, dir string, binary bool) {
 	c.UseCompiled = true
 	for _, name := range reg.Purposes() {
 		if dir != "" {
@@ -153,7 +164,11 @@ func setupCompiled(log *slog.Logger, c *core.Checker, reg *core.Registry, dir st
 		}
 		log.Info("automaton compiled", "purpose", name, "fingerprint", d.Fingerprint[:12], "states", len(d.States))
 		if dir != "" {
-			if path, err := encode.SaveAutomaton(dir, d); err != nil {
+			save := encode.SaveAutomaton
+			if binary {
+				save = encode.SaveAutomatonBinary
+			}
+			if path, err := save(dir, d); err != nil {
 				log.Warn("automaton artifact not saved", "purpose", name, "err", err)
 			} else {
 				log.Info("automaton saved", "purpose", name, "path", path)
@@ -185,23 +200,25 @@ func debugServer(log *slog.Logger, addr string) error {
 	return nil
 }
 
-func run(log *slog.Logger, addr, addrFile, debugAddr string, shards, queue, traceBuffer int, ckpt string, every, drainTimeout time.Duration, polFile, builtin string, compiled bool, automataDir string, procs []string) error {
+func run(log *slog.Logger, addr, addrFile, debugAddr string, shards, queue, traceBuffer int, ckpt string, every, drainTimeout time.Duration, polFile, builtin string, compiled bool, automataDir string, minimize, binaryArtifacts, binaryCheckpoint bool, procs []string) error {
 	reg, roles, err := buildRegistry(builtin, polFile, procs)
 	if err != nil {
 		return err
 	}
 	checker := core.NewChecker(reg, roles)
+	checker.MinimizeAutomata = minimize
 	if compiled {
-		setupCompiled(log, checker, reg, automataDir)
+		setupCompiled(log, checker, reg, automataDir, binaryArtifacts)
 	}
 
 	srv := server.New(reg, checker, server.Config{
-		Shards:          shards,
-		QueueDepth:      queue,
-		CheckpointPath:  ckpt,
-		CheckpointEvery: every,
-		TraceBuffer:     traceBuffer,
-		Logger:          log,
+		Shards:           shards,
+		QueueDepth:       queue,
+		CheckpointPath:   ckpt,
+		CheckpointEvery:  every,
+		BinaryCheckpoint: binaryCheckpoint,
+		TraceBuffer:      traceBuffer,
+		Logger:           log,
 	})
 	if err := srv.Start(); err != nil {
 		return err

@@ -140,26 +140,71 @@ func buildTrail(tasks, pools int, seed int64, cases int, code string, actions in
 	return trail, nil
 }
 
-// streamJSONL writes the trail as NDJSON one entry at a time, flushing
-// after every line so a downstream reader (auditd, a pipe) sees each
-// event as it happens. rate > 0 paces the emission at that many events
-// per second.
+// minTickPeriod floors the pacer's ticker: above ~200 events/s a
+// per-entry sleep oversleeps more than the period itself (timer slop
+// is tens to hundreds of microseconds), so high rates emit small
+// bursts every few milliseconds instead of one entry per wakeup.
+const minTickPeriod = 5 * time.Millisecond
+
+// dueBy reports how many entries of a rate-paced stream should have
+// been emitted once elapsed time has passed: entry n is due at
+// n/rate seconds after the start. The schedule is absolute, so a
+// stalled writer (slow pipe, scheduler hiccup) catches up with one
+// burst instead of compounding the drift into a permanently slower
+// stream. rate <= 0 means everything is due.
+func dueBy(elapsed time.Duration, rate float64, total int) int {
+	if rate <= 0 {
+		return total
+	}
+	due := int(elapsed.Seconds()*rate) + 1
+	if due > total {
+		due = total
+	}
+	if due < 0 { // elapsed*rate overflowed int
+		due = total
+	}
+	return due
+}
+
+// streamJSONL writes the trail as NDJSON for live ingestion. rate > 0
+// paces emission at that many events per second against an absolute
+// schedule (see dueBy), flushing once per burst; unthrottled output
+// flushes per line so a downstream reader sees each event as it
+// happens.
 func streamJSONL(w *os.File, t *audit.Trail, rate float64) error {
 	bw := bufio.NewWriter(w)
-	var tick *time.Ticker
-	if rate > 0 {
-		tick = time.NewTicker(time.Duration(float64(time.Second) / rate))
-		defer tick.Stop()
-	}
-	for _, e := range t.Entries() {
-		if tick != nil {
-			<-tick.C
+	entries := t.Entries()
+	if rate <= 0 {
+		for _, e := range entries {
+			if err := audit.AppendJSONL(bw, e); err != nil {
+				return err
+			}
+			if err := bw.Flush(); err != nil {
+				return err
+			}
 		}
-		if err := audit.AppendJSONL(bw, e); err != nil {
-			return err
+		return nil
+	}
+	period := time.Duration(float64(time.Second) / rate)
+	if period < minTickPeriod {
+		period = minTickPeriod
+	}
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	start := time.Now()
+	emitted := 0
+	for emitted < len(entries) {
+		due := dueBy(time.Since(start), rate, len(entries))
+		for ; emitted < due; emitted++ {
+			if err := audit.AppendJSONL(bw, entries[emitted]); err != nil {
+				return err
+			}
 		}
 		if err := bw.Flush(); err != nil {
 			return err
+		}
+		if emitted < len(entries) {
+			<-tick.C
 		}
 	}
 	return nil

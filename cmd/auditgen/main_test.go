@@ -4,6 +4,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"repro/internal/audit"
 	"repro/internal/bpmn"
@@ -121,6 +122,71 @@ func TestStreamBuiltinHospital(t *testing.T) {
 		if g.Case != w.Case || g.Task != w.Task || g.User != w.User || !g.Time.Equal(w.Time) {
 			t.Fatalf("entry %d: got %+v want %+v", i, g, w)
 		}
+	}
+}
+
+func TestDueBy(t *testing.T) {
+	const total = 1000
+	// At the start exactly one entry is due; entry n is due at n/rate
+	// seconds.
+	if got := dueBy(0, 100, total); got != 1 {
+		t.Fatalf("dueBy(0) = %d, want 1", got)
+	}
+	if got := dueBy(time.Second, 100, total); got != 101 {
+		t.Fatalf("dueBy(1s, 100/s) = %d, want 101", got)
+	}
+	// A stalled writer catches up in one burst: the schedule is
+	// absolute, not relative to the last emission.
+	if got := dueBy(2500*time.Millisecond, 100, total); got != 251 {
+		t.Fatalf("dueBy(2.5s, 100/s) = %d, want 251", got)
+	}
+	// Monotone in elapsed time.
+	prev := 0
+	for ms := 0; ms <= 1000; ms += 7 {
+		got := dueBy(time.Duration(ms)*time.Millisecond, 50, total)
+		if got < prev {
+			t.Fatalf("dueBy not monotone: %d then %d at %dms", prev, got, ms)
+		}
+		prev = got
+	}
+	// Clamped at the trail length.
+	if got := dueBy(time.Hour, 100, total); got != total {
+		t.Fatalf("dueBy(1h) = %d, want %d", got, total)
+	}
+	// rate <= 0 means unthrottled: everything due.
+	if got := dueBy(0, 0, total); got != total {
+		t.Fatalf("dueBy(rate=0) = %d, want %d", got, total)
+	}
+	// Absurd elapsed*rate products clamp instead of going negative.
+	if got := dueBy(1<<60, 1e12, total); got != total {
+		t.Fatalf("dueBy(overflow) = %d, want %d", got, total)
+	}
+}
+
+// TestStreamPaced runs the paced emitter at a rate high enough that
+// the whole Figure 4 trail is due within a tick or two; the output
+// must still be byte-complete NDJSON.
+func TestStreamPaced(t *testing.T) {
+	dir := t.TempDir()
+	outPath := filepath.Join(dir, "feed.ndjson")
+	if err := run(0, 0, 0, 0, "", 0, "", outPath, "", "hospital", true, 5000); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := audit.ReadJSONL(f)
+	f.Close()
+	if err != nil {
+		t.Fatalf("paced NDJSON does not parse: %v", err)
+	}
+	want, err := cli.Builtin("hospital")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != want.Trail.Len() {
+		t.Fatalf("paced stream emitted %d entries, want %d", got.Len(), want.Trail.Len())
 	}
 }
 

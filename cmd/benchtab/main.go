@@ -13,10 +13,16 @@
 package main
 
 import (
+	"bufio"
+	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strings"
@@ -34,6 +40,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/petri"
 	"repro/internal/policy"
+	"repro/internal/server"
 	"repro/internal/workload"
 )
 
@@ -49,6 +56,9 @@ type benchRow struct {
 	Workers    int     `json:"workers,omitempty"`
 	NsPerOp    int64   `json:"ns_per_op"`
 	NsPerEntry float64 `json:"ns_per_entry,omitempty"`
+	// AllocsPerEntry records heap allocations per decoded entry for
+	// the P6 decode rows (testing.AllocsPerRun; exact, not timed).
+	AllocsPerEntry float64 `json:"allocs_per_entry,omitempty"`
 }
 
 var benchRows []benchRow
@@ -56,6 +66,11 @@ var benchRows []benchRow
 func record(r benchRow) { benchRows = append(benchRows, r) }
 
 func main() {
+	// Benchmark methodology (P3): parallel-scaling rows are only
+	// meaningful at the machine's real parallelism, so pin GOMAXPROCS
+	// to NumCPU explicitly and record both in the JSON output instead
+	// of inheriting whatever the environment set.
+	runtime.GOMAXPROCS(runtime.NumCPU())
 	expFlag := flag.String("exp", "", "comma-separated experiment ids (default: all)")
 	jsonFlag := flag.String("json", "", "write timed rows (P1, P3, P4, P5) as JSON to this file")
 	quickFlag := flag.Bool("quick", false, "fixed 100-iteration timing instead of ~1s adaptive runs")
@@ -85,7 +100,7 @@ func main() {
 		{"P3", expP3, "parallel case checking"},
 		{"P4", expP4, "Algorithm 1 vs naive enumeration; compiled automaton vs interpreter"},
 		{"P5", expP5, "detection & cost vs token replay; observer overhead"},
-		{"P6", expP6, "OR fan-out configuration growth"},
+		{"P6", expP6, "OR fan-out growth; raw-speed tier (decode, dispatch, minimize, binary boot)"},
 		{"P7", expP7, "well-foundedness detection"},
 		{"P8", expP8, "mimicry requires collusion"},
 	}
@@ -137,8 +152,9 @@ func main() {
 		out := struct {
 			Quick      bool       `json:"quick"`
 			GoMaxProcs int        `json:"gomaxprocs"`
+			NumCPU     int        `json:"numcpu"`
 			Rows       []benchRow `json:"rows"`
-		}{Quick: quickIters > 0, GoMaxProcs: runtime.GOMAXPROCS(0), Rows: best}
+		}{Quick: quickIters > 0, GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(), Rows: best}
 		data, err := json.MarshalIndent(out, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchtab: encoding %s: %v\n", *jsonFlag, err)
@@ -641,6 +657,7 @@ func expP3() error {
 	}
 	fmt.Printf("hospital-day load: %d entries across %d cases\n", store.Len(), cases)
 	fmt.Printf("%-9s %-12s\n", "workers", "time/sweep")
+	sweep := map[int]time.Duration{}
 	for _, workers := range []int{1, 2, 4, 8} {
 		d, err := bench(func() error {
 			_, err := core.CheckStoreParallel(checker, store, workers)
@@ -649,12 +666,28 @@ func expP3() error {
 		if err != nil {
 			return err
 		}
+		sweep[workers] = d
 		fmt.Printf("%-9d %-12v\n", workers, d)
 		record(benchRow{
 			Exp: "P3", Name: fmt.Sprintf("workers=%d", workers),
 			Entries: store.Len(), Workers: workers, NsPerOp: d.Nanoseconds(),
 			NsPerEntry: float64(d.Nanoseconds()) / float64(store.Len()),
 		})
+	}
+	// Scaling claim, guarded by real parallelism: on a box with 4+
+	// schedulable CPUs the 4-worker sweep must beat 1 worker by >1.5x.
+	// On smaller boxes (CI containers pinned to 1-2 CPUs) the workers
+	// time-slice one core and the claim is vacuous, so it is reported
+	// but not enforced — and quick mode's fixed iteration counts are
+	// too noisy to gate on either way.
+	if procs := runtime.GOMAXPROCS(0); procs >= 4 {
+		speedup := float64(sweep[1]) / float64(sweep[4])
+		fmt.Printf("parallel speedup at 4 workers (GOMAXPROCS=%d): %.2fx\n", procs, speedup)
+		if speedup <= 1.5 && quickIters == 0 {
+			return fmt.Errorf("parallel sweep speedup %.2fx at 4 workers, want >1.5x", speedup)
+		}
+	} else {
+		fmt.Printf("parallel speedup check skipped: GOMAXPROCS=%d < 4 (workers would time-slice)\n", procs)
 	}
 	return nil
 }
@@ -954,7 +987,480 @@ func expP6() error {
 		}
 		fmt.Printf("%-10d %-13d %-12v\n", branches, rep.PeakConfigurations, d)
 	}
+
+	// Raw-speed tier (DESIGN.md §13): the PR 6 performance story,
+	// measured end to end — zero-allocation NDJSON decode, batched
+	// shard dispatch, minimized-automaton replay, and binary
+	// artifact/checkpoint boot. These rows feed BENCH_pr6.json.
+	trail, doc, err := p6Doc()
+	if err != nil {
+		return err
+	}
+	if err := expP6decode(trail, doc); err != nil {
+		return err
+	}
+	if err := expP6dispatch(trail); err != nil {
+		return err
+	}
+	if err := expP6replay(); err != nil {
+		return err
+	}
+	if err := expP6boot(); err != nil {
+		return err
+	}
+	return expP6restore(trail)
+}
+
+// p6Reps is the measurement-round count for the manually timed P6
+// rows (minimum over rounds, like bench()'s quick mode).
+const p6Reps = 5
+
+// minTimed runs f p6Reps times and keeps the smallest duration it
+// reports — f times only the section under test and does its cleanup
+// (flush, shutdown) off the clock.
+func minTimed(f func() (time.Duration, error)) (time.Duration, error) {
+	best := time.Duration(-1)
+	for r := 0; r < p6Reps; r++ {
+		d, err := f()
+		if err != nil {
+			return 0, err
+		}
+		if best < 0 || d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+// p6Doc builds the shared P6 workload: a hospital-day trail and its
+// NDJSON document.
+func p6Doc() (*audit.Trail, []byte, error) {
+	sc, err := hospital.NewScenario()
+	if err != nil {
+		return nil, nil, err
+	}
+	trail, _, err := workload.HospitalDay(sc.Registry, hospital.TreatmentCode, 4000, 17)
+	if err != nil {
+		return nil, nil, err
+	}
+	var buf bytes.Buffer
+	for _, e := range trail.Entries() {
+		if err := audit.AppendJSONL(&buf, e); err != nil {
+			return nil, nil, err
+		}
+	}
+	return trail, buf.Bytes(), nil
+}
+
+// expP6decode compares the zero-allocation EntryScanner against a
+// plain bufio + encoding/json line decoder on the same document, and
+// asserts the strict-mode fast path really is allocation-free per
+// entry (exact, via testing.AllocsPerRun — not a timing claim).
+func expP6decode(trail *audit.Trail, doc []byte) error {
+	n := trail.Len()
+	sc := audit.NewEntryScanner(bytes.NewReader(nil), audit.DecodeOptions{})
+	rd := bytes.NewReader(doc)
+	scanAll := func() error {
+		rd.Reset(doc)
+		sc.Reset(rd)
+		count := 0
+		for sc.Scan() {
+			count++
+		}
+		if err := sc.Err(); err != nil {
+			return err
+		}
+		if count != n || sc.Fallbacks() != 0 {
+			return fmt.Errorf("scanned %d/%d entries, %d fallbacks", count, n, sc.Fallbacks())
+		}
+		return nil
+	}
+	if err := scanAll(); err != nil { // warm the intern tables
+		return err
+	}
+	dFast, err := minTimed(func() (time.Duration, error) {
+		t0 := time.Now()
+		err := scanAll()
+		return time.Since(t0), err
+	})
+	if err != nil {
+		return err
+	}
+	var scanErr error
+	allocs := testing.AllocsPerRun(3, func() {
+		if err := scanAll(); err != nil {
+			scanErr = err
+		}
+	}) / float64(n)
+	if scanErr != nil {
+		return scanErr
+	}
+	if allocs != 0 {
+		return fmt.Errorf("strict-mode NDJSON decode allocates %.4f/entry, want 0", allocs)
+	}
+
+	// The baseline: the wire shape through encoding/json, one line at
+	// a time — what DecodeJSONLEntries did before the scanner.
+	type wireEntry struct {
+		User   string    `json:"user"`
+		Role   string    `json:"role"`
+		Action string    `json:"action"`
+		Object string    `json:"object,omitempty"`
+		Task   string    `json:"task"`
+		Case   string    `json:"case"`
+		Time   time.Time `json:"time"`
+		Status string    `json:"status"`
+	}
+	lineBuf := make([]byte, 64<<10)
+	stdAll := func() error {
+		scn := bufio.NewScanner(bytes.NewReader(doc))
+		scn.Buffer(lineBuf, 1<<20)
+		count := 0
+		for scn.Scan() {
+			var w wireEntry
+			if err := json.Unmarshal(scn.Bytes(), &w); err != nil {
+				return err
+			}
+			count++
+		}
+		if err := scn.Err(); err != nil {
+			return err
+		}
+		if count != n {
+			return fmt.Errorf("stdlib decoded %d/%d entries", count, n)
+		}
+		return nil
+	}
+	dStd, err := minTimed(func() (time.Duration, error) {
+		t0 := time.Now()
+		err := stdAll()
+		return time.Since(t0), err
+	})
+	if err != nil {
+		return err
+	}
+	stdAllocs := testing.AllocsPerRun(3, func() {
+		if err := stdAll(); err != nil {
+			scanErr = err
+		}
+	}) / float64(n)
+	if scanErr != nil {
+		return scanErr
+	}
+	fmt.Printf("\nNDJSON decode (%d entries):\n", n)
+	fmt.Printf("%-16s %-12s %-12s %s\n", "decoder", "time/doc", "ns/entry", "allocs/entry")
+	fmt.Printf("%-16s %-12v %-12.1f %.2f\n", "scanner", dFast, float64(dFast.Nanoseconds())/float64(n), allocs)
+	fmt.Printf("%-16s %-12v %-12.1f %.2f\n", "encoding/json", dStd, float64(dStd.Nanoseconds())/float64(n), stdAllocs)
+	record(benchRow{
+		Exp: "P6", Name: "decode/scanner", Entries: n, NsPerOp: dFast.Nanoseconds(),
+		NsPerEntry: float64(dFast.Nanoseconds()) / float64(n), AllocsPerEntry: allocs,
+	})
+	record(benchRow{
+		Exp: "P6", Name: "decode/stdlib", Entries: n, NsPerOp: dStd.Nanoseconds(),
+		NsPerEntry: float64(dStd.Nanoseconds()) / float64(n), AllocsPerEntry: stdAllocs,
+	})
 	return nil
+}
+
+// expP6dispatch compares producer-side ingest throughput: one entry
+// per shard message (IngestEntry) vs batched per-case dispatch
+// (IngestEntries). Queues are deep enough that nothing blocks; the
+// timer covers only the producer loop, with the drain (Flush) and
+// Shutdown off the clock.
+func expP6dispatch(trail *audit.Trail) error {
+	sc, err := hospital.NewScenario()
+	if err != nil {
+		return err
+	}
+	roles, err := hospital.Roles()
+	if err != nil {
+		return err
+	}
+	entries := trail.Entries()
+	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+	run := func(batched bool) (time.Duration, error) {
+		return minTimed(func() (time.Duration, error) {
+			srv := server.New(sc.Registry, core.NewChecker(sc.Registry, roles),
+				server.Config{Shards: 4, QueueDepth: 1 << 18, Logger: quiet})
+			if err := srv.Start(); err != nil {
+				return 0, err
+			}
+			defer srv.Shutdown(context.Background())
+			t0 := time.Now()
+			if batched {
+				if n, ok := srv.IngestEntries(entries); !ok {
+					return 0, fmt.Errorf("batched ingest rejected after %d entries", n)
+				}
+			} else {
+				for i := range entries {
+					if !srv.IngestEntry(entries[i]) {
+						return 0, fmt.Errorf("single ingest rejected at entry %d", i)
+					}
+				}
+			}
+			d := time.Since(t0)
+			srv.Flush()
+			return d, nil
+		})
+	}
+	dSingle, err := run(false)
+	if err != nil {
+		return err
+	}
+	dBatched, err := run(true)
+	if err != nil {
+		return err
+	}
+	n := float64(len(entries))
+	speedup := float64(dSingle) / float64(dBatched)
+	fmt.Printf("\nshard dispatch (%d entries, producer side):\n", len(entries))
+	fmt.Printf("%-16s %-12s %s\n", "dispatch", "time/doc", "ns/entry")
+	fmt.Printf("%-16s %-12v %.1f\n", "single", dSingle, float64(dSingle.Nanoseconds())/n)
+	fmt.Printf("%-16s %-12v %.1f   (%.1fx)\n", "batched", dBatched, float64(dBatched.Nanoseconds())/n, speedup)
+	record(benchRow{
+		Exp: "P6", Name: "dispatch/single", Entries: len(entries), NsPerOp: dSingle.Nanoseconds(),
+		NsPerEntry: float64(dSingle.Nanoseconds()) / n,
+	})
+	record(benchRow{
+		Exp: "P6", Name: "dispatch/batched", Entries: len(entries), NsPerOp: dBatched.Nanoseconds(),
+		NsPerEntry: float64(dBatched.Nanoseconds()) / n,
+	})
+	// Quick mode's short rounds are scheduler noise on shared CI boxes;
+	// the checked-in BENCH_pr6.json is generated in adaptive mode where
+	// the claim must hold.
+	if speedup < 2 && quickIters == 0 {
+		return fmt.Errorf("batched dispatch only %.2fx over single-entry, want >=2x", speedup)
+	}
+	return nil
+}
+
+// expP6replay compares table-driven replay on the dense vs the
+// Hopcroft-minimized automaton (same purpose, same trail; reports are
+// proven byte-identical by the core differential tests).
+func expP6replay() error {
+	reg := core.NewRegistry()
+	if _, err := reg.Register(loopedProcess(), "LP"); err != nil {
+		return err
+	}
+	dense := core.NewChecker(reg, nil)
+	dense.UseCompiled = true
+	min := core.NewChecker(reg, nil)
+	min.UseCompiled = true
+	min.MinimizeAutomata = true
+	dd, err := dense.EnsureCompiled("Loop")
+	if err != nil {
+		return err
+	}
+	dm, err := min.EnsureCompiled("Loop")
+	if err != nil {
+		return err
+	}
+	if !dm.Minimized {
+		return fmt.Errorf("MinimizeAutomata checker compiled an unminimized table")
+	}
+	fmt.Printf("\nminimized replay: dense %d states x %d symbols, minimized %d states x %d columns\n",
+		dd.NumStates(), dd.NumSymbols(), dm.NumStates(), dm.Stats().Columns)
+	trail := longTrail(5000)
+	caseID := trail.Cases()[0]
+	check := func(c *core.Checker) func() error {
+		return func() error {
+			rep, err := c.CheckCase(trail, caseID)
+			if err != nil {
+				return err
+			}
+			if !rep.Compliant {
+				return fmt.Errorf("rejected at %d", rep.StepsReplayed)
+			}
+			return nil
+		}
+	}
+	if err := check(min)(); err != nil { // warm both engines
+		return err
+	}
+	if err := check(dense)(); err != nil {
+		return err
+	}
+	dDense, err := bench(check(dense))
+	if err != nil {
+		return err
+	}
+	dMin, err := bench(check(min))
+	if err != nil {
+		return err
+	}
+	n := float64(trail.Len())
+	fmt.Printf("%-16s %-12s %s\n", "table", "time/check", "ns/entry")
+	fmt.Printf("%-16s %-12v %.1f\n", "dense", dDense, float64(dDense.Nanoseconds())/n)
+	fmt.Printf("%-16s %-12v %.1f\n", "minimized", dMin, float64(dMin.Nanoseconds())/n)
+	record(benchRow{
+		Exp: "P6", Name: "replay/dense", Entries: trail.Len(), NsPerOp: dDense.Nanoseconds(),
+		NsPerEntry: float64(dDense.Nanoseconds()) / n,
+	})
+	record(benchRow{
+		Exp: "P6", Name: "replay/minimized", Entries: trail.Len(), NsPerOp: dMin.Nanoseconds(),
+		NsPerEntry: float64(dMin.Nanoseconds()) / n,
+	})
+	return nil
+}
+
+// expP6boot compares automaton artifact load time: the gzip+JSON
+// envelope vs the flat binary container, same DFA.
+func expP6boot() error {
+	p, err := hospital.Treatment()
+	if err != nil {
+		return err
+	}
+	roles, err := hospital.Roles()
+	if err != nil {
+		return err
+	}
+	d, err := encode.CompileProcess(p, roles)
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "benchtab-p6-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	jsonPath, err := encode.SaveAutomaton(dir, d)
+	if err != nil {
+		return err
+	}
+	binPath, err := encode.SaveAutomatonBinary(dir, d)
+	if err != nil {
+		return err
+	}
+	// LoadAutomaton prefers the binary artifact when both exist, so
+	// time the envelope from its own directory.
+	jsonDir := filepath.Join(dir, "json-only")
+	if err := os.MkdirAll(jsonDir, 0o755); err != nil {
+		return err
+	}
+	if err := os.Rename(jsonPath, encode.ArtifactPath(jsonDir, d.Fingerprint)); err != nil {
+		return err
+	}
+	const loads = 25
+	timeLoads := func(dir string) (time.Duration, error) {
+		return minTimed(func() (time.Duration, error) {
+			t0 := time.Now()
+			for i := 0; i < loads; i++ {
+				if _, err := encode.LoadAutomaton(dir, d.Fingerprint); err != nil {
+					return 0, err
+				}
+			}
+			return time.Since(t0) / loads, nil
+		})
+	}
+	dJSON, err := timeLoads(jsonDir)
+	if err != nil {
+		return err
+	}
+	dBin, err := timeLoads(dir)
+	if err != nil {
+		return err
+	}
+	jsonSize := fileSize(encode.ArtifactPath(jsonDir, d.Fingerprint))
+	binSize := fileSize(binPath)
+	fmt.Printf("\nartifact boot (%d states, %d symbols):\n", d.NumStates(), d.NumSymbols())
+	fmt.Printf("%-16s %-12s %s\n", "format", "time/load", "bytes")
+	fmt.Printf("%-16s %-12v %d\n", "gzip+json", dJSON, jsonSize)
+	fmt.Printf("%-16s %-12v %d   (%.1fx faster)\n", "binary", dBin, binSize, float64(dJSON)/float64(dBin))
+	record(benchRow{
+		Exp: "P6", Name: "boot/artifact-json", Entries: d.NumStates(), NsPerOp: dJSON.Nanoseconds(),
+		NsPerEntry: float64(dJSON.Nanoseconds()) / float64(d.NumStates()),
+	})
+	record(benchRow{
+		Exp: "P6", Name: "boot/artifact-binary", Entries: d.NumStates(), NsPerOp: dBin.Nanoseconds(),
+		NsPerEntry: float64(dBin.Nanoseconds()) / float64(d.NumStates()),
+	})
+	return nil
+}
+
+// expP6restore compares server boot from a JSON vs a binary
+// checkpoint holding the same hospital-day state. The timed section
+// is New+Start (restore runs inside Start); shutdown is off the
+// clock.
+func expP6restore(trail *audit.Trail) error {
+	sc, err := hospital.NewScenario()
+	if err != nil {
+		return err
+	}
+	roles, err := hospital.Roles()
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "benchtab-p6-ckpt-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+	cfg := func(path string, binary bool) server.Config {
+		return server.Config{
+			Shards: 4, QueueDepth: 1 << 18, CheckpointPath: path,
+			BinaryCheckpoint: binary, CheckpointEvery: time.Hour, Logger: quiet,
+		}
+	}
+	write := func(path string, binary bool) error {
+		srv := server.New(sc.Registry, core.NewChecker(sc.Registry, roles), cfg(path, binary))
+		if err := srv.Start(); err != nil {
+			return err
+		}
+		if n, ok := srv.IngestEntries(trail.Entries()); !ok {
+			return fmt.Errorf("checkpoint ingest rejected after %d entries", n)
+		}
+		return srv.Shutdown(context.Background())
+	}
+	jsonPath := filepath.Join(dir, "ckpt.json")
+	binPath := filepath.Join(dir, "ckpt.bin")
+	if err := write(jsonPath, false); err != nil {
+		return err
+	}
+	if err := write(binPath, true); err != nil {
+		return err
+	}
+	timeRestore := func(path string, binary bool) (time.Duration, error) {
+		return minTimed(func() (time.Duration, error) {
+			t0 := time.Now()
+			srv := server.New(sc.Registry, core.NewChecker(sc.Registry, roles), cfg(path, binary))
+			if err := srv.Start(); err != nil {
+				return 0, err
+			}
+			d := time.Since(t0)
+			return d, srv.Shutdown(context.Background())
+		})
+	}
+	dJSON, err := timeRestore(jsonPath, false)
+	if err != nil {
+		return err
+	}
+	dBin, err := timeRestore(binPath, true)
+	if err != nil {
+		return err
+	}
+	n := float64(trail.Len())
+	fmt.Printf("\ncheckpoint restore (%d-entry day):\n", trail.Len())
+	fmt.Printf("%-16s %-12s %s\n", "format", "time/boot", "bytes")
+	fmt.Printf("%-16s %-12v %d\n", "json", dJSON, fileSize(jsonPath))
+	fmt.Printf("%-16s %-12v %d   (%.1fx faster)\n", "binary", dBin, fileSize(binPath), float64(dJSON)/float64(dBin))
+	record(benchRow{
+		Exp: "P6", Name: "restore/checkpoint-json", Entries: trail.Len(), NsPerOp: dJSON.Nanoseconds(),
+		NsPerEntry: float64(dJSON.Nanoseconds()) / n,
+	})
+	record(benchRow{
+		Exp: "P6", Name: "restore/checkpoint-binary", Entries: trail.Len(), NsPerOp: dBin.Nanoseconds(),
+		NsPerEntry: float64(dBin.Nanoseconds()) / n,
+	})
+	return nil
+}
+
+func fileSize(path string) int64 {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return -1
+	}
+	return fi.Size()
 }
 
 func expP7() error {

@@ -1,7 +1,6 @@
 package audit
 
 import (
-	"bufio"
 	"encoding/csv"
 	"encoding/json"
 	"errors"
@@ -177,35 +176,19 @@ func DecodeJSONL(r io.Reader, opts DecodeOptions) (*Trail, *Quarantine, error) {
 }
 
 // DecodeJSONLEntries is DecodeJSONL without the chronological sort (see
-// DecodeCSVEntries).
+// DecodeCSVEntries). It runs on the zero-allocation EntryScanner; the
+// scanner's slow-path escape hatch keeps strict errors and quarantine
+// records identical to the historical bufio+encoding/json decoder.
 func DecodeJSONLEntries(r io.Reader, opts DecodeOptions) ([]Entry, *Quarantine, error) {
-	q := &Quarantine{}
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64<<10), maxJSONLLine)
+	sc := NewEntryScanner(r, opts)
 	var entries []Entry
-	line := 0
 	for sc.Scan() {
-		line++
-		raw := sc.Text()
-		if strings.TrimSpace(raw) == "" {
-			continue
-		}
-		e, err := entryFromJSON([]byte(raw))
-		if err != nil {
-			if !opts.Lenient {
-				return nil, q, fmt.Errorf("audit: JSONL line %d: %w", line, err)
-			}
-			if qerr := q.add(line, raw, err, opts.MaxErrors); qerr != nil {
-				return nil, q, qerr
-			}
-			continue
-		}
-		entries = append(entries, e)
+		entries = append(entries, *sc.Entry())
 	}
 	if err := sc.Err(); err != nil {
-		return nil, q, fmt.Errorf("audit: reading JSONL line %d: %w", line+1, err)
+		return nil, sc.Quarantine(), err
 	}
-	return entries, q, nil
+	return entries, sc.Quarantine(), nil
 }
 
 // entryFromJSON decodes one JSONL record.

@@ -1,0 +1,141 @@
+package automaton_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/automaton"
+	"repro/internal/bpmn"
+	"repro/internal/hospital"
+)
+
+// minimizedPair compiles the same input dense and minimized.
+func minimizedPair(t *testing.T, p *bpmn.Process, mut func(*automaton.CompileInput)) (dense, min *automaton.DFA) {
+	t.Helper()
+	dense = compileProcess(t, p, mut)
+	min = compileProcess(t, p, func(in *automaton.CompileInput) {
+		if mut != nil {
+			mut(in)
+		}
+		in.Minimize = true
+	})
+	return dense, min
+}
+
+// walkCompare drives both automata through the same random entry
+// stream (valid and garbage tasks/roles, failures) and demands the
+// same reject decisions and identical observable state metadata at
+// every live step.
+func walkCompare(t *testing.T, dense, min *automaton.DFA, seed int64, steps int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	tasks := append(append([]string{}, dense.Tasks...), "Zed", "")
+	roles := append(append([]string{}, dense.PoolRoles...), "Janitor", "")
+	ds, ms := dense.Start, min.Start
+	for i := 0; i < steps; i++ {
+		task := tasks[rng.Intn(len(tasks))]
+		role := roles[rng.Intn(len(roles))]
+		fail := rng.Intn(6) == 0
+		dnext, mnext := automaton.Reject, automaton.Reject
+		if sym, ok := dense.SymbolFor(task, role, fail); ok {
+			dnext = dense.Step(ds, sym)
+		}
+		if sym, ok := min.SymbolFor(task, role, fail); ok {
+			mnext = min.Step(ms, sym)
+		}
+		if (dnext == automaton.Reject) != (mnext == automaton.Reject) {
+			t.Fatalf("step %d (%s/%s fail=%v): dense -> %d, minimized -> %d",
+				i, task, role, fail, dnext, mnext)
+		}
+		if dnext == automaton.Reject {
+			ds, ms = dense.Start, min.Start
+			continue
+		}
+		a, b := &dense.States[dnext], &min.States[mnext]
+		if a.CanComplete != b.CanComplete || len(a.Members) != len(b.Members) ||
+			!reflect.DeepEqual(a.Expected, b.Expected) ||
+			!reflect.DeepEqual(a.ActiveTasks, b.ActiveTasks) ||
+			!reflect.DeepEqual(a.Active, b.Active) ||
+			!reflect.DeepEqual(a.Fire, b.Fire) {
+			t.Fatalf("step %d: observable metadata diverges:\ndense:     %+v\nminimized: %+v", i, a, b)
+		}
+		ds, ms = dnext, mnext
+	}
+}
+
+func TestMinimizeEquivalence(t *testing.T) {
+	treatment, err := hospital.Treatment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	trial, err := hospital.ClinicalTrial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		p    *bpmn.Process
+		mut  func(*automaton.CompileInput)
+	}{
+		{"treatment", treatment, nil},
+		{"trial", trial, nil},
+		{"treatment-lenient", treatment, func(in *automaton.CompileInput) { in.StrictFailureTask = false }},
+		{"treatment-no-absorption", treatment, func(in *automaton.CompileInput) { in.DisableAbsorption = true }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dense, min := minimizedPair(t, tc.p, tc.mut)
+			if !min.Minimized || min.Columns <= 0 || len(min.SymMap) != dense.NumSymbols() {
+				t.Fatalf("minimization fields: minimized=%v columns=%d symmap=%d (symbols %d)",
+					min.Minimized, min.Columns, len(min.SymMap), dense.NumSymbols())
+			}
+			if min.NumStates() > dense.NumStates() {
+				t.Fatalf("minimized has %d states, dense %d", min.NumStates(), dense.NumStates())
+			}
+			if int(min.Columns) >= dense.NumSymbols() {
+				t.Fatalf("alphabet compaction did nothing: %d columns for %d symbols",
+					min.Columns, dense.NumSymbols())
+			}
+			if min.Fingerprint == dense.Fingerprint {
+				t.Fatal("minimized and dense artifacts share a fingerprint")
+			}
+			walkCompare(t, dense, min, 7, 4000)
+		})
+	}
+}
+
+// TestMinimizeDeterministic pins the pass's output: same input, same
+// tables, byte for byte — the property the artifact cache rests on.
+func TestMinimizeDeterministic(t *testing.T) {
+	p, err := hospital.Treatment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := func(in *automaton.CompileInput) { in.Minimize = true }
+	a := compileProcess(t, p, mut)
+	b := compileProcess(t, p, mut)
+	if a.Fingerprint != b.Fingerprint || a.Start != b.Start || a.Columns != b.Columns {
+		t.Fatalf("headers differ: %v/%v %d/%d %d/%d", a.Fingerprint, b.Fingerprint, a.Start, b.Start, a.Columns, b.Columns)
+	}
+	if !reflect.DeepEqual(a.Delta, b.Delta) || !reflect.DeepEqual(a.SymMap, b.SymMap) ||
+		!reflect.DeepEqual(a.States, b.States) {
+		t.Fatal("minimized tables are not deterministic")
+	}
+}
+
+// TestMinimizeSnapshotLookups checks the snapshot contract: every
+// minimized state's member set resolves through StateOf (its own
+// export is a real state key), so compiled->compiled restores promote.
+func TestMinimizeSnapshotLookups(t *testing.T) {
+	p, err := hospital.Treatment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	min := compileProcess(t, p, func(in *automaton.CompileInput) { in.Minimize = true })
+	for i := range min.States {
+		id, ok := min.StateOf(min.States[i].Members)
+		if !ok || id != int32(i) {
+			t.Fatalf("state %d member set resolves to (%d, %v)", i, id, ok)
+		}
+	}
+}

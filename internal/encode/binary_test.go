@@ -1,0 +1,214 @@
+package encode_test
+
+// Compatibility tests for the flat binary artifact (DESIGN.md §13):
+// both containers — binary and gzip+JSON — must decode to identical
+// DFA tables and fingerprints, and a damaged binary file must be
+// rejected, never half-loaded.
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"reflect"
+	"testing"
+
+	"repro/internal/automaton"
+	"repro/internal/encode"
+	"repro/internal/hospital"
+)
+
+func compileTreatmentMinimized(t *testing.T) *automaton.DFA {
+	t.Helper()
+	p, err := hospital.Treatment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	roles, err := hospital.Roles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := encode.CompileInput(p, roles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.System = encode.NewSystem(p)
+	in.Minimize = true
+	d, err := automaton.Compile(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// requireSameDFA demands two decoded automata agree on every table the
+// replay path touches.
+func requireSameDFA(t *testing.T, a, b *automaton.DFA) {
+	t.Helper()
+	if a.Fingerprint != b.Fingerprint || a.Start != b.Start ||
+		a.Minimized != b.Minimized || a.Columns != b.Columns {
+		t.Fatalf("identity differs: %s vs %s", a.Stats(), b.Stats())
+	}
+	if !reflect.DeepEqual(a.Delta, b.Delta) || !reflect.DeepEqual(a.SymMap, b.SymMap) {
+		t.Fatal("transition tables differ")
+	}
+	if !reflect.DeepEqual(a.States, b.States) || !reflect.DeepEqual(a.Configs, b.Configs) {
+		t.Fatal("state or config tables differ")
+	}
+	if !reflect.DeepEqual(a.Terms, b.Terms) || !reflect.DeepEqual(a.ActiveSets, b.ActiveSets) {
+		t.Fatal("term or active-set tables differ")
+	}
+	if !reflect.DeepEqual(a.RoleClass, b.RoleClass) || !reflect.DeepEqual(a.Classes, b.Classes) {
+		t.Fatal("role class tables differ")
+	}
+}
+
+func TestBinaryArtifactRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		compile func(*testing.T) *automaton.DFA
+	}{
+		{"dense", compileTreatment},
+		{"minimized", compileTreatmentMinimized},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			d := tc.compile(t)
+			var bin bytes.Buffer
+			if err := encode.WriteAutomatonBinary(&bin, d); err != nil {
+				t.Fatal(err)
+			}
+			got, err := encode.ReadAutomatonBinary(bin.Bytes())
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameDFA(t, d, got)
+
+			// The two container formats must be interchangeable: the
+			// gzip+JSON envelope of the same automaton decodes to the
+			// same tables.
+			var env bytes.Buffer
+			if err := encode.WriteAutomaton(&env, d); err != nil {
+				t.Fatal(err)
+			}
+			fromJSON, err := encode.ReadAutomaton(bytes.NewReader(env.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameDFA(t, got, fromJSON)
+		})
+	}
+}
+
+// TestBinaryArtifactSaveLoad pins the loader's format auto-detection:
+// with only a binary artifact on disk LoadAutomaton uses it, with only
+// the envelope it falls back, and a stale address is rejected.
+func TestBinaryArtifactSaveLoad(t *testing.T) {
+	d := compileTreatment(t)
+	dir := t.TempDir()
+	path, err := encode.SaveAutomatonBinary(dir, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path != encode.BinaryArtifactPath(dir, d.Fingerprint) {
+		t.Fatalf("saved to %q, want content address", path)
+	}
+	got, err := encode.LoadAutomaton(dir, d.Fingerprint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameDFA(t, d, got)
+
+	// Binary under a wrong content address is a mismatch, not a load.
+	if err := os.Rename(path, encode.BinaryArtifactPath(dir, "deadbeef")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := encode.LoadAutomaton(dir, "deadbeef"); !errors.Is(err, encode.ErrArtifactMismatch) {
+		t.Fatalf("mismatched binary artifact: err = %v, want ErrArtifactMismatch", err)
+	}
+}
+
+func TestBinaryArtifactRejectsCorruption(t *testing.T) {
+	d := compileTreatment(t)
+	var buf bytes.Buffer
+	if err := encode.WriteAutomatonBinary(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	img := buf.Bytes()
+
+	// Wrong magic.
+	if _, err := encode.ReadAutomatonBinary([]byte("not a container")); !errors.Is(err, encode.ErrArtifactMismatch) {
+		t.Fatalf("bad magic accepted: %v", err)
+	}
+	// Truncation at every interesting boundary.
+	for _, n := range []int{0, 7, 16, 23, len(img) / 2, len(img) - 1} {
+		if _, err := encode.ReadAutomatonBinary(img[:n]); err == nil {
+			t.Fatalf("truncated image (%d bytes) accepted", n)
+		}
+	}
+	// A single flipped payload byte fails the CRC.
+	bad := append([]byte(nil), img...)
+	bad[len(bad)-1] ^= 0xff
+	if _, err := encode.ReadAutomatonBinary(bad); !errors.Is(err, encode.ErrArtifactMismatch) {
+		t.Fatalf("corrupt payload accepted: %v", err)
+	}
+	// Wrong container kind.
+	var ckpt bytes.Buffer
+	if err := encode.WriteContainer(&ckpt, encode.KindCheckpoint, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := encode.ReadAutomatonBinary(ckpt.Bytes()); !errors.Is(err, encode.ErrArtifactMismatch) {
+		t.Fatalf("checkpoint container accepted as automaton: %v", err)
+	}
+}
+
+func TestContainerSections(t *testing.T) {
+	secs := []encode.Section{
+		{ID: 9, Data: []byte("alpha")},
+		{ID: 4, Data: nil},
+		{ID: 7, Data: encode.Int32Section([]int32{-1, 0, 1 << 20})},
+	}
+	var buf bytes.Buffer
+	if err := encode.WriteContainer(&buf, encode.KindCheckpoint, secs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := encode.ReadContainer(buf.Bytes(), encode.KindCheckpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got[9]) != "alpha" || len(got[4]) != 0 {
+		t.Fatalf("sections round-tripped wrong: %q %q", got[9], got[4])
+	}
+	ints, err := encode.ReadInt32Section(got[7])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ints, []int32{-1, 0, 1 << 20}) {
+		t.Fatalf("int32 section round-tripped to %v", ints)
+	}
+	if _, err := encode.ReadInt32Section([]byte{1, 2, 3}); err == nil {
+		t.Fatal("ragged int32 section accepted")
+	}
+}
+
+func TestStringTableSection(t *testing.T) {
+	for _, tc := range [][]string{
+		nil,
+		{""},
+		{"a", "", "long \x00 binary \n term", "a"},
+	} {
+		got, err := encode.ReadStringTableSection(encode.StringTableSection(tc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(tc) {
+			t.Fatalf("%d strings round-tripped to %d", len(tc), len(got))
+		}
+		for i := range tc {
+			if got[i] != tc[i] {
+				t.Fatalf("string %d: %q != %q", i, got[i], tc[i])
+			}
+		}
+	}
+	if _, err := encode.ReadStringTableSection([]byte{0xff, 0xff, 0xff, 0x7f}); err == nil {
+		t.Fatal("oversized string table header accepted")
+	}
+}

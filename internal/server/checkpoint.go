@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/encode"
 )
 
 // Checkpointing: the server periodically (and on shutdown, after the
@@ -124,10 +125,14 @@ func (s *Server) writeCheckpoint(dumps []shardDump) error {
 		return fmt.Errorf("server: checkpoint temp file: %w", err)
 	}
 	defer os.Remove(tmp.Name())
-	enc := json.NewEncoder(tmp)
-	if err := enc.Encode(&file); err != nil {
+	if s.cfg.BinaryCheckpoint {
+		err = writeCheckpointBinary(tmp, &file)
+	} else if err = json.NewEncoder(tmp).Encode(&file); err != nil {
+		err = fmt.Errorf("server: encoding checkpoint: %w", err)
+	}
+	if err != nil {
 		tmp.Close()
-		return fmt.Errorf("server: encoding checkpoint: %w", err)
+		return err
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
@@ -187,20 +192,27 @@ func (s *Server) restore() error {
 	if s.cfg.CheckpointPath == "" {
 		return nil
 	}
-	f, err := os.Open(s.cfg.CheckpointPath)
+	data, err := os.ReadFile(s.cfg.CheckpointPath)
 	if errors.Is(err, fs.ErrNotExist) {
 		return nil
 	}
 	if err != nil {
 		return fmt.Errorf("server: opening checkpoint: %w", err)
 	}
-	defer f.Close()
 	var file checkpointFile
-	if err := json.NewDecoder(f).Decode(&file); err != nil {
-		return fmt.Errorf("server: decoding checkpoint %s: %w", s.cfg.CheckpointPath, err)
-	}
-	if file.Version != checkpointVersion {
-		return fmt.Errorf("server: unsupported checkpoint version %d", file.Version)
+	if encode.IsBinaryContainer(data) {
+		bf, err := readCheckpointBinary(data)
+		if err != nil {
+			return fmt.Errorf("server: decoding checkpoint %s: %w", s.cfg.CheckpointPath, err)
+		}
+		file = *bf
+	} else {
+		if err := json.Unmarshal(data, &file); err != nil {
+			return fmt.Errorf("server: decoding checkpoint %s: %w", s.cfg.CheckpointPath, err)
+		}
+		if file.Version != checkpointVersion {
+			return fmt.Errorf("server: unsupported checkpoint version %d", file.Version)
+		}
 	}
 	if file.Monitor != nil {
 		// Split cases by hash; every per-shard state shares the full

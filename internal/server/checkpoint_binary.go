@@ -1,0 +1,128 @@
+package server
+
+// Binary (v2) checkpoints: the same logical content as the JSON
+// checkpointFile, packed into the flat binary container from
+// internal/encode (DESIGN.md §13). The dominant cost of a JSON
+// checkpoint is string-escaping the monitor's canonical COWS terms —
+// long, punctuation-heavy strings — on every write and unescaping
+// them on every boot; the binary format stores that table as a raw
+// string-table section and keeps only the small, irregular remainder
+// (case metadata, views, quarantine) as JSON sections. Restore sniffs
+// the container magic, so either format restores regardless of the
+// BinaryCheckpoint flag — the flag only selects what gets written.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/encode"
+)
+
+// binaryCheckpointVersion is the checkpoint format version carried in
+// binary containers ("v2": same cut semantics, flat encoding).
+const binaryCheckpointVersion = 2
+
+// Checkpoint section ids.
+const (
+	secCkptMeta       = uint32(1) // JSON: version, timestamp, totals
+	secCkptTerms      = uint32(2) // string table: monitor state terms
+	secCkptCases      = uint32(3) // JSON: case snapshots (StateRef into terms)
+	secCkptViews      = uint32(4) // JSON: case views
+	secCkptQuarantine = uint32(5) // JSON: held quarantine records
+)
+
+// binCkptMeta is the binary checkpoint's JSON metadata section.
+type binCkptMeta struct {
+	Version         int   `json:"version"`
+	SavedUnix       int64 `json:"saved_unix"`
+	MonitorVersion  int   `json:"monitor_version,omitempty"`
+	QuarantineTotal int64 `json:"quarantine_total,omitempty"`
+}
+
+// writeCheckpointBinary packs the assembled checkpoint into a binary
+// container on w.
+func writeCheckpointBinary(w io.Writer, file *checkpointFile) error {
+	meta := binCkptMeta{
+		Version:         binaryCheckpointVersion,
+		SavedUnix:       file.SavedUnix,
+		QuarantineTotal: file.QuarantineTotal,
+	}
+	var terms []string
+	var cases map[string]core.CaseSnapshot
+	if file.Monitor != nil {
+		meta.MonitorVersion = file.Monitor.Version
+		terms = file.Monitor.States
+		cases = file.Monitor.Cases
+	}
+	metaJSON, err := json.Marshal(&meta)
+	if err != nil {
+		return fmt.Errorf("server: encoding checkpoint meta: %w", err)
+	}
+	casesJSON, err := json.Marshal(cases)
+	if err != nil {
+		return fmt.Errorf("server: encoding checkpoint cases: %w", err)
+	}
+	viewsJSON, err := json.Marshal(file.Views)
+	if err != nil {
+		return fmt.Errorf("server: encoding checkpoint views: %w", err)
+	}
+	quarJSON, err := json.Marshal(file.Quarantine)
+	if err != nil {
+		return fmt.Errorf("server: encoding checkpoint quarantine: %w", err)
+	}
+	return encode.WriteContainer(w, encode.KindCheckpoint, []encode.Section{
+		{ID: secCkptMeta, Data: metaJSON},
+		{ID: secCkptTerms, Data: encode.StringTableSection(terms)},
+		{ID: secCkptCases, Data: casesJSON},
+		{ID: secCkptViews, Data: viewsJSON},
+		{ID: secCkptQuarantine, Data: quarJSON},
+	})
+}
+
+// readCheckpointBinary decodes a binary checkpoint image back into the
+// logical checkpointFile shape restore splits across shards.
+func readCheckpointBinary(data []byte) (*checkpointFile, error) {
+	secs, err := encode.ReadContainer(data, encode.KindCheckpoint)
+	if err != nil {
+		return nil, err
+	}
+	var meta binCkptMeta
+	if err := json.Unmarshal(secs[secCkptMeta], &meta); err != nil {
+		return nil, fmt.Errorf("server: checkpoint meta section: %w", err)
+	}
+	if meta.Version != binaryCheckpointVersion {
+		return nil, fmt.Errorf("server: unsupported binary checkpoint version %d", meta.Version)
+	}
+	terms, err := encode.ReadStringTableSection(secs[secCkptTerms])
+	if err != nil {
+		return nil, fmt.Errorf("server: checkpoint terms section: %w", err)
+	}
+	file := &checkpointFile{
+		Version:         checkpointVersion,
+		SavedUnix:       meta.SavedUnix,
+		QuarantineTotal: meta.QuarantineTotal,
+	}
+	var cases map[string]core.CaseSnapshot
+	if err := json.Unmarshal(secs[secCkptCases], &cases); err != nil {
+		return nil, fmt.Errorf("server: checkpoint cases section: %w", err)
+	}
+	if cases != nil || len(terms) > 0 {
+		mv := meta.MonitorVersion
+		if mv == 0 {
+			mv = 2
+		}
+		if cases == nil {
+			cases = map[string]core.CaseSnapshot{}
+		}
+		file.Monitor = &core.MonitorState{Version: mv, States: terms, Cases: cases}
+	}
+	if err := json.Unmarshal(secs[secCkptViews], &file.Views); err != nil {
+		return nil, fmt.Errorf("server: checkpoint views section: %w", err)
+	}
+	if err := json.Unmarshal(secs[secCkptQuarantine], &file.Quarantine); err != nil {
+		return nil, fmt.Errorf("server: checkpoint quarantine section: %w", err)
+	}
+	return file, nil
+}

@@ -1,0 +1,104 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/encode"
+)
+
+// TestBinaryCheckpointRoundTrip mirrors TestCheckpointRoundTrip with
+// BinaryCheckpoint on: the snapshot is a flat binary container, the
+// restart auto-detects it (into a JSON-writing server, crossing the
+// formats), and the verdicts, entry counts and quarantine survive.
+func TestBinaryCheckpointRoundTrip(t *testing.T) {
+	sc := hospitalScenario(t)
+	path := filepath.Join(t.TempDir(), "ckpt.bin")
+
+	cut := sc.Trail.Len() / 2
+	head := audit.NewTrail(sc.Trail.Entries()[:cut])
+	tail := audit.NewTrail(sc.Trail.Entries()[cut:])
+
+	srv1, ts1 := startServer(t, sc, Config{Shards: 4, CheckpointPath: path, BinaryCheckpoint: true})
+	body := append([]byte("this is not json\n"), ndjson(t, head)...)
+	resp, res := post(t, ts1.URL+"/v1/events?wait=1", "application/x-ndjson", body)
+	if resp.StatusCode != http.StatusAccepted || res.Accepted != cut || res.Quarantined != 1 {
+		t.Fatalf("head ingest: %s %+v", resp.Status, res)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv1.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	ts1.Close()
+
+	// The file on disk really is the binary container, not JSON.
+	img, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !encode.IsBinaryContainer(img) {
+		t.Fatalf("checkpoint does not start with the container magic: % x", img[:8])
+	}
+
+	// Restore into a JSON-writing server with a different shard count:
+	// restore sniffs the format, BinaryCheckpoint only governs writes.
+	srv2, ts2 := startServer(t, sc, Config{Shards: 7, CheckpointPath: path})
+	resp, res = post(t, ts2.URL+"/v1/events?wait=1", "application/x-ndjson", ndjson(t, tail))
+	if resp.StatusCode != http.StatusAccepted || res.Accepted != sc.Trail.Len()-cut {
+		t.Fatalf("tail ingest: %s %+v", resp.Status, res)
+	}
+
+	got := getCases(t, ts2.URL+"/v1/cases")
+	assertOutcomes(t, got, expectedOutcomes(t, sc, sc.Trail))
+	for _, v := range got.Cases {
+		if n := sc.Trail.ByCase(v.Case).Len(); v.Entries != n {
+			t.Errorf("case %s: %d entries after restore+tail, want %d", v.Case, v.Entries, n)
+		}
+	}
+	code, qbody := getBody(t, ts2.URL+"/v1/quarantine")
+	if code != http.StatusOK || !strings.Contains(qbody, "this is not json") {
+		t.Errorf("quarantine after restore = %d %q", code, qbody)
+	}
+	if err := srv2.Shutdown(ctx); err != nil {
+		t.Fatalf("second shutdown: %v", err)
+	}
+}
+
+// TestBinaryCheckpointRejectsCorruption flips a byte in the container
+// and requires Start to fail loudly instead of restoring a torn cut.
+func TestBinaryCheckpointRejectsCorruption(t *testing.T) {
+	sc := hospitalScenario(t)
+	path := filepath.Join(t.TempDir(), "ckpt.bin")
+
+	srv1, ts1 := startServer(t, sc, Config{Shards: 2, CheckpointPath: path, BinaryCheckpoint: true})
+	if resp, _ := post(t, ts1.URL+"/v1/events?wait=1", "application/x-ndjson", ndjson(t, sc.Trail)); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("ingest: %s", resp.Status)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv1.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close()
+
+	img, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img[len(img)-1] ^= 0xff
+	if err := os.WriteFile(path, img, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	srv2 := New(sc.Registry, hospitalChecker(sc), Config{Shards: 2, CheckpointPath: path})
+	if err := srv2.Start(); err == nil {
+		srv2.Shutdown(ctx)
+		t.Fatal("corrupt binary checkpoint restored without error")
+	}
+}

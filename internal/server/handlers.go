@@ -1,7 +1,6 @@
 package server
 
 import (
-	"bufio"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -141,37 +140,51 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// ingestNDJSON consumes one JSON entry per line.
+// ingestNDJSON consumes one JSON entry per line through the
+// zero-allocation scanner, grouping consecutive same-shard runs into
+// batched dispatches. The pending batch is flushed whenever the
+// scanner is about to block on the socket, so live trickle streams
+// keep per-entry latency.
 func (s *Server) ingestNDJSON(r *http.Request, body io.Reader, spanCtx obs.SpanContext) (ingestResult, bool) {
 	var res ingestResult
-	sc := bufio.NewScanner(body)
-	sc.Buffer(make([]byte, 0, 64<<10), 8<<20)
-	line := 0
-	for sc.Scan() {
-		line++
-		raw := strings.TrimSpace(sc.Text())
-		if raw == "" {
-			continue
-		}
-		e, err := audit.DecodeEntryJSON([]byte(raw))
-		if err != nil {
-			s.quarantineLine(r, line, raw, err)
+	sc := audit.NewEntryScanner(body, audit.DecodeOptions{Lenient: true})
+	b := s.newBatcher(spanCtx)
+	qseen := 0
+	drain := func() {
+		recs := sc.Quarantine().Records
+		for ; qseen < len(recs); qseen++ {
+			rec := recs[qseen]
+			s.quarantineLine(r, rec.Line, strings.TrimSpace(rec.Raw), rec.Err)
 			res.Quarantined++
-			continue
 		}
-		if !s.enqueue(e, spanCtx) {
-			res.RejectedAtLine = line
-			return res, true
-		}
-		res.Accepted++
 	}
+	reject := func() (ingestResult, bool) {
+		drain()
+		res.Accepted = b.accepted
+		res.RejectedAtLine = b.rejectedLine
+		return res, true
+	}
+	for sc.Scan() {
+		if !b.add(*sc.Entry(), sc.Line()) {
+			return reject()
+		}
+		if !sc.Buffered() && !b.flush() {
+			return reject()
+		}
+	}
+	if !b.flush() {
+		return reject()
+	}
+	drain()
+	res.Accepted = b.accepted
 	if err := sc.Err(); err != nil {
-		res.Error = fmt.Sprintf("reading body at line %d: %v", line+1, err)
+		res.Error = err.Error()
 	}
 	return res, false
 }
 
-// ingestCSV decodes a Figure 4 CSV body leniently, then enqueues.
+// ingestCSV decodes a Figure 4 CSV body leniently, then enqueues
+// through the same batcher as NDJSON.
 func (s *Server) ingestCSV(r *http.Request, body io.Reader, spanCtx obs.SpanContext) (ingestResult, bool) {
 	var res ingestResult
 	entries, q, err := audit.DecodeCSVEntries(body, audit.DecodeOptions{Lenient: true})
@@ -183,14 +196,22 @@ func (s *Server) ingestCSV(r *http.Request, body io.Reader, spanCtx obs.SpanCont
 		s.quarantineLine(r, rec.Line, rec.Raw, rec.Err)
 		res.Quarantined++
 	}
-	for i, e := range entries {
-		if !s.enqueue(e, spanCtx) {
-			// +2: CSV data starts at body line 2 (header is line 1).
-			res.RejectedAtLine = i + 2
-			return res, true
-		}
-		res.Accepted++
+	b := s.newBatcher(spanCtx)
+	reject := func() (ingestResult, bool) {
+		res.Accepted = b.accepted
+		res.RejectedAtLine = b.rejectedLine
+		return res, true
 	}
+	for i, e := range entries {
+		// +2: CSV data starts at body line 2 (header is line 1).
+		if !b.add(e, i+2) {
+			return reject()
+		}
+	}
+	if !b.flush() {
+		return reject()
+	}
+	res.Accepted = b.accepted
 	return res, false
 }
 

@@ -191,9 +191,9 @@ func (s *Server) writeMetrics(w io.Writer) {
 			float64(symHits)/float64(total))
 	}
 
-	fmt.Fprintf(w, "# HELP auditd_shard_queue_depth Entries waiting in each shard's queue.\n# TYPE auditd_shard_queue_depth gauge\n")
+	fmt.Fprintf(w, "# HELP auditd_shard_queue_depth Entries accepted but not yet fed, per shard.\n# TYPE auditd_shard_queue_depth gauge\n")
 	for _, sh := range s.shards {
-		fmt.Fprintf(w, "auditd_shard_queue_depth{shard=\"%d\"} %d\n", sh.id, len(sh.queue))
+		fmt.Fprintf(w, "auditd_shard_queue_depth{shard=\"%d\"} %d\n", sh.id, sh.pendingEntries())
 	}
 	gauge(w, "auditd_shards", "Number of monitor shards.", float64(len(s.shards)))
 	gauge(w, "auditd_cases", "Cases with live verdict state.", float64(s.caseCount()))

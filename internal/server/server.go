@@ -41,6 +41,10 @@ type Config struct {
 	// CheckpointEvery is the periodic snapshot interval (default 30s;
 	// only meaningful with CheckpointPath).
 	CheckpointEvery time.Duration
+	// BinaryCheckpoint writes checkpoints in the flat binary container
+	// format (checkpoint_binary.go) instead of JSON. Restore
+	// auto-detects either format regardless of this flag.
+	BinaryCheckpoint bool
 	// MaxBodyBytes bounds one POST /v1/events body (default 32 MiB).
 	MaxBodyBytes int64
 	// QuarantineKeep bounds the held quarantine records (default 1024).
@@ -274,13 +278,44 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// enqueue routes one entry, applying backpressure. sc carries the
-// submitting request's trace context (zero when untraced).
-func (s *Server) enqueue(e audit.Entry, sc obs.SpanContext) bool {
-	if s.shardFor(e.Case).tryEnqueue(e, sc) {
+// IngestEntries routes pre-decoded entries through the batched
+// dispatch path, grouping consecutive same-shard runs into one queue
+// message each. It returns how many entries were accepted and whether
+// all were; false mirrors the HTTP 429 contract (a saturated shard or
+// a draining server stopped the ingest). This is the in-process
+// ingestion surface used by benchmarks and embedders.
+func (s *Server) IngestEntries(entries []audit.Entry) (int, bool) {
+	if !s.accepting() {
+		return 0, false
+	}
+	defer s.ingestWG.Done()
+	b := s.newBatcher(obs.SpanContext{})
+	for i := range entries {
+		if !b.add(entries[i], i+1) {
+			return b.accepted, false
+		}
+	}
+	if !b.flush() {
+		return b.accepted, false
+	}
+	return b.accepted, true
+}
+
+// IngestEntry routes one entry through single-entry dispatch — the
+// unbatched baseline (one pooled slice, one credit acquisition, one
+// channel send per entry).
+func (s *Server) IngestEntry(e audit.Entry) bool {
+	if !s.accepting() {
+		return false
+	}
+	defer s.ingestWG.Done()
+	single := getBatch()
+	*single = append(*single, e)
+	if s.shardFor(e.Case).tryEnqueueBatch(single, obs.SpanContext{}) {
 		s.metrics.eventsIngested.Add(1)
 		return true
 	}
+	putBatch(single)
 	s.metrics.eventsRejected.Add(1)
 	return false
 }

@@ -4,6 +4,7 @@ import (
 	"log/slog"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/audit"
@@ -26,6 +27,13 @@ type shard struct {
 	id    int
 	queue chan shardMsg
 	done  chan struct{}
+	// depth is the configured queue bound in entries; credits is how
+	// many of them are free. Batches carry whole entry runs through the
+	// queue, so the channel alone cannot bound entries — credits are
+	// acquired (per entry) on enqueue and released once the batch has
+	// been fed, keeping QueueDepth's meaning independent of batching.
+	depth   int64
+	credits atomic.Int64
 
 	mon     *core.Monitor
 	metrics *metrics
@@ -47,7 +55,9 @@ type shard struct {
 // shardMsg is one unit of shard queue traffic: exactly one field is
 // set.
 type shardMsg struct {
-	entry *audit.Entry
+	// batch is a run of consecutive entries routed to this shard. The
+	// slice comes from batchPool; the worker recycles it after feeding.
+	batch *[]audit.Entry
 	// sc is the ingest span's context when the submitting request
 	// carried a traceparent header; the zero value otherwise. It rides
 	// the queue so the feed span lands in the caller's trace.
@@ -99,10 +109,11 @@ const (
 )
 
 func newShard(id int, checker *core.Checker, depth int, m *metrics, log *slog.Logger, purposeOf func(string) string, tracer *obs.Tracer) *shard {
-	return &shard{
+	sh := &shard{
 		id:        id,
 		queue:     make(chan shardMsg, depth),
 		done:      make(chan struct{}),
+		depth:     int64(depth),
 		mon:       core.NewMonitor(checker.Clone()),
 		metrics:   m,
 		log:       log,
@@ -110,7 +121,13 @@ func newShard(id int, checker *core.Checker, depth int, m *metrics, log *slog.Lo
 		tracer:    tracer,
 		views:     map[string]*CaseView{},
 	}
+	sh.credits.Store(sh.depth)
+	return sh
 }
+
+// pendingEntries reports how many accepted entries have not been fed
+// yet (queued batches plus the batch currently being fed).
+func (sh *shard) pendingEntries() int64 { return sh.depth - sh.credits.Load() }
 
 // run consumes the queue until it is closed, then drains nothing more
 // and signals done. Only this goroutine touches sh.mon after Start.
@@ -118,8 +135,13 @@ func (sh *shard) run() {
 	defer close(sh.done)
 	for msg := range sh.queue {
 		switch {
-		case msg.entry != nil:
-			sh.feed(*msg.entry, msg.sc)
+		case msg.batch != nil:
+			entries := *msg.batch
+			for i := range entries {
+				sh.feed(entries[i], msg.sc)
+			}
+			sh.credits.Add(int64(len(entries)))
+			putBatch(msg.batch)
 		case msg.barrier != nil:
 			close(msg.barrier)
 		case msg.snap != nil:
@@ -128,14 +150,31 @@ func (sh *shard) run() {
 	}
 }
 
-// tryEnqueue offers an entry to the queue without blocking; false means
-// the shard is saturated and the caller must apply backpressure. sc
-// carries the submitting request's trace context (zero when untraced).
-func (sh *shard) tryEnqueue(e audit.Entry, sc obs.SpanContext) bool {
+// tryEnqueueBatch offers a run of entries to the queue without
+// blocking; false means the shard cannot hold the whole batch and the
+// caller must apply backpressure (typically by degrading to
+// single-entry enqueues — see batcher.flush). On success the worker
+// owns the slice and recycles it. sc carries the submitting request's
+// trace context (zero when untraced).
+func (sh *shard) tryEnqueueBatch(b *[]audit.Entry, sc obs.SpanContext) bool {
+	n := int64(len(*b))
+	for {
+		c := sh.credits.Load()
+		if c < n {
+			return false
+		}
+		if sh.credits.CompareAndSwap(c, c-n) {
+			break
+		}
+	}
 	select {
-	case sh.queue <- shardMsg{entry: &e, sc: sc}:
+	case sh.queue <- shardMsg{batch: b, sc: sc}:
 		return true
 	default:
+		// Queue slots are scarcer than credits only transiently (each
+		// queued message holds at least one credit); hand the credits
+		// back and report saturation.
+		sh.credits.Add(n)
 		return false
 	}
 }
