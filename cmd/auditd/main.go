@@ -11,9 +11,21 @@
 //	auditd -proc treat.json:HT -proc trial.bpmn:CT [-policy pol.txt] \
 //	       -shards 8 -queue 1024 \
 //	       -checkpoint /var/lib/auditd/state.json -checkpoint-every 30s \
+//	       [-wal-dir /var/lib/auditd/wal] [-fsync always|interval|off] \
+//	       [-wal-segment-bytes N] [-wal-failure failstop|shed] \
 //	       [-addr-file /run/auditd.addr] \
 //	       [-compiled] [-minimize] [-automata-dir /var/lib/auditd/automata] \
 //	       [-binary-artifacts] [-binary-checkpoint]
+//
+// -wal-dir enables the write-ahead ingest log (DESIGN.md §14): every
+// entry is logged before dispatch, so acknowledged means durable and a
+// kill -9 loses nothing — boot restores the checkpoint and replays the
+// log tail. -fsync picks the durability policy (always = fsync per
+// append; interval = background fsync, bounded loss window; off =
+// page-cache only). -wal-failure picks the degradation when a log
+// write fails: failstop (default) wedges all ingest and fails /readyz
+// so the node is pulled; shed returns per-request 503s while queries
+// keep serving.
 //
 // -compiled replays on ahead-of-time determinized purpose automata
 // (DESIGN.md §11); purposes that cannot be compiled stay on the
@@ -65,32 +77,70 @@ import (
 	"repro/internal/server"
 )
 
+// options carries everything main parses from the command line into
+// run; one struct instead of a positional-parameter avalanche.
+type options struct {
+	addr        string
+	addrFile    string
+	debugAddr   string
+	shards      int
+	queue       int
+	traceBuffer int
+
+	checkpoint       string
+	checkpointEvery  time.Duration
+	binaryCheckpoint bool
+	drainTimeout     time.Duration
+
+	walDir          string
+	walFsync        string
+	walSegmentBytes int64
+	walFailure      string
+
+	policyFile string
+	builtin    string
+	procs      []string
+
+	compiled        bool
+	automataDir     string
+	minimize        bool
+	binaryArtifacts bool
+}
+
 func main() {
 	var (
-		procs  cli.ProcList
-		addr   = flag.String("addr", ":8443", "listen address (use :0 for an ephemeral port)")
-		addrFS = flag.String("addr-file", "", "write the bound address to this file once listening")
-		shards = flag.Int("shards", 8, "monitor shards (cases are hash-partitioned)")
-		queue  = flag.Int("queue", 1024, "per-shard queue depth (full queue => 429 backpressure)")
-		ckpt   = flag.String("checkpoint", "", "checkpoint file (restored on start, written periodically and on shutdown)")
-		every  = flag.Duration("checkpoint-every", 30*time.Second, "periodic checkpoint interval")
-		pol    = flag.String("policy", "", "policy file (textual format; supplies the role hierarchy)")
-		bltn   = flag.String("builtin", "", "use a built-in scenario: 'hospital' (Figures 1-4)")
-		drain  = flag.Duration("drain-timeout", 30*time.Second, "max wait for queues to drain on shutdown")
-		comp   = flag.Bool("compiled", false, "replay on ahead-of-time compiled purpose automata (interpreter fallback per purpose)")
-		autoD  = flag.String("automata-dir", "", "artifact cache for compiled automata: load matching artifacts at boot, save fresh compiles (implies -compiled)")
-		minim  = flag.Bool("minimize", false, "minimize compiled automata (Hopcroft + alphabet compaction; implies -compiled, changes artifact fingerprints)")
-		binArt = flag.Bool("binary-artifacts", false, "save fresh compiles in the flat binary artifact format (loads auto-detect either format)")
-		binCk  = flag.Bool("binary-checkpoint", false, "write checkpoints in the flat binary container format (restore auto-detects either format)")
-		dbg    = flag.String("debug-addr", "", "serve net/http/pprof on this separate address (empty = disabled)")
-		traceN = flag.Int("trace-buffer", 0, "spans held in the /v1/traces ring buffer (0 = default)")
+		o        options
+		procs    cli.ProcList
+		comp     = flag.Bool("compiled", false, "replay on ahead-of-time compiled purpose automata (interpreter fallback per purpose)")
+		segBytes = flag.Int64("wal-segment-bytes", 0, "rotate WAL segments at this size in bytes (0 = 64 MiB default)")
 	)
+	flag.StringVar(&o.addr, "addr", ":8443", "listen address (use :0 for an ephemeral port)")
+	flag.StringVar(&o.addrFile, "addr-file", "", "write the bound address to this file once listening")
+	flag.IntVar(&o.shards, "shards", 8, "monitor shards (cases are hash-partitioned)")
+	flag.IntVar(&o.queue, "queue", 1024, "per-shard queue depth (full queue => 429 backpressure)")
+	flag.StringVar(&o.checkpoint, "checkpoint", "", "checkpoint file (restored on start, written periodically and on shutdown)")
+	flag.DurationVar(&o.checkpointEvery, "checkpoint-every", 30*time.Second, "periodic checkpoint interval")
+	flag.StringVar(&o.walDir, "wal-dir", "", "write-ahead ingest log directory (empty = no WAL; entries are durable before they are acknowledged)")
+	flag.StringVar(&o.walFsync, "fsync", "", "WAL durability policy: always|interval|off (default interval)")
+	flag.StringVar(&o.walFailure, "wal-failure", "", "WAL write-failure policy: failstop|shed (default failstop)")
+	flag.StringVar(&o.policyFile, "policy", "", "policy file (textual format; supplies the role hierarchy)")
+	flag.StringVar(&o.builtin, "builtin", "", "use a built-in scenario: 'hospital' (Figures 1-4)")
+	flag.DurationVar(&o.drainTimeout, "drain-timeout", 30*time.Second, "max wait for queues to drain on shutdown (expired: partial checkpoint, stragglers stay in the WAL)")
+	flag.StringVar(&o.automataDir, "automata-dir", "", "artifact cache for compiled automata: load matching artifacts at boot, save fresh compiles (implies -compiled)")
+	flag.BoolVar(&o.minimize, "minimize", false, "minimize compiled automata (Hopcroft + alphabet compaction; implies -compiled, changes artifact fingerprints)")
+	flag.BoolVar(&o.binaryArtifacts, "binary-artifacts", false, "save fresh compiles in the flat binary artifact format (loads auto-detect either format)")
+	flag.BoolVar(&o.binaryCheckpoint, "binary-checkpoint", false, "write checkpoints in the flat binary container format (restore auto-detects either format)")
+	flag.StringVar(&o.debugAddr, "debug-addr", "", "serve net/http/pprof on this separate address (empty = disabled)")
+	flag.IntVar(&o.traceBuffer, "trace-buffer", 0, "spans held in the /v1/traces ring buffer (0 = default)")
 	flag.Var(&procs, "proc", cli.ProcUsage)
 	flag.Parse()
+	o.procs = procs
+	o.walSegmentBytes = *segBytes
+	o.compiled = *comp || o.automataDir != "" || o.minimize
 
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	slog.SetDefault(log)
-	if err := run(log, *addr, *addrFS, *dbg, *shards, *queue, *traceN, *ckpt, *every, *drain, *pol, *bltn, *comp || *autoD != "" || *minim, *autoD, *minim, *binArt, *binCk, procs); err != nil {
+	if err := run(log, o); err != nil {
 		log.Error("auditd failed", "err", err)
 		os.Exit(cli.ExitUsage)
 	}
@@ -200,43 +250,47 @@ func debugServer(log *slog.Logger, addr string) error {
 	return nil
 }
 
-func run(log *slog.Logger, addr, addrFile, debugAddr string, shards, queue, traceBuffer int, ckpt string, every, drainTimeout time.Duration, polFile, builtin string, compiled bool, automataDir string, minimize, binaryArtifacts, binaryCheckpoint bool, procs []string) error {
-	reg, roles, err := buildRegistry(builtin, polFile, procs)
+func run(log *slog.Logger, o options) error {
+	reg, roles, err := buildRegistry(o.builtin, o.policyFile, o.procs)
 	if err != nil {
 		return err
 	}
 	checker := core.NewChecker(reg, roles)
-	checker.MinimizeAutomata = minimize
-	if compiled {
-		setupCompiled(log, checker, reg, automataDir, binaryArtifacts)
+	checker.MinimizeAutomata = o.minimize
+	if o.compiled {
+		setupCompiled(log, checker, reg, o.automataDir, o.binaryArtifacts)
 	}
 
 	srv := server.New(reg, checker, server.Config{
-		Shards:           shards,
-		QueueDepth:       queue,
-		CheckpointPath:   ckpt,
-		CheckpointEvery:  every,
-		BinaryCheckpoint: binaryCheckpoint,
-		TraceBuffer:      traceBuffer,
+		Shards:           o.shards,
+		QueueDepth:       o.queue,
+		CheckpointPath:   o.checkpoint,
+		CheckpointEvery:  o.checkpointEvery,
+		BinaryCheckpoint: o.binaryCheckpoint,
+		WALDir:           o.walDir,
+		WALFsync:         o.walFsync,
+		WALSegmentBytes:  o.walSegmentBytes,
+		WALFailure:       o.walFailure,
+		TraceBuffer:      o.traceBuffer,
 		Logger:           log,
 	})
 	if err := srv.Start(); err != nil {
 		return err
 	}
 
-	if debugAddr != "" {
-		if err := debugServer(log, debugAddr); err != nil {
+	if o.debugAddr != "" {
+		if err := debugServer(log, o.debugAddr); err != nil {
 			return err
 		}
 	}
 
-	ln, err := net.Listen("tcp", addr)
+	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
 		return err
 	}
 	log.Info("listening", "addr", ln.Addr().String())
-	if addrFile != "" {
-		if err := os.WriteFile(addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+	if o.addrFile != "" {
+		if err := os.WriteFile(o.addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
 			return err
 		}
 	}
@@ -256,7 +310,7 @@ func run(log *slog.Logger, addr, addrFile, debugAddr string, shards, queue, trac
 
 	// Stop accepting HTTP first (waits for in-flight requests), then
 	// drain the shard queues and write the final checkpoint.
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), o.drainTimeout)
 	defer cancel()
 	if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Warn("http shutdown", "err", err)

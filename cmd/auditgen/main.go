@@ -18,13 +18,31 @@
 // unthrottled) — a live feed for auditd's POST /v1/events. -builtin
 // hospital replays the paper's Figure 4 trail instead of generating
 // one.
+//
+// -post URL skips the pipe and speaks to auditd directly: the stream
+// is sent as POST bursts and the client resumes through backpressure.
+// A 429 names the exact line the server stopped at (rejected_at_line),
+// so the retry resends precisely the unaccepted tail; 429/503 waits
+// honor the server's Retry-After hint when present and fall back to
+// exponential backoff with jitter. -max-retries bounds consecutive
+// zero-progress attempts. Delivery is exactly-once across HTTP-level
+// rejections; a connection that dies after the server read the body
+// cannot be distinguished from one that died before, so those retries
+// are at-least-once (the trade is documented, not hidden).
 package main
 
 import (
 	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -48,19 +66,32 @@ func main() {
 		builtin = flag.String("builtin", "", "emit a built-in trail instead of generating: 'hospital' (Figure 4)")
 		stream  = flag.Bool("stream", false, "write NDJSON one entry at a time (flushed per line), for live ingestion")
 		rate    = flag.Float64("rate", 0, "with -stream: events per second (0 = unthrottled)")
+		postURL = flag.String("post", "", "POST the stream to this auditd /v1/events URL (resumes through 429/503 backpressure by line offset)")
+		retries = flag.Int("max-retries", 8, "with -post: give up after this many consecutive attempts without progress")
 	)
 	flag.Parse()
 
-	if err := run(*tasks, *pools, *seed, *cases, *code, *actions, *procOut, *out, *violate, *builtin, *stream, *rate); err != nil {
+	if err := run(*tasks, *pools, *seed, *cases, *code, *actions, *procOut, *out, *violate, *builtin, *stream, *rate, *postURL, *retries); err != nil {
 		fmt.Fprintln(os.Stderr, "auditgen:", err)
 		os.Exit(2)
 	}
 }
 
-func run(tasks, pools int, seed int64, cases int, code string, actions int, procOut, out, violate, builtin string, stream bool, rate float64) error {
+func run(tasks, pools int, seed int64, cases int, code string, actions int, procOut, out, violate, builtin string, stream bool, rate float64, postURL string, maxRetries int) error {
 	trail, err := buildTrail(tasks, pools, seed, cases, code, actions, procOut, violate, builtin)
 	if err != nil {
 		return err
+	}
+
+	if postURL != "" {
+		p := &poster{
+			url:        postURL,
+			client:     http.DefaultClient,
+			maxRetries: maxRetries,
+			sleep:      time.Sleep,
+			warn:       os.Stderr,
+		}
+		return p.stream(trail, rate)
 	}
 
 	var w *os.File = os.Stdout
@@ -209,6 +240,132 @@ func streamJSONL(w *os.File, t *audit.Trail, rate float64) error {
 	}
 	return nil
 }
+
+// poster delivers a trail to auditd's POST /v1/events with
+// resume-by-line retries. One poster drives one stream; sleep and warn
+// are swappable for tests.
+type poster struct {
+	url        string
+	client     *http.Client
+	maxRetries int
+	sleep      func(time.Duration)
+	warn       io.Writer
+}
+
+// ingestReply is the subset of auditd's ingest response the retry loop
+// steers by.
+type ingestReply struct {
+	Accepted       int    `json:"accepted"`
+	Quarantined    int    `json:"quarantined"`
+	RejectedAtLine int    `json:"rejected_at_line"`
+	Error          string `json:"error"`
+}
+
+// backoffBase/backoffCap bound the client-side wait when the server
+// does not name one: 100ms doubling per consecutive failure, capped at
+// 5s, each draw jittered to 50-150% so a fleet of stalled producers
+// does not re-arrive in lockstep.
+const (
+	backoffBase = 100 * time.Millisecond
+	backoffCap  = 5 * time.Second
+)
+
+// backoffDelay picks the wait before retry attempt n (0-based). A
+// Retry-After of s seconds takes precedence over the exponential
+// schedule; jitter applies to both.
+func backoffDelay(n int, retryAfter string) time.Duration {
+	d := backoffBase << min(n, 10)
+	if d > backoffCap {
+		d = backoffCap
+	}
+	if s, err := strconv.Atoi(retryAfter); err == nil && s > 0 {
+		d = time.Duration(s) * time.Second
+	}
+	return time.Duration(float64(d) * (0.5 + rand.Float64()))
+}
+
+// stream sends the trail as NDJSON bursts, paced like streamJSONL when
+// rate > 0, resuming by line offset through 429/503 rejections.
+func (p *poster) stream(t *audit.Trail, rate float64) error {
+	entries := t.Entries()
+	lines := make([][]byte, len(entries))
+	for i, e := range entries {
+		var buf bytes.Buffer
+		if err := audit.AppendJSONL(&buf, e); err != nil {
+			return err
+		}
+		lines[i] = buf.Bytes()
+	}
+
+	start := time.Now()
+	sent, failures := 0, 0
+	for sent < len(lines) {
+		due := dueBy(time.Since(start), rate, len(lines))
+		if due <= sent {
+			p.sleep(minTickPeriod)
+			continue
+		}
+		n, retryAfter, err := p.post(lines[sent:due])
+		sent += n
+		if err == nil {
+			failures = 0
+			continue
+		}
+		if errors.Is(err, errPermanent) {
+			return err
+		}
+		if n > 0 {
+			failures = 0 // partial acceptance is progress; restart the budget
+		}
+		if failures >= p.maxRetries {
+			return fmt.Errorf("giving up after %d attempts without progress, resume at line %d: %w",
+				failures, sent+1, err)
+		}
+		d := backoffDelay(failures, retryAfter)
+		failures++
+		fmt.Fprintf(p.warn, "auditgen: %v; %d/%d sent, retrying in %v\n", err, sent, len(lines), d)
+		p.sleep(d)
+	}
+	return nil
+}
+
+// post sends one burst and reports how many of its lines the server
+// accepted. A non-nil error means the remainder must be resent: the
+// count is exact for HTTP-level rejections (the 429/503 body names the
+// stopping line), but a transport failure cannot reveal how much of
+// the body the server consumed — that retry is at-least-once.
+func (p *poster) post(lines [][]byte) (accepted int, retryAfter string, err error) {
+	body := bytes.Join(lines, nil)
+	resp, err := p.client.Post(p.url, "application/x-ndjson", bytes.NewReader(body))
+	if err != nil {
+		return 0, "", fmt.Errorf("post: %w", err)
+	}
+	defer resp.Body.Close()
+	var reply ingestReply
+	if derr := json.NewDecoder(resp.Body).Decode(&reply); derr != nil && resp.StatusCode != http.StatusServiceUnavailable {
+		return 0, "", fmt.Errorf("status %s with undecodable body: %w", resp.Status, derr)
+	}
+	switch resp.StatusCode {
+	case http.StatusAccepted:
+		return len(lines), "", nil
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		if reply.RejectedAtLine > 0 {
+			accepted = reply.RejectedAtLine - 1
+		}
+		msg := reply.Error
+		if msg == "" {
+			msg = "backpressure"
+		}
+		return accepted, resp.Header.Get("Retry-After"),
+			fmt.Errorf("server refused at line %d of burst (%s): %s", accepted+1, resp.Status, msg)
+	default:
+		// 400 and friends: resending the same bytes cannot succeed.
+		return 0, "", fmt.Errorf("%w: %s: %s", errPermanent, resp.Status, reply.Error)
+	}
+}
+
+// errPermanent marks server answers no retry can fix.
+var errPermanent = errors.New("ingest rejected permanently")
 
 func parseKind(s string) (workload.ViolationKind, error) {
 	for k := workload.ViolationKind(0); k < workload.NumViolationKinds; k++ {

@@ -1,8 +1,14 @@
 package main
 
 import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -17,7 +23,7 @@ func TestGenerateRoundTrip(t *testing.T) {
 	procPath := filepath.Join(dir, "proc.json")
 	trailPath := filepath.Join(dir, "trail.csv")
 
-	if err := run(12, 2, 7, 5, "GEN", 2, procPath, trailPath, "", "", false, 0); err != nil {
+	if err := run(12, 2, 7, 5, "GEN", 2, procPath, trailPath, "", "", false, 0, "", 0); err != nil {
 		t.Fatal(err)
 	}
 
@@ -70,7 +76,7 @@ func TestGenerateWithViolations(t *testing.T) {
 	procPath := filepath.Join(dir, "proc.json")
 	trailPath := filepath.Join(dir, "trail.jsonl")
 
-	if err := run(10, 1, 3, 6, "GEN", 1, procPath, trailPath, "wrong-role", "", false, 0); err != nil {
+	if err := run(10, 1, 3, 6, "GEN", 1, procPath, trailPath, "wrong-role", "", false, 0, "", 0); err != nil {
 		t.Fatal(err)
 	}
 	tf, err := os.Open(trailPath)
@@ -98,7 +104,7 @@ func TestStreamBuiltinHospital(t *testing.T) {
 	dir := t.TempDir()
 	outPath := filepath.Join(dir, "feed.ndjson")
 
-	if err := run(0, 0, 0, 0, "", 0, "", outPath, "", "hospital", true, 0); err != nil {
+	if err := run(0, 0, 0, 0, "", 0, "", outPath, "", "hospital", true, 0, "", 0); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(outPath)
@@ -169,7 +175,7 @@ func TestDueBy(t *testing.T) {
 func TestStreamPaced(t *testing.T) {
 	dir := t.TempDir()
 	outPath := filepath.Join(dir, "feed.ndjson")
-	if err := run(0, 0, 0, 0, "", 0, "", outPath, "", "hospital", true, 5000); err != nil {
+	if err := run(0, 0, 0, 0, "", 0, "", outPath, "", "hospital", true, 5000, "", 0); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(outPath)
@@ -190,8 +196,179 @@ func TestStreamPaced(t *testing.T) {
 	}
 }
 
+// flakyIngest fakes auditd's /v1/events: it accepts at most capacity
+// lines per request until unblocked, answering 429 with the exact
+// rejected_at_line, so the poster's resume logic is exercised against
+// the real response contract.
+type flakyIngest struct {
+	mu       sync.Mutex
+	capacity int // lines accepted per request while limited
+	limited  int // requests that stay limited before opening up
+	requests int
+	lines    []string
+}
+
+func (f *flakyIngest) handler(w http.ResponseWriter, r *http.Request) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.requests++
+	body, _ := io.ReadAll(r.Body)
+	all := strings.Split(strings.TrimSuffix(string(body), "\n"), "\n")
+	take := len(all)
+	status := http.StatusAccepted
+	if f.limited > 0 && take > f.capacity {
+		f.limited--
+		take = f.capacity
+		status = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", "1")
+	}
+	f.lines = append(f.lines, all[:take]...)
+	w.WriteHeader(status)
+	reply := map[string]any{"accepted": take}
+	if status == http.StatusTooManyRequests {
+		reply["rejected_at_line"] = take + 1
+	}
+	json.NewEncoder(w).Encode(reply)
+}
+
+// TestPostResumesThroughBackpressure drives the poster against a
+// server that keeps answering 429 after 3 lines: every entry must
+// arrive exactly once, in order, and the waits must follow the
+// server's Retry-After hint.
+func TestPostResumesThroughBackpressure(t *testing.T) {
+	sc, err := cli.Builtin("hospital")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &flakyIngest{capacity: 3, limited: 1000}
+	ts := httptest.NewServer(http.HandlerFunc(f.handler))
+	defer ts.Close()
+
+	var waits []time.Duration
+	p := &poster{
+		url:        ts.URL,
+		client:     ts.Client(),
+		maxRetries: 8,
+		sleep:      func(d time.Duration) { waits = append(waits, d) },
+		warn:       io.Discard,
+	}
+	if err := p.stream(sc.Trail, 0); err != nil {
+		t.Fatal(err)
+	}
+	if want := (sc.Trail.Len() + 2) / 3; f.requests != want {
+		t.Errorf("requests = %d, want %d (3 lines per attempt)", f.requests, want)
+	}
+	if len(f.lines) != sc.Trail.Len() {
+		t.Fatalf("server holds %d lines, want %d", len(f.lines), sc.Trail.Len())
+	}
+	got, err := audit.ReadJSONL(strings.NewReader(strings.Join(f.lines, "\n") + "\n"))
+	if err != nil {
+		t.Fatalf("delivered stream does not parse: %v", err)
+	}
+	for i := 0; i < got.Len(); i++ {
+		g, w := got.At(i), sc.Trail.At(i)
+		if g.Case != w.Case || g.Task != w.Task || g.User != w.User {
+			t.Fatalf("entry %d out of order: got %+v want %+v", i, g, w)
+		}
+	}
+	// Every 429 made progress, so each wait restarts the backoff
+	// schedule from the jittered Retry-After second: [0.5s, 1.5s).
+	for _, d := range waits {
+		if d < 500*time.Millisecond || d >= 1500*time.Millisecond {
+			t.Errorf("wait %v outside the jittered Retry-After window", d)
+		}
+	}
+}
+
+// TestPostGivesUpWithoutProgress caps the retry budget against a
+// server that rejects everything and checks the error names the
+// resume line.
+func TestPostGivesUpWithoutProgress(t *testing.T) {
+	sc, err := cli.Builtin("hospital")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &flakyIngest{capacity: 0, limited: 1 << 30}
+	ts := httptest.NewServer(http.HandlerFunc(f.handler))
+	defer ts.Close()
+
+	p := &poster{
+		url:        ts.URL,
+		client:     ts.Client(),
+		maxRetries: 3,
+		sleep:      func(time.Duration) {},
+		warn:       io.Discard,
+	}
+	err = p.stream(sc.Trail, 0)
+	if err == nil {
+		t.Fatal("poster kept retrying a dead server")
+	}
+	if !strings.Contains(err.Error(), "resume at line 1") {
+		t.Errorf("error does not name the resume line: %v", err)
+	}
+	if f.requests != 4 {
+		t.Errorf("requests = %d, want 4 (initial + 3 retries)", f.requests)
+	}
+}
+
+// TestPostFatalOnBadRequest: a 400 means the bytes themselves are
+// refused — retrying cannot help and the poster must stop immediately.
+func TestPostFatalOnBadRequest(t *testing.T) {
+	sc, err := cli.Builtin("hospital")
+	if err != nil {
+		t.Fatal(err)
+	}
+	requests := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		requests++
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(map[string]any{"error": "unsupported media type"})
+	}))
+	defer ts.Close()
+
+	p := &poster{
+		url:        ts.URL,
+		client:     ts.Client(),
+		maxRetries: 8,
+		sleep:      func(time.Duration) {},
+		warn:       io.Discard,
+	}
+	if err := p.stream(sc.Trail, 0); err == nil {
+		t.Fatal("400 did not stop the poster")
+	}
+	if requests != 1 {
+		t.Errorf("requests = %d, want 1 (no retry on a permanent rejection)", requests)
+	}
+}
+
+// TestBackoffDelay pins the schedule's envelope: exponential growth
+// capped at backoffCap, Retry-After override, jitter within 50-150%.
+func TestBackoffDelay(t *testing.T) {
+	for n := 0; n < 12; n++ {
+		base := backoffBase << min(n, 10)
+		if base > backoffCap {
+			base = backoffCap
+		}
+		for i := 0; i < 16; i++ {
+			d := backoffDelay(n, "")
+			if d < base/2 || d >= base+base/2 {
+				t.Fatalf("backoffDelay(%d) = %v outside [%v, %v)", n, d, base/2, base+base/2)
+			}
+		}
+	}
+	for i := 0; i < 16; i++ {
+		if d := backoffDelay(0, "7"); d < 3500*time.Millisecond || d >= 10500*time.Millisecond {
+			t.Fatalf("Retry-After=7 gave %v", d)
+		}
+	}
+	// Unparseable header falls back to the exponential schedule.
+	if d := backoffDelay(0, "soon"); d >= backoffBase+backoffBase/2 {
+		t.Fatalf("junk Retry-After honored: %v", d)
+	}
+}
+
 func TestBadViolationKind(t *testing.T) {
-	if err := run(5, 1, 1, 1, "GEN", 1, "", os.DevNull, "no-such-kind", "", false, 0); err == nil {
+	if err := run(5, 1, 1, 1, "GEN", 1, "", os.DevNull, "no-such-kind", "", false, 0, "", 0); err == nil {
 		t.Fatalf("unknown violation kind accepted")
 	}
 }

@@ -41,6 +41,7 @@ import (
 	"repro/internal/petri"
 	"repro/internal/policy"
 	"repro/internal/server"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
@@ -101,7 +102,7 @@ func main() {
 		{"P4", expP4, "Algorithm 1 vs naive enumeration; compiled automaton vs interpreter"},
 		{"P5", expP5, "detection & cost vs token replay; observer overhead"},
 		{"P6", expP6, "OR fan-out growth; raw-speed tier (decode, dispatch, minimize, binary boot)"},
-		{"P7", expP7, "well-foundedness detection"},
+		{"P7", expP7, "well-foundedness detection; WAL ingest overhead"},
 		{"P8", expP8, "mimicry requires collusion"},
 	}
 	want := map[string]bool{}
@@ -1480,6 +1481,129 @@ func expP7() error {
 	fmt.Printf("silent divergence rejected by WeakNext guard: %v\n", werr != nil)
 	if werr != nil {
 		fmt.Printf("  %v\n", werr)
+	}
+	return expP7wal()
+}
+
+// expP7wal measures what the durability tier costs the full ingest
+// pipeline — NDJSON scan + decode + WAL append + batched dispatch,
+// the same work POST /v1/events does per line — with no WAL and then
+// with the log under each fsync policy. The timer runs through
+// Flush(), i.e. until every entry reached its monitor: on small-core
+// boxes a producer-only window nondeterministically absorbs the shard
+// consumers' replay work whenever the scheduler preempts the
+// producer, so ingest-to-applied is the only stably measurable
+// quantity (and the one a caller of ?wait=1 actually sees). Shutdown
+// stays off the clock. These rows feed BENCH_pr7.json; the headline
+// claim — interval-fsync ingest within 2x of the no-WAL pipeline — is
+// asserted in adaptive runs, where quick mode's short rounds would be
+// scheduler noise.
+func expP7wal() error {
+	sc, err := hospital.NewScenario()
+	if err != nil {
+		return err
+	}
+	roles, err := hospital.Roles()
+	if err != nil {
+		return err
+	}
+	trail, doc, err := p6Doc()
+	if err != nil {
+		return err
+	}
+	n := float64(trail.Len())
+	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+	// Decoded lines are handed to IngestEntries in bounded chunks, like
+	// the HTTP handler's per-request batching.
+	const maxIngestChunk = 256
+	scanner := audit.NewEntryScanner(bytes.NewReader(nil), audit.DecodeOptions{})
+	rd := bytes.NewReader(doc)
+	chunk := make([]audit.Entry, 0, maxIngestChunk)
+
+	run := func(fsync string) (time.Duration, error) {
+		return minTimed(func() (time.Duration, error) {
+			cfg := server.Config{Shards: 4, QueueDepth: 1 << 18, Logger: quiet}
+			if fsync != "" {
+				dir, err := os.MkdirTemp("", "benchtab-wal-*")
+				if err != nil {
+					return 0, err
+				}
+				defer os.RemoveAll(dir)
+				cfg.WALDir = dir
+				cfg.WALFsync = fsync
+			}
+			srv := server.New(sc.Registry, core.NewChecker(sc.Registry, roles), cfg)
+			if err := srv.Start(); err != nil {
+				return 0, err
+			}
+			defer srv.Shutdown(context.Background())
+			rd.Reset(doc)
+			scanner.Reset(rd)
+			fed := 0
+			t0 := time.Now()
+			for {
+				chunk = chunk[:0]
+				for len(chunk) < maxIngestChunk && scanner.Scan() {
+					chunk = append(chunk, *scanner.Entry())
+				}
+				if len(chunk) == 0 {
+					break
+				}
+				if got, ok := srv.IngestEntries(chunk); !ok {
+					return 0, fmt.Errorf("ingest rejected after %d entries", fed+got)
+				}
+				fed += len(chunk)
+			}
+			srv.Flush()
+			d := time.Since(t0)
+			if err := scanner.Err(); err != nil {
+				return 0, err
+			}
+			if fed != trail.Len() {
+				return 0, fmt.Errorf("fed %d of %d entries", fed, trail.Len())
+			}
+			return d, nil
+		})
+	}
+
+	policies := []struct{ name, fsync string }{
+		{"none", ""},
+		{"off", wal.FsyncOff},
+		{"interval", wal.FsyncInterval},
+		{"always", wal.FsyncAlways},
+	}
+	durs := map[string]time.Duration{}
+	fmt.Printf("\nWAL ingest overhead (%d entries, decode+dispatch pipeline):\n", trail.Len())
+	fmt.Printf("%-16s %-12s %s\n", "wal", "time/doc", "ns/entry")
+	for _, p := range policies {
+		d, err := run(p.fsync)
+		if err != nil {
+			return fmt.Errorf("wal/%s: %w", p.name, err)
+		}
+		durs[p.name] = d
+		perEntry := float64(d.Nanoseconds()) / n
+		if p.name == "none" {
+			fmt.Printf("%-16s %-12v %.1f\n", p.name, d, perEntry)
+		} else {
+			fmt.Printf("%-16s %-12v %.1f   (%.2fx)\n", p.name, d, perEntry,
+				float64(d)/float64(durs["none"]))
+		}
+		// The always row is informational only: per-chunk fsync latency
+		// on shared/virtualized storage swings by multiples between
+		// runs, which is not a code-regression signal the benchguard
+		// should gate on.
+		if p.name != "always" {
+			record(benchRow{
+				Exp: "P7", Name: "wal/" + p.name, Entries: trail.Len(),
+				NsPerOp: d.Nanoseconds(), NsPerEntry: perEntry,
+			})
+		}
+	}
+	// The durability sweet spot must stay cheap: interval fsync within
+	// 2x of running without a WAL at all.
+	overhead := float64(durs["interval"]) / float64(durs["none"])
+	if overhead > 2 && quickIters == 0 {
+		return fmt.Errorf("interval-fsync ingest is %.2fx the no-WAL path, want <=2x", overhead)
 	}
 	return nil
 }

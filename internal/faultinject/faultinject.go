@@ -140,6 +140,38 @@ func (m *Mutator) MutateJSONL(text string, n int) Result {
 	return m.mutate(text, n, 0, jsonlCase, corruptJSONLLine)
 }
 
+// CorruptBytes flips n bytes of data in place at seeded positions at or
+// after offset skip (protecting, say, a file header), returning the
+// 0-based offsets flipped, sorted. Each flip XORs a non-zero mask so
+// the byte always changes — bit rot for binary artifacts (WAL
+// segments, checkpoint containers) the way the line mutators are bit
+// rot for textual trails.
+func (m *Mutator) CorruptBytes(data []byte, skip, n int) []int {
+	if skip < 0 {
+		skip = 0
+	}
+	span := len(data) - skip
+	if span <= 0 || n <= 0 {
+		return nil
+	}
+	if n > span {
+		n = span
+	}
+	hit := map[int]bool{}
+	for len(hit) < n {
+		hit[skip+m.rng.Intn(span)] = true
+	}
+	offsets := make([]int, 0, n)
+	for off := range hit {
+		offsets = append(offsets, off)
+	}
+	sort.Ints(offsets)
+	for _, off := range offsets {
+		data[off] ^= byte(1 + m.rng.Intn(255))
+	}
+	return offsets
+}
+
 // csvCase extracts the case column (user,role,action,object,task,case,
 // time,status) without a full CSV parse; trail writers never quote
 // these simple fields.

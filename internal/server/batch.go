@@ -99,7 +99,7 @@ func (b *batcher) flush() bool {
 		putBatch(buf)
 		return true
 	}
-	if b.sh.tryEnqueueBatch(buf, b.sc) {
+	if b.s.enqueueBatch(b.sh, buf, b.sc) {
 		b.accepted += n
 		b.s.metrics.eventsIngested.Add(int64(n))
 		return true
@@ -107,7 +107,7 @@ func (b *batcher) flush() bool {
 	for i := 0; i < n; i++ {
 		single := getBatch()
 		*single = append(*single, (*buf)[i])
-		if !b.sh.tryEnqueueBatch(single, b.sc) {
+		if !b.s.enqueueBatch(b.sh, single, b.sc) {
 			putBatch(single)
 			putBatch(buf)
 			b.accepted += i

@@ -65,11 +65,15 @@ func (s *Server) checkpointLoop() {
 }
 
 // checkpointRunning takes a consistent cut through the live shard
-// queues and writes it.
+// queues and writes it. On success, WAL segments fully covered by the
+// cut are truncated: the low-water mark is captured BEFORE the dump
+// fan-out, so a record at or below it is provably either fed already
+// or queued ahead of the dump message (see walLowWater).
 func (s *Server) checkpointRunning() error {
 	if s.cfg.CheckpointPath == "" {
 		return nil
 	}
+	lowWater := s.walLowWater()
 	replies := make([]<-chan shardDump, len(s.shards))
 	for i, sh := range s.shards {
 		replies[i] = sh.requestDump()
@@ -78,7 +82,11 @@ func (s *Server) checkpointRunning() error {
 	for i, ch := range replies {
 		dumps[i] = <-ch
 	}
-	return s.writeCheckpoint(dumps)
+	if err := s.writeCheckpoint(dumps); err != nil {
+		return err
+	}
+	s.truncateWAL(lowWater)
+	return nil
 }
 
 // checkpointFinal reads the monitors directly; only valid after the
@@ -90,6 +98,51 @@ func (s *Server) checkpointFinal() error {
 	dumps := make([]shardDump, len(s.shards))
 	for i, sh := range s.shards {
 		dumps[i] = sh.dump()
+	}
+	return s.writeCheckpoint(dumps)
+}
+
+// checkpointPartial is the drain-deadline checkpoint: direct dumps
+// from the shards that finished, and — for the stragglers — their
+// cases carried over from the previous checkpoint file, so a stuck
+// shard costs at most the progress since the last cut (still replayed
+// from the WAL at next boot), never its whole history.
+func (s *Server) checkpointPartial(drained []*shard, stale map[int]bool) error {
+	if s.cfg.CheckpointPath == "" {
+		return nil
+	}
+	dumps := make([]shardDump, 0, len(drained)+1)
+	for _, sh := range drained {
+		dumps = append(dumps, sh.dump())
+	}
+	if len(stale) > 0 {
+		prev, err := s.readCheckpointFile()
+		switch {
+		case err != nil:
+			s.log.Warn("previous checkpoint unreadable; straggler cases not carried over", "err", err)
+		case prev == nil:
+			s.log.Warn("no previous checkpoint; straggler cases restored from WAL only")
+		default:
+			d := shardDump{views: map[string]*CaseView{}}
+			if prev.Monitor != nil {
+				d.state = &core.MonitorState{
+					Version: prev.Monitor.Version,
+					States:  prev.Monitor.States,
+					Cases:   map[string]core.CaseSnapshot{},
+				}
+				for id, cs := range prev.Monitor.Cases {
+					if stale[core.ShardCase(id, len(s.shards))] {
+						d.state.Cases[id] = cs
+					}
+				}
+			}
+			for id, v := range prev.Views {
+				if stale[core.ShardCase(id, len(s.shards))] {
+					d.views[id] = v
+				}
+			}
+			dumps = append(dumps, d)
+		}
 	}
 	return s.writeCheckpoint(dumps)
 }
@@ -185,6 +238,34 @@ func mergeStates(dumps []shardDump) *core.MonitorState {
 	return merged
 }
 
+// readCheckpointFile reads and decodes the checkpoint file, in either
+// format. A missing file is (nil, nil).
+func (s *Server) readCheckpointFile() (*checkpointFile, error) {
+	data, err := os.ReadFile(s.cfg.CheckpointPath)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("server: opening checkpoint: %w", err)
+	}
+	var file checkpointFile
+	if encode.IsBinaryContainer(data) {
+		bf, err := readCheckpointBinary(data)
+		if err != nil {
+			return nil, fmt.Errorf("server: decoding checkpoint %s: %w", s.cfg.CheckpointPath, err)
+		}
+		file = *bf
+	} else {
+		if err := json.Unmarshal(data, &file); err != nil {
+			return nil, fmt.Errorf("server: decoding checkpoint %s: %w", s.cfg.CheckpointPath, err)
+		}
+		if file.Version != checkpointVersion {
+			return nil, fmt.Errorf("server: unsupported checkpoint version %d", file.Version)
+		}
+	}
+	return &file, nil
+}
+
 // restore loads the checkpoint file, if configured and present, and
 // splits it across the shards. Called from Start, before the workers
 // run.
@@ -192,28 +273,14 @@ func (s *Server) restore() error {
 	if s.cfg.CheckpointPath == "" {
 		return nil
 	}
-	data, err := os.ReadFile(s.cfg.CheckpointPath)
-	if errors.Is(err, fs.ErrNotExist) {
+	fp, err := s.readCheckpointFile()
+	if err != nil {
+		return err
+	}
+	if fp == nil {
 		return nil
 	}
-	if err != nil {
-		return fmt.Errorf("server: opening checkpoint: %w", err)
-	}
-	var file checkpointFile
-	if encode.IsBinaryContainer(data) {
-		bf, err := readCheckpointBinary(data)
-		if err != nil {
-			return fmt.Errorf("server: decoding checkpoint %s: %w", s.cfg.CheckpointPath, err)
-		}
-		file = *bf
-	} else {
-		if err := json.Unmarshal(data, &file); err != nil {
-			return fmt.Errorf("server: decoding checkpoint %s: %w", s.cfg.CheckpointPath, err)
-		}
-		if file.Version != checkpointVersion {
-			return fmt.Errorf("server: unsupported checkpoint version %d", file.Version)
-		}
-	}
+	file := *fp
 	if file.Monitor != nil {
 		// Split cases by hash; every per-shard state shares the full
 		// term table, so no re-indexing is needed.

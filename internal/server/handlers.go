@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"mime"
 	"net/http"
 	"sort"
@@ -46,13 +47,72 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
-	s.mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
-		if !s.isReady() {
-			http.Error(w, "not ready", http.StatusServiceUnavailable)
-			return
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+}
+
+// readyStatus is the GET /readyz body. Status is "ready", "degraded"
+// (serving, but with failed shards or a shed WAL — details attached)
+// or "not_ready" (starting, draining, or wedged by WAL fail-stop).
+type readyStatus struct {
+	Status        string `json:"status"`
+	FailedShards  []int  `json:"failed_shards,omitempty"`
+	ShardRestarts int64  `json:"shard_restarts,omitempty"`
+	WAL           string `json:"wal,omitempty"` // "ok" | "failed" (omitted when no WAL)
+}
+
+// handleReadyz reports readiness with supervision detail. Fail-stop
+// WAL failure answers 503 (the node must be pulled: it refuses all
+// ingest); failed shards or a shed WAL degrade the body but keep 200,
+// since the node still serves queries and the surviving shards ingest.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	st := readyStatus{Status: "ready"}
+	var restarts int64
+	for _, sh := range s.shards {
+		restarts += sh.restarts.Load()
+		if sh.failed.Load() {
+			st.FailedShards = append(st.FailedShards, sh.id)
 		}
-		fmt.Fprintln(w, "ready")
-	})
+	}
+	st.ShardRestarts = restarts
+	if s.wal != nil {
+		st.WAL = "ok"
+		if s.walBroken() {
+			st.WAL = "failed"
+		}
+	}
+	switch {
+	case !s.isReady():
+		st.Status = "not_ready"
+		writeJSON(w, http.StatusServiceUnavailable, st)
+	case s.walRefusing():
+		st.Status = "not_ready"
+		writeJSON(w, http.StatusServiceUnavailable, st)
+	case len(st.FailedShards) > 0 || st.WAL == "failed":
+		st.Status = "degraded"
+		writeJSON(w, http.StatusOK, st)
+	default:
+		writeJSON(w, http.StatusOK, st)
+	}
+}
+
+// retryAfterSeconds derives the Retry-After hint from queue occupancy
+// plus jitter, so clients synchronized by a shared saturation event
+// don't come back in lockstep. A draining server suggests a longer
+// wait (restart plus drain outlasts a quick retry); a saturated one
+// scales the hint with its fullest shard — a nearly-drained queue
+// invites a fast retry, a packed one backs clients off harder.
+func (s *Server) retryAfterSeconds(draining bool) int {
+	if draining {
+		return 3 + rand.IntN(4) // 3-6s
+	}
+	var worst float64
+	for _, sh := range s.shards {
+		if o := float64(sh.pendingEntries()) / float64(sh.depth); o > worst {
+			worst = o
+		}
+	}
+	base := 1 + int(worst*3+0.5) // 1..4s with occupancy
+	return base + rand.IntN(base+1)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -88,8 +148,14 @@ type ingestResult struct {
 // is recorded as a span in the caller's trace and every entry's feed
 // becomes a child span of it; untraced requests record nothing.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if s.walRefusing() {
+		writeJSON(w, http.StatusServiceUnavailable, ingestResult{
+			Error: "write-ahead log failed; ingest disabled (fail-stop)",
+		})
+		return
+	}
 	if !s.accepting() {
-		w.Header().Set("Retry-After", "5")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds(true)))
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	}
@@ -130,8 +196,16 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		s.Flush()
 	}
 	switch {
+	case full && s.walBroken():
+		// The rejection wasn't backpressure: the WAL refused the write.
+		// 503 (not 429) with the resume line, so a client can still
+		// resend exactly the unaccepted tail elsewhere or later.
+		if res.Error == "" {
+			res.Error = "write-ahead log append failed"
+		}
+		writeJSON(w, http.StatusServiceUnavailable, res)
 	case full:
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds(false)))
 		writeJSON(w, http.StatusTooManyRequests, res)
 	case res.Error != "":
 		writeJSON(w, http.StatusBadRequest, res)

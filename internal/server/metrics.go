@@ -42,6 +42,14 @@ type metrics struct {
 	snapshots        atomic.Int64
 	snapshotErrors   atomic.Int64
 	lastSnapshotNano atomic.Int64 // unix nanoseconds of the last successful snapshot
+
+	// Durability and supervision (PR 7).
+	walAppendErrors atomic.Int64 // WAL appends that failed (policy applied)
+	walReplayed     atomic.Int64 // records re-fed from the WAL at boot
+	walTruncated    atomic.Int64 // WAL segments removed past checkpoints
+	shardPanics     atomic.Int64 // shard worker panics recovered by the supervisor
+	shardsFailed    atomic.Int64 // shards whose restart budget is exhausted
+	entriesDropped  atomic.Int64 // accepted entries dropped by panics/failed shards
 }
 
 func newMetrics() *metrics {
@@ -214,6 +222,21 @@ func (s *Server) writeMetrics(w io.Writer) {
 	gauge(w, "auditd_go_heap_objects", "Live heap objects.", float64(ms.HeapObjects))
 	counter(w, "auditd_go_gc_cycles_total", "Completed GC cycles.", int64(ms.NumGC))
 	gauge(w, "auditd_go_gc_pause_total_seconds", "Cumulative GC stop-the-world pause.", float64(ms.PauseTotalNs)/1e9)
+
+	// Durability and supervision.
+	if s.wal != nil {
+		appended, syncs, segments, bytes := s.wal.Stats()
+		counter(w, "auditd_wal_records_total", "Entries appended to the write-ahead log since boot.", int64(appended))
+		counter(w, "auditd_wal_fsyncs_total", "Explicit WAL fsyncs issued.", int64(syncs))
+		gauge(w, "auditd_wal_segments", "Live WAL segment files.", float64(segments))
+		gauge(w, "auditd_wal_bytes", "Total WAL bytes on disk.", float64(bytes))
+		counter(w, "auditd_wal_replayed_total", "Entries re-fed from the WAL at boot.", m.walReplayed.Load())
+		counter(w, "auditd_wal_truncated_segments_total", "WAL segments removed as covered by checkpoints.", m.walTruncated.Load())
+		counter(w, "auditd_wal_append_errors_total", "WAL appends that failed (failure policy applied).", m.walAppendErrors.Load())
+	}
+	counter(w, "auditd_shard_panics_total", "Shard worker panics recovered by the supervisor.", m.shardPanics.Load())
+	gauge(w, "auditd_shards_failed", "Shards whose restart budget is exhausted.", float64(m.shardsFailed.Load()))
+	counter(w, "auditd_entries_dropped_total", "Accepted entries dropped by shard panics or failed shards (recoverable from the WAL).", m.entriesDropped.Load())
 
 	m.feedLatency.write(w, "auditd_feed_latency_seconds")
 	m.snapshotDuration.write(w, "auditd_snapshot_duration_seconds")

@@ -21,11 +21,13 @@ import (
 	"log/slog"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/audit"
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/wal"
 )
 
 // Config tunes the server; zero values take the documented defaults.
@@ -55,7 +57,36 @@ type Config struct {
 	// Logger receives structured request/verdict logs (default
 	// slog.Default()).
 	Logger *slog.Logger
+
+	// WALDir, when set, enables the write-ahead ingest log: every
+	// accepted entry is appended (CRC-framed) to segmented log files in
+	// this directory BEFORE dispatch, and Start replays the log tail
+	// past the checkpoint — a kill -9 loses nothing acknowledged.
+	WALDir string
+	// WALFsync is the log's durability policy: wal.FsyncAlways,
+	// wal.FsyncInterval (default) or wal.FsyncOff.
+	WALFsync string
+	// WALSegmentBytes rotates log segments at this size (default 64 MiB).
+	WALSegmentBytes int64
+	// WALFsyncInterval is the background fsync period under the
+	// interval policy (default 100ms).
+	WALFsyncInterval time.Duration
+	// WALFailure selects the degradation when a WAL write fails:
+	// WALFailstop (default) wedges ingest entirely — every later POST
+	// gets 503 and /readyz fails, so the node is pulled; WALShed sheds
+	// only the affected requests with 503 and keeps the node serving
+	// queries and checkpoints, /readyz degraded but 200.
+	WALFailure string
+	// ShardRestartLimit bounds how many times the supervisor restarts a
+	// panicking shard worker before failing the shard (default 5).
+	ShardRestartLimit int
 }
+
+// WAL failure policies (Config.WALFailure).
+const (
+	WALFailstop = "failstop"
+	WALShed     = "shed"
+)
 
 func (c Config) withDefaults() Config {
 	if c.Shards <= 0 {
@@ -78,6 +109,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Logger == nil {
 		c.Logger = slog.Default()
+	}
+	if c.WALFailure == "" {
+		c.WALFailure = WALFailstop
+	}
+	if c.ShardRestartLimit <= 0 {
+		c.ShardRestartLimit = 5
 	}
 	return c
 }
@@ -110,6 +147,14 @@ type Server struct {
 	ckptDone chan struct{}
 	// ckptMu serializes checkpoint writes (ticker vs. shutdown).
 	ckptMu sync.Mutex
+
+	// wal is the write-ahead ingest log (nil when WALDir is unset);
+	// inflight tracks append→enqueue windows for safe truncation, and
+	// walFailed flips under the fail-stop policy when an append fails
+	// (see wal.go).
+	wal       *wal.Log
+	inflight  inflightTracker
+	walFailed atomic.Bool
 }
 
 // New builds a server over the registry's purposes. The checker
@@ -148,9 +193,12 @@ func (s *Server) caseCount() int {
 	return n
 }
 
-// Start restores the checkpoint (if configured and present), launches
+// Start restores the checkpoint (if configured and present), opens the
+// write-ahead log and replays its tail through the shards, launches
 // the shard workers and the checkpoint loop, and marks the server
-// ready. It must be called exactly once.
+// ready. A corrupt WAL fails Start loudly — refusing to boot beats
+// silently losing acknowledged entries. It must be called exactly
+// once.
 func (s *Server) Start() error {
 	if s.started {
 		return fmt.Errorf("server: already started")
@@ -159,22 +207,32 @@ func (s *Server) Start() error {
 	if err := s.restore(); err != nil {
 		return err
 	}
+	if err := s.openWAL(); err != nil {
+		return err
+	}
+	if err := s.replayWAL(); err != nil {
+		return err
+	}
 	for _, sh := range s.shards {
-		go sh.run()
+		go sh.run(s.cfg.ShardRestartLimit)
 	}
 	s.stopCkpt = make(chan struct{})
 	s.ckptDone = make(chan struct{})
 	go s.checkpointLoop()
 	s.setReady(true)
 	s.log.Info("auditd started", "shards", len(s.shards), "queue_depth", s.cfg.QueueDepth,
-		"checkpoint", s.cfg.CheckpointPath, "purposes", len(s.reg.Purposes()), "cases", s.caseCount())
+		"checkpoint", s.cfg.CheckpointPath, "wal", s.cfg.WALDir,
+		"purposes", len(s.reg.Purposes()), "cases", s.caseCount())
 	return nil
 }
 
 // Shutdown drains and stops the server: new ingests are refused,
 // in-flight ingests finish, shard queues are drained to their monitors,
-// and a final checkpoint is written. The context bounds the wait for
-// in-flight work.
+// and a final checkpoint is written. The context bounds the wait: on
+// deadline, whatever DID drain is still checkpointed (stragglers keep
+// their previous checkpoint state, and their unfed entries stay in the
+// WAL for the next boot to replay), the stragglers are logged, and the
+// deadline error is returned.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.setReady(false)
 
@@ -205,16 +263,72 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	select {
 	case <-done:
 	case <-ctx.Done():
-		return ctx.Err()
+		return s.shutdownExpired(ctx)
 	}
 
 	// Workers are gone; monitors are safe to read directly.
 	if err := s.checkpointFinal(); err != nil {
 		s.log.Error("final checkpoint failed", "err", err)
+		s.closeWAL(false)
 		return err
 	}
+	// Every acknowledged entry is now in the checkpoint; the WAL can
+	// shed its sealed history.
+	s.closeWAL(true)
 	s.log.Info("auditd drained and stopped", "cases", s.caseCount())
 	return nil
+}
+
+// shutdownExpired is Shutdown's deadline path: checkpoint the shards
+// that finished draining, carry the stragglers' cases over from the
+// previous checkpoint (a consistent, if older, cut — their newer
+// entries are still in the WAL), and report who was stuck.
+func (s *Server) shutdownExpired(ctx context.Context) error {
+	var drained []*shard
+	var stuck []int
+	stale := map[int]bool{}
+	for _, sh := range s.shards {
+		select {
+		case <-sh.done:
+			drained = append(drained, sh)
+		default:
+			stuck = append(stuck, sh.id)
+			stale[sh.id] = true
+		}
+	}
+	if err := s.checkpointPartial(drained, stale); err != nil {
+		s.log.Error("partial checkpoint failed", "err", err)
+	}
+	// No WAL truncation here: the stragglers' unfed entries must
+	// survive for the next boot's replay.
+	s.closeWAL(false)
+	s.log.Error("drain deadline exceeded; straggler shards abandoned",
+		"stragglers", stuck, "drained", len(drained))
+	return fmt.Errorf("server: drain deadline exceeded, %d shard(s) still busy %v: %w",
+		len(stuck), stuck, ctx.Err())
+}
+
+// Crash stops the server the way a kill -9 would leave it: no final
+// checkpoint, no WAL truncation — the on-disk state is a stale (or
+// absent) checkpoint plus the full log. Chaos and recovery-test
+// support; production shutdown is Shutdown.
+func (s *Server) Crash() {
+	s.setReady(false)
+	s.gate.Lock()
+	s.draining = true
+	s.gate.Unlock()
+	if s.stopCkpt != nil {
+		close(s.stopCkpt)
+		<-s.ckptDone
+	}
+	s.ingestWG.Wait()
+	for _, sh := range s.shards {
+		close(sh.queue)
+	}
+	for _, sh := range s.shards {
+		<-sh.done
+	}
+	s.closeWAL(false)
 }
 
 // accepting registers an ingest if the server is not draining.
@@ -285,7 +399,7 @@ func (w *statusWriter) WriteHeader(code int) {
 // a draining server stopped the ingest). This is the in-process
 // ingestion surface used by benchmarks and embedders.
 func (s *Server) IngestEntries(entries []audit.Entry) (int, bool) {
-	if !s.accepting() {
+	if s.walRefusing() || !s.accepting() {
 		return 0, false
 	}
 	defer s.ingestWG.Done()
@@ -305,13 +419,13 @@ func (s *Server) IngestEntries(entries []audit.Entry) (int, bool) {
 // unbatched baseline (one pooled slice, one credit acquisition, one
 // channel send per entry).
 func (s *Server) IngestEntry(e audit.Entry) bool {
-	if !s.accepting() {
+	if s.walRefusing() || !s.accepting() {
 		return false
 	}
 	defer s.ingestWG.Done()
 	single := getBatch()
 	*single = append(*single, e)
-	if s.shardFor(e.Case).tryEnqueueBatch(single, obs.SpanContext{}) {
+	if s.enqueueBatch(s.shardFor(e.Case), single, obs.SpanContext{}) {
 		s.metrics.eventsIngested.Add(1)
 		return true
 	}

@@ -2,6 +2,7 @@ package server
 
 import (
 	"log/slog"
+	"runtime/debug"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -35,6 +36,31 @@ type shard struct {
 	depth   int64
 	credits atomic.Int64
 
+	// enqMu serializes the WAL-append + queue-send pair for this shard:
+	// the WAL's per-case record order must equal feed order, or boot
+	// replay would re-feed entries in a different order than the
+	// checkpoint counted them (durable dispatch in wal.go).
+	enqMu sync.Mutex
+
+	// Supervision state. restarts counts worker panics survived so far;
+	// failed flips when the restart budget is exhausted, after which new
+	// batches are refused and a drainer keeps the queue live for
+	// control traffic (barriers, snapshots) so Flush and Shutdown never
+	// wedge on a dead shard.
+	restarts atomic.Int64
+	failed   atomic.Bool
+	// pending is the batch being fed, tracked in the shard (not on the
+	// worker's stack) so a restart after a panic resumes the batch at
+	// the entry AFTER the one that blew up — exactly one entry is
+	// dropped per panic, and its credits are still returned.
+	pending    *[]audit.Entry
+	pendingIdx int
+	pendingSC  obs.SpanContext
+	pendingLSN uint64
+	// panicHook, when set (tests only), runs before each feed — the
+	// injection point for supervisor chaos tests.
+	panicHook func(*audit.Entry)
+
 	mon     *core.Monitor
 	metrics *metrics
 	log     *slog.Logger
@@ -52,12 +78,17 @@ type shard struct {
 	views map[string]*CaseView
 }
 
-// shardMsg is one unit of shard queue traffic: exactly one field is
-// set.
+// shardMsg is one unit of shard queue traffic: exactly one of batch,
+// barrier, snap is set.
 type shardMsg struct {
 	// batch is a run of consecutive entries routed to this shard. The
 	// slice comes from batchPool; the worker recycles it after feeding.
 	batch *[]audit.Entry
+	// firstLSN is the WAL LSN of the batch's first entry (consecutive
+	// from there); 0 when the server runs without a WAL. The feed
+	// stamps each case view with its last applied LSN, which is what
+	// boot replay uses to skip records the checkpoint already covers.
+	firstLSN uint64
 	// sc is the ingest span's context when the submitting request
 	// carried a traceparent header; the zero value otherwise. It rides
 	// the queue so the feed span lands in the caller's trace.
@@ -100,6 +131,11 @@ type CaseView struct {
 	// Updated is the log time of the entry that last changed this view.
 	Updated time.Time `json:"updated"`
 	Shard   int       `json:"shard"`
+	// WalLSN is the write-ahead-log sequence number of the case's last
+	// fed entry (0 without a WAL). Checkpoints persist it, and boot
+	// replay skips the case's WAL records at or below it — the
+	// exactly-once contract between checkpoint and log.
+	WalLSN uint64 `json:"wal_lsn,omitempty"`
 }
 
 const (
@@ -129,18 +165,110 @@ func newShard(id int, checker *core.Checker, depth int, m *metrics, log *slog.Lo
 // yet (queued batches plus the batch currently being fed).
 func (sh *shard) pendingEntries() int64 { return sh.depth - sh.credits.Load() }
 
-// run consumes the queue until it is closed, then drains nothing more
-// and signals done. Only this goroutine touches sh.mon after Start.
-func (sh *shard) run() {
+// run is the supervised worker loop: runOnce consumes the queue until
+// it is closed (clean exit) or panics, in which case the supervisor
+// restarts it — with exponential backoff, up to restartLimit times.
+// Past the budget the shard is failed: its monitor stops, new batches
+// are refused with backpressure, and a drainer keeps consuming the
+// queue (returning credits, honoring barriers, serving frozen
+// snapshots) so nothing blocking on this shard ever wedges. Only this
+// goroutine touches sh.mon after Start.
+func (sh *shard) run(restartLimit int) {
 	defer close(sh.done)
+	for {
+		if sh.runOnce() {
+			return
+		}
+		sh.metrics.shardPanics.Add(1)
+		n := sh.restarts.Add(1)
+		if n > int64(restartLimit) {
+			sh.failed.Store(true)
+			sh.metrics.shardsFailed.Add(1)
+			sh.log.Error("shard failed: restart budget exhausted, draining without feeding",
+				"shard", sh.id, "restarts", n-1)
+			sh.drainFailed()
+			return
+		}
+		// 5ms, 10ms, 20ms ... capped at 320ms: enough to ride out a
+		// tight panic loop without parking the queue for long.
+		backoff := (5 * time.Millisecond) << min(uint(n-1), 6)
+		sh.log.Warn("shard worker restarting after panic",
+			"shard", sh.id, "restart", n, "backoff", backoff)
+		time.Sleep(backoff)
+	}
+}
+
+// runOnce consumes the queue until closed. It returns true on a clean
+// queue-close and false if a panic unwound it (recovered here, with
+// the stack logged; the interrupted batch stays in sh.pending for the
+// next incarnation to resume).
+func (sh *shard) runOnce() (clean bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if sh.pending != nil {
+				// Exactly the entry being fed is lost; feedPending
+				// already advanced past it.
+				sh.metrics.entriesDropped.Add(1)
+			}
+			sh.log.Error("shard worker panicked",
+				"shard", sh.id, "panic", r, "stack", string(debug.Stack()))
+		}
+	}()
+	if sh.pending != nil {
+		sh.feedPending()
+	}
 	for msg := range sh.queue {
 		switch {
 		case msg.batch != nil:
-			entries := *msg.batch
-			for i := range entries {
-				sh.feed(entries[i], msg.sc)
-			}
-			sh.credits.Add(int64(len(entries)))
+			sh.pending, sh.pendingIdx, sh.pendingSC, sh.pendingLSN = msg.batch, 0, msg.sc, msg.firstLSN
+			sh.feedPending()
+		case msg.barrier != nil:
+			close(msg.barrier)
+		case msg.snap != nil:
+			msg.snap <- sh.dump()
+		}
+	}
+	return true
+}
+
+// feedPending feeds the in-progress batch from its cursor, then
+// returns its credits and recycles it. The cursor advances BEFORE each
+// feed, so when a feed panics the supervisor's resume skips exactly
+// the poisonous entry instead of re-feeding it into another panic.
+func (sh *shard) feedPending() {
+	entries := *sh.pending
+	for sh.pendingIdx < len(entries) {
+		i := sh.pendingIdx
+		sh.pendingIdx++
+		var lsn uint64
+		if sh.pendingLSN > 0 {
+			lsn = sh.pendingLSN + uint64(i)
+		}
+		sh.feed(entries[i], sh.pendingSC, lsn)
+	}
+	sh.credits.Add(int64(len(entries)))
+	putBatch(sh.pending)
+	sh.pending = nil
+}
+
+// drainFailed is the terminal loop of a failed shard: every batch is
+// dropped (counted — and still in the WAL, so a restart recovers it),
+// credits are returned so producers never leak capacity, barriers
+// close and snapshots serve the frozen pre-failure state.
+func (sh *shard) drainFailed() {
+	if sh.pending != nil {
+		entries := *sh.pending
+		sh.metrics.entriesDropped.Add(int64(len(entries) - sh.pendingIdx))
+		sh.credits.Add(int64(len(entries)))
+		putBatch(sh.pending)
+		sh.pending = nil
+	}
+	for msg := range sh.queue {
+		switch {
+		case msg.batch != nil:
+			n := int64(len(*msg.batch))
+			sh.metrics.entriesDropped.Add(n)
+			sh.credits.Add(n)
 			putBatch(msg.batch)
 		case msg.barrier != nil:
 			close(msg.barrier)
@@ -158,14 +286,8 @@ func (sh *shard) run() {
 // trace context (zero when untraced).
 func (sh *shard) tryEnqueueBatch(b *[]audit.Entry, sc obs.SpanContext) bool {
 	n := int64(len(*b))
-	for {
-		c := sh.credits.Load()
-		if c < n {
-			return false
-		}
-		if sh.credits.CompareAndSwap(c, c-n) {
-			break
-		}
+	if !sh.reserve(n) {
+		return false
 	}
 	select {
 	case sh.queue <- shardMsg{batch: b, sc: sc}:
@@ -176,6 +298,24 @@ func (sh *shard) tryEnqueueBatch(b *[]audit.Entry, sc obs.SpanContext) bool {
 		// back and report saturation.
 		sh.credits.Add(n)
 		return false
+	}
+}
+
+// reserve acquires n entry credits, or none. A failed shard refuses
+// all reservations: accepting entries its drainer would drop silently
+// is worse than honest backpressure.
+func (sh *shard) reserve(n int64) bool {
+	if sh.failed.Load() {
+		return false
+	}
+	for {
+		c := sh.credits.Load()
+		if c < n {
+			return false
+		}
+		if sh.credits.CompareAndSwap(c, c-n) {
+			return true
+		}
 	}
 }
 
@@ -209,9 +349,14 @@ func (sh *shard) dump() shardDump {
 }
 
 // feed advances one case by one entry and folds the verdict into the
-// case view and the metrics. When the entry's ingest carried trace
-// context, the feed is recorded as a child span in the caller's trace.
-func (sh *shard) feed(e audit.Entry, sc obs.SpanContext) {
+// case view and the metrics. lsn is the entry's WAL record number (0
+// without a WAL), stamped into the view for boot replay. When the
+// entry's ingest carried trace context, the feed is recorded as a
+// child span in the caller's trace.
+func (sh *shard) feed(e audit.Entry, sc obs.SpanContext, lsn uint64) {
+	if sh.panicHook != nil {
+		sh.panicHook(&e)
+	}
 	var span *obs.ActiveSpan
 	if sc.IsValid() {
 		span = sh.tracer.StartSpan(sc, "feed")
@@ -234,8 +379,21 @@ func (sh *shard) feed(e audit.Entry, sc obs.SpanContext) {
 		return
 	}
 	sh.metrics.countEngine(v.Engine)
+	outcome := sh.applyVerdict(&e, v, sc, lsn)
 
+	if span != nil {
+		span.SetAttr("outcome", outcome)
+		span.End()
+	}
+}
+
+// applyVerdict folds one verdict into the case view under the view
+// lock. It is its own function so the lock is released by defer even
+// if something under it panics — the supervisor must never inherit a
+// poisoned mutex.
+func (sh *shard) applyVerdict(e *audit.Entry, v *core.Verdict, sc obs.SpanContext, lsn uint64) string {
 	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	view, ok := sh.views[e.Case]
 	if !ok {
 		view = &CaseView{
@@ -247,6 +405,9 @@ func (sh *shard) feed(e audit.Entry, sc obs.SpanContext) {
 	view.Entries = v.CaseEntries
 	view.Updated = e.Time
 	view.Configurations = v.Configurations
+	if lsn > 0 {
+		view.WalLSN = lsn
+	}
 	if v.Engine != "" {
 		view.Engine = v.Engine
 	}
@@ -275,13 +436,7 @@ func (sh *shard) feed(e audit.Entry, sc obs.SpanContext) {
 				"reason", v.Violation.Reason, "trace_id", traceField(sc))
 		}
 	}
-	outcome := view.Outcome
-	sh.mu.Unlock()
-
-	if span != nil {
-		span.SetAttr("outcome", outcome)
-		span.End()
-	}
+	return view.Outcome
 }
 
 // traceField renders the trace id for log correlation; empty when the

@@ -1,0 +1,237 @@
+package server
+
+// Durable dispatch: the glue between the ingest path and internal/wal
+// (DESIGN.md §14). With a WAL configured, acceptance means durability:
+// a batch's credits are reserved first (so the 429 decision happens
+// before any disk write), the batch is appended to the log, and only
+// then is it enqueued to its shard — a blocking send, which cannot
+// stall indefinitely because credits bound queued entries to the
+// channel capacity and the supervisor keeps even a failed shard's
+// queue draining.
+//
+// Replay correctness rests on two invariants kept here:
+//
+//  1. Per shard, WAL record order equals feed order (sh.enqMu makes
+//     append+send atomic per shard; cases never span shards).
+//  2. Each case view carries the LSN of its last fed entry, persisted
+//     in checkpoints, so boot replay skips exactly the records the
+//     restored checkpoint already covers — robust against segment
+//     truncation and shard-count changes.
+//
+// Truncation safety: a checkpoint may only drop records that are
+// certain to be inside its cut. Records enqueued before the dump
+// requests are fed before the dumps (FIFO queues); the only records
+// that might not be are those inside an append→enqueue window, which
+// the inflight tracker exposes as a low-water mark captured before the
+// dump fan-out.
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/obs"
+	"repro/internal/wal"
+)
+
+// inflightTracker records the first LSN of every batch that has been
+// appended to the WAL but not yet enqueued to its shard. Its mutex
+// also brackets the append itself, so lowWater never misses a window
+// that completed its append before the capture.
+type inflightTracker struct {
+	mu     sync.Mutex
+	firsts map[uint64]int // first LSN → open windows with that first
+}
+
+// openWAL opens the configured log; no-op without WALDir.
+func (s *Server) openWAL() error {
+	if s.cfg.WALDir == "" {
+		return nil
+	}
+	switch s.cfg.WALFailure {
+	case WALFailstop, WALShed:
+	default:
+		return fmt.Errorf("server: unknown WAL failure policy %q (want %s|%s)",
+			s.cfg.WALFailure, WALFailstop, WALShed)
+	}
+	l, err := wal.Open(s.cfg.WALDir, wal.Options{
+		SegmentBytes:  s.cfg.WALSegmentBytes,
+		Fsync:         s.cfg.WALFsync,
+		FsyncInterval: s.cfg.WALFsyncInterval,
+	})
+	if err != nil {
+		return fmt.Errorf("server: opening wal: %w", err)
+	}
+	s.wal = l
+	s.inflight.firsts = map[uint64]int{}
+	return nil
+}
+
+// replayWAL re-feeds the log tail through the shards — records past
+// each case's checkpointed LSN, in log order, before the workers
+// start. Corruption aborts boot.
+func (s *Server) replayWAL() error {
+	if s.wal == nil {
+		return nil
+	}
+	skip := map[string]uint64{}
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for id, v := range sh.views {
+			if v.WalLSN > 0 {
+				skip[id] = v.WalLSN
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	start := time.Now()
+	replayed := 0
+	err := s.wal.Replay(1, func(lsn uint64, e audit.Entry) error {
+		if lsn <= skip[e.Case] {
+			return nil // already inside the restored checkpoint's cut
+		}
+		s.shardFor(e.Case).feed(e, obs.SpanContext{}, lsn)
+		replayed++
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("server: wal replay: %w", err)
+	}
+	if replayed > 0 || s.wal.LastLSN() > 0 {
+		s.metrics.walReplayed.Add(int64(replayed))
+		s.log.Info("wal replayed", "records", replayed, "last_lsn", s.wal.LastLSN(),
+			"dur_ms", float64(time.Since(start).Microseconds())/1000)
+	}
+	return nil
+}
+
+// enqueueBatch dispatches one pooled batch to sh — directly when no
+// WAL is configured, through it otherwise. false means the batch was
+// not accepted (saturation, failed shard, or WAL failure) and the
+// caller still owns the slice.
+func (s *Server) enqueueBatch(sh *shard, b *[]audit.Entry, sc obs.SpanContext) bool {
+	if s.wal == nil {
+		return sh.tryEnqueueBatch(b, sc)
+	}
+	if s.walFailed.Load() {
+		return false
+	}
+	n := int64(len(*b))
+	if !sh.reserve(n) {
+		return false
+	}
+	sh.enqMu.Lock()
+	first, err := s.walAppend(*b)
+	if err != nil {
+		sh.enqMu.Unlock()
+		sh.credits.Add(n)
+		s.walFailure(err)
+		return false
+	}
+	// Blocking send: the credits just reserved guarantee a queue slot
+	// frees up, and the worker (or its supervisor/drainer) is always
+	// consuming.
+	sh.queue <- shardMsg{batch: b, sc: sc, firstLSN: first}
+	sh.enqMu.Unlock()
+	s.inflightDone(first)
+	return true
+}
+
+// walAppend appends one batch and registers its append→enqueue window,
+// atomically with respect to lowWater captures.
+func (s *Server) walAppend(entries []audit.Entry) (uint64, error) {
+	s.inflight.mu.Lock()
+	defer s.inflight.mu.Unlock()
+	first, _, err := s.wal.Append(entries)
+	if err != nil {
+		return 0, err
+	}
+	s.inflight.firsts[first]++
+	return first, nil
+}
+
+// inflightDone closes an append→enqueue window: the batch is in its
+// shard queue, so any dump requested from now on will reflect it.
+func (s *Server) inflightDone(first uint64) {
+	s.inflight.mu.Lock()
+	if s.inflight.firsts[first]--; s.inflight.firsts[first] <= 0 {
+		delete(s.inflight.firsts, first)
+	}
+	s.inflight.mu.Unlock()
+}
+
+// walLowWater returns the highest LSN that a checkpoint whose dump
+// requests are issued after this call is guaranteed to cover: every
+// record up to it is either fed or queued ahead of the dump message.
+func (s *Server) walLowWater() uint64 {
+	if s.wal == nil {
+		return 0
+	}
+	s.inflight.mu.Lock()
+	defer s.inflight.mu.Unlock()
+	low := s.wal.LastLSN()
+	for first := range s.inflight.firsts {
+		if first-1 < low {
+			low = first - 1
+		}
+	}
+	return low
+}
+
+// walFailure applies the configured write-failure policy. Append
+// errors are sticky in the log itself, so under WALShed every affected
+// request keeps getting refused (503) while queries and checkpoints
+// continue; under WALFailstop the whole ingest surface is wedged and
+// readiness fails, pulling the node.
+func (s *Server) walFailure(err error) {
+	s.metrics.walAppendErrors.Add(1)
+	if s.cfg.WALFailure == WALShed {
+		s.log.Error("wal append failed; batch shed", "err", err)
+		return
+	}
+	if s.walFailed.CompareAndSwap(false, true) {
+		s.log.Error("wal append failed; fail-stop: all further ingest refused", "err", err)
+	}
+}
+
+// walRefusing reports whether fail-stop has wedged the ingest surface.
+func (s *Server) walRefusing() bool { return s.walFailed.Load() }
+
+// walBroken reports whether the log has a sticky write failure (either
+// policy) — the ingest 503 signal.
+func (s *Server) walBroken() bool {
+	return s.wal != nil && (s.walFailed.Load() || s.wal.Err() != nil)
+}
+
+// truncateWAL drops sealed segments fully covered by a checkpoint.
+func (s *Server) truncateWAL(lsn uint64) {
+	if s.wal == nil || lsn == 0 {
+		return
+	}
+	n, err := s.wal.TruncateBefore(lsn)
+	if err != nil {
+		s.log.Warn("wal truncation failed", "err", err)
+		return
+	}
+	if n > 0 {
+		s.metrics.walTruncated.Add(int64(n))
+		s.log.Info("wal truncated", "segments", n, "through_lsn", lsn)
+	}
+}
+
+// closeWAL flushes and closes the log; truncate additionally sheds
+// segments covered by the final checkpoint first (clean shutdown
+// only — never after a partial drain, and never without a checkpoint
+// to replay from).
+func (s *Server) closeWAL(truncate bool) {
+	if s.wal == nil {
+		return
+	}
+	if truncate && s.cfg.CheckpointPath != "" {
+		s.truncateWAL(s.wal.LastLSN())
+	}
+	if err := s.wal.Close(); err != nil {
+		s.log.Warn("wal close", "err", err)
+	}
+}

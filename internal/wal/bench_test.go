@@ -1,0 +1,50 @@
+package wal
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/audit"
+)
+
+func benchEntries(n int) []audit.Entry {
+	es := make([]audit.Entry, n)
+	for i := range es {
+		es[i] = audit.Entry{
+			User: "John", Role: "GP", Action: "read", Task: "T01",
+			Case: "HT-1", Time: time.Unix(1000, 0), Status: audit.Success,
+		}
+	}
+	return es
+}
+
+func BenchmarkAppendSingle(b *testing.B) {
+	l, err := Open(b.TempDir(), Options{Fsync: FsyncOff})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	es := benchEntries(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := l.Append(es); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAppendBatch256(b *testing.B) {
+	l, err := Open(b.TempDir(), Options{Fsync: FsyncOff})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	es := benchEntries(256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := l.Append(es); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*256), "ns/entry")
+}
