@@ -82,10 +82,25 @@ func (s *Server) checkpointRunning() error {
 	for i, ch := range replies {
 		dumps[i] = <-ch
 	}
+	for i := range dumps {
+		if dumps[i].incomplete {
+			// The shard's dump panicked (serveSnap still replied, so
+			// the loop is not wedged). Writing a cut missing its cases
+			// would lose them on restore — skip the whole round and
+			// retry next tick; the previous checkpoint stays in place.
+			return fmt.Errorf("server: shard %d dump panicked; checkpoint skipped", i)
+		}
+	}
 	if err := s.writeCheckpoint(dumps); err != nil {
 		return err
 	}
-	s.truncateWAL(lowWater)
+	// Clamped so records a failed shard's drainer dropped — provably
+	// NOT in any dump despite sitting below the low-water mark — stay
+	// in the log for boot replay (walSafeLSN). Checked after the dumps
+	// are collected: a shard that fails later can only be dropping
+	// records above lowWater, since anything at or below it was fed
+	// before the dump this checkpoint just persisted.
+	s.truncateWAL(s.walSafeLSN(lowWater))
 	return nil
 }
 

@@ -60,6 +60,17 @@ type shard struct {
 	// panicHook, when set (tests only), runs before each feed — the
 	// injection point for supervisor chaos tests.
 	panicHook func(*audit.Entry)
+	// snapHook, when set (tests only), runs at the start of every dump —
+	// the injection point for dump-panic supervision tests.
+	snapHook func()
+
+	// lastFedLSN is the WAL LSN of the last entry whose feed completed
+	// (0 without a WAL). When the shard fails, everything it dropped —
+	// queued batches its drainer discarded, the entry whose feed
+	// panicked — exists only in the WAL, all above this mark (per-shard
+	// WAL order is feed order), so checkpoint truncation clamps to it
+	// (walSafeLSN) to keep those records replayable at next boot.
+	lastFedLSN atomic.Uint64
 
 	mon     *core.Monitor
 	metrics *metrics
@@ -100,10 +111,14 @@ type shardMsg struct {
 	snap chan<- shardDump
 }
 
-// shardDump is one shard's contribution to a checkpoint.
+// shardDump is one shard's contribution to a checkpoint. incomplete
+// marks a reply whose dump panicked: the requester got an answer (so
+// the checkpoint loop never wedges) but must discard the whole round —
+// persisting a cut missing this shard's cases would lose them.
 type shardDump struct {
-	state *core.MonitorState
-	views map[string]*CaseView
+	state      *core.MonitorState
+	views      map[string]*CaseView
+	incomplete bool
 }
 
 // CaseView is the queryable verdict state of one case, exposed at
@@ -225,10 +240,28 @@ func (sh *shard) runOnce() (clean bool) {
 		case msg.barrier != nil:
 			close(msg.barrier)
 		case msg.snap != nil:
-			msg.snap <- sh.dump()
+			sh.serveSnap(msg.snap)
 		}
 	}
 	return true
+}
+
+// serveSnap replies to a snapshot request with a guaranteed answer: if
+// dump panics (a monitor corrupted by the very fault supervision exists
+// for), the deferred send delivers an incomplete dump before the panic
+// unwinds into the supervisor — checkpointRunning must never block
+// forever on a reply that isn't coming. The reply channel is buffered
+// (requestDump), so neither send can block.
+func (sh *shard) serveSnap(ch chan<- shardDump) {
+	sent := false
+	defer func() {
+		if !sent {
+			ch <- shardDump{incomplete: true}
+		}
+	}()
+	d := sh.dump()
+	ch <- d
+	sent = true
 }
 
 // feedPending feeds the in-progress batch from its cursor, then
@@ -273,9 +306,23 @@ func (sh *shard) drainFailed() {
 		case msg.barrier != nil:
 			close(msg.barrier)
 		case msg.snap != nil:
-			msg.snap <- sh.dump()
+			sh.drainSnap(msg.snap)
 		}
 	}
+}
+
+// drainSnap serves a snapshot from the drainer, recovering a dump
+// panic: the terminal loop has no supervisor above it, and an escaped
+// panic here would take down the whole process. The requester still
+// gets serveSnap's incomplete reply.
+func (sh *shard) drainSnap(ch chan<- shardDump) {
+	defer func() {
+		if r := recover(); r != nil {
+			sh.log.Error("failed shard's dump panicked",
+				"shard", sh.id, "panic", r, "stack", string(debug.Stack()))
+		}
+	}()
+	sh.serveSnap(ch)
 }
 
 // tryEnqueueBatch offers a run of entries to the queue without
@@ -338,6 +385,9 @@ func (sh *shard) requestDump() <-chan shardDump {
 // the worker goroutine (running) or after the worker exited (final
 // checkpoint).
 func (sh *shard) dump() shardDump {
+	if sh.snapHook != nil {
+		sh.snapHook()
+	}
 	sh.mu.RLock()
 	views := make(map[string]*CaseView, len(sh.views))
 	for id, v := range sh.views {
@@ -367,6 +417,13 @@ func (sh *shard) feed(e audit.Entry, sc obs.SpanContext, lsn uint64) {
 	start := time.Now()
 	v, err := sh.mon.Feed(e)
 	sh.metrics.feedLatency.observe(time.Since(start))
+	if lsn > 0 {
+		// Stored only after Feed returns: an entry that panics mid-feed
+		// stays ABOVE the truncation clamp (walSafeLSN), so the WAL
+		// keeps it for the next boot's replay — the same recovery
+		// contract the supervisor's one-entry drop relies on.
+		sh.lastFedLSN.Store(lsn)
+	}
 	if err != nil {
 		// Genuine engine error (not a verdict): count it, log it, and
 		// leave the case view untouched — the entry is lost, which the

@@ -179,6 +179,26 @@ func (s *Server) walLowWater() uint64 {
 	return low
 }
 
+// walSafeLSN clamps a truncation candidate below the records a failed
+// shard's drainer discarded. drainFailed drops queued batches on the
+// premise they stay in the WAL for the next boot — but those batches
+// closed their append→enqueue windows, so the low-water mark counts
+// them as covered, and the failed shard's dump serves a frozen
+// pre-failure cut that does not. Per shard, WAL record order is feed
+// order, so everything the drainer dropped has LSN above the shard's
+// last consumed record; truncating only below that keeps the dropped
+// records replayable.
+func (s *Server) walSafeLSN(lsn uint64) uint64 {
+	for _, sh := range s.shards {
+		if sh.failed.Load() {
+			if l := sh.lastFedLSN.Load(); l < lsn {
+				lsn = l
+			}
+		}
+	}
+	return lsn
+}
+
 // walFailure applies the configured write-failure policy. Append
 // errors are sticky in the log itself, so under WALShed every affected
 // request keeps getting refused (503) while queries and checkpoints
@@ -229,7 +249,10 @@ func (s *Server) closeWAL(truncate bool) {
 		return
 	}
 	if truncate && s.cfg.CheckpointPath != "" {
-		s.truncateWAL(s.wal.LastLSN())
+		// Clamped like the running checkpoint: the final checkpoint's
+		// dump of a failed shard is its frozen pre-failure state, and
+		// the records its drainer dropped exist only in the log.
+		s.truncateWAL(s.walSafeLSN(s.wal.LastLSN()))
 	}
 	if err := s.wal.Close(); err != nil {
 		s.log.Warn("wal close", "err", err)

@@ -297,6 +297,164 @@ func TestShardFailsAfterRestartBudget(t *testing.T) {
 	}
 }
 
+// TestFailedShardCheckpointPreservesWAL fails one shard while
+// acknowledged batches still sit in its queue — the drainer drops them
+// on the premise they stay in the WAL — then runs both truncation
+// paths (a live checkpoint and a clean Shutdown). Neither may remove
+// the dropped records: a reboot must recover every acknowledged entry
+// and reach the exact uninterrupted verdicts.
+func TestFailedShardCheckpointPreservesWAL(t *testing.T) {
+	sc := hospitalScenario(t)
+	cfg, _ := walConfig(t, 2)
+	cfg.ShardRestartLimit = 1
+	cfg.WALSegmentBytes = 512 // many sealed segments: truncation has teeth
+
+	srv1 := New(sc.Registry, hospitalChecker(sc), cfg)
+	cases := sc.Trail.Cases()
+	bad := srv1.shardFor(cases[0])
+	var badEntries []audit.Entry
+	var healthy bytes.Buffer
+	nHealthy := 0
+	for _, id := range cases {
+		sub := sc.Trail.ByCase(id)
+		if srv1.shardFor(id) == bad {
+			badEntries = append(badEntries, sub.Entries()...)
+		} else {
+			if err := audit.WriteJSONL(&healthy, sub); err != nil {
+				t.Fatal(err)
+			}
+			nHealthy += sub.Len()
+		}
+	}
+	if nHealthy == 0 || len(badEntries) < 3 {
+		t.Skip("case hashing left a shard too empty for this scenario")
+	}
+
+	var armed atomic.Bool
+	release := make(chan struct{})
+	bad.panicHook = func(e *audit.Entry) {
+		if armed.Load() {
+			<-release // holds the worker so every batch enqueues first
+			panic("persistent shard fault")
+		}
+	}
+	if err := srv1.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(srv1.Handler())
+
+	// One clean feed first, so the truncation clamp is a real LSN.
+	first := audit.NewTrail(badEntries[:1])
+	if resp, _ := post(t, ts1.URL+"/v1/events?wait=1", "application/x-ndjson", ndjson(t, first)); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first ingest: %s", resp.Status)
+	}
+	// The rest of the shard's entries are acknowledged while the worker
+	// is held at its first feed, then the fault burns the restart
+	// budget and the drainer discards everything still queued.
+	armed.Store(true)
+	rest := audit.NewTrail(badEntries[1:])
+	resp, res := post(t, ts1.URL+"/v1/events", "application/x-ndjson", ndjson(t, rest))
+	if resp.StatusCode != http.StatusAccepted || res.Accepted != rest.Len() {
+		t.Fatalf("bad-shard ingest: %s %+v", resp.Status, res)
+	}
+	close(release)
+	deadline := time.Now().Add(5 * time.Second)
+	for !bad.failed.Load() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if !bad.failed.Load() {
+		t.Fatal("shard never failed")
+	}
+	if n := srv1.metrics.entriesDropped.Load(); n == 0 {
+		t.Fatal("drainer dropped nothing; scenario broken")
+	}
+
+	// Healthy traffic after the failure pushes the WAL high-water mark
+	// (and segment seals) far past the dropped records.
+	if resp, _ := post(t, ts1.URL+"/v1/events?wait=1", "application/x-ndjson", healthy.Bytes()); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("healthy ingest: %s", resp.Status)
+	}
+	if err := srv1.checkpointRunning(); err != nil {
+		t.Fatalf("checkpoint with failed shard: %v", err)
+	}
+
+	// Clean shutdown (closeWAL's truncation path), then reboot without
+	// the fault: the log must still hold everything the shard dropped.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv1.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close()
+
+	srv2, ts2 := startServer(t, sc, cfg)
+	// Everything the failed shard lost comes back from the log: all its
+	// records except the one entry fed before the fault was armed.
+	if n := srv2.metrics.walReplayed.Load(); n != int64(len(badEntries)-1) {
+		t.Errorf("replayed %d records, want %d", n, len(badEntries)-1)
+	}
+	want := expectedOutcomes(t, sc, sc.Trail)
+	got := getCases(t, ts2.URL+"/v1/cases")
+	assertOutcomes(t, got, want)
+	for _, v := range got.Cases {
+		if n := sc.Trail.ByCase(v.Case).Len(); v.Entries != n {
+			t.Errorf("case %s: %d entries after reboot, want %d (dropped records truncated?)", v.Case, v.Entries, n)
+		}
+	}
+	ts2.Close()
+	srv2.Crash()
+}
+
+// TestCheckpointSurvivesDumpPanic panics a shard's dump mid-checkpoint:
+// the checkpoint round must fail loudly (never wedge the loop waiting
+// on a reply that isn't coming, never persist a cut missing the
+// shard's cases), and the next round must succeed once the supervisor
+// has restarted the worker.
+func TestCheckpointSurvivesDumpPanic(t *testing.T) {
+	sc := hospitalScenario(t)
+	cfg, _ := walConfig(t, 2)
+
+	srv := New(sc.Registry, hospitalChecker(sc), cfg)
+	var faulted atomic.Bool
+	srv.shards[0].snapHook = func() {
+		if faulted.CompareAndSwap(false, true) {
+			panic("injected dump panic")
+		}
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	if resp, _ := post(t, ts.URL+"/v1/events?wait=1", "application/x-ndjson", ndjson(t, sc.Trail)); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("ingest: %s", resp.Status)
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.checkpointRunning() }()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("checkpoint succeeded despite a panicked dump")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("checkpoint wedged waiting for a panicked dump")
+	}
+	// The worker was restarted, not wedged: the next round succeeds.
+	if err := srv.checkpointRunning(); err != nil {
+		t.Fatalf("checkpoint after restart: %v", err)
+	}
+	if n := srv.metrics.shardPanics.Load(); n != 1 {
+		t.Errorf("shardPanics = %d, want 1", n)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestWALFailstopWedgesIngest breaks the log under the default
 // fail-stop policy (segment rotation into a deleted directory) and
 // requires the whole ingest surface to wedge with 503s and readiness

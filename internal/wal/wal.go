@@ -116,6 +116,7 @@ func segName(base uint64) string { return fmt.Sprintf("%016x.wal", base) }
 type segment struct {
 	base  uint64 // LSN of the first record
 	count uint64 // records in the file (live for the active segment)
+	size  int64  // on-disk bytes once sealed (stale for the active segment)
 	path  string
 }
 
@@ -133,7 +134,11 @@ type Log struct {
 	f       *os.File
 	buf     []byte // pending bytes not yet written to f (our own buffer: one write syscall per flush)
 	written int64  // bytes in f (excluding buf)
-	nextLSN uint64 // LSN the next appended record receives
+	// sealedBytes is the on-disk total of the sealed segments,
+	// maintained at seal/truncate time so Stats never stats files under
+	// l.mu (a metrics scrape must not stall the append hot path).
+	sealedBytes int64
+	nextLSN     uint64 // LSN the next appended record receives
 	scratch []byte // payload encoding scratch, reused across appends
 	err     error  // sticky write failure; every later Append returns it
 
@@ -216,6 +221,9 @@ func Open(dir string, opts Options) (*Log, error) {
 			l.written = fi.Size()
 		}
 	}
+	for _, seg := range l.sealed {
+		l.sealedBytes += seg.size
+	}
 
 	if opts.Fsync != FsyncAlways {
 		l.stopFlush = make(chan struct{})
@@ -267,6 +275,7 @@ func scanSegment(path string, repair bool) (segment, error) {
 			if err := os.Truncate(path, int64(off)); err != nil {
 				return segment{}, fmt.Errorf("wal: truncating torn tail of %s: %w", path, err)
 			}
+			seg.size = int64(off)
 			return seg, nil
 		}
 		if err != nil {
@@ -275,6 +284,7 @@ func scanSegment(path string, repair bool) (segment, error) {
 		off += n
 		seg.count++
 	}
+	seg.size = int64(len(data))
 	return seg, nil
 }
 
@@ -413,7 +423,9 @@ func (l *Log) sealLocked() error {
 		return fmt.Errorf("wal: closing segment: %w", err)
 	}
 	l.active.count = l.nextLSN - l.active.base
+	l.active.size = l.written // buf is empty after syncLocked
 	l.sealed = append(l.sealed, l.active)
+	l.sealedBytes += l.written
 	l.f = nil
 	l.written = 0
 	return nil
@@ -503,19 +515,18 @@ func (l *Log) Err() error {
 }
 
 // Stats reports log totals: records appended since Open, explicit
-// fsyncs, sealed segment count and total on-disk bytes.
+// fsyncs, sealed segment count and total bytes (including records
+// still in the append buffer). Sealed sizes are tracked incrementally
+// at seal/truncate time, so no filesystem call happens under the lock
+// — a metrics scrape never stalls the append hot path.
 func (l *Log) Stats() (appended, syncs uint64, segments int, bytes int64) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	segments = len(l.sealed)
+	bytes = l.sealedBytes
 	if l.f != nil {
 		segments++
-		bytes = l.written + int64(len(l.buf))
-	}
-	for _, s := range l.sealed {
-		if fi, err := os.Stat(s.path); err == nil {
-			bytes += fi.Size()
-		}
+		bytes += l.written + int64(len(l.buf))
 	}
 	return l.appended, l.synced, segments, bytes
 }
@@ -536,6 +547,7 @@ func (l *Log) TruncateBefore(lsn uint64) (int, error) {
 			return removed, fmt.Errorf("wal: removing sealed segment: %w", err)
 		}
 		l.sealed = l.sealed[1:]
+		l.sealedBytes -= seg.size
 		removed++
 	}
 	return removed, nil

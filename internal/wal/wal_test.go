@@ -230,6 +230,67 @@ func TestTruncateBefore(t *testing.T) {
 	}
 }
 
+// TestStatsBytesTracked pins Stats' byte total — maintained
+// incrementally at seal/truncate/open time so a metrics scrape never
+// stats files under the log mutex — to the real on-disk sizes across
+// rotation, truncation and reopen.
+func TestStatsBytesTracked(t *testing.T) {
+	dir := t.TempDir()
+	check := func(l *Log, when string) {
+		t.Helper()
+		names, err := listSegments(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var disk int64
+		for _, name := range names {
+			fi, err := os.Stat(filepath.Join(dir, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			disk += fi.Size()
+		}
+		_, _, segs, bytes := l.Stats()
+		if bytes != disk {
+			t.Errorf("%s: Stats bytes = %d, on disk %d", when, bytes, disk)
+		}
+		if segs != len(names) {
+			t.Errorf("%s: Stats segments = %d, on disk %d", when, segs, len(names))
+		}
+	}
+
+	l, err := Open(dir, Options{SegmentBytes: 512, Fsync: FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		if _, _, err := l.Append([]audit.Entry{mkEntry(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	check(l, "after rotation")
+	if n, err := l.TruncateBefore(30); err != nil || n == 0 {
+		t.Fatalf("TruncateBefore(30) = %d, %v", n, err)
+	}
+	check(l, "after truncation")
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir, Options{SegmentBytes: 512, Fsync: FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	check(l2, "after reopen")
+	for i := 60; i < 90; i++ {
+		if _, _, err := l2.Append([]audit.Entry{mkEntry(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	check(l2, "after reopen appends")
+}
+
 // lastSegment returns the path of the highest-LSN segment file.
 func lastSegment(t *testing.T, dir string) string {
 	t.Helper()
