@@ -1,4 +1,4 @@
-.PHONY: ci lint cover benchguard test bench fuzz chaos serve smoke
+.PHONY: ci lint cover benchguard test bench fuzz chaos serve smoke proofs crash
 
 ci:
 	sh ./ci.sh
@@ -41,3 +41,13 @@ serve:
 # assert the known violations and metrics, clean SIGTERM drain.
 smoke:
 	sh ./ci.sh smoke
+
+# Ledger proof smoke: stream the trail, verify every case's inclusion
+# proof offline with only the public key, reject three tampered bundles.
+proofs:
+	sh ./ci.sh proofs
+
+# kill -9 crash-recovery smoke: WAL replay restores every acknowledged
+# entry and the rebuilt ledger re-signs a byte-identical root chain.
+crash:
+	sh ./ci.sh crash

@@ -7,17 +7,20 @@
 # failing on ns/entry regressions of the P1/P3/P4/P5/P6/P7 claims vs
 # the checked-in baselines (nil-observer replay rows are held to 5%),
 # an end-to-end smoke of the auditd streaming server including a
-# reboot from a binary checkpoint, and a crash-recovery smoke that
-# kill -9s the daemon mid-trail and requires the write-ahead log to
-# restore every acknowledged entry.
+# reboot from a binary checkpoint, a proofs smoke that verifies ledger
+# inclusion proofs offline (and that tampering fails loudly), and a
+# crash-recovery smoke that kill -9s the daemon mid-trail and requires
+# the write-ahead log to restore every acknowledged entry — with the
+# rebuilt ledger signing roots byte-identical to an uninterrupted run.
 #
 # Stages run standalone too:
 #   sh ci.sh            # everything
 #   sh ci.sh lint       # gofmt + vet + staticcheck
-#   sh ci.sh cover      # coverage ratchet (internal/core, internal/automaton, internal/obs, internal/encode)
-#   sh ci.sh benchguard # quick P1/P3/P4/P5/P6/P7 run vs BENCH_pr*.json
+#   sh ci.sh cover      # coverage ratchet (internal/core, internal/automaton, internal/obs, internal/encode, internal/ledger)
+#   sh ci.sh benchguard # quick P1/P3/P4/P5/P6/P7/P8 run vs BENCH_pr*.json
 #   sh ci.sh smoke      # auditd server smoke (also `make smoke`)
-#   sh ci.sh crash      # kill -9 crash-recovery smoke over the WAL
+#   sh ci.sh proofs     # ledger proof smoke: fetch, verify offline, tamper
+#   sh ci.sh crash      # kill -9 crash-recovery smoke over the WAL + ledger
 set -eu
 
 # Coverage floor for the verdict-bearing engines. Raise it when
@@ -207,6 +210,100 @@ server_smoke() {
 	SMOKE_TMP=""
 }
 
+# proofs_smoke exercises the tamper-evident ledger end to end: boot
+# auditd with sealing enabled, stream the Figure 4 trail, fetch the
+# proof bundle for every case, and verify each offline with only the
+# mirrored public key — then flip bytes in an infringing case's bundle
+# (an entry field, a root's leaf count, its signature) and require the
+# verifier to fail loudly on all three.
+proofs_smoke() {
+	echo "== ledger proofs smoke (fetch, verify offline, tamper) =="
+	SMOKE_TMP=$(mktemp -d)
+	go build -o "$SMOKE_TMP/auditd" ./cmd/auditd
+	go build -o "$SMOKE_TMP/auditgen" ./cmd/auditgen
+	go build -o "$SMOKE_TMP/purposectl" ./cmd/purposectl
+
+	"$SMOKE_TMP/auditd" -builtin hospital -addr 127.0.0.1:0 \
+		-addr-file "$SMOKE_TMP/addr" -checkpoint "$SMOKE_TMP/ckpt.json" \
+		-wal-dir "$SMOKE_TMP/wal" \
+		-ledger -ledger-key "$SMOKE_TMP/ledger.key" -ledger-batch 4 -ledger-wait 0 \
+		2>"$SMOKE_TMP/auditd.log" &
+	SMOKE_PID=$!
+	i=0
+	while [ ! -s "$SMOKE_TMP/addr" ]; do
+		i=$((i + 1))
+		if [ "$i" -gt 100 ]; then
+			echo "ledger auditd never wrote its address; log:" >&2
+			cat "$SMOKE_TMP/auditd.log" >&2
+			exit 1
+		fi
+		sleep 0.1
+	done
+	addr=$(cat "$SMOKE_TMP/addr")
+
+	"$SMOKE_TMP/auditgen" -builtin hospital -stream >"$SMOKE_TMP/trail.ndjson"
+	curl -sf --data-binary @"$SMOKE_TMP/trail.ndjson" \
+		"http://$addr/v1/events?wait=1" >/dev/null
+
+	# Every case in the trail must yield a bundle that verifies offline
+	# with only the mirrored public key.
+	cases=$(sed -n 's/.*"case":[[:space:]]*"\([^"]*\)".*/\1/p' "$SMOKE_TMP/trail.ndjson" | sort -u)
+	for c in $cases; do
+		curl -sf "http://$addr/v1/proofs/$c" >"$SMOKE_TMP/proof-$c.json"
+		"$SMOKE_TMP/purposectl" verify-proof -bundle "$SMOKE_TMP/proof-$c.json" \
+			-pubkey-file "$SMOKE_TMP/ledger.key.pub" >/dev/null || {
+			echo "proof for case $c does not verify offline" >&2
+			cat "$SMOKE_TMP/proof-$c.json" >&2
+			exit 1
+		}
+	done
+
+	# The signed root chain verifies and is fully sealed (28 entries at
+	# batch 4 = 7 batches, no open tail).
+	curl -sf "http://$addr/metrics" >"$SMOKE_TMP/metrics.txt"
+	grep -q '^auditd_ledger_batches_total 7$' "$SMOKE_TMP/metrics.txt" &&
+		grep -q '^auditd_ledger_open_leaves 0$' "$SMOKE_TMP/metrics.txt" || {
+		echo "ledger did not seal 7 full batches:" >&2
+		grep ^auditd_ledger "$SMOKE_TMP/metrics.txt" >&2
+		exit 1
+	}
+
+	# Tampering must fail loudly: an entry field, a root's leaf count,
+	# and a root signature (halves swapped keeps it well-formed hex).
+	bundle="$SMOKE_TMP/proof-HT-11.json"
+	sed 's/"Bob"/"Eve"/' "$bundle" >"$SMOKE_TMP/tampered-entry.json"
+	sed 's/"leaves": 4/"leaves": 3/' "$bundle" >"$SMOKE_TMP/tampered-root.json"
+	sed -E 's/"sig": "([0-9a-f]{64})([0-9a-f]{64})"/"sig": "\2\1"/' \
+		"$bundle" >"$SMOKE_TMP/tampered-sig.json"
+	for mut in entry root sig; do
+		if cmp -s "$bundle" "$SMOKE_TMP/tampered-$mut.json"; then
+			echo "tamper '$mut' mutated nothing in the bundle" >&2
+			exit 1
+		fi
+		set +e
+		"$SMOKE_TMP/purposectl" verify-proof -bundle "$SMOKE_TMP/tampered-$mut.json" \
+			-pubkey-file "$SMOKE_TMP/ledger.key.pub" >/dev/null 2>&1
+		code=$?
+		set -e
+		if [ "$code" != 1 ]; then
+			echo "tampered bundle ($mut) exited $code, want 1" >&2
+			exit 1
+		fi
+	done
+
+	kill -TERM "$SMOKE_PID"
+	wait "$SMOKE_PID" || {
+		echo "ledger auditd exited non-zero; log:" >&2
+		cat "$SMOKE_TMP/auditd.log" >&2
+		exit 1
+	}
+	SMOKE_PID=""
+	nc=$(echo "$cases" | wc -w)
+	echo "proofs smoke OK ($nc cases verified offline, 3 tampers rejected)"
+	rm -rf "$SMOKE_TMP"
+	SMOKE_TMP=""
+}
+
 # crash_smoke proves the write-ahead log keeps every acknowledged
 # entry across kill -9. It streams the first half of the Figure 4
 # trail (fsync always, so the 202 means "on disk"), SIGKILLs the
@@ -214,12 +311,15 @@ server_smoke() {
 # from the WAL alone, streams the second half, and requires the five
 # known infringements plus verdicts identical to an uninterrupted
 # control run — nothing acknowledged may be lost, nothing replayed
-# twice.
+# twice. The ledger rides along: the crashed-and-rebuilt run must sign
+# a root chain byte-identical to the uninterrupted control's, and its
+# proofs must still verify offline.
 crash_smoke() {
-	echo "== crash-recovery smoke (WAL, kill -9) =="
+	echo "== crash-recovery smoke (WAL + ledger, kill -9) =="
 	SMOKE_TMP=$(mktemp -d)
 	go build -o "$SMOKE_TMP/auditd" ./cmd/auditd
 	go build -o "$SMOKE_TMP/auditgen" ./cmd/auditgen
+	go build -o "$SMOKE_TMP/purposectl" ./cmd/purposectl
 
 	"$SMOKE_TMP/auditgen" -builtin hospital -stream >"$SMOKE_TMP/trail.ndjson"
 	lines=$(wc -l <"$SMOKE_TMP/trail.ndjson")
@@ -250,8 +350,13 @@ crash_smoke() {
 		addr=$(cat "$SMOKE_TMP/addr")
 	}
 
+	# -ledger-wait 0 keeps sealing deterministic: batches close on size
+	# alone, so the root chain depends only on the entry sequence.
+	ledger_flags="-ledger -ledger-key $SMOKE_TMP/ledger.key -ledger-batch 4 -ledger-wait 0"
+
+	# shellcheck disable=SC2086
 	crash_boot crash1 -checkpoint "$SMOKE_TMP/crash-ckpt.json" \
-		-wal-dir "$SMOKE_TMP/wal" -fsync always
+		-wal-dir "$SMOKE_TMP/wal" -fsync always $ledger_flags
 	curl -sf --data-binary @"$SMOKE_TMP/first.ndjson" \
 		"http://$addr/v1/events?wait=1" >"$SMOKE_TMP/ingest1.json"
 	grep -q "\"accepted\": $half" "$SMOKE_TMP/ingest1.json" || {
@@ -269,8 +374,9 @@ crash_smoke() {
 		exit 1
 	fi
 
+	# shellcheck disable=SC2086
 	crash_boot crash2 -checkpoint "$SMOKE_TMP/crash-ckpt.json" \
-		-wal-dir "$SMOKE_TMP/wal" -fsync always
+		-wal-dir "$SMOKE_TMP/wal" -fsync always $ledger_flags
 	curl -sf "http://$addr/metrics" >"$SMOKE_TMP/crash-metrics.txt"
 	grep -q "^auditd_wal_replayed_total $half$" "$SMOKE_TMP/crash-metrics.txt" || {
 		echo "reboot did not replay the $half acknowledged entries:" >&2
@@ -293,6 +399,8 @@ crash_smoke() {
 		exit 1
 	fi
 	curl -sf "http://$addr/v1/cases" >"$SMOKE_TMP/crash-cases.json"
+	curl -sf "http://$addr/v1/roots" >"$SMOKE_TMP/crash-roots.json"
+	curl -sf "http://$addr/v1/proofs/HT-11" >"$SMOKE_TMP/crash-proof.json"
 	kill -TERM "$SMOKE_PID"
 	wait "$SMOKE_PID" || {
 		echo "rebooted auditd exited non-zero; log:" >&2
@@ -301,16 +409,36 @@ crash_smoke() {
 	}
 	SMOKE_PID=""
 
-	# Control: the same trail through an uninterrupted daemon. Verdicts
-	# must match the crashed run byte for byte once the run-dependent
-	# fields (update time, shard index, WAL position) are projected out.
-	crash_boot control -checkpoint "$SMOKE_TMP/control-ckpt.json"
+	# The ledger rebuilt across the crash must still prove inclusion —
+	# offline, against the mirrored public key.
+	"$SMOKE_TMP/purposectl" verify-proof -bundle "$SMOKE_TMP/crash-proof.json" \
+		-pubkey-file "$SMOKE_TMP/ledger.key.pub" >/dev/null || {
+		echo "post-crash ledger proof does not verify offline" >&2
+		cat "$SMOKE_TMP/crash-proof.json" >&2
+		exit 1
+	}
+
+	# Control: the same trail through an uninterrupted daemon (its own
+	# WAL, the same signing key). Verdicts must match the crashed run
+	# byte for byte once the run-dependent fields (update time, shard
+	# index, WAL position) are projected out.
+	# shellcheck disable=SC2086
+	crash_boot control -checkpoint "$SMOKE_TMP/control-ckpt.json" \
+		-wal-dir "$SMOKE_TMP/control-wal" -fsync always $ledger_flags
 	curl -sf --data-binary @"$SMOKE_TMP/trail.ndjson" \
 		"http://$addr/v1/events?wait=1" >/dev/null
 	curl -sf "http://$addr/v1/cases" >"$SMOKE_TMP/control-cases.json"
+	curl -sf "http://$addr/v1/roots" >"$SMOKE_TMP/control-roots.json"
 	kill -TERM "$SMOKE_PID"
 	wait "$SMOKE_PID" || true
 	SMOKE_PID=""
+
+	# A signed root commits to nothing run-dependent: the kill -9 run's
+	# chain must be byte-identical to the uninterrupted control's.
+	diff -u "$SMOKE_TMP/control-roots.json" "$SMOKE_TMP/crash-roots.json" || {
+		echo "root chain after kill -9 rebuild diverges from the uninterrupted run" >&2
+		exit 1
+	}
 
 	for f in crash control; do
 		grep -vE '"(updated|shard|wal_lsn)":' "$SMOKE_TMP/$f-cases.json" \
@@ -321,7 +449,7 @@ crash_smoke() {
 		exit 1
 	}
 
-	echo "crash smoke OK ($half acknowledged entries survived kill -9, $v violations, verdicts identical)"
+	echo "crash smoke OK ($half acknowledged entries survived kill -9, $v violations, verdicts identical, root chains byte-identical)"
 	rm -rf "$SMOKE_TMP"
 	SMOKE_TMP=""
 }
@@ -359,12 +487,13 @@ lint() {
 
 # cover ratchets statement coverage of the packages that decide and
 # explain verdicts: the interpreter (internal/core), the table compiler
-# (internal/automaton), the observability layer (internal/obs) and the
+# (internal/automaton), the observability layer (internal/obs), the
 # artifact codec (internal/encode — it deserializes what the automata
-# trust). The combined figure must stay >= COVER_MIN.
+# trust) and the tamper-evidence layer (internal/ledger — it signs what
+# auditors rely on). The combined figure must stay >= COVER_MIN.
 cover() {
-	echo "== coverage ratchet (internal/core, internal/automaton, internal/obs, internal/encode; min ${COVER_MIN}%) =="
-	go test -coverprofile=cover.out ./internal/core/ ./internal/automaton/ ./internal/obs/ ./internal/encode/
+	echo "== coverage ratchet (internal/core, internal/automaton, internal/obs, internal/encode, internal/ledger; min ${COVER_MIN}%) =="
+	go test -coverprofile=cover.out ./internal/core/ ./internal/automaton/ ./internal/obs/ ./internal/encode/ ./internal/ledger/
 	total=$(go tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $3); print $3}')
 	echo "combined engine coverage: ${total}%"
 	if [ -n "${GITHUB_STEP_SUMMARY:-}" ]; then
@@ -390,17 +519,23 @@ cover() {
 # run. P7 also gets 50%: its rows time a full ingest-to-applied drain
 # whose wall clock rides the box's disk and scheduler; the tier's hard
 # claim (interval fsync <= 2x no-WAL) is likewise asserted inside
-# benchtab on every full run.
+# benchtab on every full run. P8 (Merkle ledger sealing) rides the same
+# pipeline and gets the same 50% band, with its hard claim (batch-64
+# sealing <= 2x no-ledger) asserted inside benchtab on full runs.
 benchguard() {
-	echo "== benchguard (P1, P3, P4, P5, P6, P7 vs checked-in baselines) =="
-	go run ./cmd/benchtab -exp P1,P3,P4,P5,P6,P7 -quick \
-		-guard BENCH_pr1.json,BENCH_pr4.json,BENCH_pr5.json,BENCH_pr6.json,BENCH_pr7.json \
-		-guard-slack "$BENCH_SLACK" -guard-slack-exp P1=0.05,P4=0.05,P6=0.5,P7=0.5
+	echo "== benchguard (P1, P3, P4, P5, P6, P7, P8 vs checked-in baselines) =="
+	go run ./cmd/benchtab -exp P1,P3,P4,P5,P6,P7,P8 -quick \
+		-guard BENCH_pr1.json,BENCH_pr4.json,BENCH_pr5.json,BENCH_pr6.json,BENCH_pr7.json,BENCH_pr8.json \
+		-guard-slack "$BENCH_SLACK" -guard-slack-exp P1=0.05,P4=0.05,P6=0.5,P7=0.5,P8=0.5
 }
 
 case "${1:-all}" in
 smoke)
 	server_smoke
+	exit 0
+	;;
+proofs)
+	proofs_smoke
 	exit 0
 	;;
 crash)
@@ -421,7 +556,7 @@ benchguard)
 	;;
 all) ;;
 *)
-	echo "usage: sh ci.sh [all|lint|cover|benchguard|smoke|crash]" >&2
+	echo "usage: sh ci.sh [all|lint|cover|benchguard|smoke|proofs|crash]" >&2
 	exit 2
 	;;
 esac
@@ -448,5 +583,7 @@ cover
 benchguard
 
 server_smoke
+
+proofs_smoke
 
 crash_smoke

@@ -1,0 +1,73 @@
+package main
+
+// Ledger signing-key management. The seed file holds the 32-byte
+// ed25519 seed hex-encoded; the derived public key is mirrored to
+// <file>.pub so operators can hand it to verifiers without ever
+// touching the private half (purposectl verify-proof -pubkey-file).
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"log/slog"
+	"os"
+	"strings"
+)
+
+// loadLedgerKey reads (or, if absent, generates) the signing seed.
+// An empty path means an ephemeral key: fine for experiments, useless
+// across restarts — crash recovery would re-sign with a different key
+// and every saved root would stop verifying — so it is refused when a
+// seed file is expected to persist and merely warned about otherwise.
+func loadLedgerKey(log *slog.Logger, path string) (ed25519.PrivateKey, error) {
+	if path == "" {
+		seed := make([]byte, ed25519.SeedSize)
+		if _, err := rand.Read(seed); err != nil {
+			return nil, fmt.Errorf("generating ledger key: %w", err)
+		}
+		key := ed25519.NewKeyFromSeed(seed)
+		log.Warn("no -ledger-key: using an ephemeral signing key; roots will not verify across restarts",
+			"public_key", hex.EncodeToString(key.Public().(ed25519.PublicKey)))
+		return key, nil
+	}
+	data, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		seed, err := hex.DecodeString(strings.TrimSpace(string(data)))
+		if err != nil || len(seed) != ed25519.SeedSize {
+			return nil, fmt.Errorf("ledger key %s: want %d hex-encoded bytes", path, ed25519.SeedSize)
+		}
+		key := ed25519.NewKeyFromSeed(seed)
+		if err := writePub(path, key); err != nil {
+			return nil, err
+		}
+		return key, nil
+	case os.IsNotExist(err):
+		seed := make([]byte, ed25519.SeedSize)
+		if _, err := rand.Read(seed); err != nil {
+			return nil, fmt.Errorf("generating ledger key: %w", err)
+		}
+		if err := os.WriteFile(path, []byte(hex.EncodeToString(seed)+"\n"), 0o600); err != nil {
+			return nil, fmt.Errorf("saving ledger key: %w", err)
+		}
+		key := ed25519.NewKeyFromSeed(seed)
+		if err := writePub(path, key); err != nil {
+			return nil, err
+		}
+		log.Info("ledger signing key generated", "path", path,
+			"public_key", hex.EncodeToString(key.Public().(ed25519.PublicKey)))
+		return key, nil
+	default:
+		return nil, fmt.Errorf("reading ledger key: %w", err)
+	}
+}
+
+// writePub mirrors the public key next to the seed file.
+func writePub(path string, key ed25519.PrivateKey) error {
+	pub := hex.EncodeToString(key.Public().(ed25519.PublicKey))
+	if err := os.WriteFile(path+".pub", []byte(pub+"\n"), 0o644); err != nil {
+		return fmt.Errorf("saving ledger public key: %w", err)
+	}
+	return nil
+}

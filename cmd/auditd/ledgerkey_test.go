@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"encoding/hex"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(&bytes.Buffer{}, nil))
+}
+
+// TestLoadLedgerKeyRoundTrip: a generated seed file loads back to the
+// same key, and the public half is mirrored alongside for verifiers.
+func TestLoadLedgerKeyRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.key")
+	k1, err := loadLedgerKey(testLogger(), path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := loadLedgerKey(testLogger(), path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !k1.Equal(k2) {
+		t.Error("reloaded key differs from the generated one")
+	}
+	pubData, err := os.ReadFile(path + ".pub")
+	if err != nil {
+		t.Fatalf("public key file not written: %v", err)
+	}
+	pub, err := hex.DecodeString(strings.TrimSpace(string(pubData)))
+	if err != nil || len(pub) != ed25519.PublicKeySize {
+		t.Fatalf("public key file %q is not a hex ed25519 key", pubData)
+	}
+	if !k1.Public().(ed25519.PublicKey).Equal(ed25519.PublicKey(pub)) {
+		t.Error("mirrored public key does not match the seed")
+	}
+	if info, err := os.Stat(path); err != nil || info.Mode().Perm() != 0o600 {
+		t.Errorf("seed file mode %v, want 0600", info.Mode().Perm())
+	}
+}
+
+// TestLoadLedgerKeyRejectsGarbage: a malformed seed file is a loud
+// error, never silently regenerated — that would fork the root chain.
+func TestLoadLedgerKeyRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.key")
+	if err := os.WriteFile(path, []byte("not-hex\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadLedgerKey(testLogger(), path); err == nil {
+		t.Error("garbage seed file accepted")
+	}
+}
+
+// TestLoadLedgerKeyEphemeral: no path yields a usable one-off key.
+func TestLoadLedgerKeyEphemeral(t *testing.T) {
+	k, err := loadLedgerKey(testLogger(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(k) != ed25519.PrivateKeySize {
+		t.Errorf("ephemeral key has %d bytes, want %d", len(k), ed25519.PrivateKeySize)
+	}
+}

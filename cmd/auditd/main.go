@@ -15,7 +15,9 @@
 //	       [-wal-segment-bytes N] [-wal-failure failstop|shed] \
 //	       [-addr-file /run/auditd.addr] \
 //	       [-compiled] [-minimize] [-automata-dir /var/lib/auditd/automata] \
-//	       [-binary-artifacts] [-binary-checkpoint]
+//	       [-binary-artifacts] [-binary-checkpoint] \
+//	       [-ledger] [-ledger-key /var/lib/auditd/ledger.key] \
+//	       [-ledger-batch 64] [-ledger-wait 500ms]
 //
 // -wal-dir enables the write-ahead ingest log (DESIGN.md §14): every
 // entry is logged before dispatch, so acknowledged means durable and a
@@ -40,11 +42,22 @@
 // does the same for the periodic state snapshot: writes use the binary
 // container, restore accepts either format (DESIGN.md §13).
 //
+// -ledger (requires -wal-dir) seals every WAL-appended entry into a
+// tamper-evident Merkle ledger (DESIGN.md §15): batches of -ledger-batch
+// entries (or a -ledger-wait timeout) close into ed25519-signed roots,
+// each chained to its predecessor. GET /v1/proofs/{case} then serves a
+// verdict with an inclusion proof any holder of the public key can
+// check offline (purposectl verify-proof); GET /v1/roots serves the
+// signed root chain. -ledger-key names the hex seed file (generated if
+// absent; the public key is mirrored to <file>.pub).
+//
 // Endpoints: POST /v1/events (ingest; 202, or 429 + Retry-After under
 // backpressure; honors a W3C traceparent header),
 // GET /v1/cases[?outcome=|purpose=|since=], GET /v1/cases/{id},
 // GET /v1/cases/{id}/explain (structured first-deviation explanation),
 // GET /v1/traces (recent spans), GET /v1/purposes, GET /v1/quarantine,
+// GET /v1/proofs/{case} (verdict + Merkle inclusion proof),
+// GET /v1/roots (signed root chain),
 // /metrics (Prometheus text), /healthz, /readyz.
 //
 // -debug-addr serves net/http/pprof on a second listener, kept off the
@@ -58,6 +71,7 @@ package main
 
 import (
 	"context"
+	"crypto/ed25519"
 	"errors"
 	"flag"
 	"fmt"
@@ -105,6 +119,11 @@ type options struct {
 	automataDir     string
 	minimize        bool
 	binaryArtifacts bool
+
+	ledger      bool
+	ledgerKey   string
+	ledgerBatch int
+	ledgerWait  time.Duration
 }
 
 func main() {
@@ -130,6 +149,10 @@ func main() {
 	flag.BoolVar(&o.minimize, "minimize", false, "minimize compiled automata (Hopcroft + alphabet compaction; implies -compiled, changes artifact fingerprints)")
 	flag.BoolVar(&o.binaryArtifacts, "binary-artifacts", false, "save fresh compiles in the flat binary artifact format (loads auto-detect either format)")
 	flag.BoolVar(&o.binaryCheckpoint, "binary-checkpoint", false, "write checkpoints in the flat binary container format (restore auto-detects either format)")
+	flag.BoolVar(&o.ledger, "ledger", false, "seal WAL-appended entries into a signed Merkle ledger (requires -wal-dir; serves /v1/proofs and /v1/roots)")
+	flag.StringVar(&o.ledgerKey, "ledger-key", "", "ed25519 seed file for root signing (hex; created if absent, public key written alongside as <file>.pub)")
+	flag.IntVar(&o.ledgerBatch, "ledger-batch", 0, "seal a ledger batch at this many entries (0 = default 64; 1 = a signed root per entry)")
+	flag.DurationVar(&o.ledgerWait, "ledger-wait", 500*time.Millisecond, "seal a partial batch this long after its first entry (0 = size/shutdown cuts only)")
 	flag.StringVar(&o.debugAddr, "debug-addr", "", "serve net/http/pprof on this separate address (empty = disabled)")
 	flag.IntVar(&o.traceBuffer, "trace-buffer", 0, "spans held in the /v1/traces ring buffer (0 = default)")
 	flag.Var(&procs, "proc", cli.ProcUsage)
@@ -261,6 +284,17 @@ func run(log *slog.Logger, o options) error {
 		setupCompiled(log, checker, reg, o.automataDir, o.binaryArtifacts)
 	}
 
+	var ledgerKey ed25519.PrivateKey
+	if o.ledger {
+		if o.walDir == "" {
+			return fmt.Errorf("-ledger requires -wal-dir: sealing covers the durable ingest path")
+		}
+		ledgerKey, err = loadLedgerKey(log, o.ledgerKey)
+		if err != nil {
+			return err
+		}
+	}
+
 	srv := server.New(reg, checker, server.Config{
 		Shards:           o.shards,
 		QueueDepth:       o.queue,
@@ -272,6 +306,9 @@ func run(log *slog.Logger, o options) error {
 		WALSegmentBytes:  o.walSegmentBytes,
 		WALFailure:       o.walFailure,
 		TraceBuffer:      o.traceBuffer,
+		LedgerKey:        ledgerKey,
+		LedgerBatch:      o.ledgerBatch,
+		LedgerWait:       o.ledgerWait,
 		Logger:           log,
 	})
 	if err := srv.Start(); err != nil {

@@ -16,6 +16,8 @@ import (
 	"bufio"
 	"bytes"
 	"context"
+	"crypto/ed25519"
+	"crypto/sha256"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -1647,5 +1649,128 @@ func expP8() error {
 		return err
 	}
 	fmt.Printf("reusing completed case HT-1 as cover: detected=%v at entry %d\n", !rep.Compliant, rep.StepsReplayed)
+	return expP8ledger()
+}
+
+// expP8ledger measures what tamper evidence costs the durable ingest
+// pipeline: the same decode+WAL+dispatch path as expP7wal (interval
+// fsync throughout), with the Merkle ledger sealing every acknowledged
+// entry. The grid walks batch size (1 = direct per-entry signing, the
+// naive construction) and the wait-ms partial-batch timer; the headline
+// claim — batch-64 sealing within 2x of the no-ledger pipeline — is
+// asserted in adaptive runs only, like expP7wal's WAL claim.
+func expP8ledger() error {
+	sc, err := hospital.NewScenario()
+	if err != nil {
+		return err
+	}
+	roles, err := hospital.Roles()
+	if err != nil {
+		return err
+	}
+	trail, doc, err := p6Doc()
+	if err != nil {
+		return err
+	}
+	n := float64(trail.Len())
+	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+	// A fixed signing key: key generation is a setup cost, not part of
+	// the sealing path being measured.
+	seed := sha256.Sum256([]byte("benchtab-p8-ledger-key"))
+	key := ed25519.NewKeyFromSeed(seed[:])
+	const maxIngestChunk = 256
+	scanner := audit.NewEntryScanner(bytes.NewReader(nil), audit.DecodeOptions{})
+	rd := bytes.NewReader(doc)
+	chunk := make([]audit.Entry, 0, maxIngestChunk)
+
+	run := func(batch int, wait time.Duration) (time.Duration, error) {
+		return minTimed(func() (time.Duration, error) {
+			dir, err := os.MkdirTemp("", "benchtab-ledger-*")
+			if err != nil {
+				return 0, err
+			}
+			defer os.RemoveAll(dir)
+			cfg := server.Config{
+				Shards: 4, QueueDepth: 1 << 18, Logger: quiet,
+				WALDir: dir, WALFsync: wal.FsyncInterval,
+			}
+			if batch > 0 {
+				cfg.LedgerKey = key
+				cfg.LedgerBatch = batch
+				cfg.LedgerWait = wait
+			}
+			srv := server.New(sc.Registry, core.NewChecker(sc.Registry, roles), cfg)
+			if err := srv.Start(); err != nil {
+				return 0, err
+			}
+			defer srv.Shutdown(context.Background())
+			rd.Reset(doc)
+			scanner.Reset(rd)
+			fed := 0
+			t0 := time.Now()
+			for {
+				chunk = chunk[:0]
+				for len(chunk) < maxIngestChunk && scanner.Scan() {
+					chunk = append(chunk, *scanner.Entry())
+				}
+				if len(chunk) == 0 {
+					break
+				}
+				if got, ok := srv.IngestEntries(chunk); !ok {
+					return 0, fmt.Errorf("ingest rejected after %d entries", fed+got)
+				}
+				fed += len(chunk)
+			}
+			srv.Flush()
+			d := time.Since(t0)
+			if err := scanner.Err(); err != nil {
+				return 0, err
+			}
+			if fed != trail.Len() {
+				return 0, fmt.Errorf("fed %d of %d entries", fed, trail.Len())
+			}
+			return d, nil
+		})
+	}
+
+	points := []struct {
+		name  string
+		batch int
+		wait  time.Duration
+	}{
+		{"none", 0, 0},
+		{"direct-b1", 1, 0},
+		{"b16", 16, 0},
+		{"b64", 64, 0},
+		{"b64w5ms", 64, 5 * time.Millisecond},
+		{"b256", 256, 0},
+	}
+	durs := map[string]time.Duration{}
+	fmt.Printf("\nMerkle ledger sealing overhead (%d entries, interval-fsync WAL pipeline):\n", trail.Len())
+	fmt.Printf("%-16s %-12s %s\n", "ledger", "time/doc", "ns/entry")
+	for _, p := range points {
+		d, err := run(p.batch, p.wait)
+		if err != nil {
+			return fmt.Errorf("ledger/%s: %w", p.name, err)
+		}
+		durs[p.name] = d
+		perEntry := float64(d.Nanoseconds()) / n
+		if p.name == "none" {
+			fmt.Printf("%-16s %-12v %.1f\n", p.name, d, perEntry)
+		} else {
+			fmt.Printf("%-16s %-12v %.1f   (%.2fx)\n", p.name, d, perEntry,
+				float64(d)/float64(durs["none"]))
+		}
+		record(benchRow{
+			Exp: "P8", Name: "ledger/" + p.name, Entries: trail.Len(),
+			NsPerOp: d.Nanoseconds(), NsPerEntry: perEntry,
+		})
+	}
+	// Batched sealing must stay cheap: the default batch-64 ledger
+	// within 2x of the same pipeline with no ledger at all.
+	overhead := float64(durs["b64"]) / float64(durs["none"])
+	if overhead > 2 && quickIters == 0 {
+		return fmt.Errorf("batch-64 ledger ingest is %.2fx the no-ledger path, want <=2x", overhead)
+	}
 	return nil
 }

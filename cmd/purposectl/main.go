@@ -10,6 +10,11 @@
 //	purposectl -proc treat.json:HT -proc trial.bpmn:CT -trail day.csv \
 //	           [-policy pol.txt] [-object OBJ] [-case HT-1] [-skips N] \
 //	           [-lenient] [-explain] [-trace spans.jsonl] [-v]
+//	purposectl verify-proof -bundle proof.json [-pubkey HEX | -pubkey-file F]
+//
+// verify-proof checks a proof bundle from auditd's GET /v1/proofs/{case}
+// offline — entry inclusion in signed Merkle roots, root-chain
+// continuity, signatures — against a pinned public key (DESIGN.md §15).
 //
 // -explain prints a structured account under every non-compliant case:
 // the diverging entry, the expected tasks at that point, and a
@@ -81,6 +86,11 @@ func exitCode(s summary) int {
 }
 
 func main() {
+	// Subcommand dispatch ahead of the top-level flags: verify-proof has
+	// its own flag set and exit-code mapping.
+	if len(os.Args) > 1 && os.Args[1] == "verify-proof" {
+		os.Exit(verifyProofMain(os.Args[2:]))
+	}
 	var (
 		procs cli.ProcList
 		o     options

@@ -122,12 +122,12 @@ func TestCanonicalSerializationInjective(t *testing.T) {
 	// boundary.
 	spliced := base
 	spliced.User, spliced.Role = "a", "bc"
-	if string(canonical(base)) == string(canonical(spliced)) {
+	if string(CanonicalEntry(base)) == string(CanonicalEntry(spliced)) {
 		t.Fatalf("field boundaries not protected")
 	}
 	other := base
 	other.Status = Failure
-	if string(canonical(base)) == string(canonical(other)) {
+	if string(CanonicalEntry(base)) == string(CanonicalEntry(other)) {
 		t.Fatalf("status not covered")
 	}
 }

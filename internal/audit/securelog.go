@@ -10,12 +10,12 @@ import (
 
 // The paper assumes audit trails are integrity-protected and cites
 // forward-secure logging schemes ([18] Ma & Tsudik, [19] Schneier &
-// Kelsey) as orthogonal machinery. SecureLog is a faithful stand-in: a
-// SHA-256 hash chain over canonical entry serializations with per-entry
-// HMAC seals under an evolving key. Truncation, reordering, insertion
-// and in-place modification of sealed entries are all detectable; the
-// evolving key gives forward security (compromising the current key does
-// not allow re-sealing past entries).
+// Kelsey) as orthogonal machinery. This file holds the shared sealing
+// primitives — the canonical entry serialization, the SHA-256 hash
+// chain over it, and the evolving-key HMAC seal — plus SecureLog, a
+// thin per-entry log over them. internal/ledger builds its Merkle
+// leaves from the same chain, so there is exactly one definition of
+// "what bytes an entry commits to" in the tree.
 
 // ErrIntegrity reports a failed verification of a secure log.
 var ErrIntegrity = errors.New("audit: secure log integrity violation")
@@ -42,19 +42,23 @@ type SecureLog struct {
 // own copy evolves with every append.
 func NewSecureLog(key []byte) *SecureLog {
 	return &SecureLog{
-		chain: seedChain(),
+		chain: ChainSeed(),
 		key:   append([]byte(nil), key...),
 	}
 }
 
-func seedChain() []byte {
+// ChainSeed returns the fixed chain starting point shared by every
+// sealed trail (and by the ledger's leaf chain).
+func ChainSeed() []byte {
 	h := sha256.Sum256([]byte("purpose-control-secure-log-v1"))
 	return h[:]
 }
 
-// canonical serializes the entry for hashing; every field is length
-// prefixed so field boundaries cannot be confused.
-func canonical(e Entry) []byte {
+// CanonicalEntry serializes the entry for hashing; every field is
+// length prefixed so field boundaries cannot be confused. This is the
+// byte string an entry commits to — in SecureLog seals and in ledger
+// Merkle leaves alike.
+func CanonicalEntry(e Entry) []byte {
 	fields := []string{
 		e.User, e.Role, e.Action, e.Object.String(), e.Task, e.Case,
 		e.Time.UTC().Format("20060102150405.000000000"), e.Status.String(),
@@ -67,7 +71,26 @@ func canonical(e Entry) []byte {
 	return out
 }
 
-func evolve(key []byte) []byte {
+// ChainNext advances the hash chain over one entry:
+// SHA-256(prev || CanonicalEntry(e)).
+func ChainNext(prev []byte, e Entry) []byte {
+	h := sha256.New()
+	h.Write(prev)
+	h.Write(CanonicalEntry(e))
+	return h.Sum(nil)
+}
+
+// SealChain computes the HMAC seal of a chain hash under the current
+// key.
+func SealChain(key, chain []byte) []byte {
+	mac := hmac.New(sha256.New, key)
+	mac.Write(chain)
+	return mac.Sum(nil)
+}
+
+// EvolveKey derives the next sealing key from the current one; the
+// one-way step is what gives the scheme forward security.
+func EvolveKey(key []byte) []byte {
 	h := sha256.New()
 	h.Write([]byte("evolve"))
 	h.Write(key)
@@ -76,19 +99,12 @@ func evolve(key []byte) []byte {
 
 // Append seals and stores an entry.
 func (l *SecureLog) Append(e Entry) SealedEntry {
-	h := sha256.New()
-	h.Write(l.chain)
-	h.Write(canonical(e))
-	chain := h.Sum(nil)
-
-	mac := hmac.New(sha256.New, l.key)
-	mac.Write(chain)
-	seal := mac.Sum(nil)
-
+	chain := ChainNext(l.chain, e)
+	seal := SealChain(l.key, chain)
 	se := SealedEntry{Entry: e, Chain: hex.EncodeToString(chain), Seal: hex.EncodeToString(seal)}
 	l.entries = append(l.entries, se)
 	l.chain = chain
-	l.key = evolve(l.key)
+	l.key = EvolveKey(l.key)
 	return se
 }
 
@@ -117,22 +133,17 @@ func Verify(initialKey []byte, entries []SealedEntry, expectLen int) error {
 	if expectLen >= 0 && len(entries) != expectLen {
 		return fmt.Errorf("%w: have %d entries, expect %d (truncation?)", ErrIntegrity, len(entries), expectLen)
 	}
-	chain := seedChain()
+	chain := ChainSeed()
 	key := append([]byte(nil), initialKey...)
 	for i, se := range entries {
-		h := sha256.New()
-		h.Write(chain)
-		h.Write(canonical(se.Entry))
-		chain = h.Sum(nil)
+		chain = ChainNext(chain, se.Entry)
 		if hex.EncodeToString(chain) != se.Chain {
 			return fmt.Errorf("%w: chain mismatch at entry %d", ErrIntegrity, i)
 		}
-		mac := hmac.New(sha256.New, key)
-		mac.Write(chain)
-		if !hmac.Equal(mac.Sum(nil), mustHex(se.Seal)) {
+		if !hmac.Equal(SealChain(key, chain), mustHex(se.Seal)) {
 			return fmt.Errorf("%w: seal mismatch at entry %d", ErrIntegrity, i)
 		}
-		key = evolve(key)
+		key = EvolveKey(key)
 	}
 	return nil
 }

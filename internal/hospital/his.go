@@ -1,12 +1,15 @@
 package hospital
 
 import (
+	"crypto/ed25519"
+	"crypto/sha256"
 	"fmt"
 	"sync"
 	"time"
 
 	"repro/internal/audit"
 	"repro/internal/core"
+	"repro/internal/ledger"
 	"repro/internal/policy"
 )
 
@@ -24,7 +27,7 @@ type HIS struct {
 	mu   sync.Mutex
 	epr  map[string]map[string]string // subject -> path -> content
 	log  *audit.Store
-	seal *audit.SecureLog
+	seal *ledger.Ledger
 	now  func() time.Time
 }
 
@@ -34,15 +37,32 @@ var ErrDenied = fmt.Errorf("hospital: access denied")
 // NewHIS builds an HIS over the scenario's policy machinery. sealKey
 // protects the integrity of the audit log; clock is injectable for
 // deterministic tests (nil = time.Now).
+//
+// The integrity layer is the Merkle ledger (internal/ledger) with
+// SecureLog-compatible per-leaf seals under sealKey: SealedEntries()
+// still verifies with audit.Verify(sealKey, ...), and the ledger
+// additionally chains batches into signed roots so the hospital's own
+// log supports inclusion proofs. The signing key is derived from
+// sealKey — the HIS models one trust domain, not a key ceremony.
 func NewHIS(fw *core.Framework, sealKey []byte, clock func() time.Time) *HIS {
 	if clock == nil {
 		clock = time.Now
+	}
+	seed := sha256.Sum256(append([]byte("purpose-control-his-ledger/"), sealKey...))
+	l, err := ledger.New(ledger.Options{
+		Key:     ed25519.NewKeyFromSeed(seed[:]),
+		Batch:   8,
+		SealKey: sealKey,
+	})
+	if err != nil {
+		// Unreachable: the derived key always has the right size.
+		panic(err)
 	}
 	return &HIS{
 		pdp:  fw.PDP,
 		epr:  map[string]map[string]string{},
 		log:  audit.NewStore(),
-		seal: audit.NewSecureLog(sealKey),
+		seal: l,
 		now:  clock,
 	}
 }
@@ -88,7 +108,9 @@ func (h *HIS) record(user, role, action, task, caseID string, obj policy.Object,
 	if err := h.log.Append(e); err != nil {
 		return fmt.Errorf("hospital: recording audit entry: %w", err)
 	}
-	h.seal.Append(e)
+	if err := h.seal.Append([]audit.Entry{e}, 0); err != nil {
+		return fmt.Errorf("hospital: sealing audit entry: %w", err)
+	}
 	return nil
 }
 
@@ -175,5 +197,11 @@ func (h *HIS) FindPatients(user, role, task, caseID, section string) []string {
 // AuditStore exposes the audit database for investigation.
 func (h *HIS) AuditStore() *audit.Store { return h.log }
 
-// SealedEntries exposes the integrity-protected log.
-func (h *HIS) SealedEntries() []audit.SealedEntry { return h.seal.Entries() }
+// SealedEntries exposes the integrity-protected log: every recorded
+// entry with its chain hash and HMAC seal, verifiable with
+// audit.Verify under the construction key.
+func (h *HIS) SealedEntries() []audit.SealedEntry { return h.seal.SealedEntries() }
+
+// Ledger exposes the sealing ledger itself — signed batch roots and
+// per-case inclusion proofs over the hospital's own audit log.
+func (h *HIS) Ledger() *ledger.Ledger { return h.seal }

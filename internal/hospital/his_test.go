@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/audit"
+	"repro/internal/ledger"
 	"repro/internal/policy"
 )
 
@@ -147,9 +148,24 @@ func TestHISDrivenScenario(t *testing.T) {
 		t.Fatalf("verdicts: %d compliant, %d infringing (want 1/3)", compliant, infringing)
 	}
 
-	// The sealed log verifies end to end.
+	// The sealed log verifies end to end — the ledger's per-leaf seals
+	// conform to the SecureLog construction.
 	if err := audit.Verify([]byte("his-key"), his.SealedEntries(), store.Len()); err != nil {
 		t.Fatalf("seal verification: %v", err)
+	}
+
+	// And the same ledger proves case inclusion: Bob's harvest reads
+	// anchor to signed roots with only the public key.
+	l := his.Ledger()
+	proof, err := l.ProveCase("HT-11")
+	if err != nil {
+		t.Fatalf("ProveCase: %v", err)
+	}
+	if err := ledger.VerifyCaseProof(l.PublicKey(), proof); err != nil {
+		t.Fatalf("HIS ledger proof does not verify: %v", err)
+	}
+	if len(proof.Entries) != 1 {
+		t.Fatalf("HT-11 proof covers %d entries, want 1", len(proof.Entries))
 	}
 }
 

@@ -1,0 +1,408 @@
+// Package ledger implements the tamper-evident audit ledger the paper
+// assumes exists (§3.4 cites secure-logging work and moves on): a
+// batched Merkle tree over the same canonical entry serializations
+// that audit.SecureLog seals. Leaves accumulate into batches closed by
+// size or by a wait timer; each batch's Merkle root is chained to its
+// predecessor and ed25519-signed, so a verdict can ship with an
+// inclusion proof (entry → signed root) and a consistency proof (the
+// presented roots form one unbroken chain) that a regulator checks
+// offline with nothing but the public key.
+//
+// Leaf identity is the WAL LSN: the server appends to the ledger under
+// the same lock that assigns LSNs, so the leaf sequence is dense and
+// the ledger rebuilds deterministically from WAL replay after a crash
+// — the rebuilt roots are byte-identical to an uninterrupted run's.
+// Nothing wall-clock enters the signed material for the same reason.
+//
+// The per-leaf hash chain is audit.ChainNext — SecureLog's chain —
+// which makes SecureLog a single-entry view of the same construction:
+// SealedEntries() returns a slice audit.Verify accepts when the
+// optional SealKey is set (the hospital HIS uses this; auditd leaves
+// it off to keep per-entry HMACs out of the ingest hot path).
+package ledger
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/audit"
+)
+
+// DefaultBatch is the batch size when Options.Batch is unset.
+const DefaultBatch = 64
+
+// ErrUnknownCase reports a proof request for a case with no leaves.
+var ErrUnknownCase = errors.New("ledger: case has no recorded entries")
+
+// Options configures a Ledger.
+type Options struct {
+	// Key signs batch roots (required).
+	Key ed25519.PrivateKey
+	// Batch closes a batch at this many leaves (default DefaultBatch;
+	// 1 is the direct ledger — every entry its own signed root).
+	Batch int
+	// Wait, when positive, seals a partial batch this long after its
+	// first leaf arrives, bounding how long an acknowledged entry can
+	// stay unprovable. Zero means batches close on size or Cut only —
+	// the deterministic mode crash-recovery comparisons rely on.
+	Wait time.Duration
+	// SealKey, when set, additionally computes SecureLog-compatible
+	// per-leaf HMAC seals under the evolving key, so SealedEntries()
+	// verifies with audit.Verify(SealKey, ...).
+	SealKey []byte
+	// OnSeal, when set, observes every sealed batch (metrics hook).
+	// Called with the ledger lock held; it must not call back in.
+	OnSeal func(root SignedRoot, dur time.Duration)
+}
+
+// leaf is one appended entry with its chain hash (and optional seal).
+type leaf struct {
+	entry audit.Entry
+	lsn   uint64
+	chain []byte
+	seal  []byte
+}
+
+// sealedBatch is a closed batch: its leaves, its signed root, and the
+// chain tips needed to link neighbours.
+type sealedBatch struct {
+	root      SignedRoot
+	chainHash []byte // decoded root.ChainHash
+	endChain  []byte // leaf chain after the last leaf
+	leaves    []leaf
+}
+
+// Ledger is the batched Merkle audit ledger. Safe for concurrent use.
+type Ledger struct {
+	mu   sync.Mutex
+	opts Options
+	pub  ed25519.PublicKey
+
+	chain         []byte // live leaf-chain tip (open leaves included)
+	hmacKey       []byte // evolving seal key (nil = seals disabled)
+	prevRootChain []byte // chain hash of the last sealed root
+
+	batches []*sealedBatch
+	open    []leaf
+	lastLSN uint64
+	byCase  map[string][]uint64 // case → leaf LSNs, ascending
+
+	timer    *time.Timer
+	timerGen uint64
+	closed   bool
+
+	sealedLeaves uint64
+	forcedCuts   uint64
+}
+
+// New builds an empty ledger.
+func New(opts Options) (*Ledger, error) {
+	if len(opts.Key) != ed25519.PrivateKeySize {
+		return nil, errors.New("ledger: ed25519 signing key required")
+	}
+	if opts.Batch <= 0 {
+		opts.Batch = DefaultBatch
+	}
+	l := &Ledger{
+		opts:          opts,
+		pub:           opts.Key.Public().(ed25519.PublicKey),
+		chain:         audit.ChainSeed(),
+		prevRootChain: rootChainSeed(),
+		byCase:        map[string][]uint64{},
+	}
+	if opts.SealKey != nil {
+		l.hmacKey = append([]byte(nil), opts.SealKey...)
+	}
+	return l, nil
+}
+
+// PublicKey returns the root-signing public key.
+func (l *Ledger) PublicKey() ed25519.PublicKey {
+	return append(ed25519.PublicKey(nil), l.pub...)
+}
+
+// Append records entries as consecutive leaves starting at firstLSN
+// (0 = continue from the last leaf). A gap or overlap is an error:
+// leaf identity is the WAL LSN and the sequence must stay dense, or
+// crash rebuilds would sign different trees than the original run.
+func (l *Ledger) Append(entries []audit.Entry, firstLSN uint64) error {
+	if len(entries) == 0 {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("ledger: closed")
+	}
+	if firstLSN == 0 {
+		firstLSN = l.lastLSN + 1
+	}
+	if firstLSN != l.lastLSN+1 {
+		return fmt.Errorf("ledger: leaf sequence gap: append at LSN %d, want %d", firstLSN, l.lastLSN+1)
+	}
+	for i := range entries {
+		l.chain = audit.ChainNext(l.chain, entries[i])
+		lf := leaf{entry: entries[i], lsn: firstLSN + uint64(i), chain: l.chain}
+		if l.hmacKey != nil {
+			lf.seal = audit.SealChain(l.hmacKey, l.chain)
+			l.hmacKey = audit.EvolveKey(l.hmacKey)
+		}
+		wasEmpty := len(l.open) == 0
+		l.open = append(l.open, lf)
+		l.byCase[lf.entry.Case] = append(l.byCase[lf.entry.Case], lf.lsn)
+		l.lastLSN = lf.lsn
+		if len(l.open) >= l.opts.Batch {
+			l.sealLocked()
+		} else if wasEmpty && l.opts.Wait > 0 {
+			l.armTimerLocked()
+		}
+	}
+	return nil
+}
+
+// armTimerLocked schedules a wait-ms cut for the batch that just
+// opened. The generation counter voids the timer if the batch seals
+// on size first.
+func (l *Ledger) armTimerLocked() {
+	gen := l.timerGen
+	l.timer = time.AfterFunc(l.opts.Wait, func() {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		if l.closed || gen != l.timerGen || len(l.open) == 0 {
+			return
+		}
+		l.sealLocked()
+	})
+}
+
+// sealLocked closes the open batch: Merkle root, chain link, signature.
+func (l *Ledger) sealLocked() {
+	start := time.Now()
+	leaves := l.open
+	l.open = nil
+	l.timerGen++
+	if l.timer != nil {
+		l.timer.Stop()
+		l.timer = nil
+	}
+	hashes := make([][32]byte, len(leaves))
+	for i := range leaves {
+		hashes[i] = leafHash(leaves[i].chain)
+	}
+	root := merkleRoot(hashes)
+	seq := uint64(len(l.batches)) + 1
+	ch := rootChainHash(l.prevRootChain, seq, leaves[0].lsn, len(leaves), root[:])
+	sr := SignedRoot{
+		Seq:       seq,
+		FirstLSN:  leaves[0].lsn,
+		Leaves:    len(leaves),
+		Root:      hex.EncodeToString(root[:]),
+		PrevChain: hex.EncodeToString(l.prevRootChain),
+		ChainHash: hex.EncodeToString(ch),
+		Sig:       hex.EncodeToString(ed25519.Sign(l.opts.Key, ch)),
+	}
+	l.batches = append(l.batches, &sealedBatch{
+		root:      sr,
+		chainHash: ch,
+		endChain:  leaves[len(leaves)-1].chain,
+		leaves:    leaves,
+	})
+	l.prevRootChain = ch
+	l.sealedLeaves += uint64(len(leaves))
+	if l.opts.OnSeal != nil {
+		l.opts.OnSeal(sr, time.Since(start))
+	}
+}
+
+// Cut seals the open batch, if any — shutdown and on-demand proofs.
+func (l *Ledger) Cut() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.open) > 0 {
+		l.sealLocked()
+	}
+}
+
+// Close stops the wait timer and refuses further appends.
+func (l *Ledger) Close() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.closed = true
+	l.timerGen++
+	if l.timer != nil {
+		l.timer.Stop()
+		l.timer = nil
+	}
+}
+
+// Head returns the newest signed root, if any batch has sealed.
+func (l *Ledger) Head() (SignedRoot, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.batches) == 0 {
+		return SignedRoot{}, false
+	}
+	return l.batches[len(l.batches)-1].root, true
+}
+
+// Roots returns the signed roots with Seq > since, oldest first.
+func (l *Ledger) Roots(since uint64) []SignedRoot {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []SignedRoot
+	for _, b := range l.batches {
+		if b.root.Seq > since {
+			out = append(out, b.root)
+		}
+	}
+	return out
+}
+
+// LastLSN returns the LSN of the last appended leaf (sealed or open).
+func (l *Ledger) LastLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastLSN
+}
+
+// LastSealedLSN returns the LSN of the last leaf inside a signed root.
+func (l *Ledger) LastSealedLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastSealedLSNLocked()
+}
+
+func (l *Ledger) lastSealedLSNLocked() uint64 {
+	if len(l.batches) == 0 {
+		return 0
+	}
+	b := l.batches[len(l.batches)-1]
+	return b.root.FirstLSN + uint64(b.root.Leaves) - 1
+}
+
+// Stats returns sealed batch/leaf counts, open leaves, and forced cuts.
+func (l *Ledger) Stats() (batches int, sealedLeaves uint64, open int, forcedCuts uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.batches), l.sealedLeaves, len(l.open), l.forcedCuts
+}
+
+// SealedEntries returns every leaf as a SecureLog-compatible sealed
+// entry (seals are empty unless Options.SealKey was set). Open leaves
+// are included: the chain covers them even before a root does.
+func (l *Ledger) SealedEntries() []audit.SealedEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []audit.SealedEntry
+	emit := func(lf leaf) {
+		out = append(out, audit.SealedEntry{
+			Entry: lf.entry,
+			Chain: hex.EncodeToString(lf.chain),
+			Seal:  hex.EncodeToString(lf.seal),
+		})
+	}
+	for _, b := range l.batches {
+		for _, lf := range b.leaves {
+			emit(lf)
+		}
+	}
+	for _, lf := range l.open {
+		emit(lf)
+	}
+	return out
+}
+
+// ProveCase builds the inclusion proof for every leaf of the case. If
+// the case has leaves in the open batch, the batch is sealed first (a
+// forced cut) so the proof covers everything recorded.
+func (l *Ledger) ProveCase(caseID string) (*CaseProof, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	lsns := l.byCase[caseID]
+	if len(lsns) == 0 {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownCase, caseID)
+	}
+	if len(l.open) > 0 && lsns[len(lsns)-1] >= l.open[0].lsn {
+		l.forcedCuts++
+		l.sealLocked()
+	}
+	p := &CaseProof{Case: caseID, PublicKey: hex.EncodeToString(l.pub)}
+	firstSeq := uint64(0)
+	for _, lsn := range lsns {
+		bi := l.batchForLocked(lsn)
+		if bi < 0 {
+			return nil, fmt.Errorf("ledger: no sealed batch covers LSN %d", lsn)
+		}
+		b := l.batches[bi]
+		idx := int(lsn - b.root.FirstLSN)
+		prev := audit.ChainSeed()
+		switch {
+		case idx > 0:
+			prev = b.leaves[idx-1].chain
+		case bi > 0:
+			prev = l.batches[bi-1].endChain
+		}
+		raw, err := encodeEntryJSON(b.leaves[idx].entry)
+		if err != nil {
+			return nil, err
+		}
+		hashes := make([][32]byte, len(b.leaves))
+		for i := range b.leaves {
+			hashes[i] = leafHash(b.leaves[i].chain)
+		}
+		p.Entries = append(p.Entries, EntryProof{
+			Entry:     raw,
+			LSN:       lsn,
+			Batch:     b.root.Seq,
+			Index:     idx,
+			PrevChain: hex.EncodeToString(prev),
+			Path:      merklePath(hashes, idx),
+		})
+		if firstSeq == 0 || b.root.Seq < firstSeq {
+			firstSeq = b.root.Seq
+		}
+	}
+	// Every root from the earliest referenced batch through the head:
+	// their chain doubles as the consistency proof tying old evidence
+	// into the current tree.
+	for _, b := range l.batches {
+		if b.root.Seq >= firstSeq {
+			p.Roots = append(p.Roots, b.root)
+		}
+	}
+	return p, nil
+}
+
+// batchForLocked finds the sealed batch containing lsn (-1 if open or
+// out of range).
+func (l *Ledger) batchForLocked(lsn uint64) int {
+	i := sort.Search(len(l.batches), func(i int) bool {
+		return l.batches[i].root.FirstLSN > lsn
+	}) - 1
+	if i < 0 {
+		return -1
+	}
+	b := l.batches[i]
+	if lsn >= b.root.FirstLSN+uint64(b.root.Leaves) {
+		return -1
+	}
+	return i
+}
+
+// encodeEntryJSON renders one entry in the JSONL wire form — the same
+// bytes auditd ingests, so a proof bundle round-trips through the
+// standard codec.
+func encodeEntryJSON(e audit.Entry) (json.RawMessage, error) {
+	var buf bytes.Buffer
+	if err := audit.AppendJSONL(&buf, e); err != nil {
+		return nil, err
+	}
+	return json.RawMessage(bytes.TrimRight(buf.Bytes(), "\n")), nil
+}

@@ -1,0 +1,108 @@
+package ledger
+
+// Merkle tree over leaf chain hashes, RFC 6962 style: domain-separated
+// leaf and interior hashes (so an interior node can never be passed
+// off as a leaf), odd nodes promoted unpaired. A batch of one — the
+// direct ledger — degenerates to root == leafHash with an empty path.
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+)
+
+// Hash domain prefixes.
+const (
+	domainLeaf     = 0x00 // leafHash = H(0x00 || leaf chain hash)
+	domainInterior = 0x01 // nodeHash = H(0x01 || left || right)
+	domainRoot     = 0x02 // rootChainHash = H(0x02 || prev || seq || firstLSN || leaves || root)
+)
+
+// leafHash wraps a leaf's audit chain hash into the tree's leaf domain.
+func leafHash(chain []byte) [32]byte {
+	h := sha256.New()
+	h.Write([]byte{domainLeaf})
+	h.Write(chain)
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// nodeHash combines two child hashes into their parent.
+func nodeHash(left, right []byte) [32]byte {
+	h := sha256.New()
+	h.Write([]byte{domainInterior})
+	h.Write(left)
+	h.Write(right)
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// rootChainSeed anchors the signed-root chain, like audit.ChainSeed
+// anchors the leaf chain.
+func rootChainSeed() []byte {
+	h := sha256.Sum256([]byte("purpose-control-ledger-root-v1"))
+	return h[:]
+}
+
+// rootChainHash binds a batch root to its predecessor and position:
+// the bytes each signature actually covers. Everything in it is
+// deterministic, so a crash rebuild re-signs byte-identical material.
+func rootChainHash(prev []byte, seq, firstLSN uint64, leaves int, root []byte) []byte {
+	h := sha256.New()
+	h.Write([]byte{domainRoot})
+	h.Write(prev)
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], seq)
+	h.Write(b[:])
+	binary.BigEndian.PutUint64(b[:], firstLSN)
+	h.Write(b[:])
+	binary.BigEndian.PutUint64(b[:], uint64(leaves))
+	h.Write(b[:])
+	h.Write(root)
+	return h.Sum(nil)
+}
+
+// merkleRoot folds leaf hashes into the batch root.
+func merkleRoot(leaves [][32]byte) [32]byte {
+	level := append([][32]byte(nil), leaves...)
+	for len(level) > 1 {
+		next := level[: 0 : (len(level)+1)/2]
+		for i := 0; i < len(level); i += 2 {
+			if i+1 < len(level) {
+				next = append(next, nodeHash(level[i][:], level[i+1][:]))
+			} else {
+				next = append(next, level[i])
+			}
+		}
+		level = next
+	}
+	return level[0]
+}
+
+// merklePath returns the sibling path from leaf idx to the root. Left
+// marks siblings that sit left of the running hash when folding.
+func merklePath(leaves [][32]byte, idx int) []ProofStep {
+	path := []ProofStep{}
+	level := append([][32]byte(nil), leaves...)
+	for len(level) > 1 {
+		if sib := idx ^ 1; sib < len(level) {
+			path = append(path, ProofStep{
+				Hash: hex.EncodeToString(level[sib][:]),
+				Left: sib < idx,
+			})
+		}
+		next := level[: 0 : (len(level)+1)/2]
+		for i := 0; i < len(level); i += 2 {
+			if i+1 < len(level) {
+				next = append(next, nodeHash(level[i][:], level[i+1][:]))
+			} else {
+				next = append(next, level[i])
+			}
+		}
+		level = next
+		idx /= 2
+	}
+	return path
+}

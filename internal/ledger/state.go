@@ -1,0 +1,134 @@
+package ledger
+
+// Checkpoint persistence. The exported state carries only the sealed
+// batches — each root plus its entries in wire form; chains, Merkle
+// trees and the case index are recomputed on load and checked against
+// the stored roots and signatures, so a tampered checkpoint refuses
+// to restore instead of silently re-serving edited history. Open
+// leaves are deliberately absent: they rebuild from WAL replay (the
+// server clamps WAL truncation to the last checkpointed sealed LSN).
+
+import (
+	"crypto/ed25519"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"repro/internal/audit"
+)
+
+// stateVersion guards the exported shape.
+const stateVersion = 1
+
+// BatchState is one sealed batch at rest.
+type BatchState struct {
+	Root    SignedRoot        `json:"root"`
+	Entries []json.RawMessage `json:"entries"`
+}
+
+// State is the ledger's checkpointable form.
+type State struct {
+	Version int          `json:"version"`
+	Batches []BatchState `json:"batches,omitempty"`
+}
+
+// LastLSN returns the last sealed leaf LSN the state covers.
+func (st *State) LastLSN() uint64 {
+	if st == nil || len(st.Batches) == 0 {
+		return 0
+	}
+	r := st.Batches[len(st.Batches)-1].Root
+	return r.FirstLSN + uint64(r.Leaves) - 1
+}
+
+// ExportState snapshots the sealed batches for a checkpoint.
+func (l *Ledger) ExportState() (*State, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := &State{Version: stateVersion}
+	for _, b := range l.batches {
+		bs := BatchState{Root: b.root, Entries: make([]json.RawMessage, len(b.leaves))}
+		for i := range b.leaves {
+			raw, err := encodeEntryJSON(b.leaves[i].entry)
+			if err != nil {
+				return nil, fmt.Errorf("ledger: exporting state: %w", err)
+			}
+			bs.Entries[i] = raw
+		}
+		st.Batches = append(st.Batches, bs)
+	}
+	return st, nil
+}
+
+// LoadState restores sealed batches into an empty ledger, recomputing
+// every chain, root and signature check along the way. Any mismatch —
+// an edited entry, a reordered batch, a root signed by a different
+// key — fails the load.
+func (l *Ledger) LoadState(st *State) error {
+	if st == nil || len(st.Batches) == 0 {
+		return nil
+	}
+	if st.Version != stateVersion {
+		return fmt.Errorf("ledger: unsupported state version %d", st.Version)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.lastLSN != 0 || len(l.batches) > 0 {
+		return errors.New("ledger: state must load into an empty ledger")
+	}
+	for bi, bs := range st.Batches {
+		r := bs.Root
+		if r.Seq != uint64(bi)+1 {
+			return fmt.Errorf("ledger: state batch %d has seq %d", bi, r.Seq)
+		}
+		if len(bs.Entries) != r.Leaves {
+			return fmt.Errorf("ledger: state batch seq %d has %d entries, root says %d", r.Seq, len(bs.Entries), r.Leaves)
+		}
+		if r.FirstLSN != l.lastLSN+1 {
+			return fmt.Errorf("ledger: state batch seq %d starts at LSN %d, want %d", r.Seq, r.FirstLSN, l.lastLSN+1)
+		}
+		if r.PrevChain != hex.EncodeToString(l.prevRootChain) {
+			return fmt.Errorf("ledger: state batch seq %d breaks the root chain", r.Seq)
+		}
+		leaves := make([]leaf, len(bs.Entries))
+		hashes := make([][32]byte, len(bs.Entries))
+		for i, raw := range bs.Entries {
+			e, err := audit.DecodeEntryJSON(raw)
+			if err != nil {
+				return fmt.Errorf("ledger: state batch seq %d entry %d: %w", r.Seq, i, err)
+			}
+			l.chain = audit.ChainNext(l.chain, e)
+			lf := leaf{entry: e, lsn: r.FirstLSN + uint64(i), chain: l.chain}
+			if l.hmacKey != nil {
+				lf.seal = audit.SealChain(l.hmacKey, l.chain)
+				l.hmacKey = audit.EvolveKey(l.hmacKey)
+			}
+			leaves[i] = lf
+			hashes[i] = leafHash(l.chain)
+			l.byCase[e.Case] = append(l.byCase[e.Case], lf.lsn)
+			l.lastLSN = lf.lsn
+		}
+		root := merkleRoot(hashes)
+		if hex.EncodeToString(root[:]) != r.Root {
+			return fmt.Errorf("ledger: state batch seq %d root mismatch (checkpoint tampered?)", r.Seq)
+		}
+		ch := rootChainHash(l.prevRootChain, r.Seq, r.FirstLSN, r.Leaves, root[:])
+		if hex.EncodeToString(ch) != r.ChainHash {
+			return fmt.Errorf("ledger: state batch seq %d chain hash mismatch", r.Seq)
+		}
+		sig, err := hex.DecodeString(r.Sig)
+		if err != nil || len(sig) != ed25519.SignatureSize || !ed25519.Verify(l.pub, ch, sig) {
+			return fmt.Errorf("ledger: state batch seq %d signature invalid under the configured key", r.Seq)
+		}
+		l.batches = append(l.batches, &sealedBatch{
+			root:      r,
+			chainHash: ch,
+			endChain:  l.chain,
+			leaves:    leaves,
+		})
+		l.prevRootChain = ch
+		l.sealedLeaves += uint64(len(leaves))
+	}
+	return nil
+}

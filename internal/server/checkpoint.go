@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/encode"
+	"repro/internal/ledger"
 )
 
 // Checkpointing: the server periodically (and on shutdown, after the
@@ -38,6 +39,10 @@ type checkpointFile struct {
 	// /v1/quarantine survives restarts.
 	QuarantineTotal int64              `json:"quarantine_total,omitempty"`
 	Quarantine      []QuarantineRecord `json:"quarantine,omitempty"`
+	// Ledger persists the sealed batches (open leaves rebuild from WAL
+	// replay — see walSafeLSN for the truncation clamp that keeps them
+	// replayable).
+	Ledger *ledger.State `json:"ledger,omitempty"`
 }
 
 const checkpointVersion = 1
@@ -186,6 +191,13 @@ func (s *Server) writeCheckpoint(dumps []shardDump) error {
 		QuarantineTotal: qtotal,
 		Quarantine:      recs,
 	}
+	if s.ledger != nil {
+		st, err := s.ledger.ExportState()
+		if err != nil {
+			return fmt.Errorf("server: exporting ledger state: %w", err)
+		}
+		file.Ledger = st
+	}
 
 	dir := filepath.Dir(s.cfg.CheckpointPath)
 	tmp, err := os.CreateTemp(dir, ".auditd-ckpt-*")
@@ -211,6 +223,11 @@ func (s *Server) writeCheckpoint(dumps []shardDump) error {
 	}
 	if err := os.Rename(tmp.Name(), s.cfg.CheckpointPath); err != nil {
 		return fmt.Errorf("server: publishing checkpoint: %w", err)
+	}
+	if file.Ledger != nil {
+		// Only now — with the state durably published — may truncation
+		// advance past these sealed leaves.
+		s.ledgerCkptLSN.Store(file.Ledger.LastLSN())
 	}
 
 	d := time.Since(start)
@@ -324,6 +341,15 @@ func (s *Server) restore() error {
 		s.shardFor(id).loadViews(map[string]*CaseView{id: v})
 	}
 	s.quar.load(file.QuarantineTotal, file.Quarantine)
+	if s.ledger != nil && file.Ledger != nil {
+		// LoadState re-derives every chain, root and signature and
+		// refuses a checkpoint that fails any of them: a tampered
+		// checkpoint cannot smuggle state into the ledger.
+		if err := s.ledger.LoadState(file.Ledger); err != nil {
+			return fmt.Errorf("server: restoring ledger: %w", err)
+		}
+		s.ledgerCkptLSN.Store(file.Ledger.LastLSN())
+	}
 	s.metrics.lastSnapshotNano.Store(time.Unix(file.SavedUnix, 0).UnixNano())
 	s.log.Info("checkpoint restored", "path", s.cfg.CheckpointPath,
 		"cases", len(file.Views), "saved", time.Unix(file.SavedUnix, 0).Format(time.RFC3339))

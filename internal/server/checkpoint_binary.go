@@ -31,6 +31,7 @@ const (
 	secCkptCases      = uint32(3) // JSON: case snapshots (StateRef into terms)
 	secCkptViews      = uint32(4) // JSON: case views
 	secCkptQuarantine = uint32(5) // JSON: held quarantine records
+	secCkptLedger     = uint32(6) // JSON: sealed ledger batches (absent pre-PR8)
 )
 
 // binCkptMeta is the binary checkpoint's JSON metadata section.
@@ -72,13 +73,24 @@ func writeCheckpointBinary(w io.Writer, file *checkpointFile) error {
 	if err != nil {
 		return fmt.Errorf("server: encoding checkpoint quarantine: %w", err)
 	}
-	return encode.WriteContainer(w, encode.KindCheckpoint, []encode.Section{
+	sections := []encode.Section{
 		{ID: secCkptMeta, Data: metaJSON},
 		{ID: secCkptTerms, Data: encode.StringTableSection(terms)},
 		{ID: secCkptCases, Data: casesJSON},
 		{ID: secCkptViews, Data: viewsJSON},
 		{ID: secCkptQuarantine, Data: quarJSON},
-	})
+	}
+	if file.Ledger != nil {
+		// The ledger state is irregular (hex hashes, raw entry JSON), so
+		// it rides as a JSON section; its integrity does not depend on
+		// the container — LoadState re-verifies every byte.
+		ledgerJSON, err := json.Marshal(file.Ledger)
+		if err != nil {
+			return fmt.Errorf("server: encoding checkpoint ledger: %w", err)
+		}
+		sections = append(sections, encode.Section{ID: secCkptLedger, Data: ledgerJSON})
+	}
+	return encode.WriteContainer(w, encode.KindCheckpoint, sections)
 }
 
 // readCheckpointBinary decodes a binary checkpoint image back into the
@@ -123,6 +135,11 @@ func readCheckpointBinary(data []byte) (*checkpointFile, error) {
 	}
 	if err := json.Unmarshal(secs[secCkptQuarantine], &file.Quarantine); err != nil {
 		return nil, fmt.Errorf("server: checkpoint quarantine section: %w", err)
+	}
+	if data, ok := secs[secCkptLedger]; ok {
+		if err := json.Unmarshal(data, &file.Ledger); err != nil {
+			return nil, fmt.Errorf("server: checkpoint ledger section: %w", err)
+		}
 	}
 	return file, nil
 }

@@ -28,6 +28,8 @@ import (
 //	GET  /v1/traces              recent spans from the in-memory ring buffer
 //	GET  /v1/purposes            registered purposes
 //	GET  /v1/quarantine          malformed lines set aside by lenient ingestion
+//	GET  /v1/proofs/{id}         verdict + Merkle inclusion proof for one case
+//	GET  /v1/roots               signed ledger root chain; ?since=N
 //	GET  /metrics                Prometheus text exposition
 //	GET  /healthz                process liveness
 //	GET  /readyz                 ready to ingest (503 while starting/draining)
@@ -40,6 +42,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/traces", s.handleTraces)
 	s.mux.HandleFunc("GET /v1/purposes", s.handlePurposes)
 	s.mux.HandleFunc("GET /v1/quarantine", s.handleQuarantine)
+	s.mux.HandleFunc("GET /v1/proofs/{id}", s.handleProof)
+	s.mux.HandleFunc("GET /v1/roots", s.handleRoots)
 	s.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		s.writeMetrics(w)

@@ -1,0 +1,304 @@
+package server
+
+import (
+	"context"
+	"crypto/ed25519"
+	"crypto/sha256"
+	"encoding/json"
+	"net/http"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/ledger"
+	"repro/internal/wal"
+)
+
+// Ledger-on-the-server tests. The contract under test is DESIGN.md §15:
+// an acknowledged entry is provable (inclusion proof to a signed root),
+// proofs verify offline with only the public key, and a kill -9 reboot
+// rebuilds the ledger from WAL replay into byte-identical signed roots —
+// the crash leaves no seam in the evidence.
+
+func ledgerTestKey() ed25519.PrivateKey {
+	seed := sha256.Sum256([]byte("server-ledger-test-seed"))
+	return ed25519.NewKeyFromSeed(seed[:])
+}
+
+func ledgerConfig(t *testing.T, shards, batch int) Config {
+	t.Helper()
+	cfg, _ := walConfig(t, shards)
+	cfg.WALFsync = wal.FsyncInterval
+	cfg.LedgerKey = ledgerTestKey()
+	cfg.LedgerBatch = batch
+	return cfg
+}
+
+// TestProofEndpointVerifiesOffline streams the Figure 4 trail, fetches
+// the proof bundle for every case, and verifies each offline against
+// the public key — plus the root chain from /v1/roots. The violating
+// cases must carry their verdicts in the bundle: a verdict shipped with
+// evidence.
+func TestProofEndpointVerifiesOffline(t *testing.T) {
+	sc := hospitalScenario(t)
+	cfg := ledgerConfig(t, 3, 4)
+	srv, ts := startServer(t, sc, cfg)
+
+	if resp, _ := post(t, ts.URL+"/v1/events?wait=1", "application/x-ndjson", ndjson(t, sc.Trail)); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("ingest: %s", resp.Status)
+	}
+
+	pub := cfg.LedgerKey.Public().(ed25519.PublicKey)
+	want := expectedOutcomes(t, sc, sc.Trail)
+	for id, outcome := range want {
+		code, body := getBody(t, ts.URL+"/v1/proofs/"+id)
+		if code != http.StatusOK {
+			t.Fatalf("GET /v1/proofs/%s: %d %s", id, code, body)
+		}
+		var b struct {
+			Case    string            `json:"case"`
+			Outcome string            `json:"outcome"`
+			Proof   *ledger.CaseProof `json:"proof"`
+		}
+		if err := json.Unmarshal([]byte(body), &b); err != nil {
+			t.Fatalf("case %s: decoding bundle: %v", id, err)
+		}
+		if b.Outcome != outcome {
+			t.Errorf("case %s: bundle outcome %s, want %s", id, b.Outcome, outcome)
+		}
+		if err := ledger.VerifyCaseProof(pub, b.Proof); err != nil {
+			t.Errorf("case %s: proof does not verify: %v", id, err)
+		}
+		if n := sc.Trail.ByCase(id).Len(); len(b.Proof.Entries) != n {
+			t.Errorf("case %s: proof covers %d entries, want %d", id, len(b.Proof.Entries), n)
+		}
+	}
+
+	code, body := getBody(t, ts.URL+"/v1/roots")
+	if code != http.StatusOK {
+		t.Fatalf("GET /v1/roots: %d %s", code, body)
+	}
+	var rr rootsResponse
+	if err := json.Unmarshal([]byte(body), &rr); err != nil {
+		t.Fatal(err)
+	}
+	if err := ledger.VerifyRoots(pub, rr.Roots); err != nil {
+		t.Errorf("root chain does not verify: %v", err)
+	}
+
+	if code, _ := getBody(t, ts.URL+"/v1/proofs/NO-SUCH-CASE"); code != http.StatusNotFound {
+		t.Errorf("unknown case: %d, want 404", code)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestProofEndpointsDisabledWithoutLedger keeps the surface honest when
+// the ledger is off: both endpoints answer 404, not empty proofs.
+func TestProofEndpointsDisabledWithoutLedger(t *testing.T) {
+	sc := hospitalScenario(t)
+	_, ts := startServer(t, sc, Config{Shards: 2})
+	if code, _ := getBody(t, ts.URL+"/v1/proofs/HT-10"); code != http.StatusNotFound {
+		t.Errorf("/v1/proofs without ledger: %d, want 404", code)
+	}
+	if code, _ := getBody(t, ts.URL+"/v1/roots"); code != http.StatusNotFound {
+		t.Errorf("/v1/roots without ledger: %d, want 404", code)
+	}
+}
+
+// TestLedgerRequiresWAL: sealing is defined over the durable ingest
+// path; a ledger without a WAL must refuse to start.
+func TestLedgerRequiresWAL(t *testing.T) {
+	sc := hospitalScenario(t)
+	srv := New(sc.Registry, hospitalChecker(sc), Config{Shards: 2, LedgerKey: ledgerTestKey()})
+	if err := srv.Start(); err == nil {
+		srv.Crash()
+		t.Fatal("Start accepted a ledger without a WAL")
+	}
+}
+
+// ingestHalves streams the trail in two bodies on one connection, so
+// the global WAL order is the trail order in every run being compared.
+func ingestHalves(t *testing.T, url string, trail *audit.Trail) {
+	t.Helper()
+	cut := trail.Len() / 2
+	head := audit.NewTrail(trail.Entries()[:cut])
+	tail := audit.NewTrail(trail.Entries()[cut:])
+	for _, part := range []*audit.Trail{head, tail} {
+		if resp, _ := post(t, url+"/v1/events?wait=1", "application/x-ndjson", ndjson(t, part)); resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("ingest: %s", resp.Status)
+		}
+	}
+}
+
+// TestLedgerCrashRebuildMatchesControl is the tamper-evidence half of
+// the kill -9 contract: crash mid-stream (after a live checkpoint, so
+// recovery mixes checkpointed sealed batches with WAL-replayed leaves),
+// reboot, finish the stream — and every signed root must be
+// byte-identical to an uninterrupted control run with the same key.
+// Determinism is what makes the ledger auditable across failures: a
+// verifier holding roots from before the crash needs the rebuilt chain
+// to extend, not fork, them.
+func TestLedgerCrashRebuildMatchesControl(t *testing.T) {
+	sc := hospitalScenario(t)
+	cut := sc.Trail.Len() / 2
+	head := audit.NewTrail(sc.Trail.Entries()[:cut])
+	tail := audit.NewTrail(sc.Trail.Entries()[cut:])
+
+	// Crashed run: half the trail, a live checkpoint (persists sealed
+	// batches and may truncate the WAL up to them), crash, reboot,
+	// other half.
+	cfg := ledgerConfig(t, 3, 4)
+	srv1, ts1 := startServer(t, sc, cfg)
+	if resp, _ := post(t, ts1.URL+"/v1/events?wait=1", "application/x-ndjson", ndjson(t, head)); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("head ingest: %s", resp.Status)
+	}
+	if err := srv1.checkpointRunning(); err != nil {
+		t.Fatalf("live checkpoint: %v", err)
+	}
+	srv1.Crash()
+	ts1.Close()
+
+	srv2, ts2 := startServer(t, sc, cfg)
+	if resp, _ := post(t, ts2.URL+"/v1/events?wait=1", "application/x-ndjson", ndjson(t, tail)); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("tail ingest: %s", resp.Status)
+	}
+	srv2.ledger.Cut()
+	crashed := srv2.ledger.Roots(0)
+
+	// Proofs still verify on the rebuilt ledger.
+	pub := cfg.LedgerKey.Public().(ed25519.PublicKey)
+	for _, id := range []string{"HT-10", "HT-11"} {
+		p, err := srv2.ledger.ProveCase(id)
+		if err != nil {
+			t.Fatalf("ProveCase(%s) after rebuild: %v", id, err)
+		}
+		if err := ledger.VerifyCaseProof(pub, p); err != nil {
+			t.Errorf("case %s: rebuilt proof does not verify: %v", id, err)
+		}
+	}
+
+	// Control run: same key, fresh directories, no interruption.
+	ctl := ledgerConfig(t, 3, 4)
+	srv3, ts3 := startServer(t, sc, ctl)
+	ingestHalves(t, ts3.URL, sc.Trail)
+	srv3.ledger.Cut()
+	control := srv3.ledger.Roots(0)
+
+	if len(crashed) == 0 {
+		t.Fatal("crashed run sealed no batches")
+	}
+	if !reflect.DeepEqual(crashed, control) {
+		t.Errorf("rebuilt root chain diverges from uninterrupted control\ncrashed: %+v\ncontrol: %+v", crashed, control)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv2.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv3.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLedgerCheckpointRoundTrip: a clean shutdown seals the open tail
+// and persists every batch; the next boot restores them from the
+// checkpoint alone (the WAL was truncated past them) and extends the
+// same chain.
+func TestLedgerCheckpointRoundTrip(t *testing.T) {
+	sc := hospitalScenario(t)
+	cfg := ledgerConfig(t, 2, 4)
+	cfg.BinaryCheckpoint = true
+
+	srv1, ts1 := startServer(t, sc, cfg)
+	if resp, _ := post(t, ts1.URL+"/v1/events?wait=1", "application/x-ndjson", ndjson(t, sc.Trail)); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("ingest: %s", resp.Status)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv1.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close()
+	want := srv1.ledger.Roots(0)
+	if len(want) == 0 {
+		t.Fatal("shutdown sealed no batches")
+	}
+
+	srv2, _ := startServer(t, sc, cfg)
+	got := srv2.ledger.Roots(0)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("restored root chain differs\ngot:  %+v\nwant: %+v", got, want)
+	}
+	if lsn := srv2.ledgerCkptLSN.Load(); lsn != srv2.ledger.LastSealedLSN() {
+		t.Errorf("ledgerCkptLSN %d, want %d (restore should trust the checkpointed boundary)",
+			lsn, srv2.ledger.LastSealedLSN())
+	}
+	if err := srv2.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLedgerTamperedCheckpointRefusesBoot flips one byte of a sealed
+// entry inside the checkpoint and requires Start to fail: the ledger
+// re-derives every chain and signature on restore, so a doctored
+// checkpoint cannot smuggle history past the signatures.
+func TestLedgerTamperedCheckpointRefusesBoot(t *testing.T) {
+	sc := hospitalScenario(t)
+	cfg := ledgerConfig(t, 2, 4)
+
+	srv1, ts1 := startServer(t, sc, cfg)
+	if resp, _ := post(t, ts1.URL+"/v1/events?wait=1", "application/x-ndjson", ndjson(t, sc.Trail)); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("ingest: %s", resp.Status)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv1.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close()
+
+	data, err := os.ReadFile(cfg.CheckpointPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file map[string]json.RawMessage
+	if err := json.Unmarshal(data, &file); err != nil {
+		t.Fatal(err)
+	}
+	var st ledger.State
+	if err := json.Unmarshal(file["ledger"], &st); err != nil {
+		t.Fatalf("checkpoint has no ledger state: %v", err)
+	}
+	entry := string(st.Batches[0].Entries[0])
+	if !strings.Contains(entry, `"user":`) {
+		t.Fatalf("unexpected entry shape: %s", entry)
+	}
+	st.Batches[0].Entries[0] = json.RawMessage(strings.Replace(entry, `"user":"`, `"user":"x`, 1))
+	raw, err := json.Marshal(&st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	file["ledger"] = raw
+	out, err := json.Marshal(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(cfg.CheckpointPath, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2 := New(sc.Registry, hospitalChecker(sc), cfg)
+	if err := srv2.Start(); err == nil {
+		srv2.Crash()
+		t.Fatal("Start accepted a checkpoint with a tampered ledger entry")
+	}
+}

@@ -50,6 +50,12 @@ type metrics struct {
 	shardPanics     atomic.Int64 // shard worker panics recovered by the supervisor
 	shardsFailed    atomic.Int64 // shards whose restart budget is exhausted
 	entriesDropped  atomic.Int64 // accepted entries dropped by panics/failed shards
+
+	// Tamper-evident ledger (PR 8).
+	ledgerBatches      atomic.Int64 // batches sealed (roots signed)
+	ledgerLeaves       atomic.Int64 // leaves covered by sealed batches
+	ledgerProofs       atomic.Int64 // proof bundles served
+	ledgerSealDuration histogram    // close-to-signed latency per batch
 }
 
 func newMetrics() *metrics {
@@ -60,6 +66,10 @@ func newMetrics() *metrics {
 	m.feedLatency.counts = make([]atomic.Int64, len(m.feedLatency.bounds)+1)
 	m.snapshotDuration.bounds = []float64{1e-3, 5e-3, 25e-3, 100e-3, 500e-3, 2, 10}
 	m.snapshotDuration.counts = make([]atomic.Int64, len(m.snapshotDuration.bounds)+1)
+	// Sealing a batch is hashing + one ed25519 signature: tens of
+	// microseconds typically, milliseconds only for very large batches.
+	m.ledgerSealDuration.bounds = []float64{25e-6, 100e-6, 500e-6, 2.5e-3, 10e-3, 100e-3}
+	m.ledgerSealDuration.counts = make([]atomic.Int64, len(m.ledgerSealDuration.bounds)+1)
 	return m
 }
 
@@ -233,6 +243,20 @@ func (s *Server) writeMetrics(w io.Writer) {
 		counter(w, "auditd_wal_replayed_total", "Entries re-fed from the WAL at boot.", m.walReplayed.Load())
 		counter(w, "auditd_wal_truncated_segments_total", "WAL segments removed as covered by checkpoints.", m.walTruncated.Load())
 		counter(w, "auditd_wal_append_errors_total", "WAL appends that failed (failure policy applied).", m.walAppendErrors.Load())
+	}
+	if s.ledger != nil {
+		// Gauges come from ledger state (restored batches count too);
+		// the counters are since-boot sealing activity.
+		batches, leaves, open, forced := s.ledger.Stats()
+		counter(w, "auditd_ledger_batches_total", "Ledger batches sealed since boot (roots signed).", m.ledgerBatches.Load())
+		counter(w, "auditd_ledger_leaves_total", "Entries sealed into ledger batches since boot.", m.ledgerLeaves.Load())
+		counter(w, "auditd_ledger_proofs_total", "Proof bundles served.", m.ledgerProofs.Load())
+		counter(w, "auditd_ledger_forced_cuts_total", "Batches cut early to answer a proof request.", int64(forced))
+		gauge(w, "auditd_ledger_head_seq", "Sequence number of the newest signed root.", float64(batches))
+		gauge(w, "auditd_ledger_sealed_leaves", "Entries covered by sealed batches, including restored ones.", float64(leaves))
+		gauge(w, "auditd_ledger_open_leaves", "Entries appended but not yet sealed.", float64(open))
+		gauge(w, "auditd_ledger_sealed_lsn", "Highest WAL LSN covered by a sealed batch.", float64(s.ledger.LastSealedLSN()))
+		m.ledgerSealDuration.write(w, "auditd_ledger_seal_duration_seconds")
 	}
 	counter(w, "auditd_shard_panics_total", "Shard worker panics recovered by the supervisor.", m.shardPanics.Load())
 	gauge(w, "auditd_shards_failed", "Shards whose restart budget is exhausted.", float64(m.shardsFailed.Load()))

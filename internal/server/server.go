@@ -17,6 +17,7 @@ package server
 
 import (
 	"context"
+	"crypto/ed25519"
 	"fmt"
 	"log/slog"
 	"net/http"
@@ -26,6 +27,7 @@ import (
 
 	"repro/internal/audit"
 	"repro/internal/core"
+	"repro/internal/ledger"
 	"repro/internal/obs"
 	"repro/internal/wal"
 )
@@ -80,6 +82,20 @@ type Config struct {
 	// ShardRestartLimit bounds how many times the supervisor restarts a
 	// panicking shard worker before failing the shard (default 5).
 	ShardRestartLimit int
+
+	// LedgerKey, when set, enables the tamper-evident Merkle audit
+	// ledger (DESIGN.md §15): every WAL-appended entry becomes a leaf,
+	// batches seal into ed25519-signed chained roots, and GET
+	// /v1/proofs/{case} serves offline-checkable inclusion proofs.
+	// Requires WALDir — sealing happens after the WAL append, so
+	// "acknowledged" means both replayable and provable.
+	LedgerKey ed25519.PrivateKey
+	// LedgerBatch closes a ledger batch at this many leaves (default
+	// ledger.DefaultBatch; 1 = direct ledger, a signed root per entry).
+	LedgerBatch int
+	// LedgerWait seals a partial batch this long after its first leaf
+	// (0 = size/explicit cuts only — the deterministic mode).
+	LedgerWait time.Duration
 }
 
 // WAL failure policies (Config.WALFailure).
@@ -155,6 +171,13 @@ type Server struct {
 	wal       *wal.Log
 	inflight  inflightTracker
 	walFailed atomic.Bool
+
+	// ledger seals WAL-appended entries into signed Merkle roots (nil
+	// when LedgerKey is unset); ledgerCkptLSN is the last sealed LSN
+	// persisted by a successful checkpoint — the WAL truncation clamp
+	// that keeps unpersisted leaves replayable (wal.go, checkpoint.go).
+	ledger        *ledger.Ledger
+	ledgerCkptLSN atomic.Uint64
 }
 
 // New builds a server over the registry's purposes. The checker
@@ -204,6 +227,9 @@ func (s *Server) Start() error {
 		return fmt.Errorf("server: already started")
 	}
 	s.started = true
+	if err := s.openLedger(); err != nil {
+		return err
+	}
 	if err := s.restore(); err != nil {
 		return err
 	}
@@ -266,15 +292,27 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		return s.shutdownExpired(ctx)
 	}
 
-	// Workers are gone; monitors are safe to read directly.
+	// Workers are gone. Seal the ledger's open tail first, so every
+	// acknowledged entry is provable after a clean restart, and the
+	// final checkpoint carries the sealed batches.
+	if s.ledger != nil {
+		s.ledger.Cut()
+	}
+	// Monitors are safe to read directly.
 	if err := s.checkpointFinal(); err != nil {
 		s.log.Error("final checkpoint failed", "err", err)
 		s.closeWAL(false)
+		if s.ledger != nil {
+			s.ledger.Close()
+		}
 		return err
 	}
 	// Every acknowledged entry is now in the checkpoint; the WAL can
 	// shed its sealed history.
 	s.closeWAL(true)
+	if s.ledger != nil {
+		s.ledger.Close()
+	}
 	s.log.Info("auditd drained and stopped", "cases", s.caseCount())
 	return nil
 }
@@ -302,6 +340,9 @@ func (s *Server) shutdownExpired(ctx context.Context) error {
 	// No WAL truncation here: the stragglers' unfed entries must
 	// survive for the next boot's replay.
 	s.closeWAL(false)
+	if s.ledger != nil {
+		s.ledger.Close()
+	}
 	s.log.Error("drain deadline exceeded; straggler shards abandoned",
 		"stragglers", stuck, "drained", len(drained))
 	return fmt.Errorf("server: drain deadline exceeded, %d shard(s) still busy %v: %w",
@@ -329,6 +370,11 @@ func (s *Server) Crash() {
 		<-sh.done
 	}
 	s.closeWAL(false)
+	if s.ledger != nil {
+		// No Cut: like the WAL, the open tail exists only in the log
+		// and is rebuilt by replay at next boot.
+		s.ledger.Close()
+	}
 }
 
 // accepting registers an ingest if the server is not draining.

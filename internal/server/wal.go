@@ -87,7 +87,22 @@ func (s *Server) replayWAL() error {
 	}
 	start := time.Now()
 	replayed := 0
+	// The ledger rebuilds from the same pass: every record past its
+	// checkpointed sealed boundary becomes a leaf again, in LSN order,
+	// regrowing the open tail (and any unpersisted batches) exactly as
+	// the pre-crash run sealed them.
+	ledgerFrom := uint64(0)
+	if s.ledger != nil {
+		ledgerFrom = s.ledger.LastLSN()
+	}
+	var one [1]audit.Entry
 	err := s.wal.Replay(1, func(lsn uint64, e audit.Entry) error {
+		if s.ledger != nil && lsn > ledgerFrom {
+			one[0] = e
+			if err := s.ledger.Append(one[:], lsn); err != nil {
+				return fmt.Errorf("rebuilding ledger: %w", err)
+			}
+		}
 		if lsn <= skip[e.Case] {
 			return nil // already inside the restored checkpoint's cut
 		}
@@ -139,13 +154,24 @@ func (s *Server) enqueueBatch(sh *shard, b *[]audit.Entry, sc obs.SpanContext) b
 }
 
 // walAppend appends one batch and registers its append→enqueue window,
-// atomically with respect to lowWater captures.
+// atomically with respect to lowWater captures. The ledger seals here
+// too: inflight.mu globally serializes WAL appends, so feeding the
+// ledger under it hands leaves over in exact LSN order — the invariant
+// that makes crash rebuilds sign the same trees as the original run.
 func (s *Server) walAppend(entries []audit.Entry) (uint64, error) {
 	s.inflight.mu.Lock()
 	defer s.inflight.mu.Unlock()
 	first, _, err := s.wal.Append(entries)
 	if err != nil {
 		return 0, err
+	}
+	if s.ledger != nil {
+		if err := s.ledger.Append(entries, first); err != nil {
+			// The entries are durable but unsealed; refuse the batch so
+			// the acknowledged ⇒ provable contract holds (replay re-seals
+			// them at next boot).
+			return 0, fmt.Errorf("ledger append: %w", err)
+		}
 	}
 	s.inflight.firsts[first]++
 	return first, nil
@@ -194,6 +220,17 @@ func (s *Server) walSafeLSN(lsn uint64) uint64 {
 			if l := sh.lastFedLSN.Load(); l < lsn {
 				lsn = l
 			}
+		}
+	}
+	// Ledger clamp: leaves above the last CHECKPOINTED sealed LSN exist
+	// only in the WAL (checkpoints persist sealed batches; the open
+	// tail never). Truncating past them would make the ledger rebuild
+	// start inside a batch — the live sealed boundary is not enough,
+	// because batches sealed after the last checkpoint write are just
+	// as unpersisted as the open tail.
+	if s.ledger != nil {
+		if l := s.ledgerCkptLSN.Load(); l < lsn {
+			lsn = l
 		}
 	}
 	return lsn

@@ -139,8 +139,8 @@ type Log struct {
 	// l.mu (a metrics scrape must not stall the append hot path).
 	sealedBytes int64
 	nextLSN     uint64 // LSN the next appended record receives
-	scratch []byte // payload encoding scratch, reused across appends
-	err     error  // sticky write failure; every later Append returns it
+	scratch     []byte // payload encoding scratch, reused across appends
+	err         error  // sticky write failure; every later Append returns it
 
 	stopFlush chan struct{}
 	flushDone chan struct{}
