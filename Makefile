@@ -1,4 +1,4 @@
-.PHONY: ci lint cover benchguard test bench fuzz chaos serve smoke proofs crash
+.PHONY: ci lint cover scenarios benchguard test bench fuzz chaos serve smoke proofs crash
 
 ci:
 	sh ./ci.sh
@@ -10,6 +10,11 @@ lint:
 # Coverage ratchet over the verdict-bearing engines.
 cover:
 	sh ./ci.sh cover
+
+# Declarative purpose-test corpus: purposectl test ./scenarios/... with
+# the DFA state-coverage floor, plus a short scenario fuzz.
+scenarios:
+	sh ./ci.sh scenarios
 
 # Quick P1/P3/P4 timing run vs the checked-in BENCH_*.json baselines.
 benchguard:

@@ -3,7 +3,10 @@
 # build, race-enabled tests (the chaos suite in internal/faultinject
 # runs under -race here), a fuzz smoke over the ingestion surface plus
 # the compiled-vs-interpreted differential target, a coverage ratchet
-# on the replay engines and the observability layer, a benchmark guard
+# on the replay engines and the observability layer, the declarative
+# purpose-test corpus (every scenario fixture replayed through both
+# engines with byte-identical reports and a DFA state-coverage floor),
+# a benchmark guard
 # failing on ns/entry regressions of the P1/P3/P4/P5/P6/P7 claims vs
 # the checked-in baselines (nil-observer replay rows are held to 5%),
 # an end-to-end smoke of the auditd streaming server including a
@@ -16,7 +19,8 @@
 # Stages run standalone too:
 #   sh ci.sh            # everything
 #   sh ci.sh lint       # gofmt + vet + staticcheck
-#   sh ci.sh cover      # coverage ratchet (internal/core, internal/automaton, internal/obs, internal/encode, internal/ledger)
+#   sh ci.sh cover      # coverage ratchet (internal/core, internal/automaton, internal/obs, internal/encode, internal/ledger, internal/scenario)
+#   sh ci.sh scenarios  # declarative purpose-test corpus (purposectl test ./scenarios/...)
 #   sh ci.sh benchguard # quick P1/P3/P4/P5/P6/P7/P8 run vs BENCH_pr*.json
 #   sh ci.sh smoke      # auditd server smoke (also `make smoke`)
 #   sh ci.sh proofs     # ledger proof smoke: fetch, verify offline, tamper
@@ -28,6 +32,10 @@ set -eu
 COVER_MIN=85.0
 # Tolerated ns/entry regression vs the checked-in benchmark baselines.
 BENCH_SLACK=0.25
+# Minimum DFA state coverage each scenario fixture's trails must reach
+# (see DESIGN.md §16). Fixtures that legitimately fall back to the
+# interpreter (allow_fallback) are exempt — there is no table to cover.
+SCENARIO_COVER_MIN=60
 # Pinned staticcheck build (must match GitHub Actions; see ci.yml).
 STATICCHECK_VERSION=2025.1.1
 
@@ -489,11 +497,13 @@ lint() {
 # explain verdicts: the interpreter (internal/core), the table compiler
 # (internal/automaton), the observability layer (internal/obs), the
 # artifact codec (internal/encode — it deserializes what the automata
-# trust) and the tamper-evidence layer (internal/ledger — it signs what
-# auditors rely on). The combined figure must stay >= COVER_MIN.
+# trust), the tamper-evidence layer (internal/ledger — it signs what
+# auditors rely on) and the scenario framework (internal/scenario — it
+# decides what the corpus asserts). The combined figure must stay
+# >= COVER_MIN.
 cover() {
-	echo "== coverage ratchet (internal/core, internal/automaton, internal/obs, internal/encode, internal/ledger; min ${COVER_MIN}%) =="
-	go test -coverprofile=cover.out ./internal/core/ ./internal/automaton/ ./internal/obs/ ./internal/encode/ ./internal/ledger/
+	echo "== coverage ratchet (internal/core, internal/automaton, internal/obs, internal/encode, internal/ledger, internal/scenario; min ${COVER_MIN}%) =="
+	go test -coverprofile=cover.out ./internal/core/ ./internal/automaton/ ./internal/obs/ ./internal/encode/ ./internal/ledger/ ./internal/scenario/
 	total=$(go tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $3); print $3}')
 	echo "combined engine coverage: ${total}%"
 	if [ -n "${GITHUB_STEP_SUMMARY:-}" ]; then
@@ -503,6 +513,27 @@ cover() {
 		echo "coverage ${total}% fell below the ${COVER_MIN}% floor" >&2
 		exit 1
 	}
+}
+
+# scenarios runs the declarative purpose-test corpus: every
+# *.scenario.json fixture replays its annotated trails through the
+# interpreter, the compiled automaton and the minimized automaton,
+# requires byte-identical reports, checks the declared verdicts and
+# first deviations, and holds each fixture's DFA state coverage to
+# SCENARIO_COVER_MIN (DESIGN.md §16). A short run of the scenario
+# fuzzer rides along, co-mutating a process and its trail to hunt for
+# engine disagreement beyond the curated corpus.
+scenarios() {
+	echo "== scenario corpus (purposectl test, state-coverage floor ${SCENARIO_COVER_MIN}%) =="
+	if [ -n "${GITHUB_STEP_SUMMARY:-}" ]; then
+		go run ./cmd/purposectl test -cover-min "$SCENARIO_COVER_MIN" \
+			-summary "$GITHUB_STEP_SUMMARY" ./scenarios/...
+	else
+		go run ./cmd/purposectl test -cover-min "$SCENARIO_COVER_MIN" ./scenarios/...
+	fi
+
+	echo "== scenario fuzz smoke =="
+	go test ./internal/scenario/ -run '^$' -fuzz '^FuzzScenario$' -fuzztime 5s
 }
 
 # benchguard replays the timed P1 (trail length), P3 (parallel cases),
@@ -550,13 +581,17 @@ cover)
 	cover
 	exit 0
 	;;
+scenarios)
+	scenarios
+	exit 0
+	;;
 benchguard)
 	benchguard
 	exit 0
 	;;
 all) ;;
 *)
-	echo "usage: sh ci.sh [all|lint|cover|benchguard|smoke|proofs|crash]" >&2
+	echo "usage: sh ci.sh [all|lint|cover|scenarios|benchguard|smoke|proofs|crash]" >&2
 	exit 2
 	;;
 esac
@@ -579,6 +614,8 @@ done
 go test ./internal/core/ -run '^$' -fuzz '^FuzzCompiledReplay$' -fuzztime 5s
 
 cover
+
+scenarios
 
 benchguard
 

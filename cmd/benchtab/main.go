@@ -226,7 +226,14 @@ func parseSlackByExp(s string) (map[string]float64, error) {
 // (or loosens) the tolerance for individual experiments — the PR 5
 // observer work holds the nil-observer replay rows to 5%.
 func guard(rows []benchRow, baselines []string, slack float64, slackByExp map[string]float64) error {
-	base := map[string]benchRow{}
+	// Each baseline row remembers which file it came from, so a
+	// regression message names the file to re-baseline (or bisect
+	// against) instead of leaving the reader to grep every BENCH_*.json.
+	type baseRow struct {
+		row  benchRow
+		file string
+	}
+	base := map[string]baseRow{}
 	for _, file := range baselines {
 		file = strings.TrimSpace(file)
 		if file == "" {
@@ -244,7 +251,7 @@ func guard(rows []benchRow, baselines []string, slack float64, slackByExp map[st
 		}
 		for _, r := range doc.Rows {
 			if r.NsPerEntry > 0 {
-				base[r.Exp+"/"+r.Name] = r
+				base[r.Exp+"/"+r.Name] = baseRow{row: r, file: file}
 			}
 		}
 	}
@@ -271,14 +278,15 @@ func guard(rows []benchRow, baselines []string, slack float64, slackByExp map[st
 		if s, ok := slackByExp[r.Exp]; ok {
 			rowSlack = s
 		}
-		delta := r.NsPerEntry/b.NsPerEntry - 1
+		delta := r.NsPerEntry/b.row.NsPerEntry - 1
 		mark := ""
 		if delta > rowSlack {
 			mark = "  REGRESSION"
-			failures = append(failures, fmt.Sprintf("%s/%s: %.1f -> %.1f ns/entry (%+.0f%%, slack %.0f%%)",
-				r.Exp, r.Name, b.NsPerEntry, r.NsPerEntry, delta*100, rowSlack*100))
+			failures = append(failures, fmt.Sprintf(
+				"series %s row %q (%d entries): measured %.1f ns/entry vs baseline %.1f ns/entry in %s — %+.0f%% exceeds the allowed %.0f%% slack",
+				r.Exp, r.Name, r.Entries, r.NsPerEntry, b.row.NsPerEntry, b.file, delta*100, rowSlack*100))
 		}
-		fmt.Printf("%-28s %-12.1f %-12.1f %+.0f%%%s\n", r.Exp+"/"+r.Name, b.NsPerEntry, r.NsPerEntry, delta*100, mark)
+		fmt.Printf("%-28s %-12.1f %-12.1f %+.0f%%%s\n", r.Exp+"/"+r.Name, b.row.NsPerEntry, r.NsPerEntry, delta*100, mark)
 	}
 	if compared == 0 {
 		return fmt.Errorf("no timed rows shared with the baseline (ran the wrong -exp selection?)")

@@ -11,6 +11,13 @@
 //	           [-policy pol.txt] [-object OBJ] [-case HT-1] [-skips N] \
 //	           [-lenient] [-explain] [-trace spans.jsonl] [-v]
 //	purposectl verify-proof -bundle proof.json [-pubkey HEX | -pubkey-file F]
+//	purposectl test [-cover-min PCT] [-summary FILE] [-v] ./scenarios/...
+//
+// test runs declarative purpose-test fixtures (*.scenario.json): each
+// pairs a process, a policy and annotated trails declaring the expected
+// verdict and first deviation; every trail is replayed through the
+// interpreter and both compiled engines, which must agree byte-for-byte
+// (DESIGN.md §16).
 //
 // verify-proof checks a proof bundle from auditd's GET /v1/proofs/{case}
 // offline — entry inclusion in signed Merkle roots, root-chain
@@ -90,6 +97,9 @@ func main() {
 	// its own flag set and exit-code mapping.
 	if len(os.Args) > 1 && os.Args[1] == "verify-proof" {
 		os.Exit(verifyProofMain(os.Args[2:]))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "test" {
+		os.Exit(testMain(os.Args[2:]))
 	}
 	var (
 		procs cli.ProcList

@@ -1,0 +1,154 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/cli"
+	"repro/internal/scenario"
+)
+
+const passingFixture = `{
+  "name": "cmd-pass",
+  "process": {
+    "name": "CmdPass",
+    "pools": ["Ops"],
+    "elements": [
+      {"id": "S1", "kind": "start", "pool": "Ops"},
+      {"id": "T01", "kind": "task", "pool": "Ops", "name": "Only step"},
+      {"id": "E1", "kind": "end", "pool": "Ops"}
+    ],
+    "flows": [
+      {"from": "S1", "to": "T01", "kind": "sequence"},
+      {"from": "T01", "to": "E1", "kind": "sequence"}
+    ]
+  },
+  "case_codes": ["CP"],
+  "trails": [
+    {
+      "name": "ok",
+      "case": "CP-1",
+      "entries": [{"time": "202608080900", "user": "u1", "role": "Ops", "task": "T01"}],
+      "expect": {"verdict": "compliant"}
+    }
+  ]
+}`
+
+// writeScenario drops fixture JSON into dir under name.scenario.json.
+func writeScenario(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name+scenario.Ext)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunScenariosPass(t *testing.T) {
+	dir := t.TempDir()
+	writeScenario(t, dir, "cmd-pass", passingFixture)
+
+	var out strings.Builder
+	code, md := runScenarios(&out, []string{dir}, scenario.Options{CoverMin: 60}, true)
+	if code != cli.ExitClean {
+		t.Fatalf("exit = %d, output:\n%s", code, out.String())
+	}
+	for _, want := range []string{"ok   cmd-pass (1 trails)", "compliant", "cover CmdPass:", "all passing"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	for _, want := range []string{"| fixture |", "| cmd-pass | 1 | ✅ |", "All 1 fixtures"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("summary missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestRunScenariosFailure(t *testing.T) {
+	dir := t.TempDir()
+	// Same process, but the trail claims a violation that never happens.
+	broken := strings.Replace(passingFixture, `"verdict": "compliant"`, `"verdict": "violation"`, 1)
+	broken = strings.Replace(broken, `"name": "cmd-pass"`, `"name": "cmd-fail"`, 1)
+	writeScenario(t, dir, "cmd-fail", broken)
+
+	var out strings.Builder
+	code, md := runScenarios(&out, []string{dir}, scenario.Options{}, false)
+	if code != cli.ExitProblem {
+		t.Fatalf("exit = %d, want %d; output:\n%s", code, cli.ExitProblem, out.String())
+	}
+	for _, want := range []string{"FAIL cmd-fail", "verdict = compliant, want violation", "1 FAILED"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	if !strings.Contains(md, "❌") || !strings.Contains(md, "1 of 1 fixtures failed") {
+		t.Errorf("summary did not flag the failure:\n%s", md)
+	}
+}
+
+func TestRunScenariosUsageErrors(t *testing.T) {
+	var out strings.Builder
+	if code, _ := runScenarios(&out, []string{filepath.Join(t.TempDir(), "nope")}, scenario.Options{}, false); code != cli.ExitUsage {
+		t.Errorf("missing path: exit = %d, want %d", code, cli.ExitUsage)
+	}
+	dir := t.TempDir()
+	writeScenario(t, dir, "bad", `{"name": "bad"`)
+	if code, _ := runScenarios(&out, []string{dir}, scenario.Options{}, false); code != cli.ExitUsage {
+		t.Errorf("unparsable fixture: exit = %d, want %d", code, cli.ExitUsage)
+	}
+}
+
+func TestTestMainSummaryFile(t *testing.T) {
+	dir := t.TempDir()
+	writeScenario(t, dir, "cmd-pass", passingFixture)
+	sum := filepath.Join(dir, "summary.md")
+
+	if code := testMain([]string{"-cover-min", "60", "-summary", sum, dir}); code != cli.ExitClean {
+		t.Fatalf("exit = %d", code)
+	}
+	b, err := os.ReadFile(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), "### Scenario corpus") {
+		t.Fatalf("summary file:\n%s", b)
+	}
+
+	// A second run appends rather than truncates (step summaries are
+	// append-only).
+	if code := testMain([]string{"-summary", sum, dir}); code != cli.ExitClean {
+		t.Fatalf("second run exit = %d", code)
+	}
+	b2, err := os.ReadFile(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b2) <= len(b) {
+		t.Fatal("summary file was not appended to")
+	}
+}
+
+func TestTestMainUsage(t *testing.T) {
+	if code := testMain(nil); code != cli.ExitUsage {
+		t.Errorf("no args: exit = %d, want %d", code, cli.ExitUsage)
+	}
+	if code := testMain([]string{"-definitely-not-a-flag"}); code != cli.ExitUsage {
+		t.Errorf("bad flag: exit = %d, want %d", code, cli.ExitUsage)
+	}
+}
+
+// TestCorpusViaCommand runs the real checked-in corpus through the
+// subcommand path, mirroring what ci.sh invokes.
+func TestCorpusViaCommand(t *testing.T) {
+	var out strings.Builder
+	code, md := runScenarios(&out, []string{"../../scenarios/..."}, scenario.Options{CoverMin: 60}, false)
+	if code != cli.ExitClean {
+		t.Fatalf("corpus run exit = %d:\n%s", code, out.String())
+	}
+	if !strings.Contains(md, "✅") || strings.Contains(md, "❌") {
+		t.Fatalf("corpus summary:\n%s", md)
+	}
+}

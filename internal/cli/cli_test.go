@@ -1,0 +1,166 @@
+package cli_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/cli"
+	"repro/internal/core"
+)
+
+const interchangeProc = `{
+  "name": "MiniProc",
+  "pools": ["Ops"],
+  "elements": [
+    {"id": "S1", "kind": "start", "pool": "Ops"},
+    {"id": "T01", "kind": "task", "pool": "Ops", "name": "Only step"},
+    {"id": "E1", "kind": "end", "pool": "Ops"}
+  ],
+  "flows": [
+    {"from": "S1", "to": "T01", "kind": "sequence"},
+    {"from": "T01", "to": "E1", "kind": "sequence"}
+  ]
+}`
+
+func TestLoadProcs(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "mini.json")
+	if err := os.WriteFile(file, []byte(interchangeProc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := core.NewRegistry()
+	if err := cli.LoadProcs(reg, []string{file + ":MP,XA"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, caseID := range []string{"MP-1", "XA-7"} {
+		if p := reg.ForCase(caseID); p == nil || p.Name != "MiniProc" {
+			t.Errorf("case %s resolved to %v, want MiniProc", caseID, p)
+		}
+	}
+}
+
+func TestLoadProcsErrors(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "mini.json")
+	if err := os.WriteFile(good, []byte(interchangeProc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(dir, "broken.json")
+	if err := os.WriteFile(bad, []byte(`{"name": "Broken"`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		spec string
+		want string
+	}{
+		{"no-codes", good, "want file.json:CODE"},
+		{"missing-file", filepath.Join(dir, "nope.json") + ":MP", "no such file"},
+		{"unparsable", bad + ":MP", "unexpected EOF"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := cli.LoadProcs(core.NewRegistry(), []string{tc.spec})
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestProcList(t *testing.T) {
+	var p cli.ProcList
+	if err := p.Set("a.json:HT"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Set("b.bpmn:CT,XT"); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.String(); got != "a.json:HT b.bpmn:CT,XT" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestBuiltin(t *testing.T) {
+	s, err := cli.Builtin("hospital")
+	if err != nil || s == nil {
+		t.Fatalf("hospital builtin: %v", err)
+	}
+	if _, err := cli.Builtin("casino"); err == nil || !strings.Contains(err.Error(), "unknown builtin") {
+		t.Fatalf("unknown builtin: err = %v", err)
+	}
+}
+
+func TestParseTime(t *testing.T) {
+	paper, err := cli.ParseTime("201003121210")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if paper.Year() != 2010 || paper.Month() != time.March || paper.Minute() != 10 {
+		t.Fatalf("paper layout parsed to %v", paper)
+	}
+
+	rfc, err := cli.ParseTime("2010-03-12T12:10:00Z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rfc.Equal(paper) {
+		t.Fatalf("RFC 3339 %v != paper %v", rfc, paper)
+	}
+
+	for _, bad := range []string{"", "yesterday", "2010-03-12", "20100312121"} {
+		if _, err := cli.ParseTime(bad); err == nil {
+			t.Errorf("ParseTime(%q) accepted", bad)
+		}
+	}
+}
+
+func TestExitCode(t *testing.T) {
+	cases := []struct {
+		infringements, findings, indeterminate, want int
+	}{
+		{0, 0, 0, cli.ExitClean},
+		{1, 0, 0, cli.ExitProblem},
+		{0, 2, 0, cli.ExitProblem},
+		{1, 0, 3, cli.ExitProblem}, // definite problems dominate
+		{0, 0, 1, cli.ExitIndeterminate},
+	}
+	for _, tc := range cases {
+		if got := cli.ExitCode(tc.infringements, tc.findings, tc.indeterminate); got != tc.want {
+			t.Errorf("ExitCode(%d, %d, %d) = %d, want %d",
+				tc.infringements, tc.findings, tc.indeterminate, got, tc.want)
+		}
+	}
+}
+
+func TestWindow(t *testing.T) {
+	base := time.Date(2010, 3, 12, 12, 0, 0, 0, time.UTC)
+	var entries []audit.Entry
+	for i := 0; i < 4; i++ {
+		entries = append(entries, audit.Entry{
+			User: "u", Role: "Ops", Action: "access", Task: "T01", Case: "MP-1",
+			Time: base.Add(time.Duration(i) * time.Hour), Status: audit.Success,
+		})
+	}
+	trail := audit.NewTrail(entries)
+
+	if got := cli.Window(trail, time.Time{}, time.Time{}); got != trail {
+		t.Error("fully open window should return the trail unchanged")
+	}
+	if got := cli.Window(trail, base.Add(time.Hour), time.Time{}); got.Len() != 3 {
+		t.Errorf("open-ended window kept %d entries, want 3", got.Len())
+	}
+	if got := cli.Window(trail, time.Time{}, base.Add(time.Hour)); got.Len() != 1 {
+		// to is exclusive: only the base entry falls before it.
+		t.Errorf("upper-bounded window kept %d entries, want 1", got.Len())
+	}
+	if got := cli.Window(trail, base.Add(time.Hour), base.Add(3*time.Hour)); got.Len() != 2 {
+		t.Errorf("closed window kept %d entries, want 2", got.Len())
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/audit"
+	"repro/internal/automaton"
 	"repro/internal/cows"
 	"repro/internal/lts"
 	"repro/internal/policy"
@@ -274,6 +275,15 @@ type Checker struct {
 	// invoked synchronously from the replaying goroutine. Leave nil in
 	// production hot paths — the nil check is the only cost then.
 	Observer Observer
+
+	// Coverage, when set, records which compiled-DFA states and
+	// transitions replays visit (automaton.CoverageSet, keyed per
+	// automaton). The scenario runner uses it to report per-fixture
+	// state/edge coverage; it only observes the compiled engine — the
+	// interpreter has no finite table to cover. Like Observer it is
+	// per-clone state (Clone does not copy it) and costs one nil check
+	// per replay when unset. Leave nil in production.
+	Coverage *automaton.CoverageSet
 
 	rt *checkerRT
 }

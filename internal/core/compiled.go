@@ -267,6 +267,13 @@ func (c *Checker) replayCompiled(ctx context.Context, d *automaton.DFA, pur *Pur
 	if obs != nil {
 		obs.ReplayBegin(caseID, pur.Name, EngineCompiled, len(entries))
 	}
+	// cov is hoisted like obs: one nil check per entry, nothing else on
+	// the bare hot path.
+	var cov *automaton.Coverage
+	if c.Coverage != nil {
+		cov = c.Coverage.For(d)
+		cov.VisitState(d.Start)
+	}
 	state := d.Start
 	done := ctx.Done()
 	var cache symCacheTable
@@ -305,6 +312,10 @@ func (c *Checker) replayCompiled(ctx context.Context, d *automaton.DFA, pur *Pur
 				ConfigsAfter:   len(d.States[next].Members),
 				SymbolCacheHit: hit,
 			})
+		}
+		if cov != nil {
+			cov.VisitEdge(state, sym)
+			cov.VisitState(next)
 		}
 		state = next
 		if n := len(d.States[state].Members); n > rep.PeakConfigurations {

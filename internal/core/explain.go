@@ -53,9 +53,49 @@ type Explanation struct {
 	// a near-matching task name, the pool a role conflicts with, or
 	// the knob an indeterminate analysis ran out of.
 	NearestMiss string `json:"nearest_miss,omitempty"`
+	// NearestMissClass is the machine-readable classification of
+	// NearestMiss (the Miss* constants) — what scenario fixtures assert
+	// their expected first-deviation against. Derived from the same
+	// deterministic classification as the sentence, so it is identical
+	// across engines.
+	NearestMissClass string `json:"nearest_miss_class,omitempty"`
 	// Reason restates the verdict's reason line.
 	Reason string `json:"reason"`
 }
+
+// Nearest-miss classes: the deterministic classification behind
+// Explanation.NearestMiss, exposed so test fixtures (internal/scenario)
+// can assert the expected first-deviation without string-matching a
+// hint sentence.
+const (
+	// MissUnhandledFailure: a failure entry found no reachable error
+	// handler (StrictFailureTask semantics included).
+	MissUnhandledFailure = "unhandled-failure"
+	// MissTaskTypo: the task is not in the process but a process task
+	// is within edit distance 2 — probably a mislabelled entry.
+	MissTaskTypo = "task-typo"
+	// MissForeignTask: the task belongs to no task of this process —
+	// the data was likely processed for a different purpose.
+	MissForeignTask = "foreign-task"
+	// MissWrongRole: the task's pool does not admit the entry's role.
+	MissWrongRole = "wrong-role"
+	// MissWrongPerformer: the task is expected at this point, but not
+	// as performed by the entry's role.
+	MissWrongPerformer = "wrong-performer"
+	// MissOutOfOrder: the task exists and the role could perform it,
+	// but the process expects other tasks at this point.
+	MissOutOfOrder = "out-of-order"
+	// MissCaseComplete: the process run had already completed; nothing
+	// could continue the case.
+	MissCaseComplete = "case-complete"
+	// MissUnknownPurpose: the case code maps to no registered purpose.
+	MissUnknownPurpose = "unknown-purpose"
+	// MissConfigurationCap / MissBudgetExceeded / MissRecoveredPanic
+	// classify indeterminate outcomes by their cause.
+	MissConfigurationCap = "configuration-cap"
+	MissBudgetExceeded   = "budget-exceeded"
+	MissRecoveredPanic   = "recovered-panic"
+)
 
 // explainViolation turns a Violation into an Explanation. lastGood is
 // the configuration-set size before the diverging entry (on the
@@ -86,10 +126,11 @@ func (c *Checker) explainViolation(pur *Purpose, caseID string, v *Violation, la
 	x.Task, x.Role, x.User = e.Task, e.Role, e.User
 	x.Status = e.Status.String()
 	if v.Kind == ViolationUnknownPurpose {
+		x.NearestMissClass = MissUnknownPurpose
 		x.NearestMiss = "the case code maps to no registered purpose; register the purpose (or fix the case numbering) and re-audit"
 		return x
 	}
-	x.NearestMiss = c.nearestMiss(pur, e, x.ExpectedTasks)
+	x.NearestMissClass, x.NearestMiss = c.nearestMiss(pur, e, x.ExpectedTasks)
 	return x
 }
 
@@ -97,11 +138,12 @@ func (c *Checker) explainViolation(pur *Purpose, caseID string, v *Violation, la
 // code itself is unregistered and no entry can be blamed.
 func explainUnknownPurpose(caseID string, v *Violation) *Explanation {
 	return &Explanation{
-		Case:        caseID,
-		Outcome:     OutcomeViolation.String(),
-		EntryIndex:  -1,
-		NearestMiss: "the case code maps to no registered purpose; register the purpose (or fix the case numbering) and re-audit",
-		Reason:      v.Reason,
+		Case:             caseID,
+		Outcome:          OutcomeViolation.String(),
+		EntryIndex:       -1,
+		NearestMissClass: MissUnknownPurpose,
+		NearestMiss:      "the case code maps to no registered purpose; register the purpose (or fix the case numbering) and re-audit",
+		Reason:           v.Reason,
 	}
 }
 
@@ -120,10 +162,13 @@ func explainIndeterminacy(caseID, purpose string, ind *Indeterminacy) *Explanati
 	}
 	switch ind.Cause {
 	case CauseConfigurationCap:
+		x.NearestMissClass = MissConfigurationCap
 		x.NearestMiss = "the configuration set outgrew Checker.MaxConfigurations; raise the cap to keep more concurrent hypotheses live"
 	case CauseBudgetExceeded:
+		x.NearestMissClass = MissBudgetExceeded
 		x.NearestMiss = "the LTS exploration hit a budget; raise MaxSilentDepth / the state budget and re-run the case"
 	case CauseRecoveredPanic:
+		x.NearestMissClass = MissRecoveredPanic
 		x.NearestMiss = "the analysis crashed and was isolated to this case; no verdict is claimed — re-run after fixing the inputs"
 	}
 	return x
@@ -155,34 +200,35 @@ func expectedTasks(expected []string) []string {
 }
 
 // nearestMiss classifies the divergence into the hint an auditor acts
-// on. Deterministic: candidate scans run in sorted order, so both
-// engines and repeated runs produce the same sentence.
-func (c *Checker) nearestMiss(pur *Purpose, e *audit.Entry, expTasks []string) string {
+// on, returning the machine-readable class alongside the sentence.
+// Deterministic: candidate scans run in sorted order, so both engines
+// and repeated runs produce the same classification.
+func (c *Checker) nearestMiss(pur *Purpose, e *audit.Entry, expTasks []string) (class, hint string) {
 	if e.Status == audit.Failure {
 		if len(expTasks) == 0 {
-			return fmt.Sprintf("the failure of task %q is unhandled and no further task could continue the case", e.Task)
+			return MissUnhandledFailure, fmt.Sprintf("the failure of task %q is unhandled and no further task could continue the case", e.Task)
 		}
-		return fmt.Sprintf("the failure of task %q has no reachable error handler; only successful steps of %s could continue the case",
+		return MissUnhandledFailure, fmt.Sprintf("the failure of task %q has no reachable error handler; only successful steps of %s could continue the case",
 			e.Task, quoteList(expTasks))
 	}
 	if !pur.Process.HasTask(e.Task) {
 		if near, d := nearestString(e.Task, pur.Process.Tasks()); near != "" && d <= 2 {
-			return fmt.Sprintf("task %q is not in the process; the closest process task is %q — possibly a mislabelled entry", e.Task, near)
+			return MissTaskTypo, fmt.Sprintf("task %q is not in the process; the closest process task is %q — possibly a mislabelled entry", e.Task, near)
 		}
-		return fmt.Sprintf("task %q belongs to no task of this process — the data was likely processed for a different purpose", e.Task)
+		return MissForeignTask, fmt.Sprintf("task %q belongs to no task of this process — the data was likely processed for a different purpose", e.Task)
 	}
 	if pool := pur.Process.TaskRole(e.Task); pool != "" && !c.roleMatches(e.Role, pool) {
-		return fmt.Sprintf("task %q is performed by pool %q, which role %q may not act for", e.Task, pool, e.Role)
+		return MissWrongRole, fmt.Sprintf("task %q is performed by pool %q, which role %q may not act for", e.Task, pool, e.Role)
 	}
 	for _, t := range expTasks {
 		if t == e.Task {
-			return fmt.Sprintf("task %q is expected here but not as performed by role %q", e.Task, e.Role)
+			return MissWrongPerformer, fmt.Sprintf("task %q is expected here but not as performed by role %q", e.Task, e.Role)
 		}
 	}
 	if len(expTasks) > 0 {
-		return fmt.Sprintf("the process expects %s at this point; task %q comes too early, too late, or on a dead branch", quoteList(expTasks), e.Task)
+		return MissOutOfOrder, fmt.Sprintf("the process expects %s at this point; task %q comes too early, too late, or on a dead branch", quoteList(expTasks), e.Task)
 	}
-	return "no further task can continue the case at this point — the process run had already completed"
+	return MissCaseComplete, "no further task can continue the case at this point — the process run had already completed"
 }
 
 // quoteList renders []{"T05","T09"} as `"T05" or "T09"`.

@@ -113,6 +113,9 @@ func TestExplanationNearestMissClassification(t *testing.T) {
 	if r.Explanation == nil || !strings.Contains(r.Explanation.NearestMiss, `pool "GP"`) {
 		t.Errorf("role-mismatch hint should name the pool, got %+v", r.Explanation)
 	}
+	if r.Explanation != nil && r.Explanation.NearestMissClass != core.MissWrongRole {
+		t.Errorf("role-mismatch class = %q, want %q", r.Explanation.NearestMissClass, core.MissWrongRole)
+	}
 
 	// Unknown task close to a real one: hint proposes the near miss.
 	e2 := trail.At(0)
@@ -126,6 +129,9 @@ func TestExplanationNearestMissClassification(t *testing.T) {
 	if r2.Explanation == nil || !strings.Contains(r2.Explanation.NearestMiss, "closest process task") {
 		t.Errorf("typo hint should propose the closest task, got %+v", r2.Explanation)
 	}
+	if r2.Explanation != nil && r2.Explanation.NearestMissClass != core.MissTaskTypo {
+		t.Errorf("typo class = %q, want %q", r2.Explanation.NearestMissClass, core.MissTaskTypo)
+	}
 
 	// Unknown purpose: no entry is blamed, the hint says register it.
 	r3, err := c.CheckCase(trail, "ZZ-1")
@@ -135,6 +141,9 @@ func TestExplanationNearestMissClassification(t *testing.T) {
 	if r3.Explanation == nil || r3.Explanation.EntryIndex != -1 ||
 		!strings.Contains(r3.Explanation.NearestMiss, "no registered purpose") {
 		t.Errorf("unknown-purpose explanation wrong: %+v", r3.Explanation)
+	}
+	if r3.Explanation != nil && r3.Explanation.NearestMissClass != core.MissUnknownPurpose {
+		t.Errorf("unknown-purpose class = %q, want %q", r3.Explanation.NearestMissClass, core.MissUnknownPurpose)
 	}
 }
 
@@ -156,6 +165,9 @@ func TestExplanationIndeterminate(t *testing.T) {
 	x := rep.Explanation
 	if x == nil || x.Outcome != "indeterminate" || x.NearestMiss == "" {
 		t.Fatalf("indeterminate report lacks a usable explanation: %+v", x)
+	}
+	if x.NearestMissClass != core.MissBudgetExceeded {
+		t.Errorf("budget-starved class = %q, want %q", x.NearestMissClass, core.MissBudgetExceeded)
 	}
 }
 

@@ -1,0 +1,374 @@
+package scenario_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/bpmn"
+	"repro/internal/scenario"
+)
+
+// CorpusCoverMin is the state-coverage floor the checked-in corpus must
+// clear; ci.sh passes the same floor to purposectl test.
+const CorpusCoverMin = 60.0
+
+// TestCorpus runs the repository's checked-in scenario corpus, so plain
+// `go test ./...` gates it even without the purposectl runner.
+func TestCorpus(t *testing.T) {
+	files, err := scenario.Discover([]string{"../../scenarios/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 5 {
+		t.Fatalf("corpus has %d fixtures, want at least the 5 shipped domains", len(files))
+	}
+	for _, file := range files {
+		fx, err := scenario.Load(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(fx.Name, func(t *testing.T) {
+			res, err := scenario.Run(fx, scenario.Options{CoverMin: CorpusCoverMin})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, f := range res.Failures {
+				t.Error(f)
+			}
+			if len(res.Trails) != len(fx.Trails) {
+				t.Errorf("ran %d trails, fixture has %d", len(res.Trails), len(fx.Trails))
+			}
+		})
+	}
+}
+
+// writeFixture marshals a fixture to a temp .scenario.json file.
+func writeFixture(t *testing.T, fx map[string]any) string {
+	t.Helper()
+	b, err := json.MarshalIndent(fx, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "fx"+scenario.Ext)
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// minimalProcess is a one-task process spec as generic JSON.
+func minimalProcess() map[string]any {
+	return map[string]any{
+		"name":  "Mini",
+		"pools": []string{"Ops"},
+		"elements": []map[string]any{
+			{"id": "S1", "kind": "start", "pool": "Ops"},
+			{"id": "T01", "kind": "task", "pool": "Ops", "name": "Do the thing"},
+			{"id": "E1", "kind": "end", "pool": "Ops"},
+		},
+		"flows": []map[string]any{
+			{"from": "S1", "to": "T01", "kind": "sequence"},
+			{"from": "T01", "to": "E1", "kind": "sequence"},
+		},
+	}
+}
+
+func minimalFixture() map[string]any {
+	return map[string]any{
+		"name":       "mini",
+		"process":    minimalProcess(),
+		"case_codes": []string{"MI"},
+		"trails": []map[string]any{{
+			"name": "ok",
+			"case": "MI-1",
+			"entries": []map[string]any{
+				{"time": "202608080900", "user": "u1", "role": "Ops", "task": "T01"},
+			},
+			"expect": map[string]any{"verdict": "compliant"},
+		}},
+	}
+}
+
+func TestLoadRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(fx map[string]any)
+		want string
+	}{
+		{"unknown-field", func(fx map[string]any) { fx["expct"] = true }, "unknown field"},
+		{"missing-name", func(fx map[string]any) { delete(fx, "name") }, "missing name"},
+		{"no-process", func(fx map[string]any) { delete(fx, "process") }, "exactly one of process"},
+		{"both-processes", func(fx map[string]any) { fx["process_file"] = "x.json" }, "exactly one of process"},
+		{"no-case-codes", func(fx map[string]any) { fx["case_codes"] = []string{} }, "no case_codes"},
+		{"dashed-case-code", func(fx map[string]any) { fx["case_codes"] = []string{"MI-1"} }, "bad case code"},
+		{"no-trails", func(fx map[string]any) { fx["trails"] = []any{} }, "no trails"},
+		{"bad-verdict", func(fx map[string]any) {
+			trail(fx)["expect"] = map[string]any{"verdict": "maybe"}
+		}, `verdict "maybe"`},
+		{"compliant-with-deviation", func(fx map[string]any) {
+			trail(fx)["expect"] = map[string]any{
+				"verdict":   "compliant",
+				"deviation": map[string]any{"entry": 0},
+			}
+		}, "cannot expect a deviation"},
+		{"no-entries", func(fx map[string]any) { trail(fx)["entries"] = []any{} }, "no entries"},
+		{"entry-missing-task", func(fx map[string]any) {
+			trail(fx)["entries"] = []map[string]any{{"time": "202608080900", "user": "u1", "role": "Ops"}}
+		}, "time, role and task are required"},
+		{"bad-status", func(fx map[string]any) {
+			trail(fx)["entries"] = []map[string]any{
+				{"time": "202608080900", "user": "u1", "role": "Ops", "task": "T01", "status": "meh"},
+			}
+		}, "status"},
+		{"duplicate-trail", func(fx map[string]any) {
+			fx["trails"] = []any{trail(fx), trail(fx)}
+		}, "duplicate trail name"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fx := minimalFixture()
+			tc.mut(fx)
+			_, err := scenario.Load(writeFixture(t, fx))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// trail returns the fixture's first trail map (for mutation).
+func trail(fx map[string]any) map[string]any {
+	return fx["trails"].([]map[string]any)[0]
+}
+
+func TestLoadRoundTrip(t *testing.T) {
+	fx, err := scenario.Load(writeFixture(t, minimalFixture()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fx.Name != "mini" || len(fx.Trails) != 1 || fx.Path == "" {
+		t.Fatalf("loaded fixture %+v", fx)
+	}
+	res, err := scenario.Run(fx, scenario.Options{CoverMin: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("mini fixture failed: %v", res.Failures)
+	}
+	if len(res.Coverage) != 1 || res.Coverage[0].States == 0 {
+		t.Fatalf("no coverage collected: %+v", res.Coverage)
+	}
+}
+
+func TestRunFlagsExpectationMismatch(t *testing.T) {
+	fx := fixtureFromJSON(t, minimalFixture())
+	fx.Trails[0].Expect.Verdict = "violation"
+	res, err := scenario.Run(fx, scenario.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK() || !strings.Contains(res.Failures[0], "verdict = compliant, want violation") {
+		t.Fatalf("failures = %v", res.Failures)
+	}
+
+	// SkipExpectations turns the same mismatch into a pass.
+	res, err = scenario.Run(fx, scenario.Options{SkipExpectations: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("SkipExpectations still failed: %v", res.Failures)
+	}
+}
+
+func TestRunFlagsDeviationMismatch(t *testing.T) {
+	fx := fixtureFromJSON(t, minimalFixture())
+	fx.Trails[0].Entries[0].Role = "Nobody"
+	fx.Trails[0].Expect.Verdict = "violation"
+	fx.Trails[0].Expect.Deviation = &scenario.DeviationSpec{Entry: 0, Task: "T01", Class: "out-of-order"}
+	res, err := scenario.Run(fx, scenario.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK() {
+		t.Fatal("wrong deviation class passed")
+	}
+	if !strings.Contains(strings.Join(res.Failures, "\n"), `class = "wrong-role", want "out-of-order"`) {
+		t.Fatalf("failures = %v", res.Failures)
+	}
+}
+
+func TestRunFlagsUnexpectedFallback(t *testing.T) {
+	// A gateway behind the start makes the silent closure two moves
+	// deep, so a silent-depth budget of 1 starves the analysis and the
+	// purpose refuses to compile — the compiled engines must fall back.
+	m := minimalFixture()
+	m["process"] = map[string]any{
+		"name":  "Mini",
+		"pools": []string{"Ops"},
+		"elements": []map[string]any{
+			{"id": "S1", "kind": "start", "pool": "Ops"},
+			{"id": "G1", "kind": "xor", "pool": "Ops"},
+			{"id": "T01", "kind": "task", "pool": "Ops", "name": "Left"},
+			{"id": "T02", "kind": "task", "pool": "Ops", "name": "Right"},
+			{"id": "J1", "kind": "xor", "pool": "Ops"},
+			{"id": "E1", "kind": "end", "pool": "Ops"},
+		},
+		"flows": []map[string]any{
+			{"from": "S1", "to": "G1", "kind": "sequence"},
+			{"from": "G1", "to": "T01", "kind": "sequence"},
+			{"from": "G1", "to": "T02", "kind": "sequence"},
+			{"from": "T01", "to": "J1", "kind": "sequence"},
+			{"from": "T02", "to": "J1", "kind": "sequence"},
+			{"from": "J1", "to": "E1", "kind": "sequence"},
+		},
+	}
+	fx := fixtureFromJSON(t, m)
+	fx.Checker = &scenario.CheckerSpec{MaxSilentDepth: 1}
+	fx.Trails[0].Expect.Verdict = "indeterminate"
+	res, err := scenario.Run(fx, scenario.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK() || !strings.Contains(strings.Join(res.Failures, "\n"), "fell back to the interpreter") {
+		t.Fatalf("failures = %v", res.Failures)
+	}
+
+	fx.AllowFallback = true
+	res, err = scenario.Run(fx, scenario.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("allow_fallback run failed: %v", res.Failures)
+	}
+}
+
+func TestRunCoverageFloor(t *testing.T) {
+	fx := fixtureFromJSON(t, minimalFixture())
+	// The single-entry trail leaves the end-state transition dark only
+	// if the DFA has more than the visited states; a 100.01 floor is
+	// unreachable by construction either way.
+	res, err := scenario.Run(fx, scenario.Options{CoverMin: 100.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK() || !strings.Contains(res.Failures[len(res.Failures)-1], "state coverage") {
+		t.Fatalf("failures = %v", res.Failures)
+	}
+}
+
+// fixtureFromJSON loads the generic-JSON fixture through the real
+// parser so tests mutate a validated Fixture.
+func fixtureFromJSON(t *testing.T, m map[string]any) *scenario.Fixture {
+	t.Helper()
+	fx, err := scenario.Load(writeFixture(t, m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fx
+}
+
+func TestProcessFileFixture(t *testing.T) {
+	dir := t.TempDir()
+	// Write the process as its own interchange file next to the fixture.
+	pb, err := json.Marshal(minimalProcess())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "mini.json"), pb, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fxm := minimalFixture()
+	delete(fxm, "process")
+	fxm["process_file"] = "mini.json"
+	b, err := json.Marshal(fxm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "mini"+scenario.Ext)
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fx, err := scenario.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := scenario.Run(fx, scenario.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("process_file fixture failed: %v", res.Failures)
+	}
+}
+
+func TestDiscover(t *testing.T) {
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "sub")
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{
+		filepath.Join(dir, "a"+scenario.Ext),
+		filepath.Join(sub, "b"+scenario.Ext),
+		filepath.Join(dir, "ignored.json"),
+	} {
+		if err := os.WriteFile(p, []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	got, err := scenario.Discover([]string{dir + "/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("recursive discover = %v, want a and sub/b", got)
+	}
+
+	got, err = scenario.Discover([]string{dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || !strings.HasSuffix(got[0], "a"+scenario.Ext) {
+		t.Fatalf("non-recursive discover = %v, want only a", got)
+	}
+
+	// Explicit files pass through and duplicates collapse.
+	got, err = scenario.Discover([]string{filepath.Join(dir, "a"+scenario.Ext), dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("dedup discover = %v", got)
+	}
+
+	if _, err := scenario.Discover([]string{filepath.Join(dir, "empty-none")}); err == nil {
+		t.Fatal("missing path did not error")
+	}
+	empty := filepath.Join(dir, "empty")
+	if err := os.MkdirAll(empty, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := scenario.Discover([]string{empty}); err == nil || !strings.Contains(err.Error(), "no .scenario.json") {
+		t.Fatalf("empty dir: err = %v", err)
+	}
+}
+
+// TestSpecRoundTrip pins the fixture's inline process format to the
+// bpmn interchange: what EncodeJSON writes, a fixture can embed.
+func TestSpecRoundTrip(t *testing.T) {
+	fx := fixtureFromJSON(t, minimalFixture())
+	proc, err := bpmn.FromSpec(*fx.Process)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proc.Name != "Mini" || len(proc.Tasks()) != 1 {
+		t.Fatalf("embedded spec decoded to %+v", proc)
+	}
+}
