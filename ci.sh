@@ -21,7 +21,7 @@
 #   sh ci.sh lint       # gofmt + vet + staticcheck
 #   sh ci.sh cover      # coverage ratchet (internal/core, internal/automaton, internal/obs, internal/encode, internal/ledger, internal/scenario)
 #   sh ci.sh scenarios  # declarative purpose-test corpus (purposectl test ./scenarios/...)
-#   sh ci.sh benchguard # quick P1/P3/P4/P5/P6/P7/P8 run vs BENCH_pr*.json
+#   sh ci.sh benchguard # quick P1/P3/P4/P5/P6/P7/P8/P10 run vs BENCH_pr*.json
 #   sh ci.sh smoke      # auditd server smoke (also `make smoke`)
 #   sh ci.sh proofs     # ledger proof smoke: fetch, verify offline, tamper
 #   sh ci.sh crash      # kill -9 crash-recovery smoke over the WAL + ledger
@@ -57,9 +57,12 @@ server_smoke() {
 	go build -o "$SMOKE_TMP/auditd" ./cmd/auditd
 	go build -o "$SMOKE_TMP/auditgen" ./cmd/auditgen
 
+	# -stage-sample 1 times every batch: the 28-entry trail produces
+	# only a handful of batches, so the default 1-in-64 sampling would
+	# leave the stage histograms empty and the assertions below flaky.
 	"$SMOKE_TMP/auditd" -builtin hospital -addr 127.0.0.1:0 \
 		-addr-file "$SMOKE_TMP/addr" -checkpoint "$SMOKE_TMP/ckpt.json" \
-		2>"$SMOKE_TMP/auditd.log" &
+		-stage-sample 1 2>"$SMOKE_TMP/auditd.log" &
 	SMOKE_PID=$!
 
 	i=0
@@ -127,6 +130,33 @@ server_smoke() {
 	}
 	grep -q '^auditd_go_goroutines ' "$SMOKE_TMP/metrics.txt" || {
 		echo "runtime gauges missing" >&2
+		exit 1
+	}
+
+	# PR 10: every batch was stage-timed (-stage-sample 1), so the
+	# stage-latency histograms must have observations, and the build
+	# identity series must be present.
+	grep -q '^auditd_stage_latency_seconds_count{stage="replay"} [1-9]' "$SMOKE_TMP/metrics.txt" &&
+		grep -q '^auditd_stage_latency_seconds_count{stage="decode"} [1-9]' "$SMOKE_TMP/metrics.txt" &&
+		grep -q '^auditd_stage_latency_seconds_count{stage="queue_wait"} [1-9]' "$SMOKE_TMP/metrics.txt" || {
+		echo "stage-latency histograms did not fill:" >&2
+		grep ^auditd_stage "$SMOKE_TMP/metrics.txt" >&2
+		exit 1
+	}
+	grep -q '^auditd_build_info{version=' "$SMOKE_TMP/metrics.txt" || {
+		echo "auditd_build_info series missing" >&2
+		exit 1
+	}
+
+	# PR 10: /v1/status is the deep operational view purposectl top
+	# renders — the totals must reflect the ingest that just happened.
+	curl -sf "http://$addr/v1/status" >"$SMOKE_TMP/status.json"
+	grep -q '"ready": true' "$SMOKE_TMP/status.json" &&
+		grep -q '"ingested": 28' "$SMOKE_TMP/status.json" &&
+		grep -q '"stage_sample_every": 1' "$SMOKE_TMP/status.json" &&
+		grep -q '"shards"' "$SMOKE_TMP/status.json" || {
+		echo "/v1/status incomplete:" >&2
+		cat "$SMOKE_TMP/status.json" >&2
 		exit 1
 	}
 
@@ -382,9 +412,11 @@ crash_smoke() {
 		exit 1
 	fi
 
+	mkdir -p "$SMOKE_TMP/flight"
 	# shellcheck disable=SC2086
 	crash_boot crash2 -checkpoint "$SMOKE_TMP/crash-ckpt.json" \
-		-wal-dir "$SMOKE_TMP/wal" -fsync always $ledger_flags
+		-wal-dir "$SMOKE_TMP/wal" -fsync always \
+		-flight-dir "$SMOKE_TMP/flight" $ledger_flags
 	curl -sf "http://$addr/metrics" >"$SMOKE_TMP/crash-metrics.txt"
 	grep -q "^auditd_wal_replayed_total $half$" "$SMOKE_TMP/crash-metrics.txt" || {
 		echo "reboot did not replay the $half acknowledged entries:" >&2
@@ -396,6 +428,42 @@ crash_smoke() {
 	grep -q "\"accepted\": $((lines - half))" "$SMOKE_TMP/ingest2.json" || {
 		echo "second half not fully acknowledged:" >&2
 		cat "$SMOKE_TMP/ingest2.json" >&2
+		exit 1
+	}
+
+	# PR 10: SIGQUIT dumps the flight recorder and the daemon keeps
+	# serving; the dump is a valid JSON post-mortem of the replay the
+	# reboot just did.
+	kill -QUIT "$SMOKE_PID"
+	i=0
+	until ls "$SMOKE_TMP"/flight/flightrec-sigquit-*.json >/dev/null 2>&1; do
+		i=$((i + 1))
+		if [ "$i" -gt 100 ]; then
+			echo "SIGQUIT produced no flight dump; log:" >&2
+			cat "$SMOKE_TMP/crash2.log" >&2
+			exit 1
+		fi
+		sleep 0.1
+	done
+	dump=$(ls "$SMOKE_TMP"/flight/flightrec-sigquit-*.json | head -n 1)
+	grep -q '"reason": "sigquit"' "$dump" &&
+		grep -q '"batch_fed"' "$dump" || {
+		echo "flight dump incomplete:" >&2
+		cat "$dump" >&2
+		exit 1
+	}
+	curl -sf "http://$addr/readyz" >/dev/null || {
+		echo "auditd stopped serving after SIGQUIT" >&2
+		exit 1
+	}
+
+	# PR 10: purposectl top -once renders the live dashboard.
+	"$SMOKE_TMP/purposectl" top -once -addr "http://$addr" >"$SMOKE_TMP/top.txt"
+	grep -q '^auditd ' "$SMOKE_TMP/top.txt" &&
+		grep -q 'wal: ' "$SMOKE_TMP/top.txt" &&
+		grep -q 'shard ' "$SMOKE_TMP/top.txt" || {
+		echo "purposectl top -once did not render:" >&2
+		cat "$SMOKE_TMP/top.txt" >&2
 		exit 1
 	}
 
@@ -552,12 +620,15 @@ scenarios() {
 # claim (interval fsync <= 2x no-WAL) is likewise asserted inside
 # benchtab on every full run. P8 (Merkle ledger sealing) rides the same
 # pipeline and gets the same 50% band, with its hard claim (batch-64
-# sealing <= 2x no-ledger) asserted inside benchtab on full runs.
+# sealing <= 2x no-ledger) asserted inside benchtab on full runs. P10
+# (stage-timer sampling) times the same drain and gets 50% too; its
+# hard claim (1-in-64 sampling <= 1.05x untimed) is asserted inside
+# benchtab on full runs.
 benchguard() {
-	echo "== benchguard (P1, P3, P4, P5, P6, P7, P8 vs checked-in baselines) =="
-	go run ./cmd/benchtab -exp P1,P3,P4,P5,P6,P7,P8 -quick \
-		-guard BENCH_pr1.json,BENCH_pr4.json,BENCH_pr5.json,BENCH_pr6.json,BENCH_pr7.json,BENCH_pr8.json \
-		-guard-slack "$BENCH_SLACK" -guard-slack-exp P1=0.05,P4=0.05,P6=0.5,P7=0.5,P8=0.5
+	echo "== benchguard (P1, P3, P4, P5, P6, P7, P8, P10 vs checked-in baselines) =="
+	go run ./cmd/benchtab -exp P1,P3,P4,P5,P6,P7,P8,P10 -quick \
+		-guard BENCH_pr1.json,BENCH_pr4.json,BENCH_pr5.json,BENCH_pr6.json,BENCH_pr7.json,BENCH_pr8.json,BENCH_pr10.json \
+		-guard-slack "$BENCH_SLACK" -guard-slack-exp P1=0.05,P4=0.05,P6=0.5,P7=0.5,P8=0.5,P10=0.5
 }
 
 case "${1:-all}" in

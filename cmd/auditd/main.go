@@ -55,10 +55,20 @@
 // backpressure; honors a W3C traceparent header),
 // GET /v1/cases[?outcome=|purpose=|since=], GET /v1/cases/{id},
 // GET /v1/cases/{id}/explain (structured first-deviation explanation),
-// GET /v1/traces (recent spans), GET /v1/purposes, GET /v1/quarantine,
+// GET /v1/traces[?trace_id=|case=] (recent spans), GET /v1/purposes,
+// GET /v1/quarantine, GET /v1/status (deep operational view; what
+// purposectl top renders), GET /v1/watch (SSE verdict transitions),
 // GET /v1/proofs/{case} (verdict + Merkle inclusion proof),
-// GET /v1/roots (signed root chain),
-// /metrics (Prometheus text), /healthz, /readyz.
+// GET /v1/roots (signed root chain), /debug/flightrecorder (live
+// flight-recorder ring), /metrics (Prometheus text), /healthz, /readyz.
+//
+// -stage-sample times the pipeline stages (decode, WAL append/fsync,
+// queue wait, replay, ledger seal) on 1-in-N batches into the
+// auditd_stage_latency_seconds histograms (DESIGN.md §17); traced
+// requests are always timed. -flight-dir / -flight-events configure
+// the per-shard flight recorder, whose ring dumps to a timestamped
+// JSON file on shard panic, WAL failure, or SIGQUIT (the process keeps
+// serving; SIGINT/SIGTERM still shut down).
 //
 // -debug-addr serves net/http/pprof on a second listener, kept off the
 // public surface (profiles leak internals); -trace-buffer bounds the
@@ -100,6 +110,10 @@ type options struct {
 	shards      int
 	queue       int
 	traceBuffer int
+
+	stageSample  int
+	flightDir    string
+	flightEvents int
 
 	checkpoint       string
 	checkpointEvery  time.Duration
@@ -155,8 +169,16 @@ func main() {
 	flag.DurationVar(&o.ledgerWait, "ledger-wait", 500*time.Millisecond, "seal a partial batch this long after its first entry (0 = size/shutdown cuts only)")
 	flag.StringVar(&o.debugAddr, "debug-addr", "", "serve net/http/pprof on this separate address (empty = disabled)")
 	flag.IntVar(&o.traceBuffer, "trace-buffer", 0, "spans held in the /v1/traces ring buffer (0 = default)")
+	flag.IntVar(&o.stageSample, "stage-sample", 0, "time pipeline stages on 1-in-N batches (0 = default 64, 1 = every batch, negative = off; traced requests are always timed)")
+	flag.StringVar(&o.flightDir, "flight-dir", "", "directory for flight-recorder dump files (empty = system temp dir)")
+	flag.IntVar(&o.flightEvents, "flight-events", 0, "flight-recorder events held per shard ring (0 = default)")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Var(&procs, "proc", cli.ProcUsage)
 	flag.Parse()
+	if *version {
+		fmt.Println(cli.VersionString("auditd"))
+		return
+	}
 	o.procs = procs
 	o.walSegmentBytes = *segBytes
 	o.compiled = *comp || o.automataDir != "" || o.minimize
@@ -306,6 +328,9 @@ func run(log *slog.Logger, o options) error {
 		WALSegmentBytes:  o.walSegmentBytes,
 		WALFailure:       o.walFailure,
 		TraceBuffer:      o.traceBuffer,
+		StageSample:      o.stageSample,
+		FlightDir:        o.flightDir,
+		FlightEvents:     o.flightEvents,
 		LedgerKey:        ledgerKey,
 		LedgerBatch:      o.ledgerBatch,
 		LedgerWait:       o.ledgerWait,
@@ -338,6 +363,18 @@ func run(log *slog.Logger, o options) error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// SIGQUIT dumps the flight recorder and keeps serving — the
+	// kill -QUIT analogue of the JVM thread dump. Shutdown signals stay
+	// on the NotifyContext above.
+	quitc := make(chan os.Signal, 1)
+	signal.Notify(quitc, syscall.SIGQUIT)
+	defer signal.Stop(quitc)
+	go func() {
+		for range quitc {
+			srv.DumpFlightRecorder("sigquit")
+		}
+	}()
 	select {
 	case <-ctx.Done():
 		log.Info("signal received, draining")

@@ -68,8 +68,13 @@ func main() {
 		rate    = flag.Float64("rate", 0, "with -stream: events per second (0 = unthrottled)")
 		postURL = flag.String("post", "", "POST the stream to this auditd /v1/events URL (resumes through 429/503 backpressure by line offset)")
 		retries = flag.Int("max-retries", 8, "with -post: give up after this many consecutive attempts without progress")
+		version = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(cli.VersionString("auditgen"))
+		return
+	}
 
 	if err := run(*tasks, *pools, *seed, *cases, *code, *actions, *procOut, *out, *violate, *builtin, *stream, *rate, *postURL, *retries); err != nil {
 		fmt.Fprintln(os.Stderr, "auditgen:", err)

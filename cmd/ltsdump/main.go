@@ -25,6 +25,7 @@ import (
 	"strings"
 
 	"repro/internal/bpmn"
+	"repro/internal/cli"
 	"repro/internal/cows"
 	"repro/internal/encode"
 	"repro/internal/hospital"
@@ -45,8 +46,13 @@ func main() {
 		stats    = flag.Bool("stats", false, "determinize into the replay automaton and print table statistics")
 		compile  = flag.String("compile", "", "compile the replay automaton and save the content-addressed artifact under this directory")
 		polFile  = flag.String("policy", "", "policy file supplying the role hierarchy for automaton compilation")
+		version  = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(cli.VersionString("ltsdump"))
+		return
+	}
 
 	if err := run(*cowsSrc, *procFile, *builtin, *dotOut, *procDot, *traces, *maxState, *depth, *stats, *compile, *polFile); err != nil {
 		fmt.Fprintln(os.Stderr, "ltsdump:", err)

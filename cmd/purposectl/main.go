@@ -12,6 +12,13 @@
 //	           [-lenient] [-explain] [-trace spans.jsonl] [-v]
 //	purposectl verify-proof -bundle proof.json [-pubkey HEX | -pubkey-file F]
 //	purposectl test [-cover-min PCT] [-summary FILE] [-v] ./scenarios/...
+//	purposectl top [-addr http://127.0.0.1:8443] [-interval 2s] [-once]
+//
+// top renders a live terminal dashboard over a running auditd's
+// GET /v1/status: ingest totals and rate, verdict counts, per-shard
+// queue depth / high-water / restarts, WAL and ledger progress, and
+// flight-recorder state. -once prints a single plain snapshot and
+// exits, for scripts and CI.
 //
 // test runs declarative purpose-test fixtures (*.scenario.json): each
 // pairs a process, a policy and annotated trails declaring the expected
@@ -101,6 +108,9 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "test" {
 		os.Exit(testMain(os.Args[2:]))
 	}
+	if len(os.Args) > 1 && os.Args[1] == "top" {
+		os.Exit(topMain(os.Args[2:]))
+	}
 	var (
 		procs cli.ProcList
 		o     options
@@ -117,8 +127,13 @@ func main() {
 	flag.BoolVar(&o.explain, "explain", false, "print a structured explanation under every non-compliant case")
 	flag.StringVar(&o.trace, "trace", "", "record one span per case replay to this JSONL file")
 	flag.BoolVar(&o.verbose, "v", false, "print compliant cases too")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Var(&procs, "proc", cli.ProcUsage)
 	flag.Parse()
+	if *version {
+		fmt.Println(cli.VersionString("purposectl"))
+		return
+	}
 	o.procs = procs
 
 	s, err := run(os.Stdout, o)

@@ -1,0 +1,222 @@
+package main
+
+// purposectl top: a terminal dashboard over auditd's GET /v1/status —
+// the ops surface for "what is the server doing right now". Refreshes
+// in place every -interval; -once prints a single snapshot and exits
+// (scripting / CI). The structs here mirror the /v1/status JSON shape
+// by field name only: purposectl deliberately does not import
+// internal/server, so the two binaries stay decoupled at the wire
+// format, same as any external consumer.
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/cli"
+)
+
+// topStatus decodes the /v1/status document.
+type topStatus struct {
+	Version             string  `json:"version"`
+	GoVersion           string  `json:"go_version"`
+	CompilerFingerprint string  `json:"compiler_fingerprint"`
+	UptimeSeconds       float64 `json:"uptime_seconds"`
+	Ready               bool    `json:"ready"`
+
+	Cases    int `json:"cases"`
+	Purposes int `json:"purposes"`
+
+	Ingested    int64 `json:"ingested"`
+	Rejected    int64 `json:"rejected"`
+	Quarantined int64 `json:"quarantined"`
+	Dropped     int64 `json:"dropped"`
+	Verdicts    struct {
+		Compliant     int64 `json:"compliant"`
+		Violation     int64 `json:"violation"`
+		Indeterminate int64 `json:"indeterminate"`
+	} `json:"verdicts"`
+
+	Shards []struct {
+		ID         int    `json:"id"`
+		Pending    int64  `json:"pending"`
+		Depth      int64  `json:"depth"`
+		HighWater  int64  `json:"high_water"`
+		Cases      int    `json:"cases"`
+		Restarts   int64  `json:"restarts"`
+		Failed     bool   `json:"failed"`
+		LastFedLSN uint64 `json:"last_fed_lsn"`
+	} `json:"shards"`
+
+	WAL *struct {
+		Records  uint64 `json:"records"`
+		LastLSN  uint64 `json:"last_lsn"`
+		Fsyncs   uint64 `json:"fsyncs"`
+		Segments int    `json:"segments"`
+		Bytes    int64  `json:"bytes"`
+		Failed   bool   `json:"failed"`
+	} `json:"wal"`
+	Ledger *struct {
+		HeadSeq      int    `json:"head_seq"`
+		SealedLeaves uint64 `json:"sealed_leaves"`
+		OpenLeaves   int    `json:"open_leaves"`
+		SealedLSN    uint64 `json:"sealed_lsn"`
+	} `json:"ledger"`
+
+	StageSampleEvery int `json:"stage_sample_every"`
+	Watchers         int `json:"watchers"`
+	Flight           struct {
+		EventsHeld int    `json:"events_held"`
+		Total      uint64 `json:"total"`
+		Dumps      int64  `json:"dumps"`
+		LastDump   string `json:"last_dump"`
+	} `json:"flight"`
+
+	Snapshots          int64   `json:"snapshots"`
+	SnapshotAgeSeconds float64 `json:"snapshot_age_seconds"`
+}
+
+func fetchStatus(client *http.Client, base string) (topStatus, error) {
+	var st topStatus
+	resp, err := client.Get(strings.TrimRight(base, "/") + "/v1/status")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return st, fmt.Errorf("GET /v1/status: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return st, fmt.Errorf("decode /v1/status: %w", err)
+	}
+	return st, nil
+}
+
+// humanBytes renders a byte count in the nearest binary unit.
+func humanBytes(n int64) string {
+	const unit = 1024
+	if n < unit {
+		return fmt.Sprintf("%d B", n)
+	}
+	div, exp := int64(unit), 0
+	for m := n / unit; m >= unit; m /= unit {
+		div *= unit
+		exp++
+	}
+	return fmt.Sprintf("%.1f %ciB", float64(n)/float64(div), "KMGTPE"[exp])
+}
+
+// renderStatus writes one dashboard frame. rate is entries/sec since
+// the previous frame (NaN-free: negative means unknown, printed blank).
+func renderStatus(w io.Writer, st topStatus, rate float64) {
+	state := "READY"
+	if !st.Ready {
+		state = "NOT READY"
+	}
+	fmt.Fprintf(w, "auditd %s (%s, compiler %s)  up %s  %s\n",
+		st.Version, st.GoVersion, shortFP(st.CompilerFingerprint),
+		(time.Duration(st.UptimeSeconds * float64(time.Second))).Round(time.Second), state)
+	fmt.Fprintf(w, "cases %d  purposes %d  ingested %d", st.Cases, st.Purposes, st.Ingested)
+	if rate >= 0 {
+		fmt.Fprintf(w, " (%.0f/s)", rate)
+	}
+	fmt.Fprintf(w, "  rejected %d  quarantined %d  dropped %d\n", st.Rejected, st.Quarantined, st.Dropped)
+	fmt.Fprintf(w, "verdicts: compliant %d  violation %d  indeterminate %d\n",
+		st.Verdicts.Compliant, st.Verdicts.Violation, st.Verdicts.Indeterminate)
+
+	sampling := "off"
+	switch {
+	case st.StageSampleEvery == 1:
+		sampling = "every batch"
+	case st.StageSampleEvery > 1:
+		sampling = fmt.Sprintf("1-in-%d", st.StageSampleEvery)
+	}
+	fmt.Fprintf(w, "stage sampling %s  watchers %d  flight %d held / %d total / %d dumps\n",
+		sampling, st.Watchers, st.Flight.EventsHeld, st.Flight.Total, st.Flight.Dumps)
+	if st.Flight.LastDump != "" {
+		fmt.Fprintf(w, "last flight dump: %s\n", st.Flight.LastDump)
+	}
+	if st.WAL != nil {
+		failed := ""
+		if st.WAL.Failed {
+			failed = "  FAILED"
+		}
+		fmt.Fprintf(w, "wal: %d records  lsn %d  fsyncs %d  %d segments  %s%s\n",
+			st.WAL.Records, st.WAL.LastLSN, st.WAL.Fsyncs, st.WAL.Segments, humanBytes(st.WAL.Bytes), failed)
+	}
+	if st.Ledger != nil {
+		fmt.Fprintf(w, "ledger: head %d  sealed %d  open %d  sealed-lsn %d\n",
+			st.Ledger.HeadSeq, st.Ledger.SealedLeaves, st.Ledger.OpenLeaves, st.Ledger.SealedLSN)
+	}
+	if st.Snapshots > 0 {
+		fmt.Fprintf(w, "checkpoints: %d written, last %s ago\n", st.Snapshots,
+			(time.Duration(st.SnapshotAgeSeconds * float64(time.Second))).Round(time.Second))
+	}
+
+	fmt.Fprintf(w, "\n%5s %8s %6s %6s %6s %9s %9s  %s\n",
+		"shard", "pending", "depth", "high", "cases", "restarts", "fed-lsn", "state")
+	shards := st.Shards
+	sort.SliceStable(shards, func(i, j int) bool { return shards[i].ID < shards[j].ID })
+	for _, sh := range shards {
+		state := "ok"
+		if sh.Failed {
+			state = "FAILED"
+		}
+		fmt.Fprintf(w, "%5d %8d %6d %6d %6d %9d %9d  %s\n",
+			sh.ID, sh.Pending, sh.Depth, sh.HighWater, sh.Cases, sh.Restarts, sh.LastFedLSN, state)
+	}
+}
+
+// shortFP abbreviates a compiler fingerprint for the header line.
+func shortFP(fp string) string {
+	if len(fp) > 12 {
+		return fp[:12]
+	}
+	return fp
+}
+
+// topMain implements the top subcommand; returns the process exit code.
+func topMain(args []string) int {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8443", "auditd base URL")
+	interval := fs.Duration("interval", 2*time.Second, "refresh interval")
+	once := fs.Bool("once", false, "print one snapshot and exit (no screen control)")
+	fs.Parse(args)
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	st, err := fetchStatus(client, *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "purposectl top:", err)
+		return cli.ExitUsage
+	}
+	if *once {
+		renderStatus(os.Stdout, st, -1)
+		return 0
+	}
+
+	rate := -1.0 // unknown until a second sample gives a delta
+	prev, prevAt := st.Ingested, time.Now()
+	for {
+		// Home + clear: redraw the frame in place like top(1).
+		fmt.Print("\x1b[H\x1b[2J")
+		renderStatus(os.Stdout, st, rate)
+		time.Sleep(*interval)
+		st, err = fetchStatus(client, *addr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "purposectl top:", err)
+			return cli.ExitUsage
+		}
+		now := time.Now()
+		if dt := now.Sub(prevAt).Seconds(); dt > 0 {
+			rate = float64(st.Ingested-prev) / dt
+		}
+		prev, prevAt = st.Ingested, now
+	}
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// statusFixture is a representative /v1/status document (the wire
+// format purposectl top consumes; see internal/server.statusReply).
+const statusFixture = `{
+  "version": "v1.2.3",
+  "go_version": "go1.24",
+  "compiler_fingerprint": "deadbeefcafe0123",
+  "uptime_seconds": 125.4,
+  "ready": true,
+  "cases": 17,
+  "purposes": 2,
+  "ingested": 4047,
+  "rejected": 1,
+  "quarantined": 2,
+  "dropped": 0,
+  "verdicts": {"compliant": 12, "violation": 4, "indeterminate": 1},
+  "shards": [
+    {"id": 1, "pending": 0, "depth": 1024, "high_water": 37, "cases": 8, "restarts": 0, "last_fed_lsn": 2048},
+    {"id": 0, "pending": 3, "depth": 1024, "high_water": 99, "cases": 9, "restarts": 2, "failed": true, "last_fed_lsn": 1999}
+  ],
+  "wal": {"records": 4047, "last_lsn": 4047, "fsyncs": 17, "segments": 2, "bytes": 1536000},
+  "ledger": {"head_seq": 63, "sealed_leaves": 4032, "open_leaves": 15, "sealed_lsn": 4032},
+  "stage_sample_every": 64,
+  "watchers": 1,
+  "flight": {"events_held": 260, "total": 1900, "dumps": 1, "last_dump": "/tmp/flightrec-sigquit-1.json"},
+  "snapshots": 4,
+  "snapshot_age_seconds": 12.5
+}`
+
+// TestTopRendersStatus: fetch + render against a stub auditd — the
+// same path `purposectl top -once` takes — must produce a dashboard
+// with the identity line, totals, and one row per shard in id order.
+func TestTopRendersStatus(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/status" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(statusFixture))
+	}))
+	defer ts.Close()
+
+	st, err := fetchStatus(http.DefaultClient, ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	renderStatus(&buf, st, -1)
+	out := buf.String()
+
+	for _, want := range []string{
+		"auditd v1.2.3 (go1.24, compiler deadbeefcafe)",
+		"up 2m5s",
+		"READY",
+		"cases 17  purposes 2  ingested 4047",
+		"violation 4",
+		"stage sampling 1-in-64",
+		"watchers 1",
+		"1 dumps",
+		"last flight dump: /tmp/flightrec-sigquit-1.json",
+		"wal: 4047 records",
+		"1.5 MiB",
+		"ledger: head 63",
+		"checkpoints: 4 written",
+		"FAILED", // shard 0 is failed
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dashboard missing %q:\n%s", want, out)
+		}
+	}
+	// Shard rows render sorted by id even though the document isn't.
+	if i0, i1 := strings.Index(out, "\n    0 "), strings.Index(out, "\n    1 "); i0 < 0 || i1 < 0 || i0 > i1 {
+		t.Errorf("shard rows missing or unsorted (id 0 at %d, id 1 at %d):\n%s", i0, i1, out)
+	}
+}
+
+// TestTopUnreachable: a dead server is a usage-style failure, not a
+// panic or a hang.
+func TestTopUnreachable(t *testing.T) {
+	if code := topMain([]string{"-addr", "http://127.0.0.1:1", "-once"}); code == 0 {
+		t.Errorf("top -once against nothing = exit %d, want non-zero", code)
+	}
+}

@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LogLimiter is a token-bucket sampler for hot-path log statements: a
+// poison stream that makes every entry warn must not drown the log.
+// Each Allow spends one token; when the bucket is dry the statement is
+// suppressed and counted, and the next allowed statement reports how
+// many were dropped in between (the `suppressed=N` convention).
+//
+// The zero *LogLimiter (nil) allows everything, so call sites wire it
+// unconditionally.
+type LogLimiter struct {
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+
+	burst   float64
+	perSec  float64
+	dropped int64 // since the last allowed statement
+
+	total atomic.Int64 // lifetime suppressed, for metrics
+}
+
+// NewLogLimiter builds a limiter allowing a burst of burst statements
+// and a sustained perSec statements per second. Non-positive arguments
+// are clamped to 1.
+func NewLogLimiter(burst int, perSec float64) *LogLimiter {
+	if burst < 1 {
+		burst = 1
+	}
+	if perSec <= 0 {
+		perSec = 1
+	}
+	return &LogLimiter{tokens: float64(burst), burst: float64(burst), perSec: perSec, last: time.Now()}
+}
+
+// Allow reports whether the statement may be logged. When it may,
+// suppressed is the number of statements dropped since the previous
+// allowed one — log it as `suppressed=N` when non-zero.
+func (l *LogLimiter) Allow() (ok bool, suppressed int64) {
+	if l == nil {
+		return true, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := time.Now()
+	l.tokens += now.Sub(l.last).Seconds() * l.perSec
+	if l.tokens > l.burst {
+		l.tokens = l.burst
+	}
+	l.last = now
+	if l.tokens < 1 {
+		l.dropped++
+		l.total.Add(1)
+		return false, 0
+	}
+	l.tokens--
+	suppressed = l.dropped
+	l.dropped = 0
+	return true, suppressed
+}
+
+// Suppressed reports the lifetime count of suppressed statements.
+func (l *LogLimiter) Suppressed() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.total.Load()
+}

@@ -6,11 +6,12 @@ import "sync"
 // stays bounded, and a snapshot is cheap — the store behind auditd's
 // GET /v1/traces. Safe for concurrent use.
 type Ring struct {
-	mu    sync.Mutex
-	buf   []Span
-	next  int // write cursor
-	n     int // spans currently held (≤ cap)
-	total uint64
+	mu      sync.Mutex
+	buf     []Span
+	next    int // write cursor
+	n       int // spans currently held (≤ cap)
+	total   uint64
+	dropped uint64 // spans evicted by overflow
 }
 
 // DefaultRingCapacity is the span count NewRing keeps when asked for
@@ -32,6 +33,8 @@ func (r *Ring) Record(s Span) {
 	r.next = (r.next + 1) % len(r.buf)
 	if r.n < len(r.buf) {
 		r.n++
+	} else {
+		r.dropped++
 	}
 	r.total++
 	r.mu.Unlock()
@@ -58,4 +61,12 @@ func (r *Ring) Stats() (held int, total uint64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.n, r.total
+}
+
+// Dropped reports spans evicted by overflow — today's silent data loss
+// made visible (exported as auditd_trace_spans_dropped_total).
+func (r *Ring) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
 }

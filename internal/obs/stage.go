@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Stage identifies one leg of auditd's ingest pipeline. The stages are
+// listed in pipeline order: a batch is decoded from the request body,
+// appended to the WAL (with the fsync wait broken out), waits in its
+// shard's queue, is replayed through the monitor, and — when a ledger
+// is configured — sealed into the Merkle batch.
+type Stage uint8
+
+const (
+	StageDecode Stage = iota
+	StageWALAppend
+	StageWALFsync
+	StageQueueWait
+	StageReplay
+	StageLedgerSeal
+	// NumStages bounds the enum; StageRecord and the metrics layer size
+	// their arrays with it.
+	NumStages
+)
+
+var stageNames = [NumStages]string{
+	"decode", "wal_append", "wal_fsync", "queue_wait", "replay", "ledger_seal",
+}
+
+// String returns the metric label for the stage.
+func (s Stage) String() string {
+	if s < NumStages {
+		return stageNames[s]
+	}
+	return "unknown"
+}
+
+// Stages lists every stage in pipeline order, for exposition loops.
+func Stages() []Stage {
+	out := make([]Stage, NumStages)
+	for i := range out {
+		out[i] = Stage(i)
+	}
+	return out
+}
+
+// StageRecord is one sampled batch's wall-clock breakdown. It is
+// created when the batch opens, rides the batch through the shard
+// queue, and is finished by the shard worker after replay — so exactly
+// one goroutine touches it at a time and no locking is needed. All
+// methods are nil-safe: unsampled batches carry a nil record and the
+// call sites pay only the nil check.
+type StageRecord struct {
+	durs     [NumStages]time.Duration
+	opened   time.Time
+	enqueued time.Time
+}
+
+// NewStageRecord opens a record; the decode stage is measured from
+// this instant.
+func NewStageRecord() *StageRecord {
+	return &StageRecord{opened: time.Now()}
+}
+
+// Add accumulates d into the stage (replay time accumulates across a
+// panic-resume, so Add rather than Set).
+func (r *StageRecord) Add(s Stage, d time.Duration) {
+	if r == nil || s >= NumStages {
+		return
+	}
+	r.durs[s] += d
+}
+
+// MarkDecoded closes the decode stage: batch open → flush.
+func (r *StageRecord) MarkDecoded() {
+	if r == nil {
+		return
+	}
+	r.durs[StageDecode] += time.Since(r.opened)
+}
+
+// MarkEnqueued stamps the moment the batch entered the shard queue.
+func (r *StageRecord) MarkEnqueued() {
+	if r == nil {
+		return
+	}
+	r.enqueued = time.Now()
+}
+
+// MarkDequeued closes the queue-wait stage: enqueue → worker pickup.
+func (r *StageRecord) MarkDequeued() {
+	if r == nil || r.enqueued.IsZero() {
+		return
+	}
+	r.durs[StageQueueWait] += time.Since(r.enqueued)
+}
+
+// Dur returns the accumulated duration for a stage (0 when nil).
+func (r *StageRecord) Dur(s Stage) time.Duration {
+	if r == nil || s >= NumStages {
+		return 0
+	}
+	return r.durs[s]
+}
+
+// StageSampler decides which batches get a StageRecord. It is a
+// deterministic 1-in-N counter — not random — so tests can predict
+// exactly which batches are timed and CI assertions never flake.
+// Safe for concurrent use.
+type StageSampler struct {
+	every uint64 // 0 = never sample
+	ctr   atomic.Uint64
+}
+
+// DefaultStageSample is the 1-in-N used when the configuration leaves
+// sampling at zero: cheap enough that the unsampled hot path stays
+// inside the benchguard envelope, frequent enough that histograms fill
+// within seconds under load.
+const DefaultStageSample = 64
+
+// NewStageSampler builds a sampler timing 1 in every batches.
+// every <= 0 disables sampling entirely; every == 1 times every batch.
+func NewStageSampler(every int) *StageSampler {
+	s := &StageSampler{}
+	if every > 0 {
+		s.every = uint64(every)
+	}
+	return s
+}
+
+// Every reports the configured 1-in-N (0 when disabled).
+func (s *StageSampler) Every() int {
+	if s == nil {
+		return 0
+	}
+	return int(s.every)
+}
+
+// Sample reports whether the next batch should be timed: true for
+// batch numbers 0, N, 2N, … in arrival order.
+func (s *StageSampler) Sample() bool {
+	if s == nil || s.every == 0 {
+		return false
+	}
+	return (s.ctr.Add(1)-1)%s.every == 0
+}

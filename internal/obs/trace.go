@@ -150,6 +150,15 @@ func isLowerHex(s string) bool {
 	return true
 }
 
+// SpanEvent is a timestamped point annotation inside a span — the
+// OTel "span event" shape. auditd uses it to fold a sampled batch's
+// stage breakdown into its trace.
+type SpanEvent struct {
+	Name  string            `json:"name"`
+	Time  time.Time         `json:"time"`
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
 // Span is one completed operation. Parent is the zero SpanID for trace
 // roots.
 type Span struct {
@@ -160,6 +169,7 @@ type Span struct {
 	Start   time.Time         `json:"start"`
 	End     time.Time         `json:"end"`
 	Attrs   map[string]string `json:"attrs,omitempty"`
+	Events  []SpanEvent       `json:"events,omitempty"`
 }
 
 // Duration is the span's wall-clock extent.
@@ -229,6 +239,22 @@ func (a *ActiveSpan) SetAttr(k, v string) {
 		a.span.Attrs = map[string]string{}
 	}
 	a.span.Attrs[k] = v
+}
+
+// AddEvent appends a timestamped event with alternating key/value
+// attribute pairs (a trailing odd key is ignored).
+func (a *ActiveSpan) AddEvent(name string, kv ...string) {
+	if a == nil {
+		return
+	}
+	ev := SpanEvent{Name: name, Time: time.Now()}
+	if len(kv) >= 2 {
+		ev.Attrs = make(map[string]string, len(kv)/2)
+		for i := 0; i+1 < len(kv); i += 2 {
+			ev.Attrs[kv[i]] = kv[i+1]
+		}
+	}
+	a.span.Events = append(a.span.Events, ev)
 }
 
 // End closes the span and hands it to the recorder.

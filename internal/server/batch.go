@@ -46,6 +46,10 @@ type batcher struct {
 
 	sh  *shard
 	buf *[]audit.Entry
+	// rec is the pending batch's stage timing record (nil when the
+	// sampler skipped it), opened with the batch so the decode stage
+	// spans open → flush.
+	rec *obs.StageRecord
 	// lines holds each pending entry's 1-based body line (lines are not
 	// contiguous when quarantined lines interleave), so a degraded
 	// flush can report the exact rejected line.
@@ -77,6 +81,7 @@ func (b *batcher) add(e audit.Entry, line int) bool {
 		b.buf = getBatch()
 		b.sh = sh
 		b.lines = b.lines[:0]
+		b.rec = b.s.sampleStages(b.sc)
 	}
 	*b.buf = append(*b.buf, e)
 	b.lines = append(b.lines, line)
@@ -92,22 +97,25 @@ func (b *batcher) flush() bool {
 	if b.buf == nil {
 		return true
 	}
-	buf, lines := b.buf, b.lines
-	b.buf = nil
+	buf, lines, rec := b.buf, b.lines, b.rec
+	b.buf, b.rec = nil, nil
 	n := len(*buf)
 	if n == 0 {
 		putBatch(buf)
 		return true
 	}
-	if b.s.enqueueBatch(b.sh, buf, b.sc) {
+	rec.MarkDecoded()
+	if b.s.enqueueBatch(b.sh, buf, b.sc, rec) {
 		b.accepted += n
 		b.s.metrics.eventsIngested.Add(int64(n))
 		return true
 	}
+	// Degraded single-entry enqueues drop the timing record: a batch
+	// split by saturation is not a representative pipeline sample.
 	for i := 0; i < n; i++ {
 		single := getBatch()
 		*single = append(*single, (*buf)[i])
-		if !b.s.enqueueBatch(b.sh, single, b.sc) {
+		if !b.s.enqueueBatch(b.sh, single, b.sc, nil) {
 			putBatch(single)
 			putBatch(buf)
 			b.accepted += i

@@ -25,11 +25,16 @@ import (
 //	GET  /v1/cases               all case verdicts; ?outcome=, ?purpose=, ?since=
 //	GET  /v1/cases/{id}          one case
 //	GET  /v1/cases/{id}/explain  structured explanation of the first deviation
-//	GET  /v1/traces              recent spans from the in-memory ring buffer
+//	GET  /v1/traces              recent spans from the in-memory ring buffer;
+//	                             ?trace_id=, ?case= filters
 //	GET  /v1/purposes            registered purposes
 //	GET  /v1/quarantine          malformed lines set aside by lenient ingestion
 //	GET  /v1/proofs/{id}         verdict + Merkle inclusion proof for one case
 //	GET  /v1/roots               signed ledger root chain; ?since=N
+//	GET  /v1/status              deep operational state (per-shard queues, WAL,
+//	                             ledger, flight recorder) — purposectl top's feed
+//	GET  /v1/watch               SSE stream of verdict transitions; ?outcome=
+//	GET  /debug/flightrecorder   live flight-recorder event snapshot
 //	GET  /metrics                Prometheus text exposition
 //	GET  /healthz                process liveness
 //	GET  /readyz                 ready to ingest (503 while starting/draining)
@@ -44,6 +49,9 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/quarantine", s.handleQuarantine)
 	s.mux.HandleFunc("GET /v1/proofs/{id}", s.handleProof)
 	s.mux.HandleFunc("GET /v1/roots", s.handleRoots)
+	s.mux.HandleFunc("GET /v1/status", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/watch", s.handleWatch)
+	s.mux.HandleFunc("GET /debug/flightrecorder", s.handleFlightRecorder)
 	s.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		s.writeMetrics(w)
@@ -296,6 +304,15 @@ func (s *Server) ingestCSV(r *http.Request, body io.Reader, spanCtx obs.SpanCont
 func (s *Server) quarantineLine(r *http.Request, line int, raw string, err error) {
 	s.metrics.eventsQuarantined.Add(1)
 	s.quar.add(r.RemoteAddr, line, raw, err, time.Now())
+	// Rate-limited: a body that's garbage on every line must not turn
+	// the log into a copy of the body.
+	if ok, suppressed := s.limQuar.Allow(); ok {
+		args := []any{"line", line, "err", err, "remote", r.RemoteAddr}
+		if suppressed > 0 {
+			args = append(args, "suppressed", suppressed)
+		}
+		s.log.Warn("line quarantined", args...)
+	}
 }
 
 // handleCases lists case verdicts, optionally filtered by ?outcome=
@@ -364,14 +381,34 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	}{Case: v.Case, Outcome: v.Outcome, Explanation: v.Explanation})
 }
 
-// handleTraces dumps the span ring, oldest-first.
+// handleTraces dumps the span ring, oldest-first. ?trace_id= narrows
+// to one trace; ?case= to spans tagged with that case (feed spans).
+// Held/Total/Dropped always describe the whole ring, so a filtered
+// read still shows whether eviction may have eaten matching spans.
 func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	traceID := r.URL.Query().Get("trace_id")
+	caseID := r.URL.Query().Get("case")
+	spans := s.ring.Snapshot()
+	if traceID != "" || caseID != "" {
+		filtered := make([]obs.Span, 0, len(spans))
+		for _, sp := range spans {
+			if traceID != "" && sp.TraceID.String() != traceID {
+				continue
+			}
+			if caseID != "" && sp.Attrs["case"] != caseID {
+				continue
+			}
+			filtered = append(filtered, sp)
+		}
+		spans = filtered
+	}
 	held, total := s.ring.Stats()
 	writeJSON(w, http.StatusOK, struct {
-		Held  int        `json:"held"`
-		Total uint64     `json:"total"`
-		Spans []obs.Span `json:"spans"`
-	}{Held: held, Total: total, Spans: s.ring.Snapshot()})
+		Held    int        `json:"held"`
+		Total   uint64     `json:"total"`
+		Dropped uint64     `json:"dropped"`
+		Spans   []obs.Span `json:"spans"`
+	}{Held: held, Total: total, Dropped: s.ring.Dropped(), Spans: spans})
 }
 
 // purposeInfo is one row of GET /v1/purposes.

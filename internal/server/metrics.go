@@ -9,7 +9,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // Metrics is auditd's observability surface, exposed at /metrics in
@@ -56,6 +58,10 @@ type metrics struct {
 	ledgerLeaves       atomic.Int64 // leaves covered by sealed batches
 	ledgerProofs       atomic.Int64 // proof bundles served
 	ledgerSealDuration histogram    // close-to-signed latency per batch
+
+	// Pipeline stage telemetry (PR 10): one histogram per stage, fed
+	// by sampled per-batch StageRecords (DESIGN.md §17).
+	stageLatency [obs.NumStages]histogram
 }
 
 func newMetrics() *metrics {
@@ -70,7 +76,33 @@ func newMetrics() *metrics {
 	// microseconds typically, milliseconds only for very large batches.
 	m.ledgerSealDuration.bounds = []float64{25e-6, 100e-6, 500e-6, 2.5e-3, 10e-3, 100e-3}
 	m.ledgerSealDuration.counts = make([]atomic.Int64, len(m.ledgerSealDuration.bounds)+1)
+	// Stage durations span sub-microsecond (queue handoff on an idle
+	// shard) to seconds (fsync on a stalled disk), hence the wide grid.
+	for i := range m.stageLatency {
+		m.stageLatency[i].bounds = []float64{1e-6, 5e-6, 25e-6, 100e-6, 500e-6, 2.5e-3, 10e-3, 50e-3, 250e-3, 1}
+		m.stageLatency[i].counts = make([]atomic.Int64, len(m.stageLatency[i].bounds)+1)
+	}
 	return m
+}
+
+// observeStages folds one completed batch's timing record into the
+// stage histograms. WAL/ledger stages are skipped when they never ran
+// (no WAL or no ledger configured) so their histograms don't fill
+// with meaningless zeros.
+func (m *metrics) observeStages(r *obs.StageRecord) {
+	if r == nil {
+		return
+	}
+	for _, st := range obs.Stages() {
+		d := r.Dur(st)
+		if d == 0 {
+			switch st {
+			case obs.StageWALAppend, obs.StageWALFsync, obs.StageLedgerSeal:
+				continue
+			}
+		}
+		m.stageLatency[st].observe(d)
+	}
 }
 
 // purposeCounters is one purpose's verdict tally.
@@ -148,6 +180,21 @@ func (h *histogram) write(w io.Writer, name string) {
 	fmt.Fprintf(w, "%s_count %d\n", name, h.n.Load())
 }
 
+// writeLabeled renders the histogram's series with an extra label
+// (e.g. stage="decode") inside the braces. The caller writes the
+// shared # TYPE header once for the whole family.
+func (h *histogram) writeLabeled(w io.Writer, name, label string) {
+	cum := int64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{%s,le=%q} %d\n", name, label, formatBound(b), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d\n", name, label, cum)
+	fmt.Fprintf(w, "%s_sum{%s} %g\n", name, label, float64(h.sumNano.Load())/1e9)
+	fmt.Fprintf(w, "%s_count{%s} %d\n", name, label, h.n.Load())
+}
+
 func formatBound(b float64) string { return fmt.Sprintf("%g", b) }
 
 func counter(w io.Writer, name, help string, v int64) {
@@ -222,6 +269,33 @@ func (s *Server) writeMetrics(w io.Writer) {
 	spansHeld, spansTotal := s.ring.Stats()
 	gauge(w, "auditd_trace_spans_held", "Spans currently held in the trace ring buffer.", float64(spansHeld))
 	counter(w, "auditd_trace_spans_total", "Spans recorded since boot (ring evicts beyond its capacity).", int64(spansTotal))
+	counter(w, "auditd_trace_spans_dropped_total", "Spans evicted from the trace ring by overflow.", int64(s.ring.Dropped()))
+
+	// Build identity: which binary is this, exactly (value is always 1).
+	fmt.Fprintf(w, "# HELP auditd_build_info Build metadata as labels; the value is always 1.\n# TYPE auditd_build_info gauge\n")
+	fmt.Fprintf(w, "auditd_build_info{version=%q,go_version=%q,compiler_fingerprint=%q} 1\n",
+		cli.Version, runtime.Version(), cli.CompilerFingerprint())
+
+	// Pipeline stage latency (sampled per batch; see /v1/status for
+	// the configured 1-in-N).
+	fmt.Fprintf(w, "# HELP auditd_stage_latency_seconds Per-batch pipeline stage latency (deterministic 1-in-N batch sampling).\n# TYPE auditd_stage_latency_seconds histogram\n")
+	for _, st := range obs.Stages() {
+		m.stageLatency[st].writeLabeled(w, "auditd_stage_latency_seconds", fmt.Sprintf("stage=%q", st.String()))
+	}
+	gauge(w, "auditd_stage_sample_every", "Configured 1-in-N stage sampling (0 = off; traced requests always timed).", float64(s.stages.Every()))
+
+	// Log suppression: hot-path warnings dropped by the token-bucket
+	// limiters.
+	fmt.Fprintf(w, "# HELP auditd_log_suppressed_total Hot-path log statements suppressed by rate limiting.\n# TYPE auditd_log_suppressed_total counter\n")
+	fmt.Fprintf(w, "auditd_log_suppressed_total{class=\"verdict\"} %d\n", s.limVerdict.Suppressed())
+	fmt.Fprintf(w, "auditd_log_suppressed_total{class=\"quarantine\"} %d\n", s.limQuar.Suppressed())
+	fmt.Fprintf(w, "auditd_log_suppressed_total{class=\"wal\"} %d\n", s.limWAL.Suppressed())
+
+	// Flight recorder bookkeeping.
+	fHeld, fTotal, fDumps := s.flight.Stats()
+	gauge(w, "auditd_flight_events_held", "Flight-recorder events currently held across all rings.", float64(fHeld))
+	counter(w, "auditd_flight_events_total", "Flight-recorder events recorded since boot.", int64(fTotal))
+	counter(w, "auditd_flight_dumps_total", "Flight-recorder dump files written.", fDumps)
 
 	// Go runtime gauges: enough to spot leaks and GC pressure without
 	// a client library.

@@ -112,7 +112,8 @@ func getTraces(t *testing.T, url string) traceReply {
 }
 
 // TestTraceparentPropagation: an ingest carrying W3C trace context
-// produces one ingest span plus one feed span per entry, all in the
+// produces one ingest span, one feed span per entry, and one "stages"
+// span per batch (traced requests are always stage-timed), all in the
 // caller's trace; an untraced ingest records nothing.
 func TestTraceparentPropagation(t *testing.T) {
 	sc := hospitalScenario(t)
@@ -146,10 +147,7 @@ func TestTraceparentPropagation(t *testing.T) {
 	}
 
 	tr := getTraces(t, ts.URL+"/v1/traces")
-	if want := sub.Len() + 1; tr.Held != want {
-		t.Fatalf("%d spans held, want %d (ingest + one feed per entry)", tr.Held, want)
-	}
-	var ingests, feeds int
+	var ingests, feeds, stages int
 	for _, sp := range tr.Spans {
 		if sp.TraceID.String() != traceID {
 			t.Errorf("span %q left the caller's trace: %s", sp.Name, sp.TraceID)
@@ -165,10 +163,20 @@ func TestTraceparentPropagation(t *testing.T) {
 			if sp.Attrs["case"] != "HT-10" {
 				t.Errorf("feed span attrs: %v", sp.Attrs)
 			}
+		case "stages":
+			stages++
+			// The stage breakdown rides as span events, one per stage.
+			if len(sp.Events) != int(obs.NumStages) {
+				t.Errorf("stages span has %d events, want %d: %+v", len(sp.Events), obs.NumStages, sp.Events)
+			}
 		}
 	}
-	if ingests != 1 || feeds != sub.Len() {
-		t.Errorf("%d ingest + %d feed spans, want 1 + %d", ingests, feeds, sub.Len())
+	if ingests != 1 || feeds != sub.Len() || stages < 1 {
+		t.Errorf("%d ingest + %d feed + %d stages spans, want 1 + %d + ≥1",
+			ingests, feeds, stages, sub.Len())
+	}
+	if want := sub.Len() + 1 + stages; tr.Held != want {
+		t.Errorf("%d spans held, want %d (ingest + one feed per entry + stages per batch)", tr.Held, want)
 	}
 }
 

@@ -96,6 +96,20 @@ type Config struct {
 	// LedgerWait seals a partial batch this long after its first leaf
 	// (0 = size/explicit cuts only — the deterministic mode).
 	LedgerWait time.Duration
+
+	// StageSample times 1 in N ingest batches through the pipeline
+	// stages (decode → WAL append/fsync → queue wait → replay → ledger
+	// seal), exported as auditd_stage_latency_seconds{stage=...}.
+	// 0 takes the default (obs.DefaultStageSample, 1-in-64), 1 times
+	// every batch, negative disables sampling. Requests carrying a W3C
+	// traceparent are always timed regardless.
+	StageSample int
+	// FlightDir is where flight-recorder dumps are written (default
+	// os.TempDir()).
+	FlightDir string
+	// FlightEvents bounds each shard's flight-recorder ring (default
+	// obs.DefaultFlightEvents).
+	FlightEvents int
 }
 
 // WAL failure policies (Config.WALFailure).
@@ -131,6 +145,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ShardRestartLimit <= 0 {
 		c.ShardRestartLimit = 5
+	}
+	if c.StageSample == 0 {
+		c.StageSample = obs.DefaultStageSample
+	}
+	if c.FlightEvents <= 0 {
+		c.FlightEvents = obs.DefaultFlightEvents
 	}
 	return c
 }
@@ -178,6 +198,25 @@ type Server struct {
 	// that keeps unpersisted leaves replayable (wal.go, checkpoint.go).
 	ledger        *ledger.Ledger
 	ledgerCkptLSN atomic.Uint64
+
+	// Operational telemetry (DESIGN.md §17). stages decides which
+	// batches carry a timing record; flight is the always-on event
+	// recorder dumped when something goes wrong; watch fans verdict
+	// transitions out to GET /v1/watch subscribers. walErrDumped makes
+	// the WAL-failure flight dump a one-shot (the error is sticky, so
+	// every later batch would re-trigger it).
+	stages       *obs.StageSampler
+	flight       *obs.FlightRecorder
+	watch        *watchHub
+	walErrDumped atomic.Bool
+	startTime    time.Time
+
+	// Hot-path log limiters: a poison stream that makes every entry
+	// warn must not drown the log (suppressed counts are exported as
+	// auditd_log_suppressed_total).
+	limVerdict *obs.LogLimiter
+	limQuar    *obs.LogLimiter
+	limWAL     *obs.LogLimiter
 }
 
 // New builds a server over the registry's purposes. The checker
@@ -195,11 +234,56 @@ func New(reg *core.Registry, checker *core.Checker, cfg Config) *Server {
 		ring:    obs.NewRing(cfg.TraceBuffer),
 	}
 	s.tracer = &obs.Tracer{Rec: s.ring}
+	s.stages = obs.NewStageSampler(cfg.StageSample)
+	s.flight = obs.NewFlightRecorder(cfg.Shards, cfg.FlightEvents, cfg.FlightDir)
+	s.watch = newWatchHub()
+	s.startTime = time.Now()
+	s.limVerdict = obs.NewLogLimiter(warnBurst, warnPerSec)
+	s.limQuar = obs.NewLogLimiter(warnBurst, warnPerSec)
+	s.limWAL = obs.NewLogLimiter(warnBurst, warnPerSec)
 	for i := 0; i < cfg.Shards; i++ {
-		s.shards = append(s.shards, newShard(i, checker, cfg.QueueDepth, s.metrics, s.log, reg.PurposeOf, s.tracer))
+		sh := newShard(i, checker, cfg.QueueDepth, s.metrics, s.log, reg.PurposeOf, s.tracer)
+		// Telemetry wiring happens here rather than in newShard so the
+		// constructor's signature stays stable for tests; all of it is
+		// set before Start launches the workers.
+		sh.flight = s.flight
+		sh.watch = s.watch
+		sh.warnLim = s.limVerdict
+		sh.onDump = func(reason string) { s.DumpFlightRecorder(reason) }
+		s.shards = append(s.shards, sh)
 	}
 	s.routes()
 	return s
+}
+
+// warnBurst/warnPerSec tune the hot-path log limiters: enough burst
+// that a handful of deviating cases log normally, a sustained rate low
+// enough that a fully poisoned stream costs ~1 line/s per class.
+const (
+	warnBurst  = 10
+	warnPerSec = 1.0
+)
+
+// DumpFlightRecorder writes a flight-recorder dump file (used by the
+// SIGQUIT handler, failure paths and tests) and returns its path.
+func (s *Server) DumpFlightRecorder(reason string) (string, error) {
+	path, err := s.flight.Dump(reason)
+	if err != nil {
+		s.log.Error("flight recorder dump failed", "reason", reason, "err", err)
+		return "", err
+	}
+	s.log.Info("flight recorder dumped", "reason", reason, "path", path)
+	return path, nil
+}
+
+// sampleStages decides whether the batch being opened gets a stage
+// timing record: always for traced requests (the caller asked to see
+// the breakdown), 1-in-N otherwise.
+func (s *Server) sampleStages(sc obs.SpanContext) *obs.StageRecord {
+	if sc.IsValid() || s.stages.Sample() {
+		return obs.NewStageRecord()
+	}
+	return nil
 }
 
 // shardFor routes a case to its shard.
@@ -390,8 +474,16 @@ func (s *Server) accepting() bool {
 
 func (s *Server) setReady(v bool) {
 	s.readyMu.Lock()
+	changed := s.ready != v
 	s.ready = v
 	s.readyMu.Unlock()
+	if changed {
+		detail := "not_ready"
+		if v {
+			detail = "ready"
+		}
+		s.flight.Record(-1, obs.FlightEvent{Kind: obs.FlightReadiness, Detail: detail})
+	}
 }
 
 func (s *Server) isReady() bool {
@@ -438,6 +530,14 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
+// Flush forwards to the wrapped writer so streaming handlers (the
+// /v1/watch SSE stream) work through the logging wrapper.
+func (w *statusWriter) Flush() {
+	if fl, ok := w.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
+
 // IngestEntries routes pre-decoded entries through the batched
 // dispatch path, grouping consecutive same-shard runs into one queue
 // message each. It returns how many entries were accepted and whether
@@ -471,7 +571,7 @@ func (s *Server) IngestEntry(e audit.Entry) bool {
 	defer s.ingestWG.Done()
 	single := getBatch()
 	*single = append(*single, e)
-	if s.enqueueBatch(s.shardFor(e.Case), single, obs.SpanContext{}) {
+	if s.enqueueBatch(s.shardFor(e.Case), single, obs.SpanContext{}, nil) {
 		s.metrics.eventsIngested.Add(1)
 		return true
 	}

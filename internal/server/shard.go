@@ -1,6 +1,7 @@
 package server
 
 import (
+	"fmt"
 	"log/slog"
 	"runtime/debug"
 	"strconv"
@@ -57,6 +58,10 @@ type shard struct {
 	pendingIdx int
 	pendingSC  obs.SpanContext
 	pendingLSN uint64
+	// pendingStages is the batch's stage timing record (nil when
+	// unsampled); it lives on the shard so replay time keeps
+	// accumulating across a panic-resume.
+	pendingStages *obs.StageRecord
 	// panicHook, when set (tests only), runs before each feed — the
 	// injection point for supervisor chaos tests.
 	panicHook func(*audit.Entry)
@@ -83,6 +88,22 @@ type shard struct {
 	// lookup), for the view's Purpose field.
 	purposeOf func(string) string
 
+	// Operational telemetry, wired by the server after construction
+	// (before Start). flight records coarse per-batch pipeline events;
+	// onDump triggers a flight-recorder dump (panic, shard failure);
+	// watch receives verdict transitions for GET /v1/watch; warnLim
+	// rate-limits the per-entry deviation warnings.
+	flight  *obs.FlightRecorder
+	onDump  func(reason string)
+	watch   *watchHub
+	warnLim *obs.LogLimiter
+	// highWater is the worst queue occupancy seen (entries), reported
+	// by /v1/status; hwRecorded is the occupancy at the last flight
+	// event, so the ring gets step-sized marks instead of one event per
+	// +1 creep.
+	highWater  atomic.Int64
+	hwRecorded atomic.Int64
+
 	// views is the queryable verdict state, written only by the shard
 	// worker, read by HTTP handlers.
 	mu    sync.RWMutex
@@ -104,6 +125,10 @@ type shardMsg struct {
 	// carried a traceparent header; the zero value otherwise. It rides
 	// the queue so the feed span lands in the caller's trace.
 	sc obs.SpanContext
+	// stages is the batch's stage timing record (nil when unsampled);
+	// it rides the queue so the worker can close the queue-wait stage
+	// and time the replay.
+	stages *obs.StageRecord
 	// barrier is closed by the worker when it reaches the message —
 	// everything enqueued before it has then been fed.
 	barrier chan<- struct{}
@@ -201,6 +226,10 @@ func (sh *shard) run(restartLimit int) {
 			sh.metrics.shardsFailed.Add(1)
 			sh.log.Error("shard failed: restart budget exhausted, draining without feeding",
 				"shard", sh.id, "restarts", n-1)
+			sh.flight.Record(sh.id, obs.FlightEvent{Kind: obs.FlightShardFail, N: int(n - 1)})
+			if sh.onDump != nil {
+				sh.onDump("shard_failed")
+			}
 			sh.drainFailed()
 			return
 		}
@@ -209,6 +238,7 @@ func (sh *shard) run(restartLimit int) {
 		backoff := (5 * time.Millisecond) << min(uint(n-1), 6)
 		sh.log.Warn("shard worker restarting after panic",
 			"shard", sh.id, "restart", n, "backoff", backoff)
+		sh.flight.Record(sh.id, obs.FlightEvent{Kind: obs.FlightRestart, N: int(n), Detail: backoff.String()})
 		time.Sleep(backoff)
 	}
 }
@@ -220,13 +250,28 @@ func (sh *shard) run(restartLimit int) {
 func (sh *shard) runOnce() (clean bool) {
 	defer func() {
 		if r := recover(); r != nil {
+			ev := obs.FlightEvent{Kind: obs.FlightPanic, Detail: fmt.Sprint(r)}
 			if sh.pending != nil {
 				// Exactly the entry being fed is lost; feedPending
 				// already advanced past it.
 				sh.metrics.entriesDropped.Add(1)
+				if i := sh.pendingIdx - 1; i >= 0 && i < len(*sh.pending) {
+					// The poisoned entry: feedPending advances the cursor
+					// before feeding, so it sits one behind.
+					e := (*sh.pending)[i]
+					ev.Case = e.Case
+					ev.Detail = fmt.Sprintf("task=%s: %v", e.Task, r)
+					if sh.pendingLSN > 0 {
+						ev.LSN = sh.pendingLSN + uint64(i)
+					}
+				}
 			}
+			sh.flight.Record(sh.id, ev)
 			sh.log.Error("shard worker panicked",
 				"shard", sh.id, "panic", r, "stack", string(debug.Stack()))
+			if sh.onDump != nil {
+				sh.onDump("shard_panic")
+			}
 		}
 	}()
 	if sh.pending != nil {
@@ -235,7 +280,9 @@ func (sh *shard) runOnce() (clean bool) {
 	for msg := range sh.queue {
 		switch {
 		case msg.batch != nil:
+			msg.stages.MarkDequeued()
 			sh.pending, sh.pendingIdx, sh.pendingSC, sh.pendingLSN = msg.batch, 0, msg.sc, msg.firstLSN
+			sh.pendingStages = msg.stages
 			sh.feedPending()
 		case msg.barrier != nil:
 			close(msg.barrier)
@@ -270,6 +317,10 @@ func (sh *shard) serveSnap(ch chan<- shardDump) {
 // the poisonous entry instead of re-feeding it into another panic.
 func (sh *shard) feedPending() {
 	entries := *sh.pending
+	var replayStart time.Time
+	if sh.pendingStages != nil {
+		replayStart = time.Now()
+	}
 	for sh.pendingIdx < len(entries) {
 		i := sh.pendingIdx
 		sh.pendingIdx++
@@ -279,9 +330,41 @@ func (sh *shard) feedPending() {
 		}
 		sh.feed(entries[i], sh.pendingSC, lsn)
 	}
+	if sh.pendingStages != nil {
+		sh.pendingStages.Add(obs.StageReplay, time.Since(replayStart))
+		sh.finishStages(len(entries))
+		sh.pendingStages = nil
+	}
+	if len(entries) > 0 {
+		sh.flight.Record(sh.id, obs.FlightEvent{
+			Kind: obs.FlightBatchFed, Case: entries[0].Case,
+			N: len(entries), LSN: sh.pendingLSN,
+		})
+	}
 	sh.credits.Add(int64(len(entries)))
 	putBatch(sh.pending)
 	sh.pending = nil
+}
+
+// finishStages folds a completed batch's timing record into the stage
+// histograms and — when the ingest was traced — into a "stages" child
+// span whose events carry the per-stage breakdown.
+func (sh *shard) finishStages(n int) {
+	rec := sh.pendingStages
+	sh.metrics.observeStages(rec)
+	if !sh.pendingSC.IsValid() {
+		return
+	}
+	sp := sh.tracer.StartSpan(sh.pendingSC, "stages")
+	if sp == nil {
+		return
+	}
+	sp.SetAttr("shard", strconv.Itoa(sh.id))
+	sp.SetAttr("entries", strconv.Itoa(n))
+	for _, st := range obs.Stages() {
+		sp.AddEvent(st.String(), "dur", rec.Dur(st).String())
+	}
+	sp.End()
 }
 
 // drainFailed is the terminal loop of a failed shard: every batch is
@@ -295,6 +378,7 @@ func (sh *shard) drainFailed() {
 		sh.credits.Add(int64(len(entries)))
 		putBatch(sh.pending)
 		sh.pending = nil
+		sh.pendingStages = nil
 	}
 	for msg := range sh.queue {
 		switch {
@@ -331,13 +415,15 @@ func (sh *shard) drainSnap(ch chan<- shardDump) {
 // single-entry enqueues — see batcher.flush). On success the worker
 // owns the slice and recycles it. sc carries the submitting request's
 // trace context (zero when untraced).
-func (sh *shard) tryEnqueueBatch(b *[]audit.Entry, sc obs.SpanContext) bool {
+func (sh *shard) tryEnqueueBatch(b *[]audit.Entry, sc obs.SpanContext, rec *obs.StageRecord) bool {
 	n := int64(len(*b))
 	if !sh.reserve(n) {
 		return false
 	}
+	rec.MarkEnqueued()
 	select {
-	case sh.queue <- shardMsg{batch: b, sc: sc}:
+	case sh.queue <- shardMsg{batch: b, sc: sc, stages: rec}:
+		sh.noteHighWater()
 		return true
 	default:
 		// Queue slots are scarcer than credits only transiently (each
@@ -345,6 +431,32 @@ func (sh *shard) tryEnqueueBatch(b *[]audit.Entry, sc obs.SpanContext) bool {
 		// back and report saturation.
 		sh.credits.Add(n)
 		return false
+	}
+}
+
+// noteHighWater tracks the shard's worst queue occupancy. The running
+// maximum feeds /v1/status; the flight ring only gets a mark when the
+// maximum grew by at least a depth/8 step (or hit the ceiling), so a
+// slow creep doesn't flood it.
+func (sh *shard) noteHighWater() {
+	p := sh.pendingEntries()
+	for {
+		hw := sh.highWater.Load()
+		if p <= hw {
+			return
+		}
+		if !sh.highWater.CompareAndSwap(hw, p) {
+			continue
+		}
+		step := sh.depth / 8
+		if step < 1 {
+			step = 1
+		}
+		last := sh.hwRecorded.Load()
+		if (p >= last+step || p >= sh.depth) && sh.hwRecorded.CompareAndSwap(last, p) {
+			sh.flight.Record(sh.id, obs.FlightEvent{Kind: obs.FlightHighWater, N: int(p)})
+		}
+		return
 	}
 }
 
@@ -479,8 +591,8 @@ func (sh *shard) applyVerdict(e *audit.Entry, v *core.Verdict, sc obs.SpanContex
 			view.Outcome = outcomeIndeterminate
 			view.Indeterminate = v.Indeterminate.String()
 			view.Explanation = v.Explanation
-			sh.log.Warn("case indeterminate", "shard", sh.id, "case", e.Case,
-				"cause", v.Indeterminate.Cause.String(), "trace_id", traceField(sc))
+			sh.warnDeviation("case indeterminate", e.Case, "cause", v.Indeterminate.Cause.String(), sc)
+			sh.noteTransition(view, v.Indeterminate.Cause.String())
 		}
 	case v.Violation != nil:
 		sh.metrics.verdictsViolation.Add(1)
@@ -489,11 +601,40 @@ func (sh *shard) applyVerdict(e *audit.Entry, v *core.Verdict, sc obs.SpanContex
 			view.Outcome = outcomeViolation
 			view.Violation = v.Violation.String()
 			view.Explanation = v.Explanation
-			sh.log.Warn("case violated", "shard", sh.id, "case", e.Case,
-				"reason", v.Violation.Reason, "trace_id", traceField(sc))
+			sh.warnDeviation("case violated", e.Case, "reason", v.Violation.Reason, sc)
+			sh.noteTransition(view, v.Violation.Reason)
 		}
 	}
 	return view.Outcome
+}
+
+// warnDeviation logs a deviation warning through the token-bucket
+// limiter: a poison stream that deviates on every entry gets a bounded
+// log rate plus a suppressed=N summary instead of a line per entry.
+func (sh *shard) warnDeviation(msg, caseID, k, v string, sc obs.SpanContext) {
+	ok, suppressed := sh.warnLim.Allow()
+	if !ok {
+		return
+	}
+	args := []any{"shard", sh.id, "case", caseID, k, v, "trace_id", traceField(sc)}
+	if suppressed > 0 {
+		args = append(args, "suppressed", suppressed)
+	}
+	sh.log.Warn(msg, args...)
+}
+
+// noteTransition records a verdict transition in the flight ring and
+// fans it out to GET /v1/watch subscribers. Called under sh.mu, but
+// both sinks are non-blocking (ring write / channel try-send).
+func (sh *shard) noteTransition(view *CaseView, detail string) {
+	sh.flight.Record(sh.id, obs.FlightEvent{
+		Kind: obs.FlightVerdict, Case: view.Case,
+		Detail: view.Outcome + ": " + detail, N: view.Entries,
+	})
+	sh.watch.publish(watchEvent{
+		Case: view.Case, Purpose: view.Purpose, Outcome: view.Outcome,
+		Entries: view.Entries, Shard: sh.id, Detail: detail, Time: time.Now(),
+	})
 }
 
 // traceField renders the trace id for log correlation; empty when the

@@ -124,10 +124,12 @@ func (s *Server) replayWAL() error {
 // enqueueBatch dispatches one pooled batch to sh — directly when no
 // WAL is configured, through it otherwise. false means the batch was
 // not accepted (saturation, failed shard, or WAL failure) and the
-// caller still owns the slice.
-func (s *Server) enqueueBatch(sh *shard, b *[]audit.Entry, sc obs.SpanContext) bool {
+// caller still owns the slice. rec is the batch's stage timing record
+// (nil when unsampled): the WAL path splits the append into
+// wal_append / wal_fsync / ledger_seal before stamping the enqueue.
+func (s *Server) enqueueBatch(sh *shard, b *[]audit.Entry, sc obs.SpanContext, rec *obs.StageRecord) bool {
 	if s.wal == nil {
-		return sh.tryEnqueueBatch(b, sc)
+		return sh.tryEnqueueBatch(b, sc, rec)
 	}
 	if s.walFailed.Load() {
 		return false
@@ -137,18 +139,34 @@ func (s *Server) enqueueBatch(sh *shard, b *[]audit.Entry, sc obs.SpanContext) b
 		return false
 	}
 	sh.enqMu.Lock()
-	first, err := s.walAppend(*b)
+	var appendStart time.Time
+	if rec != nil {
+		appendStart = time.Now()
+	}
+	first, err := s.walAppend(*b, rec)
 	if err != nil {
 		sh.enqMu.Unlock()
 		sh.credits.Add(n)
 		s.walFailure(err)
 		return false
 	}
+	if rec != nil {
+		// The append wall-clock minus its inline fsync (zero unless the
+		// policy is always; appends are serialized under inflight.mu, so
+		// the read-back is this append's) and minus the ledger seal,
+		// already attributed inside walAppend.
+		total := time.Since(appendStart)
+		fsync := s.wal.AppendSyncWait()
+		rec.Add(obs.StageWALFsync, fsync)
+		rec.Add(obs.StageWALAppend, total-fsync-rec.Dur(obs.StageLedgerSeal))
+		rec.MarkEnqueued()
+	}
 	// Blocking send: the credits just reserved guarantee a queue slot
 	// frees up, and the worker (or its supervisor/drainer) is always
 	// consuming.
-	sh.queue <- shardMsg{batch: b, sc: sc, firstLSN: first}
+	sh.queue <- shardMsg{batch: b, sc: sc, firstLSN: first, stages: rec}
 	sh.enqMu.Unlock()
+	sh.noteHighWater()
 	s.inflightDone(first)
 	return true
 }
@@ -158,19 +176,28 @@ func (s *Server) enqueueBatch(sh *shard, b *[]audit.Entry, sc obs.SpanContext) b
 // too: inflight.mu globally serializes WAL appends, so feeding the
 // ledger under it hands leaves over in exact LSN order — the invariant
 // that makes crash rebuilds sign the same trees as the original run.
-func (s *Server) walAppend(entries []audit.Entry) (uint64, error) {
+func (s *Server) walAppend(entries []audit.Entry, rec *obs.StageRecord) (uint64, error) {
 	s.inflight.mu.Lock()
 	defer s.inflight.mu.Unlock()
 	first, _, err := s.wal.Append(entries)
 	if err != nil {
+		s.flight.Record(-1, obs.FlightEvent{Kind: obs.FlightWALError, Detail: err.Error(), N: len(entries)})
 		return 0, err
 	}
 	if s.ledger != nil {
+		var sealStart time.Time
+		if rec != nil {
+			sealStart = time.Now()
+		}
 		if err := s.ledger.Append(entries, first); err != nil {
 			// The entries are durable but unsealed; refuse the batch so
 			// the acknowledged ⇒ provable contract holds (replay re-seals
 			// them at next boot).
+			s.flight.Record(-1, obs.FlightEvent{Kind: obs.FlightLedgerErr, Detail: err.Error(), LSN: first})
 			return 0, fmt.Errorf("ledger append: %w", err)
+		}
+		if rec != nil {
+			rec.Add(obs.StageLedgerSeal, time.Since(sealStart))
 		}
 	}
 	s.inflight.firsts[first]++
@@ -243,8 +270,23 @@ func (s *Server) walSafeLSN(lsn uint64) uint64 {
 // readiness fails, pulling the node.
 func (s *Server) walFailure(err error) {
 	s.metrics.walAppendErrors.Add(1)
+	// One flight dump per sticky failure: the first failed append
+	// captures the rings, later ones (the error is sticky) don't
+	// re-dump.
+	if s.walErrDumped.CompareAndSwap(false, true) {
+		s.DumpFlightRecorder("wal_error")
+	}
 	if s.cfg.WALFailure == WALShed {
-		s.log.Error("wal append failed; batch shed", "err", err)
+		// Every batch of every later request hits this under a sticky
+		// error; the limiter keeps it to a bounded rate with a
+		// suppressed=N summary.
+		if ok, suppressed := s.limWAL.Allow(); ok {
+			args := []any{"err", err}
+			if suppressed > 0 {
+				args = append(args, "suppressed", suppressed)
+			}
+			s.log.Error("wal append failed; batch shed", args...)
+		}
 		return
 	}
 	if s.walFailed.CompareAndSwap(false, true) {

@@ -147,6 +147,12 @@ type Log struct {
 
 	appended uint64 // records appended since Open (stats)
 	synced   uint64 // explicit fsyncs issued (stats)
+
+	// syncWait is the wall-clock time the most recent Append spent in
+	// its inline fsync (zero unless the policy is always). The server
+	// reads it right after Append — appends there are globally
+	// serialized — to split the fsync wait out of the stage timing.
+	syncWait time.Duration
 }
 
 // Open opens (or creates) the log in dir, repairing a torn tail: the
@@ -336,12 +342,24 @@ func (l *Log) Append(entries []audit.Entry) (first, last uint64, err error) {
 			}
 		}
 	}
+	l.syncWait = 0
 	if l.opts.Fsync == FsyncAlways {
+		t0 := time.Now()
 		if err := l.syncLocked(); err != nil {
 			return 0, 0, l.fail(err)
 		}
+		l.syncWait = time.Since(t0)
 	}
 	return first, l.nextLSN - 1, nil
+}
+
+// AppendSyncWait reports the wall-clock time the most recent Append
+// spent in its inline fsync — zero under the interval and off
+// policies, where durability is deferred and Append never waits.
+func (l *Log) AppendSyncWait() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncWait
 }
 
 // flushChunk bounds the in-memory append buffer: once this many bytes
